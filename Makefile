@@ -1,0 +1,49 @@
+# Standard entry points for the mcdp reproduction. Everything is stdlib
+# Go; no external tools beyond the toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test race short cover bench examples experiments figure2 modelcheck clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/faultinjection
+	$(GO) run ./examples/stabilization
+	$(GO) run ./examples/messagepassing
+	$(GO) run ./examples/lockmanager
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+figure2:
+	$(GO) run ./cmd/figure2
+
+modelcheck:
+	$(GO) run ./cmd/modelcheck -topology ring -n 3
+	$(GO) run ./cmd/modelcheck -topology ring -n 3 -threshold 1 || true
+
+clean:
+	$(GO) clean ./...

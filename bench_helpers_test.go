@@ -1,0 +1,6 @@
+package mcdp
+
+import "math/rand"
+
+// rng seeds a generator for benchmark trials.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,501 @@
+package mcdp
+
+// One benchmark per experiment in DESIGN.md's index (E1..E17, F2), plus
+// engine micro-benchmarks. The experiment benchmarks run a reduced
+// instance per iteration and report the experiment's key quantity via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates every
+// row's shape; cmd/experiments produces the full tables.
+
+import (
+	"testing"
+	"time"
+
+	"mcdp/internal/check"
+	"mcdp/internal/core"
+	"mcdp/internal/drinkers"
+	"mcdp/internal/exp"
+	"mcdp/internal/graph"
+	"mcdp/internal/lowatomic"
+	"mcdp/internal/msgpass"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+	"mcdp/internal/workload"
+)
+
+// --- engine micro-benchmarks -------------------------------------------
+
+func BenchmarkSimStep(b *testing.B) {
+	g := graph.Ring(32)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Seed:             1,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.Step(); !ok {
+			b.Fatal("terminated")
+		}
+	}
+}
+
+func BenchmarkSimStepLargeRing(b *testing.B) {
+	// Scalability: the engine at a thousand philosophers.
+	g := graph.Ring(1024)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Seed:             1,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.Step(); !ok {
+			b.Fatal("terminated")
+		}
+	}
+}
+
+func BenchmarkEnabledChoices(b *testing.B) {
+	g := graph.Grid(6, 6)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Seed:             1,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	w.Run(500)
+	var buf []sim.Choice
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = w.EnabledChoices(buf[:0])
+	}
+}
+
+func BenchmarkInvariantCheck(b *testing.B) {
+	g := graph.Grid(5, 5)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Seed:             1,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	w.Run(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.CheckInvariant(w)
+	}
+}
+
+func BenchmarkRedFixpoint(b *testing.B) {
+	g := graph.Grid(5, 5)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Seed:             1,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	w.Run(1000)
+	w.Kill(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.RedProcs(w)
+	}
+}
+
+// --- E1: failure locality ----------------------------------------------
+
+func benchLocality(b *testing.B, alg core.Algorithm) {
+	g := graph.Path(16)
+	worst := 0
+	for i := 0; i < b.N; i++ {
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        alg,
+			Seed:             int64(i + 1),
+			DiameterOverride: sim.SafeDepthBound(g),
+		})
+		for p := 1; p < g.N(); p++ {
+			w.SetState(graph.ProcID(p), core.Hungry)
+		}
+		w.SetState(0, core.Eating)
+		w.Kill(0)
+		const budget = 24000
+		lastEat := make([]int64, g.N())
+		for j := range lastEat {
+			lastEat[j] = -1
+		}
+		w.Observe(sim.ObserverFunc(func(w *sim.World, step int64, c sim.Choice) {
+			if w.State(c.Proc) == core.Eating {
+				lastEat[c.Proc] = step
+			}
+		}))
+		w.Run(budget)
+		for p := 1; p < g.N(); p++ {
+			if lastEat[p] < budget/2 && p > worst {
+				worst = p
+			}
+		}
+	}
+	b.ReportMetric(float64(worst), "starved-radius")
+}
+
+func BenchmarkE1FailureLocalityMCDP(b *testing.B)    { benchLocality(b, core.NewMCDP()) }
+func BenchmarkE1FailureLocalityNoYield(b *testing.B) { benchLocality(b, core.NewNoYield()) }
+
+// --- E2: stabilization ---------------------------------------------------
+
+func BenchmarkE2Stabilization(b *testing.B) {
+	g := graph.Ring(8)
+	var total int64
+	for i := 0; i < b.N; i++ {
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			Seed:             int64(i + 1),
+			DiameterOverride: sim.SafeDepthBound(g),
+		})
+		w.InitArbitrary(rng(int64(i + 77)))
+		ok := w.RunUntil(func(w *sim.World) bool {
+			return spec.CheckInvariant(w).Holds()
+		}, 40000)
+		if !ok {
+			b.Fatal("did not converge")
+		}
+		total += w.Steps()
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "steps-to-I")
+}
+
+// --- E3: safety convergence ----------------------------------------------
+
+func BenchmarkE3Safety(b *testing.B) {
+	g := graph.Ring(8)
+	var total int64
+	for i := 0; i < b.N; i++ {
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			Seed:             int64(i + 1),
+			DiameterOverride: sim.SafeDepthBound(g),
+		})
+		for p := 0; p < g.N(); p++ {
+			w.SetState(graph.ProcID(p), core.Eating)
+		}
+		ok := w.RunUntil(func(w *sim.World) bool {
+			return len(spec.EatingPairs(w)) == 0
+		}, 40000)
+		if !ok {
+			b.Fatal("eating pairs survived")
+		}
+		total += w.Steps()
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "steps-to-0-pairs")
+}
+
+// --- E4: liveness / throughput -------------------------------------------
+
+func BenchmarkE4Liveness(b *testing.B) {
+	g := graph.Ring(12)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Seed:             1,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	eats := 0
+	w.Observe(sim.ObserverFunc(func(w *sim.World, _ int64, c sim.Choice) {
+		if w.State(c.Proc) == core.Eating {
+			eats++
+		}
+	}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.Step(); !ok {
+			b.Fatal("terminated")
+		}
+	}
+	b.ReportMetric(float64(eats)/float64(b.N)*1000, "eats/1k-steps")
+}
+
+// --- E5: cycle breaking ----------------------------------------------------
+
+func BenchmarkE5CycleBreaking(b *testing.B) {
+	g := graph.Ring(8)
+	var total int64
+	for i := 0; i < b.N; i++ {
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			Workload:         workload.NeverHungry(),
+			Seed:             int64(i + 1),
+			DiameterOverride: sim.SafeDepthBound(g),
+		})
+		for p := 0; p < g.N(); p++ {
+			w.SetPriority(graph.ProcID(p), graph.ProcID((p+1)%g.N()), graph.ProcID(p))
+		}
+		ok := w.RunUntil(func(w *sim.World) bool {
+			return spec.AcyclicModuloDead(w)
+		}, 40000)
+		if !ok {
+			b.Fatal("cycle survived")
+		}
+		total += w.Steps()
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "steps-to-acyclic")
+}
+
+// --- E6: malicious vs benign ------------------------------------------------
+
+func BenchmarkE6MaliciousRecovery(b *testing.B) {
+	g := graph.Ring(12)
+	var total int64
+	for i := 0; i < b.N; i++ {
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			Seed:             int64(i + 1),
+			DiameterOverride: sim.SafeDepthBound(g),
+			Faults: sim.NewFaultPlan(sim.FaultEvent{
+				Step: 500, Kind: sim.MaliciousCrash, Proc: 4, ArbitrarySteps: 16,
+			}),
+		})
+		w.Run(500)
+		ok := w.RunUntil(func(w *sim.World) bool {
+			return w.Status(4) == sim.Dead && spec.CheckInvariant(w).Holds()
+		}, 80000)
+		if !ok {
+			b.Fatal("no recovery")
+		}
+		total += w.Steps() - 500
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "recovery-steps")
+}
+
+// --- E7: masking -------------------------------------------------------------
+
+func BenchmarkE7Masking(b *testing.B) {
+	g := graph.Ring(12)
+	violations := 0
+	for i := 0; i < b.N; i++ {
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			Seed:             int64(i + 1),
+			DiameterOverride: sim.SafeDepthBound(g),
+			Faults: sim.NewFaultPlan(sim.FaultEvent{
+				Step: 2000, Kind: sim.BenignCrash, Proc: 0,
+			}),
+		})
+		w.Observe(sim.ObserverFunc(func(w *sim.World, step int64, _ sim.Choice) {
+			if step >= 2000 {
+				violations += len(spec.SafetyViolations(w, 2))
+			}
+		}))
+		w.Run(8000)
+	}
+	b.ReportMetric(float64(violations), "relativized-violations")
+}
+
+// --- E8: message passing ------------------------------------------------------
+
+func BenchmarkE8MessagePassing(b *testing.B) {
+	var eats, msgs int64
+	for i := 0; i < b.N; i++ {
+		g := graph.Ring(5)
+		nw := msgpass.NewNetwork(msgpass.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			DiameterOverride: sim.SafeDepthBound(g),
+			Seed:             int64(i + 1),
+		})
+		nw.Start()
+		time.Sleep(120 * time.Millisecond)
+		nw.Stop()
+		for _, e := range nw.Eats() {
+			eats += e
+		}
+		msgs += nw.MessagesSent()
+		if len(nw.OverlappingNeighborSessions()) != 0 {
+			b.Fatal("overlapping neighbor sessions")
+		}
+	}
+	if eats > 0 {
+		b.ReportMetric(float64(msgs)/float64(eats), "msgs/eat")
+	}
+	b.ReportMetric(float64(eats)/float64(b.N), "eats/run")
+}
+
+// --- E9: model checking ---------------------------------------------------------
+
+func BenchmarkE9ModelCheckClosure(b *testing.B) {
+	g := graph.Ring(3)
+	sys := check.NewSystem(g, core.NewMCDP(), check.Options{Diameter: 2})
+	pred := check.LiftReader(func(r sim.StateReader) bool {
+		return spec.CheckInvariant(r).Holds()
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := sys.CheckClosure(pred); !res.Holds() {
+			b.Fatal(res)
+		}
+	}
+}
+
+func BenchmarkE9FairConvergence(b *testing.B) {
+	g := graph.Ring(3)
+	sys := check.NewSystem(g, core.NewMCDP(), check.Options{Diameter: 2})
+	pred := check.LiftReader(func(r sim.StateReader) bool {
+		return spec.CheckInvariant(r).Holds()
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := sys.CheckFairConvergence(pred); !res.Holds() {
+			b.Fatal("livelock with the safe bound")
+		}
+	}
+}
+
+// --- E10: ablations ---------------------------------------------------------------
+
+func BenchmarkE10DepthChoiceMax(b *testing.B)   { benchDepthChoice(b, core.DepthMax) }
+func BenchmarkE10DepthChoiceMin(b *testing.B)   { benchDepthChoice(b, core.DepthMin) }
+func BenchmarkE10DepthChoiceFirst(b *testing.B) { benchDepthChoice(b, core.DepthFirst) }
+
+func benchDepthChoice(b *testing.B, c core.DepthChoice) {
+	g := graph.Complete(7)
+	var total int64
+	for i := 0; i < b.N; i++ {
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDPWithChoice(c),
+			Workload:         workload.NeverHungry(),
+			Seed:             int64(i + 1),
+			DiameterOverride: sim.SafeDepthBound(g),
+		})
+		r := rng(int64(i + 29))
+		for p := 0; p < g.N(); p++ {
+			w.SetPriority(graph.ProcID(p), graph.ProcID((p+1)%g.N()), graph.ProcID(p))
+			w.SetDepth(graph.ProcID(p), r.Intn(g.N()))
+		}
+		ok := w.RunUntil(func(w *sim.World) bool {
+			return spec.CheckInvariant(w).Holds()
+		}, 60000)
+		if !ok {
+			b.Fatal("did not stabilize")
+		}
+		total += w.Steps()
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "steps-to-I")
+}
+
+// --- E11: capability matrix ---------------------------------------------------------
+
+func BenchmarkE11CapabilityProbe(b *testing.B) {
+	// One matrix cell per iteration: mcdp must stabilize from a quiet
+	// injected cycle (the cell the prior work misses).
+	g := graph.Ring(6)
+	for i := 0; i < b.N; i++ {
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			Workload:         workload.NeverHungry(),
+			Seed:             int64(i + 1),
+			DiameterOverride: sim.SafeDepthBound(g),
+		})
+		for p := 0; p < g.N(); p++ {
+			w.SetPriority(graph.ProcID(p), graph.ProcID((p+1)%g.N()), graph.ProcID(p))
+		}
+		if !w.RunUntil(func(w *sim.World) bool { return spec.CheckInvariant(w).Holds() }, 20000) {
+			b.Fatal("mcdp left the good quadrant")
+		}
+	}
+}
+
+// --- E12: unlimited simultaneous failures --------------------------------------------
+
+func BenchmarkE12MultiCrash(b *testing.B) {
+	g := graph.Ring(24)
+	victims := []graph.ProcID{0, 8, 16}
+	outside := 0
+	for i := 0; i < b.N; i++ {
+		plan := sim.NewFaultPlan()
+		for _, v := range victims {
+			plan.Add(sim.FaultEvent{Step: 200, Kind: sim.MaliciousCrash, Proc: v, ArbitrarySteps: 10})
+		}
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			Seed:             int64(i + 1),
+			DiameterOverride: sim.SafeDepthBound(g),
+			Faults:           plan,
+		})
+		const budget = 48000
+		lastEat := make([]int64, g.N())
+		for j := range lastEat {
+			lastEat[j] = -1
+		}
+		w.Observe(sim.ObserverFunc(func(w *sim.World, step int64, c sim.Choice) {
+			if !c.Malicious() && w.State(c.Proc) == core.Eating {
+				lastEat[c.Proc] = step
+			}
+		}))
+		w.Run(budget)
+		for p := 0; p < g.N(); p++ {
+			pid := graph.ProcID(p)
+			if !w.Dead(pid) && lastEat[p] < budget/2 && g.MinDistTo(pid, victims) >= 3 {
+				outside++
+			}
+		}
+	}
+	b.ReportMetric(float64(outside), "starved-outside-balls")
+}
+
+// --- E14: atomicity refinement --------------------------------------------------------
+
+func BenchmarkE14RegisterAtomicityOp(b *testing.B) {
+	g := graph.Ring(8)
+	m := lowatomic.New(lowatomic.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             1,
+	})
+	b.ResetTimer()
+	m.Run(int64(b.N))
+	var eats int64
+	for _, e := range m.Eats() {
+		eats += e
+	}
+	b.ReportMetric(float64(eats)/float64(b.N)*1000, "eats/1k-ops")
+}
+
+// --- drinkers layer --------------------------------------------------------------------
+
+func BenchmarkDrinkersStep(b *testing.B) {
+	d := drinkers.New(drinkers.Config{Graph: graph.Grid(3, 4), Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Step()
+	}
+	var total int64
+	for _, n := range d.Drinks() {
+		total += n
+	}
+	if b.N > 5000 && total == 0 {
+		b.Fatal("nobody drank")
+	}
+}
+
+// --- F2: the paper's example -----------------------------------------------------
+
+func BenchmarkF2Figure2Replay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := exp.RunFigure2(int64(i+1), 20000)
+		if !out.Holds() {
+			b.Fatalf("figure 2 storyline failed: %+v", out)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Command dinersim is the general simulator CLI: pick a topology, an
+// algorithm, a workload, a daemon, and a fault schedule; run; and get a
+// dining report (eats, latencies, starvation, invariant status).
+//
+// Usage examples:
+//
+//	dinersim -topology ring -n 12 -steps 50000
+//	dinersim -topology path -n 16 -crash 0@1000 -malicious 25
+//	dinersim -topology grid -rows 4 -cols 4 -algorithm hygienic -workload bernoulli:0.3
+//	dinersim -topology ring -n 8 -arbitrary -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcdp/internal/baseline"
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+	"mcdp/internal/stats"
+	"mcdp/internal/trace"
+	"mcdp/internal/workload"
+)
+
+func main() {
+	var (
+		topology  = flag.String("topology", "ring", "ring|path|star|grid|torus|complete|tree|gnp|wheel|lollipop|caterpillar|hypercube")
+		n         = flag.Int("n", 8, "process count (ring/path/star/complete/tree/gnp)")
+		rows      = flag.Int("rows", 3, "grid/torus rows")
+		cols      = flag.Int("cols", 3, "grid/torus cols")
+		p         = flag.Float64("p", 0.25, "gnp extra-edge probability")
+		algorithm = flag.String("algorithm", "mcdp", "mcdp|noyield|nodepth|hygienic")
+		wl        = flag.String("workload", "always", "always|never|bernoulli:P|phases:H,I")
+		sched     = flag.String("scheduler", "random", "random|roundrobin|adversarial:P")
+		steps     = flag.Int64("steps", 50000, "simulation budget")
+		seed      = flag.Int64("seed", 1, "seed for all randomness")
+		bound     = flag.Int("bound", -1, "depth threshold (-1 = safe n-1, 0 = paper's diameter)")
+		crash     = flag.String("crash", "", "benign crash as PROC@STEP (e.g. 0@1000)")
+		malicious = flag.Int("malicious", 0, "make the crash malicious with this many arbitrary steps")
+		arbitrary = flag.Bool("arbitrary", false, "start from a random arbitrary state")
+		traceN    = flag.Int("trace", 0, "print the first N events")
+		watch     = flag.Int64("watch", 0, "print a state snapshot every N steps")
+		timeline  = flag.Int64("timeline", 0, "render an ASCII state timeline, one column per N steps")
+		dot       = flag.Bool("dot", false, "emit the final priority graph as Graphviz DOT")
+	)
+	flag.Parse()
+
+	g, err := buildTopology(*topology, *n, *rows, *cols, *p, *seed)
+	if err != nil {
+		fail(err)
+	}
+	alg, err := buildAlgorithm(*algorithm)
+	if err != nil {
+		fail(err)
+	}
+	profile, err := buildWorkload(*wl, *seed)
+	if err != nil {
+		fail(err)
+	}
+	scheduler, err := buildScheduler(*sched, *seed)
+	if err != nil {
+		fail(err)
+	}
+	plan, err := buildFaults(*crash, *malicious)
+	if err != nil {
+		fail(err)
+	}
+	override := 0
+	switch {
+	case *bound < 0:
+		override = sim.SafeDepthBound(g)
+	case *bound > 0:
+		override = *bound
+	}
+
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        alg,
+		Workload:         profile,
+		Scheduler:        scheduler,
+		Seed:             *seed,
+		DiameterOverride: override,
+		Faults:           plan,
+	})
+	if *arbitrary {
+		w.InitArbitrary(rand.New(rand.NewSource(*seed * 31)))
+	}
+	rec := trace.NewRecorder(g.N(), *traceN > 0)
+	w.Observe(rec)
+	if *watch > 0 {
+		w.Observe(sim.ObserverFunc(func(w *sim.World, step int64, _ sim.Choice) {
+			if step%*watch == 0 {
+				fmt.Printf("step %7d: %s\n", step, trace.FormatState(w))
+			}
+		}))
+	}
+	var tl *trace.Timeline
+	if *timeline > 0 {
+		tl = trace.NewTimeline(g.N(), *timeline)
+		w.Observe(tl)
+	}
+
+	fmt.Printf("simulating %v, algorithm=%s, workload=%s, scheduler=%s, D=%d, %d steps\n\n",
+		g, alg.Name(), profile.Name(), scheduler.Name(), w.DiameterConst(), *steps)
+	executed := w.RunIdling(*steps)
+
+	if *traceN > 0 {
+		evts := rec.Events()
+		if len(evts) > *traceN {
+			evts = evts[:*traceN]
+		}
+		fmt.Println(trace.FormatEvents(evts, nil))
+		fmt.Println()
+	}
+
+	if tl != nil {
+		fmt.Println(tl.String())
+	}
+	report(w, rec, executed)
+	if *dot {
+		fmt.Println()
+		fmt.Print(trace.ToDOT(w, nil))
+	}
+}
+
+func report(w *sim.World, rec *trace.Recorder, executed int64) {
+	g := w.Graph()
+	tbl := stats.NewTable("per-process dining report", "proc", "state", "depth", "status", "eats", "p50 wait", "max wait")
+	for pid := 0; pid < g.N(); pid++ {
+		pr := graph.ProcID(pid)
+		lat := stats.SummarizeInts(rec.ProcLatencies(pr))
+		tbl.AddRow(pid, w.State(pr).String(), w.Depth(pr), w.Status(pr).String(), rec.Eats(pr), lat.P50, lat.Max)
+	}
+	fmt.Println(tbl.String())
+
+	rep := spec.CheckInvariant(w)
+	fmt.Printf("executed steps: %d   total eats: %d\n", executed, rec.TotalEats())
+	fmt.Printf("invariant I: NC=%v ST=%v E=%v -> %v\n", rep.NC, rep.ST, rep.E, rep.Holds())
+	if dead := spec.DeadProcs(w); len(dead) > 0 {
+		radius, count := spec.RedRadius(w)
+		fmt.Printf("dead: %v   red processes: %d (radius %d; the paper bounds it by 2)\n", dead, count, radius)
+	}
+	starved := rec.StarvedSince()
+	for p := range starved {
+		if w.Dead(p) {
+			delete(starved, p) // a dead process's frozen hunger is not starvation
+		}
+	}
+	if len(starved) > 0 {
+		fmt.Printf("hungry at exit (since step): %v\n", starved)
+	}
+}
+
+func buildTopology(kind string, n, rows, cols int, p float64, seed int64) (*graph.Graph, error) {
+	switch kind {
+	case "ring":
+		return graph.Ring(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "grid":
+		return graph.Grid(rows, cols), nil
+	case "torus":
+		return graph.Torus(rows, cols), nil
+	case "tree":
+		return graph.RandomTree(n, rand.New(rand.NewSource(seed))), nil
+	case "gnp":
+		return graph.RandomConnected(n, p, rand.New(rand.NewSource(seed))), nil
+	case "wheel":
+		return graph.Wheel(n), nil
+	case "lollipop":
+		return graph.Lollipop(n/2, n-n/2), nil
+	case "caterpillar":
+		return graph.Caterpillar(rows, cols), nil
+	case "hypercube":
+		return graph.Hypercube(n), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func buildAlgorithm(name string) (core.Algorithm, error) {
+	switch name {
+	case "mcdp":
+		return core.NewMCDP(), nil
+	case "noyield":
+		return core.NewNoYield(), nil
+	case "nodepth":
+		return core.NewNoDepth(), nil
+	case "hygienic":
+		return baseline.NewHygienic(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func buildWorkload(spec string, seed int64) (workload.Profile, error) {
+	switch {
+	case spec == "always":
+		return workload.AlwaysHungry(), nil
+	case spec == "never":
+		return workload.NeverHungry(), nil
+	case strings.HasPrefix(spec, "bernoulli:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(spec, "bernoulli:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bernoulli probability: %w", err)
+		}
+		return workload.Bernoulli(p, seed), nil
+	case strings.HasPrefix(spec, "phases:"):
+		parts := strings.SplitN(strings.TrimPrefix(spec, "phases:"), ",", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("phases wants H,I (got %q)", spec)
+		}
+		h, err1 := strconv.ParseInt(parts[0], 10, 64)
+		i, err2 := strconv.ParseInt(parts[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad phases %q", spec)
+		}
+		return workload.Phases(h, i, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", spec)
+	}
+}
+
+func buildScheduler(spec string, seed int64) (sim.Scheduler, error) {
+	switch {
+	case spec == "random":
+		return sim.NewRandomScheduler(seed + 1), nil
+	case spec == "roundrobin":
+		return sim.NewRoundRobinScheduler(), nil
+	case strings.HasPrefix(spec, "adversarial:"):
+		v, err := strconv.Atoi(strings.TrimPrefix(spec, "adversarial:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad adversarial victim: %w", err)
+		}
+		return sim.NewAdversarialScheduler(graph.ProcID(v), seed+1), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", spec)
+	}
+}
+
+func buildFaults(crash string, malicious int) (*sim.FaultPlan, error) {
+	if crash == "" {
+		return nil, nil
+	}
+	parts := strings.SplitN(crash, "@", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("crash wants PROC@STEP (got %q)", crash)
+	}
+	proc, err1 := strconv.Atoi(parts[0])
+	step, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("bad crash spec %q", crash)
+	}
+	ev := sim.FaultEvent{Step: step, Proc: graph.ProcID(proc), Kind: sim.BenignCrash}
+	if malicious > 0 {
+		ev.Kind = sim.MaliciousCrash
+		ev.ArbitrarySteps = malicious
+	}
+	return sim.NewFaultPlan(ev), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dinersim:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"testing"
+
+	"mcdp/internal/sim"
+)
+
+func TestBuildTopology(t *testing.T) {
+	cases := []struct {
+		kind  string
+		n     int
+		wantN int
+	}{
+		{"ring", 5, 5},
+		{"path", 4, 4},
+		{"star", 6, 6},
+		{"complete", 4, 4},
+		{"tree", 7, 7},
+		{"gnp", 7, 7},
+		{"wheel", 6, 6},
+		{"lollipop", 6, 6},
+		{"hypercube", 3, 8},
+	}
+	for _, c := range cases {
+		g, err := buildTopology(c.kind, c.n, 3, 3, 0.3, 1)
+		if err != nil {
+			t.Errorf("%s: %v", c.kind, err)
+			continue
+		}
+		if g.N() != c.wantN {
+			t.Errorf("%s: n = %d, want %d", c.kind, g.N(), c.wantN)
+		}
+	}
+	if _, err := buildTopology("klein-bottle", 4, 3, 3, 0.3, 1); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	// grid and torus use rows/cols.
+	if g, err := buildTopology("grid", 0, 2, 3, 0, 1); err != nil || g.N() != 6 {
+		t.Errorf("grid: %v, %v", g, err)
+	}
+	if g, err := buildTopology("caterpillar", 0, 3, 2, 0, 1); err != nil || g.N() != 9 {
+		t.Errorf("caterpillar: %v, %v", g, err)
+	}
+}
+
+func TestBuildAlgorithm(t *testing.T) {
+	for _, name := range []string{"mcdp", "noyield", "nodepth", "hygienic"} {
+		alg, err := buildAlgorithm(name)
+		if err != nil || alg.Name() != name {
+			t.Errorf("buildAlgorithm(%q) = %v, %v", name, alg, err)
+		}
+	}
+	if _, err := buildAlgorithm("paxos"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	cases := []string{"always", "never", "bernoulli:0.4", "phases:10,5"}
+	for _, spec := range cases {
+		if _, err := buildWorkload(spec, 1); err != nil {
+			t.Errorf("buildWorkload(%q): %v", spec, err)
+		}
+	}
+	for _, bad := range []string{"sometimes", "bernoulli:x", "phases:1", "phases:a,b"} {
+		if _, err := buildWorkload(bad, 1); err == nil {
+			t.Errorf("buildWorkload(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildScheduler(t *testing.T) {
+	for _, spec := range []string{"random", "roundrobin", "adversarial:2"} {
+		if _, err := buildScheduler(spec, 1); err != nil {
+			t.Errorf("buildScheduler(%q): %v", spec, err)
+		}
+	}
+	for _, bad := range []string{"chaotic", "adversarial:x"} {
+		if _, err := buildScheduler(bad, 1); err == nil {
+			t.Errorf("buildScheduler(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildFaults(t *testing.T) {
+	plan, err := buildFaults("3@500", 0)
+	if err != nil || plan == nil {
+		t.Fatalf("buildFaults: %v", err)
+	}
+	evs := plan.Events()
+	if len(evs) != 1 || evs[0].Proc != 3 || evs[0].Step != 500 || evs[0].Kind != sim.BenignCrash {
+		t.Errorf("events = %+v", evs)
+	}
+	plan, err = buildFaults("1@100", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs := plan.Events(); evs[0].Kind != sim.MaliciousCrash || evs[0].ArbitrarySteps != 25 {
+		t.Errorf("malicious events = %+v", evs)
+	}
+	if p, err := buildFaults("", 0); err != nil || p != nil {
+		t.Error("empty crash spec should yield nil plan")
+	}
+	for _, bad := range []string{"3", "x@5", "3@y"} {
+		if _, err := buildFaults(bad, 0); err == nil {
+			t.Errorf("buildFaults(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command experiments runs the full derived evaluation suite (E1..E17
+// plus the Figure 1/2 reproduction index) and prints each table — the
+// data recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-quick] [-markdown] [-only E5]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mcdp/internal/exp"
+)
+
+// jsonResult is the machine-readable form of one experiment.
+type jsonResult struct {
+	ID      string     `json:"id"`
+	Claim   string     `json:"claim"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON")
+	only := flag.String("only", "", "print only these experiment IDs, comma-separated (e.g. E2,E9)")
+	flag.Parse()
+
+	opts := exp.DefaultSuiteOptions()
+	if *quick {
+		opts = exp.QuickSuiteOptions()
+	}
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[strings.ToLower(id)] = true
+		}
+	}
+	results := exp.RunSuite(opts)
+	var selected []exp.Result
+	for _, r := range results {
+		if len(wanted) == 0 || wanted[strings.ToLower(r.ID)] {
+			selected = append(selected, r)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -only=%s\n", *only)
+		os.Exit(2)
+	}
+	if *asJSON {
+		out := make([]jsonResult, 0, len(selected))
+		for _, r := range selected {
+			out = append(out, jsonResult{
+				ID:      r.ID,
+				Claim:   r.Claim,
+				Title:   r.Table.Title(),
+				Headers: r.Table.Headers(),
+				Rows:    r.Table.Rows(),
+				Notes:   r.Notes,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range selected {
+		fmt.Printf("== %s — %s == (%s)\n\n", r.ID, r.Claim, r.Elapsed.Round(time.Millisecond))
+		if *markdown {
+			fmt.Println(r.Table.Markdown())
+		} else {
+			fmt.Println(r.Table.String())
+		}
+		for _, n := range r.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		fmt.Println()
+	}
+}

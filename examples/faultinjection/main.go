@@ -1,0 +1,88 @@
+// Faultinjection: the paper's headline behavior. A philosopher at the
+// head of a long pre-formed waiting chain crashes *maliciously* —
+// scribbling garbage over its own and its shared variables for a finite
+// window, then halting silently. The dynamic threshold contains the
+// damage to distance 2; the same scenario under the classic algorithm
+// starves the entire chain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcdp"
+)
+
+const (
+	n        = 12
+	crashAt  = 2000
+	window   = 30 // arbitrary steps in the malicious window
+	budget   = 120000
+	tailFrom = budget / 2
+)
+
+func main() {
+	fmt.Printf("path(%d): malicious crash of philosopher 0 at step %d (%d arbitrary steps)\n\n",
+		n, crashAt, window)
+
+	starvedMCDP := run(mcdp.NewAlgorithm())
+	starvedClassic := run(mcdp.NewHygienic())
+
+	fmt.Printf("starved under mcdp:     %v (max distance %d)\n", starvedMCDP, maxDist(starvedMCDP))
+	fmt.Printf("starved under hygienic: %v (max distance %d)\n", starvedClassic, maxDist(starvedClassic))
+
+	if maxDist(starvedMCDP) > 2 {
+		log.Fatal("mcdp exceeded its failure locality of 2")
+	}
+	if maxDist(starvedClassic) < n-2 {
+		log.Fatal("expected the classic algorithm to starve (nearly) the whole chain")
+	}
+	fmt.Println("\nOK: locality 2 with the dynamic threshold, unbounded without it")
+}
+
+// run simulates the scenario and returns the processes that starved
+// (stopped eating in the second half of the run).
+func run(alg mcdp.Algorithm) []mcdp.ProcID {
+	g := mcdp.Path(n)
+	w := mcdp.NewWorld(mcdp.Config{
+		Graph:            g,
+		Algorithm:        alg,
+		Workload:         mcdp.AlwaysHungry(),
+		Seed:             7,
+		DiameterOverride: mcdp.SafeDepthBound(g),
+		Faults: mcdp.NewFaultPlan(mcdp.FaultEvent{
+			Step: crashAt, Kind: mcdp.MaliciousCrash, Proc: 0, ArbitrarySteps: window,
+		}),
+	})
+	// Pre-form the hungry chain the dynamic threshold exists for.
+	for p := 1; p < n; p++ {
+		w.SetState(mcdp.ProcID(p), mcdp.Hungry)
+	}
+	lastEat := make([]int64, n)
+	for i := range lastEat {
+		lastEat[i] = -1
+	}
+	w.Observe(mcdp.ObserverFunc(func(w *mcdp.World, step int64, c mcdp.Choice) {
+		if !c.Malicious() && w.State(c.Proc) == mcdp.Eating {
+			lastEat[c.Proc] = step
+		}
+	}))
+	w.Run(budget)
+	var starved []mcdp.ProcID
+	for p := 1; p < n; p++ {
+		if lastEat[p] < tailFrom {
+			starved = append(starved, mcdp.ProcID(p))
+		}
+	}
+	return starved
+}
+
+func maxDist(starved []mcdp.ProcID) int {
+	maxD := 0
+	for _, p := range starved {
+		if int(p) > maxD { // on the path, distance from 0 is the index
+			maxD = int(p)
+		}
+	}
+	return maxD
+}

@@ -1,0 +1,78 @@
+// Lockmanager: a toy distributed lock service built ON TOP of the
+// malicious-crash diners core, via the drinking-philosophers layer
+// (Chandy & Misra's generalization, the paper's reference [5]).
+//
+// Workers sit on a grid; each edge is a resource (a lock) shared by the
+// two adjacent workers. A job needs some subset of its worker's adjacent
+// locks. The drinkers layer schedules conflicting jobs using the paper's
+// algorithm for arbitration — so the whole lock service inherits
+// stabilization and failure locality 2: a worker that crashes
+// maliciously (corrupting its lock table, then dying) only ever disturbs
+// workers within two hops.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcdp"
+	"mcdp/internal/drinkers"
+	"mcdp/internal/graph"
+)
+
+func main() {
+	g := mcdp.Grid(3, 4) // 12 workers, 17 shared locks
+	d := drinkers.New(drinkers.Config{
+		Graph:    g,
+		Sessions: drinkers.NewRandomSessions(g, 0.6, 11), // jobs need random lock subsets
+		Seed:     11,
+	})
+
+	fmt.Printf("lock manager on %v: 12 workers, %d shared locks\n", g, g.EdgeCount())
+
+	// Phase 1: normal operation.
+	conflicts := 0
+	for i := 0; i < 30000; i++ {
+		d.Step()
+		conflicts += len(d.ConflictingDrinkers())
+	}
+	fmt.Printf("\nphase 1 (fault-free, 30k steps): jobs completed per worker: %v\n", d.Drinks())
+	fmt.Printf("conflicting lock grants: %d\n", conflicts)
+
+	// Phase 2: worker 5 (an inner node) crashes maliciously — it
+	// scribbles over its lock table and its arbitration state for 25
+	// steps, then goes silent forever.
+	fmt.Println("\nworker 5 crashes maliciously (25 arbitrary steps, then silence)")
+	d.World().CrashMaliciously(5, 25)
+	mid := d.Drinks()
+	for i := 0; i < 60000; i++ {
+		d.Step()
+		conflicts += len(d.ConflictingDrinkers())
+	}
+	final := d.Drinks()
+
+	fmt.Println("\njobs completed after the crash, by distance from the crashed worker:")
+	stalled := 0
+	for p := 0; p < g.N(); p++ {
+		if p == 5 {
+			continue
+		}
+		dist := g.Dist(graph.ProcID(p), 5)
+		delta := final[p] - mid[p]
+		status := "running"
+		if delta == 0 {
+			status = "stalled"
+			stalled++
+			if dist >= 3 {
+				log.Fatalf("worker %d at distance %d stalled — locality violated", p, dist)
+			}
+		}
+		fmt.Printf("  worker %2d (distance %d): +%4d jobs  [%s]\n", p, dist, delta, status)
+	}
+	fmt.Printf("\nconflicting lock grants, total: %d\n", conflicts)
+	if conflicts != 0 {
+		log.Fatal("the lock manager granted conflicting locks")
+	}
+	fmt.Printf("stalled workers: %d (all within distance 2 of the crash)\n", stalled)
+	fmt.Println("\nOK: exclusion held throughout; the crash stayed local")
+}

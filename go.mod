@@ -1,0 +1,3 @@
+module mcdp
+
+go 1.22

@@ -1,0 +1,98 @@
+// Package baseline provides the comparison algorithms the paper argues
+// against, all in the same guarded-command model as the paper's algorithm
+// so every engine and monitor applies unchanged:
+//
+//   - Hygienic: the classic priority-based diners in the style of Chandy &
+//     Misra's hygienic scheme (the paper's reference [5]): a hungry
+//     process eats as soon as it out-prioritizes every hungry neighbor
+//     and no neighbor is eating; after eating it yields every edge. No
+//     dynamic threshold (unbounded failure locality) and no cycle
+//     breaking (a priority cycle in the initial state deadlocks it).
+//   - NoYield: the paper's algorithm without the leave action — shows the
+//     dynamic threshold is what buys failure locality 2.
+//   - NoDepth: the paper's algorithm without fixdepth/depth-triggered
+//     exit — shows the depth mechanism is what buys stabilization.
+package baseline
+
+import (
+	"mcdp/internal/core"
+)
+
+// Hygienic action IDs.
+const (
+	HygienicJoin core.ActionID = iota
+	HygienicEnter
+	HygienicExit
+)
+
+// Hygienic is the classic priority-based diners algorithm. The zero value
+// is ready to use.
+type Hygienic struct{}
+
+var _ core.Algorithm = Hygienic{}
+
+// NewHygienic returns the classic baseline.
+func NewHygienic() Hygienic { return Hygienic{} }
+
+// Name implements core.Algorithm.
+func (Hygienic) Name() string { return "hygienic" }
+
+// Actions implements core.Algorithm.
+func (Hygienic) Actions() []core.ActionSpec {
+	return []core.ActionSpec{
+		{Name: "join"},
+		{Name: "enter"},
+		{Name: "exit"},
+	}
+}
+
+// Enabled implements core.Algorithm.
+func (Hygienic) Enabled(v core.View, a core.ActionID) bool {
+	switch a {
+	case HygienicJoin:
+		return v.Needs() && v.State() == core.Thinking
+	case HygienicEnter:
+		if v.State() != core.Hungry {
+			return false
+		}
+		for _, q := range v.Neighbors() {
+			switch v.NeighborState(q) {
+			case core.Eating:
+				return false
+			case core.Hungry:
+				if v.HasPriority(q) {
+					return false // q out-prioritizes us
+				}
+			}
+		}
+		return true
+	case HygienicExit:
+		return v.State() == core.Eating
+	default:
+		return false
+	}
+}
+
+// Apply implements core.Algorithm.
+func (Hygienic) Apply(e core.Effects, a core.ActionID) {
+	switch a {
+	case HygienicJoin:
+		e.SetState(core.Hungry)
+	case HygienicEnter:
+		e.SetState(core.Eating)
+	case HygienicExit:
+		e.SetState(core.Thinking)
+		for _, q := range e.Neighbors() {
+			e.YieldTo(q)
+		}
+	}
+}
+
+// NewNoYield returns the paper's algorithm with the dynamic threshold
+// (leave) removed. Re-exported from core for discoverability alongside
+// the other baselines.
+func NewNoYield() core.Algorithm { return core.NewNoYield() }
+
+// NewNoDepth returns the paper's algorithm with the cycle-breaking depth
+// machinery removed.
+func NewNoDepth() core.Algorithm { return core.NewNoDepth() }

@@ -1,0 +1,202 @@
+package baseline
+
+import (
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+	"mcdp/internal/workload"
+)
+
+func TestHygienicActions(t *testing.T) {
+	alg := NewHygienic()
+	if alg.Name() != "hygienic" {
+		t.Errorf("Name() = %q", alg.Name())
+	}
+	names := []string{"join", "enter", "exit"}
+	specs := alg.Actions()
+	if len(specs) != 3 {
+		t.Fatalf("Actions() = %d entries", len(specs))
+	}
+	for i, n := range names {
+		if specs[i].Name != n {
+			t.Errorf("action %d = %q, want %q", i, specs[i].Name, n)
+		}
+	}
+}
+
+func TestHygienicEveryoneEatsFaultFree(t *testing.T) {
+	w := sim.NewWorld(sim.Config{
+		Graph:     graph.Ring(6),
+		Algorithm: NewHygienic(),
+		Workload:  workload.AlwaysHungry(),
+		Seed:      5,
+	})
+	eats := make([]int, 6)
+	w.Observe(sim.ObserverFunc(func(w *sim.World, _ int64, c sim.Choice) {
+		if w.State(c.Proc) == core.Eating {
+			eats[c.Proc]++
+		}
+	}))
+	w.Run(6000)
+	for p, e := range eats {
+		if e < 5 {
+			t.Errorf("hygienic: process %d ate %d times, want >= 5", p, e)
+		}
+	}
+}
+
+func TestHygienicSafetyFaultFree(t *testing.T) {
+	w := sim.NewWorld(sim.Config{
+		Graph:     graph.Grid(3, 3),
+		Algorithm: NewHygienic(),
+		Workload:  workload.AlwaysHungry(),
+		Seed:      7,
+	})
+	w.Observe(sim.ObserverFunc(func(w *sim.World, _ int64, _ sim.Choice) {
+		if len(spec.EatingPairs(w)) != 0 {
+			t.Error("hygienic violated safety in a fault-free run")
+		}
+	}))
+	w.Run(5000)
+}
+
+func TestHygienicDeadlocksOnPriorityCycle(t *testing.T) {
+	// A priority cycle in the initial state deadlocks the classic
+	// algorithm: every hungry process waits for its ancestor. This is
+	// why stabilization needs the depth machinery.
+	w := sim.NewWorld(sim.Config{
+		Graph:     graph.Ring(4),
+		Algorithm: NewHygienic(),
+		Workload:  workload.AlwaysHungry(),
+		Seed:      9,
+	})
+	for i := 0; i < 4; i++ {
+		w.SetPriority(graph.ProcID(i), graph.ProcID((i+1)%4), graph.ProcID(i))
+		w.SetState(graph.ProcID(i), core.Hungry)
+	}
+	ate := false
+	w.Observe(sim.ObserverFunc(func(w *sim.World, _ int64, c sim.Choice) {
+		if w.State(c.Proc) == core.Eating {
+			ate = true
+		}
+	}))
+	w.Run(5000)
+	if ate {
+		t.Error("hygienic should deadlock on a priority cycle, but someone ate")
+	}
+}
+
+func TestMCDPRecoversFromSamePriorityCycle(t *testing.T) {
+	// Contrast with the above: the paper's algorithm breaks the cycle via
+	// the depth machinery and everyone eventually eats.
+	g := graph.Ring(4)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Seed:             9,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	for i := 0; i < 4; i++ {
+		w.SetPriority(graph.ProcID(i), graph.ProcID((i+1)%4), graph.ProcID(i))
+		w.SetState(graph.ProcID(i), core.Hungry)
+	}
+	eats := make([]bool, 4)
+	w.Observe(sim.ObserverFunc(func(w *sim.World, _ int64, c sim.Choice) {
+		if !c.Malicious() && w.State(c.Proc) == core.Eating {
+			eats[c.Proc] = true
+		}
+	}))
+	w.Run(20000)
+	for p, ok := range eats {
+		if !ok {
+			t.Errorf("mcdp: process %d never ate after cycle injection", p)
+		}
+	}
+}
+
+func TestHygienicUnboundedFailureLocality(t *testing.T) {
+	// On a path with a crash at one end while eating, the classic
+	// algorithm lets the whole chain starve when priorities point away
+	// from the crash: 0 eats forever (dead), 1 waits for 0, 2 waits for
+	// 1, ... Arrange priorities so each i+1 yields to i (arrows i ->
+	// i+1: lower ID has priority, the default) and everyone hungry.
+	const n = 8
+	w := sim.NewWorld(sim.Config{
+		Graph:     graph.Path(n),
+		Algorithm: NewHygienic(),
+		Workload:  workload.AlwaysHungry(),
+		Seed:      3,
+	})
+	w.SetState(0, core.Eating)
+	w.Kill(0)
+	lastEat := make([]int64, n)
+	for i := range lastEat {
+		lastEat[i] = -1
+	}
+	w.Observe(sim.ObserverFunc(func(w *sim.World, step int64, c sim.Choice) {
+		if w.State(c.Proc) == core.Eating {
+			lastEat[c.Proc] = step
+		}
+	}))
+	const budget = 60000
+	w.Run(budget)
+	// The starvation CASCADES: 1 parks hungry forever (blocked by the
+	// dead eater and unable to yield), which eventually blocks 2, whose
+	// permanent hunger eventually blocks 3 (once 3's exit hands the edge
+	// priority back to 2), and so on down the whole chain. Every process
+	// eats only finitely often, so in the tail of a long run nobody eats
+	// — unbounded failure locality. Assert: no eats in the last half.
+	for p := 1; p < n; p++ {
+		if lastEat[p] >= budget/2 {
+			t.Errorf("process %d still ate at step %d; classic chain should have starved it",
+				p, lastEat[p])
+		}
+	}
+}
+
+func TestMCDPLocalityTwoOnSameScenario(t *testing.T) {
+	// Contrast: the paper's algorithm on the identical crash keeps every
+	// process at distance >= 2 eating forever — the dynamic threshold
+	// parks process 1 at Thinking instead of letting it block the chain.
+	const n = 8
+	g := graph.Path(n)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Seed:             3,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	w.SetState(0, core.Eating)
+	w.Kill(0)
+	lastEat := make([]int64, n)
+	for i := range lastEat {
+		lastEat[i] = -1
+	}
+	w.Observe(sim.ObserverFunc(func(w *sim.World, step int64, c sim.Choice) {
+		if !c.Malicious() && w.State(c.Proc) == core.Eating {
+			lastEat[c.Proc] = step
+		}
+	}))
+	const budget = 60000
+	w.Run(budget)
+	for p := 2; p < n; p++ {
+		if lastEat[p] < budget/2 {
+			t.Errorf("process %d (distance %d) stopped eating (last at %d); locality must be 2",
+				p, p, lastEat[p])
+		}
+	}
+}
+
+func TestNoYieldReexport(t *testing.T) {
+	if NewNoYield().Name() != "noyield" {
+		t.Error("NewNoYield miswired")
+	}
+	if NewNoDepth().Name() != "nodepth" {
+		t.Error("NewNoDepth miswired")
+	}
+}

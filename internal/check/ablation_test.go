@@ -1,0 +1,95 @@
+package check
+
+import (
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/spec"
+)
+
+// The ablation checks verify EXHAUSTIVELY what E5 measures by sampling:
+// without the depth machinery, a quiet system cannot break priority
+// cycles from some states, under any daemon at all.
+
+func TestNoDepthCannotConvergeQuietExhaustive(t *testing.T) {
+	// nodepth, nobody hungry: states with a live priority cycle can
+	// never reach acyclicity — possible convergence (the weakest notion,
+	// existential over daemons) is violated.
+	s := NewSystem(graph.Ring(3), core.NewNoDepth(), Options{
+		Diameter: 2,
+		Hungry:   []bool{false, false, false},
+	})
+	res := s.CheckPossibleConvergence(LiftReader(spec.AcyclicModuloDead))
+	if res.Holds() {
+		t.Fatal("nodepth/quiet should have states that can never become acyclic")
+	}
+	t.Logf("nodepth quiet: %d/%d states can never reach NC", res.Total-res.Converging, res.Total)
+}
+
+func TestMCDPConvergesQuietExhaustive(t *testing.T) {
+	// The full algorithm under the same quiet regime: every state can
+	// reach acyclicity, and the fair daemon actually gets there.
+	s := NewSystem(graph.Ring(3), core.NewMCDP(), Options{
+		Diameter: 2,
+		Hungry:   []bool{false, false, false},
+	})
+	pc := s.CheckPossibleConvergence(LiftReader(spec.AcyclicModuloDead))
+	if !pc.Holds() {
+		t.Fatalf("mcdp/quiet: %d states cannot reach NC; samples %#x",
+			pc.Total-pc.Converging, pc.Stuck)
+	}
+	fc := s.CheckFairConvergence(LiftReader(spec.AcyclicModuloDead))
+	if !fc.Holds() {
+		t.Fatalf("mcdp/quiet fair daemon fails to reach NC from %d states", fc.Total-fc.Converged)
+	}
+}
+
+func TestNoDepthBusyCanConvergeExhaustive(t *testing.T) {
+	// With hunger, even nodepth CAN break cycles (eating exits
+	// re-orient edges) — possible convergence holds; what it lacks is
+	// the guarantee in the quiet regime above. This pins E5's
+	// busy-regime observation exhaustively.
+	s := NewSystem(graph.Ring(3), core.NewNoDepth(), Options{Diameter: 2})
+	res := s.CheckPossibleConvergence(LiftReader(spec.AcyclicModuloDead))
+	if !res.Holds() {
+		t.Fatalf("nodepth/busy: %d states can never reach NC", res.Total-res.Converging)
+	}
+}
+
+// TestNoYieldKeepsStabilizationExhaustive: the other ablation keeps the
+// depth machinery, so its stabilization to NC is intact (its deficiency
+// is the locality, which is a liveness property under crashes — see E1).
+func TestNoYieldKeepsStabilizationExhaustive(t *testing.T) {
+	s := NewSystem(graph.Ring(3), core.NewNoYield(), Options{
+		Diameter: 2,
+		Hungry:   []bool{false, false, false},
+	})
+	res := s.CheckFairConvergence(LiftReader(spec.AcyclicModuloDead))
+	if !res.Holds() {
+		t.Fatalf("noyield quiet fair daemon fails NC from %d states", res.Total-res.Converged)
+	}
+}
+
+// TestHungryOptionRestrictsJoin: the checker's Hungry option must gate
+// the join action exactly.
+func TestHungryOptionRestrictsJoin(t *testing.T) {
+	s := NewSystem(graph.Ring(3), core.NewMCDP(), Options{
+		Diameter: 2,
+		Hungry:   []bool{true, false, false},
+	})
+	w := s.Encode(
+		[]core.State{core.Thinking, core.Thinking, core.Thinking},
+		[]int{0, 1, 1}, // depths at fixpoint so fixdepth stays quiet
+		[]graph.ProcID{0, 0, 1},
+	)
+	joins := map[graph.ProcID]bool{}
+	for _, m := range s.Successors(w) {
+		if m.Action == core.ActionJoin {
+			joins[m.Proc] = true
+		}
+	}
+	if !joins[0] || joins[1] || joins[2] {
+		t.Errorf("join enabled for %v, want only process 0", joins)
+	}
+}

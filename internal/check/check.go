@@ -1,0 +1,224 @@
+// Package check is an explicit-state model checker for the diners
+// algorithms on small instances. It enumerates the entire (finitely
+// abstracted) state space and verifies, exhaustively rather than by
+// sampling:
+//
+//   - closure of predicates such as the paper's invariant I (Lemmas 1-4):
+//     every transition from a state satisfying the predicate lands in a
+//     state satisfying it;
+//   - possible convergence: from every state some execution reaches the
+//     predicate (a backward fixpoint — its failure yields states from
+//     which convergence is impossible under any daemon, refuting
+//     stabilization outright);
+//   - convergence under a concrete weakly fair daemon (a deterministic
+//     phase-rotation rule), detecting fair livelocks exactly — this is
+//     the check that exhibits the paper's diameter-threshold gap on
+//     ring(4);
+//   - safety non-increase (Theorem 3): no transition from an I-state
+//     increases the number of eating neighbor pairs.
+//
+// Finite abstraction: the unbounded depth variable saturates at D+1.
+// Every guard of the algorithm only distinguishes depth values through
+// "depth > D" and "depth.p < depth.q + 1"; saturation preserves the former
+// exactly and under-approximates the latter only for values that already
+// exceed D, where exit is enabled and behavior no longer depends on the
+// exact magnitude.
+package check
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// Options configures a System.
+type Options struct {
+	// Diameter overrides the constant D known to processes (0 = the
+	// graph's true diameter).
+	Diameter int
+	// Hungry fixes needs():p per process; nil means everyone always
+	// needs to eat.
+	Hungry []bool
+	// Dead marks processes as crashed for the whole exploration; nil
+	// means everyone is live.
+	Dead []bool
+}
+
+// System is a finite-state diners instance ready for exhaustive
+// exploration.
+type System struct {
+	g   *graph.Graph
+	alg core.Algorithm
+	d   int // the constant D processes use
+	cap int // depth saturation value (d+1)
+
+	hungry []bool
+	dead   []bool
+
+	numActions int
+	stateBits  uint
+	depthBits  uint
+	procBits   uint
+	edgeOff    uint
+	totalBits  uint
+}
+
+// NewSystem builds a System for the graph and algorithm. It panics if the
+// encoded state does not fit in 64 bits (instances this small are the
+// tool's entire purpose).
+func NewSystem(g *graph.Graph, alg core.Algorithm, opts Options) *System {
+	s := &System{
+		g:          g,
+		alg:        alg,
+		d:          g.Diameter(),
+		hungry:     opts.Hungry,
+		dead:       opts.Dead,
+		numActions: len(alg.Actions()),
+	}
+	if opts.Diameter > 0 {
+		s.d = opts.Diameter
+	}
+	s.cap = s.d + 1
+	if s.hungry == nil {
+		s.hungry = make([]bool, g.N())
+		for i := range s.hungry {
+			s.hungry[i] = true
+		}
+	}
+	if s.dead == nil {
+		s.dead = make([]bool, g.N())
+	}
+	if len(s.hungry) != g.N() || len(s.dead) != g.N() {
+		panic("check: Hungry/Dead length must equal the process count")
+	}
+	s.stateBits = 2
+	s.depthBits = uint(bits.Len(uint(s.cap)))
+	s.procBits = s.stateBits + s.depthBits
+	s.edgeOff = uint(g.N()) * s.procBits
+	s.totalBits = s.edgeOff + uint(g.EdgeCount())
+	if s.totalBits > 64 {
+		panic(fmt.Sprintf("check: state space needs %d bits (> 64); use a smaller instance", s.totalBits))
+	}
+	return s
+}
+
+// NumStates returns the size of the encoded state space (including
+// unreachable encodings with state bits 0; Enumerate skips those).
+func (s *System) NumStates() uint64 { return 1 << s.totalBits }
+
+// Graph returns the system's topology.
+func (s *System) Graph() *graph.Graph { return s.g }
+
+// DiameterConst returns the constant D used by the processes.
+func (s *System) DiameterConst() int { return s.d }
+
+// DepthCap returns the saturation value of the depth abstraction.
+func (s *System) DepthCap() int { return s.cap }
+
+// Encode packs a concrete state. Depths are clamped to the cap; dining
+// states must be valid.
+func (s *System) Encode(states []core.State, depths []int, prios []graph.ProcID) uint64 {
+	var w uint64
+	for p := 0; p < s.g.N(); p++ {
+		if !states[p].Valid() {
+			panic(fmt.Sprintf("check: invalid dining state %d for process %d", states[p], p))
+		}
+		d := depths[p]
+		if d < 0 {
+			d = 0
+		}
+		if d > s.cap {
+			d = s.cap
+		}
+		off := uint(p) * s.procBits
+		w |= uint64(states[p]-1) << off
+		w |= uint64(d) << (off + s.stateBits)
+	}
+	for i, e := range s.g.Edges() {
+		if prios[i] == e.B {
+			w |= 1 << (s.edgeOff + uint(i))
+		} else if prios[i] != e.A {
+			panic(fmt.Sprintf("check: priority %d is not an endpoint of %v", prios[i], e))
+		}
+	}
+	return w
+}
+
+// State gives read access to one encoded state; it implements
+// sim.StateReader and core.View/Effects mechanics for the checker.
+type State struct {
+	sys *System
+	w   uint64
+}
+
+// DecodeState wraps an encoded word for inspection.
+func (s *System) DecodeState(w uint64) *State { return &State{sys: s, w: w} }
+
+// Word returns the encoded representation.
+func (st *State) Word() uint64 { return st.w }
+
+// Graph implements sim.StateReader.
+func (st *State) Graph() *graph.Graph { return st.sys.g }
+
+// DiameterConst implements sim.StateReader.
+func (st *State) DiameterConst() int { return st.sys.d }
+
+// State implements sim.StateReader.
+func (st *State) State(p graph.ProcID) core.State {
+	off := uint(p) * st.sys.procBits
+	return core.State((st.w>>off)&3) + 1
+}
+
+// Depth implements sim.StateReader.
+func (st *State) Depth(p graph.ProcID) int {
+	off := uint(p)*st.sys.procBits + st.sys.stateBits
+	return int((st.w >> off) & ((1 << st.sys.depthBits) - 1))
+}
+
+// Dead implements sim.StateReader.
+func (st *State) Dead(p graph.ProcID) bool { return st.sys.dead[p] }
+
+// Priority implements sim.StateReader.
+func (st *State) Priority(e graph.Edge) graph.ProcID {
+	i := st.sys.g.EdgeIndex(e.A, e.B)
+	if i < 0 {
+		panic(fmt.Sprintf("check: no edge %v", e))
+	}
+	if st.w>>(st.sys.edgeOff+uint(i))&1 == 1 {
+		return e.B
+	}
+	return e.A
+}
+
+// valid reports whether every process's state bits decode to a legal
+// dining state (encoding 3, i.e. raw bits 11, is unused).
+func (s *System) valid(w uint64) bool {
+	for p := 0; p < s.g.N(); p++ {
+		off := uint(p) * s.procBits
+		if (w>>off)&3 == 3 {
+			return false
+		}
+		d := int(w >> (off + s.stateBits) & ((1 << s.depthBits) - 1))
+		if d > s.cap {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerate calls fn for every valid encoded state. fn returning false
+// stops the walk early; Enumerate reports whether it ran to completion.
+func (s *System) Enumerate(fn func(w uint64) bool) bool {
+	total := s.NumStates()
+	for w := uint64(0); w < total; w++ {
+		if !s.valid(w) {
+			continue
+		}
+		if !fn(w) {
+			return false
+		}
+	}
+	return true
+}

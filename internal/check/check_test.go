@@ -1,0 +1,276 @@
+package check
+
+import (
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+)
+
+func ring3(d int) *System {
+	return NewSystem(graph.Ring(3), core.NewMCDP(), Options{Diameter: d})
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := ring3(2)
+	states := []core.State{core.Hungry, core.Eating, core.Thinking}
+	depths := []int{2, 0, 1}
+	prios := []graph.ProcID{1, 0, 2} // edges (0,1),(0,2),(1,2)
+	w := s.Encode(states, depths, prios)
+	st := s.DecodeState(w)
+	for p := 0; p < 3; p++ {
+		if st.State(graph.ProcID(p)) != states[p] {
+			t.Errorf("state[%d] = %v, want %v", p, st.State(graph.ProcID(p)), states[p])
+		}
+		if st.Depth(graph.ProcID(p)) != depths[p] {
+			t.Errorf("depth[%d] = %d, want %d", p, st.Depth(graph.ProcID(p)), depths[p])
+		}
+	}
+	for i, e := range s.Graph().Edges() {
+		if st.Priority(e) != prios[i] {
+			t.Errorf("priority[%v] = %d, want %d", e, st.Priority(e), prios[i])
+		}
+	}
+	if st.Word() != w {
+		t.Error("Word() mismatch")
+	}
+}
+
+func TestEncodeClampsDepth(t *testing.T) {
+	s := ring3(2) // cap = 3
+	w := s.Encode(
+		[]core.State{core.Thinking, core.Thinking, core.Thinking},
+		[]int{99, -5, 0},
+		[]graph.ProcID{0, 0, 1},
+	)
+	st := s.DecodeState(w)
+	if st.Depth(0) != 3 {
+		t.Errorf("over-cap depth = %d, want 3 (saturated)", st.Depth(0))
+	}
+	if st.Depth(1) != 0 {
+		t.Errorf("negative depth = %d, want 0", st.Depth(1))
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	s := ring3(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode with invalid state must panic")
+		}
+	}()
+	s.Encode([]core.State{0, core.Thinking, core.Thinking}, []int{0, 0, 0}, []graph.ProcID{0, 0, 1})
+}
+
+func TestNewSystemRejectsHugeInstances(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for > 64-bit state")
+		}
+	}()
+	NewSystem(graph.Complete(10), core.NewMCDP(), Options{})
+}
+
+func TestEnumerateCountsValidStates(t *testing.T) {
+	s := ring3(1) // cap = 2: depth values 0..2 of 4 encodings; states 3 of 4
+	var count uint64
+	s.Enumerate(func(uint64) bool { count++; return true })
+	want := uint64(3*3) * (3 * 3) * (3 * 3) * 8 // (3 states * 3 depths)^3 * 2^3 edges
+	if count != want {
+		t.Errorf("valid states = %d, want %d", count, want)
+	}
+}
+
+func TestSuccessorsMatchSimulator(t *testing.T) {
+	// The checker's transition function must agree with the simulator's
+	// enabled-set computation on the legitimate initial state.
+	g := graph.Ring(3)
+	s := NewSystem(g, core.NewMCDP(), Options{Diameter: 2})
+	w := sim.NewWorld(sim.Config{Graph: g, Algorithm: core.NewMCDP(), Seed: 1, DiameterOverride: 2})
+	enc := s.Encode(
+		[]core.State{core.Thinking, core.Thinking, core.Thinking},
+		[]int{0, 0, 0},
+		[]graph.ProcID{0, 0, 1}, // lower-ID ancestors, as NewWorld does
+	)
+	moves := s.Successors(enc)
+	simChoices := w.EnabledChoices(nil)
+	if len(moves) != len(simChoices) {
+		t.Fatalf("checker found %d moves, simulator %d", len(moves), len(simChoices))
+	}
+	seen := make(map[[2]int]bool)
+	for _, m := range moves {
+		seen[[2]int{int(m.Proc), int(m.Action)}] = true
+	}
+	for _, c := range simChoices {
+		if !seen[[2]int{int(c.Proc), int(c.Action)}] {
+			t.Errorf("simulator choice %+v missing from checker moves", c)
+		}
+	}
+}
+
+func TestDeadProcessesTakeNoSteps(t *testing.T) {
+	s := NewSystem(graph.Ring(3), core.NewMCDP(), Options{
+		Diameter: 2,
+		Dead:     []bool{false, true, false},
+	})
+	enc := s.Encode(
+		[]core.State{core.Thinking, core.Eating, core.Thinking},
+		[]int{0, 0, 0},
+		[]graph.ProcID{0, 0, 1},
+	)
+	for _, m := range s.Successors(enc) {
+		if m.Proc == 1 {
+			t.Errorf("dead process moved: %+v", m)
+		}
+	}
+}
+
+// TestClosureOfNC exhaustively verifies Lemma 1's closure half on ring(3):
+// acyclicity of the live priority graph is preserved by every transition.
+func TestClosureOfNC(t *testing.T) {
+	s := ring3(2)
+	res := s.CheckClosure(LiftReader(spec.AcyclicModuloDead))
+	if !res.Holds() {
+		t.Fatalf("NC closure violated: %v", res)
+	}
+	if res.Checked == 0 {
+		t.Fatal("no states checked")
+	}
+}
+
+// TestClosureOfInvariantWithSafeBound exhaustively verifies Theorem 1's
+// closure half (I = NC ∧ ST ∧ E is closed) on ring(3) with the safe depth
+// bound n-1 = 2.
+func TestClosureOfInvariantWithSafeBound(t *testing.T) {
+	s := ring3(2)
+	res := s.CheckClosure(LiftReader(func(r sim.StateReader) bool {
+		return spec.CheckInvariant(r).Holds()
+	}))
+	if !res.Holds() {
+		t.Fatalf("invariant closure violated: %v", res)
+	}
+	if res.Checked == 0 {
+		t.Fatal("no invariant states found")
+	}
+	t.Logf("I-states on ring(3), D=2: %d", res.Checked)
+}
+
+// TestSafetyNonIncrease exhaustively verifies Theorem 3 on ring(3): from
+// I-states the number of eating neighbor pairs never increases.
+func TestSafetyNonIncrease(t *testing.T) {
+	s := ring3(2)
+	res := s.CheckNonIncrease(
+		LiftReader(func(r sim.StateReader) bool { return spec.CheckInvariant(r).Holds() }),
+		func(st *State) int { return len(spec.EatingPairs(st)) },
+	)
+	if !res.Holds() {
+		t.Fatalf("eating-pair count increased: %+v", res.Violation)
+	}
+}
+
+// TestPossibleConvergenceSafeBound: with D = n-1, every state of ring(3)
+// can reach the invariant.
+func TestPossibleConvergenceSafeBound(t *testing.T) {
+	s := ring3(2)
+	res := s.CheckPossibleConvergence(LiftReader(func(r sim.StateReader) bool {
+		return spec.CheckInvariant(r).Holds()
+	}))
+	if !res.Holds() {
+		t.Fatalf("%d/%d states cannot reach I; sample stuck: %#x",
+			res.Total-res.Converging, res.Total, res.Stuck)
+	}
+}
+
+// TestFairConvergenceSafeBound: with D = n-1 the deterministic weakly
+// fair daemon converges to I from EVERY state of ring(3) — an exhaustive
+// stabilization proof for this instance (Theorem 1).
+func TestFairConvergenceSafeBound(t *testing.T) {
+	s := ring3(2)
+	res := s.CheckFairConvergence(LiftReader(func(r sim.StateReader) bool {
+		return spec.CheckInvariant(r).Holds()
+	}))
+	if !res.Holds() {
+		t.Fatalf("fair livelock with safe bound: %d/%d converged, samples %#x",
+			res.Converged, res.Total, res.Livelock)
+	}
+	t.Logf("ring(3), D=2: all %d states converge; max %d steps", res.Total, res.MaxSteps)
+}
+
+// TestFairLivelockWithDiameterBound pins the paper's gap exhaustively on
+// the smallest instance: with the literal D = diameter = 1 on ring(3),
+// the weakly fair daemon livelocks from some states (chain orientations
+// whose longest path, 2, exceeds D and triggers endless false-positive
+// cycle-breaking exits).
+func TestFairLivelockWithDiameterBound(t *testing.T) {
+	s := ring3(1)
+	res := s.CheckFairConvergence(LiftReader(func(r sim.StateReader) bool {
+		return spec.CheckInvariant(r).Holds()
+	}))
+	if res.Holds() {
+		t.Fatal("expected fair livelocks with D = diameter on ring(3); found none (gap fixed?)")
+	}
+	t.Logf("ring(3), D=1: %d/%d states livelock under the fair daemon",
+		res.Total-res.Converged, res.Total)
+}
+
+// TestLemma5RedClosureExhaustive verifies the paper's Lemma 5 on every
+// I-state of ring(3) with one dead process: once I holds, no red process
+// ever turns green again. (Red = the RD fixpoint of Section 3.)
+func TestLemma5RedClosureExhaustive(t *testing.T) {
+	s := NewSystem(graph.Ring(3), core.NewMCDP(), Options{
+		Diameter: 2,
+		Dead:     []bool{true, false, false},
+	})
+	res := s.CheckSetMonotone(
+		LiftReader(func(r sim.StateReader) bool { return spec.CheckInvariant(r).Holds() }),
+		func(st *State) []bool { return spec.RedProcs(st) },
+	)
+	if !res.Holds() {
+		t.Fatalf("Lemma 5 violated: a red process turned green: %+v", res.Violation)
+	}
+	if res.Checked == 0 {
+		t.Fatal("no I-states with a dead process found")
+	}
+	t.Logf("Lemma 5 checked over %d I-states", res.Checked)
+}
+
+// TestLemma5RedClosurePath4 repeats the Lemma 5 check on path(4) with a
+// dead endpoint — the topology where the red chain reaches distance 2.
+func TestLemma5RedClosurePath4(t *testing.T) {
+	s := NewSystem(graph.Path(4), core.NewMCDP(), Options{
+		Diameter: 3,
+		Dead:     []bool{true, false, false, false},
+	})
+	res := s.CheckSetMonotone(
+		LiftReader(func(r sim.StateReader) bool { return spec.CheckInvariant(r).Holds() }),
+		func(st *State) []bool { return spec.RedProcs(st) },
+	)
+	if !res.Holds() {
+		t.Fatalf("Lemma 5 violated on path(4): %+v", res.Violation)
+	}
+	t.Logf("Lemma 5 checked over %d I-states", res.Checked)
+}
+
+// TestInvariantUnsatisfiableWithDiameterBound sharpens the gap: with
+// D = diameter = 1 on ring(3), NO state satisfies the invariant at all —
+// every acyclic orientation of a triangle contains a 2-chain a->b->c,
+// which forces depth.a >= 2 > D for shallowness, contradicting
+// depth.a <= D. Stabilization to I is vacuously impossible.
+func TestInvariantUnsatisfiableWithDiameterBound(t *testing.T) {
+	s := ring3(1)
+	st := &State{sys: s}
+	found := false
+	s.Enumerate(func(w uint64) bool {
+		st.w = w
+		if spec.CheckInvariant(st).Holds() {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		t.Fatalf("an I-state exists on ring(3) with D=1: %#x", st.w)
+	}
+}

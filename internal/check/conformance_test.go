@@ -1,0 +1,131 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// TestCheckerSimulatorConformance differentially tests the two engines:
+// on random states of random small instances, the model checker's
+// transition function must enable exactly the (process, action) pairs
+// the simulator enables, and applying each must produce identical
+// states. This pins down that Figure 1 has a single semantics across
+// the codebase.
+func TestCheckerSimulatorConformance(t *testing.T) {
+	checkOne := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		switch rng.Intn(3) {
+		case 0:
+			g = graph.Ring(3 + rng.Intn(2))
+		case 1:
+			g = graph.Path(2 + rng.Intn(3))
+		default:
+			g = graph.Complete(3)
+		}
+		bound := g.N() - 1
+		sys := NewSystem(g, core.NewMCDP(), Options{Diameter: bound})
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			Seed:             seed,
+			DiameterOverride: bound,
+		})
+		// Random state (depths within the checker's cap so the two
+		// representations agree exactly).
+		states := make([]core.State, g.N())
+		depths := make([]int, g.N())
+		prios := make([]graph.ProcID, g.EdgeCount())
+		for p := 0; p < g.N(); p++ {
+			states[p] = core.State(rng.Intn(3) + 1)
+			depths[p] = rng.Intn(sys.DepthCap() + 1)
+			w.SetState(graph.ProcID(p), states[p])
+			w.SetDepth(graph.ProcID(p), depths[p])
+		}
+		for i, e := range g.Edges() {
+			if rng.Intn(2) == 0 {
+				prios[i] = e.A
+			} else {
+				prios[i] = e.B
+			}
+			w.SetPriority(e.A, e.B, prios[i])
+		}
+		enc := sys.Encode(states, depths, prios)
+
+		moves := sys.Successors(enc)
+		simChoices := w.EnabledChoices(nil)
+		if len(moves) != len(simChoices) {
+			t.Logf("enabled-set size differs: checker %d vs sim %d", len(moves), len(simChoices))
+			return false
+		}
+		bySlot := make(map[[2]int]uint64, len(moves))
+		for _, m := range moves {
+			bySlot[[2]int{int(m.Proc), int(m.Action)}] = m.Next
+		}
+		for _, c := range simChoices {
+			if _, ok := bySlot[[2]int{int(c.Proc), int(c.Action)}]; !ok {
+				t.Logf("sim enables %+v, checker does not", c)
+				return false
+			}
+		}
+		// Apply each enabled action in a fresh sim world and compare the
+		// resulting state with the checker's successor.
+		for _, m := range moves {
+			w2 := sim.NewWorld(sim.Config{
+				Graph:            g,
+				Algorithm:        core.NewMCDP(),
+				Seed:             seed,
+				DiameterOverride: bound,
+			})
+			for p := 0; p < g.N(); p++ {
+				w2.SetState(graph.ProcID(p), states[p])
+				w2.SetDepth(graph.ProcID(p), depths[p])
+			}
+			for i, e := range g.Edges() {
+				w2.SetPriority(e.A, e.B, prios[i])
+			}
+			// Force exactly this move via a single-choice scheduler.
+			w2ApplyMove(w2, m)
+			next := sys.DecodeState(m.Next)
+			for p := 0; p < g.N(); p++ {
+				pid := graph.ProcID(p)
+				if w2.State(pid) != next.State(pid) {
+					t.Logf("state[%d] differs after %+v: sim %v vs checker %v",
+						p, m, w2.State(pid), next.State(pid))
+					return false
+				}
+				simDepth := w2.Depth(pid)
+				if simDepth > sys.DepthCap() {
+					simDepth = sys.DepthCap() // the checker saturates
+				}
+				if simDepth != next.Depth(pid) {
+					t.Logf("depth[%d] differs after %+v: sim %d vs checker %d",
+						p, m, w2.Depth(pid), next.Depth(pid))
+					return false
+				}
+			}
+			for _, e := range g.Edges() {
+				if w2.Priority(e) != next.Priority(e) {
+					t.Logf("priority[%v] differs after %+v", e, m)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(checkOne, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// w2ApplyMove executes exactly the given (proc, action) on the world.
+func w2ApplyMove(w *sim.World, m Move) {
+	if !w.StepChosen(sim.Choice{Proc: m.Proc, Action: m.Action}) {
+		panic("conformance: checker-enabled move rejected by the simulator")
+	}
+}

@@ -1,0 +1,86 @@
+package check
+
+import (
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// FuzzStateDecodeRobustness throws arbitrary 64-bit words at the decoder
+// paths: every word the validity filter accepts must decode to a legal
+// state whose Successors call neither panics nor produces invalid
+// successor encodings. Run with `go test -fuzz=FuzzStateDecode ./internal/check`
+// for open-ended fuzzing; the seed corpus runs in normal test mode.
+func FuzzStateDecodeRobustness(f *testing.F) {
+	sys := NewSystem(graph.Ring(3), core.NewMCDP(), Options{Diameter: 2})
+	f.Add(uint64(0))
+	f.Add(uint64(0xffffffffffffffff))
+	f.Add(sys.LegitimateState())
+	f.Add(uint64(0x123456789abcdef))
+	f.Fuzz(func(t *testing.T, w uint64) {
+		w &= sys.NumStates() - 1
+		if !sys.valid(w) {
+			return
+		}
+		st := sys.DecodeState(w)
+		for p := 0; p < 3; p++ {
+			if !st.State(graph.ProcID(p)).Valid() {
+				t.Fatalf("valid word %#x decoded to invalid dining state at %d", w, p)
+			}
+			if d := st.Depth(graph.ProcID(p)); d < 0 || d > sys.DepthCap() {
+				t.Fatalf("valid word %#x decoded to out-of-cap depth %d", w, d)
+			}
+		}
+		for _, m := range sys.Successors(w) {
+			if !sys.valid(m.Next) {
+				t.Fatalf("successor %#x of valid %#x is invalid", m.Next, w)
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip fuzzes the structured encoder inputs.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	sys := NewSystem(graph.Path(3), core.NewMCDP(), Options{Diameter: 2})
+	f.Add(uint8(1), uint8(2), uint8(3), uint8(0), uint8(1), uint8(2), false, true)
+	f.Fuzz(func(t *testing.T, s0, s1, s2, d0, d1, d2 uint8, p0, p1 bool) {
+		states := []core.State{
+			core.State(s0%3 + 1), core.State(s1%3 + 1), core.State(s2%3 + 1),
+		}
+		depths := []int{int(d0 % 4), int(d1 % 4), int(d2 % 4)}
+		edges := sys.Graph().Edges()
+		prios := make([]graph.ProcID, len(edges))
+		for i, e := range edges {
+			pick := p0
+			if i == 1 {
+				pick = p1
+			}
+			if pick {
+				prios[i] = e.B
+			} else {
+				prios[i] = e.A
+			}
+		}
+		w := sys.Encode(states, depths, prios)
+		st := sys.DecodeState(w)
+		for p := 0; p < 3; p++ {
+			pid := graph.ProcID(p)
+			if st.State(pid) != states[p] {
+				t.Fatalf("state[%d] round-trip: %v != %v", p, st.State(pid), states[p])
+			}
+			want := depths[p]
+			if want > sys.DepthCap() {
+				want = sys.DepthCap()
+			}
+			if st.Depth(pid) != want {
+				t.Fatalf("depth[%d] round-trip: %d != %d", p, st.Depth(pid), want)
+			}
+		}
+		for i, e := range edges {
+			if st.Priority(e) != prios[i] {
+				t.Fatalf("priority[%v] round-trip failed", e)
+			}
+		}
+	})
+}

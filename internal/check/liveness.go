@@ -1,0 +1,190 @@
+package check
+
+import (
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// FairLivenessResult reports an exhaustive liveness check under the
+// deterministic phase-rotation daemon.
+type FairLivenessResult struct {
+	// Total counts start states examined.
+	Total uint64
+	// Satisfied counts start states whose eventual behavior feeds every
+	// target process.
+	Satisfied uint64
+	// Starved holds up to 4 sample start states from which some target
+	// process does not eat infinitely often.
+	Starved []uint64
+}
+
+// Holds reports whether liveness held from every start state.
+func (r FairLivenessResult) Holds() bool { return r.Total == r.Satisfied }
+
+// CheckFairLiveness verifies, from EVERY valid state, that each process
+// with mustEat[p] set eats infinitely often in the execution of the
+// deterministic weakly fair daemon — i.e. it appears Eating in the
+// trajectory's terminal cycle. Because the daemon is deterministic, every
+// trajectory is a rho shape (finite prefix + cycle), so "infinitely
+// often" is decided exactly, with memoization across trajectories.
+//
+// This is the paper's Theorem 2 made exhaustive: pick mustEat as the
+// processes at distance >= 3 from every dead process (everyone when
+// nothing is dead) under an always-hungry workload.
+func (s *System) CheckFairLiveness(mustEat []bool) FairLivenessResult {
+	if len(mustEat) != s.g.N() {
+		panic("check: mustEat length must equal the process count")
+	}
+	slots := s.g.N() * s.numActions
+
+	type key struct {
+		w     uint64
+		phase int
+	}
+	// memo: terminal-cycle eater bitmap per (state, phase).
+	memo := make(map[key]uint32)
+	st := &State{sys: s}
+
+	eatersOf := func(w uint64) uint32 {
+		var bits uint32
+		st.w = w
+		for p := 0; p < s.g.N(); p++ {
+			if st.State(graph.ProcID(p)) == core.Eating {
+				bits |= 1 << uint(p)
+			}
+		}
+		return bits
+	}
+
+	next := func(k key) (key, bool) {
+		moves := s.Successors(k.w)
+		if len(moves) == 0 {
+			return key{}, false
+		}
+		best := moves[0]
+		bestDist := slots
+		for _, m := range moves {
+			slot := int(m.Proc)*s.numActions + int(m.Action)
+			dist := slot - k.phase
+			if dist < 0 {
+				dist += slots
+			}
+			if dist < bestDist {
+				bestDist = dist
+				best = m
+			}
+		}
+		return key{best.Next, (k.phase + bestDist + 1) % slots}, true
+	}
+
+	resolve := func(start key) uint32 {
+		var path []key
+		onPath := make(map[key]int)
+		k := start
+		var eaters uint32
+		for {
+			if v, ok := memo[k]; ok {
+				eaters = v
+				break
+			}
+			if idx, ok := onPath[k]; ok {
+				// Terminal cycle: states path[idx:]. Its eaters are the
+				// union of Eating occupancy over the cycle.
+				for _, ck := range path[idx:] {
+					eaters |= eatersOf(ck.w)
+				}
+				break
+			}
+			onPath[k] = len(path)
+			path = append(path, k)
+			nk, ok := next(k)
+			if !ok {
+				// Terminated: nobody eats ever after.
+				eaters = 0
+				break
+			}
+			k = nk
+		}
+		for _, pk := range path {
+			memo[pk] = eaters
+		}
+		return eaters
+	}
+
+	var want uint32
+	for p, m := range mustEat {
+		if m {
+			want |= 1 << uint(p)
+		}
+	}
+
+	var res FairLivenessResult
+	s.Enumerate(func(w uint64) bool {
+		res.Total++
+		if resolve(key{w, 0})&want == want {
+			res.Satisfied++
+		} else if len(res.Starved) < 4 {
+			res.Starved = append(res.Starved, w)
+		}
+		return true
+	})
+	return res
+}
+
+// ReachabilityResult reports an exhaustive safety check over the states
+// reachable from a start set under EVERY daemon (the full nondeterministic
+// transition relation).
+type ReachabilityResult struct {
+	// Reachable counts distinct reachable states.
+	Reachable uint64
+	// Violation, when nonzero, is a reachable state violating the
+	// predicate (with Found set).
+	Violation uint64
+	// Found reports whether a violation was found.
+	Found bool
+}
+
+// Holds reports whether every reachable state satisfied the predicate.
+func (r ReachabilityResult) Holds() bool { return !r.Found }
+
+// CheckReachable explores all states reachable from start under any
+// scheduling whatsoever and verifies pred on each.
+func (s *System) CheckReachable(start uint64, pred Predicate) ReachabilityResult {
+	var res ReachabilityResult
+	seen := map[uint64]struct{}{start: {}}
+	frontier := []uint64{start}
+	st := &State{sys: s}
+	for len(frontier) > 0 {
+		w := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		res.Reachable++
+		st.w = w
+		if !pred(st) {
+			res.Violation = w
+			res.Found = true
+			return res
+		}
+		for _, m := range s.Successors(w) {
+			if _, ok := seen[m.Next]; !ok {
+				seen[m.Next] = struct{}{}
+				frontier = append(frontier, m.Next)
+			}
+		}
+	}
+	return res
+}
+
+// LegitimateState encodes the canonical initial state: everyone
+// Thinking, depth zero, lower-ID endpoints holding priority.
+func (s *System) LegitimateState() uint64 {
+	states := make([]core.State, s.g.N())
+	depths := make([]int, s.g.N())
+	prios := make([]graph.ProcID, s.g.EdgeCount())
+	for p := range states {
+		states[p] = core.Thinking
+	}
+	for i, e := range s.g.Edges() {
+		prios[i] = e.A
+	}
+	return s.Encode(states, depths, prios)
+}

@@ -1,0 +1,184 @@
+package check
+
+import (
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+)
+
+// TestTheorem2FaultFreeExhaustive verifies liveness from EVERY state of
+// ring(3) (safe threshold, always hungry): each process eats infinitely
+// often under the deterministic weakly fair daemon.
+func TestTheorem2FaultFreeExhaustive(t *testing.T) {
+	s := NewSystem(graph.Ring(3), core.NewMCDP(), Options{Diameter: 2})
+	res := s.CheckFairLiveness([]bool{true, true, true})
+	if !res.Holds() {
+		t.Fatalf("liveness violated from %d/%d states; samples %#x",
+			res.Total-res.Satisfied, res.Total, res.Starved)
+	}
+	t.Logf("Theorem 2 (fault-free): every process eats infinitely often from all %d states", res.Total)
+}
+
+// TestTheorem2WithDeadProcessExhaustive verifies the crash-tolerant half
+// on path(4) with a dead endpoint: the process at distance 3 from the
+// crash eats infinitely often from EVERY state — including states where
+// the dead process is frozen mid-meal as a descendant (the worst case
+// for the locality).
+func TestTheorem2WithDeadProcessExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive liveness on path(4) is slow")
+	}
+	s := NewSystem(graph.Path(4), core.NewMCDP(), Options{
+		Diameter: 3,
+		Dead:     []bool{true, false, false, false},
+	})
+	res := s.CheckFairLiveness([]bool{false, false, false, true})
+	if !res.Holds() {
+		t.Fatalf("the distance-3 process starves from %d/%d states; samples %#x",
+			res.Total-res.Satisfied, res.Total, res.Starved)
+	}
+	t.Logf("Theorem 2 (crash): the distance-3 process eats infinitely often from all %d states", res.Total)
+}
+
+// TestDistanceTwoCanStarveExhaustively complements the theorem: with the
+// dead endpoint, the distance-2 process is NOT guaranteed — some states
+// (the dead-eating-descendant pattern) starve it, which is exactly the
+// boundary of the failure locality.
+func TestDistanceTwoCanStarveExhaustively(t *testing.T) {
+	s := NewSystem(graph.Path(4), core.NewMCDP(), Options{
+		Diameter: 3,
+		Dead:     []bool{true, false, false, false},
+	})
+	res := s.CheckFairLiveness([]bool{false, false, true, false})
+	if res.Holds() {
+		t.Fatal("expected some states to starve the distance-2 process (the locality boundary)")
+	}
+	t.Logf("distance-2 process starves from %d/%d states (allowed: inside the locality)",
+		res.Total-res.Satisfied, res.Total)
+}
+
+// TestReachableSafetyFromLegitimateStart verifies, under EVERY daemon
+// (full nondeterministic reachability), that no state reachable from the
+// legitimate initial state has two live neighbors eating.
+func TestReachableSafetyFromLegitimateStart(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Ring(3), graph.Ring(4), graph.Path(4)} {
+		s := NewSystem(g, core.NewMCDP(), Options{Diameter: g.N() - 1})
+		res := s.CheckReachable(s.LegitimateState(), LiftReader(spec.EatingExclusionHolds))
+		if !res.Holds() {
+			t.Errorf("%v: reachable state %#x violates eating exclusion", g, res.Violation)
+		}
+		if res.Reachable == 0 {
+			t.Errorf("%v: no states explored", g)
+		}
+		t.Logf("%v: %d states reachable from the legitimate start, all exclusion-safe", g, res.Reachable)
+	}
+}
+
+// TestReachableInvariantFromLegitimateStart: from the legitimate start,
+// every reachable state satisfies the full invariant I — the reachable
+// fragment never leaves the legitimate set at all.
+func TestReachableInvariantFromLegitimateStart(t *testing.T) {
+	g := graph.Ring(3)
+	s := NewSystem(g, core.NewMCDP(), Options{Diameter: 2})
+	res := s.CheckReachable(s.LegitimateState(), LiftReader(func(r sim.StateReader) bool {
+		return spec.CheckInvariant(r).Holds()
+	}))
+	if !res.Holds() {
+		t.Fatalf("reachable state %#x violates I", res.Violation)
+	}
+	t.Logf("ring(3): all %d reachable states satisfy I", res.Reachable)
+}
+
+// TestRedRadiusBoundExhaustive converts the sampled property test in
+// internal/spec into an exhaustive fact: over EVERY state of path(4)
+// with a dead endpoint, the red set never reaches beyond distance 2 of
+// the dead process, and every red process at distance exactly 2 is
+// Thinking.
+func TestRedRadiusBoundExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive red-radius sweep is slow")
+	}
+	g := graph.Path(4)
+	s := NewSystem(g, core.NewMCDP(), Options{
+		Diameter: 3,
+		Dead:     []bool{true, false, false, false},
+	})
+	st := &State{sys: s}
+	var checked uint64
+	ok := s.Enumerate(func(w uint64) bool {
+		st.w = w
+		checked++
+		red := spec.RedProcs(st)
+		for p, isRed := range red {
+			if !isRed {
+				continue
+			}
+			d := g.Dist(graph.ProcID(p), 0)
+			if d > 2 {
+				t.Errorf("state %#x: red process %d at distance %d", w, p, d)
+				return false
+			}
+			if d == 2 && st.State(graph.ProcID(p)) != core.Thinking {
+				t.Errorf("state %#x: distance-2 red process %d is %v, not Thinking",
+					w, p, st.State(graph.ProcID(p)))
+				return false
+			}
+		}
+		return true
+	})
+	if ok {
+		t.Logf("red radius <= 2 and distance-2 reds Thinking over all %d states", checked)
+	}
+}
+
+// TestRing4DiameterThresholdGapExhaustive confirms the livelock finding
+// on the instance where it was first observed: ring(4) with the paper's
+// D = diameter = 2 has states from which the invariant is unreachable
+// under ANY daemon — even though (unlike ring(3)) plenty of I-states
+// exist.
+func TestRing4DiameterThresholdGapExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive ring(4) sweep is slow")
+	}
+	s := NewSystem(graph.Ring(4), core.NewMCDP(), Options{
+		Diameter: 2,
+		Hungry:   []bool{false, false, false, false}, // the quiet regime
+	})
+	inv := LiftReader(func(r sim.StateReader) bool {
+		return spec.CheckInvariant(r).Holds()
+	})
+	// I-states exist on ring(4) with D=2 (diamond orientations)...
+	st := &State{sys: s}
+	var iStates uint64
+	s.Enumerate(func(w uint64) bool {
+		st.w = w
+		if inv(st) {
+			iStates++
+		}
+		return true
+	})
+	if iStates == 0 {
+		t.Fatal("expected some I-states on ring(4) with D=2 (diamond orientations)")
+	}
+	// ...yet possible convergence is violated: chain orientations cannot
+	// reach them.
+	res := s.CheckPossibleConvergence(inv)
+	if res.Holds() {
+		t.Fatal("expected unreachable-I states on quiet ring(4) with D=diameter")
+	}
+	t.Logf("ring(4), D=2, quiet: %d I-states exist, yet %d/%d states can never reach I",
+		iStates, res.Total-res.Converging, res.Total)
+}
+
+func TestCheckFairLivenessValidation(t *testing.T) {
+	s := NewSystem(graph.Ring(3), core.NewMCDP(), Options{Diameter: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong mustEat length")
+		}
+	}()
+	s.CheckFairLiveness([]bool{true})
+}

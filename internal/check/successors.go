@@ -1,0 +1,114 @@
+package check
+
+import (
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// checkView adapts one encoded state to core.View / core.Effects for a
+// single process. Writes mutate the scratch word, which Successors then
+// collects.
+type checkView struct {
+	sys *System
+	w   uint64
+	p   graph.ProcID
+}
+
+var _ core.Effects = (*checkView)(nil)
+
+func (v *checkView) ID() graph.ProcID { return v.p }
+
+func (v *checkView) Needs() bool { return v.sys.hungry[v.p] }
+
+func (v *checkView) State() core.State { return v.stateOf(v.p) }
+
+func (v *checkView) Depth() int { return v.depthOf(v.p) }
+
+func (v *checkView) Diameter() int { return v.sys.d }
+
+func (v *checkView) Neighbors() []graph.ProcID { return v.sys.g.Neighbors(v.p) }
+
+func (v *checkView) NeighborState(q graph.ProcID) core.State { return v.stateOf(q) }
+
+func (v *checkView) NeighborDepth(q graph.ProcID) int { return v.depthOf(q) }
+
+func (v *checkView) HasPriority(q graph.ProcID) bool {
+	i := v.sys.g.EdgeIndex(v.p, q)
+	e := v.sys.g.Edges()[i]
+	anc := e.A
+	if v.w>>(v.sys.edgeOff+uint(i))&1 == 1 {
+		anc = e.B
+	}
+	return anc == q
+}
+
+func (v *checkView) stateOf(p graph.ProcID) core.State {
+	off := uint(p) * v.sys.procBits
+	return core.State((v.w>>off)&3) + 1
+}
+
+func (v *checkView) depthOf(p graph.ProcID) int {
+	off := uint(p)*v.sys.procBits + v.sys.stateBits
+	return int(v.w >> off & ((1 << v.sys.depthBits) - 1))
+}
+
+func (v *checkView) SetState(s core.State) {
+	off := uint(v.p) * v.sys.procBits
+	v.w = v.w&^(3<<off) | uint64(s-1)<<off
+}
+
+// SetDepth clamps to the saturation cap (the finite abstraction).
+func (v *checkView) SetDepth(d int) {
+	if d < 0 {
+		d = 0
+	}
+	if d > v.sys.cap {
+		d = v.sys.cap
+	}
+	off := uint(v.p)*v.sys.procBits + v.sys.stateBits
+	mask := uint64((1<<v.sys.depthBits)-1) << off
+	v.w = v.w&^mask | uint64(d)<<off
+}
+
+func (v *checkView) YieldTo(q graph.ProcID) {
+	i := v.sys.g.EdgeIndex(v.p, q)
+	e := v.sys.g.Edges()[i]
+	bit := uint64(1) << (v.sys.edgeOff + uint(i))
+	if e.B == q {
+		v.w |= bit
+	} else {
+		v.w &^= bit
+	}
+}
+
+// Move is one transition: process p executed action a.
+type Move struct {
+	// Proc is the acting process.
+	Proc graph.ProcID
+	// Action is the executed action.
+	Action core.ActionID
+	// Next is the resulting encoded state.
+	Next uint64
+}
+
+// Successors returns every transition enabled in state w (one per enabled
+// (live process, action) pair). Dead processes take no steps.
+func (s *System) Successors(w uint64) []Move {
+	var moves []Move
+	v := checkView{sys: s}
+	for p := 0; p < s.g.N(); p++ {
+		if s.dead[p] {
+			continue
+		}
+		for a := 0; a < s.numActions; a++ {
+			v.w = w
+			v.p = graph.ProcID(p)
+			if !s.alg.Enabled(&v, core.ActionID(a)) {
+				continue
+			}
+			s.alg.Apply(&v, core.ActionID(a))
+			moves = append(moves, Move{Proc: graph.ProcID(p), Action: core.ActionID(a), Next: v.w})
+		}
+	}
+	return moves
+}

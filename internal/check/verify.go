@@ -1,0 +1,312 @@
+package check
+
+import (
+	"fmt"
+
+	"mcdp/internal/sim"
+)
+
+// Predicate classifies encoded states, typically by lifting an
+// internal/spec check through DecodeState.
+type Predicate func(st *State) bool
+
+// LiftReader lifts a sim.StateReader predicate to the checker.
+func LiftReader(pred func(r sim.StateReader) bool) Predicate {
+	return func(st *State) bool { return pred(st) }
+}
+
+// ClosureResult reports a closure check.
+type ClosureResult struct {
+	// Checked counts states satisfying the predicate.
+	Checked uint64
+	// Violation, when non-nil, is a transition leaving the predicate.
+	Violation *ClosureViolation
+}
+
+// ClosureViolation is a counterexample to closure.
+type ClosureViolation struct {
+	// From is a state satisfying the predicate.
+	From uint64
+	// Move leaves the predicate.
+	Move Move
+}
+
+// Holds reports whether closure was verified.
+func (r ClosureResult) Holds() bool { return r.Violation == nil }
+
+// String implements fmt.Stringer.
+func (r ClosureResult) String() string {
+	if r.Holds() {
+		return fmt.Sprintf("closure holds over %d states", r.Checked)
+	}
+	return fmt.Sprintf("closure violated: state %#x --%d/%d--> %#x",
+		r.Violation.From, r.Violation.Move.Proc, r.Violation.Move.Action, r.Violation.Move.Next)
+}
+
+// CheckClosure exhaustively verifies that pred is closed under every
+// transition: for all states s with pred(s), every successor satisfies
+// pred.
+func (s *System) CheckClosure(pred Predicate) ClosureResult {
+	var res ClosureResult
+	st := &State{sys: s}
+	nxt := &State{sys: s}
+	s.Enumerate(func(w uint64) bool {
+		st.w = w
+		if !pred(st) {
+			return true
+		}
+		res.Checked++
+		for _, m := range s.Successors(w) {
+			nxt.w = m.Next
+			if !pred(nxt) {
+				res.Violation = &ClosureViolation{From: w, Move: m}
+				return false
+			}
+		}
+		return true
+	})
+	return res
+}
+
+// ConvergenceResult reports a possible-convergence check.
+type ConvergenceResult struct {
+	// Total counts valid states.
+	Total uint64
+	// Converging counts states from which some path reaches the
+	// predicate.
+	Converging uint64
+	// Stuck holds up to 8 sample states from which the predicate is
+	// unreachable under ANY daemon.
+	Stuck []uint64
+}
+
+// Holds reports whether every state can reach the predicate.
+func (r ConvergenceResult) Holds() bool { return r.Total == r.Converging }
+
+// CheckPossibleConvergence verifies that from every valid state some
+// execution reaches pred: the backward reachability fixpoint of pred
+// under the transition relation covers the state space. Its failure is a
+// hard refutation of stabilization (no daemon, fair or not, can converge
+// from the stuck states).
+func (s *System) CheckPossibleConvergence(pred Predicate) ConvergenceResult {
+	good := make(map[uint64]bool)
+	st := &State{sys: s}
+	var all []uint64
+	s.Enumerate(func(w uint64) bool {
+		all = append(all, w)
+		st.w = w
+		if pred(st) {
+			good[w] = true
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, w := range all {
+			if good[w] {
+				continue
+			}
+			for _, m := range s.Successors(w) {
+				if good[m.Next] {
+					good[w] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	res := ConvergenceResult{Total: uint64(len(all))}
+	for _, w := range all {
+		if good[w] {
+			res.Converging++
+		} else if len(res.Stuck) < 8 {
+			res.Stuck = append(res.Stuck, w)
+		}
+	}
+	return res
+}
+
+// FairConvergenceResult reports convergence under the deterministic
+// phase-rotation daemon.
+type FairConvergenceResult struct {
+	// Total counts valid start states.
+	Total uint64
+	// Converged counts start states whose fair execution reached the
+	// predicate.
+	Converged uint64
+	// MaxSteps is the longest convergence among converged states.
+	MaxSteps int
+	// Livelock holds up to 4 sample start states whose fair execution
+	// cycles without ever satisfying the predicate.
+	Livelock []uint64
+}
+
+// Holds reports whether every start state converged.
+func (r FairConvergenceResult) Holds() bool { return r.Total == r.Converged }
+
+// CheckFairConvergence runs, from every valid state, the deterministic
+// phase-rotation daemon — at step t it executes the enabled (process,
+// action) slot closest after phase t mod slots, which services every
+// continuously enabled slot within one rotation and is therefore weakly
+// fair — and reports whether pred is always reached. Executions are
+// finite-state in (state, phase), so livelocks are detected exactly, not
+// by timeout.
+func (s *System) CheckFairConvergence(pred Predicate) FairConvergenceResult {
+	slots := s.g.N() * s.numActions
+	var res FairConvergenceResult
+	st := &State{sys: s}
+
+	// The daemon is deterministic, so each (state, phase) pair has exactly
+	// one trajectory. Follow it iteratively; memoize outcomes, including
+	// the number of steps to convergence for MaxSteps.
+	type key struct {
+		w     uint64
+		phase int
+	}
+	const (
+		unknown uint8 = iota
+		converges
+		livelocks
+	)
+	memo := make(map[key]uint8)
+	steps := make(map[key]int)
+
+	runFrom := func(w uint64, phase int) (bool, int) {
+		var path []key
+		onPath := make(map[key]int) // key -> index in path
+		k := key{w, phase}
+		outcome := unknown
+		tail := 0 // steps from the first memoized/terminal point
+		for {
+			if v, ok := memo[k]; ok {
+				outcome = v
+				tail = steps[k]
+				break
+			}
+			if _, ok := onPath[k]; ok {
+				outcome = livelocks // revisited on this trajectory: cycle
+				break
+			}
+			st.w = k.w
+			if pred(st) {
+				outcome = converges
+				break
+			}
+			moves := s.Successors(k.w)
+			if len(moves) == 0 {
+				outcome = livelocks // terminated without satisfying pred
+				break
+			}
+			best := moves[0]
+			bestDist := slots
+			for _, m := range moves {
+				slot := int(m.Proc)*s.numActions + int(m.Action)
+				dist := slot - k.phase
+				if dist < 0 {
+					dist += slots
+				}
+				if dist < bestDist {
+					bestDist = dist
+					best = m
+				}
+			}
+			onPath[k] = len(path)
+			path = append(path, k)
+			k = key{best.Next, (k.phase + bestDist + 1) % slots}
+		}
+		// Record the outcome along the whole path.
+		memo[k] = outcome
+		if _, ok := steps[k]; !ok {
+			steps[k] = tail
+		}
+		for i := len(path) - 1; i >= 0; i-- {
+			memo[path[i]] = outcome
+			steps[path[i]] = steps[k] + (len(path) - i)
+		}
+		if outcome == converges {
+			return true, steps[key{w, phase}]
+		}
+		return false, 0
+	}
+
+	s.Enumerate(func(w uint64) bool {
+		res.Total++
+		if ok, n := runFrom(w, 0); ok {
+			res.Converged++
+			if n > res.MaxSteps {
+				res.MaxSteps = n
+			}
+		} else if len(res.Livelock) < 4 {
+			res.Livelock = append(res.Livelock, w)
+		}
+		return true
+	})
+	return res
+}
+
+// CountingResult reports a non-increase check.
+type CountingResult struct {
+	// Checked counts states examined.
+	Checked uint64
+	// Violation, when non-nil, is a transition that increased the count.
+	Violation *ClosureViolation
+}
+
+// Holds reports whether the quantity never increased.
+func (r CountingResult) Holds() bool { return r.Violation == nil }
+
+// CheckSetMonotone verifies that the per-process set never loses a
+// member across any transition out of states satisfying within: for all
+// such states s and successors s', set(s) ⊆ set(s'). This is the shape
+// of the paper's Lemma 5 (a red process never turns green while I
+// holds).
+func (s *System) CheckSetMonotone(within Predicate, set func(st *State) []bool) CountingResult {
+	var res CountingResult
+	st := &State{sys: s}
+	nxt := &State{sys: s}
+	s.Enumerate(func(w uint64) bool {
+		st.w = w
+		if !within(st) {
+			return true
+		}
+		res.Checked++
+		before := set(st)
+		for _, m := range s.Successors(w) {
+			nxt.w = m.Next
+			after := set(nxt)
+			for p := range before {
+				if before[p] && !after[p] {
+					res.Violation = &ClosureViolation{From: w, Move: m}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return res
+}
+
+// CheckNonIncrease verifies that the integer measure never increases
+// across any transition out of states satisfying within.
+func (s *System) CheckNonIncrease(within Predicate, measure func(st *State) int) CountingResult {
+	var res CountingResult
+	st := &State{sys: s}
+	nxt := &State{sys: s}
+	s.Enumerate(func(w uint64) bool {
+		st.w = w
+		if !within(st) {
+			return true
+		}
+		res.Checked++
+		before := measure(st)
+		for _, m := range s.Successors(w) {
+			nxt.w = m.Next
+			if measure(nxt) > before {
+				res.Violation = &ClosureViolation{From: w, Move: m}
+				return false
+			}
+		}
+		return true
+	})
+	return res
+}

@@ -1,0 +1,120 @@
+// Package core defines the guarded-command process model of Nesterenko &
+// Arora's "Dining Philosophers that Tolerate Malicious Crashes" (ICDCS
+// 2002) and implements the paper's algorithm (its Figure 1).
+//
+// A program is a set of processes joined by a symmetric neighbor relation.
+// Each process runs a fixed set of actions; an action is a guard (a
+// predicate over the process's own variables, its neighbors' state, and the
+// shared per-edge priority variables) and a command (assignments to the
+// process's own variables and restricted updates of the shared variables).
+// Execution is interleaving under a weakly fair daemon.
+//
+// The model is captured by three interfaces:
+//
+//   - View: what a process may read when evaluating a guard.
+//   - Effects: what a process may write when executing a command.
+//   - Algorithm: a diners algorithm as data — the simulator
+//     (internal/sim), the model checker (internal/check), and the
+//     message-passing runtime (internal/msgpass) all execute Algorithm
+//     values, so each algorithm is written exactly once.
+package core
+
+import "mcdp/internal/graph"
+
+// State is a philosopher's dining state: Thinking, Hungry, or Eating
+// (T, H, E in the paper).
+type State uint8
+
+// Dining states. The zero value is invalid so uninitialized memory is
+// detectable; a transient fault may of course still set any value.
+const (
+	Thinking State = iota + 1
+	Hungry
+	Eating
+)
+
+// Valid reports whether s is one of the three dining states.
+func (s State) Valid() bool { return s >= Thinking && s <= Eating }
+
+// String implements fmt.Stringer using the paper's single-letter names.
+func (s State) String() string {
+	switch s {
+	case Thinking:
+		return "T"
+	case Hungry:
+		return "H"
+	case Eating:
+		return "E"
+	default:
+		return "?"
+	}
+}
+
+// ActionID identifies one of an algorithm's actions. IDs are dense per
+// algorithm: 0..len(Actions())-1.
+type ActionID int
+
+// View is the read access a process has while evaluating guards: its own
+// variables, each neighbor's externally visible variables, and the shared
+// priority variable on each incident edge.
+type View interface {
+	// ID returns the process's own identifier.
+	ID() graph.ProcID
+	// Needs reports whether the process currently wants to eat
+	// (the paper's needs():p, which "evaluates to true arbitrarily").
+	Needs() bool
+	// State returns the process's own dining state.
+	State() State
+	// Depth returns the process's own depth variable.
+	Depth() int
+	// Diameter returns the system diameter D, known to every process.
+	Diameter() int
+	// Neighbors returns the process's neighbors. The slice must not be
+	// modified.
+	Neighbors() []graph.ProcID
+	// NeighborState returns neighbor q's dining state.
+	NeighborState(q graph.ProcID) State
+	// NeighborDepth returns neighbor q's depth variable.
+	NeighborDepth(q graph.ProcID) int
+	// HasPriority reports whether neighbor q is a direct ancestor of this
+	// process, i.e. the shared variable priority.p.q holds q (the edge is
+	// directed toward p).
+	HasPriority(q graph.ProcID) bool
+}
+
+// Effects is the write access a process has while executing a command. All
+// writes are restricted exactly as in the paper: a process may assign its
+// own state and depth, and may yield an incident edge (set priority.p.q :=
+// q); it can never seize priority.
+type Effects interface {
+	View
+	// SetState assigns the process's own dining state.
+	SetState(s State)
+	// SetDepth assigns the process's own depth variable.
+	SetDepth(d int)
+	// YieldTo sets priority.p.q := q for neighbor q, making q a direct
+	// ancestor of this process.
+	YieldTo(q graph.ProcID)
+}
+
+// ActionSpec describes one action of an algorithm.
+type ActionSpec struct {
+	// Name is the paper's action name, e.g. "join".
+	Name string
+}
+
+// Algorithm is a diners algorithm in the guarded-command model. An
+// Algorithm value is stateless and safe for concurrent use; all state
+// lives behind View/Effects.
+type Algorithm interface {
+	// Name identifies the algorithm, e.g. "mcdp".
+	Name() string
+	// Actions lists the algorithm's actions; ActionID i refers to
+	// Actions()[i].
+	Actions() []ActionSpec
+	// Enabled reports whether action a's guard holds in view v.
+	Enabled(v View, a ActionID) bool
+	// Apply executes action a's command. The engine calls Apply only when
+	// Enabled(v, a) is true in the same atomic step.
+	Apply(e Effects, a ActionID)
+}

@@ -1,0 +1,206 @@
+package core
+
+import "mcdp/internal/graph"
+
+// The five actions of the paper's Figure 1, in the paper's order.
+const (
+	ActionJoin ActionID = iota
+	ActionLeave
+	ActionEnter
+	ActionExit
+	ActionFixDepth
+
+	numMCDPActions = 5
+)
+
+// DepthChoice selects which descendant the fixdepth command copies from.
+// The paper's fixdepth nondeterministically picks any direct descendant q
+// with depth.q + 1 > depth.p; every resolution of the nondeterminism
+// stabilizes, and the engine exposes the common ones for ablation tests.
+type DepthChoice uint8
+
+// Resolutions of the fixdepth nondeterminism.
+const (
+	// DepthMax copies from the deepest qualifying descendant (default;
+	// fewest steps to detect a cycle).
+	DepthMax DepthChoice = iota + 1
+	// DepthMin copies from the shallowest qualifying descendant (slowest
+	// admissible resolution).
+	DepthMin
+	// DepthFirst copies from the first qualifying descendant in neighbor
+	// order.
+	DepthFirst
+)
+
+// MCDP is the paper's malicious-crash-tolerant dining philosophers
+// algorithm (Figure 1). The zero value is not useful; use NewMCDP.
+//
+// Feature toggles exist solely for the ablation baselines in
+// internal/baseline; NewMCDP returns the faithful algorithm with every
+// mechanism enabled.
+type MCDP struct {
+	name string
+	// disableLeave removes the dynamic-threshold action; failure locality
+	// becomes unbounded (baseline "noyield").
+	disableLeave bool
+	// disableDepth removes fixdepth and the depth.p > D disjunct of exit;
+	// the algorithm no longer stabilizes from states with priority cycles
+	// (baseline "nodepth").
+	disableDepth bool
+	choice       DepthChoice
+}
+
+var _ Algorithm = (*MCDP)(nil)
+
+// NewMCDP returns the faithful algorithm of the paper's Figure 1 with
+// fixdepth resolved by DepthMax.
+func NewMCDP() *MCDP { return &MCDP{name: "mcdp", choice: DepthMax} }
+
+// NewMCDPWithChoice returns the faithful algorithm with an explicit
+// resolution of the fixdepth nondeterminism.
+func NewMCDPWithChoice(c DepthChoice) *MCDP { return &MCDP{name: "mcdp", choice: c} }
+
+// NewNoYield returns the ablated variant without the leave action (no
+// dynamic threshold). Used as the unbounded-failure-locality baseline.
+func NewNoYield() *MCDP {
+	return &MCDP{name: "noyield", disableLeave: true, choice: DepthMax}
+}
+
+// NewNoDepth returns the ablated variant without cycle breaking (no
+// fixdepth, exit only from Eating). Used as the non-stabilizing baseline.
+func NewNoDepth() *MCDP {
+	return &MCDP{name: "nodepth", disableDepth: true, choice: DepthMax}
+}
+
+// Name implements Algorithm.
+func (m *MCDP) Name() string { return m.name }
+
+// Actions implements Algorithm. All variants expose the same five action
+// slots (disabled actions simply never enable) so that traces are
+// comparable across ablations.
+func (m *MCDP) Actions() []ActionSpec {
+	return []ActionSpec{
+		{Name: "join"},
+		{Name: "leave"},
+		{Name: "enter"},
+		{Name: "exit"},
+		{Name: "fixdepth"},
+	}
+}
+
+// Enabled implements Algorithm; each case is the corresponding guard of
+// Figure 1.
+func (m *MCDP) Enabled(v View, a ActionID) bool {
+	switch a {
+	case ActionJoin:
+		// needs():p ∧ state.p = T ∧ (∀q : priority.p.q = q : state.q = T)
+		return v.Needs() && v.State() == Thinking && m.ancestorsAllThinking(v)
+	case ActionLeave:
+		// state.p = H ∧ (∃q : priority.p.q = q : state.q ≠ T)
+		if m.disableLeave {
+			return false
+		}
+		return v.State() == Hungry && !m.ancestorsAllThinking(v)
+	case ActionEnter:
+		// state.p = H ∧ (∀q : priority.p.q = q : state.q = T)
+		//            ∧ (∀q : priority.p.q = p : state.q ≠ E)
+		return v.State() == Hungry && m.ancestorsAllThinking(v) && m.noDescendantEating(v)
+	case ActionExit:
+		// state.p = E ∨ depth.p > D
+		if v.State() == Eating {
+			return true
+		}
+		return !m.disableDepth && v.Depth() > v.Diameter()
+	case ActionFixDepth:
+		// ∃q : priority.p.q = p : depth.p < depth.q + 1
+		if m.disableDepth {
+			return false
+		}
+		_, ok := m.pickDescendant(v)
+		return ok
+	default:
+		return false
+	}
+}
+
+// Apply implements Algorithm; each case is the corresponding command of
+// Figure 1.
+func (m *MCDP) Apply(e Effects, a ActionID) {
+	switch a {
+	case ActionJoin:
+		e.SetState(Hungry)
+	case ActionLeave:
+		e.SetState(Thinking)
+	case ActionEnter:
+		e.SetState(Eating)
+	case ActionExit:
+		// state.p := T; depth.p := 0; (∀q :: priority.p.q := q)
+		e.SetState(Thinking)
+		e.SetDepth(0)
+		for _, q := range e.Neighbors() {
+			e.YieldTo(q)
+		}
+	case ActionFixDepth:
+		// depth.p := depth.q + 1 for a chosen qualifying descendant q.
+		if q, ok := m.pickDescendant(e); ok {
+			e.SetDepth(e.NeighborDepth(q) + 1)
+		}
+	}
+}
+
+// ancestorsAllThinking reports ∀q : priority.p.q = q : state.q = T.
+func (m *MCDP) ancestorsAllThinking(v View) bool {
+	for _, q := range v.Neighbors() {
+		if v.HasPriority(q) && v.NeighborState(q) != Thinking {
+			return false
+		}
+	}
+	return true
+}
+
+// noDescendantEating reports ∀q : priority.p.q = p : state.q ≠ E.
+func (m *MCDP) noDescendantEating(v View) bool {
+	for _, q := range v.Neighbors() {
+		if !v.HasPriority(q) && v.NeighborState(q) == Eating {
+			return false
+		}
+	}
+	return true
+}
+
+// pickDescendant resolves the fixdepth nondeterminism: among direct
+// descendants q with depth.p < depth.q + 1, it returns the one selected by
+// the configured DepthChoice, and whether any qualifies.
+func (m *MCDP) pickDescendant(v View) (graph.ProcID, bool) {
+	var (
+		best  graph.ProcID
+		found bool
+	)
+	for _, q := range v.Neighbors() {
+		if v.HasPriority(q) {
+			continue // q is an ancestor, not a descendant
+		}
+		dq := v.NeighborDepth(q)
+		if v.Depth() >= dq+1 {
+			continue
+		}
+		if !found {
+			best, found = q, true
+			if m.choice == DepthFirst {
+				return best, true
+			}
+			continue
+		}
+		switch m.choice {
+		case DepthMax:
+			if dq > v.NeighborDepth(best) {
+				best = q
+			}
+		case DepthMin:
+			if dq < v.NeighborDepth(best) {
+				best = q
+			}
+		}
+	}
+	return best, found
+}

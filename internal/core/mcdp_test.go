@@ -1,0 +1,472 @@
+package core
+
+import (
+	"testing"
+
+	"mcdp/internal/graph"
+)
+
+// fakeProc is a self-contained View/Effects for guard-level conformance
+// tests: it describes one process and its immediate neighborhood.
+type fakeProc struct {
+	id        graph.ProcID
+	needs     bool
+	state     State
+	depth     int
+	diam      int
+	neighbors []graph.ProcID
+	nstate    map[graph.ProcID]State
+	ndepth    map[graph.ProcID]int
+	ancestor  map[graph.ProcID]bool
+
+	gotStates []State
+	gotDepths []int
+	gotYields []graph.ProcID
+}
+
+func (f *fakeProc) ID() graph.ProcID                   { return f.id }
+func (f *fakeProc) Needs() bool                        { return f.needs }
+func (f *fakeProc) State() State                       { return f.state }
+func (f *fakeProc) Depth() int                         { return f.depth }
+func (f *fakeProc) Diameter() int                      { return f.diam }
+func (f *fakeProc) Neighbors() []graph.ProcID          { return f.neighbors }
+func (f *fakeProc) NeighborState(q graph.ProcID) State { return f.nstate[q] }
+func (f *fakeProc) NeighborDepth(q graph.ProcID) int   { return f.ndepth[q] }
+func (f *fakeProc) HasPriority(q graph.ProcID) bool    { return f.ancestor[q] }
+func (f *fakeProc) SetState(s State)                   { f.state = s; f.gotStates = append(f.gotStates, s) }
+func (f *fakeProc) SetDepth(d int)                     { f.depth = d; f.gotDepths = append(f.gotDepths, d) }
+func (f *fakeProc) YieldTo(q graph.ProcID) {
+	f.ancestor[q] = true
+	f.gotYields = append(f.gotYields, q)
+}
+
+// neighborhood builds a fakeProc with two neighbors, 1 and 2, on a system
+// of diameter 3.
+func neighborhood() *fakeProc {
+	return &fakeProc{
+		id:        0,
+		diam:      3,
+		neighbors: []graph.ProcID{1, 2},
+		nstate:    map[graph.ProcID]State{1: Thinking, 2: Thinking},
+		ndepth:    map[graph.ProcID]int{1: 0, 2: 0},
+		ancestor:  map[graph.ProcID]bool{1: false, 2: false},
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := []struct {
+		s    State
+		want string
+	}{
+		{Thinking, "T"},
+		{Hungry, "H"},
+		{Eating, "E"},
+		{State(0), "?"},
+		{State(77), "?"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("State(%d).String() = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestStateValid(t *testing.T) {
+	for s := State(0); s < 10; s++ {
+		want := s == Thinking || s == Hungry || s == Eating
+		if got := s.Valid(); got != want {
+			t.Errorf("State(%d).Valid() = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestMCDPActionsNamedLikeThePaper(t *testing.T) {
+	want := []string{"join", "leave", "enter", "exit", "fixdepth"}
+	specs := NewMCDP().Actions()
+	if len(specs) != len(want) {
+		t.Fatalf("Actions() has %d entries, want %d", len(specs), len(want))
+	}
+	for i, w := range want {
+		if specs[i].Name != w {
+			t.Errorf("Actions()[%d].Name = %q, want %q", i, specs[i].Name, w)
+		}
+	}
+}
+
+// TestJoinGuard checks: needs ∧ state=T ∧ all direct ancestors thinking.
+func TestJoinGuard(t *testing.T) {
+	alg := NewMCDP()
+	cases := []struct {
+		name   string
+		mutate func(f *fakeProc)
+		want   bool
+	}{
+		{"thinking, needs, no ancestors", func(f *fakeProc) {
+			f.needs = true
+			f.state = Thinking
+		}, true},
+		{"no need", func(f *fakeProc) {
+			f.state = Thinking
+		}, false},
+		{"already hungry", func(f *fakeProc) {
+			f.needs = true
+			f.state = Hungry
+		}, false},
+		{"eating", func(f *fakeProc) {
+			f.needs = true
+			f.state = Eating
+		}, false},
+		{"thinking ancestor ok", func(f *fakeProc) {
+			f.needs = true
+			f.state = Thinking
+			f.ancestor[1] = true
+		}, true},
+		{"hungry ancestor blocks", func(f *fakeProc) {
+			f.needs = true
+			f.state = Thinking
+			f.ancestor[1] = true
+			f.nstate[1] = Hungry
+		}, false},
+		{"eating ancestor blocks", func(f *fakeProc) {
+			f.needs = true
+			f.state = Thinking
+			f.ancestor[2] = true
+			f.nstate[2] = Eating
+		}, false},
+		{"hungry descendant does not block join", func(f *fakeProc) {
+			f.needs = true
+			f.state = Thinking
+			f.nstate[1] = Hungry // 1 is a descendant
+		}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := neighborhood()
+			c.mutate(f)
+			if got := alg.Enabled(f, ActionJoin); got != c.want {
+				t.Errorf("join enabled = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestJoinCommand(t *testing.T) {
+	f := neighborhood()
+	f.needs = true
+	f.state = Thinking
+	NewMCDP().Apply(f, ActionJoin)
+	if f.state != Hungry {
+		t.Errorf("after join state = %v, want H", f.state)
+	}
+	if len(f.gotDepths) != 0 || len(f.gotYields) != 0 {
+		t.Errorf("join must only set state; got depths=%v yields=%v", f.gotDepths, f.gotYields)
+	}
+}
+
+// TestLeaveGuard checks the dynamic threshold: hungry ∧ some direct
+// ancestor not thinking.
+func TestLeaveGuard(t *testing.T) {
+	alg := NewMCDP()
+	cases := []struct {
+		name   string
+		mutate func(f *fakeProc)
+		want   bool
+	}{
+		{"hungry, hungry ancestor", func(f *fakeProc) {
+			f.state = Hungry
+			f.ancestor[1] = true
+			f.nstate[1] = Hungry
+		}, true},
+		{"hungry, eating ancestor", func(f *fakeProc) {
+			f.state = Hungry
+			f.ancestor[1] = true
+			f.nstate[1] = Eating
+		}, true},
+		{"hungry, ancestors all thinking", func(f *fakeProc) {
+			f.state = Hungry
+			f.ancestor[1] = true
+			f.ancestor[2] = true
+		}, false},
+		{"hungry, no ancestors", func(f *fakeProc) {
+			f.state = Hungry
+		}, false},
+		{"thinking never leaves", func(f *fakeProc) {
+			f.state = Thinking
+			f.ancestor[1] = true
+			f.nstate[1] = Eating
+		}, false},
+		{"eating never leaves via leave", func(f *fakeProc) {
+			f.state = Eating
+			f.ancestor[1] = true
+			f.nstate[1] = Eating
+		}, false},
+		{"non-thinking descendant irrelevant", func(f *fakeProc) {
+			f.state = Hungry
+			f.nstate[1] = Eating // descendant
+		}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := neighborhood()
+			c.mutate(f)
+			if got := alg.Enabled(f, ActionLeave); got != c.want {
+				t.Errorf("leave enabled = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestLeaveCommand(t *testing.T) {
+	f := neighborhood()
+	f.state = Hungry
+	f.ancestor[1] = true
+	f.nstate[1] = Hungry
+	NewMCDP().Apply(f, ActionLeave)
+	if f.state != Thinking {
+		t.Errorf("after leave state = %v, want T", f.state)
+	}
+}
+
+// TestEnterGuard checks: hungry ∧ all direct ancestors thinking ∧ no
+// direct descendant eating.
+func TestEnterGuard(t *testing.T) {
+	alg := NewMCDP()
+	cases := []struct {
+		name   string
+		mutate func(f *fakeProc)
+		want   bool
+	}{
+		{"hungry, all clear", func(f *fakeProc) {
+			f.state = Hungry
+		}, true},
+		{"hungry, thinking ancestors", func(f *fakeProc) {
+			f.state = Hungry
+			f.ancestor[1] = true
+			f.ancestor[2] = true
+		}, true},
+		{"hungry ancestor blocks", func(f *fakeProc) {
+			f.state = Hungry
+			f.ancestor[1] = true
+			f.nstate[1] = Hungry
+		}, false},
+		{"eating descendant blocks", func(f *fakeProc) {
+			f.state = Hungry
+			f.nstate[2] = Eating
+		}, false},
+		{"hungry descendant does not block", func(f *fakeProc) {
+			f.state = Hungry
+			f.nstate[2] = Hungry
+		}, true},
+		{"not hungry", func(f *fakeProc) {
+			f.state = Thinking
+		}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := neighborhood()
+			c.mutate(f)
+			if got := alg.Enabled(f, ActionEnter); got != c.want {
+				t.Errorf("enter enabled = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestExitGuard checks: eating ∨ depth > D.
+func TestExitGuard(t *testing.T) {
+	alg := NewMCDP()
+	cases := []struct {
+		name  string
+		state State
+		depth int
+		want  bool
+	}{
+		{"eating", Eating, 0, true},
+		{"thinking, shallow", Thinking, 3, false},
+		{"thinking, deep", Thinking, 4, true},
+		{"hungry, deep", Hungry, 100, true},
+		{"hungry, exactly D", Hungry, 3, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := neighborhood()
+			f.state = c.state
+			f.depth = c.depth
+			if got := alg.Enabled(f, ActionExit); got != c.want {
+				t.Errorf("exit enabled = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestExitCommandYieldsEverything(t *testing.T) {
+	f := neighborhood()
+	f.state = Eating
+	f.depth = 2
+	NewMCDP().Apply(f, ActionExit)
+	if f.state != Thinking {
+		t.Errorf("after exit state = %v, want T", f.state)
+	}
+	if f.depth != 0 {
+		t.Errorf("after exit depth = %d, want 0", f.depth)
+	}
+	if len(f.gotYields) != 2 {
+		t.Fatalf("exit yielded to %v, want both neighbors", f.gotYields)
+	}
+	if !f.ancestor[1] || !f.ancestor[2] {
+		t.Errorf("after exit both neighbors must be ancestors; got %v", f.ancestor)
+	}
+}
+
+// TestFixDepthGuard checks: some direct descendant q with
+// depth.p < depth.q + 1.
+func TestFixDepthGuard(t *testing.T) {
+	alg := NewMCDP()
+	cases := []struct {
+		name   string
+		mutate func(f *fakeProc)
+		want   bool
+	}{
+		{"descendant deeper", func(f *fakeProc) {
+			f.depth = 0
+			f.ndepth[1] = 0 // 0 < 0+1
+		}, true},
+		{"depth already correct", func(f *fakeProc) {
+			f.depth = 1
+			f.ndepth[1] = 0
+			f.ndepth[2] = 0
+		}, false},
+		{"ancestor depth irrelevant", func(f *fakeProc) {
+			f.depth = 5
+			f.ancestor[1] = true
+			f.ancestor[2] = true
+			f.ndepth[1] = 50
+			f.ndepth[2] = 50
+		}, false},
+		{"one qualifying among two", func(f *fakeProc) {
+			f.depth = 3
+			f.ndepth[1] = 1
+			f.ndepth[2] = 7
+		}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := neighborhood()
+			c.mutate(f)
+			if got := alg.Enabled(f, ActionFixDepth); got != c.want {
+				t.Errorf("fixdepth enabled = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestFixDepthChoices(t *testing.T) {
+	cases := []struct {
+		name      string
+		choice    DepthChoice
+		wantDepth int
+	}{
+		{"max picks deepest", DepthMax, 8},
+		{"min picks shallowest qualifying", DepthMin, 4},
+		{"first picks neighbor order", DepthFirst, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := neighborhood()
+			f.depth = 2
+			f.ndepth[1] = 3 // qualifying: 2 < 4
+			f.ndepth[2] = 7 // qualifying: 2 < 8
+			alg := NewMCDPWithChoice(c.choice)
+			if !alg.Enabled(f, ActionFixDepth) {
+				t.Fatal("fixdepth should be enabled")
+			}
+			alg.Apply(f, ActionFixDepth)
+			if f.depth != c.wantDepth {
+				t.Errorf("after fixdepth depth = %d, want %d", f.depth, c.wantDepth)
+			}
+		})
+	}
+}
+
+func TestFixDepthSkipsNonQualifyingUnderMin(t *testing.T) {
+	// Descendant 1 is shallow enough not to qualify; min must pick 2.
+	f := neighborhood()
+	f.depth = 2
+	f.ndepth[1] = 1 // not qualifying: 2 >= 2
+	f.ndepth[2] = 9
+	alg := NewMCDPWithChoice(DepthMin)
+	alg.Apply(f, ActionFixDepth)
+	if f.depth != 10 {
+		t.Errorf("after fixdepth depth = %d, want 10", f.depth)
+	}
+}
+
+func TestNoYieldDisablesLeaveOnly(t *testing.T) {
+	alg := NewNoYield()
+	f := neighborhood()
+	f.state = Hungry
+	f.ancestor[1] = true
+	f.nstate[1] = Eating
+	if alg.Enabled(f, ActionLeave) {
+		t.Error("noyield variant must never enable leave")
+	}
+	// Other actions unaffected.
+	f2 := neighborhood()
+	f2.state = Eating
+	if !alg.Enabled(f2, ActionExit) {
+		t.Error("noyield variant must keep exit")
+	}
+	f3 := neighborhood()
+	f3.depth = 0
+	f3.ndepth[1] = 5
+	if !alg.Enabled(f3, ActionFixDepth) {
+		t.Error("noyield variant must keep fixdepth")
+	}
+}
+
+func TestNoDepthDisablesCycleBreaking(t *testing.T) {
+	alg := NewNoDepth()
+	f := neighborhood()
+	f.state = Thinking
+	f.depth = 100 // way past D
+	if alg.Enabled(f, ActionExit) {
+		t.Error("nodepth variant must not exit on depth overflow")
+	}
+	f.ndepth[1] = 50
+	if alg.Enabled(f, ActionFixDepth) {
+		t.Error("nodepth variant must not enable fixdepth")
+	}
+	f.state = Eating
+	if !alg.Enabled(f, ActionExit) {
+		t.Error("nodepth variant must keep exit-from-eating")
+	}
+}
+
+func TestUnknownActionNeverEnabled(t *testing.T) {
+	alg := NewMCDP()
+	f := neighborhood()
+	f.needs = true
+	f.state = Eating
+	if alg.Enabled(f, ActionID(99)) {
+		t.Error("unknown action must not be enabled")
+	}
+	if alg.Enabled(f, ActionID(-1)) {
+		t.Error("negative action must not be enabled")
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	cases := []struct {
+		alg  Algorithm
+		want string
+	}{
+		{NewMCDP(), "mcdp"},
+		{NewNoYield(), "noyield"},
+		{NewNoDepth(), "nodepth"},
+	}
+	for _, c := range cases {
+		if got := c.alg.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package drinkers
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+func TestEveryoneDrinksFaultFree(t *testing.T) {
+	g := graph.Ring(6)
+	d := New(Config{Graph: g, Seed: 1})
+	violations := 0
+	for i := 0; i < 30000; i++ {
+		d.Step()
+		violations += len(d.ConflictingDrinkers())
+	}
+	for p, n := range d.Drinks() {
+		if n == 0 {
+			t.Errorf("process %d never drank", p)
+		}
+	}
+	if violations != 0 {
+		t.Errorf("conflicting drinkers observed %d times", violations)
+	}
+}
+
+func TestDrinkersOnGridWithPartialSessions(t *testing.T) {
+	g := graph.Grid(3, 3)
+	d := New(Config{Graph: g, Sessions: NewRandomSessions(g, 0.5, 7), Seed: 7})
+	violations := 0
+	for i := 0; i < 40000; i++ {
+		d.Step()
+		violations += len(d.ConflictingDrinkers())
+	}
+	if violations != 0 {
+		t.Errorf("conflicting drinkers observed %d times", violations)
+	}
+	for p, n := range d.Drinks() {
+		if n == 0 {
+			t.Errorf("process %d never drank on the grid", p)
+		}
+	}
+}
+
+func TestAllBottlesDegeneratesToDiners(t *testing.T) {
+	g := graph.Ring(5)
+	d := New(Config{Graph: g, Sessions: AllBottles{g}, Seed: 3})
+	for i := 0; i < 20000; i++ {
+		d.Step()
+		// With full-bottle sessions, simultaneous neighbor drinking is
+		// outright forbidden.
+		for _, e := range g.Edges() {
+			if d.Drinking(e.A) && d.Drinking(e.B) {
+				t.Fatalf("neighbors %v drinking together under all-bottle sessions", e)
+			}
+		}
+	}
+	for p, n := range d.Drinks() {
+		if n == 0 {
+			t.Errorf("process %d never drank", p)
+		}
+	}
+}
+
+func TestDrinkersInheritFailureLocality(t *testing.T) {
+	// A malicious crash in the diners substrate: drinkers at distance
+	// >= 3 keep drinking, because arbitration failures stay local.
+	g := graph.Path(8)
+	d := New(Config{Graph: g, Sessions: AllBottles{g}, Seed: 5})
+	d.Run(2000)
+	d.World().CrashMaliciously(0, 20)
+	d.Run(20000)
+	mid := d.Drinks()
+	d.Run(40000)
+	final := d.Drinks()
+	for p := 3; p < g.N(); p++ {
+		if final[p] <= mid[p] {
+			t.Errorf("drinker %d (distance %d from the crash) stopped drinking", p, p)
+		}
+	}
+	violations := 0
+	for i := 0; i < 5000; i++ {
+		d.Step()
+		violations += len(d.ConflictingDrinkers())
+	}
+	if violations != 0 {
+		t.Errorf("conflicts after the crash: %d", violations)
+	}
+}
+
+func TestBottleExclusivity(t *testing.T) {
+	// Structural: each bottle has exactly one holder at all times.
+	g := graph.Complete(4)
+	d := New(Config{Graph: g, Seed: 9})
+	for i := 0; i < 5000; i++ {
+		d.Step()
+		for _, e := range g.Edges() {
+			h := d.Holder(e)
+			if h != e.A && h != e.B {
+				t.Fatalf("bottle %v held by non-endpoint %d", e, h)
+			}
+		}
+	}
+}
+
+// Property: on random graphs with random session subsets, no two
+// neighbors ever drink simultaneously from sessions sharing their
+// bottle, and on connected graphs everyone eventually drinks.
+func TestDrinkersSafetyProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(4+rng.Intn(6), 0.3, rng)
+		d := New(Config{
+			Graph:    g,
+			Sessions: NewRandomSessions(g, 0.3+rng.Float64()*0.6, seed),
+			Seed:     seed,
+		})
+		for i := 0; i < 8000; i++ {
+			d.Step()
+			if len(d.ConflictingDrinkers()) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without a graph must panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestWorldExposesSubstrate(t *testing.T) {
+	g := graph.Ring(4)
+	d := New(Config{Graph: g, Seed: 1})
+	if d.World() == nil {
+		t.Fatal("World() returned nil")
+	}
+	d.World().Kill(2)
+	d.Run(100)
+	if !d.World().Dead(2) {
+		t.Error("substrate kill did not stick")
+	}
+	if d.World().Status(2) != sim.Dead {
+		t.Error("status mismatch")
+	}
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/stats"
+)
+
+// E12MultiCrash reproduces the paper's "no limit on the number of
+// processes that can fail": k simultaneous malicious crashes are spread
+// around a large ring and a grid, and every starved process must lie
+// within distance 2 of SOME crash — the starved set is contained in the
+// union of the per-crash locality balls, however many crashes there are.
+func E12MultiCrash(seeds []int64) Result {
+	type tc struct {
+		g       *graph.Graph
+		victims []graph.ProcID
+	}
+	cases := []tc{
+		{graph.Ring(24), []graph.ProcID{0, 8, 16}},
+		{graph.Ring(48), []graph.ProcID{0, 12, 24, 36}},
+		{graph.Grid(6, 8), []graph.ProcID{0, 21, 26, 47}},
+		{graph.Ring(48), []graph.ProcID{0, 6, 12, 18, 24, 30, 36, 42}},
+	}
+	table := stats.NewTable(
+		"E12: k simultaneous malicious crashes (mcdp; max over seeds)",
+		"topology", "crashes", "starved outside all balls", "max dist to nearest crash", "far eaters kept eating",
+	)
+	for _, c := range cases {
+		worstOutside, worstDist := 0, -1
+		farOK := true
+		for _, seed := range seeds {
+			plan := sim.NewFaultPlan()
+			for _, v := range c.victims {
+				plan.Add(sim.FaultEvent{
+					Step: 500, Kind: sim.MaliciousCrash, Proc: v, ArbitrarySteps: 15,
+				})
+			}
+			out := measuredRun(runOpts{
+				g:      c.g,
+				alg:    core.NewMCDP(),
+				seed:   seed,
+				bound:  sim.SafeDepthBound(c.g),
+				budget: int64(c.g.N()) * 4000,
+				faults: plan,
+			})
+			outside, dist, far := out.multiCrashReport(c.victims)
+			if outside > worstOutside {
+				worstOutside = outside
+			}
+			if dist > worstDist {
+				worstDist = dist
+			}
+			farOK = farOK && far
+		}
+		table.AddRow(c.g.Name(), fmt.Sprintf("%d", len(c.victims)), worstOutside, worstDist, yesno(farOK))
+	}
+	return Result{
+		ID:    "E12",
+		Claim: "Unlimited failures: the starved set stays inside the union of radius-2 balls (§1)",
+		Table: table,
+		Notes: []string{
+			"Unlike Byzantine tolerance (which caps the faulty fraction), any number of processes may",
+			"crash maliciously; the damage is the union of their local balls and nothing more.",
+		},
+	}
+}
+
+// multiCrashReport computes, over the run's tail, (a) how many starved
+// processes lie OUTSIDE every radius-2 ball around a crash, (b) the
+// maximum distance from a starved process to its nearest crash, and (c)
+// whether every process at distance >= 3 from all crashes kept eating.
+func (o runOutcome) multiCrashReport(victims []graph.ProcID) (outside, maxDist int, farOK bool) {
+	g := o.w.Graph()
+	farOK = true
+	maxDist = -1
+	for p := 0; p < g.N(); p++ {
+		pid := graph.ProcID(p)
+		if o.w.Dead(pid) {
+			continue
+		}
+		d := g.MinDistTo(pid, victims)
+		starved := o.lastEat[p] < o.budget/2
+		if starved {
+			if d > maxDist {
+				maxDist = d
+			}
+			if d >= 3 {
+				outside++
+			}
+		} else if d >= 3 {
+			// kept eating, as required
+			continue
+		}
+		if d >= 3 && starved {
+			farOK = false
+		}
+	}
+	return outside, maxDist, farOK
+}

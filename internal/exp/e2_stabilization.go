@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/stats"
+	"mcdp/internal/workload"
+)
+
+// E2Stabilization measures convergence to the invariant I = NC ∧ ST ∧ E
+// from random arbitrary states (Theorem 1), contrasting the paper's
+// literal depth threshold D = diameter with the repaired threshold n-1,
+// under two demand regimes:
+//
+//   - busy (always hungry): eating exits constantly re-orient the
+//     priority graph, which usually stumbles into a stably-shallow
+//     orientation even under the flawed threshold;
+//   - quiet (never hungry): only the depth machinery moves, which is the
+//     pure stabilization the theorem is about — and where the
+//     D=diameter false positives livelock on rings.
+//
+// ring(3) with D=diameter is special: NO state satisfies the invariant
+// at all (see E9), so it cannot converge under any demand.
+func E2Stabilization(seeds []int64) Result {
+	tops := []*graph.Graph{
+		graph.Ring(3),
+		graph.Ring(4),
+		graph.Ring(6),
+		graph.Grid(3, 3),
+		graph.Path(8),
+		graph.RandomTree(10, newRng(7)),
+	}
+	table := stats.NewTable(
+		"E2: convergence to invariant I from arbitrary states",
+		"topology", "threshold", "demand", "converged", "trials", "mean steps", "max steps",
+	)
+	for _, g := range tops {
+		for _, mode := range []string{"diameter", "n-1"} {
+			bound := 0 // paper's default: the diameter
+			if mode == "n-1" {
+				bound = sim.SafeDepthBound(g)
+			}
+			for _, demand := range []string{"busy", "quiet"} {
+				wl := workload.AlwaysHungry()
+				if demand == "quiet" {
+					wl = workload.NeverHungry()
+				}
+				converged := 0
+				var steps []int64
+				budget := int64(g.N()) * 4000
+				for _, seed := range seeds {
+					w := sim.NewWorld(sim.Config{
+						Graph:            g,
+						Algorithm:        core.NewMCDP(),
+						Workload:         wl,
+						Seed:             seed,
+						DiameterOverride: bound,
+					})
+					w.InitArbitrary(newRng(seed * 13))
+					if s := stepsToInvariant(w, budget); s >= 0 {
+						converged++
+						steps = append(steps, s)
+					}
+				}
+				sum := stats.SummarizeInts(steps)
+				table.AddRow(g.Name(), mode, demand, converged, len(seeds), sum.Mean, sum.Max)
+			}
+		}
+	}
+	return Result{
+		ID:    "E2",
+		Claim: "Stabilization to I from arbitrary states (Thm 1); the D=diameter threshold has a convergence gap",
+		Table: table,
+		Notes: []string{
+			"With the n-1 threshold every trial converges in both regimes. With D=diameter, ring(3) never",
+			"converges (the invariant is unsatisfiable there — see E9) and quiet rings livelock: acyclic chain",
+			"orientations longer than the diameter trip the cycle detector, whose false-positive exits recreate",
+			"rotated chains forever. Busy systems often escape because eating exits keep re-orienting edges.",
+			"Trees behave identically under both thresholds (a tree's diameter IS its longest path).",
+		},
+	}
+}
+
+// E2bClosureByRun verifies closure empirically on larger instances than
+// the model checker reaches: once I holds, it keeps holding for the rest
+// of the run.
+func E2bClosureByRun(seeds []int64) Result {
+	tops := []*graph.Graph{graph.Ring(8), graph.Grid(3, 4), graph.Complete(6)}
+	table := stats.NewTable(
+		"E2b: closure of I after convergence (violations over post-convergence steps)",
+		"topology", "trials converged", "post-steps checked", "closure violations",
+	)
+	for _, g := range tops {
+		var converged, violations int
+		var postSteps int64
+		for _, seed := range seeds {
+			w := sim.NewWorld(sim.Config{
+				Graph:            g,
+				Algorithm:        core.NewMCDP(),
+				Seed:             seed,
+				DiameterOverride: sim.SafeDepthBound(g),
+			})
+			w.InitArbitrary(newRng(seed * 17))
+			if stepsToInvariant(w, int64(g.N())*4000) < 0 {
+				continue
+			}
+			converged++
+			for i := 0; i < 2000; i++ {
+				if _, ok := w.Step(); !ok {
+					break
+				}
+				postSteps++
+				if !invariantHolds(w) {
+					violations++
+				}
+			}
+		}
+		table.AddRow(g.Name(), converged, postSteps, violations)
+	}
+	return Result{
+		ID:    "E2b",
+		Claim: "I is closed (Lemmas 1-4): once reached it never breaks",
+		Table: table,
+	}
+}

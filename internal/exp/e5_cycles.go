@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+	"mcdp/internal/stats"
+	"mcdp/internal/workload"
+)
+
+// E5CycleBreaking injects a full priority cycle around a ring and
+// measures the steps until the live priority graph is acyclic again
+// (predicate NC), for the paper's algorithm and for the ablation without
+// the depth machinery, in two demand regimes. In the quiet regime
+// (nobody ever eats) the depth machinery is the ONLY way to break the
+// cycle: nodepth keeps it forever. In the busy regime a randomized
+// daemon usually breaks cycles "by accident" — a hungry process enters
+// in a moment when its ancestors happen to be Thinking, and its
+// exit-yield re-orients the edges — which is exactly why the paper's
+// adversarial-daemon analysis still needs fixdepth.
+func E5CycleBreaking(seeds []int64, sizes []int) Result {
+	table := stats.NewTable(
+		"E5: steps to break an injected priority cycle on ring(n)",
+		"algorithm", "demand", "n", "recovered", "trials", "mean steps", "max steps",
+	)
+	algs := []core.Algorithm{core.NewMCDP(), core.NewNoDepth()}
+	for _, alg := range algs {
+		for _, demand := range []string{"quiet", "busy"} {
+			for _, n := range sizes {
+				g := graph.Ring(n)
+				wl := workload.NeverHungry()
+				injected := core.Thinking // quiet: nobody wants or holds hunger
+				if demand == "busy" {
+					wl = workload.AlwaysHungry()
+					injected = core.Hungry
+				}
+				recovered := 0
+				var steps []int64
+				for _, seed := range seeds {
+					w := sim.NewWorld(sim.Config{
+						Graph:            g,
+						Algorithm:        alg,
+						Workload:         wl,
+						Seed:             seed,
+						DiameterOverride: sim.SafeDepthBound(g),
+					})
+					for i := 0; i < n; i++ {
+						w.SetPriority(graph.ProcID(i), graph.ProcID((i+1)%n), graph.ProcID(i))
+						w.SetState(graph.ProcID(i), injected)
+					}
+					ok := w.RunUntil(func(w *sim.World) bool {
+						return spec.AcyclicModuloDead(w)
+					}, int64(n)*3000)
+					if ok {
+						recovered++
+						steps = append(steps, w.Steps())
+					}
+				}
+				sum := stats.SummarizeInts(steps)
+				table.AddRow(alg.Name(), demand, n, recovered, len(seeds), sum.Mean, sum.Max)
+			}
+		}
+	}
+	return Result{
+		ID:    "E5",
+		Claim: "The depth machinery breaks every priority cycle (Lemma 1); without it, a quiet system deadlocks",
+		Table: table,
+		Notes: []string{
+			"Quiet regime: nodepth never recovers (the cycle survives the whole budget); mcdp's recovery cost",
+			"grows with the cycle length (depth must pump past the threshold). Busy regime: the randomized",
+			"daemon lets even nodepth stumble out of the cycle via eating exits — the guarantee, not the",
+			"typical case, is what fixdepth buys.",
+		},
+	}
+}
+
+// E5bDepthBounds confirms Corollary 1 on converged runs: once I holds,
+// every live depth stays at or below the threshold.
+func E5bDepthBounds(seeds []int64) Result {
+	tops := []*graph.Graph{graph.Ring(6), graph.Grid(3, 3), graph.Path(9)}
+	table := stats.NewTable(
+		"E5b: depth bound after convergence (Cor 1)",
+		"topology", "trials converged", "post-steps", "depth-bound violations",
+	)
+	for _, g := range tops {
+		var converged, violations int
+		var post int64
+		for _, seed := range seeds {
+			w := sim.NewWorld(sim.Config{
+				Graph:            g,
+				Algorithm:        core.NewMCDP(),
+				Seed:             seed,
+				DiameterOverride: sim.SafeDepthBound(g),
+			})
+			w.InitArbitrary(newRng(seed * 23))
+			if stepsToInvariant(w, int64(g.N())*4000) < 0 {
+				continue
+			}
+			converged++
+			for i := 0; i < 1500; i++ {
+				if _, ok := w.Step(); !ok {
+					break
+				}
+				post++
+				if !spec.DepthsBounded(w) {
+					violations++
+				}
+			}
+		}
+		table.AddRow(g.Name(), converged, post, violations)
+	}
+	return Result{
+		ID:    "E5b",
+		Claim: "Under I every live depth is bounded by the threshold (Cor 1)",
+		Table: table,
+	}
+}

@@ -1,0 +1,129 @@
+// Package exp defines the reproduction's experiment suite. The paper is a
+// theory paper without an evaluation section, so the suite derives one
+// experiment per theorem/claim (DESIGN.md's E1..E17 index, plus the
+// Figure 2 replay) and reports each as a table. cmd/experiments prints the
+// whole suite; bench_test.go wraps each experiment as a benchmark.
+package exp
+
+import (
+	"time"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+	"mcdp/internal/stats"
+	"mcdp/internal/workload"
+)
+
+// Result is one experiment's report.
+type Result struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string
+	// Claim is the paper claim under test.
+	Claim string
+	// Table holds the measurements.
+	Table *stats.Table
+	// Notes carries qualitative findings.
+	Notes []string
+	// Elapsed is the experiment's wall time (set by RunSuite).
+	Elapsed time.Duration
+}
+
+// runOpts configures a measured run.
+type runOpts struct {
+	g         *graph.Graph
+	alg       core.Algorithm
+	wl        workload.Profile
+	seed      int64
+	bound     int // depth threshold (0 = paper's diameter)
+	faults    *sim.FaultPlan
+	budget    int64
+	arbitrary bool // start from a random arbitrary state
+	prepare   func(w *sim.World)
+}
+
+// runOutcome summarizes a measured run.
+type runOutcome struct {
+	w       *sim.World
+	lastEat []int64 // -1 if never ate
+	eats    []int64
+	budget  int64
+}
+
+// measuredRun executes a run recording last-eat times.
+func measuredRun(o runOpts) runOutcome {
+	if o.wl == nil {
+		o.wl = workload.AlwaysHungry()
+	}
+	w := sim.NewWorld(sim.Config{
+		Graph:            o.g,
+		Algorithm:        o.alg,
+		Workload:         o.wl,
+		Seed:             o.seed,
+		DiameterOverride: o.bound,
+		Faults:           o.faults,
+	})
+	if o.arbitrary {
+		w.InitArbitrary(newRng(o.seed * 31))
+	}
+	if o.prepare != nil {
+		o.prepare(w)
+	}
+	n := o.g.N()
+	out := runOutcome{w: w, lastEat: make([]int64, n), eats: make([]int64, n), budget: o.budget}
+	for i := range out.lastEat {
+		out.lastEat[i] = -1
+	}
+	w.Observe(sim.ObserverFunc(func(w *sim.World, step int64, c sim.Choice) {
+		if !c.Malicious() && w.State(c.Proc) == core.Eating {
+			out.lastEat[c.Proc] = step
+			out.eats[c.Proc]++
+		}
+	}))
+	w.Run(o.budget)
+	return out
+}
+
+// starvedRadius returns the maximum distance from a dead process of any
+// live process that wants to eat but has not eaten in the second half of
+// the run, plus the starved count. Radius is -1 when nothing starved.
+// With no dead processes the distance of a starved process counts as the
+// graph's diameter (the worst possible locality).
+func (o runOutcome) starvedRadius() (radius, count int) {
+	dead := spec.DeadProcs(o.w)
+	radius = -1
+	for p := 0; p < o.w.Graph().N(); p++ {
+		pid := graph.ProcID(p)
+		if o.w.Dead(pid) {
+			continue
+		}
+		if o.lastEat[p] >= o.budget/2 {
+			continue // still eating in the tail: not starved
+		}
+		count++
+		d := o.w.Graph().MinDistTo(pid, dead)
+		if len(dead) == 0 {
+			d = o.w.Graph().Diameter()
+		}
+		if d > radius {
+			radius = d
+		}
+	}
+	return radius, count
+}
+
+// invariantHolds evaluates the paper's invariant I on the world.
+func invariantHolds(w *sim.World) bool {
+	return spec.CheckInvariant(w).Holds()
+}
+
+// stepsToInvariant runs w until I holds, returning the step count or -1
+// if the budget elapsed first.
+func stepsToInvariant(w *sim.World, budget int64) int64 {
+	start := w.Steps()
+	if w.RunUntil(invariantHolds, budget) {
+		return w.Steps() - start
+	}
+	return -1
+}

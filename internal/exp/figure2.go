@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+	"mcdp/internal/workload"
+)
+
+// Figure-2 process names, in ProcID order.
+var figure2Names = []string{"a", "b", "c", "d", "e", "f", "g"}
+
+// Figure2Name renders a ProcID with the paper's letters.
+func Figure2Name(p graph.ProcID) string {
+	if int(p) < len(figure2Names) {
+		return figure2Names[p]
+	}
+	return fmt.Sprintf("p%d", p)
+}
+
+// Figure2Graph reconstructs the 7-process topology of the paper's
+// Figure 2: a neighbors b and c; d hangs off b; the triangle e,f,g hosts
+// the priority cycle; d attaches to e; and c attaches to f, which gives
+// the figure's stated diameter of 3.
+func Figure2Graph() *graph.Graph {
+	const (
+		a = iota
+		b
+		c
+		d
+		e
+		f
+		g
+	)
+	return graph.NewBuilder("figure2", 7).
+		AddEdge(a, b).
+		AddEdge(a, c).
+		AddEdge(b, d).
+		AddEdge(c, f).
+		AddEdge(d, e).
+		AddEdge(e, f).
+		AddEdge(e, g).
+		AddEdge(f, g).
+		Build()
+}
+
+// Figure2World builds the example's first state:
+//
+//   - a is dead while Eating (the malicious crash has completed);
+//   - b is Hungry, blocked forever: its dead descendant a eats, and with
+//     no non-thinking ancestor it cannot leave;
+//   - c is Thinking, blocked by its dead eating ancestor a;
+//   - d is Hungry with hungry direct ancestor b — the dynamic threshold
+//     (leave) will move it out of the way;
+//   - e, f, g form the priority cycle e->g->f->e with depths 2, 3, 3 —
+//     fixdepth will push depth.g past D = 3 and g's exit breaks the
+//     cycle, after which e eats.
+func Figure2World(seed int64) *sim.World {
+	const (
+		a = iota
+		b
+		c
+		d
+		e
+		f
+		g
+	)
+	gr := Figure2Graph()
+	w := sim.NewWorld(sim.Config{
+		Graph:     gr,
+		Algorithm: core.NewMCDP(),
+		Workload:  workload.AlwaysHungry(),
+		Seed:      seed,
+	})
+	// Priorities (ancestor -> descendant arrows).
+	w.SetPriority(a, b, b) // b -> a: the dead eater is b's descendant
+	w.SetPriority(a, c, a) // a -> c: c waits on its dead ancestor
+	w.SetPriority(b, d, b) // b -> d
+	w.SetPriority(d, e, d) // d -> e
+	w.SetPriority(e, g, e) // e -> g \
+	w.SetPriority(f, g, g) // g -> f  } the cycle e -> g -> f -> e
+	w.SetPriority(e, f, f) // f -> e /
+	w.SetPriority(c, f, f) // f -> c
+	// States and depths of the first depicted state.
+	w.SetState(a, core.Eating)
+	w.Kill(a)
+	w.SetState(b, core.Hungry)
+	w.SetState(c, core.Thinking)
+	w.SetState(d, core.Hungry)
+	w.SetState(e, core.Hungry)
+	w.SetState(f, core.Hungry)
+	w.SetState(g, core.Hungry)
+	w.SetDepth(e, 2)
+	w.SetDepth(f, 3)
+	w.SetDepth(g, 3)
+	return w
+}
+
+// Figure2Outcome verifies the storyline of the example operation on a
+// run of the given length.
+type Figure2Outcome struct {
+	// DLeft reports whether d executed leave (the dynamic threshold).
+	DLeft bool
+	// GBrokeCycle reports whether g specifically executed the
+	// depth-triggered exit, as the figure depicts. Under some schedules
+	// another cycle member's depth passes D first — equally valid cycle
+	// detection by a different actor.
+	GBrokeCycle bool
+	// CycleBrokenByDepth reports whether SOME member of the e-g-f cycle
+	// executed a depth-triggered exit — the mechanism the figure
+	// illustrates. Under some daemons the cycle instead dissolves
+	// through an ordinary eat-exit first (the paper says the cycle "can"
+	// spin forever, not that it must; depth detection is the guarantee).
+	CycleBrokenByDepth bool
+	// CycleGone reports whether the injected e-g-f priority cycle no
+	// longer exists at the end of the run.
+	CycleGone bool
+	// EAte reports whether e eventually ate.
+	EAte bool
+	// BAte and CAte must stay false: b and c are blocked by the crash.
+	BAte, CAte bool
+}
+
+// Holds reports whether the example's unconditional storyline occurred:
+// d yields, the cycle is gone, e dines, b and c never do. The
+// depth-detection flags record HOW the cycle broke; seeds 1..8 (the
+// recorded reproduction) break it through g's depth overflow exactly as
+// the figure depicts — see TestFigure2Storyline.
+func (o Figure2Outcome) Holds() bool {
+	return o.DLeft && o.CycleGone && o.EAte && !o.BAte && !o.CAte
+}
+
+// RunFigure2 replays the example and checks its storyline.
+func RunFigure2(seed, budget int64) Figure2Outcome {
+	const (
+		b = 1
+		c = 2
+		d = 3
+		e = 4
+		g = 6
+	)
+	w := Figure2World(seed)
+	var out Figure2Outcome
+	// Track, per cycle member, whether its depth exceeded D since its
+	// last exit: only then does an exit count as depth-triggered cycle
+	// detection.
+	deep := map[graph.ProcID]bool{}
+	cycle := map[graph.ProcID]bool{e: true, 5: true, g: true} // e, f, g
+	w.Observe(sim.ObserverFunc(func(w *sim.World, _ int64, ch sim.Choice) {
+		if ch.Malicious() {
+			return
+		}
+		for p := range cycle {
+			if w.Depth(p) > w.Graph().Diameter() {
+				deep[p] = true
+			}
+		}
+		switch {
+		case ch.Proc == d && ch.Action == core.ActionLeave:
+			out.DLeft = true
+		case cycle[ch.Proc] && ch.Action == core.ActionExit:
+			if deep[ch.Proc] {
+				out.CycleBrokenByDepth = true
+				if ch.Proc == g {
+					out.GBrokeCycle = true
+				}
+			}
+			deep[ch.Proc] = false
+		}
+		if w.State(ch.Proc) == core.Eating {
+			switch ch.Proc {
+			case e:
+				out.EAte = true
+			case b:
+				out.BAte = true
+			case c:
+				out.CAte = true
+			}
+		}
+	}))
+	w.Run(budget)
+	out.CycleGone = spec.AcyclicModuloDead(w)
+	return out
+}

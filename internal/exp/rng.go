@@ -1,0 +1,7 @@
+package exp
+
+import "math/rand"
+
+// newRng returns a seeded generator; all experiment randomness flows
+// through explicit seeds so every table is reproducible.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

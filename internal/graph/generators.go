@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph 0-1-...-n-1.
+func Path(n int) *Graph {
+	b := NewBuilder(fmt.Sprintf("path(%d)", n), n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(ProcID(i), ProcID(i+1))
+	}
+	return b.Build()
+}
+
+// Ring returns the cycle graph on n vertices. It panics if n < 3.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: ring requires n >= 3, got %d", n))
+	}
+	b := NewBuilder(fmt.Sprintf("ring(%d)", n), n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(ProcID(i), ProcID((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Star returns the star graph with center 0 and n-1 leaves. It panics if
+// n < 2.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: star requires n >= 2, got %d", n))
+	}
+	b := NewBuilder(fmt.Sprintf("star(%d)", n), n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, ProcID(i))
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph on n vertices.
+func Complete(n int) *Graph {
+	b := NewBuilder(fmt.Sprintf("complete(%d)", n), n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(ProcID(i), ProcID(j))
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows x cols grid graph with 4-neighborhood. Vertex
+// (r, c) has id r*cols + c.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("graph: invalid grid %dx%d", rows, cols))
+	}
+	b := NewBuilder(fmt.Sprintf("grid(%dx%d)", rows, cols), rows*cols)
+	id := func(r, c int) ProcID { return ProcID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the rows x cols torus (grid with wraparound). Both
+// dimensions must be at least 3 so the graph stays simple.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: torus requires dims >= 3, got %dx%d", rows, cols))
+	}
+	b := NewBuilder(fmt.Sprintf("torus(%dx%d)", rows, cols), rows*cols)
+	id := func(r, c int) ProcID { return ProcID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
+// It panics if dim < 1 or dim > 20.
+func Hypercube(dim int) *Graph {
+	if dim < 1 || dim > 20 {
+		panic(fmt.Sprintf("graph: invalid hypercube dimension %d", dim))
+	}
+	n := 1 << dim
+	b := NewBuilder(fmt.Sprintf("hypercube(%d)", dim), n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < dim; bit++ {
+			u := v ^ (1 << bit)
+			if u > v {
+				b.AddEdge(ProcID(v), ProcID(u))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices drawn
+// via a random Prüfer-like attachment: vertex i (i >= 1) attaches to a
+// uniformly random earlier vertex. The result is always connected.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	b := NewBuilder(fmt.Sprintf("tree(%d)", n), n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(ProcID(i), ProcID(rng.Intn(i)))
+	}
+	return b.Build()
+}
+
+// RandomConnected returns a random connected graph on n vertices: a random
+// spanning tree plus each remaining pair independently with probability p.
+func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(fmt.Sprintf("gnp(%d,%.2f)", n, p), n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(ProcID(perm[i]), ProcID(perm[rng.Intn(i)]))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(ProcID(i), ProcID(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Lollipop returns a clique of size k with a path of length tail hanging
+// off vertex 0 — dense contention on one side, a starvation-prone chain
+// on the other. Vertices 0..k-1 form the clique; k..k+tail-1 the path.
+func Lollipop(k, tail int) *Graph {
+	if k < 2 || tail < 1 {
+		panic(fmt.Sprintf("graph: invalid lollipop k=%d tail=%d", k, tail))
+	}
+	b := NewBuilder(fmt.Sprintf("lollipop(%d,%d)", k, tail), k+tail)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(ProcID(i), ProcID(j))
+		}
+	}
+	b.AddEdge(0, ProcID(k))
+	for i := k; i < k+tail-1; i++ {
+		b.AddEdge(ProcID(i), ProcID(i+1))
+	}
+	return b.Build()
+}
+
+// Wheel returns a cycle on vertices 1..n-1 plus a hub (vertex 0)
+// adjacent to every rim vertex. It panics if n < 4.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic(fmt.Sprintf("graph: wheel requires n >= 4, got %d", n))
+	}
+	b := NewBuilder(fmt.Sprintf("wheel(%d)", n), n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, ProcID(i))
+		next := i + 1
+		if next == n {
+			next = 1
+		}
+		b.AddEdge(ProcID(i), ProcID(next))
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a path of length spine with leg extra leaves attached
+// to every spine vertex. Useful for locality experiments: long chains with
+// bounded degree bushiness.
+func Caterpillar(spine, legs int) *Graph {
+	if spine < 1 || legs < 0 {
+		panic(fmt.Sprintf("graph: invalid caterpillar spine=%d legs=%d", spine, legs))
+	}
+	n := spine * (1 + legs)
+	b := NewBuilder(fmt.Sprintf("caterpillar(%d,%d)", spine, legs), n)
+	for i := 0; i < spine-1; i++ {
+		b.AddEdge(ProcID(i), ProcID(i+1))
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(ProcID(i), ProcID(next))
+			next++
+		}
+	}
+	return b.Build()
+}

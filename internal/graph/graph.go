@@ -1,0 +1,243 @@
+// Package graph provides the communication topologies on which the diners
+// algorithms run: construction of common graph families, neighbor queries,
+// BFS distances, and the diameter constant D that every process of the
+// paper's algorithm is assumed to know.
+//
+// Graphs are simple (no self-loops, no multi-edges), undirected, and use
+// dense integer vertex identifiers 0..N-1. A Graph is immutable after
+// Build/generator construction, so it is safe for concurrent readers.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcID identifies a process (a vertex). IDs are dense: 0..N-1.
+type ProcID int
+
+// Edge is an undirected edge in canonical form (A < B). Canonical form makes
+// Edge usable as a map key for per-edge shared variables such as the
+// priority variable of the paper's algorithm.
+type Edge struct {
+	A, B ProcID
+}
+
+// EdgeBetween returns the canonical edge between p and q.
+func EdgeBetween(p, q ProcID) Edge {
+	if p > q {
+		p, q = q, p
+	}
+	return Edge{A: p, B: q}
+}
+
+// Other returns the endpoint of e that is not p.
+// It panics if p is not an endpoint of e.
+func (e Edge) Other(p ProcID) ProcID {
+	switch p {
+	case e.A:
+		return e.B
+	case e.B:
+		return e.A
+	default:
+		panic(fmt.Sprintf("graph: process %d is not an endpoint of edge %v", p, e))
+	}
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.A, e.B) }
+
+// Graph is an immutable undirected graph.
+type Graph struct {
+	name      string
+	adj       [][]ProcID // adj[p] sorted ascending
+	edges     []Edge     // canonical, sorted
+	edgeIdx   map[Edge]int
+	incident  [][]int   // incident[p][i] = index into edges of (p, adj[p][i])
+	dist      [][]int16 // all-pairs BFS distances; -1 means unreachable
+	diameter  int
+	connected bool
+}
+
+// Builder accumulates edges before freezing them into a Graph.
+type Builder struct {
+	name string
+	n    int
+	set  map[Edge]struct{}
+}
+
+// NewBuilder returns a builder for a graph with n vertices (0..n-1).
+// It panics if n < 1.
+func NewBuilder(name string, n int) *Builder {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: invalid vertex count %d", n))
+	}
+	return &Builder{name: name, n: n, set: make(map[Edge]struct{})}
+}
+
+// AddEdge records the undirected edge {p, q}. Duplicate additions are
+// idempotent. It panics on self-loops or out-of-range endpoints.
+func (b *Builder) AddEdge(p, q ProcID) *Builder {
+	if p == q {
+		panic(fmt.Sprintf("graph: self-loop at %d", p))
+	}
+	if p < 0 || int(p) >= b.n || q < 0 || int(q) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", p, q, b.n))
+	}
+	b.set[EdgeBetween(p, q)] = struct{}{}
+	return b
+}
+
+// Build freezes the builder into an immutable Graph and computes all-pairs
+// distances and the diameter.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		name: b.name,
+		adj:  make([][]ProcID, b.n),
+	}
+	g.edges = make([]Edge, 0, len(b.set))
+	for e := range b.set {
+		g.edges = append(g.edges, e)
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		if g.edges[i].A != g.edges[j].A {
+			return g.edges[i].A < g.edges[j].A
+		}
+		return g.edges[i].B < g.edges[j].B
+	})
+	for _, e := range g.edges {
+		g.adj[e.A] = append(g.adj[e.A], e.B)
+		g.adj[e.B] = append(g.adj[e.B], e.A)
+	}
+	for _, nbrs := range g.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+	g.edgeIdx = make(map[Edge]int, len(g.edges))
+	for i, e := range g.edges {
+		g.edgeIdx[e] = i
+	}
+	g.incident = make([][]int, b.n)
+	for p := range g.adj {
+		g.incident[p] = make([]int, len(g.adj[p]))
+		for i, q := range g.adj[p] {
+			g.incident[p][i] = g.edgeIdx[EdgeBetween(ProcID(p), q)]
+		}
+	}
+	g.computeDistances()
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Name returns the descriptive name given at construction (e.g. "ring(8)").
+func (g *Graph) Name() string { return g.name }
+
+// Neighbors returns the sorted neighbor list of p. The returned slice is
+// shared and must not be modified by the caller.
+func (g *Graph) Neighbors(p ProcID) []ProcID { return g.adj[p] }
+
+// Degree returns the number of neighbors of p.
+func (g *Graph) Degree(p ProcID) int { return len(g.adj[p]) }
+
+// Edges returns all edges in canonical sorted order. The returned slice is
+// shared and must not be modified by the caller.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// EdgeIndex returns the dense index of edge {p, q} into Edges(), or -1 if
+// p and q are not neighbors. Engines use the index to store one shared
+// variable per edge in a flat slice.
+func (g *Graph) EdgeIndex(p, q ProcID) int {
+	if i, ok := g.edgeIdx[EdgeBetween(p, q)]; ok {
+		return i
+	}
+	return -1
+}
+
+// IncidentEdgeIndices returns, aligned with Neighbors(p), the edge index of
+// each incident edge. The returned slice is shared and must not be
+// modified.
+func (g *Graph) IncidentEdgeIndices(p ProcID) []int { return g.incident[p] }
+
+// HasEdge reports whether p and q are neighbors.
+func (g *Graph) HasEdge(p, q ProcID) bool {
+	if p == q {
+		return false
+	}
+	nbrs := g.adj[p]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= q })
+	return i < len(nbrs) && nbrs[i] == q
+}
+
+// Dist returns the hop distance between p and q, or -1 if q is unreachable
+// from p.
+func (g *Graph) Dist(p, q ProcID) int { return int(g.dist[p][q]) }
+
+// Diameter returns the maximum finite distance between any two vertices.
+// This is the constant D known to every process in the paper's algorithm.
+// For a disconnected graph it is the maximum over connected components.
+func (g *Graph) Diameter() int { return g.diameter }
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool { return g.connected }
+
+// MinDistTo returns the minimum distance from p to any vertex in targets,
+// or -1 if targets is empty or none is reachable.
+func (g *Graph) MinDistTo(p ProcID, targets []ProcID) int {
+	best := -1
+	for _, t := range targets {
+		d := g.Dist(p, t)
+		if d < 0 {
+			continue
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func (g *Graph) computeDistances() {
+	n := g.N()
+	g.dist = make([][]int16, n)
+	g.connected = true
+	queue := make([]ProcID, 0, n)
+	for s := 0; s < n; s++ {
+		row := make([]int16, n)
+		for i := range row {
+			row[i] = -1
+		}
+		row[s] = 0
+		queue = append(queue[:0], ProcID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if row[v] < 0 {
+					row[v] = row[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for i, d := range row {
+			if d < 0 {
+				if i != s {
+					g.connected = false
+				}
+				continue
+			}
+			if int(d) > g.diameter {
+				g.diameter = int(d)
+			}
+		}
+		g.dist[s] = row
+	}
+}
+
+// String implements fmt.Stringer.
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s{n=%d m=%d D=%d}", g.name, g.N(), len(g.edges), g.diameter)
+}

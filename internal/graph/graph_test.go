@@ -1,0 +1,397 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeBetweenCanonical(t *testing.T) {
+	e1 := EdgeBetween(3, 7)
+	e2 := EdgeBetween(7, 3)
+	if e1 != e2 {
+		t.Errorf("EdgeBetween not canonical: %v vs %v", e1, e2)
+	}
+	if e1.A != 3 || e1.B != 7 {
+		t.Errorf("EdgeBetween(3,7) = %v, want (3,7)", e1)
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := EdgeBetween(2, 5)
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Errorf("Other misbehaves on %v", e)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other with non-endpoint must panic")
+		}
+	}()
+	e.Other(9)
+}
+
+func TestBuilderValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero vertices", func() { NewBuilder("x", 0) }},
+		{"self loop", func() { NewBuilder("x", 3).AddEdge(1, 1) }},
+		{"out of range", func() { NewBuilder("x", 3).AddEdge(0, 3) }},
+		{"negative", func() { NewBuilder("x", 3).AddEdge(-1, 0) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func TestDuplicateEdgesIdempotent(t *testing.T) {
+	g := NewBuilder("x", 3).AddEdge(0, 1).AddEdge(1, 0).AddEdge(0, 1).Build()
+	if g.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+}
+
+func TestRingProperties(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 15} {
+		g := Ring(n)
+		if g.N() != n {
+			t.Errorf("ring(%d).N() = %d", n, g.N())
+		}
+		if g.EdgeCount() != n {
+			t.Errorf("ring(%d) has %d edges, want %d", n, g.EdgeCount(), n)
+		}
+		wantD := n / 2
+		if g.Diameter() != wantD {
+			t.Errorf("ring(%d).Diameter() = %d, want %d", n, g.Diameter(), wantD)
+		}
+		for p := 0; p < n; p++ {
+			if g.Degree(ProcID(p)) != 2 {
+				t.Errorf("ring(%d) degree(%d) = %d, want 2", n, p, g.Degree(ProcID(p)))
+			}
+		}
+		if !g.Connected() {
+			t.Errorf("ring(%d) not connected", n)
+		}
+	}
+}
+
+func TestPathProperties(t *testing.T) {
+	g := Path(6)
+	if g.Diameter() != 5 {
+		t.Errorf("path(6).Diameter() = %d, want 5", g.Diameter())
+	}
+	if g.Dist(0, 5) != 5 || g.Dist(2, 4) != 2 {
+		t.Error("path distances wrong")
+	}
+	if g.EdgeCount() != 5 {
+		t.Errorf("path(6) edges = %d, want 5", g.EdgeCount())
+	}
+}
+
+func TestSingletonPath(t *testing.T) {
+	g := Path(1)
+	if g.N() != 1 || g.EdgeCount() != 0 || g.Diameter() != 0 || !g.Connected() {
+		t.Errorf("path(1) malformed: %v", g)
+	}
+}
+
+func TestStarProperties(t *testing.T) {
+	g := Star(7)
+	if g.Diameter() != 2 {
+		t.Errorf("star(7).Diameter() = %d, want 2", g.Diameter())
+	}
+	if g.Degree(0) != 6 {
+		t.Errorf("star center degree = %d, want 6", g.Degree(0))
+	}
+	for p := 1; p < 7; p++ {
+		if g.Degree(ProcID(p)) != 1 {
+			t.Errorf("star leaf %d degree = %d, want 1", p, g.Degree(ProcID(p)))
+		}
+	}
+}
+
+func TestCompleteProperties(t *testing.T) {
+	g := Complete(5)
+	if g.EdgeCount() != 10 {
+		t.Errorf("complete(5) edges = %d, want 10", g.EdgeCount())
+	}
+	if g.Diameter() != 1 {
+		t.Errorf("complete(5).Diameter() = %d, want 1", g.Diameter())
+	}
+}
+
+func TestGridProperties(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Errorf("grid(3x4).N() = %d", g.N())
+	}
+	// Diameter = (3-1)+(4-1) = 5.
+	if g.Diameter() != 5 {
+		t.Errorf("grid(3x4).Diameter() = %d, want 5", g.Diameter())
+	}
+	// Corner degree 2, center degree 4.
+	if g.Degree(0) != 2 {
+		t.Errorf("corner degree = %d, want 2", g.Degree(0))
+	}
+	if g.Degree(5) != 4 { // (1,1)
+		t.Errorf("inner degree = %d, want 4", g.Degree(5))
+	}
+}
+
+func TestTorusProperties(t *testing.T) {
+	g := Torus(3, 3)
+	if g.N() != 9 || g.EdgeCount() != 18 {
+		t.Errorf("torus(3x3) n=%d m=%d, want 9, 18", g.N(), g.EdgeCount())
+	}
+	for p := 0; p < 9; p++ {
+		if g.Degree(ProcID(p)) != 4 {
+			t.Errorf("torus degree(%d) = %d, want 4", p, g.Degree(ProcID(p)))
+		}
+	}
+}
+
+func TestHypercubeProperties(t *testing.T) {
+	g := Hypercube(3)
+	if g.N() != 8 || g.EdgeCount() != 12 || g.Diameter() != 3 {
+		t.Errorf("hypercube(3): n=%d m=%d D=%d, want 8, 12, 3", g.N(), g.EdgeCount(), g.Diameter())
+	}
+}
+
+func TestRandomTreeIsConnectedTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 5, 20, 50} {
+		g := RandomTree(n, rng)
+		if g.N() != n || g.EdgeCount() != n-1 || !g.Connected() {
+			t.Errorf("tree(%d): n=%d m=%d connected=%v", n, g.N(), g.EdgeCount(), g.Connected())
+		}
+	}
+}
+
+func TestRandomConnectedIsConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 20; i++ {
+		g := RandomConnected(12, 0.2, rng)
+		if !g.Connected() {
+			t.Errorf("RandomConnected produced a disconnected graph (iter %d)", i)
+		}
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(4, 2)
+	if g.N() != 12 || g.EdgeCount() != 11 || !g.Connected() {
+		t.Errorf("caterpillar(4,2): n=%d m=%d connected=%v", g.N(), g.EdgeCount(), g.Connected())
+	}
+	// Spine vertex degrees: ends 1+2, middles 2+2.
+	if g.Degree(1) != 4 {
+		t.Errorf("spine middle degree = %d, want 4", g.Degree(1))
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(4, 3)
+	if g.N() != 7 || !g.Connected() {
+		t.Fatalf("lollipop malformed: %v", g)
+	}
+	wantEdges := 4*3/2 + 3 // clique + bridge + tail
+	if g.EdgeCount() != wantEdges {
+		t.Errorf("lollipop edges = %d, want %d", g.EdgeCount(), wantEdges)
+	}
+	if g.Degree(0) != 4 { // 3 clique neighbors + tail head
+		t.Errorf("lollipop hub degree = %d, want 4", g.Degree(0))
+	}
+	if g.Dist(1, 6) != 4 { // clique -> 0 -> 4 -> 5 -> 6
+		t.Errorf("lollipop dist(1,6) = %d, want 4", g.Dist(1, 6))
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(6)
+	if g.N() != 6 || g.EdgeCount() != 10 || g.Diameter() != 2 {
+		t.Fatalf("wheel malformed: %v", g)
+	}
+	if g.Degree(0) != 5 {
+		t.Errorf("hub degree = %d, want 5", g.Degree(0))
+	}
+	for p := 1; p < 6; p++ {
+		if g.Degree(ProcID(p)) != 3 {
+			t.Errorf("rim degree(%d) = %d, want 3", p, g.Degree(ProcID(p)))
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := Ring(5)
+	if !g.HasEdge(0, 1) || !g.HasEdge(4, 0) {
+		t.Error("ring edges missing")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(1, 1) {
+		t.Error("non-edges reported")
+	}
+}
+
+func TestEdgeIndexRoundTrip(t *testing.T) {
+	g := Grid(3, 3)
+	for i, e := range g.Edges() {
+		if got := g.EdgeIndex(e.A, e.B); got != i {
+			t.Errorf("EdgeIndex(%v) = %d, want %d", e, got, i)
+		}
+		if got := g.EdgeIndex(e.B, e.A); got != i {
+			t.Errorf("EdgeIndex reversed (%v) = %d, want %d", e, got, i)
+		}
+	}
+	if g.EdgeIndex(0, 8) != -1 {
+		t.Error("EdgeIndex for non-edge should be -1")
+	}
+}
+
+func TestIncidentEdgeIndicesAlignment(t *testing.T) {
+	g := Torus(3, 4)
+	for p := 0; p < g.N(); p++ {
+		pid := ProcID(p)
+		nbrs := g.Neighbors(pid)
+		idxs := g.IncidentEdgeIndices(pid)
+		if len(nbrs) != len(idxs) {
+			t.Fatalf("misaligned incident lists at %d", p)
+		}
+		for i, q := range nbrs {
+			if g.Edges()[idxs[i]] != EdgeBetween(pid, q) {
+				t.Errorf("incident index %d of %d maps to %v, want %v",
+					i, p, g.Edges()[idxs[i]], EdgeBetween(pid, q))
+			}
+		}
+	}
+}
+
+func TestMinDistTo(t *testing.T) {
+	g := Path(6)
+	if d := g.MinDistTo(0, []ProcID{3, 5}); d != 3 {
+		t.Errorf("MinDistTo = %d, want 3", d)
+	}
+	if d := g.MinDistTo(4, []ProcID{3, 5}); d != 1 {
+		t.Errorf("MinDistTo = %d, want 1", d)
+	}
+	if d := g.MinDistTo(0, nil); d != -1 {
+		t.Errorf("MinDistTo empty = %d, want -1", d)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := NewBuilder("two-islands", 4).AddEdge(0, 1).AddEdge(2, 3).Build()
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if g.Dist(0, 2) != -1 {
+		t.Errorf("cross-island distance = %d, want -1", g.Dist(0, 2))
+	}
+	if g.Diameter() != 1 {
+		t.Errorf("per-component diameter = %d, want 1", g.Diameter())
+	}
+}
+
+// Property: distances form a metric on connected graphs — symmetry,
+// identity, and the triangle inequality.
+func TestDistanceMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(10)
+		g := RandomConnected(n, 0.3, r)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dij := g.Dist(ProcID(i), ProcID(j))
+				if dij != g.Dist(ProcID(j), ProcID(i)) {
+					return false
+				}
+				if (i == j) != (dij == 0) {
+					return false
+				}
+				for k := 0; k < n; k++ {
+					if dij > g.Dist(ProcID(i), ProcID(k))+g.Dist(ProcID(k), ProcID(j)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: neighbors at distance exactly 1; diameter is attained.
+func TestNeighborDistanceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := RandomConnected(2+r.Intn(12), 0.25, r)
+		for _, e := range g.Edges() {
+			if g.Dist(e.A, e.B) != 1 {
+				return false
+			}
+		}
+		attained := false
+		for i := 0; i < g.N(); i++ {
+			for j := 0; j < g.N(); j++ {
+				d := g.Dist(ProcID(i), ProcID(j))
+				if d > g.Diameter() {
+					return false
+				}
+				if d == g.Diameter() {
+					attained = true
+				}
+			}
+		}
+		return attained
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	s := Ring(5).String()
+	want := "ring(5){n=5 m=5 D=2}"
+	if s != want {
+		t.Errorf("String() = %q, want %q", s, want)
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	if got := EdgeBetween(4, 1).String(); got != "(1,4)" {
+		t.Errorf("Edge.String() = %q, want (1,4)", got)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	cases := []func(){
+		func() { Ring(2) },
+		func() { Star(1) },
+		func() { Grid(0, 3) },
+		func() { Torus(2, 3) },
+		func() { Hypercube(0) },
+		func() { Hypercube(21) },
+		func() { Caterpillar(0, 1) },
+		func() { Lollipop(1, 1) },
+		func() { Wheel(3) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

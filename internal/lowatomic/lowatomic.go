@@ -1,0 +1,283 @@
+// Package lowatomic executes diners algorithms under read/write
+// atomicity: one register read or one register write per atomic step,
+// instead of the composite atomicity the paper uses "to simplify the
+// presentation" (its Section 2). This is the refinement layer of the
+// paper's reference [15] (Nesterenko & Arora, "Stabilization-preserving
+// atomicity refinement"), realized deterministically so it can be tested
+// under seeded schedules and surgical crash injection — a benign crash
+// may strike BETWEEN any two register operations, freezing e.g. an exit
+// whose state write landed but whose priority yields did not.
+//
+// Registers:
+//
+//   - per process: state, depth (owner-written, anyone-read);
+//   - per edge: the shared priority register (written only by the
+//     current token holder), and two K-state counter registers whose
+//     Dijkstra two-machine relation locates a single logical token.
+//
+// Each process runs a register program in a loop: refresh every
+// neighbor's registers into a local cache (reads need no token), then an
+// act phase evaluating the unmodified core.Algorithm guards against the
+// cache — the enter action additionally requires holding every incident
+// token, eating retains all tokens, and exit's yields apply immediately
+// on held edges and stay pending on the rest — then pass non-retained
+// tokens. The daemon interleaves processes at single-operation
+// granularity under the same weak-fairness regime as the composite
+// engine.
+package lowatomic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// kStates is the K of the per-edge token relation (any K >= 2 works for
+// two machines).
+const kStates = 8
+
+// opKind classifies one atomic register operation for tracing.
+type opKind uint8
+
+// Atomic operation kinds.
+const (
+	OpReadCounter opKind = iota + 1
+	OpReadState
+	OpReadDepth
+	OpReadPriority
+	OpAct // local guard evaluation + at most one own-register write
+	OpWritePriority
+	OpPassToken
+)
+
+// String implements fmt.Stringer.
+func (k opKind) String() string {
+	switch k {
+	case OpReadCounter:
+		return "read-counter"
+	case OpReadState:
+		return "read-state"
+	case OpReadDepth:
+		return "read-depth"
+	case OpReadPriority:
+		return "read-priority"
+	case OpAct:
+		return "act"
+	case OpWritePriority:
+		return "write-priority"
+	case OpPassToken:
+		return "pass-token"
+	default:
+		return "?"
+	}
+}
+
+// edgeCache is a process's view of one incident edge.
+type edgeCache struct {
+	idx  int
+	peer graph.ProcID
+	low  bool
+
+	peerCounter uint8
+	peerState   core.State
+	peerDepth   int
+	prio        graph.ProcID
+
+	pendingYield bool
+}
+
+// proc is one philosopher's register program state.
+type proc struct {
+	id     graph.ProcID
+	edges  []edgeCache
+	cursor int // which (neighbor, micro-op) comes next
+	dead   bool
+	mal    int // remaining malicious operations
+
+	// exitPhase > 0 marks a decomposed exit in flight: 1 = depth write
+	// pending, 2+i = yield of edge i pending. A crash mid-exit strands
+	// the remainder — exactly the inconsistency stabilization absorbs.
+	exitPhase int
+}
+
+// microOpsPerEdge is the refresh sequence length per neighbor.
+const microOpsPerEdge = 4 // counter, state, depth, priority
+
+// Machine is the global low-atomicity system.
+type Machine struct {
+	g   *graph.Graph
+	alg core.Algorithm
+	d   int
+
+	enterID core.ActionID
+	exitID  core.ActionID
+
+	// Shared registers (the ground truth).
+	state    []core.State
+	depth    []int
+	priority []graph.ProcID
+	counters [][2]uint8 // per edge: [low endpoint, high endpoint]
+
+	hungry []bool
+	procs  []*proc
+	rng    *rand.Rand
+	ops    int64
+	eats   []int64
+}
+
+// Config describes a low-atomicity run.
+type Config struct {
+	// Graph is the topology. Required.
+	Graph *graph.Graph
+	// Algorithm is the diners algorithm. Required.
+	Algorithm core.Algorithm
+	// DiameterOverride replaces the true diameter when positive.
+	DiameterOverride int
+	// Hungry fixes needs():p (nil = always hungry).
+	Hungry []bool
+	// Seed drives the daemon and fault garbage.
+	Seed int64
+}
+
+// New builds the machine in the legitimate initial state.
+func New(cfg Config) *Machine {
+	if cfg.Graph == nil {
+		panic("lowatomic: Config.Graph is required")
+	}
+	if cfg.Algorithm == nil {
+		panic("lowatomic: Config.Algorithm is required")
+	}
+	g := cfg.Graph
+	m := &Machine{
+		g:        g,
+		alg:      cfg.Algorithm,
+		d:        g.Diameter(),
+		enterID:  actionNamed(cfg.Algorithm, "enter"),
+		exitID:   actionNamed(cfg.Algorithm, "exit"),
+		state:    make([]core.State, g.N()),
+		depth:    make([]int, g.N()),
+		priority: make([]graph.ProcID, g.EdgeCount()),
+		counters: make([][2]uint8, g.EdgeCount()),
+		hungry:   cfg.Hungry,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		eats:     make([]int64, g.N()),
+	}
+	if cfg.DiameterOverride > 0 {
+		m.d = cfg.DiameterOverride
+	}
+	if m.hungry == nil {
+		m.hungry = make([]bool, g.N())
+		for i := range m.hungry {
+			m.hungry[i] = true
+		}
+	}
+	for p := 0; p < g.N(); p++ {
+		m.state[p] = core.Thinking
+	}
+	for i, e := range g.Edges() {
+		m.priority[i] = e.A
+	}
+	m.procs = make([]*proc, g.N())
+	for p := 0; p < g.N(); p++ {
+		pid := graph.ProcID(p)
+		pr := &proc{id: pid}
+		nbrs := g.Neighbors(pid)
+		idxs := g.IncidentEdgeIndices(pid)
+		pr.edges = make([]edgeCache, len(nbrs))
+		for i, q := range nbrs {
+			e := g.Edges()[idxs[i]]
+			pr.edges[i] = edgeCache{
+				idx:       idxs[i],
+				peer:      q,
+				low:       pid == e.A,
+				peerState: core.Thinking,
+				prio:      e.A,
+			}
+		}
+		m.procs[p] = pr
+	}
+	return m
+}
+
+func actionNamed(alg core.Algorithm, name string) core.ActionID {
+	for i, s := range alg.Actions() {
+		if s.Name == name {
+			return core.ActionID(i)
+		}
+	}
+	return -1
+}
+
+// State returns process p's state register.
+func (m *Machine) State(p graph.ProcID) core.State { return m.state[p] }
+
+// Depth returns process p's depth register.
+func (m *Machine) Depth(p graph.ProcID) int { return m.depth[p] }
+
+// Priority returns the edge priority register.
+func (m *Machine) Priority(e graph.Edge) graph.ProcID {
+	i := m.g.EdgeIndex(e.A, e.B)
+	if i < 0 {
+		panic(fmt.Sprintf("lowatomic: no edge %v", e))
+	}
+	return m.priority[i]
+}
+
+// Eats returns completed meals per process (counted at enter).
+func (m *Machine) Eats() []int64 { return append([]int64(nil), m.eats...) }
+
+// Ops returns the number of atomic register operations executed.
+func (m *Machine) Ops() int64 { return m.ops }
+
+// Graph returns the topology.
+func (m *Machine) Graph() *graph.Graph { return m.g }
+
+// Dead reports whether p has crashed.
+func (m *Machine) Dead(p graph.ProcID) bool { return m.procs[p].dead }
+
+// Kill crashes p benignly at its current program point: whatever
+// half-finished multi-write sequence it was in stays half-finished.
+func (m *Machine) Kill(p graph.ProcID) { m.procs[p].dead = true }
+
+// CrashMaliciously gives p a window of arbitrary register operations
+// (garbage writes to everything it may write) before it halts.
+func (m *Machine) CrashMaliciously(p graph.ProcID, ops int) {
+	if ops <= 0 {
+		m.Kill(p)
+		return
+	}
+	m.procs[p].mal = ops
+}
+
+// InitArbitrary corrupts all registers and caches (domain-respecting).
+func (m *Machine) InitArbitrary(rng *rand.Rand) {
+	for p := range m.state {
+		m.state[p] = core.State(rng.Intn(3) + 1)
+		m.depth[p] = rng.Intn(2*m.d + 4)
+	}
+	for i, e := range m.g.Edges() {
+		if rng.Intn(2) == 0 {
+			m.priority[i] = e.A
+		} else {
+			m.priority[i] = e.B
+		}
+		m.counters[i] = [2]uint8{uint8(rng.Intn(kStates)), uint8(rng.Intn(kStates))}
+	}
+	for _, pr := range m.procs {
+		for i := range pr.edges {
+			e := &pr.edges[i]
+			e.peerCounter = uint8(rng.Intn(kStates))
+			e.peerState = core.State(rng.Intn(3) + 1)
+			e.peerDepth = rng.Intn(2*m.d + 4)
+			e.pendingYield = rng.Intn(4) == 0
+			if rng.Intn(2) == 0 {
+				e.prio = pr.id
+			} else {
+				e.prio = e.peer
+			}
+		}
+		pr.cursor = rng.Intn(len(pr.edges)*microOpsPerEdge + 1)
+	}
+}

@@ -1,0 +1,234 @@
+package lowatomic
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+func newRing(n int, seed int64) *Machine {
+	g := graph.Ring(n)
+	return New(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             seed,
+	})
+}
+
+func TestEveryoneEatsUnderRegisterAtomicity(t *testing.T) {
+	m := newRing(5, 1)
+	m.Run(120000)
+	for p, e := range m.Eats() {
+		if e < 5 {
+			t.Errorf("process %d ate %d times under register atomicity, want >= 5", p, e)
+		}
+	}
+}
+
+func TestSafetyUnderRegisterAtomicityFromLegitStart(t *testing.T) {
+	// From the legitimate start, token possession is exclusive, so no
+	// two neighbors are ever Eating in the ground-truth registers — at
+	// ANY atomic step.
+	g := graph.Complete(4)
+	m := New(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             2,
+	})
+	for i := 0; i < 150000; i++ {
+		m.Run(1)
+		if pairs := m.EatingPairs(); len(pairs) != 0 {
+			t.Fatalf("step %d: eating pairs %v under register atomicity", i, pairs)
+		}
+	}
+	total := int64(0)
+	for _, e := range m.Eats() {
+		total += e
+	}
+	if total == 0 {
+		t.Fatal("nobody ate")
+	}
+}
+
+func TestStabilizationFromGarbageRegisters(t *testing.T) {
+	// Corrupt every register, cache, counter, and program counter; the
+	// system must converge: eventually everyone eats again and safety
+	// violations stop.
+	m := newRing(4, 3)
+	m.InitArbitrary(rand.New(rand.NewSource(99)))
+	m.Run(80000) // convergence window
+	before := m.Eats()
+	violations := 0
+	for i := 0; i < 120000; i++ {
+		m.Run(1)
+		violations += len(m.EatingPairs())
+	}
+	after := m.Eats()
+	for p := range after {
+		if after[p] <= before[p] {
+			t.Errorf("process %d not eating after stabilization", p)
+		}
+	}
+	if violations != 0 {
+		t.Errorf("safety violations after the convergence window: %d", violations)
+	}
+}
+
+func TestCrashMidExitIsAbsorbed(t *testing.T) {
+	// Drive a process into its decomposed exit, kill it between the
+	// state write and the yields, and verify the rest of the ring keeps
+	// dining — the half-finished exit is just another corrupt state
+	// inside the locality.
+	m := newRing(6, 4)
+	var victim graph.ProcID = 2
+	// Run until the victim is mid-exit (exitPhase > 0), then kill it.
+	found := false
+	for i := 0; i < 400000; i++ {
+		m.Run(1)
+		if m.procs[victim].exitPhase > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("victim never entered a decomposed exit")
+	}
+	m.Kill(victim)
+	before := m.Eats()
+	m.Run(200000)
+	after := m.Eats()
+	// Distance >= 3 from victim 2 on ring(6): process 5.
+	if after[5] <= before[5] {
+		t.Error("process 5 (distance 3) stopped eating after the mid-exit crash")
+	}
+}
+
+func TestMaliciousRegisterCrashContained(t *testing.T) {
+	m := newRing(8, 5)
+	m.Run(20000)
+	m.CrashMaliciously(0, 40)
+	m.Run(100000)
+	before := m.Eats()
+	m.Run(200000)
+	after := m.Eats()
+	if !m.Dead(0) {
+		t.Fatal("malicious process did not halt")
+	}
+	for _, p := range []graph.ProcID{3, 4, 5} { // distance >= 3 on ring(8)
+		if after[p] <= before[p] {
+			t.Errorf("process %d (distance >= 3) stopped eating after the malicious register crash", p)
+		}
+	}
+}
+
+func TestOpsAccounting(t *testing.T) {
+	m := newRing(4, 6)
+	if n := m.Run(1000); n != 1000 {
+		t.Errorf("Run executed %d ops, want 1000", n)
+	}
+	if m.Ops() != 1000 {
+		t.Errorf("Ops() = %d, want 1000", m.Ops())
+	}
+}
+
+func TestAllDeadStopsEarly(t *testing.T) {
+	m := newRing(3, 7)
+	for p := 0; p < 3; p++ {
+		m.Kill(graph.ProcID(p))
+	}
+	if n := m.Run(100); n != 0 {
+		t.Errorf("dead system executed %d ops", n)
+	}
+}
+
+// TestSoakLowAtomicChaos runs randomized scenarios against the register
+// engine: random topology, garbage init, random crash barrage (benign
+// and malicious, striking at arbitrary register-program points), then a
+// long audited tail asserting safety and locality.
+func TestSoakLowAtomicChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is slow")
+	}
+	for i := 0; i < 10; i++ {
+		seed := int64(i + 1)
+		rng := rand.New(rand.NewSource(seed * 104729))
+		var g *graph.Graph
+		switch rng.Intn(3) {
+		case 0:
+			g = graph.Ring(5 + rng.Intn(5))
+		case 1:
+			g = graph.Path(5 + rng.Intn(5))
+		default:
+			g = graph.RandomTree(6+rng.Intn(6), rng)
+		}
+		m := New(Config{
+			Graph:            g,
+			Algorithm:        core.NewMCDP(),
+			DiameterOverride: sim.SafeDepthBound(g),
+			Seed:             seed,
+		})
+		if rng.Intn(2) == 0 {
+			m.InitArbitrary(rng)
+		}
+		m.Run(int64(20000 + rng.Intn(30000)))
+		victim := graph.ProcID(rng.Intn(g.N()))
+		if rng.Intn(2) == 0 {
+			m.Kill(victim)
+		} else {
+			m.CrashMaliciously(victim, 1+rng.Intn(40))
+		}
+		m.Run(int64(g.N()) * 60000) // settle
+		before := m.Eats()
+		violations := 0
+		tail := int64(g.N()) * 40000
+		for s := int64(0); s < tail; s += 50 {
+			m.Run(50)
+			violations += len(m.EatingPairs())
+		}
+		after := m.Eats()
+		if violations != 0 {
+			t.Errorf("seed %d on %v: %d eating-pair violations in the tail", seed, g, violations)
+		}
+		for p := 0; p < g.N(); p++ {
+			pid := graph.ProcID(p)
+			if m.Dead(pid) || g.Dist(pid, victim) < 3 {
+				continue
+			}
+			if after[p] <= before[p] {
+				t.Errorf("seed %d on %v: process %d (distance %d) stopped eating",
+					seed, g, p, g.Dist(pid, victim))
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Graph: graph.Ring(3)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for incomplete config")
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	kinds := []opKind{OpReadCounter, OpReadState, OpReadDepth, OpReadPriority,
+		OpAct, OpWritePriority, OpPassToken, opKind(0)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty String() for op %d", k)
+		}
+	}
+}

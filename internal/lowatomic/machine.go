@@ -1,0 +1,324 @@
+package lowatomic
+
+import (
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// believeHold reports whether process pr believes it holds edge e's
+// token, judging its own counter REGISTER against its CACHED copy of the
+// peer's counter (it cannot read and act in one atomic step — that is
+// the whole point of the refinement).
+func (m *Machine) believeHold(pr *proc, e *edgeCache) bool {
+	own := m.ownCounter(pr, e)
+	if e.low {
+		return own == e.peerCounter
+	}
+	return own != e.peerCounter
+}
+
+func (m *Machine) ownCounter(pr *proc, e *edgeCache) uint8 {
+	if e.low {
+		return m.counters[e.idx][0]
+	}
+	return m.counters[e.idx][1]
+}
+
+func (m *Machine) setOwnCounter(pr *proc, e *edgeCache, v uint8) {
+	if e.low {
+		m.counters[e.idx][0] = v
+	} else {
+		m.counters[e.idx][1] = v
+	}
+}
+
+// peerCounterRegister reads the peer's counter register (the ground
+// truth, used by the refresh read).
+func (m *Machine) peerCounterRegister(e *edgeCache) uint8 {
+	if e.low {
+		return m.counters[e.idx][1]
+	}
+	return m.counters[e.idx][0]
+}
+
+// Step lets process p execute its next atomic register operation and
+// returns its kind. Dead processes do nothing (opKind 0).
+func (m *Machine) Step(p graph.ProcID) opKind {
+	pr := m.procs[p]
+	if pr.dead {
+		return 0
+	}
+	m.ops++
+	if pr.mal > 0 {
+		m.maliciousOp(pr)
+		return OpAct
+	}
+	nEdges := len(pr.edges)
+	refreshSlots := nEdges * microOpsPerEdge
+	actSlot := refreshSlots
+	passBase := refreshSlots + 1
+
+	for {
+		switch {
+		case pr.cursor < refreshSlots:
+			e := &pr.edges[pr.cursor/microOpsPerEdge]
+			op := pr.cursor % microOpsPerEdge
+			pr.cursor++
+			switch op {
+			case 0:
+				e.peerCounter = m.peerCounterRegister(e)
+				return OpReadCounter
+			case 1:
+				e.peerState = m.state[e.peer]
+				return OpReadState
+			case 2:
+				e.peerDepth = m.depth[e.peer]
+				return OpReadDepth
+			default:
+				e.prio = m.priority[e.idx]
+				return OpReadPriority
+			}
+		case pr.cursor == actSlot:
+			return m.actOp(pr)
+		case pr.cursor < passBase+nEdges:
+			e := &pr.edges[pr.cursor-passBase]
+			if e.pendingYield && m.believeHold(pr, e) {
+				m.priority[e.idx] = e.peer
+				e.prio = e.peer
+				e.pendingYield = false
+				return OpWritePriority // cursor stays: maybe pass next
+			}
+			if m.believeHold(pr, e) && !m.retains(pr, e) {
+				m.setOwnCounter(pr, e, m.passValue(pr, e))
+				pr.cursor++
+				return OpPassToken
+			}
+			pr.cursor++ // nothing to do on this edge: free local decision
+		default:
+			pr.cursor = 0 // cycle complete
+		}
+	}
+}
+
+// passValue computes the counter value that hands the token over.
+func (m *Machine) passValue(pr *proc, e *edgeCache) uint8 {
+	own := m.ownCounter(pr, e)
+	if e.low {
+		return (own + 1) % kStates
+	}
+	return e.peerCounter
+}
+
+// retains mirrors the message-passing engine's demand rule: eating
+// retains everything; a hungry holder keeps the token unless the peer
+// competes with priority (then the ancestor wins); thinkers grant to any
+// non-thinking peer.
+func (m *Machine) retains(pr *proc, e *edgeCache) bool {
+	switch m.state[pr.id] {
+	case core.Eating:
+		return true
+	case core.Hungry:
+		if e.peerState != core.Hungry && e.peerState != core.Eating {
+			return true
+		}
+		return e.prio != e.peer // keep unless the peer is our ancestor
+	default:
+		return e.peerState != core.Hungry && e.peerState != core.Eating
+	}
+}
+
+// actOp runs the act slot: continue a decomposed exit, or evaluate the
+// algorithm's guards against the cache and execute at most one
+// single-register action. Multi-register commands (exit) decompose into
+// one write per atomic step, so a crash can strand them half-done.
+func (m *Machine) actOp(pr *proc) opKind {
+	p := pr.id
+	// Exit continuation: state was already written; depth and yields
+	// follow one register at a time.
+	if pr.exitPhase == 1 {
+		m.depth[p] = 0
+		pr.exitPhase = 2
+		return OpAct
+	}
+	if pr.exitPhase >= 2 {
+		i := pr.exitPhase - 2
+		if i < len(pr.edges) {
+			e := &pr.edges[i]
+			pr.exitPhase++
+			if i == len(pr.edges)-1 {
+				pr.exitPhase = 0
+				pr.cursor++ // exit finished: the act slot is spent
+			}
+			if m.believeHold(pr, e) {
+				m.priority[e.idx] = e.peer
+				e.prio = e.peer
+				e.pendingYield = false
+				return OpWritePriority
+			}
+			e.pendingYield = true
+			return OpAct // local bookkeeping only
+		}
+		pr.exitPhase = 0
+	}
+
+	// At most ONE action per program cycle: the cursor advances after the
+	// action's (single) register write, forcing a full cache refresh and
+	// a token-pass pass before the next action. Without this, an
+	// always-hungry process would spin join/enter/exit in the act slot
+	// forever on stale caches, never granting a token to anyone.
+	v := machineView{m: m, pr: pr}
+	for a := 0; a < len(m.alg.Actions()); a++ {
+		id := core.ActionID(a)
+		if !m.alg.Enabled(&v, id) {
+			continue
+		}
+		if id == m.enterID && !m.believeHoldAll(pr) {
+			continue
+		}
+		switch id {
+		case m.exitID:
+			m.state[p] = core.Thinking
+			pr.exitPhase = 1 // cursor advances when the decomposition ends
+			return OpAct
+		default:
+			m.alg.Apply(&machineView{m: m, pr: pr}, id)
+			if id == m.enterID && m.state[p] == core.Eating {
+				m.eats[p]++
+			}
+			pr.cursor++
+			return OpAct
+		}
+	}
+	pr.cursor++ // nothing enabled: the act slot is spent
+	return OpAct
+}
+
+func (m *Machine) believeHoldAll(pr *proc) bool {
+	for i := range pr.edges {
+		if !m.believeHold(pr, &pr.edges[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// maliciousOp writes garbage to one arbitrarily chosen register the
+// process may write: its state, its depth, one of its counters, or one
+// incident priority register (the malicious process ignores the token
+// discipline — that is what makes the crash malicious).
+func (m *Machine) maliciousOp(pr *proc) {
+	p := pr.id
+	switch m.rng.Intn(4) {
+	case 0:
+		m.state[p] = core.State(m.rng.Intn(3) + 1)
+	case 1:
+		m.depth[p] = m.rng.Intn(2*m.d + 4)
+	case 2:
+		e := &pr.edges[m.rng.Intn(len(pr.edges))]
+		m.setOwnCounter(pr, e, uint8(m.rng.Intn(kStates)))
+	default:
+		e := &pr.edges[m.rng.Intn(len(pr.edges))]
+		if m.rng.Intn(2) == 0 {
+			m.priority[e.idx] = p
+		} else {
+			m.priority[e.idx] = e.peer
+		}
+	}
+	pr.mal--
+	if pr.mal <= 0 {
+		pr.dead = true
+	}
+}
+
+// Run executes n atomic operations scheduled uniformly at random over
+// the live processes, returning how many were executed (dead-only
+// systems stop early).
+func (m *Machine) Run(n int64) int64 {
+	live := make([]graph.ProcID, 0, m.g.N())
+	var executed int64
+	for executed < n {
+		live = live[:0]
+		for p, pr := range m.procs {
+			if !pr.dead {
+				live = append(live, graph.ProcID(p))
+			}
+		}
+		if len(live) == 0 {
+			return executed
+		}
+		m.Step(live[m.rng.Intn(len(live))])
+		executed++
+	}
+	return executed
+}
+
+// EatingPairs returns edges whose endpoints are both Eating in the
+// ground-truth registers — real-time safety, directly observable because
+// the machine is deterministic and single-threaded.
+func (m *Machine) EatingPairs() []graph.Edge {
+	var pairs []graph.Edge
+	for _, e := range m.g.Edges() {
+		if m.state[e.A] == core.Eating && m.state[e.B] == core.Eating {
+			pairs = append(pairs, e)
+		}
+	}
+	return pairs
+}
+
+// machineView adapts a proc's cache to core.View/Effects. Reads come
+// from the cache (that is the refinement); writes touch exactly one own
+// register, except YieldTo which routes through the token discipline.
+type machineView struct {
+	m  *Machine
+	pr *proc
+}
+
+var _ core.Effects = (*machineView)(nil)
+
+func (v *machineView) ID() graph.ProcID { return v.pr.id }
+
+func (v *machineView) Needs() bool { return v.m.hungry[v.pr.id] }
+
+func (v *machineView) State() core.State { return v.m.state[v.pr.id] }
+
+func (v *machineView) Depth() int { return v.m.depth[v.pr.id] }
+
+func (v *machineView) Diameter() int { return v.m.d }
+
+func (v *machineView) Neighbors() []graph.ProcID { return v.m.g.Neighbors(v.pr.id) }
+
+func (v *machineView) NeighborState(q graph.ProcID) core.State {
+	return v.edgeTo(q).peerState
+}
+
+func (v *machineView) NeighborDepth(q graph.ProcID) int {
+	return v.edgeTo(q).peerDepth
+}
+
+func (v *machineView) HasPriority(q graph.ProcID) bool {
+	return v.edgeTo(q).prio == q
+}
+
+func (v *machineView) SetState(s core.State) { v.m.state[v.pr.id] = s }
+
+func (v *machineView) SetDepth(d int) { v.m.depth[v.pr.id] = d }
+
+func (v *machineView) YieldTo(q graph.ProcID) {
+	e := v.edgeTo(q)
+	if v.m.believeHold(v.pr, e) {
+		v.m.priority[e.idx] = q
+		e.prio = q
+		e.pendingYield = false
+		return
+	}
+	e.pendingYield = true
+}
+
+func (v *machineView) edgeTo(q graph.ProcID) *edgeCache {
+	for i := range v.pr.edges {
+		if v.pr.edges[i].peer == q {
+			return &v.pr.edges[i]
+		}
+	}
+	panic("lowatomic: no edge to neighbor")
+}

@@ -1,0 +1,77 @@
+package msgpass
+
+import (
+	"testing"
+	"time"
+
+	"mcdp/internal/graph"
+)
+
+func TestForkNetworkEveryoneEats(t *testing.T) {
+	nw := NewForkNetwork(ForkConfig{Graph: graph.Ring(5)})
+	nw.Start()
+	time.Sleep(300 * time.Millisecond)
+	nw.Stop()
+	for p, e := range nw.Eats() {
+		if e == 0 {
+			t.Errorf("philosopher %d never ate under Chandy-Misra", p)
+		}
+	}
+	if nw.MessagesSent() == 0 {
+		t.Error("no frames sent")
+	}
+}
+
+func TestForkNetworkSafety(t *testing.T) {
+	nw := NewForkNetwork(ForkConfig{Graph: graph.Complete(4)})
+	nw.Start()
+	time.Sleep(300 * time.Millisecond)
+	nw.Stop()
+	if bad := nw.OverlappingNeighborSessions(); len(bad) != 0 {
+		t.Errorf("CM violated safety: %d overlaps", len(bad))
+	}
+}
+
+func TestForkNetworkCrashStarvesEveryone(t *testing.T) {
+	// The baseline's defining weakness, in its strongest form: kill 0
+	// before the run starts (the initial placement has the low-ID
+	// endpoint holding every incident fork). On a ring, the hungry
+	// survivors each pry one dirty fork loose — which arrives CLEAN and
+	// is then pinned at its hungry holder until that holder eats, which
+	// it never does because the chain terminates at the dead
+	// philosopher. The deadlock wraps all the way around: NOBODY ever
+	// eats. One crash, total starvation — against the paper's failure
+	// locality 2 on the very same scenario.
+	nw := NewForkNetwork(ForkConfig{Graph: graph.Ring(5)})
+	nw.Kill(0)
+	nw.Start()
+	time.Sleep(400 * time.Millisecond)
+	nw.Stop()
+	for p, e := range nw.Eats() {
+		if e != 0 {
+			t.Errorf("philosopher %d ate %d times; the CM ring should starve entirely", p, e)
+		}
+	}
+}
+
+func TestForkNetworkStartStopDiscipline(t *testing.T) {
+	nw := NewForkNetwork(ForkConfig{Graph: graph.Ring(3)})
+	nw.Start()
+	nw.Stop()
+	nw.Stop() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("second Start must panic")
+		}
+	}()
+	nw.Start()
+}
+
+func TestForkNetworkValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewForkNetwork without graph must panic")
+		}
+	}()
+	NewForkNetwork(ForkConfig{})
+}

@@ -1,0 +1,411 @@
+package msgpass
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// actionNamed returns the ID of the algorithm's action with the given
+// name, or -1 if it has none.
+func actionNamed(alg core.Algorithm, name string) core.ActionID {
+	for i, s := range alg.Actions() {
+		if s.Name == name {
+			return core.ActionID(i)
+		}
+	}
+	return -1
+}
+
+// Snapshot is one node's externally observable state at publish time.
+type Snapshot struct {
+	// State and Depth mirror the node's variables.
+	State core.State
+	Depth int
+	// Dead reports whether the node has halted.
+	Dead bool
+	// Events counts the node's processed events.
+	Events int64
+	// Eats counts completed eating sessions.
+	Eats int64
+}
+
+// Network assembles and runs a message-passing diners system.
+type Network struct {
+	cfg   Config
+	nodes []*node
+	wg    sync.WaitGroup
+	done  chan struct{}
+
+	started bool
+	stopped bool
+
+	// control flags polled by nodes each event
+	killFlag []atomic.Bool
+	malFlag  []atomic.Int32
+
+	mu        sync.Mutex
+	table     []Snapshot
+	eats      []int64
+	sessions  []EatSession
+	openSince []time.Time
+
+	sent    atomic.Int64
+	dropped atomic.Int64
+	lost    atomic.Int64
+	lossCtr atomic.Uint64
+
+	isolated []atomic.Bool // transiently partitioned nodes
+
+	// sendFrame, when non-nil, carries frames over an external transport
+	// (e.g. TCP; see NewTCPNetwork) instead of the in-process channel
+	// push. The transport calls inject on the receiving side.
+	sendFrame func(to graph.ProcID, m message) bool
+	// onStop tears the external transport down; it runs after the node
+	// goroutines are signaled and before they are awaited, so blocked
+	// transport reads unblock.
+	onStop func()
+}
+
+// NewNetwork builds a network in the legitimate initial state (all
+// Thinking, depth zero, lower-ID endpoints holding priority and tokens).
+func NewNetwork(cfg Config) *Network {
+	if cfg.Graph == nil {
+		panic("msgpass: Config.Graph is required")
+	}
+	if cfg.Algorithm == nil {
+		panic("msgpass: Config.Algorithm is required")
+	}
+	if cfg.EatEvents <= 0 {
+		cfg.EatEvents = 2
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = time.Millisecond
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 256
+	}
+	g := cfg.Graph
+	nw := &Network{
+		cfg:       cfg,
+		done:      make(chan struct{}),
+		table:     make([]Snapshot, g.N()),
+		eats:      make([]int64, g.N()),
+		openSince: make([]time.Time, g.N()),
+		killFlag:  make([]atomic.Bool, g.N()),
+		malFlag:   make([]atomic.Int32, g.N()),
+		isolated:  make([]atomic.Bool, g.N()),
+	}
+	d := g.Diameter()
+	if cfg.DiameterOverride > 0 {
+		d = cfg.DiameterOverride
+	}
+	nw.nodes = make([]*node, g.N())
+	for p := 0; p < g.N(); p++ {
+		pid := graph.ProcID(p)
+		hungry := true
+		if cfg.Hungry != nil {
+			hungry = cfg.Hungry[p]
+		}
+		nd := &node{
+			net:     nw,
+			id:      pid,
+			alg:     cfg.Algorithm,
+			enterID: actionNamed(cfg.Algorithm, "enter"),
+			exitID:  actionNamed(cfg.Algorithm, "exit"),
+			state:   core.Thinking,
+			hungry:  hungry,
+			d:       d,
+			rng:     rand.New(rand.NewSource(cfg.Seed + int64(p)*7919)),
+			inbox:   make(chan message, cfg.InboxSize),
+		}
+		nbrs := g.Neighbors(pid)
+		idxs := g.IncidentEdgeIndices(pid)
+		nd.edges = make([]edgeState, len(nbrs))
+		for i, q := range nbrs {
+			e := g.Edges()[idxs[i]]
+			nd.edges[i] = edgeState{
+				idx:       idxs[i],
+				peer:      q,
+				low:       pid == e.A,
+				peerState: core.Thinking,
+				priority:  e.A, // lower ID is the ancestor initially
+			}
+		}
+		nw.nodes[p] = nd
+		nw.table[p] = Snapshot{State: core.Thinking}
+	}
+	return nw
+}
+
+// InitArbitrary corrupts every node's variables, caches, and counters
+// with domain-respecting garbage before Start — the message-passing
+// equivalent of a transient fault hitting the whole system.
+func (nw *Network) InitArbitrary(seed int64) {
+	if nw.started {
+		panic("msgpass: InitArbitrary must precede Start")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, nd := range nw.nodes {
+		nd.state = core.State(rng.Intn(3) + 1)
+		nd.depth = rng.Intn(2*nd.d + 4)
+		for i := range nd.edges {
+			e := &nd.edges[i]
+			e.counter = uint8(rng.Intn(kStates))
+			e.peerCounter = uint8(rng.Intn(kStates))
+			e.peerState = core.State(rng.Intn(3) + 1)
+			e.peerDepth = rng.Intn(2*nd.d + 4)
+			if rng.Intn(2) == 0 {
+				e.priority = nd.id
+			} else {
+				e.priority = e.peer
+			}
+			e.pendingYield = rng.Intn(4) == 0
+		}
+	}
+}
+
+// Start launches one goroutine per node. It may be called once.
+func (nw *Network) Start() {
+	if nw.started {
+		panic("msgpass: Start called twice")
+	}
+	nw.started = true
+	for _, nd := range nw.nodes {
+		nw.wg.Add(1)
+		go nd.runGuarded()
+	}
+}
+
+// runGuarded wraps run with the control-flag polling.
+func (n *node) runGuarded() {
+	defer n.net.wg.Done()
+	ticker := time.NewTicker(n.net.cfg.TickEvery)
+	defer ticker.Stop()
+	n.gossipAll()
+	for {
+		select {
+		case <-n.net.done:
+			return
+		case m := <-n.inbox:
+			n.pollControl()
+			n.handle(m)
+		case <-ticker.C:
+			n.pollControl()
+			n.onEvent()
+			n.gossipAll()
+		}
+	}
+}
+
+// pollControl applies pending kill / malicious-crash commands. Crashing
+// (either way) ends any live eating session at that instant: the frozen
+// or garbage E value a dead process leaves behind is a corrupted
+// variable, not an eating session, and the safety property exempts it
+// ("two neighbors eat together only if both are dead").
+func (n *node) pollControl() {
+	if n.net.killFlag[n.id].Load() && !n.dead {
+		n.dead = true
+		n.net.closeOpenSession(n.id)
+		n.publish()
+	}
+	if v := n.net.malFlag[n.id].Swap(0); v > 0 && !n.dead && n.malSteps == 0 {
+		n.malSteps = int(v)
+		n.net.closeOpenSession(n.id)
+	}
+}
+
+// Stop terminates all node goroutines and waits for them.
+func (nw *Network) Stop() {
+	if !nw.started || nw.stopped {
+		return
+	}
+	nw.stopped = true
+	close(nw.done)
+	if nw.onStop != nil {
+		nw.onStop()
+	}
+	nw.wg.Wait()
+	// Close any eating session left open so interval checks see it.
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	now := time.Now()
+	for p, since := range nw.openSince {
+		if !since.IsZero() {
+			nw.sessions = append(nw.sessions, EatSession{Proc: graph.ProcID(p), Start: since, End: now})
+			nw.openSince[p] = time.Time{}
+		}
+	}
+}
+
+// Kill benignly crashes node p: it halts at its next event.
+func (nw *Network) Kill(p graph.ProcID) { nw.killFlag[p].Store(true) }
+
+// SetPartitioned transiently isolates node p: while set, every frame to
+// or from p is lost in transit (the node itself keeps running). Because
+// every frame is full-state gossip, healing the partition lets the
+// protocol resynchronize without any special recovery path — the
+// stabilization property doing its job at the transport level.
+func (nw *Network) SetPartitioned(p graph.ProcID, isolated bool) {
+	nw.isolated[p].Store(isolated)
+}
+
+// CrashMaliciously gives node p a window of arbitrarySteps garbage events
+// before it halts.
+func (nw *Network) CrashMaliciously(p graph.ProcID, arbitrarySteps int) {
+	if arbitrarySteps <= 0 {
+		nw.Kill(p)
+		return
+	}
+	nw.malFlag[p].Store(int32(arbitrarySteps))
+}
+
+// deliver routes a frame to p's inbox without blocking; overflow drops
+// the frame (the periodic gossip retransmits all protocol state), and the
+// configured loss rate drops frames at random, which the protocol must
+// likewise absorb.
+func (nw *Network) deliver(p graph.ProcID, m message) {
+	nw.sent.Add(1)
+	if nw.isolated[p].Load() || nw.isolated[m.from].Load() {
+		nw.lost.Add(1) // partitioned: the frame is lost in transit
+		return
+	}
+	if r := nw.cfg.LossRate; r > 0 {
+		h := splitmix(uint64(nw.cfg.Seed) ^ nw.lossCtr.Add(1)*0x9e3779b97f4a7c15)
+		if float64(h>>11)/float64(1<<53) < r {
+			nw.lost.Add(1)
+			return
+		}
+	}
+	if nw.sendFrame != nil {
+		if !nw.sendFrame(p, m) {
+			nw.lost.Add(1) // transport failure: gossip will retransmit
+		}
+		return
+	}
+	nw.inject(p, m)
+}
+
+// inject pushes a frame into p's inbox without blocking; overflow drops
+// the frame. External transports call this on the receiving side.
+func (nw *Network) inject(p graph.ProcID, m message) {
+	select {
+	case nw.nodes[p].inbox <- m:
+	default:
+		nw.dropped.Add(1)
+	}
+}
+
+// splitmix is the splitmix64 finalizer, giving deliver a cheap
+// thread-safe random stream.
+func splitmix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// publish records a node's observable state.
+func (nw *Network) publish(p graph.ProcID, s core.State, depth int, dead bool, events int64) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.table[p] = Snapshot{
+		State:  s,
+		Depth:  depth,
+		Dead:   dead,
+		Events: events,
+		Eats:   nw.eats[p],
+	}
+}
+
+// closeOpenSession ends p's eating session (if any) at the current
+// instant without counting it as a completed meal.
+func (nw *Network) closeOpenSession(p graph.ProcID) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if since := nw.openSince[p]; !since.IsZero() {
+		nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: time.Now()})
+		nw.openSince[p] = time.Time{}
+	}
+}
+
+// recordEatStart opens an eating session for p.
+func (nw *Network) recordEatStart(p graph.ProcID) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.openSince[p] = time.Now()
+}
+
+// recordEatEnd closes p's eating session and counts it.
+func (nw *Network) recordEatEnd(p graph.ProcID, start time.Time) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.eats[p]++
+	since := nw.openSince[p]
+	if since.IsZero() {
+		since = start
+	}
+	nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: time.Now()})
+	nw.openSince[p] = time.Time{}
+}
+
+// Table returns a copy of the current snapshot table.
+func (nw *Network) Table() []Snapshot {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	out := make([]Snapshot, len(nw.table))
+	copy(out, nw.table)
+	return out
+}
+
+// Eats returns completed eating sessions per node.
+func (nw *Network) Eats() []int64 {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return append([]int64(nil), nw.eats...)
+}
+
+// Sessions returns all completed eating sessions.
+func (nw *Network) Sessions() []EatSession {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return append([]EatSession(nil), nw.sessions...)
+}
+
+// MessagesSent returns the total frames sent (including dropped).
+func (nw *Network) MessagesSent() int64 { return nw.sent.Load() }
+
+// MessagesDropped returns frames dropped to full inboxes.
+func (nw *Network) MessagesDropped() int64 { return nw.dropped.Load() }
+
+// MessagesLost returns frames dropped by the configured loss rate.
+func (nw *Network) MessagesLost() int64 { return nw.lost.Load() }
+
+// OverlappingNeighborSessions returns pairs of completed sessions by
+// neighboring nodes whose intervals overlap — safety violations of the
+// message-passing system.
+func (nw *Network) OverlappingNeighborSessions() []string {
+	sessions := nw.Sessions()
+	g := nw.cfg.Graph
+	var bad []string
+	for i := 0; i < len(sessions); i++ {
+		for j := i + 1; j < len(sessions); j++ {
+			a, b := sessions[i], sessions[j]
+			if a.Proc == b.Proc || !g.HasEdge(a.Proc, b.Proc) {
+				continue
+			}
+			if a.Start.Before(b.End) && b.Start.Before(a.End) {
+				bad = append(bad, fmt.Sprintf("%d@[%v,%v] overlaps %d@[%v,%v]",
+					a.Proc, a.Start, a.End, b.Proc, b.Start, b.End))
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,368 @@
+package msgpass
+
+import (
+	"math/rand"
+	"time"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// edgeState is a node's view of one incident edge.
+type edgeState struct {
+	idx  int          // edge index in the graph
+	peer graph.ProcID // the other endpoint
+	low  bool         // we are the lower-ID endpoint
+
+	counter     uint8 // our K-state counter
+	peerCounter uint8 // freshest counter heard from the peer
+
+	peerState core.State // freshest peer dining state heard
+	peerDepth int        // freshest peer depth heard
+
+	priority     graph.ProcID // our belief of the edge priority holder
+	pendingYield bool         // yield requested while not holding
+}
+
+// holds reports whether this endpoint currently holds the edge token.
+func (e *edgeState) holds() bool {
+	if e.low {
+		return e.counter == e.peerCounter
+	}
+	return e.counter != e.peerCounter
+}
+
+// senderHeld reports whether a message with the given counter was sent by
+// a then-holder of the token (evaluated against our counter).
+func (e *edgeState) senderHeld(counter uint8) bool {
+	if e.low {
+		// Peer is the high endpoint: it holds iff its counter differs
+		// from ours.
+		return counter != e.counter
+	}
+	return counter == e.counter
+}
+
+// pass hands the token over by advancing our counter (Dijkstra K-state
+// two-machine move). The caller must currently hold.
+func (e *edgeState) pass() {
+	if e.low {
+		e.counter = (e.counter + 1) % kStates
+	} else {
+		e.counter = e.peerCounter
+	}
+}
+
+// node is one philosopher goroutine's state. All fields are owned by the
+// node's goroutine; the Network reads published snapshots instead.
+type node struct {
+	net *Network
+	id  graph.ProcID
+	alg core.Algorithm
+
+	// enterID/exitID are the algorithm's actions named "enter"/"exit"
+	// (-1 if absent); the engine attaches the token-atomicity rule and
+	// the eating dwell to them regardless of the algorithm.
+	enterID core.ActionID
+	exitID  core.ActionID
+
+	state  core.State
+	depth  int
+	hungry bool
+	d      int
+
+	edges  []edgeState // aligned with Graph().Neighbors(id)
+	events int64
+
+	eatRemaining int // events left before exit becomes eligible
+	eatStart     time.Time
+
+	dead     bool
+	malSteps int // > 0: malicious window
+	rng      *rand.Rand
+
+	inbox chan message
+}
+
+// handle processes one incoming frame.
+func (n *node) handle(m message) {
+	if n.dead {
+		return // a dead process reads nothing, does nothing
+	}
+	e := n.edgeByIdx(m.edgeIdx)
+	if e == nil || m.from != e.peer {
+		return // stray frame (possible during malicious garbage storms)
+	}
+	// A receiver adopts the priority belief only from a frame whose
+	// counters prove authority: either the sender still holds the token,
+	// or this very frame hands the token over (the passer's final word —
+	// a pass advances the counter before sending, so the plain holder
+	// test would wrongly dismiss it).
+	heldBefore := e.holds()
+	senderHolds := e.senderHeld(m.counter)
+	e.peerCounter = m.counter
+	handover := !heldBefore && e.holds()
+	if (senderHolds || handover) && (m.priority == n.id || m.priority == e.peer) {
+		e.priority = m.priority
+	}
+	if m.state.Valid() {
+		e.peerState = m.state
+	}
+	if m.depth >= 0 {
+		e.peerDepth = m.depth
+	}
+	n.onEvent()
+	// No eager reply: acting on the frame already gossips on state
+	// changes, and the periodic tick re-sends everything. Replying to
+	// every frame would amplify idle edges into message storms (a token
+	// bouncing between two thinking nodes at channel speed).
+}
+
+// onEvent advances the node: malicious windows emit garbage, live nodes
+// apply pending yields, run enabled actions, and account eating time.
+func (n *node) onEvent() {
+	if n.dead {
+		return
+	}
+	n.events++
+	if n.malSteps > 0 {
+		n.maliciousStep()
+		return
+	}
+	if n.state == core.Eating && n.eatRemaining > 0 {
+		n.eatRemaining--
+	}
+	n.applyPendingYields()
+	n.act()
+	n.publish()
+}
+
+// act executes enabled actions (bounded per event) against the node's
+// caches. The enter action carries the engine-level atomicity rule: it
+// fires only while every incident token is held.
+func (n *node) act() {
+	for round := 0; round < 4; round++ {
+		executed := false
+		for a := 0; a < len(n.alg.Actions()); a++ {
+			id := core.ActionID(a)
+			v := nodeView{n: n}
+			if !n.alg.Enabled(&v, id) {
+				continue
+			}
+			if id == n.enterID && !n.holdsAll() {
+				continue
+			}
+			if id == n.exitID && n.state == core.Eating && n.eatRemaining > 0 {
+				continue // dwell: eating spans a few events
+			}
+			before := n.state
+			n.alg.Apply(&nodeView{n: n}, id)
+			executed = true
+			if n.state == core.Eating && before != core.Eating {
+				n.eatRemaining = n.net.cfg.EatEvents
+				n.eatStart = time.Now()
+				n.net.recordEatStart(n.id)
+			}
+			if before == core.Eating && n.state != core.Eating {
+				n.net.recordEatEnd(n.id, n.eatStart)
+			}
+			if n.state != before {
+				n.applyPendingYields()
+				// State changes propagate on the next tick's gossip. An
+				// eager gossipAll here amplifies churn storms (e.g. the
+				// perpetual fixdepth/exit cycle against a dead
+				// descendant's frozen garbage depth) into enough frames
+				// to saturate every inbox and starve the whole system.
+			}
+		}
+		if !executed {
+			return
+		}
+	}
+}
+
+// holdsAll reports whether the node holds every incident token.
+func (n *node) holdsAll() bool {
+	for i := range n.edges {
+		if !n.edges[i].holds() {
+			return false
+		}
+	}
+	return true
+}
+
+// applyPendingYields applies buffered exit-yields on edges we now hold.
+func (n *node) applyPendingYields() {
+	for i := range n.edges {
+		e := &n.edges[i]
+		if e.pendingYield && e.holds() {
+			e.priority = e.peer
+			e.pendingYield = false
+		}
+	}
+}
+
+// gossipAll sends the node's current frame on every edge, passing tokens
+// it holds and does not retain.
+func (n *node) gossipAll() {
+	if n.dead {
+		return
+	}
+	for i := range n.edges {
+		n.gossipEdge(&n.edges[i])
+	}
+}
+
+// gossipEdge sends the current frame on one edge. Tokens move on demand,
+// not on every round: the holder keeps the token by default and grants it
+// when the peer's gossiped hunger asks for it (see shouldGrant). Frames
+// themselves flow every tick regardless, carrying state/depth/priority.
+func (n *node) gossipEdge(e *edgeState) {
+	if n.dead {
+		return
+	}
+	if e.holds() && n.shouldGrant(e) {
+		if e.pendingYield {
+			e.priority = e.peer
+			e.pendingYield = false
+		}
+		e.pass()
+	}
+	n.send(e, message{
+		edgeIdx:  e.idx,
+		from:     n.id,
+		counter:  e.counter,
+		state:    n.state,
+		depth:    n.depth,
+		priority: e.priority,
+	})
+}
+
+// shouldGrant decides whether a held token is handed to the peer. The
+// peer's hunger is its (gossiped) request for the token; the edge
+// priority arbitrates between two hungry endpoints. An eating node never
+// grants — held tokens are exactly what makes eating exclusive. Keeping
+// the token from a thinking peer is always safe: the peer will request by
+// becoming hungry, which its tick gossip announces. This mirrors the
+// shared-memory semantics: a process waits only on its ancestors, so a
+// hungry descendant can never block an ancestor by hoarding.
+func (n *node) shouldGrant(e *edgeState) bool {
+	if n.state == core.Eating {
+		return false
+	}
+	if e.peerState != core.Hungry && e.peerState != core.Eating {
+		return false
+	}
+	if n.state != core.Hungry {
+		return true // we don't compete: grant to whoever wants it
+	}
+	return e.priority == e.peer // both compete: the ancestor wins
+}
+
+// send delivers a frame without ever blocking the event loop: a full peer
+// inbox drops the frame, which the periodic gossip retransmits.
+func (n *node) send(e *edgeState, m message) {
+	n.net.deliver(e.peer, m)
+}
+
+// maliciousStep emits one garbage frame per edge with arbitrary counters,
+// states, depths, and priorities, then counts the window down; at zero the
+// node halts for good.
+func (n *node) maliciousStep() {
+	for i := range n.edges {
+		e := &n.edges[i]
+		garbage := message{
+			edgeIdx:  e.idx,
+			from:     n.id,
+			counter:  uint8(n.rng.Intn(kStates)),
+			state:    core.State(n.rng.Intn(3) + 1),
+			depth:    n.rng.Intn(2*n.d + 4),
+			priority: [2]graph.ProcID{n.id, e.peer}[n.rng.Intn(2)],
+		}
+		// The malicious node also corrupts its own variables.
+		e.counter = garbage.counter
+		e.priority = garbage.priority
+		n.send(e, garbage)
+	}
+	n.state = core.State(n.rng.Intn(3) + 1)
+	n.depth = n.rng.Intn(2*n.d + 4)
+	n.malSteps--
+	if n.malSteps <= 0 {
+		n.dead = true
+	}
+	n.publish()
+}
+
+// publish pushes the node's externally observable state to the network's
+// snapshot table.
+func (n *node) publish() {
+	n.net.publish(n.id, n.state, n.depth, n.dead, n.events)
+}
+
+// edgeByIdx locates the incident edge with the given graph edge index.
+func (n *node) edgeByIdx(idx int) *edgeState {
+	for i := range n.edges {
+		if n.edges[i].idx == idx {
+			return &n.edges[i]
+		}
+	}
+	return nil
+}
+
+// nodeView adapts a node's caches to core.View / core.Effects.
+type nodeView struct {
+	n *node
+}
+
+var _ core.Effects = (*nodeView)(nil)
+
+func (v *nodeView) ID() graph.ProcID { return v.n.id }
+
+func (v *nodeView) Needs() bool { return v.n.hungry }
+
+func (v *nodeView) State() core.State { return v.n.state }
+
+func (v *nodeView) Depth() int { return v.n.depth }
+
+func (v *nodeView) Diameter() int { return v.n.d }
+
+func (v *nodeView) Neighbors() []graph.ProcID {
+	return v.n.net.cfg.Graph.Neighbors(v.n.id)
+}
+
+func (v *nodeView) NeighborState(q graph.ProcID) core.State {
+	return v.n.edgeTo(q).peerState
+}
+
+func (v *nodeView) NeighborDepth(q graph.ProcID) int {
+	return v.n.edgeTo(q).peerDepth
+}
+
+func (v *nodeView) HasPriority(q graph.ProcID) bool {
+	return v.n.edgeTo(q).priority == q
+}
+
+func (v *nodeView) SetState(s core.State) { v.n.state = s }
+
+func (v *nodeView) SetDepth(d int) { v.n.depth = d }
+
+// YieldTo records the yield; it takes effect on the edge the moment the
+// node holds its token (immediately if it already does).
+func (v *nodeView) YieldTo(q graph.ProcID) {
+	e := v.n.edgeTo(q)
+	if e.holds() {
+		e.priority = q
+		e.pendingYield = false
+		return
+	}
+	e.pendingYield = true
+}
+
+func (n *node) edgeTo(q graph.ProcID) *edgeState {
+	for i := range n.edges {
+		if n.edges[i].peer == q {
+			return &n.edges[i]
+		}
+	}
+	panic("msgpass: no edge to neighbor")
+}

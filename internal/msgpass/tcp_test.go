@@ -1,0 +1,80 @@
+package msgpass
+
+import (
+	"testing"
+	"time"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+func TestTCPEveryoneEats(t *testing.T) {
+	g := graph.Ring(5)
+	nw, err := NewTCPNetwork(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	time.Sleep(500 * time.Millisecond)
+	nw.Stop()
+	for p, e := range nw.Eats() {
+		if e == 0 {
+			t.Errorf("node %d never ate over TCP", p)
+		}
+	}
+	if nw.MessagesSent() == 0 {
+		t.Error("no frames sent over TCP")
+	}
+	if bad := nw.OverlappingNeighborSessions(); len(bad) != 0 {
+		t.Errorf("safety violated over TCP: %d overlaps", len(bad))
+	}
+}
+
+func TestTCPMaliciousCrashLocality(t *testing.T) {
+	g := graph.Path(6)
+	nw, err := NewTCPNetwork(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	time.Sleep(100 * time.Millisecond)
+	nw.CrashMaliciously(0, 20)
+	time.Sleep(250 * time.Millisecond)
+	before := nw.Eats()
+	time.Sleep(450 * time.Millisecond)
+	nw.Stop()
+	after := nw.Eats()
+	for p := 3; p < g.N(); p++ {
+		if after[p] <= before[p] {
+			t.Errorf("node %d (distance >= 3) stopped eating over TCP after the crash", p)
+		}
+	}
+}
+
+func TestTCPStopIsClean(t *testing.T) {
+	g := graph.Complete(4)
+	nw, err := NewTCPNetwork(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	time.Sleep(100 * time.Millisecond)
+	nw.Stop()
+	nw.Stop() // idempotent, must not hang or panic
+}

@@ -1,0 +1,73 @@
+package sim
+
+// omniscientScheduler is a daemon with full knowledge of the global
+// state that greedily delays a goal predicate: at each step it picks the
+// enabled choice whose execution keeps the goal false if any exists,
+// preferring choices that undo progress. It is the strongest adversary
+// expressible against a stabilizing algorithm short of exhaustive
+// search, and the fairness guard still bounds how long it can starve
+// any single action — exactly the paper's daemon model.
+type omniscientScheduler struct {
+	goal  func(r StateReader) bool
+	probe *World // scratch world used to evaluate candidate steps
+}
+
+// NewOmniscientScheduler returns a daemon that, knowing the whole state,
+// tries to keep goal false for as long as weak fairness allows. The
+// engine evaluates each candidate choice by applying it to a scratch
+// copy of the state, so the scheduler is O(enabled × goal-cost) per
+// step — use it for worst-case measurements, not throughput runs.
+func NewOmniscientScheduler(goal func(r StateReader) bool) Scheduler {
+	return &omniscientScheduler{goal: goal}
+}
+
+func (s *omniscientScheduler) Name() string { return "omniscient" }
+
+func (s *omniscientScheduler) Pick(w *World, enabled []Choice) Choice {
+	// Lazily build a probe world mirroring w's configuration.
+	if s.probe == nil || s.probe.g != w.g {
+		s.probe = NewWorld(Config{
+			Graph:            w.g,
+			Algorithm:        w.alg,
+			Workload:         w.wl,
+			DiameterOverride: w.d,
+		})
+	}
+	// Try each enabled choice on the probe; take the first that leaves
+	// the goal false. Malicious pseudo-steps are taken eagerly (they are
+	// the adversary's own moves).
+	var fallback *Choice
+	for i := range enabled {
+		c := enabled[i]
+		if c.Malicious() {
+			return c
+		}
+		s.copyInto(w)
+		if !s.probe.StepChosen(c) {
+			continue // shouldn't happen; guard against drift
+		}
+		if !s.goal(s.probe) {
+			return c
+		}
+		if fallback == nil {
+			fallback = &enabled[i]
+		}
+	}
+	if fallback != nil {
+		return *fallback
+	}
+	return enabled[0]
+}
+
+// copyInto mirrors w's observable state into the probe.
+func (s *omniscientScheduler) copyInto(w *World) {
+	p := s.probe
+	copy(p.state, w.state)
+	copy(p.depth, w.depth)
+	copy(p.status, w.status)
+	copy(p.malSteps, w.malSteps)
+	copy(p.priority, w.priority)
+	p.step = w.step
+	p.faults = nil
+	p.faultNext = 0
+}

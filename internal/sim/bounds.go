@@ -1,0 +1,18 @@
+package sim
+
+import "mcdp/internal/graph"
+
+// SafeDepthBound returns n-1 for the graph: an upper bound on the length
+// of any simple directed path in any acyclic orientation of it.
+//
+// The paper sets the cycle-detection threshold to the system diameter D,
+// but the longest simple priority path can exceed the diameter (e.g. a
+// chain orientation of a ring), in which case depth legitimately exceeds D
+// in acyclic states and exit fires as a false positive; on ring(4) the
+// resulting exits recreate rotated chains forever, so the system never
+// converges to the invariant (see TestDiameterThresholdLivelockFinding and
+// experiment E2 in EXPERIMENTS.md). Using SafeDepthBound as
+// Config.DiameterOverride removes all false positives: depth greater than
+// n-1 proves a priority cycle. On trees the diameter already equals the
+// longest simple path, so the paper's constant is safe there.
+func SafeDepthBound(g *graph.Graph) int { return g.N() - 1 }

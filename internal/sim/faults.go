@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"mcdp/internal/graph"
+)
+
+// FaultKind classifies a scheduled fault event.
+type FaultKind uint8
+
+// Fault kinds of the paper's model.
+const (
+	// BenignCrash halts the process immediately; it takes no further
+	// steps and its variables freeze at their current values.
+	BenignCrash FaultKind = iota + 1
+	// MaliciousCrash puts the process into its finite window of arbitrary
+	// steps (writes to its own and its incident shared variables), after
+	// which it halts undetectably.
+	MaliciousCrash
+	// TransientFault perturbs the entire global state to arbitrary values
+	// without killing anyone — the classic stabilization challenge.
+	TransientFault
+	// InitiallyDead marks the process dead before it ever takes a step
+	// (use with Step 0).
+	InitiallyDead
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case BenignCrash:
+		return "benign-crash"
+	case MaliciousCrash:
+		return "malicious-crash"
+	case TransientFault:
+		return "transient"
+	case InitiallyDead:
+		return "initially-dead"
+	default:
+		return "?"
+	}
+}
+
+// FaultEvent is one scheduled fault.
+type FaultEvent struct {
+	// Step is when the fault strikes (before that step's action runs).
+	Step int64
+	// Kind is the fault class.
+	Kind FaultKind
+	// Proc is the victim (ignored for TransientFault).
+	Proc graph.ProcID
+	// ArbitrarySteps is, for MaliciousCrash, how many arbitrary steps the
+	// process performs before halting.
+	ArbitrarySteps int
+}
+
+// FaultPlan is a schedule of fault events, applied in step order. A plan
+// is immutable once handed to a world: NewWorld copies the events and
+// keeps its own delivery cursor, so one plan can configure many worlds.
+type FaultPlan struct {
+	events []FaultEvent
+}
+
+// NewFaultPlan builds a plan from events, sorting them by step.
+func NewFaultPlan(events ...FaultEvent) *FaultPlan {
+	p := &FaultPlan{events: append([]FaultEvent(nil), events...)}
+	sort.SliceStable(p.events, func(i, j int) bool { return p.events[i].Step < p.events[j].Step })
+	return p
+}
+
+// Add appends an event; events may be added in any order before the run
+// passes their step.
+func (p *FaultPlan) Add(e FaultEvent) *FaultPlan {
+	p.events = append(p.events, e)
+	sort.SliceStable(p.events, func(i, j int) bool { return p.events[i].Step < p.events[j].Step })
+	return p
+}
+
+// Events returns a copy of the scheduled events.
+func (p *FaultPlan) Events() []FaultEvent {
+	return append([]FaultEvent(nil), p.events...)
+}
+
+// applyFaults fires every scheduled event due at or before the world's
+// current step.
+func (w *World) applyFaults(step int64) {
+	for w.faultNext < len(w.faults) && w.faults[w.faultNext].Step <= step {
+		ev := w.faults[w.faultNext]
+		w.faultNext++
+		switch ev.Kind {
+		case BenignCrash, InitiallyDead:
+			w.Kill(ev.Proc)
+		case MaliciousCrash:
+			w.CrashMaliciously(ev.Proc, ev.ArbitrarySteps)
+		case TransientFault:
+			w.InitArbitrary(w.rng)
+		default:
+			panic(fmt.Sprintf("sim: unknown fault kind %v", ev.Kind))
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/workload"
+)
+
+func TestFaultPlanOrdering(t *testing.T) {
+	p := NewFaultPlan(
+		FaultEvent{Step: 30, Kind: BenignCrash, Proc: 2},
+		FaultEvent{Step: 10, Kind: BenignCrash, Proc: 0},
+		FaultEvent{Step: 20, Kind: BenignCrash, Proc: 1},
+	)
+	evs := p.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].Step > evs[i].Step {
+			t.Fatalf("events out of order: %+v", evs)
+		}
+	}
+}
+
+func TestFaultPlanAdd(t *testing.T) {
+	p := NewFaultPlan(FaultEvent{Step: 50, Kind: BenignCrash, Proc: 1})
+	p.Add(FaultEvent{Step: 5, Kind: BenignCrash, Proc: 0})
+	evs := p.Events()
+	if len(evs) != 2 || evs[0].Step != 5 {
+		t.Fatalf("Add misordered events: %+v", evs)
+	}
+}
+
+func TestFaultPlanReusableAcrossWorlds(t *testing.T) {
+	// A single plan must drive any number of worlds: each world keeps
+	// its own delivery cursor (regression test for the shared-cursor
+	// bug found via experiment E6).
+	plan := NewFaultPlan(FaultEvent{Step: 10, Kind: BenignCrash, Proc: 1})
+	for trial := 0; trial < 3; trial++ {
+		w := NewWorld(Config{
+			Graph:     graph.Ring(4),
+			Algorithm: core.NewMCDP(),
+			Seed:      int64(trial),
+			Faults:    plan,
+		})
+		w.Run(50)
+		if !w.Dead(1) {
+			t.Fatalf("trial %d: the fault did not fire (shared cursor?)", trial)
+		}
+	}
+}
+
+func TestInitiallyDeadFiresBeforeFirstStep(t *testing.T) {
+	w := NewWorld(Config{
+		Graph:     graph.Ring(4),
+		Algorithm: core.NewMCDP(),
+		Seed:      1,
+		Faults:    NewFaultPlan(FaultEvent{Step: 0, Kind: InitiallyDead, Proc: 3}),
+	})
+	moved := false
+	w.Observe(ObserverFunc(func(_ *World, _ int64, c Choice) {
+		if c.Proc == 3 {
+			moved = true
+		}
+	}))
+	w.Run(500)
+	if moved {
+		t.Error("initially dead process took a step")
+	}
+}
+
+func TestTransientFaultPerturbsAndRecovers(t *testing.T) {
+	g := graph.Ring(5)
+	w := NewWorld(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Seed:             3,
+		DiameterOverride: SafeDepthBound(g),
+		Faults:           NewFaultPlan(FaultEvent{Step: 200, Kind: TransientFault}),
+	})
+	// After the transient fault everyone must still eventually eat.
+	eatsAfter := make([]int, g.N())
+	w.Observe(ObserverFunc(func(w *World, step int64, c Choice) {
+		if step > 200 && w.State(c.Proc) == core.Eating {
+			eatsAfter[c.Proc]++
+		}
+	}))
+	w.Run(20000)
+	for p, e := range eatsAfter {
+		if e == 0 {
+			t.Errorf("process %d never ate after the transient fault", p)
+		}
+	}
+}
+
+func TestMaliciousWindowCountsExactly(t *testing.T) {
+	w := NewWorld(Config{
+		Graph:     graph.Ring(4),
+		Algorithm: core.NewMCDP(),
+		Seed:      5,
+		Faults: NewFaultPlan(FaultEvent{
+			Step: 0, Kind: MaliciousCrash, Proc: 2, ArbitrarySteps: 11,
+		}),
+	})
+	mal := 0
+	w.Observe(ObserverFunc(func(_ *World, _ int64, c Choice) {
+		if c.Malicious() {
+			mal++
+		}
+	}))
+	w.Run(5000)
+	if mal != 11 {
+		t.Errorf("malicious steps executed = %d, want exactly 11", mal)
+	}
+	if w.Status(2) != Dead {
+		t.Errorf("victim status = %v, want dead", w.Status(2))
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	cases := map[FaultKind]string{
+		BenignCrash:    "benign-crash",
+		MaliciousCrash: "malicious-crash",
+		TransientFault: "transient",
+		InitiallyDead:  "initially-dead",
+		FaultKind(0):   "?",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("FaultKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestRunIdlingAdvancesClock(t *testing.T) {
+	// Never hungry from the terminal state: executing nothing, the clock
+	// still moves.
+	g := graph.Ring(4)
+	w := NewWorld(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.NeverHungry(),
+		Seed:             1,
+		DiameterOverride: SafeDepthBound(g),
+	})
+	w.Run(100000) // settle to the terminal state
+	before := w.Steps()
+	executed := w.RunIdling(50)
+	if executed != 0 {
+		t.Errorf("executed %d actions in a terminal state", executed)
+	}
+	if w.Steps() != before+50 {
+		t.Errorf("clock advanced to %d, want %d", w.Steps(), before+50)
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+import "fmt"
+
+// RecordChoices returns an observer that appends every executed choice
+// to dst. Use together with Replay for deterministic re-execution:
+//
+//	var tape []sim.Choice
+//	w.Observe(sim.RecordChoices(&tape))
+//	w.Run(n)
+//	replayed, err := sim.Replay(cfg, tape) // same cfg, same fault plan
+func RecordChoices(dst *[]Choice) Observer {
+	return ObserverFunc(func(_ *World, _ int64, c Choice) {
+		*dst = append(*dst, c)
+	})
+}
+
+// Replay re-executes a recorded tape of choices against a fresh world
+// built from cfg (which must match the recording run's configuration,
+// including its fault plan — fault events replay by step number). It
+// returns the final world, or an error naming the first tape position
+// whose choice was not enabled, which indicates the configuration
+// diverged from the recording.
+func Replay(cfg Config, tape []Choice) (*World, error) {
+	w := NewWorld(cfg)
+	for i, c := range tape {
+		if !w.StepChosen(c) {
+			return w, fmt.Errorf("sim: replay diverged at step %d: %+v not enabled", i, c)
+		}
+	}
+	return w, nil
+}

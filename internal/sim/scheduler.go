@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math/rand"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// MaliciousAction is the pseudo action-ID of a malicious process's
+// arbitrary step. It never appears in Algorithm.Actions().
+const MaliciousAction core.ActionID = -1
+
+// Choice is one schedulable step: an enabled (process, action) pair, or a
+// malicious process's arbitrary step.
+type Choice struct {
+	// Proc is the process taking the step.
+	Proc graph.ProcID
+	// Action is the enabled action, or MaliciousAction.
+	Action core.ActionID
+}
+
+// Malicious reports whether the choice is a malicious arbitrary step.
+func (c Choice) Malicious() bool { return c.Action == MaliciousAction }
+
+// Scheduler is the daemon: it picks which enabled action executes next.
+// The engine wraps every scheduler in a fairness guard, so schedulers need
+// not be fair themselves — including deliberately adversarial ones.
+type Scheduler interface {
+	// Name identifies the scheduler for traces and tables.
+	Name() string
+	// Pick selects one element of enabled, which is never empty. The
+	// slice is owned by the engine and must not be retained.
+	Pick(w *World, enabled []Choice) Choice
+}
+
+// randomScheduler picks uniformly at random.
+type randomScheduler struct {
+	rng *rand.Rand
+}
+
+// NewRandomScheduler returns a daemon choosing uniformly among enabled
+// actions. It is weakly fair with probability 1; the engine's guard makes
+// it deterministically so.
+func NewRandomScheduler(seed int64) Scheduler {
+	return &randomScheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *randomScheduler) Name() string { return "random" }
+
+func (s *randomScheduler) Pick(_ *World, enabled []Choice) Choice {
+	return enabled[s.rng.Intn(len(enabled))]
+}
+
+// roundRobinScheduler cycles over (process, action) slots, executing the
+// next enabled slot at or after the cursor. It is weakly fair on its own.
+type roundRobinScheduler struct {
+	cursor int
+}
+
+// NewRoundRobinScheduler returns a deterministic weakly fair daemon that
+// services (process, action) slots cyclically.
+func NewRoundRobinScheduler() Scheduler { return &roundRobinScheduler{} }
+
+func (s *roundRobinScheduler) Name() string { return "roundrobin" }
+
+func (s *roundRobinScheduler) Pick(w *World, enabled []Choice) Choice {
+	slots := w.g.N() * (w.numActions + 1)
+	// Find the enabled choice whose slot is the first at or after the
+	// cursor, cyclically.
+	best := enabled[0]
+	bestDist := slots
+	for _, c := range enabled {
+		slot := int(c.Proc) * (w.numActions + 1)
+		if c.Action == MaliciousAction {
+			slot += w.numActions
+		} else {
+			slot += int(c.Action)
+		}
+		dist := slot - s.cursor
+		if dist < 0 {
+			dist += slots
+		}
+		if dist < bestDist {
+			bestDist = dist
+			best = c
+		}
+	}
+	s.cursor = (s.cursor + bestDist + 1) % slots
+	return best
+}
+
+// adversarialScheduler starves a victim process for as long as the
+// fairness guard permits, preferring steps by processes nearest the victim
+// so contention concentrates around it. It models a worst-case daemon for
+// the failure-locality experiments.
+type adversarialScheduler struct {
+	victim graph.ProcID
+	rng    *rand.Rand
+}
+
+// NewAdversarialScheduler returns a daemon that never schedules victim (or
+// its hungriest competitors last) unless the fairness guard forces it.
+func NewAdversarialScheduler(victim graph.ProcID, seed int64) Scheduler {
+	return &adversarialScheduler{victim: victim, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *adversarialScheduler) Name() string { return "adversarial" }
+
+func (s *adversarialScheduler) Pick(w *World, enabled []Choice) Choice {
+	candidates := make([]Choice, 0, len(enabled))
+	for _, c := range enabled {
+		if c.Proc != s.victim {
+			candidates = append(candidates, c)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = enabled
+	}
+	// Prefer the candidate closest to the victim to maximize interference.
+	best := candidates[0]
+	bestDist := w.g.Dist(best.Proc, s.victim)
+	for _, c := range candidates[1:] {
+		d := w.g.Dist(c.Proc, s.victim)
+		if d >= 0 && (bestDist < 0 || d < bestDist) {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// fairnessTracker enforces weak fairness over any scheduler: it records
+// since when each (process, action) slot has been continuously enabled and
+// forces the longest-starved slot once its wait exceeds the bound.
+type fairnessTracker struct {
+	n          int
+	numActions int
+	bound      int64
+	since      []int64 // -1 when not enabled; else first step of the
+	// current continuous enabledness window
+	marked []bool // scratch, reused every step
+}
+
+func newFairnessTracker(n, numActions int, bound int64) *fairnessTracker {
+	slots := n * (numActions + 1)
+	t := &fairnessTracker{
+		n:          n,
+		numActions: numActions,
+		bound:      bound,
+		since:      make([]int64, slots),
+		marked:     make([]bool, slots),
+	}
+	t.reset()
+	return t
+}
+
+func (t *fairnessTracker) reset() {
+	for i := range t.since {
+		t.since[i] = -1
+	}
+}
+
+func (t *fairnessTracker) slot(c Choice) int {
+	a := int(c.Action)
+	if c.Action == MaliciousAction {
+		a = t.numActions
+	}
+	return int(c.Proc)*(t.numActions+1) + a
+}
+
+// observe updates continuity windows given this step's enabled set and
+// returns a forced choice if some slot has starved past the bound.
+func (t *fairnessTracker) observe(step int64, enabled []Choice) (Choice, bool) {
+	marked := t.marked
+	for i := range marked {
+		marked[i] = false
+	}
+	var (
+		forced    Choice
+		forcedAge int64 = -1
+	)
+	for _, c := range enabled {
+		s := t.slot(c)
+		marked[s] = true
+		if t.since[s] < 0 {
+			t.since[s] = step
+		}
+		if age := step - t.since[s]; age >= t.bound && age > forcedAge {
+			forced, forcedAge = c, age
+		}
+	}
+	for s := range t.since {
+		if !marked[s] {
+			t.since[s] = -1
+		}
+	}
+	return forced, forcedAge >= 0
+}
+
+// executed resets the continuity window of the slot that just ran.
+func (t *fairnessTracker) executed(c Choice) {
+	t.since[t.slot(c)] = -1
+}

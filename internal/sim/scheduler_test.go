@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/workload"
+)
+
+func TestFairnessTrackerForcesStarvedSlot(t *testing.T) {
+	tr := newFairnessTracker(2, 3, 5)
+	c := Choice{Proc: 1, Action: 2}
+	for step := int64(0); step < 5; step++ {
+		if forced, ok := tr.observe(step, []Choice{c}); ok {
+			t.Fatalf("forced %+v at step %d, before the bound", forced, step)
+		}
+	}
+	forced, ok := tr.observe(5, []Choice{c})
+	if !ok || forced != c {
+		t.Fatalf("expected forcing of %+v at the bound; got %+v, %v", c, forced, ok)
+	}
+}
+
+func TestFairnessTrackerResetsOnDisable(t *testing.T) {
+	tr := newFairnessTracker(1, 2, 3)
+	c := Choice{Proc: 0, Action: 1}
+	tr.observe(0, []Choice{c})
+	tr.observe(1, []Choice{c})
+	// The guard window restarts when the action is disabled for a step.
+	tr.observe(2, nil)
+	for step := int64(3); step < 6; step++ {
+		if _, ok := tr.observe(step, []Choice{c}); ok {
+			t.Fatalf("forced at step %d after a continuity break", step)
+		}
+	}
+	if _, ok := tr.observe(6, []Choice{c}); !ok {
+		t.Fatal("expected forcing after a full continuous window")
+	}
+}
+
+func TestFairnessTrackerResetsOnExecution(t *testing.T) {
+	tr := newFairnessTracker(1, 2, 3)
+	c := Choice{Proc: 0, Action: 0}
+	tr.observe(0, []Choice{c})
+	tr.executed(c)
+	for step := int64(1); step < 4; step++ {
+		if _, ok := tr.observe(step, []Choice{c}); ok {
+			t.Fatalf("forced at step %d right after execution", step)
+		}
+	}
+}
+
+func TestFairnessTrackerMaliciousSlot(t *testing.T) {
+	tr := newFairnessTracker(2, 3, 2)
+	c := Choice{Proc: 1, Action: MaliciousAction}
+	tr.observe(0, []Choice{c})
+	tr.observe(1, []Choice{c})
+	if _, ok := tr.observe(2, []Choice{c}); !ok {
+		t.Fatal("malicious pseudo-action must be subject to fairness too")
+	}
+}
+
+func TestRoundRobinServicesAllSlots(t *testing.T) {
+	// On a small always-hungry ring, round-robin must not starve anyone.
+	w := NewWorld(Config{
+		Graph:     graph.Ring(5),
+		Algorithm: core.NewMCDP(),
+		Workload:  workload.AlwaysHungry(),
+		Scheduler: NewRoundRobinScheduler(),
+		Seed:      1,
+	})
+	eats := make([]int, 5)
+	w.Observe(ObserverFunc(func(w *World, _ int64, c Choice) {
+		if w.State(c.Proc) == core.Eating {
+			eats[c.Proc]++
+		}
+	}))
+	w.Run(5000)
+	for p, e := range eats {
+		if e == 0 {
+			t.Errorf("round-robin starved process %d", p)
+		}
+	}
+}
+
+func TestAdversarialSchedulerStillFair(t *testing.T) {
+	// The adversary tries to starve the victim; the fairness guard must
+	// still let it make progress.
+	victim := graph.ProcID(2)
+	w := NewWorld(Config{
+		Graph:     graph.Ring(6),
+		Algorithm: core.NewMCDP(),
+		Workload:  workload.AlwaysHungry(),
+		Scheduler: NewAdversarialScheduler(victim, 9),
+		Seed:      9,
+	})
+	victimEats := 0
+	w.Observe(ObserverFunc(func(w *World, _ int64, c Choice) {
+		if c.Proc == victim && w.State(c.Proc) == core.Eating {
+			victimEats++
+		}
+	}))
+	w.Run(40000)
+	if victimEats == 0 {
+		t.Fatal("the adversarial daemon starved the victim despite the fairness guard")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	cases := map[string]Scheduler{
+		"random":      NewRandomScheduler(1),
+		"roundrobin":  NewRoundRobinScheduler(),
+		"adversarial": NewAdversarialScheduler(0, 1),
+	}
+	for want, s := range cases {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestChoiceMalicious(t *testing.T) {
+	if (Choice{Proc: 1, Action: 2}).Malicious() {
+		t.Error("regular choice reported malicious")
+	}
+	if !(Choice{Proc: 1, Action: MaliciousAction}).Malicious() {
+		t.Error("malicious choice not reported")
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// Observer is notified after every executed step. Observers must not
+// mutate the world.
+type Observer interface {
+	// AfterStep runs after choice c executed as step number step (the
+	// world already reflects the step's effects; its counter is step+1).
+	AfterStep(w *World, step int64, c Choice)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(w *World, step int64, c Choice)
+
+// AfterStep implements Observer.
+func (f ObserverFunc) AfterStep(w *World, step int64, c Choice) { f(w, step, c) }
+
+// EnabledChoices appends to buf every currently schedulable choice: each
+// enabled (live process, action) pair plus one malicious pseudo-step per
+// process in its malicious window. It returns the extended buffer.
+func (w *World) EnabledChoices(buf []Choice) []Choice {
+	n := w.g.N()
+	for p := 0; p < n; p++ {
+		pid := graph.ProcID(p)
+		switch w.status[p] {
+		case Dead:
+			continue
+		case Malicious:
+			buf = append(buf, Choice{Proc: pid, Action: MaliciousAction})
+			continue
+		}
+		w.view.p = pid
+		for a := 0; a < w.numActions; a++ {
+			if w.alg.Enabled(&w.view, core.ActionID(a)) {
+				buf = append(buf, Choice{Proc: pid, Action: core.ActionID(a)})
+			}
+		}
+	}
+	return buf
+}
+
+// Step executes one atomic action: it applies fault events due at the
+// current step, gathers schedulable choices, lets the fairness-guarded
+// scheduler pick one, and applies it. It reports false — with a zero
+// Choice — if nothing was schedulable (the computation terminated).
+func (w *World) Step() (Choice, bool) {
+	w.applyFaults(w.step)
+	w.enabledBuf = w.EnabledChoices(w.enabledBuf[:0])
+	enabled := w.enabledBuf
+	if len(enabled) == 0 {
+		return Choice{}, false
+	}
+	choice, forced := w.fair.observe(w.step, enabled)
+	if !forced {
+		choice = w.sched.Pick(w, enabled)
+	}
+	w.apply(choice)
+	w.fair.executed(choice)
+	step := w.step
+	w.step++
+	for _, o := range w.observers {
+		o.AfterStep(w, step, choice)
+	}
+	return choice, true
+}
+
+// apply executes the chosen step's effect on the global state.
+func (w *World) apply(c Choice) {
+	if c.Malicious() {
+		w.perturbProcess(c.Proc, w.rng)
+		w.malSteps[c.Proc]--
+		if w.malSteps[c.Proc] <= 0 {
+			w.status[c.Proc] = Dead
+		}
+		return
+	}
+	w.effects.p = c.Proc
+	w.alg.Apply(&w.effects, c.Action)
+}
+
+// StepChosen executes the given choice directly if it is currently
+// schedulable (after applying due fault events), bypassing the daemon.
+// It reports whether the choice was enabled and executed. Intended for
+// tests, differential checking, and trace replay.
+func (w *World) StepChosen(c Choice) bool {
+	w.applyFaults(w.step)
+	w.enabledBuf = w.EnabledChoices(w.enabledBuf[:0])
+	found := false
+	for _, e := range w.enabledBuf {
+		if e == c {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	w.apply(c)
+	w.fair.executed(c)
+	step := w.step
+	w.step++
+	for _, o := range w.observers {
+		o.AfterStep(w, step, c)
+	}
+	return true
+}
+
+// Run executes up to maxSteps steps, stopping early on termination. It
+// returns the number of steps executed.
+func (w *World) Run(maxSteps int64) int64 {
+	var executed int64
+	for executed < maxSteps {
+		if _, ok := w.Step(); !ok {
+			break
+		}
+		executed++
+	}
+	return executed
+}
+
+// RunIdling executes up to maxSteps clock steps; when no action is
+// enabled it advances the clock one step without executing anything (an
+// idle tick). Use it with stochastic workloads: in the plain interleaving
+// semantics a state with nothing enabled terminates the computation, but
+// under external demand arriving over time (needs():p as a function of
+// the step), the daemon merely idles until some guard becomes true again.
+// It returns the number of actions actually executed.
+func (w *World) RunIdling(maxSteps int64) int64 {
+	var executed int64
+	for i := int64(0); i < maxSteps; i++ {
+		if _, ok := w.Step(); ok {
+			executed++
+		} else {
+			w.step++
+		}
+	}
+	return executed
+}
+
+// RunUntil executes steps until pred returns true (checked before each
+// step, including immediately), the computation terminates, or maxSteps
+// steps have run. It reports whether pred held on exit.
+func (w *World) RunUntil(pred func(w *World) bool, maxSteps int64) bool {
+	for i := int64(0); ; i++ {
+		if pred(w) {
+			return true
+		}
+		if i >= maxSteps {
+			return false
+		}
+		if _, ok := w.Step(); !ok {
+			return pred(w)
+		}
+	}
+}

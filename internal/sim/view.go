@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// procView adapts a World to core.View for one process. The World keeps a
+// single reusable instance, so guard evaluation allocates nothing; the
+// simulator is single-threaded by construction.
+type procView struct {
+	w *World
+	p graph.ProcID
+}
+
+var _ core.View = (*procView)(nil)
+
+func (v *procView) ID() graph.ProcID { return v.p }
+
+func (v *procView) Needs() bool { return v.w.wl.Needs(v.p, v.w.step) }
+
+func (v *procView) State() core.State { return v.w.state[v.p] }
+
+func (v *procView) Depth() int { return v.w.depth[v.p] }
+
+func (v *procView) Diameter() int { return v.w.d }
+
+func (v *procView) Neighbors() []graph.ProcID { return v.w.g.Neighbors(v.p) }
+
+func (v *procView) NeighborState(q graph.ProcID) core.State { return v.w.state[q] }
+
+func (v *procView) NeighborDepth(q graph.ProcID) int { return v.w.depth[q] }
+
+// HasPriority reports whether the shared variable on edge {p, q} holds q,
+// i.e. q is a direct ancestor of p.
+func (v *procView) HasPriority(q graph.ProcID) bool {
+	return v.w.priority[v.w.g.EdgeIndex(v.p, q)] == q
+}
+
+// procEffects extends procView with the restricted writes of the model.
+type procEffects struct {
+	procView
+}
+
+var _ core.Effects = (*procEffects)(nil)
+
+func (e *procEffects) SetState(s core.State) { e.w.state[e.p] = s }
+
+func (e *procEffects) SetDepth(d int) { e.w.depth[e.p] = d }
+
+// YieldTo sets priority.p.q := q: process p may only ever give priority
+// away, never seize it.
+func (e *procEffects) YieldTo(q graph.ProcID) {
+	e.w.priority[e.w.g.EdgeIndex(e.p, q)] = q
+}

@@ -1,0 +1,300 @@
+// Package sim executes guarded-command diners algorithms (core.Algorithm)
+// under the paper's computation model: interleaving semantics driven by a
+// weakly fair daemon, with fault injection for benign crashes, malicious
+// crashes, transient faults, and arbitrary initial states.
+//
+// A World holds the global state: each process's dining state and depth,
+// the shared per-edge priority variables, and each process's liveness
+// status. Step advances the computation by one atomic action. All
+// randomness flows from the seed in Config, so runs are reproducible.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/workload"
+)
+
+// Status is a process's liveness status.
+type Status uint8
+
+// Liveness statuses. A malicious process is in its finite window of
+// arbitrary steps; when the window closes it becomes Dead, undetectably to
+// its neighbors.
+const (
+	Live Status = iota + 1
+	Malicious
+	Dead
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Live:
+		return "live"
+	case Malicious:
+		return "malicious"
+	case Dead:
+		return "dead"
+	default:
+		return "?"
+	}
+}
+
+// StateReader is read-only access to a global state. The simulator's World
+// implements it, as do the model checker's decoded states, so the
+// specification predicates in internal/spec work over both.
+type StateReader interface {
+	// Graph returns the topology.
+	Graph() *graph.Graph
+	// DiameterConst returns the constant D the processes use (normally
+	// Graph().Diameter(), possibly an over-estimate).
+	DiameterConst() int
+	// State returns process p's dining state.
+	State(p graph.ProcID) core.State
+	// Depth returns process p's depth variable.
+	Depth(p graph.ProcID) int
+	// Dead reports whether p has ceased operation (Dead status). A
+	// Malicious process is not yet dead: it still takes (arbitrary) steps.
+	Dead(p graph.ProcID) bool
+	// Priority returns the holder of the shared priority variable on edge
+	// e: the endpoint with priority (the ancestor side).
+	Priority(e graph.Edge) graph.ProcID
+}
+
+// Config describes a simulation.
+type Config struct {
+	// Graph is the topology. Required.
+	Graph *graph.Graph
+	// Algorithm is the diners algorithm to run. Required.
+	Algorithm core.Algorithm
+	// Workload drives needs():p. Defaults to workload.AlwaysHungry().
+	Workload workload.Profile
+	// Scheduler picks among enabled actions. Defaults to
+	// NewRandomScheduler(Seed).
+	Scheduler Scheduler
+	// Seed drives all simulator randomness (fault perturbations, default
+	// scheduler, arbitrary initialization).
+	Seed int64
+	// DiameterOverride, if positive, replaces the true diameter as the
+	// constant D known to processes. The algorithm remains correct for any
+	// D >= diameter; the E10 ablation measures the cost of over-estimates.
+	DiameterOverride int
+	// FairnessBound limits how many steps a continuously enabled action
+	// may be passed over before the fairness guard forces it, making every
+	// scheduler weakly fair. Zero selects a default proportional to the
+	// number of (process, action) pairs.
+	FairnessBound int64
+	// Faults is the fault schedule. Optional.
+	Faults *FaultPlan
+}
+
+// World is the global state of a running simulation.
+type World struct {
+	g     *graph.Graph
+	alg   core.Algorithm
+	wl    workload.Profile
+	sched Scheduler
+	d     int
+	step  int64
+	rng   *rand.Rand
+
+	state    []core.State
+	depth    []int
+	status   []Status
+	malSteps []int          // remaining arbitrary steps while Malicious
+	priority []graph.ProcID // per edge index: the ancestor endpoint
+
+	numActions int
+	faults     []FaultEvent // private copy, sorted by step
+	faultNext  int
+	fair       *fairnessTracker
+	observers  []Observer
+
+	// scratch buffers reused across steps to avoid per-step allocation
+	enabledBuf []Choice
+	view       procView
+	effects    procEffects
+}
+
+// NewWorld builds a world in the legitimate initial state: every process
+// Thinking with depth 0, and the priority graph oriented by identifier
+// (lower ID is the ancestor), which is acyclic.
+func NewWorld(cfg Config) *World {
+	if cfg.Graph == nil {
+		panic("sim: Config.Graph is required")
+	}
+	if cfg.Algorithm == nil {
+		panic("sim: Config.Algorithm is required")
+	}
+	w := &World{
+		g:     cfg.Graph,
+		alg:   cfg.Algorithm,
+		wl:    cfg.Workload,
+		sched: cfg.Scheduler,
+		d:     cfg.Graph.Diameter(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.DiameterOverride > 0 {
+		w.d = cfg.DiameterOverride
+	}
+	if w.wl == nil {
+		w.wl = workload.AlwaysHungry()
+	}
+	if w.sched == nil {
+		w.sched = NewRandomScheduler(cfg.Seed + 1)
+	}
+	n := w.g.N()
+	w.numActions = len(w.alg.Actions())
+	w.state = make([]core.State, n)
+	w.depth = make([]int, n)
+	w.status = make([]Status, n)
+	w.malSteps = make([]int, n)
+	w.priority = make([]graph.ProcID, w.g.EdgeCount())
+	for p := 0; p < n; p++ {
+		w.state[p] = core.Thinking
+		w.status[p] = Live
+	}
+	for i, e := range w.g.Edges() {
+		w.priority[i] = e.A // lower ID is ancestor: acyclic orientation
+	}
+	bound := cfg.FairnessBound
+	if bound <= 0 {
+		bound = int64(8 * n * (w.numActions + 1))
+	}
+	w.fair = newFairnessTracker(n, w.numActions, bound)
+	if cfg.Faults != nil {
+		w.faults = cfg.Faults.Events() // private copy with a private cursor
+	}
+	w.view = procView{w: w}
+	w.effects = procEffects{procView: procView{w: w}}
+	return w
+}
+
+// InitArbitrary overwrites the entire global state with arbitrary values
+// from each variable's domain: random dining states, random depths in
+// [0, 2D+3], and random edge orientations. This models the aftermath of a
+// transient fault, the starting point of the paper's stabilization
+// theorem. Corruption respects the variables' types ({T,H,E} for state),
+// as in the paper's shared-memory model; an out-of-domain state value
+// would freeze the process for good, indistinguishable from a benign
+// crash.
+func (w *World) InitArbitrary(rng *rand.Rand) {
+	for p := range w.state {
+		w.perturbProcess(graph.ProcID(p), rng)
+	}
+	for i := range w.priority {
+		e := w.g.Edges()[i]
+		if rng.Intn(2) == 0 {
+			w.priority[i] = e.A
+		} else {
+			w.priority[i] = e.B
+		}
+	}
+	w.fair.reset()
+}
+
+// perturbProcess assigns arbitrary values to p's own variables and its
+// incident shared variables. Used both by InitArbitrary and by the
+// malicious-crash steps.
+func (w *World) perturbProcess(p graph.ProcID, rng *rand.Rand) {
+	w.state[p] = core.State(rng.Intn(3) + 1)
+	w.depth[p] = rng.Intn(2*w.d + 4)
+	for _, ei := range w.g.IncidentEdgeIndices(p) {
+		e := w.g.Edges()[ei]
+		if rng.Intn(2) == 0 {
+			w.priority[ei] = e.A
+		} else {
+			w.priority[ei] = e.B
+		}
+	}
+}
+
+// Graph implements StateReader.
+func (w *World) Graph() *graph.Graph { return w.g }
+
+// DiameterConst implements StateReader.
+func (w *World) DiameterConst() int { return w.d }
+
+// State implements StateReader.
+func (w *World) State(p graph.ProcID) core.State { return w.state[p] }
+
+// Depth implements StateReader.
+func (w *World) Depth(p graph.ProcID) int { return w.depth[p] }
+
+// Dead implements StateReader.
+func (w *World) Dead(p graph.ProcID) bool { return w.status[p] == Dead }
+
+// Status returns p's liveness status.
+func (w *World) Status(p graph.ProcID) Status { return w.status[p] }
+
+// Priority implements StateReader.
+func (w *World) Priority(e graph.Edge) graph.ProcID {
+	i := w.g.EdgeIndex(e.A, e.B)
+	if i < 0 {
+		panic(fmt.Sprintf("sim: no edge %v in %v", e, w.g))
+	}
+	return w.priority[i]
+}
+
+// Steps returns the current step counter (number of atomic actions
+// executed so far).
+func (w *World) Steps() int64 { return w.step }
+
+// Algorithm returns the algorithm under execution.
+func (w *World) Algorithm() core.Algorithm { return w.alg }
+
+// DeadProcs returns the processes that are currently Dead.
+func (w *World) DeadProcs() []graph.ProcID {
+	var dead []graph.ProcID
+	for p, st := range w.status {
+		if st == Dead {
+			dead = append(dead, graph.ProcID(p))
+		}
+	}
+	return dead
+}
+
+// SetState overwrites process p's dining state. Intended for tests and
+// scenario setup; running programs mutate state only through actions.
+func (w *World) SetState(p graph.ProcID, s core.State) { w.state[p] = s }
+
+// SetDepth overwrites process p's depth variable (tests/scenario setup).
+func (w *World) SetDepth(p graph.ProcID, d int) { w.depth[p] = d }
+
+// SetPriority orients edge {p, q} so that ancestor holds priority
+// (tests/scenario setup). ancestor must be p or q.
+func (w *World) SetPriority(p, q, ancestor graph.ProcID) {
+	i := w.g.EdgeIndex(p, q)
+	if i < 0 {
+		panic(fmt.Sprintf("sim: no edge (%d,%d) in %v", p, q, w.g))
+	}
+	if ancestor != p && ancestor != q {
+		panic(fmt.Sprintf("sim: ancestor %d not an endpoint of (%d,%d)", ancestor, p, q))
+	}
+	w.priority[i] = ancestor
+}
+
+// Observe registers an observer notified after every executed step.
+func (w *World) Observe(o Observer) { w.observers = append(w.observers, o) }
+
+// Kill marks p dead immediately (a benign crash happening now).
+func (w *World) Kill(p graph.ProcID) {
+	w.status[p] = Dead
+	w.malSteps[p] = 0
+}
+
+// CrashMaliciously puts p into its malicious window: for the next
+// arbitrarySteps scheduled steps p performs arbitrary writes to its own
+// and incident shared variables, then halts.
+func (w *World) CrashMaliciously(p graph.ProcID, arbitrarySteps int) {
+	if arbitrarySteps <= 0 {
+		w.Kill(p)
+		return
+	}
+	w.status[p] = Malicious
+	w.malSteps[p] = arbitrarySteps
+}

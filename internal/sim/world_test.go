@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/workload"
+)
+
+func newRingWorld(t *testing.T, n int, seed int64) *World {
+	t.Helper()
+	return NewWorld(Config{
+		Graph:     graph.Ring(n),
+		Algorithm: core.NewMCDP(),
+		Workload:  workload.AlwaysHungry(),
+		Seed:      seed,
+	})
+}
+
+func TestNewWorldLegitimateInitialState(t *testing.T) {
+	w := newRingWorld(t, 6, 1)
+	for p := 0; p < 6; p++ {
+		pid := graph.ProcID(p)
+		if w.State(pid) != core.Thinking {
+			t.Errorf("initial state of %d = %v, want T", p, w.State(pid))
+		}
+		if w.Depth(pid) != 0 {
+			t.Errorf("initial depth of %d = %d, want 0", p, w.Depth(pid))
+		}
+		if w.Status(pid) != Live {
+			t.Errorf("initial status of %d = %v, want live", p, w.Status(pid))
+		}
+	}
+	for _, e := range w.Graph().Edges() {
+		if w.Priority(e) != e.A {
+			t.Errorf("initial priority on %v = %d, want %d (lower ID)", e, w.Priority(e), e.A)
+		}
+	}
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld without a graph must panic")
+		}
+	}()
+	NewWorld(Config{Algorithm: core.NewMCDP()})
+}
+
+func TestNewWorldRequiresAlgorithm(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld without an algorithm must panic")
+		}
+	}()
+	NewWorld(Config{Graph: graph.Ring(3)})
+}
+
+func TestDiameterOverride(t *testing.T) {
+	g := graph.Ring(8) // true diameter 4
+	w := NewWorld(Config{Graph: g, Algorithm: core.NewMCDP(), DiameterOverride: 9})
+	if w.DiameterConst() != 9 {
+		t.Errorf("DiameterConst() = %d, want 9", w.DiameterConst())
+	}
+	w2 := NewWorld(Config{Graph: g, Algorithm: core.NewMCDP()})
+	if w2.DiameterConst() != 4 {
+		t.Errorf("DiameterConst() = %d, want 4", w2.DiameterConst())
+	}
+}
+
+// TestEveryoneEatsOnARing is the basic liveness smoke test: fault-free,
+// always hungry, every process eats repeatedly.
+func TestEveryoneEatsOnARing(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		w := newRingWorld(t, 6, seed)
+		eats := make([]int, 6)
+		w.Observe(ObserverFunc(func(w *World, _ int64, c Choice) {
+			if !c.Malicious() && w.State(c.Proc) == core.Eating {
+				eats[c.Proc]++
+			}
+		}))
+		w.Run(6000)
+		for p, e := range eats {
+			if e < 5 {
+				t.Errorf("seed %d: process %d ate %d times in 6000 steps, want >= 5", seed, p, e)
+			}
+		}
+	}
+}
+
+// TestSafetyAlwaysHoldsFromLegitimateStart verifies no two neighbors ever
+// eat together in fault-free runs from the legitimate initial state.
+func TestSafetyAlwaysHoldsFromLegitimateStart(t *testing.T) {
+	tops := []*graph.Graph{
+		graph.Ring(5),
+		graph.Path(7),
+		graph.Star(6),
+		graph.Complete(4),
+		graph.Grid(3, 3),
+	}
+	for _, g := range tops {
+		w := NewWorld(Config{Graph: g, Algorithm: core.NewMCDP(), Seed: 7})
+		violated := false
+		w.Observe(ObserverFunc(func(w *World, _ int64, _ Choice) {
+			for _, e := range w.Graph().Edges() {
+				if w.State(e.A) == core.Eating && w.State(e.B) == core.Eating {
+					violated = true
+				}
+			}
+		}))
+		w.Run(4000)
+		if violated {
+			t.Errorf("%v: two neighbors ate simultaneously in a fault-free run", g)
+		}
+	}
+}
+
+func TestKillStopsProcess(t *testing.T) {
+	w := newRingWorld(t, 5, 3)
+	w.Kill(2)
+	if !w.Dead(2) {
+		t.Fatal("Kill(2) did not mark 2 dead")
+	}
+	moved := false
+	w.Observe(ObserverFunc(func(_ *World, _ int64, c Choice) {
+		if c.Proc == 2 {
+			moved = true
+		}
+	}))
+	w.Run(1000)
+	if moved {
+		t.Error("dead process took a step")
+	}
+	if got := w.DeadProcs(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("DeadProcs() = %v, want [2]", got)
+	}
+}
+
+func TestCrashMaliciouslyEventuallyHalts(t *testing.T) {
+	w := newRingWorld(t, 5, 4)
+	w.CrashMaliciously(1, 7)
+	if w.Status(1) != Malicious {
+		t.Fatalf("status after CrashMaliciously = %v, want malicious", w.Status(1))
+	}
+	malSteps := 0
+	w.Observe(ObserverFunc(func(_ *World, _ int64, c Choice) {
+		if c.Proc == 1 && c.Malicious() {
+			malSteps++
+		}
+	}))
+	w.Run(3000)
+	if malSteps != 7 {
+		t.Errorf("malicious process took %d arbitrary steps, want exactly 7", malSteps)
+	}
+	if w.Status(1) != Dead {
+		t.Errorf("status after window = %v, want dead", w.Status(1))
+	}
+}
+
+func TestCrashMaliciouslyZeroStepsKillsImmediately(t *testing.T) {
+	w := newRingWorld(t, 5, 4)
+	w.CrashMaliciously(1, 0)
+	if w.Status(1) != Dead {
+		t.Errorf("status = %v, want dead", w.Status(1))
+	}
+}
+
+func TestInitArbitraryPerturbsEverything(t *testing.T) {
+	w := newRingWorld(t, 12, 5)
+	rng := rand.New(rand.NewSource(99))
+	w.InitArbitrary(rng)
+	// With 12 processes, overwhelmingly unlikely to remain all-Thinking
+	// with all-zero depths under arbitrary init.
+	allDefault := true
+	for p := 0; p < 12; p++ {
+		if w.State(graph.ProcID(p)) != core.Thinking || w.Depth(graph.ProcID(p)) != 0 {
+			allDefault = false
+		}
+	}
+	if allDefault {
+		t.Error("InitArbitrary left the default state (suspicious)")
+	}
+}
+
+func TestRunUntilPredicate(t *testing.T) {
+	w := newRingWorld(t, 4, 6)
+	ok := w.RunUntil(func(w *World) bool {
+		for p := 0; p < 4; p++ {
+			if w.State(graph.ProcID(p)) == core.Eating {
+				return true
+			}
+		}
+		return false
+	}, 2000)
+	if !ok {
+		t.Error("nobody ate within 2000 steps of an always-hungry ring")
+	}
+}
+
+func TestRunUntilReturnsFalseOnBudget(t *testing.T) {
+	w := newRingWorld(t, 4, 6)
+	if w.RunUntil(func(*World) bool { return false }, 10) {
+		t.Error("RunUntil reported success for an unsatisfiable predicate")
+	}
+	if w.Steps() != 10 {
+		t.Errorf("Steps() = %d, want 10", w.Steps())
+	}
+}
+
+func TestTerminationWhenNobodyHungryWithSafeBound(t *testing.T) {
+	// Nobody ever needs to eat. With the safe depth bound (n-1, an upper
+	// bound on the longest simple priority path) the depth machinery
+	// settles: fixdepth raises depths to their fixpoint without any
+	// false-positive cycle detection, and the computation terminates with
+	// every process still Thinking throughout.
+	g := graph.Ring(4)
+	w := NewWorld(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.NeverHungry(),
+		Seed:             1,
+		DiameterOverride: SafeDepthBound(g),
+	})
+	w.Observe(ObserverFunc(func(w *World, _ int64, c Choice) {
+		if w.State(c.Proc) != core.Thinking {
+			t.Errorf("process %d left Thinking without ever being hungry", c.Proc)
+		}
+	}))
+	if n := w.Run(100000); n >= 100000 {
+		t.Fatalf("never-hungry run did not terminate (ran %d steps)", n)
+	}
+	if _, ok := w.Step(); ok {
+		t.Error("Step() reported progress after termination")
+	}
+}
+
+// TestDiameterThresholdLivelockFinding pins down a reproduction finding:
+// with the paper's literal threshold D = diameter, an acyclic "chain"
+// orientation of ring(4) (longest priority path 3 > D = 2) drives the
+// source's depth past D, firing a false-positive cycle-breaking exit that
+// recreates a rotated chain — forever. The repair (any upper bound on the
+// longest simple path, such as n-1) is exercised by the test above; this
+// test documents that the faithful threshold really livelocks.
+func TestDiameterThresholdLivelockFinding(t *testing.T) {
+	w := NewWorld(Config{
+		Graph:     graph.Ring(4),
+		Algorithm: core.NewMCDP(),
+		Workload:  workload.NeverHungry(),
+		Seed:      1,
+	})
+	const budget = 50000
+	if n := w.Run(budget); n < budget {
+		t.Errorf("expected the D=diameter churn to livelock, but it terminated after %d steps", n)
+	}
+}
+
+func TestSetPriorityValidation(t *testing.T) {
+	w := newRingWorld(t, 5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetPriority with non-endpoint ancestor must panic")
+		}
+	}()
+	w.SetPriority(0, 1, 3)
+}
+
+func TestPriorityPanicsOnNonEdge(t *testing.T) {
+	w := newRingWorld(t, 5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Priority on a non-edge must panic")
+		}
+	}()
+	w.Priority(graph.Edge{A: 0, B: 2})
+}
+
+// TestDeterminism: identical configs produce identical executions.
+func TestDeterminism(t *testing.T) {
+	run := func() []Choice {
+		w := NewWorld(Config{
+			Graph:     graph.Grid(3, 3),
+			Algorithm: core.NewMCDP(),
+			Workload:  workload.Bernoulli(0.5, 42),
+			Seed:      42,
+			Faults: NewFaultPlan(
+				FaultEvent{Step: 50, Kind: MaliciousCrash, Proc: 4, ArbitrarySteps: 5},
+			),
+		})
+		var choices []Choice
+		w.Observe(ObserverFunc(func(_ *World, _ int64, c Choice) {
+			choices = append(choices, c)
+		}))
+		w.Run(500)
+		return choices
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at step %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{Live: "live", Malicious: "malicious", Dead: "dead", Status(0): "?"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package spec
+
+import (
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// chainInfinite marks l.p when p lies on or downstream of a live priority
+// cycle, making its live-ancestor chain unbounded.
+const chainInfinite = int(^uint(0) >> 1) // math.MaxInt
+
+// AcyclicModuloDead reports the paper's predicate NC: if the priority
+// graph contains a cycle, at least one process in the cycle is dead.
+// Equivalently, the priority digraph restricted to live processes is
+// acyclic. Edges are directed from the priority holder (ancestor) to the
+// other endpoint (descendant).
+func AcyclicModuloDead(r sim.StateReader) bool {
+	g := r.Graph()
+	n := g.N()
+	// 0 = unvisited, 1 = on stack, 2 = done.
+	color := make([]uint8, n)
+	var visit func(p graph.ProcID) bool
+	visit = func(p graph.ProcID) bool {
+		color[p] = 1
+		for _, q := range DirectDescendants(r, p) {
+			if r.Dead(q) {
+				continue
+			}
+			switch color[q] {
+			case 1:
+				return false
+			case 0:
+				if !visit(q) {
+					return false
+				}
+			}
+		}
+		color[p] = 2
+		return true
+	}
+	for p := 0; p < n; p++ {
+		if color[p] == 0 && !r.Dead(graph.ProcID(p)) {
+			if !visit(graph.ProcID(p)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LiveCycleMembers returns the live processes that lie on some priority
+// cycle consisting entirely of live processes. Empty iff NC holds.
+func LiveCycleMembers(r sim.StateReader) []graph.ProcID {
+	g := r.Graph()
+	n := g.N()
+	// Tarjan-free approach: repeatedly strip live sources/sinks; what
+	// remains of the live digraph is the union of cycles plus paths
+	// between them. Simpler: a live process is on a live cycle iff it can
+	// reach itself through live processes.
+	reach := func(from, to graph.ProcID) bool {
+		seen := make([]bool, n)
+		stack := []graph.ProcID{from}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range DirectDescendants(r, u) {
+				if r.Dead(v) || seen[v] {
+					continue
+				}
+				if v == to {
+					return true
+				}
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+		return false
+	}
+	var members []graph.ProcID
+	for p := 0; p < n; p++ {
+		pid := graph.ProcID(p)
+		if !r.Dead(pid) && reach(pid, pid) {
+			members = append(members, pid)
+		}
+	}
+	return members
+}
+
+// LiveAncestorChains returns l.p for every process: the length of the
+// longest chain of live ancestors of p, including p itself when live. If
+// p lies on or downstream of a live priority cycle the chain is unbounded
+// and l.p = chainInfinite. For a dead p the chain counts only the live
+// suffix ending just above p (and is rarely consulted: SH.p holds for dead
+// p regardless).
+func LiveAncestorChains(r sim.StateReader) []int {
+	g := r.Graph()
+	n := g.N()
+	l := make([]int, n)
+	// state: 0 unvisited, 1 in progress, 2 done
+	state := make([]uint8, n)
+	var visit func(p graph.ProcID) int
+	visit = func(p graph.ProcID) int {
+		if state[p] == 2 {
+			return l[p]
+		}
+		if state[p] == 1 {
+			// p is on a live cycle (we only recurse through live nodes).
+			l[p] = chainInfinite
+			state[p] = 2
+			return l[p]
+		}
+		state[p] = 1
+		best := 0
+		for _, q := range DirectAncestors(r, p) {
+			if r.Dead(q) {
+				continue
+			}
+			lq := visit(q)
+			if lq == chainInfinite {
+				best = chainInfinite
+				break
+			}
+			if lq > best {
+				best = lq
+			}
+		}
+		if state[p] == 2 {
+			// Marked infinite by a re-entrant visit while on stack.
+			return l[p]
+		}
+		if best == chainInfinite {
+			l[p] = chainInfinite
+		} else if r.Dead(p) {
+			l[p] = best
+		} else {
+			l[p] = best + 1
+		}
+		state[p] = 2
+		return l[p]
+	}
+	for p := 0; p < n; p++ {
+		visit(graph.ProcID(p))
+	}
+	return l
+}
+
+// Shallow reports the paper's predicate SH.p given precomputed chains l:
+//
+//	(p dead) ∨ (depth.p <= D ∧ ∀ direct descendants q:
+//	        (depth.q + l.p <= D) ∨ (depth.q + 1 <= depth.p))
+func Shallow(r sim.StateReader, p graph.ProcID, l []int) bool {
+	if r.Dead(p) {
+		return true
+	}
+	d := r.DiameterConst()
+	if r.Depth(p) > d {
+		return false
+	}
+	lp := l[p]
+	for _, q := range DirectDescendants(r, p) {
+		dq := r.Depth(q)
+		if lp != chainInfinite && dq+lp <= d {
+			continue
+		}
+		if dq+1 <= r.Depth(p) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// descendantsOf returns the set (as a bitmap) of processes reachable from
+// p in the priority digraph, excluding p itself unless p is on a cycle.
+func descendantsOf(r sim.StateReader, p graph.ProcID) []bool {
+	n := r.Graph().N()
+	seen := make([]bool, n)
+	stack := []graph.ProcID{p}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range DirectDescendants(r, u) {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// StablyShallow reports whether every process is shallow and, unless dead,
+// all of its live descendants are shallow — the paper's predicate ST,
+// evaluated for all processes at once. It returns the per-process stably
+// shallow flags and whether ST (their conjunction) holds.
+func StablyShallow(r sim.StateReader) (perProc []bool, all bool) {
+	g := r.Graph()
+	n := g.N()
+	l := LiveAncestorChains(r)
+	shallow := make([]bool, n)
+	for p := 0; p < n; p++ {
+		shallow[p] = Shallow(r, graph.ProcID(p), l)
+	}
+	perProc = make([]bool, n)
+	all = true
+	for p := 0; p < n; p++ {
+		pid := graph.ProcID(p)
+		if r.Dead(pid) {
+			perProc[p] = true
+			continue
+		}
+		if !shallow[p] {
+			all = false
+			continue
+		}
+		ok := true
+		for q, isDesc := range descendantsOf(r, pid) {
+			if isDesc && !r.Dead(graph.ProcID(q)) && !shallow[q] {
+				ok = false
+				break
+			}
+		}
+		perProc[p] = ok
+		if !ok {
+			all = false
+		}
+	}
+	return perProc, all
+}
+
+// InvariantReport itemizes the conjuncts of the paper's invariant
+// I = NC ∧ ST ∧ E for one state.
+type InvariantReport struct {
+	// NC: priority cycles all contain a dead process (Lemma 1).
+	NC bool
+	// ST: every process is stably shallow (Lemma 3).
+	ST bool
+	// E: eating neighbors are both dead (Lemma 4).
+	E bool
+}
+
+// Holds reports I = NC ∧ ST ∧ E.
+func (ir InvariantReport) Holds() bool { return ir.NC && ir.ST && ir.E }
+
+// CheckInvariant evaluates the paper's invariant I on state r.
+func CheckInvariant(r sim.StateReader) InvariantReport {
+	_, st := StablyShallow(r)
+	return InvariantReport{
+		NC: AcyclicModuloDead(r),
+		ST: st,
+		E:  EatingExclusionHolds(r),
+	}
+}
+
+// DepthsBounded reports Corollary 1's consequence of I: every live
+// process's depth is at most D.
+func DepthsBounded(r sim.StateReader) bool {
+	n := r.Graph().N()
+	for p := 0; p < n; p++ {
+		pid := graph.ProcID(p)
+		if !r.Dead(pid) && r.Depth(pid) > r.DiameterConst() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,266 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/workload"
+)
+
+func TestAcyclicModuloDeadOnDefaultOrientation(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Ring(6), graph.Complete(5), graph.Grid(3, 3)} {
+		w := world(g)
+		if !AcyclicModuloDead(w) {
+			t.Errorf("%v: ID orientation must be acyclic", g)
+		}
+	}
+}
+
+// orientCycle makes a directed priority cycle 0 -> 1 -> ... -> n-1 -> 0 on
+// a ring (ancestor points to descendant).
+func orientCycle(w *sim.World) {
+	n := w.Graph().N()
+	for i := 0; i < n; i++ {
+		w.SetPriority(graph.ProcID(i), graph.ProcID((i+1)%n), graph.ProcID(i))
+	}
+}
+
+func TestAcyclicModuloDeadDetectsCycle(t *testing.T) {
+	w := world(graph.Ring(5))
+	orientCycle(w)
+	if AcyclicModuloDead(w) {
+		t.Fatal("cycle not detected")
+	}
+	members := LiveCycleMembers(w)
+	if len(members) != 5 {
+		t.Fatalf("LiveCycleMembers = %v, want all 5", members)
+	}
+	// A dead process on the cycle restores NC (cycles through dead
+	// processes are tolerated; the dead process never moves so the cycle
+	// is harmless to stabilization).
+	w.Kill(2)
+	if !AcyclicModuloDead(w) {
+		t.Fatal("cycle through a dead process must satisfy NC")
+	}
+	if got := LiveCycleMembers(w); len(got) != 0 {
+		t.Fatalf("LiveCycleMembers with dead member = %v, want none", got)
+	}
+}
+
+func TestLiveAncestorChainsOnAPath(t *testing.T) {
+	w := world(graph.Path(4)) // arrows 0->1->2->3
+	l := LiveAncestorChains(w)
+	want := []int{1, 2, 3, 4}
+	for p, lw := range want {
+		if l[p] != lw {
+			t.Errorf("l[%d] = %d, want %d", p, l[p], lw)
+		}
+	}
+	// Kill 1: chains restart below the dead process.
+	w.Kill(1)
+	l = LiveAncestorChains(w)
+	// l counts only live processes on the chain: for 2 the live chain is
+	// just {2} (1 is dead, 0 unreachable through it)... the chain is a
+	// directed path of live processes ending at p.
+	if l[0] != 1 {
+		t.Errorf("l[0] = %d, want 1", l[0])
+	}
+	if l[2] != 1 {
+		t.Errorf("l[2] after killing 1 = %d, want 1", l[2])
+	}
+	if l[3] != 2 {
+		t.Errorf("l[3] after killing 1 = %d, want 2", l[3])
+	}
+}
+
+func TestLiveAncestorChainsInfiniteOnCycle(t *testing.T) {
+	w := world(graph.Ring(4))
+	orientCycle(w)
+	l := LiveAncestorChains(w)
+	for p, lp := range l {
+		if lp != chainInfinite {
+			t.Errorf("l[%d] = %d, want infinite on a live cycle", p, lp)
+		}
+	}
+}
+
+func TestLiveAncestorChainsDownstreamOfCycle(t *testing.T) {
+	// Ring(4) cycle with a pendant: build a custom graph — a triangle
+	// 0,1,2 plus vertex 3 hanging off 2.
+	g := graph.NewBuilder("tri+1", 4).
+		AddEdge(0, 1).AddEdge(1, 2).AddEdge(0, 2).AddEdge(2, 3).Build()
+	w := sim.NewWorld(sim.Config{Graph: g, Algorithm: core.NewMCDP(), Workload: workload.NeverHungry()})
+	// Cycle 0->1->2->0, and 2->3.
+	w.SetPriority(0, 1, 0)
+	w.SetPriority(1, 2, 1)
+	w.SetPriority(2, 0, 2)
+	w.SetPriority(2, 3, 2)
+	l := LiveAncestorChains(w)
+	if l[3] != chainInfinite {
+		t.Errorf("l[3] = %d, want infinite (downstream of a live cycle)", l[3])
+	}
+}
+
+func TestShallowBasics(t *testing.T) {
+	w := world(graph.Path(3)) // D = 2, arrows 0->1->2, depths 0
+	l := LiveAncestorChains(w)
+	// 2 is a sink: shallow.
+	if !Shallow(w, 2, l) {
+		t.Error("sink with depth 0 must be shallow")
+	}
+	// 1 has descendant 2 with depth 0; l[1] = 2: 0 + 2 <= 2 holds.
+	if !Shallow(w, 1, l) {
+		t.Error("1 must be shallow (first disjunct)")
+	}
+	// Depth beyond D is never shallow for live processes.
+	w.SetDepth(1, 3)
+	l = LiveAncestorChains(w)
+	if Shallow(w, 1, l) {
+		t.Error("depth > D must not be shallow")
+	}
+	// Dead processes are always shallow.
+	w.Kill(1)
+	l = LiveAncestorChains(w)
+	if !Shallow(w, 1, l) {
+		t.Error("dead process must be shallow")
+	}
+}
+
+func TestStablyShallowConvergedState(t *testing.T) {
+	// The diamond orientation of ring(4) with fixpoint depths is stably
+	// shallow (see the analysis in internal/sim/bounds.go).
+	w := world(graph.Ring(4)) // edges (0,1),(1,2),(2,3),(0,3); D=2
+	w.SetPriority(0, 1, 0)    // 0->1
+	w.SetPriority(0, 3, 0)    // 0->3
+	w.SetPriority(1, 2, 1)    // 1->2
+	w.SetPriority(2, 3, 3)    // 3->2
+	w.SetDepth(0, 2)
+	w.SetDepth(1, 1)
+	w.SetDepth(3, 1)
+	w.SetDepth(2, 0)
+	per, all := StablyShallow(w)
+	if !all {
+		t.Fatalf("diamond fixpoint should be stably shallow; per-proc %v", per)
+	}
+	rep := CheckInvariant(w)
+	if !rep.Holds() {
+		t.Fatalf("diamond fixpoint should satisfy I; report %+v", rep)
+	}
+}
+
+func TestStablyShallowRejectsChainOrientation(t *testing.T) {
+	// The chain orientation of ring(4) admits no shallow depth assignment
+	// (longest path 3 > D=2) — the state that exposes the paper's
+	// diameter-threshold gap.
+	w := world(graph.Ring(4))
+	w.SetPriority(0, 1, 0)
+	w.SetPriority(1, 2, 1)
+	w.SetPriority(2, 3, 2)
+	w.SetPriority(0, 3, 0)
+	// Even with the natural depths, some process is deep.
+	w.SetDepth(0, 2) // truncated at D; real longest path is 3
+	w.SetDepth(1, 2)
+	w.SetDepth(2, 1)
+	w.SetDepth(3, 0)
+	if _, all := StablyShallow(w); all {
+		t.Fatal("chain orientation of ring(4) must not be stably shallow")
+	}
+}
+
+func TestDepthsBounded(t *testing.T) {
+	w := world(graph.Ring(6)) // D = 3
+	if !DepthsBounded(w) {
+		t.Fatal("zero depths must be bounded")
+	}
+	w.SetDepth(2, 4)
+	if DepthsBounded(w) {
+		t.Fatal("depth 4 > D=3 must be unbounded")
+	}
+	w.Kill(2)
+	if !DepthsBounded(w) {
+		t.Fatal("dead processes are exempt from the depth bound")
+	}
+}
+
+func TestInvariantReportHolds(t *testing.T) {
+	cases := []struct {
+		rep  InvariantReport
+		want bool
+	}{
+		{InvariantReport{NC: true, ST: true, E: true}, true},
+		{InvariantReport{NC: false, ST: true, E: true}, false},
+		{InvariantReport{NC: true, ST: false, E: true}, false},
+		{InvariantReport{NC: true, ST: true, E: false}, false},
+	}
+	for _, c := range cases {
+		if got := c.rep.Holds(); got != c.want {
+			t.Errorf("Holds(%+v) = %v, want %v", c.rep, got, c.want)
+		}
+	}
+}
+
+// Property (Lemma 1 closure, empirically): executing any enabled action
+// from an acyclic state keeps the live priority graph acyclic, on random
+// graphs from random acyclic-by-construction starts.
+func TestAcyclicityClosureProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(4+rng.Intn(8), 0.3, rng)
+		w := sim.NewWorld(sim.Config{
+			Graph:     g,
+			Algorithm: core.NewMCDP(),
+			Workload:  workload.Bernoulli(0.7, seed),
+			Seed:      seed,
+		})
+		for i := 0; i < 300; i++ {
+			if _, ok := w.Step(); !ok {
+				break
+			}
+			if !AcyclicModuloDead(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: once a cycle exists only through dead processes, it can never
+// become a live cycle (dead processes stay dead; the only edge
+// re-orientation, exit, preserves acyclicity of the live subgraph).
+func TestNoNewLiveCyclesProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Ring(5)
+		w := sim.NewWorld(sim.Config{
+			Graph:     g,
+			Algorithm: core.NewMCDP(),
+			Workload:  workload.AlwaysHungry(),
+			Seed:      seed,
+		})
+		w.InitArbitrary(rng)
+		// If the arbitrary state has a live cycle, the program may take a
+		// while to break it; but once NC holds it must stay.
+		ncSeen := false
+		for i := 0; i < 2000; i++ {
+			if AcyclicModuloDead(w) {
+				ncSeen = true
+			} else if ncSeen {
+				return false // NC violated after holding: closure broken
+			}
+			if _, ok := w.Step(); !ok {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

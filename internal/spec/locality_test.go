@@ -1,0 +1,100 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/workload"
+)
+
+// TestRedReachesDistanceTwoViaDeadEatingDescendant pins the worst-case
+// shape of the failure locality: a process dead while Eating as a
+// DESCENDANT of its neighbor leaves the neighbor red-hungry (enter blocked
+// forever by the dead eater; leave unavailable because no ancestor is
+// non-thinking), and that hungry blocker reddens its thinking descendants
+// at distance 2. This is exactly the b/d pattern of the paper's Figure 2.
+func TestRedReachesDistanceTwoViaDeadEatingDescendant(t *testing.T) {
+	w := world(graph.Path(4)) // 0-1-2-3
+	w.SetPriority(0, 1, 1)    // dead eater 0 is 1's descendant
+	w.SetPriority(1, 2, 1)    // 2 is 1's descendant
+	w.SetPriority(2, 3, 2)    // 3 is 2's descendant
+	w.SetState(0, core.Eating)
+	w.Kill(0)
+	w.SetState(1, core.Hungry)
+	red := RedProcs(w)
+	if !red[1] {
+		t.Fatal("hungry neighbor of a dead eating descendant must be red")
+	}
+	if !red[2] {
+		t.Fatal("thinking descendant of the red-hungry blocker must be red (distance 2)")
+	}
+	if red[3] {
+		t.Fatal("red must not reach distance 3")
+	}
+	radius, _ := RedRadius(w)
+	if radius != 2 {
+		t.Fatalf("RedRadius = %d, want 2", radius)
+	}
+}
+
+// Property: the red radius never exceeds the failure locality 2, across
+// random graphs, random states, and random dead sets.
+func TestRedRadiusNeverExceedsTwoProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(4+rng.Intn(10), 0.3, rng)
+		w := sim.NewWorld(sim.Config{
+			Graph:     g,
+			Algorithm: core.NewMCDP(),
+			Workload:  workload.AlwaysHungry(),
+			Seed:      seed,
+		})
+		w.InitArbitrary(rng)
+		for k := rng.Intn(3); k > 0; k-- {
+			w.Kill(graph.ProcID(rng.Intn(g.N())))
+		}
+		radius, count := RedRadius(w)
+		if count == 0 {
+			return radius == -1
+		}
+		return radius <= 2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: red processes at distance exactly 2 are always Thinking (they
+// can never be stuck hungry — the dynamic threshold would move them).
+func TestDistanceTwoRedsAreThinkingProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(5+rng.Intn(8), 0.25, rng)
+		w := sim.NewWorld(sim.Config{
+			Graph:     g,
+			Algorithm: core.NewMCDP(),
+			Workload:  workload.AlwaysHungry(),
+			Seed:      seed,
+		})
+		w.InitArbitrary(rng)
+		w.Kill(graph.ProcID(rng.Intn(g.N())))
+		dead := DeadProcs(w)
+		red := RedProcs(w)
+		for p, isRed := range red {
+			if !isRed {
+				continue
+			}
+			if g.MinDistTo(graph.ProcID(p), dead) == 2 && w.State(graph.ProcID(p)) != core.Thinking {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

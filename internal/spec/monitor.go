@@ -1,0 +1,142 @@
+package spec
+
+import (
+	"fmt"
+
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// Monitor is a sim.Observer that continuously audits a run against the
+// paper's specification: eating exclusion among live processes, the
+// invariant's closure once reached, and Theorem 3's monotonicity of the
+// eating-pair count under I. It accumulates a violation report instead
+// of failing fast, so a test or experiment can assert on the whole run.
+//
+// Checking the full invariant every step is O(n^2)-ish; use
+// CheckInvariantEvery to thin it out on long runs.
+type Monitor struct {
+	// CheckInvariantEvery audits I every k steps (default 1).
+	CheckInvariantEvery int64
+
+	exclusionViolations int64
+	invariantSeen       bool
+	invariantBroken     int64
+	pairHighWater       int
+	monotonicityBreaks  int64
+	steps               int64
+}
+
+var _ sim.Observer = (*Monitor)(nil)
+
+// NewMonitor returns a monitor auditing every step.
+func NewMonitor() *Monitor { return &Monitor{CheckInvariantEvery: 1} }
+
+// AfterStep implements sim.Observer.
+func (m *Monitor) AfterStep(w *sim.World, step int64, _ sim.Choice) {
+	m.steps++
+	if !EatingExclusionHolds(w) {
+		m.exclusionViolations++
+	}
+	every := m.CheckInvariantEvery
+	if every <= 0 {
+		every = 1
+	}
+	if step%every != 0 {
+		return
+	}
+	holds := CheckInvariant(w).Holds()
+	pairs := len(livePairs(w))
+	switch {
+	case holds && !m.invariantSeen:
+		m.invariantSeen = true
+		m.pairHighWater = pairs
+	case holds && m.invariantSeen:
+		// Theorem 3: under I the pair count must not increase.
+		if pairs > m.pairHighWater {
+			m.monotonicityBreaks++
+		}
+		m.pairHighWater = pairs
+	case !holds && m.invariantSeen:
+		m.invariantBroken++
+	}
+}
+
+// livePairs returns eating neighbor pairs with at least one live member.
+func livePairs(r sim.StateReader) []graph.Edge {
+	var out []graph.Edge
+	for _, e := range EatingPairs(r) {
+		if !r.Dead(e.A) || !r.Dead(e.B) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Report summarizes the audited run.
+type MonitorReport struct {
+	// Steps audited.
+	Steps int64
+	// ExclusionViolations counts steps with a live eating pair.
+	ExclusionViolations int64
+	// InvariantReached reports whether I ever held.
+	InvariantReached bool
+	// InvariantBroken counts audited steps where I failed after having
+	// held (closure violations — must be zero for a correct algorithm).
+	InvariantBroken int64
+	// MonotonicityBreaks counts eating-pair-count increases under I
+	// (Theorem 3 violations — must be zero).
+	MonotonicityBreaks int64
+}
+
+// Report returns the accumulated audit.
+func (m *Monitor) Report() MonitorReport {
+	return MonitorReport{
+		Steps:               m.steps,
+		ExclusionViolations: m.exclusionViolations,
+		InvariantReached:    m.invariantSeen,
+		InvariantBroken:     m.invariantBroken,
+		MonotonicityBreaks:  m.monotonicityBreaks,
+	}
+}
+
+// Clean reports whether the run satisfied every audited property after
+// the initial convergence: I was reached, never broke, exclusion held
+// whenever... exclusion may be violated only before I first holds
+// (stabilizing semantics), which this summary cannot distinguish
+// per-step; use ExclusionViolations directly for fault-free runs.
+func (r MonitorReport) Clean() bool {
+	return r.InvariantReached && r.InvariantBroken == 0 && r.MonotonicityBreaks == 0
+}
+
+// String implements fmt.Stringer.
+func (r MonitorReport) String() string {
+	return fmt.Sprintf("steps=%d exclusionViolations=%d invariantReached=%v broken=%d monotonicityBreaks=%d",
+		r.Steps, r.ExclusionViolations, r.InvariantReached, r.InvariantBroken, r.MonotonicityBreaks)
+}
+
+// StarvationAudit scans a finished run's last-eat times and classifies
+// the starved processes against the locality bound: it returns the
+// starved set and whether every starved process lies within maxDist of a
+// dead process. wantsToEat filters processes whose hunger profile never
+// demands food.
+func StarvationAudit(w *sim.World, lastEat []int64, tailFrom int64, maxDist int,
+	wantsToEat func(p graph.ProcID) bool) (starved []graph.ProcID, withinLocality bool) {
+	dead := DeadProcs(w)
+	withinLocality = true
+	for p := 0; p < w.Graph().N(); p++ {
+		pid := graph.ProcID(p)
+		if w.Dead(pid) || (wantsToEat != nil && !wantsToEat(pid)) {
+			continue
+		}
+		if lastEat[p] >= tailFrom {
+			continue
+		}
+		starved = append(starved, pid)
+		d := w.Graph().MinDistTo(pid, dead)
+		if len(dead) == 0 || d < 0 || d > maxDist {
+			withinLocality = false
+		}
+	}
+	return starved, withinLocality
+}

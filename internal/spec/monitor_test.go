@@ -1,0 +1,125 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/workload"
+)
+
+func TestMonitorCleanFaultFreeRun(t *testing.T) {
+	g := graph.Ring(6)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Seed:             1,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	m := NewMonitor()
+	w.Observe(m)
+	w.Run(8000)
+	rep := m.Report()
+	if !rep.Clean() {
+		t.Fatalf("fault-free run not clean: %v", rep)
+	}
+	if rep.ExclusionViolations != 0 {
+		t.Errorf("exclusion violations in a fault-free run: %d", rep.ExclusionViolations)
+	}
+	if rep.Steps != 8000 {
+		t.Errorf("audited %d steps, want 8000", rep.Steps)
+	}
+}
+
+func TestMonitorSeesStabilization(t *testing.T) {
+	g := graph.Ring(5)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Seed:             2,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	// Adversarial start with eating neighbors: exclusion violations are
+	// expected BEFORE convergence, none after; the invariant must be
+	// reached and stay.
+	for p := 0; p < g.N(); p++ {
+		w.SetState(graph.ProcID(p), core.Eating)
+	}
+	m := NewMonitor()
+	w.Observe(m)
+	w.Run(10000)
+	rep := m.Report()
+	if !rep.InvariantReached {
+		t.Fatal("invariant never reached")
+	}
+	if rep.InvariantBroken != 0 || rep.MonotonicityBreaks != 0 {
+		t.Errorf("closure/monotonicity violated: %v", rep)
+	}
+	if rep.ExclusionViolations == 0 {
+		t.Error("expected pre-convergence exclusion violations from the adversarial start")
+	}
+}
+
+func TestMonitorThinning(t *testing.T) {
+	g := graph.Ring(4)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Seed:             3,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	m := NewMonitor()
+	m.CheckInvariantEvery = 50
+	w.Observe(m)
+	w.Run(2000)
+	if !m.Report().InvariantReached {
+		t.Error("thinned monitor missed the invariant entirely")
+	}
+}
+
+func TestMonitorReportString(t *testing.T) {
+	rep := MonitorReport{Steps: 10, InvariantReached: true}
+	s := rep.String()
+	if !strings.Contains(s, "steps=10") || !strings.Contains(s, "invariantReached=true") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestStarvationAudit(t *testing.T) {
+	g := graph.Path(6)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Seed:             4,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	// Pre-formed chain + dead eater: only processes within distance 2
+	// starve.
+	for p := 1; p < g.N(); p++ {
+		w.SetState(graph.ProcID(p), core.Hungry)
+	}
+	w.SetState(0, core.Eating)
+	w.Kill(0)
+	const budget = 30000
+	lastEat := make([]int64, g.N())
+	for i := range lastEat {
+		lastEat[i] = -1
+	}
+	w.Observe(sim.ObserverFunc(func(w *sim.World, step int64, c sim.Choice) {
+		if w.State(c.Proc) == core.Eating {
+			lastEat[c.Proc] = step
+		}
+	}))
+	w.Run(budget)
+	starved, within := StarvationAudit(w, lastEat, budget/2, 2, nil)
+	if !within {
+		t.Errorf("starved set %v escaped the locality", starved)
+	}
+	if len(starved) == 0 {
+		t.Error("expected the blocked neighbor to be reported starved")
+	}
+}

@@ -1,0 +1,110 @@
+package spec
+
+import (
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// RedProcs computes the paper's red/blocked classification: the least
+// fixpoint of predicate RD. A process p is red iff
+//
+//	p is dead
+//	∨ (state.p = T ∧ ∃ direct ancestor q: RD.q ∧ state.q ≠ T)
+//	∨ (state.p = H ∧ (∀ direct ancestors q: RD.q ∧ state.q = T)
+//	              ∧ (∃ direct descendant q: RD.q ∧ state.q = E))
+//
+// RD is monotone in the red set and well-founded (dead processes are
+// red), so iterating to fixpoint is well-defined and the result is the
+// unique least fixpoint. All remaining processes are green; Theorem 2
+// shows every green process at distance >= 2 from every crash eventually
+// eats.
+func RedProcs(r sim.StateReader) []bool {
+	g := r.Graph()
+	n := g.N()
+	red := make([]bool, n)
+	for p := 0; p < n; p++ {
+		red[p] = r.Dead(graph.ProcID(p))
+	}
+	for changed := true; changed; {
+		changed = false
+		for p := 0; p < n; p++ {
+			pid := graph.ProcID(p)
+			if red[p] || r.Dead(pid) {
+				continue
+			}
+			if redByRule(r, pid, red) {
+				red[p] = true
+				changed = true
+			}
+		}
+	}
+	return red
+}
+
+// redByRule evaluates the non-dead disjuncts of RD.p against the current
+// red set.
+func redByRule(r sim.StateReader, p graph.ProcID, red []bool) bool {
+	switch r.State(p) {
+	case core.Thinking:
+		for _, q := range DirectAncestors(r, p) {
+			if red[q] && r.State(q) != core.Thinking {
+				return true
+			}
+		}
+		return false
+	case core.Hungry:
+		for _, q := range DirectAncestors(r, p) {
+			if !red[q] || r.State(q) != core.Thinking {
+				return false
+			}
+		}
+		for _, q := range DirectDescendants(r, p) {
+			if red[q] && r.State(q) == core.Eating {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// GreenProcs returns the complement of RedProcs as a list.
+func GreenProcs(r sim.StateReader) []graph.ProcID {
+	red := RedProcs(r)
+	var green []graph.ProcID
+	for p, isRed := range red {
+		if !isRed {
+			green = append(green, graph.ProcID(p))
+		}
+	}
+	return green
+}
+
+// RedRadius returns the maximum distance from any red process to its
+// nearest dead process, and the number of red processes. A radius of -1
+// means no process is red. The radius is at most 2 — the paper's failure
+// locality: a process dead while Eating as a DESCENDANT of a hungry
+// neighbor leaves that neighbor red-hungry at distance 1 (enter blocked
+// forever, leave unavailable without a non-thinking ancestor — Figure 2's
+// process b), which in turn reddens its thinking descendants at distance
+// 2 (Figure 2's d). Red cannot reach distance 3: a red process at
+// distance 2 is always Thinking, and the thinking rule of RD propagates
+// only from non-thinking reds.
+func RedRadius(r sim.StateReader) (radius, count int) {
+	dead := DeadProcs(r)
+	red := RedProcs(r)
+	radius = -1
+	for p, isRed := range red {
+		if !isRed {
+			continue
+		}
+		count++
+		d := r.Graph().MinDistTo(graph.ProcID(p), dead)
+		if d > radius {
+			radius = d
+		}
+	}
+	return radius, count
+}

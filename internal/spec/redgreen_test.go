@@ -1,0 +1,142 @@
+package spec
+
+import (
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+func TestRedProcsNoDeadMeansAllGreen(t *testing.T) {
+	w := world(graph.Ring(6))
+	red := RedProcs(w)
+	for p, r := range red {
+		if r {
+			t.Errorf("process %d red without any dead process", p)
+		}
+	}
+	if green := GreenProcs(w); len(green) != 6 {
+		t.Errorf("GreenProcs = %v, want all 6", green)
+	}
+}
+
+func TestRedPropagationFromDeadEater(t *testing.T) {
+	// Path 0-1-2-3-4. Process 0 dead while Eating. Default priorities:
+	// lower ID is ancestor, so arrows 0->1->2->3->4.
+	w := world(graph.Path(5))
+	w.SetState(0, core.Eating)
+	w.Kill(0)
+	// 1 thinking with red non-thinking ancestor 0 => red.
+	red := RedProcs(w)
+	if !red[0] {
+		t.Error("dead process must be red")
+	}
+	if !red[1] {
+		t.Error("thinking process with dead eating ancestor must be red")
+	}
+	// 2: thinking, its ancestor 1 is red but THINKING, so rule (T) does
+	// not fire: 2 stays green — the locality-2 boundary.
+	if red[2] || red[3] || red[4] {
+		t.Errorf("red set %v leaked past distance 2", red)
+	}
+}
+
+func TestRedFormulaRequiresRedAncestors(t *testing.T) {
+	// The hungry rule demands every direct ancestor be red-and-thinking.
+	// A hungry process with a green ancestor is green even if a dead
+	// eating descendant blocks its enter — because the green ancestor may
+	// still move and let it leave/yield. Verify both sides.
+	w := world(graph.Path(3))
+	w.SetPriority(0, 1, 1) // 0 is 1's descendant
+	w.SetPriority(1, 2, 2) // 2 is 1's ancestor
+	w.SetState(0, core.Eating)
+	w.Kill(0)
+	w.SetState(1, core.Hungry)
+	red := RedProcs(w)
+	if red[1] {
+		t.Error("hungry process with a green ancestor must be green")
+	}
+	// Now make the ancestor red: kill it while thinking... a dead process
+	// is red. Then 1 has all ancestors red-and-thinking plus a red eating
+	// descendant: red.
+	w.Kill(2)
+	red = RedProcs(w)
+	if !red[1] {
+		t.Error("hungry process with red-thinking ancestors and red eating descendant must be red")
+	}
+}
+
+func TestRedHungryNoAncestorsBlockedByEater(t *testing.T) {
+	// A hungry process with NO ancestors and a red eating descendant is
+	// red (the ∀ is vacuous).
+	w := world(graph.Path(2))
+	w.SetPriority(0, 1, 0) // arrow 0->1: 1 is 0's descendant
+	w.SetState(0, core.Hungry)
+	w.SetState(1, core.Eating)
+	w.Kill(1)
+	red := RedProcs(w)
+	if !red[0] {
+		t.Error("hungry source blocked by dead eating descendant must be red")
+	}
+}
+
+func TestRedRadiusWithinLocality(t *testing.T) {
+	// Dead eater at the center of a star: all leaves that are thinking
+	// are red only if the center is their ancestor and non-thinking.
+	w := world(graph.Star(6))
+	w.SetState(0, core.Eating)
+	w.Kill(0)
+	// Leaves have ancestor 0 (lower ID): thinking leaves are red.
+	radius, count := RedRadius(w)
+	if radius != 1 {
+		t.Errorf("RedRadius = %d, want 1", radius)
+	}
+	if count != 6 {
+		t.Errorf("red count = %d, want 6 (center + 5 leaves)", count)
+	}
+}
+
+func TestRedRadiusEmpty(t *testing.T) {
+	w := world(graph.Ring(4))
+	radius, count := RedRadius(w)
+	if radius != -1 || count != 0 {
+		t.Errorf("RedRadius = (%d,%d), want (-1,0)", radius, count)
+	}
+}
+
+func TestRedMonotoneFixpointIsDeterministic(t *testing.T) {
+	// Build a chain of blocked processes and confirm the fixpoint is
+	// stable under recomputation.
+	w := world(graph.Path(6))
+	w.SetState(0, core.Eating)
+	w.Kill(0)
+	w.SetState(1, core.Hungry) // hungry, ancestor 0 red non-thinking: leave enabled, so green?
+	a := RedProcs(w)
+	b := RedProcs(w)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("RedProcs not deterministic at %d", i)
+		}
+	}
+}
+
+func TestHungryWithRedNonThinkingAncestorIsGreen(t *testing.T) {
+	// A hungry process whose red ancestor is NOT thinking can leave
+	// (dynamic threshold) — the paper's RD classifies it green only if
+	// some ancestor is non-thinking... precisely: the hungry rule needs
+	// all ancestors red AND thinking; a red EATING ancestor fails it, so
+	// the process is green (it will execute leave and get out of the
+	// way). This is the heart of locality 2.
+	w := world(graph.Path(3))
+	// arrows 0->1->2; 0 dead eating; 1 hungry.
+	w.SetState(0, core.Eating)
+	w.Kill(0)
+	w.SetState(1, core.Hungry)
+	red := RedProcs(w)
+	if red[1] {
+		t.Error("hungry process with a non-thinking ancestor is green (leave is enabled)")
+	}
+	if !red[0] {
+		t.Error("dead process must be red")
+	}
+}

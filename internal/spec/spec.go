@@ -1,0 +1,117 @@
+// Package spec makes the paper's specification and proof predicates
+// executable: the diners safety property, the red/green process
+// classification (predicate RD), the invariant I = NC ∧ ST ∧ E of Section
+// 3 (priority-graph acyclicity modulo dead processes, stable shallowness,
+// and eating exclusion), and failure-locality accounting.
+//
+// All predicates operate on sim.StateReader, so they apply equally to live
+// simulations, recorded snapshots, and the model checker's decoded states.
+package spec
+
+import (
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// EatingPairs returns every edge whose two endpoints are both Eating,
+// regardless of liveness.
+func EatingPairs(r sim.StateReader) []graph.Edge {
+	var pairs []graph.Edge
+	for _, e := range r.Graph().Edges() {
+		if r.State(e.A) == core.Eating && r.State(e.B) == core.Eating {
+			pairs = append(pairs, e)
+		}
+	}
+	return pairs
+}
+
+// EatingExclusionHolds reports the paper's predicate E: two neighbors are
+// eating in the same state only if they are both dead.
+func EatingExclusionHolds(r sim.StateReader) bool {
+	for _, e := range EatingPairs(r) {
+		if !r.Dead(e.A) || !r.Dead(e.B) {
+			return false
+		}
+	}
+	return true
+}
+
+// SafetyViolations returns the eating neighbor pairs in which both
+// endpoints are at distance >= m from every dead process — i.e. violations
+// of the malicious-crash diners safety property relativized to the set P
+// of processes outside the failure locality m.
+func SafetyViolations(r sim.StateReader, m int) []graph.Edge {
+	dead := DeadProcs(r)
+	var bad []graph.Edge
+	for _, e := range EatingPairs(r) {
+		if minDist(r.Graph(), e.A, dead) >= m || len(dead) == 0 {
+			if minDist(r.Graph(), e.B, dead) >= m || len(dead) == 0 {
+				bad = append(bad, e)
+			}
+		}
+	}
+	return bad
+}
+
+// DeadProcs returns the dead processes of the state.
+func DeadProcs(r sim.StateReader) []graph.ProcID {
+	var dead []graph.ProcID
+	n := r.Graph().N()
+	for p := 0; p < n; p++ {
+		if r.Dead(graph.ProcID(p)) {
+			dead = append(dead, graph.ProcID(p))
+		}
+	}
+	return dead
+}
+
+// OutsideLocality reports whether p is at distance >= m from every dead
+// process (vacuously true when nothing is dead). Such processes form the
+// set P for which the malicious-crash problem MCA must satisfy the
+// original diners properties.
+func OutsideLocality(r sim.StateReader, p graph.ProcID, m int) bool {
+	dead := DeadProcs(r)
+	if len(dead) == 0 {
+		return true
+	}
+	d := minDist(r.Graph(), p, dead)
+	return d < 0 || d >= m
+}
+
+// minDist returns the minimum distance from p to any member of set, or -1
+// if set is empty or unreachable.
+func minDist(g *graph.Graph, p graph.ProcID, set []graph.ProcID) int {
+	return g.MinDistTo(p, set)
+}
+
+// Ancestor reports whether q is a direct ancestor of p in state r (the
+// shared variable on edge {p, q} holds q). It panics if p and q are not
+// neighbors.
+func Ancestor(r sim.StateReader, p, q graph.ProcID) bool {
+	return r.Priority(graph.EdgeBetween(p, q)) == q
+}
+
+// DirectDescendants returns p's direct descendants: neighbors q with
+// priority.p.q = p.
+func DirectDescendants(r sim.StateReader, p graph.ProcID) []graph.ProcID {
+	var ds []graph.ProcID
+	for _, q := range r.Graph().Neighbors(p) {
+		if !Ancestor(r, p, q) {
+			ds = append(ds, q)
+		}
+	}
+	return ds
+}
+
+// DirectAncestors returns p's direct ancestors: neighbors q with
+// priority.p.q = q.
+func DirectAncestors(r sim.StateReader, p graph.ProcID) []graph.ProcID {
+	var as []graph.ProcID
+	for _, q := range r.Graph().Neighbors(p) {
+		if Ancestor(r, p, q) {
+			as = append(as, q)
+		}
+	}
+	return as
+}

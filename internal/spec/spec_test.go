@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/workload"
+)
+
+// world builds a quiet test world on g for state surgery.
+func world(g *graph.Graph) *sim.World {
+	return sim.NewWorld(sim.Config{
+		Graph:     g,
+		Algorithm: core.NewMCDP(),
+		Workload:  workload.NeverHungry(),
+	})
+}
+
+func TestEatingPairsAndExclusion(t *testing.T) {
+	w := world(graph.Path(4))
+	if got := EatingPairs(w); len(got) != 0 {
+		t.Fatalf("fresh world has eating pairs %v", got)
+	}
+	if !EatingExclusionHolds(w) {
+		t.Fatal("fresh world violates E")
+	}
+	w.SetState(1, core.Eating)
+	w.SetState(2, core.Eating)
+	pairs := EatingPairs(w)
+	if len(pairs) != 1 || pairs[0] != graph.EdgeBetween(1, 2) {
+		t.Fatalf("EatingPairs = %v, want [(1,2)]", pairs)
+	}
+	if EatingExclusionHolds(w) {
+		t.Fatal("live eating pair must violate E")
+	}
+	// E tolerates pairs of dead eaters.
+	w.Kill(1)
+	if EatingExclusionHolds(w) {
+		t.Fatal("half-dead eating pair must still violate E")
+	}
+	w.Kill(2)
+	if !EatingExclusionHolds(w) {
+		t.Fatal("both-dead eating pair must satisfy E")
+	}
+}
+
+func TestSafetyViolationsRelativized(t *testing.T) {
+	w := world(graph.Path(6))
+	// Eating pair far from the crash: a genuine violation for m=2.
+	w.Kill(0)
+	w.SetState(3, core.Eating)
+	w.SetState(4, core.Eating)
+	if got := SafetyViolations(w, 2); len(got) != 1 {
+		t.Fatalf("SafetyViolations(m=2) = %v, want one", got)
+	}
+	// Move the eating pair inside the locality: not a (relativized)
+	// violation anymore.
+	w.SetState(3, core.Thinking)
+	w.SetState(4, core.Thinking)
+	w.SetState(1, core.Eating)
+	w.SetState(2, core.Eating)
+	if got := SafetyViolations(w, 2); len(got) != 0 {
+		t.Fatalf("SafetyViolations inside locality = %v, want none", got)
+	}
+}
+
+func TestSafetyViolationsNoDead(t *testing.T) {
+	w := world(graph.Ring(5))
+	w.SetState(0, core.Eating)
+	w.SetState(1, core.Eating)
+	if got := SafetyViolations(w, 2); len(got) != 1 {
+		t.Fatalf("with no dead, every eating pair is a violation; got %v", got)
+	}
+}
+
+func TestOutsideLocality(t *testing.T) {
+	w := world(graph.Path(5))
+	if !OutsideLocality(w, 0, 2) {
+		t.Error("with no crashes everyone is outside the locality")
+	}
+	w.Kill(2)
+	cases := []struct {
+		p    graph.ProcID
+		want bool
+	}{
+		{0, true}, {1, false}, {2, false}, {3, false}, {4, true},
+	}
+	for _, c := range cases {
+		if got := OutsideLocality(w, c.p, 2); got != c.want {
+			t.Errorf("OutsideLocality(%d, 2) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestAncestorAndNeighborLists(t *testing.T) {
+	w := world(graph.Path(3)) // edges (0,1), (1,2); priority: lower ID
+	if !Ancestor(w, 1, 0) {
+		t.Error("0 should be ancestor of 1 initially")
+	}
+	if Ancestor(w, 0, 1) {
+		t.Error("1 should not be ancestor of 0 initially")
+	}
+	if got := DirectAncestors(w, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("DirectAncestors(1) = %v, want [0]", got)
+	}
+	if got := DirectDescendants(w, 1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("DirectDescendants(1) = %v, want [2]", got)
+	}
+	w.SetPriority(0, 1, 1)
+	if !Ancestor(w, 0, 1) || Ancestor(w, 1, 0) {
+		t.Error("SetPriority(0,1,1) should make 1 the ancestor")
+	}
+}
+
+func TestDeadProcs(t *testing.T) {
+	w := world(graph.Ring(4))
+	if got := DeadProcs(w); len(got) != 0 {
+		t.Fatalf("DeadProcs on fresh world = %v", got)
+	}
+	w.Kill(1)
+	w.Kill(3)
+	got := DeadProcs(w)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("DeadProcs = %v, want [1 3]", got)
+	}
+}

@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almostEqual(s.Mean, 3) || !almostEqual(s.Min, 1) || !almostEqual(s.Max, 5) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if !almostEqual(s.P50, 3) {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+	wantStd := math.Sqrt(2) // population std of 1..5
+	if !almostEqual(s.Std, wantStd) {
+		t.Errorf("Std = %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Errorf("empty Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.P99 != 7 {
+		t.Errorf("single Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int64{10, 20, 30})
+	if !almostEqual(s.Mean, 20) {
+		t.Errorf("SummarizeInts mean = %v", s.Mean)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 0}, {0.5, 5}, {1, 10}, {0.25, 2.5}, {-1, 0}, {2, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); !almostEqual(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("Percentile of empty sample should be 0")
+	}
+}
+
+// Property: Min <= P50 <= P90 <= P99 <= Max and Min <= Mean <= Max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(60))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	check := func(seed int64, a, b uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.Float64() * 50
+		}
+		sort.Float64s(xs)
+		pa, pb := float64(a)/255, float64(b)/255
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-5, 0, 9.9, 10, 25, 49, 50, 1000} {
+		h.Observe(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if h.Counts[0] != 3 { // -5 (underflow), 0, 9.9
+		t.Errorf("bucket 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 3 { // 49, 50 (overflow boundary... 49 in bucket 4), 1000
+		t.Errorf("bucket 4 = %d, want 3", h.Counts[4])
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0, 0, 5)
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "n=3") || !strings.Contains(str, "mean=2") {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "alg", "n", "value")
+	tbl.AddRow("mcdp", 8, 1.50)
+	tbl.AddRow("noyield", 16, 2.0)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1.5") || strings.Contains(out, "1.50") {
+		t.Errorf("float trimming failed:\n%s", out)
+	}
+	// Columns align: header and row share the position of column 2.
+	if strings.Index(lines[1], "n") < 0 {
+		t.Error("missing header")
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tbl := NewTable("acc", "x", "y")
+	tbl.AddRow(1, 2)
+	if tbl.Title() != "acc" {
+		t.Errorf("Title() = %q", tbl.Title())
+	}
+	h := tbl.Headers()
+	if len(h) != 2 || h[0] != "x" {
+		t.Errorf("Headers() = %v", h)
+	}
+	rows := tbl.Rows()
+	if len(rows) != 1 || rows[0][0] != "1" || rows[0][1] != "2" {
+		t.Errorf("Rows() = %v", rows)
+	}
+	// Returned slices are copies.
+	h[0] = "mutated"
+	rows[0][0] = "mutated"
+	if tbl.Headers()[0] != "x" || tbl.Rows()[0][0] != "1" {
+		t.Error("accessors leaked internal state")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("md", "a", "b")
+	tbl.AddRow(1, 2)
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Errorf("Markdown() = %q", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Error("missing separator row")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:   "1.5",
+		2:     "2",
+		0:     "0",
+		-3.25: "-3.25",
+		0.004: "0", // rounds to 0.00 then trims
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// ToDOT renders a world state as a Graphviz digraph: one node per
+// process labeled with its name, dining state, and depth; one arrow per
+// edge from the priority holder (ancestor) to the other endpoint. Dead
+// processes are gray, malicious ones orange, eaters green, hungry
+// yellow. names may be nil for default p0..pN-1 labels.
+func ToDOT(w *sim.World, names func(graph.ProcID) string) string {
+	if names == nil {
+		names = func(p graph.ProcID) string { return fmt.Sprintf("p%d", p) }
+	}
+	var b strings.Builder
+	b.WriteString("digraph priority {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, style=filled];\n")
+	g := w.Graph()
+	for p := 0; p < g.N(); p++ {
+		pid := graph.ProcID(p)
+		fill := "white"
+		switch {
+		case w.Status(pid) == sim.Dead:
+			fill = "gray"
+		case w.Status(pid) == sim.Malicious:
+			fill = "orange"
+		case w.State(pid) == core.Eating:
+			fill = "palegreen"
+		case w.State(pid) == core.Hungry:
+			fill = "khaki"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%v/%d\", fillcolor=%s];\n",
+			p, names(pid), w.State(pid), w.Depth(pid), fill)
+	}
+	for _, e := range g.Edges() {
+		anc := w.Priority(e)
+		desc := e.Other(anc)
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", anc, desc)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/workload"
+)
+
+func TestToDOTStructure(t *testing.T) {
+	g := graph.Ring(4)
+	w := sim.NewWorld(sim.Config{
+		Graph:     g,
+		Algorithm: core.NewMCDP(),
+		Workload:  workload.NeverHungry(),
+	})
+	w.SetState(1, core.Eating)
+	w.SetState(2, core.Hungry)
+	w.Kill(3)
+	dot := ToDOT(w, nil)
+	for _, want := range []string{
+		"digraph priority {",
+		"n0 [label=\"p0\\nT/0\"",
+		"fillcolor=palegreen", // eater
+		"fillcolor=khaki",     // hungry
+		"fillcolor=gray",      // dead
+		"n0 -> n1;",           // lower-ID ancestor arrows
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// One arrow per edge.
+	if got := strings.Count(dot, "->"); got != g.EdgeCount() {
+		t.Errorf("DOT has %d arrows, want %d", got, g.EdgeCount())
+	}
+}
+
+func TestToDOTCustomNames(t *testing.T) {
+	g := graph.Path(2)
+	w := sim.NewWorld(sim.Config{Graph: g, Algorithm: core.NewMCDP()})
+	dot := ToDOT(w, func(p graph.ProcID) string { return string(rune('a' + int(p))) })
+	if !strings.Contains(dot, "label=\"a\\n") || !strings.Contains(dot, "label=\"b\\n") {
+		t.Errorf("custom names missing:\n%s", dot)
+	}
+}
+
+func TestToDOTMaliciousColor(t *testing.T) {
+	g := graph.Ring(3)
+	w := sim.NewWorld(sim.Config{Graph: g, Algorithm: core.NewMCDP()})
+	w.CrashMaliciously(0, 5)
+	dot := ToDOT(w, nil)
+	if !strings.Contains(dot, "fillcolor=orange") {
+		t.Errorf("malicious color missing:\n%s", dot)
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// RoundCounter measures executions in asynchronous rounds, the standard
+// complexity unit of the self-stabilization literature: a round is a
+// minimal execution segment in which every process that was continuously
+// enabled since the segment began has executed at least once (processes
+// that were disabled at some point in the segment owe nothing). Counting
+// rounds instead of steps removes the daemon's interleaving noise from
+// convergence measurements.
+//
+// The counter inspects the world's enabled set after every step, so it
+// costs roughly one guard sweep per step; use it for measurements, not
+// in hot benchmarks.
+type RoundCounter struct {
+	rounds     int64
+	executed   []bool // acted in the current round
+	contEn     []bool // continuously enabled since the round began
+	enabledBuf []sim.Choice
+}
+
+var _ sim.Observer = (*RoundCounter)(nil)
+
+// NewRoundCounter returns a counter for n processes.
+func NewRoundCounter(n int) *RoundCounter {
+	rc := &RoundCounter{
+		executed: make([]bool, n),
+		contEn:   make([]bool, n),
+	}
+	rc.beginRound()
+	return rc
+}
+
+// beginRound resets the per-round books; continuous-enabledness is
+// re-established by the first observation of the new round.
+func (rc *RoundCounter) beginRound() {
+	for i := range rc.executed {
+		rc.executed[i] = false
+		rc.contEn[i] = true // until observed otherwise
+	}
+}
+
+// Rounds returns the number of completed rounds.
+func (rc *RoundCounter) Rounds() int64 { return rc.rounds }
+
+// AfterStep implements sim.Observer.
+func (rc *RoundCounter) AfterStep(w *sim.World, _ int64, c sim.Choice) {
+	rc.executed[c.Proc] = true
+	// Update continuous enabledness from the post-step enabled set: a
+	// process with nothing enabled now was not continuously enabled
+	// through the round, so it owes no step.
+	rc.enabledBuf = w.EnabledChoices(rc.enabledBuf[:0])
+	nowEnabled := make(map[graph.ProcID]bool, len(rc.enabledBuf))
+	for _, ch := range rc.enabledBuf {
+		nowEnabled[ch.Proc] = true
+	}
+	done := true
+	for p := range rc.contEn {
+		if !nowEnabled[graph.ProcID(p)] {
+			rc.contEn[p] = false
+		}
+		if rc.contEn[p] && !rc.executed[p] {
+			done = false
+		}
+	}
+	if done {
+		rc.rounds++
+		rc.beginRound()
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/workload"
+)
+
+func TestRoundCounterBasics(t *testing.T) {
+	g := graph.Ring(6)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Seed:             1,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	rc := NewRoundCounter(g.N())
+	w.Observe(rc)
+	const steps = 6000
+	w.Run(steps)
+	rounds := rc.Rounds()
+	if rounds == 0 {
+		t.Fatal("no rounds completed in 6000 steps")
+	}
+	// A round needs at least one step and at most... with n processes a
+	// round can't need fewer steps than the number of obliged processes
+	// (>= 1), so rounds <= steps; and the fairness bound caps how long a
+	// round can drag, so a sane run yields many rounds.
+	if rounds > steps {
+		t.Fatalf("rounds %d exceed steps %d", rounds, steps)
+	}
+	stepsPerRound := float64(steps) / float64(rounds)
+	if stepsPerRound < 1 || stepsPerRound > 20*float64(g.N()) {
+		t.Errorf("implausible steps/round = %.1f", stepsPerRound)
+	}
+}
+
+func TestRoundCounterRoundRobinTight(t *testing.T) {
+	// Under the round-robin daemon each rotation serves every enabled
+	// slot, so steps/round stays near the number of continuously enabled
+	// processes — well under the fairness bound.
+	g := graph.Ring(4)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Scheduler:        sim.NewRoundRobinScheduler(),
+		Seed:             2,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	rc := NewRoundCounter(g.N())
+	w.Observe(rc)
+	w.Run(4000)
+	if rc.Rounds() < 100 {
+		t.Errorf("round-robin completed only %d rounds in 4000 steps", rc.Rounds())
+	}
+}
+
+func TestRoundCounterWithDeadProcess(t *testing.T) {
+	// Dead processes are never enabled and must not block rounds.
+	g := graph.Ring(5)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Seed:             3,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	w.Kill(2)
+	rc := NewRoundCounter(g.N())
+	w.Observe(rc)
+	w.Run(4000)
+	if rc.Rounds() == 0 {
+		t.Fatal("rounds stalled on a dead process")
+	}
+}

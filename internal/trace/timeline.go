@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// Timeline samples per-process dining states over a run and renders them
+// as an ASCII chart: one row per philosopher, one character per sample
+// bucket — '.' Thinking, 'h' Hungry, '#' Eating, 'x' dead, '!' in a
+// malicious window. Within a bucket, Eating wins over Hungry wins over
+// Thinking (so a short meal still shows up), and death is sticky.
+type Timeline struct {
+	every int64 // steps per bucket
+	n     int
+	rows  [][]byte
+	cur   []byte
+	count int64
+}
+
+var _ sim.Observer = (*Timeline)(nil)
+
+// NewTimeline returns a timeline sampling one column per `every` steps.
+func NewTimeline(n int, every int64) *Timeline {
+	if every < 1 {
+		every = 1
+	}
+	tl := &Timeline{every: every, n: n, rows: make([][]byte, n), cur: make([]byte, n)}
+	tl.resetBucket()
+	return tl
+}
+
+func (tl *Timeline) resetBucket() {
+	for i := range tl.cur {
+		tl.cur[i] = '.'
+	}
+}
+
+// rank orders the bucket symbols by display priority.
+func rank(b byte) int {
+	switch b {
+	case 'x':
+		return 4
+	case '!':
+		return 3
+	case '#':
+		return 2
+	case 'h':
+		return 1
+	default:
+		return 0
+	}
+}
+
+// AfterStep implements sim.Observer.
+func (tl *Timeline) AfterStep(w *sim.World, _ int64, _ sim.Choice) {
+	for p := 0; p < tl.n; p++ {
+		pid := graph.ProcID(p)
+		var sym byte
+		switch {
+		case w.Status(pid) == sim.Dead:
+			sym = 'x'
+		case w.Status(pid) == sim.Malicious:
+			sym = '!'
+		case w.State(pid) == core.Eating:
+			sym = '#'
+		case w.State(pid) == core.Hungry:
+			sym = 'h'
+		default:
+			sym = '.'
+		}
+		if rank(sym) > rank(tl.cur[p]) {
+			tl.cur[p] = sym
+		}
+	}
+	tl.count++
+	if tl.count%tl.every == 0 {
+		for p := 0; p < tl.n; p++ {
+			tl.rows[p] = append(tl.rows[p], tl.cur[p])
+		}
+		tl.resetBucket()
+	}
+}
+
+// String renders the chart with a legend.
+func (tl *Timeline) String() string {
+	var b strings.Builder
+	b.WriteString("timeline (one column per " + strconv.FormatInt(tl.every, 10) +
+		" steps; . thinking, h hungry, # eating, ! malicious, x dead)\n")
+	for p := 0; p < tl.n; p++ {
+		b.WriteString("  p")
+		b.WriteString(strconv.Itoa(p))
+		if p < 10 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte(' ')
+		b.Write(tl.rows[p])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

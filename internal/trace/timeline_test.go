@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/workload"
+)
+
+func TestTimelineRendersAllStates(t *testing.T) {
+	g := graph.Ring(5)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Seed:             1,
+		DiameterOverride: sim.SafeDepthBound(g),
+		Faults: sim.NewFaultPlan(sim.FaultEvent{
+			Step: 500, Kind: sim.MaliciousCrash, Proc: 0, ArbitrarySteps: 30,
+		}),
+	})
+	tl := NewTimeline(g.N(), 50)
+	w.Observe(tl)
+	w.Run(4000)
+	out := tl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != g.N()+1 { // legend + one row per philosopher
+		t.Fatalf("timeline has %d lines:\n%s", len(lines), out)
+	}
+	for _, sym := range []string{"#", "h", "!", "x"} {
+		if !strings.Contains(out, sym) {
+			t.Errorf("timeline missing symbol %q:\n%s", sym, out)
+		}
+	}
+	// All rows (sans prefix) have equal width.
+	width := -1
+	for _, l := range lines[1:] {
+		cells := len(l) - len("  pN  ")
+		if width < 0 {
+			width = cells
+		} else if cells != width {
+			t.Errorf("ragged timeline rows:\n%s", out)
+			break
+		}
+	}
+}
+
+func TestTimelineBucketPriority(t *testing.T) {
+	// A meal shorter than the bucket must still appear: eating wins the
+	// bucket over thinking.
+	g := graph.Path(2)
+	w := sim.NewWorld(sim.Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		Workload:         workload.AlwaysHungry(),
+		Seed:             2,
+		DiameterOverride: sim.SafeDepthBound(g),
+	})
+	tl := NewTimeline(g.N(), 200) // huge buckets; meals are ~1 step
+	w.Observe(tl)
+	w.Run(2000)
+	if !strings.Contains(tl.String(), "#") {
+		t.Error("short meals were averaged away by the bucket")
+	}
+}
+
+func TestTimelineEveryFloor(t *testing.T) {
+	tl := NewTimeline(2, 0) // clamps to 1
+	if tl.every != 1 {
+		t.Errorf("every = %d, want 1", tl.every)
+	}
+}

@@ -1,0 +1,196 @@
+// Package trace records executions: per-step events, per-process dining
+// session accounting (hungry→eating latency, eat counts), and a
+// Figure-2-style pretty printer for small scenarios.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// Event is one executed step.
+type Event struct {
+	// Step is the step number.
+	Step int64
+	// Proc is the process that acted.
+	Proc graph.ProcID
+	// Action is the executed action (sim.MaliciousAction for a malicious
+	// step).
+	Action core.ActionID
+	// ActionName is the action's display name.
+	ActionName string
+	// State is the actor's dining state after the step.
+	State core.State
+}
+
+// Recorder is a sim.Observer that accumulates events and session
+// statistics. The zero value is not useful; use NewRecorder.
+type Recorder struct {
+	keepEvents bool
+	events     []Event
+
+	hungrySince []int64 // -1 when not hungry; else step it became hungry
+	latencies   []int64 // completed hungry→eating waits, all processes
+	eats        []int64 // eat sessions begun, per process
+	perProcLat  [][]int64
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder returns a recorder for n processes. If keepEvents is true
+// the full event list is retained (use only for small runs).
+func NewRecorder(n int, keepEvents bool) *Recorder {
+	r := &Recorder{
+		keepEvents:  keepEvents,
+		hungrySince: make([]int64, n),
+		eats:        make([]int64, n),
+		perProcLat:  make([][]int64, n),
+	}
+	for i := range r.hungrySince {
+		r.hungrySince[i] = -1
+	}
+	return r
+}
+
+// AfterStep implements sim.Observer.
+func (r *Recorder) AfterStep(w *sim.World, step int64, c sim.Choice) {
+	name := "malicious"
+	if !c.Malicious() {
+		name = w.Algorithm().Actions()[c.Action].Name
+	}
+	if r.keepEvents {
+		r.events = append(r.events, Event{
+			Step:       step,
+			Proc:       c.Proc,
+			Action:     c.Action,
+			ActionName: name,
+			State:      w.State(c.Proc),
+		})
+	}
+	// Latency accounting: a wait opens when the process first becomes
+	// Hungry and closes when it reaches Eating. A leave (yield back to
+	// Thinking under the dynamic threshold) does NOT close the wait — the
+	// process is still waiting to eat, which is exactly the waiting the
+	// paper's liveness property speaks about.
+	p := c.Proc
+	switch w.State(p) {
+	case core.Hungry:
+		if r.hungrySince[p] < 0 {
+			r.hungrySince[p] = step
+		}
+	case core.Eating:
+		if !c.Malicious() {
+			r.eats[p]++
+			if r.hungrySince[p] >= 0 {
+				lat := step - r.hungrySince[p]
+				r.latencies = append(r.latencies, lat)
+				r.perProcLat[p] = append(r.perProcLat[p], lat)
+			}
+		}
+		r.hungrySince[p] = -1
+	}
+}
+
+// Events returns the recorded events (nil unless keepEvents was set).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Eats returns how many eating sessions process p began.
+func (r *Recorder) Eats(p graph.ProcID) int64 { return r.eats[p] }
+
+// TotalEats returns the total number of eating sessions.
+func (r *Recorder) TotalEats() int64 {
+	var sum int64
+	for _, e := range r.eats {
+		sum += e
+	}
+	return sum
+}
+
+// Latencies returns all completed hungry→eating waits, in steps. The
+// returned slice is a copy.
+func (r *Recorder) Latencies() []int64 {
+	return append([]int64(nil), r.latencies...)
+}
+
+// ProcLatencies returns process p's completed hungry→eating waits.
+func (r *Recorder) ProcLatencies(p graph.ProcID) []int64 {
+	return append([]int64(nil), r.perProcLat[p]...)
+}
+
+// StarvedSince returns, for each process currently hungry, the step at
+// which its pending hunger began. Useful for starvation accounting at the
+// end of a bounded run.
+func (r *Recorder) StarvedSince() map[graph.ProcID]int64 {
+	m := make(map[graph.ProcID]int64)
+	for p, s := range r.hungrySince {
+		if s >= 0 {
+			m[graph.ProcID(p)] = s
+		}
+	}
+	return m
+}
+
+// FormatState renders a compact one-line snapshot of the world:
+// per-process state letters with depth, plus the priority orientation of
+// every edge. Dead processes are bracketed, malicious ones starred.
+func FormatState(w *sim.World) string {
+	var b strings.Builder
+	g := w.Graph()
+	for p := 0; p < g.N(); p++ {
+		pid := graph.ProcID(p)
+		if p > 0 {
+			b.WriteByte(' ')
+		}
+		switch w.Status(pid) {
+		case sim.Dead:
+			fmt.Fprintf(&b, "[%d:%v/%d]", p, w.State(pid), w.Depth(pid))
+		case sim.Malicious:
+			fmt.Fprintf(&b, "*%d:%v/%d*", p, w.State(pid), w.Depth(pid))
+		default:
+			fmt.Fprintf(&b, "%d:%v/%d", p, w.State(pid), w.Depth(pid))
+		}
+	}
+	b.WriteString("  edges:")
+	for _, e := range g.Edges() {
+		anc := w.Priority(e)
+		desc := e.Other(anc)
+		fmt.Fprintf(&b, " %d>%d", anc, desc)
+	}
+	return b.String()
+}
+
+// FormatEvents renders recorded events, one per line, oldest first.
+func FormatEvents(events []Event, names func(graph.ProcID) string) string {
+	if names == nil {
+		names = func(p graph.ProcID) string { return fmt.Sprintf("p%d", p) }
+	}
+	lines := make([]string, 0, len(events))
+	for _, ev := range events {
+		lines = append(lines, fmt.Sprintf("step %4d: %-4s %-9s -> %v",
+			ev.Step, names(ev.Proc), ev.ActionName, ev.State))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// SessionCounts returns (process, eats) pairs sorted by process for table
+// rendering.
+func (r *Recorder) SessionCounts() []struct {
+	Proc graph.ProcID
+	Eats int64
+} {
+	out := make([]struct {
+		Proc graph.ProcID
+		Eats int64
+	}, len(r.eats))
+	for p, e := range r.eats {
+		out[p].Proc = graph.ProcID(p)
+		out[p].Eats = e
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Proc < out[j].Proc })
+	return out
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+	"mcdp/internal/workload"
+)
+
+func ringWorld(seed int64) *sim.World {
+	return sim.NewWorld(sim.Config{
+		Graph:     graph.Ring(5),
+		Algorithm: core.NewMCDP(),
+		Workload:  workload.AlwaysHungry(),
+		Seed:      seed,
+	})
+}
+
+func TestRecorderCountsEats(t *testing.T) {
+	w := ringWorld(1)
+	r := NewRecorder(5, false)
+	w.Observe(r)
+	w.Run(4000)
+	if r.TotalEats() == 0 {
+		t.Fatal("no eats recorded on an always-hungry ring")
+	}
+	var sum int64
+	for p := 0; p < 5; p++ {
+		sum += r.Eats(graph.ProcID(p))
+	}
+	if sum != r.TotalEats() {
+		t.Errorf("per-process eats sum %d != total %d", sum, r.TotalEats())
+	}
+}
+
+func TestRecorderLatencies(t *testing.T) {
+	w := ringWorld(2)
+	r := NewRecorder(5, false)
+	w.Observe(r)
+	w.Run(4000)
+	lats := r.Latencies()
+	if len(lats) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	for _, l := range lats {
+		if l <= 0 {
+			t.Errorf("non-positive latency %d", l)
+		}
+	}
+	// Per-process latencies partition the global list.
+	var n int
+	for p := 0; p < 5; p++ {
+		n += len(r.ProcLatencies(graph.ProcID(p)))
+	}
+	if n != len(lats) {
+		t.Errorf("per-process latency count %d != global %d", n, len(lats))
+	}
+}
+
+func TestRecorderEventsKept(t *testing.T) {
+	w := ringWorld(3)
+	r := NewRecorder(5, true)
+	w.Observe(r)
+	w.Run(50)
+	events := r.Events()
+	if len(events) != 50 {
+		t.Fatalf("recorded %d events, want 50", len(events))
+	}
+	for i, ev := range events {
+		if ev.Step != int64(i) {
+			t.Errorf("event %d has step %d", i, ev.Step)
+		}
+		if ev.ActionName == "" {
+			t.Errorf("event %d has empty action name", i)
+		}
+	}
+}
+
+func TestRecorderEventsDiscardedByDefault(t *testing.T) {
+	w := ringWorld(3)
+	r := NewRecorder(5, false)
+	w.Observe(r)
+	w.Run(50)
+	if r.Events() != nil {
+		t.Error("events kept despite keepEvents=false")
+	}
+}
+
+func TestRecorderLeaveKeepsWaitOpen(t *testing.T) {
+	// Wire a scenario with a forced leave: 1 hungry with hungry ancestor
+	// 0 must leave; its wait should stay open and close when it finally
+	// eats.
+	g := graph.Path(2)
+	w := sim.NewWorld(sim.Config{
+		Graph:     g,
+		Algorithm: core.NewMCDP(),
+		Workload:  workload.AlwaysHungry(),
+		Seed:      4,
+	})
+	r := NewRecorder(2, false)
+	w.Observe(r)
+	w.Run(500)
+	// With always-hungry both eat eventually; latencies exist and some
+	// exceed 1 step (waits across leave/rejoin cycles are preserved).
+	if r.TotalEats() == 0 {
+		t.Fatal("nobody ate")
+	}
+}
+
+func TestStarvedSince(t *testing.T) {
+	// Kill 0 while eating as ancestor; 1 will be hungry at some point
+	// then park. StarvedSince should report anyone currently hungry.
+	w := ringWorld(5)
+	w.SetState(0, core.Eating)
+	w.Kill(0)
+	r := NewRecorder(5, false)
+	w.Observe(r)
+	w.Run(3000)
+	for p, s := range r.StarvedSince() {
+		if w.State(p) != core.Hungry {
+			t.Errorf("StarvedSince lists %d but its state is %v", p, w.State(p))
+		}
+		if s < 0 || s >= 3000 {
+			t.Errorf("bogus hunger start %d", s)
+		}
+	}
+}
+
+func TestFormatState(t *testing.T) {
+	w := ringWorld(6)
+	w.SetState(1, core.Eating)
+	w.Kill(2)
+	w.CrashMaliciously(3, 5)
+	s := FormatState(w)
+	for _, want := range []string{"1:E/0", "[2:", "*3:", "edges:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatState missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestFormatEvents(t *testing.T) {
+	events := []Event{
+		{Step: 3, Proc: 1, ActionName: "join", State: core.Hungry},
+		{Step: 4, Proc: 2, ActionName: "enter", State: core.Eating},
+	}
+	out := FormatEvents(events, nil)
+	if !strings.Contains(out, "join") || !strings.Contains(out, "p1") {
+		t.Errorf("FormatEvents output unexpected: %q", out)
+	}
+	named := FormatEvents(events, func(p graph.ProcID) string { return string(rune('a' + int(p))) })
+	if !strings.Contains(named, "b") {
+		t.Errorf("named FormatEvents output unexpected: %q", named)
+	}
+}
+
+func TestSessionCounts(t *testing.T) {
+	w := ringWorld(7)
+	r := NewRecorder(5, false)
+	w.Observe(r)
+	w.Run(2000)
+	counts := r.SessionCounts()
+	if len(counts) != 5 {
+		t.Fatalf("SessionCounts returned %d rows", len(counts))
+	}
+	for i, c := range counts {
+		if int(c.Proc) != i {
+			t.Errorf("row %d has proc %d", i, c.Proc)
+		}
+		if c.Eats != r.Eats(c.Proc) {
+			t.Errorf("row %d eats mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package workload supplies hunger profiles: implementations of the
+// paper's needs():p function, which "evaluates to true arbitrarily". A
+// profile answers, per process and per step, whether that process
+// currently wants to eat. Profiles are deterministic given their seed so
+// simulations are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcdp/internal/graph"
+)
+
+// Profile is a hunger source: the needs():p function of the paper.
+//
+// Needs must be a pure function of (p, step) so that repeated guard
+// evaluations within one atomic step agree.
+type Profile interface {
+	// Name identifies the profile for traces and tables.
+	Name() string
+	// Needs reports whether process p wants to eat at the given step.
+	Needs(p graph.ProcID, step int64) bool
+}
+
+type funcProfile struct {
+	name string
+	fn   func(p graph.ProcID, step int64) bool
+}
+
+func (f funcProfile) Name() string                          { return f.name }
+func (f funcProfile) Needs(p graph.ProcID, step int64) bool { return f.fn(p, step) }
+
+// Func wraps an arbitrary function as a Profile.
+func Func(name string, fn func(p graph.ProcID, step int64) bool) Profile {
+	return funcProfile{name: name, fn: fn}
+}
+
+// AlwaysHungry returns the maximal-contention profile: every process wants
+// to eat at every step. This is the paper's worst case for both safety and
+// the dynamic-threshold mechanism.
+func AlwaysHungry() Profile {
+	return Func("always", func(graph.ProcID, int64) bool { return true })
+}
+
+// NeverHungry returns the profile in which no process ever wants to eat.
+func NeverHungry() Profile {
+	return Func("never", func(graph.ProcID, int64) bool { return false })
+}
+
+// Only returns a profile in which exactly the given processes are
+// permanently hungry.
+func Only(procs ...graph.ProcID) Profile {
+	set := make(map[graph.ProcID]bool, len(procs))
+	for _, p := range procs {
+		set[p] = true
+	}
+	return Func(fmt.Sprintf("only%v", procs), func(p graph.ProcID, _ int64) bool {
+		return set[p]
+	})
+}
+
+// Bernoulli returns a profile in which each (process, step) pair wants to
+// eat independently with probability prob. The decision is a deterministic
+// hash of (seed, p, step), so it is stable across re-evaluations.
+func Bernoulli(prob float64, seed int64) Profile {
+	if prob < 0 || prob > 1 {
+		panic(fmt.Sprintf("workload: probability %v out of [0,1]", prob))
+	}
+	name := fmt.Sprintf("bernoulli(%.2f)", prob)
+	return Func(name, func(p graph.ProcID, step int64) bool {
+		h := mix(uint64(seed), uint64(p), uint64(step))
+		// Map the 64-bit hash to [0,1); exact at both extremes.
+		return float64(h>>11)/float64(1<<53) < prob
+	})
+}
+
+// Phases returns a profile in which each process is hungry during
+// alternating windows: hungry for hungrySteps, idle for idleSteps, with a
+// per-process phase offset derived from seed. Models bursty demand.
+func Phases(hungrySteps, idleSteps int64, seed int64) Profile {
+	if hungrySteps < 1 || idleSteps < 0 {
+		panic(fmt.Sprintf("workload: invalid phases (%d,%d)", hungrySteps, idleSteps))
+	}
+	period := hungrySteps + idleSteps
+	return Func(fmt.Sprintf("phases(%d,%d)", hungrySteps, idleSteps), func(p graph.ProcID, step int64) bool {
+		offset := int64(mix(uint64(seed), uint64(p), 0) % uint64(period))
+		return (step+offset)%period < hungrySteps
+	})
+}
+
+// Script returns a profile driven by an explicit per-process schedule:
+// process p wants to eat at step s iff hungry[p] is nil (never) is false
+// ... precisely, iff some interval [from, to) in hungry[p] contains s.
+type Interval struct {
+	// From is the first step of the interval (inclusive).
+	From int64
+	// To is the end of the interval (exclusive). To <= From yields an
+	// empty interval.
+	To int64
+}
+
+// Script builds a profile from explicit hunger intervals per process.
+// Processes without an entry are never hungry.
+func Script(name string, intervals map[graph.ProcID][]Interval) Profile {
+	return Func(name, func(p graph.ProcID, step int64) bool {
+		for _, iv := range intervals[p] {
+			if step >= iv.From && step < iv.To {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// RandomSubset returns a profile in which a fixed random subset of k
+// processes (chosen once from n by seed) is always hungry.
+func RandomSubset(n, k int, seed int64) Profile {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	set := make(map[graph.ProcID]bool, k)
+	for i := 0; i < k && i < n; i++ {
+		set[graph.ProcID(perm[i])] = true
+	}
+	return Func(fmt.Sprintf("subset(%d/%d)", k, n), func(p graph.ProcID, _ int64) bool {
+		return set[p]
+	})
+}
+
+// mix is a splitmix64-style hash combining three words; it drives the
+// stateless stochastic profiles.
+func mix(a, b, c uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9 ^ c*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

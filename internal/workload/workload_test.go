@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcdp/internal/graph"
+)
+
+func TestAlwaysAndNever(t *testing.T) {
+	always, never := AlwaysHungry(), NeverHungry()
+	for p := graph.ProcID(0); p < 5; p++ {
+		for s := int64(0); s < 5; s++ {
+			if !always.Needs(p, s) {
+				t.Errorf("always.Needs(%d,%d) = false", p, s)
+			}
+			if never.Needs(p, s) {
+				t.Errorf("never.Needs(%d,%d) = true", p, s)
+			}
+		}
+	}
+	if always.Name() != "always" || never.Name() != "never" {
+		t.Error("profile names wrong")
+	}
+}
+
+func TestOnly(t *testing.T) {
+	w := Only(1, 3)
+	if !w.Needs(1, 0) || !w.Needs(3, 99) {
+		t.Error("selected processes must be hungry")
+	}
+	if w.Needs(0, 0) || w.Needs(2, 50) {
+		t.Error("unselected processes must not be hungry")
+	}
+}
+
+func TestBernoulliDeterministic(t *testing.T) {
+	w := Bernoulli(0.5, 42)
+	for p := graph.ProcID(0); p < 10; p++ {
+		for s := int64(0); s < 10; s++ {
+			if w.Needs(p, s) != w.Needs(p, s) {
+				t.Fatal("Bernoulli is not a pure function of (p, step)")
+			}
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	zero, one := Bernoulli(0, 1), Bernoulli(1, 1)
+	for p := graph.ProcID(0); p < 20; p++ {
+		for s := int64(0); s < 20; s++ {
+			if zero.Needs(p, s) {
+				t.Fatal("Bernoulli(0) produced hunger")
+			}
+			if !one.Needs(p, s) {
+				t.Fatal("Bernoulli(1) skipped hunger")
+			}
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	w := Bernoulli(0.3, 7)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if w.Needs(graph.ProcID(i%17), int64(i/17)) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("Bernoulli(0.3) empirical rate = %.3f, want ~0.3", rate)
+	}
+}
+
+func TestBernoulliValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for probability out of range")
+		}
+	}()
+	Bernoulli(1.5, 1)
+}
+
+func TestPhasesPeriodicity(t *testing.T) {
+	w := Phases(3, 2, 9)
+	// Property: needs(p, s) == needs(p, s+period).
+	check := func(p uint8, s uint16) bool {
+		pid, step := graph.ProcID(p%8), int64(s)
+		return w.Needs(pid, step) == w.Needs(pid, step+5)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+	// Each process is hungry exactly 3 of every 5 steps.
+	for p := graph.ProcID(0); p < 6; p++ {
+		hungry := 0
+		for s := int64(0); s < 5; s++ {
+			if w.Needs(p, s) {
+				hungry++
+			}
+		}
+		if hungry != 3 {
+			t.Errorf("process %d hungry %d/5 steps, want 3", p, hungry)
+		}
+	}
+}
+
+func TestPhasesValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid phases")
+		}
+	}()
+	Phases(0, 2, 1)
+}
+
+func TestScript(t *testing.T) {
+	w := Script("demo", map[graph.ProcID][]Interval{
+		0: {{From: 5, To: 10}},
+		2: {{From: 0, To: 2}, {From: 20, To: 21}},
+	})
+	cases := []struct {
+		p    graph.ProcID
+		s    int64
+		want bool
+	}{
+		{0, 4, false}, {0, 5, true}, {0, 9, true}, {0, 10, false},
+		{1, 5, false},
+		{2, 0, true}, {2, 1, true}, {2, 2, false}, {2, 20, true}, {2, 21, false},
+	}
+	for _, c := range cases {
+		if got := w.Needs(c.p, c.s); got != c.want {
+			t.Errorf("Needs(%d,%d) = %v, want %v", c.p, c.s, got, c.want)
+		}
+	}
+}
+
+func TestRandomSubsetSizeAndStability(t *testing.T) {
+	w := RandomSubset(10, 4, 3)
+	hungry := 0
+	for p := graph.ProcID(0); p < 10; p++ {
+		if w.Needs(p, 0) {
+			hungry++
+			if !w.Needs(p, 1000) {
+				t.Error("subset membership must be step-independent")
+			}
+		}
+	}
+	if hungry != 4 {
+		t.Errorf("subset size = %d, want 4", hungry)
+	}
+}
+
+func TestRandomSubsetOversized(t *testing.T) {
+	w := RandomSubset(3, 10, 1)
+	hungry := 0
+	for p := graph.ProcID(0); p < 3; p++ {
+		if w.Needs(p, 0) {
+			hungry++
+		}
+	}
+	if hungry != 3 {
+		t.Errorf("oversized subset = %d hungry, want all 3", hungry)
+	}
+}
+
+func TestFuncName(t *testing.T) {
+	w := Func("custom", func(graph.ProcID, int64) bool { return true })
+	if w.Name() != "custom" {
+		t.Errorf("Name() = %q", w.Name())
+	}
+}

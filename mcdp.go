@@ -1,0 +1,256 @@
+package mcdp
+
+import (
+	"math/rand"
+	"time"
+
+	"mcdp/internal/baseline"
+	"mcdp/internal/check"
+	"mcdp/internal/core"
+	"mcdp/internal/drinkers"
+	"mcdp/internal/exp"
+	"mcdp/internal/graph"
+	"mcdp/internal/lowatomic"
+	"mcdp/internal/msgpass"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+	"mcdp/internal/trace"
+	"mcdp/internal/workload"
+)
+
+// Re-exported types. Aliases keep facade values interchangeable with the
+// implementation packages used by the examples and commands.
+type (
+	// Graph is an immutable undirected topology.
+	Graph = graph.Graph
+	// ProcID identifies a process (0..N-1).
+	ProcID = graph.ProcID
+	// Edge is a canonical undirected edge.
+	Edge = graph.Edge
+	// State is a philosopher's dining state.
+	State = core.State
+	// Algorithm is a diners algorithm in the guarded-command model.
+	Algorithm = core.Algorithm
+	// Config describes a simulation.
+	Config = sim.Config
+	// World is a running simulation.
+	World = sim.World
+	// Choice is one scheduled (process, action) step.
+	Choice = sim.Choice
+	// Observer is notified after every simulation step.
+	Observer = sim.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = sim.ObserverFunc
+	// Scheduler is the daemon picking among enabled actions.
+	Scheduler = sim.Scheduler
+	// FaultPlan schedules fault events.
+	FaultPlan = sim.FaultPlan
+	// FaultEvent is one scheduled fault.
+	FaultEvent = sim.FaultEvent
+	// StateReader is read-only access to a global state.
+	StateReader = sim.StateReader
+	// Profile is a hunger workload (the paper's needs():p).
+	Profile = workload.Profile
+	// Recorder accumulates eats and hungry-to-eating latencies.
+	Recorder = trace.Recorder
+	// Network is the message-passing runtime of Section 4.
+	Network = msgpass.Network
+	// NetworkConfig tunes a message-passing network.
+	NetworkConfig = msgpass.Config
+	// InvariantReport itemizes the paper's invariant I = NC ∧ ST ∧ E.
+	InvariantReport = spec.InvariantReport
+	// ExperimentResult is one experiment's report.
+	ExperimentResult = exp.Result
+	// Drinkers is a drinking-philosophers simulation layered on the
+	// diners core (Chandy & Misra's generalization, inheriting the
+	// paper's fault tolerance).
+	Drinkers = drinkers.Sim
+	// DrinkersConfig describes a drinkers simulation.
+	DrinkersConfig = drinkers.Config
+	// SessionSource drives drinkers' thirst and bottle subsets.
+	SessionSource = drinkers.SessionSource
+	// RegisterMachine runs the algorithm under read/write atomicity (one
+	// register per atomic step) — the refinement of the paper's
+	// reference [15].
+	RegisterMachine = lowatomic.Machine
+	// RegisterConfig describes a register-atomicity run.
+	RegisterConfig = lowatomic.Config
+	// Monitor audits a run against the specification continuously.
+	Monitor = spec.Monitor
+	// MonitorReport summarizes a Monitor audit.
+	MonitorReport = spec.MonitorReport
+	// RoundCounter measures executions in asynchronous rounds.
+	RoundCounter = trace.RoundCounter
+	// ForkNetwork is the classic Chandy-Misra fork runtime (baseline).
+	ForkNetwork = msgpass.ForkNetwork
+	// ForkConfig tunes a ForkNetwork.
+	ForkConfig = msgpass.ForkConfig
+)
+
+// Dining states (the paper's T, H, E).
+const (
+	Thinking = core.Thinking
+	Hungry   = core.Hungry
+	Eating   = core.Eating
+)
+
+// Fault kinds.
+const (
+	BenignCrash    = sim.BenignCrash
+	MaliciousCrash = sim.MaliciousCrash
+	TransientFault = sim.TransientFault
+	InitiallyDead  = sim.InitiallyDead
+)
+
+// NewAlgorithm returns the paper's algorithm (Figure 1).
+func NewAlgorithm() Algorithm { return core.NewMCDP() }
+
+// NewHygienic returns the classic priority-based baseline.
+func NewHygienic() Algorithm { return baseline.NewHygienic() }
+
+// NewNoYield returns the ablation without the dynamic threshold; its
+// failure locality is unbounded.
+func NewNoYield() Algorithm { return core.NewNoYield() }
+
+// NewNoDepth returns the ablation without cycle breaking; it does not
+// stabilize from states with priority cycles.
+func NewNoDepth() Algorithm { return core.NewNoDepth() }
+
+// NewWorld builds a simulation in the legitimate initial state.
+func NewWorld(cfg Config) *World { return sim.NewWorld(cfg) }
+
+// NewNetwork builds the goroutine/channel message-passing system.
+func NewNetwork(cfg NetworkConfig) *Network { return msgpass.NewNetwork(cfg) }
+
+// NewTCPNetwork builds the same message-passing system with frames
+// traveling over real TCP sockets on localhost (one per edge).
+func NewTCPNetwork(cfg NetworkConfig) (*Network, error) { return msgpass.NewTCPNetwork(cfg) }
+
+// NewDrinkers builds a drinking-philosophers simulation over the diners
+// core; see examples/lockmanager for a realistic use.
+func NewDrinkers(cfg DrinkersConfig) *Drinkers { return drinkers.New(cfg) }
+
+// NewRegisterMachine builds the read/write-atomicity engine.
+func NewRegisterMachine(cfg RegisterConfig) *RegisterMachine { return lowatomic.New(cfg) }
+
+// NewForkNetwork builds the classic Chandy-Misra runtime (the baseline
+// the paper's transformation outclasses under crashes).
+func NewForkNetwork(cfg ForkConfig) *ForkNetwork { return msgpass.NewForkNetwork(cfg) }
+
+// NewMonitor returns a specification auditor; register it with
+// World.Observe and read Report() at the end of the run.
+func NewMonitor() *Monitor { return spec.NewMonitor() }
+
+// NewRoundCounter returns an asynchronous-round counter for n processes.
+func NewRoundCounter(n int) *RoundCounter { return trace.NewRoundCounter(n) }
+
+// ToDOT renders a world's priority graph as Graphviz DOT.
+func ToDOT(w *World, names func(ProcID) string) string { return trace.ToDOT(w, names) }
+
+// NewRandomSessions returns a stochastic drinkers session source.
+func NewRandomSessions(g *Graph, prob float64, seed int64) SessionSource {
+	return drinkers.NewRandomSessions(g, prob, seed)
+}
+
+// SafeDepthBound returns n-1: the depth threshold that makes cycle
+// detection free of false positives on every topology. The paper's
+// literal D = diameter livelocks on non-tree graphs; see DESIGN.md and
+// experiment E2.
+func SafeDepthBound(g *Graph) int { return sim.SafeDepthBound(g) }
+
+// Topology constructors.
+var (
+	// Ring returns the cycle graph on n >= 3 vertices.
+	Ring = graph.Ring
+	// Path returns the path graph on n vertices.
+	Path = graph.Path
+	// Star returns the star graph with center 0.
+	Star = graph.Star
+	// Grid returns the rows x cols grid graph.
+	Grid = graph.Grid
+	// Torus returns the rows x cols torus.
+	Torus = graph.Torus
+	// Complete returns the complete graph on n vertices.
+	Complete = graph.Complete
+	// Hypercube returns the d-dimensional hypercube.
+	Hypercube = graph.Hypercube
+)
+
+// RandomTree returns a random labeled tree on n vertices.
+func RandomTree(n int, seed int64) *Graph {
+	return graph.RandomTree(n, rand.New(rand.NewSource(seed)))
+}
+
+// RandomConnected returns a random connected graph: a spanning tree plus
+// each extra edge with probability p.
+func RandomConnected(n int, p float64, seed int64) *Graph {
+	return graph.RandomConnected(n, p, rand.New(rand.NewSource(seed)))
+}
+
+// Workload constructors.
+var (
+	// AlwaysHungry makes every process want to eat at every step.
+	AlwaysHungry = workload.AlwaysHungry
+	// NeverHungry makes no process ever want to eat.
+	NeverHungry = workload.NeverHungry
+	// Bernoulli makes each (process, step) hungry with probability p.
+	Bernoulli = workload.Bernoulli
+)
+
+// Schedulers (daemons). Every scheduler is wrapped in the engine's
+// fairness guard, so even the adversarial one is weakly fair.
+var (
+	// NewRandomScheduler picks uniformly among enabled actions.
+	NewRandomScheduler = sim.NewRandomScheduler
+	// NewRoundRobinScheduler services (process, action) slots cyclically.
+	NewRoundRobinScheduler = sim.NewRoundRobinScheduler
+	// NewAdversarialScheduler starves a victim as long as fairness allows.
+	NewAdversarialScheduler = sim.NewAdversarialScheduler
+)
+
+// NewRecorder returns a session recorder for n processes; register it
+// with World.Observe.
+func NewRecorder(n int, keepEvents bool) *Recorder { return trace.NewRecorder(n, keepEvents) }
+
+// NewFaultPlan builds a fault schedule.
+func NewFaultPlan(events ...FaultEvent) *FaultPlan { return sim.NewFaultPlan(events...) }
+
+// CheckInvariant evaluates the paper's invariant I on any state.
+func CheckInvariant(r StateReader) InvariantReport { return spec.CheckInvariant(r) }
+
+// RedProcs computes the paper's red (blocked) process classification.
+func RedProcs(r StateReader) []bool { return spec.RedProcs(r) }
+
+// EatingPairs returns the edges whose endpoints are both eating.
+func EatingPairs(r StateReader) []Edge { return spec.EatingPairs(r) }
+
+// ModelCheck exposes the exhaustive checker for small instances.
+func ModelCheck(g *Graph, alg Algorithm, diameter int) *check.System {
+	return check.NewSystem(g, alg, check.Options{Diameter: diameter})
+}
+
+// LiftPredicate adapts a StateReader predicate for use with the model
+// checker's Check* methods.
+func LiftPredicate(pred func(StateReader) bool) check.Predicate {
+	return check.LiftReader(pred)
+}
+
+// RunExperiments executes the full derived evaluation (E1..E17 plus the
+// Figure 2 replay) and returns the reports in index order. Quick shrinks
+// the sweeps.
+func RunExperiments(quick bool) []ExperimentResult {
+	if quick {
+		return exp.RunSuite(exp.QuickSuiteOptions())
+	}
+	return exp.RunSuite(exp.DefaultSuiteOptions())
+}
+
+// RunFigure2 replays the paper's Figure 2 example and reports whether
+// every depicted behavior occurred.
+func RunFigure2(seed, budget int64) exp.Figure2Outcome { return exp.RunFigure2(seed, budget) }
+
+// Figure2World builds the Figure 2 scenario for custom exploration.
+func Figure2World(seed int64) *World { return exp.Figure2World(seed) }
+
+// DefaultNetworkTick is a reasonable gossip period for demos.
+const DefaultNetworkTick = time.Millisecond

@@ -1,0 +1,199 @@
+package mcdp
+
+import (
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the documented quick-start flow.
+func TestFacadeQuickstart(t *testing.T) {
+	g := Ring(8)
+	w := NewWorld(Config{
+		Graph:            g,
+		Algorithm:        NewAlgorithm(),
+		DiameterOverride: SafeDepthBound(g),
+		Seed:             1,
+	})
+	rec := NewRecorder(g.N(), false)
+	w.Observe(rec)
+	w.Run(10000)
+	if rec.TotalEats() == 0 {
+		t.Fatal("quickstart: nobody ate")
+	}
+	if pairs := EatingPairs(w); len(pairs) != 0 {
+		t.Fatalf("quickstart: eating pairs %v", pairs)
+	}
+}
+
+func TestFacadeMaliciousCrashContainment(t *testing.T) {
+	g := Path(8)
+	w := NewWorld(Config{
+		Graph:            g,
+		Algorithm:        NewAlgorithm(),
+		DiameterOverride: SafeDepthBound(g),
+		Seed:             2,
+		Faults: NewFaultPlan(FaultEvent{
+			Step: 500, Kind: MaliciousCrash, Proc: 0, ArbitrarySteps: 10,
+		}),
+	})
+	rec := NewRecorder(g.N(), false)
+	w.Observe(rec)
+	w.Run(60000)
+	for p := 3; p < 8; p++ {
+		if rec.Eats(ProcID(p)) == 0 {
+			t.Errorf("process %d at distance >= 3 never ate", p)
+		}
+	}
+}
+
+func TestFacadeInvariantAndReds(t *testing.T) {
+	g := Ring(6)
+	w := NewWorld(Config{Graph: g, Algorithm: NewAlgorithm(), DiameterOverride: SafeDepthBound(g)})
+	w.Run(2000)
+	if !CheckInvariant(w).Holds() {
+		// The busy system may be mid-reconfiguration; run until it holds.
+		ok := w.RunUntil(func(w *World) bool { return CheckInvariant(w).Holds() }, 20000)
+		if !ok {
+			t.Fatal("invariant never held on a fault-free ring")
+		}
+	}
+	red := RedProcs(w)
+	for p, r := range red {
+		if r {
+			t.Errorf("process %d red without faults", p)
+		}
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	names := map[string]Algorithm{
+		"mcdp":     NewAlgorithm(),
+		"hygienic": NewHygienic(),
+		"noyield":  NewNoYield(),
+		"nodepth":  NewNoDepth(),
+	}
+	for want, alg := range names {
+		if alg.Name() != want {
+			t.Errorf("algorithm name %q, want %q", alg.Name(), want)
+		}
+	}
+}
+
+func TestFacadeModelCheck(t *testing.T) {
+	g := Ring(3)
+	sys := ModelCheck(g, NewAlgorithm(), SafeDepthBound(g))
+	res := sys.CheckClosure(LiftPredicate(func(r StateReader) bool {
+		return CheckInvariant(r).Holds()
+	}))
+	if !res.Holds() {
+		t.Fatalf("invariant closure violated: %v", res)
+	}
+}
+
+func TestFacadeFigure2(t *testing.T) {
+	out := RunFigure2(7, 20000)
+	if !out.Holds() {
+		t.Fatalf("figure 2 replay failed: %+v", out)
+	}
+}
+
+func TestFacadeDrinkers(t *testing.T) {
+	g := Grid(2, 3)
+	d := NewDrinkers(DrinkersConfig{
+		Graph:    g,
+		Sessions: NewRandomSessions(g, 0.7, 5),
+		Seed:     5,
+	})
+	d.Run(20000)
+	if len(d.ConflictingDrinkers()) != 0 {
+		t.Error("conflicting drinkers via the facade")
+	}
+	total := int64(0)
+	for _, n := range d.Drinks() {
+		total += n
+	}
+	if total == 0 {
+		t.Error("nobody drank via the facade")
+	}
+}
+
+func TestFacadeRegisterMachine(t *testing.T) {
+	g := Ring(5)
+	m := NewRegisterMachine(RegisterConfig{
+		Graph:            g,
+		Algorithm:        NewAlgorithm(),
+		DiameterOverride: SafeDepthBound(g),
+		Seed:             1,
+	})
+	m.Run(100000)
+	total := int64(0)
+	for _, e := range m.Eats() {
+		total += e
+	}
+	if total == 0 {
+		t.Fatal("nobody ate under register atomicity via the facade")
+	}
+	if pairs := m.EatingPairs(); len(pairs) != 0 {
+		t.Fatalf("eating pairs at exit: %v", pairs)
+	}
+}
+
+func TestFacadeMonitorAndRounds(t *testing.T) {
+	g := Ring(6)
+	w := NewWorld(Config{
+		Graph:            g,
+		Algorithm:        NewAlgorithm(),
+		DiameterOverride: SafeDepthBound(g),
+		Seed:             2,
+	})
+	m := NewMonitor()
+	rc := NewRoundCounter(g.N())
+	w.Observe(m)
+	w.Observe(rc)
+	w.Run(5000)
+	if !m.Report().Clean() {
+		t.Errorf("monitor audit failed: %v", m.Report())
+	}
+	if rc.Rounds() == 0 {
+		t.Error("no rounds counted")
+	}
+}
+
+func TestFacadeToDOT(t *testing.T) {
+	g := Ring(3)
+	w := NewWorld(Config{Graph: g, Algorithm: NewAlgorithm()})
+	dot := ToDOT(w, nil)
+	if len(dot) == 0 || dot[:7] != "digraph" {
+		t.Errorf("ToDOT output unexpected: %q", dot)
+	}
+}
+
+func TestFacadeForkNetwork(t *testing.T) {
+	nw := NewForkNetwork(ForkConfig{Graph: Ring(4)})
+	nw.Start()
+	nw.Stop()
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	cases := []struct {
+		g     *Graph
+		wantN int
+	}{
+		{Ring(5), 5},
+		{Path(4), 4},
+		{Star(6), 6},
+		{Grid(2, 3), 6},
+		{Torus(3, 3), 9},
+		{Complete(4), 4},
+		{Hypercube(3), 8},
+		{RandomTree(7, 1), 7},
+		{RandomConnected(7, 0.3, 1), 7},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.wantN {
+			t.Errorf("%v has %d vertices, want %d", c.g, c.g.N(), c.wantN)
+		}
+		if !c.g.Connected() {
+			t.Errorf("%v not connected", c.g)
+		}
+	}
+}
