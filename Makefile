@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short cover bench examples experiments figure2 modelcheck clean
+.PHONY: all build vet test race short cover bench examples experiments figure2 modelcheck dinerd loadgen clean
 
 all: build vet test
 
@@ -44,6 +44,14 @@ figure2:
 modelcheck:
 	$(GO) run ./cmd/modelcheck -topology ring -n 3
 	$(GO) run ./cmd/modelcheck -topology ring -n 3 -threshold 1 || true
+
+# Build the lock-service daemon (serve + loadgen subcommands) into bin/.
+dinerd:
+	$(GO) build -o bin/dinerd ./cmd/dinerd
+
+# Drive a locally running dinerd with the built-in load generator.
+loadgen: dinerd
+	./bin/dinerd loadgen
 
 clean:
 	$(GO) clean ./...

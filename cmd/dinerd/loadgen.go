@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcdp/internal/lockservice"
+	"mcdp/internal/stats"
+)
+
+// loadgen hammers a running dinerd with concurrent acquire/hold/release
+// cycles and reports client-observed latency percentiles.
+func loadgen(args []string) {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:7467", "dinerd base URL")
+		clients  = fs.Int("clients", 8, "concurrent clients")
+		duration = fs.Duration("duration", 10*time.Second, "load duration")
+		hold     = fs.Duration("hold", 5*time.Millisecond, "lease hold time per grant")
+		pair     = fs.Float64("pair", 0.2, "probability a request asks for two locks sharing a worker")
+		timeout  = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
+		seed     = fs.Int64("seed", 1, "client randomness seed")
+	)
+	fs.Parse(args)
+
+	probe := lockservice.NewClient(*addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration+30*time.Second)
+	defer cancel()
+	rep, err := probe.Status(ctx)
+	if err != nil {
+		fail(fmt.Errorf("cannot reach %s: %w", *addr, err))
+	}
+	if len(rep.Edges) == 0 {
+		fail(fmt.Errorf("server at %s exposes no lockable resources", *addr))
+	}
+	// Group the server's canonical edge names by endpoint so pair
+	// requests can pick two locks arbitrated by one worker.
+	byEndpoint := map[int][]string{}
+	for _, name := range rep.Edges {
+		a, b, ok := parseEdge(name)
+		if !ok {
+			continue
+		}
+		byEndpoint[a] = append(byEndpoint[a], name)
+		byEndpoint[b] = append(byEndpoint[b], name)
+	}
+	var hubs []int
+	for p, names := range byEndpoint {
+		if len(names) >= 2 {
+			hubs = append(hubs, p)
+		}
+	}
+	sort.Ints(hubs)
+
+	fmt.Printf("loadgen: %d clients for %v against %s (%s, %d locks)\n",
+		*clients, *duration, *addr, rep.Topology, len(rep.Edges))
+
+	var (
+		wg        sync.WaitGroup
+		latencies = stats.NewRecorder(1 << 18)
+		grants    atomic.Int64
+		timeouts  atomic.Int64
+		busy      atomic.Int64
+		failures  atomic.Int64
+	)
+	stopAt := time.Now().Add(*duration)
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			c := lockservice.NewClient(*addr)
+			for time.Now().Before(stopAt) && ctx.Err() == nil {
+				resources := pickResources(rng, rep.Edges, hubs, byEndpoint, *pair)
+				start := time.Now()
+				grant, err := c.Acquire(ctx, resources, *timeout, 0)
+				if err != nil {
+					switch {
+					case strings.Contains(err.Error(), "HTTP 408"):
+						timeouts.Add(1)
+					case strings.Contains(err.Error(), "HTTP 429"):
+						busy.Add(1)
+					default:
+						failures.Add(1)
+					}
+					continue
+				}
+				latencies.Observe(time.Since(start).Seconds())
+				grants.Add(1)
+				time.Sleep(*hold)
+				if err := c.Release(ctx, grant.SessionID); err != nil {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	xs := latencies.Samples()
+	ms := func(q float64) string {
+		return fmt.Sprintf("%.2f", stats.Quantile(xs, q)*1000)
+	}
+	summary := stats.NewTable("loadgen summary", "metric", "value")
+	summary.AddRow("grants", grants.Load())
+	summary.AddRow("throughput (grants/s)", fmt.Sprintf("%.1f", float64(grants.Load())/duration.Seconds()))
+	summary.AddRow("timeouts (408)", timeouts.Load())
+	summary.AddRow("backpressure (429)", busy.Load())
+	summary.AddRow("other failures", failures.Load())
+	summary.Render(os.Stdout)
+
+	lat := stats.NewTable("acquire latency (ms, client-observed)",
+		"p50", "p90", "p95", "p99", "max")
+	lat.AddRow(ms(0.50), ms(0.90), ms(0.95), ms(0.99), ms(1.0))
+	lat.Render(os.Stdout)
+
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// pickResources draws one lock, or — with probability pair — two locks
+// sharing a worker (so the request stays mappable to a single home).
+func pickResources(rng *rand.Rand, edges []string, hubs []int, byEndpoint map[int][]string, pair float64) []string {
+	if pair > 0 && len(hubs) > 0 && rng.Float64() < pair {
+		p := hubs[rng.Intn(len(hubs))]
+		incident := byEndpoint[p]
+		i := rng.Intn(len(incident))
+		j := rng.Intn(len(incident))
+		if i != j {
+			return []string{incident[i], incident[j]}
+		}
+	}
+	return []string{edges[rng.Intn(len(edges))]}
+}
+
+// parseEdge reads the canonical "edge:a-b" form.
+func parseEdge(name string) (a, b int, ok bool) {
+	rest, ok := strings.CutPrefix(name, "edge:")
+	if !ok {
+		return 0, 0, false
+	}
+	as, bs, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0, 0, false
+	}
+	a, err1 := strconv.Atoi(as)
+	b, err2 := strconv.Atoi(bs)
+	return a, b, err1 == nil && err2 == nil
+}

@@ -1,0 +1,122 @@
+// Command dinerd runs the malicious-crash diners core as a network
+// lock service, and ships its own load generator.
+//
+// Usage:
+//
+//	dinerd serve   [-addr :7467] [-topology grid] [-rows 3] [-cols 4] ...
+//	dinerd loadgen [-addr http://127.0.0.1:7467] [-clients 8] [-duration 10s] ...
+//
+// serve starts the HTTP/JSON API (see docs/DINERD.md): POST
+// /v1/acquire, POST /v1/release, GET /v1/status, GET /metrics, and
+// POST /v1/admin/crash for fault injection. SIGINT/SIGTERM drain
+// gracefully: in-flight leases get a grace window to be released
+// before the diners network stops.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcdp/internal/graph"
+	"mcdp/internal/lockservice"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "loadgen":
+		loadgen(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: dinerd serve|loadgen [flags]\n")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "dinerd: %v\n", err)
+	os.Exit(1)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":7467", "listen address")
+		topology = fs.String("topology", "grid", "grid|ring|path|torus|complete")
+		rows     = fs.Int("rows", 3, "grid/torus rows")
+		cols     = fs.Int("cols", 4, "grid/torus cols")
+		n        = fs.Int("n", 8, "process count (ring/path/complete)")
+		tick     = fs.Duration("tick", time.Millisecond, "substrate gossip tick")
+		queue    = fs.Int("queue", 64, "per-worker pending-session queue limit")
+		ttl      = fs.Duration("ttl", 30*time.Second, "default lease TTL")
+		timeout  = fs.Duration("timeout", 5*time.Second, "default acquire wait budget")
+		seed     = fs.Int64("seed", 1, "substrate seed")
+		loss     = fs.Float64("loss", 0, "frame loss rate injected into the substrate")
+	)
+	fs.Parse(args)
+
+	g, err := buildTopology(*topology, *n, *rows, *cols)
+	if err != nil {
+		fail(err)
+	}
+	srv := lockservice.NewServer(lockservice.Config{
+		Graph:          g,
+		Seed:           *seed,
+		QueueLimit:     *queue,
+		DefaultTimeout: *timeout,
+		DefaultTTL:     *ttl,
+		TickEvery:      *tick,
+		LossRate:       *loss,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("dinerd: serving %s (%d workers, %d locks) on %s\n",
+		g.Name(), g.N(), g.EdgeCount(), *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("dinerd: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	srv.Stop(shutdownCtx)
+	fmt.Println("dinerd: stopped")
+}
+
+func buildTopology(kind string, n, rows, cols int) (*graph.Graph, error) {
+	switch kind {
+	case "grid":
+		return graph.Grid(rows, cols), nil
+	case "torus":
+		return graph.Torus(rows, cols), nil
+	case "ring":
+		return graph.Ring(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}

@@ -3,32 +3,49 @@
 // (Chandy & Misra's generalization, the paper's reference [5]).
 //
 // Workers sit on a grid; each edge is a resource (a lock) shared by the
-// two adjacent workers. A job needs some subset of its worker's adjacent
-// locks. The drinkers layer schedules conflicting jobs using the paper's
-// algorithm for arbitration — so the whole lock service inherits
-// stabilization and failure locality 2: a worker that crashes
-// maliciously (corrupting its lock table, then dying) only ever disturbs
-// workers within two hops.
+// two adjacent workers. Jobs name resources out of a catalog — some by
+// explicit edge ("edge:5-6"), most by arbitrary strings hashed onto
+// edges — using the exact session-mapping helper the dinerd daemon
+// applies to network clients (internal/lockservice.CatalogSessions).
+// The drinkers layer schedules the conflicting jobs with the paper's
+// algorithm, so the whole lock service inherits stabilization and
+// failure locality 2: a worker that crashes maliciously (corrupting
+// its lock table, then dying) only ever disturbs workers within two
+// hops.
+//
+// This is the synchronous, in-process rehearsal of the real thing: run
+// `dinerd serve` (cmd/dinerd) for the same core behind a concurrent
+// HTTP lock API, and `dinerd loadgen` to hammer it.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"mcdp"
 	"mcdp/internal/drinkers"
 	"mcdp/internal/graph"
+	"mcdp/internal/lockservice"
 )
 
 func main() {
-	g := mcdp.Grid(3, 4) // 12 workers, 17 shared locks
+	g := lockservice.DemoTopology() // the same 3x4 grid dinerd serves
+	catalog := []string{
+		"edge:5-6", "edge:9-10", // explicit edge locks
+		"users-table", "build-cache", "wal-segment", "leader-epoch", // hashed names
+	}
 	d := drinkers.New(drinkers.Config{
 		Graph:    g,
-		Sessions: drinkers.NewRandomSessions(g, 0.6, 11), // jobs need random lock subsets
+		Sessions: lockservice.NewCatalogSessions(g, catalog, 0.6, 11),
 		Seed:     11,
 	})
 
-	fmt.Printf("lock manager on %v: 12 workers, %d shared locks\n", g, g.EdgeCount())
+	fmt.Printf("lock manager on %v: %d workers, %d shared locks\n", g, g.N(), g.EdgeCount())
+	m := lockservice.NewResourceMapper(g)
+	fmt.Println("catalog placement (identical to dinerd's):")
+	for _, name := range catalog {
+		e, _ := m.EdgeFor(name)
+		fmt.Printf("  %-14s -> lock %v, arbitrated by workers %d and %d\n", name, e, e.A, e.B)
+	}
 
 	// Phase 1: normal operation.
 	conflicts := 0
@@ -51,10 +68,19 @@ func main() {
 	}
 	final := d.Drinks()
 
+	// Only workers arbitrating some catalog lock have demand; the rest
+	// idle at zero jobs by design, which is not a stall.
+	hasDemand := make(map[graph.ProcID]bool)
+	for _, name := range catalog {
+		e, _ := m.EdgeFor(name)
+		hasDemand[e.A] = true
+		hasDemand[e.B] = true
+	}
+
 	fmt.Println("\njobs completed after the crash, by distance from the crashed worker:")
 	stalled := 0
 	for p := 0; p < g.N(); p++ {
-		if p == 5 {
+		if p == 5 || !hasDemand[graph.ProcID(p)] {
 			continue
 		}
 		dist := g.Dist(graph.ProcID(p), 5)
@@ -75,4 +101,5 @@ func main() {
 	}
 	fmt.Printf("stalled workers: %d (all within distance 2 of the crash)\n", stalled)
 	fmt.Println("\nOK: exclusion held throughout; the crash stayed local")
+	fmt.Println("next: `make dinerd && ./bin/dinerd serve` runs this core as a network service (docs/DINERD.md)")
 }

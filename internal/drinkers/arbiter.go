@@ -1,0 +1,272 @@
+package drinkers
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mcdp/internal/graph"
+)
+
+// ErrQueueFull reports that a home node's session queue is at capacity.
+// Callers surface it as backpressure (HTTP 429 in the lock service).
+var ErrQueueFull = errors.New("drinkers: session queue full")
+
+// SessionStatus is a submitted session's lifecycle phase.
+type SessionStatus int
+
+// Session lifecycle: Pending (queued, waiting for its home node's
+// exclusive window and its bottles), Drinking (granted, bottles held),
+// Done (released or canceled).
+const (
+	Pending SessionStatus = iota
+	Drinking
+	Done
+)
+
+// Session is one submitted drinking session: a request to hold a set of
+// bottles (edges) rooted at a home node. A Session is created by
+// Arbiter.Submit and granted by Arbiter.Pump; the Granted channel closes
+// exactly once, at grant time.
+type Session struct {
+	// Home is the node the session is queued at (an endpoint of every
+	// bottle edge).
+	Home graph.ProcID
+	// Bottles are the needed edges, as indices into Graph.Edges(),
+	// deduplicated and sorted.
+	Bottles []int
+
+	granted chan struct{}
+	status  SessionStatus // guarded by the arbiter's mutex
+}
+
+// Granted returns a channel that is closed when the session is granted.
+func (s *Session) Granted() <-chan struct{} { return s.granted }
+
+// Arbiter is the thread-safe session-submission hook onto the drinkers
+// layer: it queues sessions per home node, and grants the head of a
+// queue only while an external oracle says that node is inside its
+// exclusive diners window (the paper's enter guard has fired and the
+// node is Eating). Safety is enforced by construction — every bottle is
+// attached to at most one Drinking session at a time — while liveness,
+// fairness, and crash failure locality come from the diners substrate
+// that drives the oracle: a node collects bottles only while eating, no
+// two neighbors eat at once, so no two competing collectors ever play
+// tug-of-war over a bottle.
+//
+// Unlike Sim (which owns a lock-step simulator), an Arbiter is substrate
+// agnostic and safe for concurrent use; internal/lockservice drives one
+// from the msgpass runtime's snapshot hook.
+type Arbiter struct {
+	mu         sync.Mutex
+	g          *graph.Graph
+	queueLimit int
+
+	queues [][]*Session   // per node, FIFO
+	user   []*Session     // per edge: the Drinking session using the bottle, or nil
+	holder []graph.ProcID // per edge: which endpoint last collected the bottle
+	active int            // Drinking session count
+}
+
+// NewArbiter returns an arbiter over g with the given per-node queue
+// capacity (<= 0 means a default of 64).
+func NewArbiter(g *graph.Graph, queueLimit int) *Arbiter {
+	if g == nil {
+		panic("drinkers: NewArbiter requires a graph")
+	}
+	if queueLimit <= 0 {
+		queueLimit = 64
+	}
+	a := &Arbiter{
+		g:          g,
+		queueLimit: queueLimit,
+		queues:     make([][]*Session, g.N()),
+		user:       make([]*Session, g.EdgeCount()),
+		holder:     make([]graph.ProcID, g.EdgeCount()),
+	}
+	for i, e := range g.Edges() {
+		a.holder[i] = e.A
+	}
+	return a
+}
+
+// Submit queues a session for the given home node needing the given
+// bottle edges (indices into Graph.Edges()). Every bottle must be
+// incident to home. It returns ErrQueueFull when the home queue is at
+// capacity.
+func (a *Arbiter) Submit(home graph.ProcID, bottles []int) (*Session, error) {
+	if home < 0 || int(home) >= a.g.N() {
+		return nil, fmt.Errorf("drinkers: home node %d out of range", home)
+	}
+	seen := make(map[int]bool, len(bottles))
+	var dedup []int
+	for _, b := range bottles {
+		if b < 0 || b >= a.g.EdgeCount() {
+			return nil, fmt.Errorf("drinkers: bottle index %d out of range", b)
+		}
+		e := a.g.Edges()[b]
+		if e.A != home && e.B != home {
+			return nil, fmt.Errorf("drinkers: bottle %v not incident to home %d", e, home)
+		}
+		if !seen[b] {
+			seen[b] = true
+			dedup = append(dedup, b)
+		}
+	}
+	if len(dedup) == 0 {
+		return nil, errors.New("drinkers: session needs at least one bottle")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.queues[home]) >= a.queueLimit {
+		return nil, ErrQueueFull
+	}
+	s := &Session{Home: home, Bottles: dedup, granted: make(chan struct{})}
+	a.queues[home] = append(a.queues[home], s)
+	return s, nil
+}
+
+// Cancel removes a still-Pending session from its queue and reports
+// whether it did. A false return means the session was already granted
+// (or previously finished): the caller owns it and must Release it.
+func (a *Arbiter) Cancel(s *Session) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s.status != Pending {
+		return false
+	}
+	q := a.queues[s.Home]
+	for i, qs := range q {
+		if qs == s {
+			a.queues[s.Home] = append(q[:i], q[i+1:]...)
+			s.status = Done
+			return true
+		}
+	}
+	return false
+}
+
+// Release ends a Drinking session, detaching it from its bottles (the
+// bottles stay at the home node until a collector takes them). It
+// reports whether the session was actually drinking.
+func (a *Arbiter) Release(s *Session) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s.status != Drinking {
+		return false
+	}
+	for _, b := range s.Bottles {
+		if a.user[b] == s {
+			a.user[b] = nil
+		}
+	}
+	s.status = Done
+	a.active--
+	return true
+}
+
+// Status returns the session's current lifecycle phase.
+func (a *Arbiter) Status(s *Session) SessionStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return s.status
+}
+
+// HasPending reports whether node p has queued (ungranted) sessions —
+// exactly when p should be hungry in the diners substrate.
+func (a *Arbiter) HasPending(p graph.ProcID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queues[p]) > 0
+}
+
+// QueueDepth returns the number of queued sessions at node p.
+func (a *Arbiter) QueueDepth(p graph.ProcID) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queues[p])
+}
+
+// QueueDepths returns the per-node queued session counts.
+func (a *Arbiter) QueueDepths() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]int, len(a.queues))
+	for p, q := range a.queues {
+		out[p] = len(q)
+	}
+	return out
+}
+
+// Active returns the number of currently Drinking sessions.
+func (a *Arbiter) Active() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active
+}
+
+// Holder returns which endpoint last collected the bottle on edge index
+// b (the drinkers-layer bottle position; advisory, for status displays).
+func (a *Arbiter) Holder(b int) graph.ProcID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.holder[b]
+}
+
+// Pump runs one scheduling pass: for every node that the eating oracle
+// places inside its exclusive window, it tries to collect the head
+// session's bottles and grants as many consecutive head sessions as
+// collect. A bottle can be collected iff no Drinking session is
+// attached to it; a Drinking neighbor's bottle is never stolen — that
+// is the drinkers surrender rule, and it is what makes two overlapping
+// grants that share a bottle impossible by construction. Pump returns
+// the sessions granted in this pass (their Granted channels are already
+// closed).
+//
+// The oracle may be slightly stale (the msgpass substrate publishes
+// snapshots asynchronously); staleness can only delay grants or cause a
+// harmless extra collection attempt, never a conflicting grant, because
+// all bottle accounting happens under one mutex.
+func (a *Arbiter) Pump(eating func(p graph.ProcID) bool) []*Session {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var grants []*Session
+	for p := 0; p < a.g.N(); p++ {
+		pid := graph.ProcID(p)
+		if len(a.queues[p]) == 0 || !eating(pid) {
+			continue
+		}
+		for len(a.queues[p]) > 0 {
+			s := a.queues[p][0]
+			if !a.collect(s) {
+				break
+			}
+			for _, b := range s.Bottles {
+				a.user[b] = s
+				a.holder[b] = s.Home
+			}
+			s.status = Drinking
+			a.active++
+			close(s.granted)
+			a.queues[p] = a.queues[p][1:]
+			grants = append(grants, s)
+		}
+	}
+	return grants
+}
+
+// collect reports whether every bottle of s is free, moving free
+// bottles to the home node as it checks (partial collection mirrors the
+// drinkers reduction: a surrendered bottle travels even if the whole
+// set is not yet available).
+func (a *Arbiter) collect(s *Session) bool {
+	all := true
+	for _, b := range s.Bottles {
+		if a.user[b] != nil {
+			all = false
+			continue
+		}
+		a.holder[b] = s.Home
+	}
+	return all
+}

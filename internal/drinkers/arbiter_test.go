@@ -1,0 +1,250 @@
+package drinkers
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mcdp/internal/graph"
+)
+
+// alwaysEating is the most permissive oracle; safety must hold even
+// under it (the central bottle accounting is what prevents conflicts).
+func alwaysEating(graph.ProcID) bool { return true }
+
+func TestArbiterSubmitValidation(t *testing.T) {
+	g := graph.Ring(4)
+	a := NewArbiter(g, 2)
+	if _, err := a.Submit(99, []int{0}); err == nil {
+		t.Error("out-of-range home accepted")
+	}
+	if _, err := a.Submit(0, []int{99}); err == nil {
+		t.Error("out-of-range bottle accepted")
+	}
+	if _, err := a.Submit(0, nil); err == nil {
+		t.Error("empty bottle set accepted")
+	}
+	// Edge not incident to home: ring(4) edge (2,3) vs home 0.
+	far := g.EdgeIndex(2, 3)
+	if _, err := a.Submit(0, []int{far}); err == nil {
+		t.Error("non-incident bottle accepted")
+	}
+	// Duplicates dedupe.
+	b := g.EdgeIndex(0, 1)
+	s, err := a.Submit(0, []int{b, b, b})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if len(s.Bottles) != 1 {
+		t.Errorf("duplicate bottles not deduplicated: %v", s.Bottles)
+	}
+}
+
+func TestArbiterQueueLimit(t *testing.T) {
+	g := graph.Ring(4)
+	a := NewArbiter(g, 2)
+	b := g.EdgeIndex(0, 1)
+	for i := 0; i < 2; i++ {
+		if _, err := a.Submit(0, []int{b}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	if _, err := a.Submit(0, []int{b}); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("third submit: got %v, want ErrQueueFull", err)
+	}
+	if got := a.QueueDepth(0); got != 2 {
+		t.Errorf("QueueDepth(0) = %d, want 2", got)
+	}
+}
+
+func TestArbiterGrantReleaseCycle(t *testing.T) {
+	g := graph.Ring(4)
+	a := NewArbiter(g, 8)
+	b01 := g.EdgeIndex(0, 1)
+	s, err := a.Submit(0, []int{b01})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if !a.HasPending(0) {
+		t.Error("HasPending(0) false with a queued session")
+	}
+	grants := a.Pump(alwaysEating)
+	if len(grants) != 1 || grants[0] != s {
+		t.Fatalf("Pump granted %v, want the submitted session", grants)
+	}
+	select {
+	case <-s.Granted():
+	default:
+		t.Fatal("Granted channel not closed after grant")
+	}
+	if a.Status(s) != Drinking || a.Active() != 1 {
+		t.Error("granted session not Drinking")
+	}
+	if a.Holder(b01) != 0 {
+		t.Errorf("bottle holder = %d, want home 0", a.Holder(b01))
+	}
+	// The conflicting session at the other endpoint must wait.
+	s2, err := a.Submit(1, []int{b01})
+	if err != nil {
+		t.Fatalf("Submit s2: %v", err)
+	}
+	if grants := a.Pump(alwaysEating); len(grants) != 0 {
+		t.Fatalf("conflicting session granted while bottle in use: %v", grants)
+	}
+	if !a.Release(s) {
+		t.Error("Release of a drinking session reported false")
+	}
+	if a.Release(s) {
+		t.Error("double Release reported true")
+	}
+	if grants := a.Pump(alwaysEating); len(grants) != 1 || grants[0] != s2 {
+		t.Fatalf("waiter not granted after release: %v", grants)
+	}
+	a.Release(s2)
+	if a.Active() != 0 {
+		t.Errorf("Active = %d after all releases, want 0", a.Active())
+	}
+}
+
+func TestArbiterCancel(t *testing.T) {
+	g := graph.Ring(4)
+	a := NewArbiter(g, 8)
+	b := g.EdgeIndex(0, 1)
+	s1, _ := a.Submit(0, []int{b})
+	s2, _ := a.Submit(0, []int{b})
+	if !a.Cancel(s2) {
+		t.Error("Cancel of a pending session reported false")
+	}
+	if a.QueueDepth(0) != 1 {
+		t.Errorf("QueueDepth = %d after cancel, want 1", a.QueueDepth(0))
+	}
+	a.Pump(alwaysEating)
+	if a.Cancel(s1) {
+		t.Error("Cancel of a granted session reported true; caller must Release instead")
+	}
+	if !a.Release(s1) {
+		t.Error("Release after failed Cancel reported false")
+	}
+}
+
+func TestArbiterFIFOPerNode(t *testing.T) {
+	g := graph.Ring(4)
+	a := NewArbiter(g, 8)
+	b01, b03 := g.EdgeIndex(0, 1), g.EdgeIndex(0, 3)
+	s1, _ := a.Submit(0, []int{b01})
+	s2, _ := a.Submit(0, []int{b03})
+	// The head s1 drinks; s2 (disjoint bottles) becomes the new head and
+	// is granted in the same eating window.
+	grants := a.Pump(alwaysEating)
+	if len(grants) != 2 || grants[0] != s1 || grants[1] != s2 {
+		t.Fatalf("grants %v, want [s1 s2] in FIFO order", grants)
+	}
+	// A head blocked on a bottle blocks the whole node queue (FIFO, no
+	// overtaking).
+	s3, _ := a.Submit(1, []int{b01}) // conflicts with s1
+	s4, _ := a.Submit(1, []int{g.EdgeIndex(1, 2)})
+	if grants := a.Pump(alwaysEating); len(grants) != 0 {
+		t.Fatalf("blocked head overtaken: %v", grants)
+	}
+	a.Release(s1)
+	grants = a.Pump(alwaysEating)
+	if len(grants) != 2 || grants[0] != s3 || grants[1] != s4 {
+		t.Fatalf("after release, grants %v, want [s3 s4]", grants)
+	}
+}
+
+// TestArbiterNeverConflicts hammers the arbiter from many goroutines
+// under a randomized eating oracle and asserts the core invariant: no
+// two simultaneously granted sessions ever share a bottle.
+func TestArbiterNeverConflicts(t *testing.T) {
+	g := graph.Grid(3, 4)
+	a := NewArbiter(g, 16)
+	var (
+		mu      sync.Mutex
+		using   = make(map[int]*Session) // bottle -> session, our shadow
+		badness int
+	)
+	acquireShadow := func(s *Session) {
+		mu.Lock()
+		for _, b := range s.Bottles {
+			if other, ok := using[b]; ok && other != s {
+				badness++
+			}
+			using[b] = s
+		}
+		mu.Unlock()
+	}
+	releaseShadow := func(s *Session) {
+		mu.Lock()
+		for _, b := range s.Bottles {
+			if using[b] == s {
+				delete(using, b)
+			}
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	pumperDone := make(chan struct{})
+	// A pumper with a flapping random oracle.
+	go func() {
+		defer close(pumperDone)
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a.Pump(func(p graph.ProcID) bool { return rng.Intn(3) == 0 })
+		}
+	}()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				home := graph.ProcID(rng.Intn(g.N()))
+				idxs := g.IncidentEdgeIndices(home)
+				var bottles []int
+				for _, b := range idxs {
+					if rng.Intn(2) == 0 {
+						bottles = append(bottles, b)
+					}
+				}
+				if len(bottles) == 0 {
+					bottles = []int{idxs[rng.Intn(len(idxs))]}
+				}
+				s, err := a.Submit(home, bottles)
+				if err != nil {
+					continue // backpressure; fine
+				}
+				select {
+				case <-s.Granted():
+					acquireShadow(s)
+					releaseShadow(s)
+					a.Release(s)
+				default:
+					if !a.Cancel(s) {
+						// Granted in the race: own it, then release.
+						acquireShadow(s)
+						releaseShadow(s)
+						a.Release(s)
+					}
+				}
+			}
+		}(int64(w) + 10)
+	}
+	wg.Wait()
+	close(stop)
+	<-pumperDone
+	if badness != 0 {
+		t.Fatalf("%d conflicting grants observed", badness)
+	}
+	if a.Active() != 0 {
+		t.Errorf("Active = %d after all workers finished, want 0", a.Active())
+	}
+}

@@ -1,0 +1,249 @@
+package lockservice
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mcdp/internal/graph"
+)
+
+// AcquireRequest is the body of POST /v1/acquire.
+type AcquireRequest struct {
+	// Resources are the lock names to acquire atomically.
+	Resources []string `json:"resources"`
+	// TimeoutMS optionally caps the wait for a grant (server clamps to
+	// its configured maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// TTLMS optionally overrides the lease time-to-live.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Client optionally identifies the requester (logging only).
+	Client string `json:"client,omitempty"`
+}
+
+// AcquireResponse is the body of a successful acquire.
+type AcquireResponse struct {
+	SessionID string   `json:"session_id"`
+	Node      int      `json:"node"`
+	Resources []string `json:"resources"`
+	WaitMS    float64  `json:"wait_ms"`
+}
+
+// ReleaseRequest is the body of POST /v1/release.
+type ReleaseRequest struct {
+	SessionID string `json:"session_id"`
+}
+
+// ReleaseResponse is the body of a successful release.
+type ReleaseResponse struct {
+	Released bool `json:"released"`
+}
+
+// NodeStatus is one worker's row in GET /v1/status.
+type NodeStatus struct {
+	ID         int    `json:"id"`
+	State      string `json:"state"`
+	Dead       bool   `json:"dead"`
+	Depth      int    `json:"depth"`
+	Events     int64  `json:"events"`
+	Eats       int64  `json:"eats"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// StatusReport is the body of GET /v1/status.
+type StatusReport struct {
+	Topology     string       `json:"topology"`
+	Workers      int          `json:"workers"`
+	Locks        int          `json:"locks"`
+	Edges        []string     `json:"edges"`
+	Nodes        []NodeStatus `json:"nodes"`
+	ActiveLeases int          `json:"active_leases"`
+	QueueDepth   int          `json:"queue_depth"`
+	Grants       int64        `json:"grants"`
+	UptimeMS     int64        `json:"uptime_ms"`
+	Draining     bool         `json:"draining"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// CrashResponse is the body of a successful fault injection.
+type CrashResponse struct {
+	Node  int    `json:"node"`
+	Steps int    `json:"steps"`
+	Mode  string `json:"mode"`
+}
+
+// Status assembles the current status report.
+func (s *Server) Status() StatusReport {
+	table := s.nw.Table()
+	depths := s.arb.QueueDepths()
+	rep := StatusReport{
+		Topology: s.g.String(),
+		Workers:  s.g.N(),
+		Locks:    s.g.EdgeCount(),
+		Grants:   s.metrics.Grants.Load(),
+		UptimeMS: s.Uptime().Milliseconds(),
+	}
+	for _, e := range s.g.Edges() {
+		rep.Edges = append(rep.Edges, EdgeName(e))
+	}
+	for p, snap := range table {
+		st := snap.State.String()
+		if !snap.State.Valid() {
+			st = "?"
+		}
+		rep.Nodes = append(rep.Nodes, NodeStatus{
+			ID: p, State: st, Dead: snap.Dead, Depth: snap.Depth,
+			Events: snap.Events, Eats: snap.Eats, QueueDepth: depths[p],
+		})
+		rep.QueueDepth += depths[p]
+	}
+	rep.ActiveLeases = s.ActiveLeases()
+	s.mu.Lock()
+	rep.Draining = s.draining
+	s.mu.Unlock()
+	return rep
+}
+
+// Handler returns dinerd's HTTP surface:
+//
+//	POST /v1/acquire      acquire a resource set (blocks until grant/timeout)
+//	POST /v1/release      release a granted session
+//	GET  /v1/status       topology, per-worker state, queues, leases
+//	GET  /metrics         Prometheus text exposition
+//	POST /v1/admin/crash  inject a malicious (or benign) crash: ?node=N&steps=K
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/acquire", s.handleAcquire)
+	mux.HandleFunc("/v1/release", s.handleRelease)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/admin/crash", s.handleCrash)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// statusFor maps the server's sentinel errors onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnmappable):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrTimeout):
+		return http.StatusRequestTimeout
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrUnserviceable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req AcquireRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Resources) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("resources must be non-empty"))
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	grant, err := s.Acquire(ctx, req.Resources, time.Duration(req.TTLMS)*time.Millisecond)
+	if err != nil {
+		code := statusFor(err)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AcquireResponse{
+		SessionID: grant.SessionID,
+		Node:      int(grant.Node),
+		Resources: grant.Resources,
+		WaitMS:    float64(grant.Wait.Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req ReleaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Release(req.SessionID); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReleaseResponse{Released: true})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.WriteMetrics(w)
+}
+
+func (s *Server) handleCrash(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	node, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("node query parameter required"))
+		return
+	}
+	steps := 0
+	if v := r.URL.Query().Get("steps"); v != "" {
+		steps, err = strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, errors.New("steps must be an integer"))
+			return
+		}
+	}
+	if err := s.InjectCrash(graph.ProcID(node), steps); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	mode := "malicious"
+	if steps <= 0 {
+		mode = "benign"
+	}
+	writeJSON(w, http.StatusOK, CrashResponse{Node: node, Steps: steps, Mode: mode})
+}

@@ -1,0 +1,204 @@
+package lockservice
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to a dinerd server over its HTTP/JSON API with
+// bounded retries and exponential backoff. Retries cover transport
+// errors, 5xx responses, and backpressure (429); logical rejections
+// (400/404/408/422) surface immediately as *APIError.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7467".
+	BaseURL string
+	// HTTPClient defaults to a client with a 60s overall timeout.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call (default 4).
+	MaxAttempts int
+	// Backoff is the first retry delay (default 50ms); it doubles per
+	// attempt and is capped by MaxBackoff (default 1s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dinerd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// IsRetryable reports whether the client would retry this failure.
+func (e *APIError) IsRetryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode >= 500
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 60 * time.Second}
+}
+
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxB := c.MaxBackoff
+	if maxB <= 0 {
+		maxB = time.Second
+	}
+	d := base << uint(attempt)
+	if d > maxB {
+		d = maxB
+	}
+	// Deterministic jitter: stagger concurrent retriers by attempt parity.
+	return d + d/4*time.Duration(attempt%2)
+}
+
+// do runs one HTTP round-trip and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// call runs do with retry/backoff on transport errors and retryable
+// API errors, respecting ctx between attempts.
+func (c *Client) call(ctx context.Context, method, path string, body, out any) error {
+	var last error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		err := c.do(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if apiErr, ok := err.(*APIError); ok && !apiErr.IsRetryable() {
+			return err
+		}
+		if ctx.Err() != nil {
+			return last
+		}
+	}
+	return last
+}
+
+// Acquire requests the resource set and blocks until grant, rejection,
+// or ctx cancellation. timeout, when positive, is forwarded as the
+// server-side wait budget.
+func (c *Client) Acquire(ctx context.Context, resources []string, timeout, ttl time.Duration) (*AcquireResponse, error) {
+	req := AcquireRequest{Resources: resources}
+	if timeout > 0 {
+		req.TimeoutMS = timeout.Milliseconds()
+	}
+	if ttl > 0 {
+		req.TTLMS = ttl.Milliseconds()
+	}
+	var resp AcquireResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/acquire", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Release releases a granted session.
+func (c *Client) Release(ctx context.Context, sessionID string) error {
+	return c.call(ctx, http.MethodPost, "/v1/release", ReleaseRequest{SessionID: sessionID}, nil)
+}
+
+// Status fetches the server's status report.
+func (c *Client) Status(ctx context.Context) (*StatusReport, error) {
+	var rep StatusReport
+	if err := c.call(ctx, http.MethodGet, "/v1/status", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Crash injects a fault: steps > 0 crashes the node maliciously (it
+// takes that many arbitrary-state steps first), steps <= 0 is a clean
+// kill. Not retried — fault injection is not idempotent in spirit.
+func (c *Client) Crash(ctx context.Context, node, steps int) error {
+	path := fmt.Sprintf("/v1/admin/crash?node=%d&steps=%d", node, steps)
+	return c.do(ctx, http.MethodPost, path, nil, nil)
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: string(b)}
+	}
+	return string(b), nil
+}

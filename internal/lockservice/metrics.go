@@ -1,0 +1,146 @@
+package lockservice
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"mcdp/internal/stats"
+)
+
+// Metrics is dinerd's observability surface: plain atomic counters plus
+// latency histograms, exported in Prometheus text exposition format by
+// Server.WriteMetrics with no external dependency.
+type Metrics struct {
+	AcquireRequests       atomic.Int64
+	Grants                atomic.Int64
+	Releases              atomic.Int64
+	Expirations           atomic.Int64
+	RejectedQueueFull     atomic.Int64
+	RejectedTimeout       atomic.Int64
+	RejectedUnmappable    atomic.Int64
+	RejectedUnserviceable atomic.Int64
+	RejectedDraining      atomic.Int64
+	CrashesInjected       atomic.Int64
+
+	// WaitHist observes hungry time: seconds from submission to grant.
+	WaitHist *stats.LatencyHistogram
+	// HoldHist observes lease hold time: seconds from grant to release.
+	HoldHist *stats.LatencyHistogram
+}
+
+// NewMetrics returns a zeroed metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		WaitHist: stats.NewLatencyHistogram(stats.DefaultLatencyBounds()),
+		HoldHist: stats.NewLatencyHistogram(stats.DefaultLatencyBounds()),
+	}
+}
+
+// counterDef pairs a series name with its help string and value source.
+type counterDef struct {
+	name string
+	help string
+	val  func() int64
+}
+
+// WriteMetrics writes the full metrics surface — request counters,
+// queue/lease gauges, per-node diners state, substrate message
+// counters, and the wait/hold histograms — in Prometheus text format.
+func (s *Server) WriteMetrics(w io.Writer) {
+	m := s.metrics
+	counters := []counterDef{
+		{"dinerd_acquire_requests_total", "Acquire requests received.", m.AcquireRequests.Load},
+		{"dinerd_grants_total", "Sessions granted.", m.Grants.Load},
+		{"dinerd_releases_total", "Sessions released by clients.", m.Releases.Load},
+		{"dinerd_lease_expirations_total", "Leases expired by the server-side TTL janitor.", m.Expirations.Load},
+		{"dinerd_rejected_queue_full_total", "Acquires rejected for backpressure (429).", m.RejectedQueueFull.Load},
+		{"dinerd_rejected_timeout_total", "Acquires that timed out waiting (408).", m.RejectedTimeout.Load},
+		{"dinerd_rejected_unmappable_total", "Acquires naming resource sets with no common worker (422).", m.RejectedUnmappable.Load},
+		{"dinerd_rejected_unserviceable_total", "Acquires whose candidate workers are all dead (503).", m.RejectedUnserviceable.Load},
+		{"dinerd_rejected_draining_total", "Acquires rejected during drain (503).", m.RejectedDraining.Load},
+		{"dinerd_crashes_injected_total", "Faults injected through the admin endpoint.", m.CrashesInjected.Load},
+		{"dinerd_messages_sent_total", "Frames sent by the diners substrate.", s.nw.MessagesSent},
+		{"dinerd_messages_dropped_total", "Frames dropped to full inboxes.", s.nw.MessagesDropped},
+		{"dinerd_messages_lost_total", "Frames lost in transit (loss injection / partitions).", s.nw.MessagesLost},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val())
+	}
+
+	depths := s.arb.QueueDepths()
+	total := 0
+	for _, d := range depths {
+		total += d
+	}
+	fmt.Fprintf(w, "# HELP dinerd_queue_depth Pending sessions across all worker queues.\n# TYPE dinerd_queue_depth gauge\ndinerd_queue_depth %d\n", total)
+	fmt.Fprintf(w, "# HELP dinerd_active_leases Currently granted, unreleased leases.\n# TYPE dinerd_active_leases gauge\ndinerd_active_leases %d\n", s.ActiveLeases())
+
+	fmt.Fprintf(w, "# HELP dinerd_node_queue_depth Pending sessions per worker.\n# TYPE dinerd_node_queue_depth gauge\n")
+	for p, d := range depths {
+		fmt.Fprintf(w, "dinerd_node_queue_depth{node=%q} %d\n", strconv.Itoa(p), d)
+	}
+	table := s.nw.Table()
+	fmt.Fprintf(w, "# HELP dinerd_node_state Diners state per worker (1=thinking 2=hungry 3=eating, 0=dead).\n# TYPE dinerd_node_state gauge\n")
+	for p, snap := range table {
+		v := int(snap.State)
+		if snap.Dead {
+			v = 0
+		}
+		fmt.Fprintf(w, "dinerd_node_state{node=%q} %d\n", strconv.Itoa(p), v)
+	}
+	fmt.Fprintf(w, "# HELP dinerd_node_eats_total Completed diners eating sessions per worker.\n# TYPE dinerd_node_eats_total counter\n")
+	for p, snap := range table {
+		fmt.Fprintf(w, "dinerd_node_eats_total{node=%q} %d\n", strconv.Itoa(p), snap.Eats)
+	}
+	writeHistogram(w, "dinerd_acquire_wait_seconds", "Hungry time: submission to grant.", m.WaitHist)
+	writeHistogram(w, "dinerd_lease_hold_seconds", "Lease hold time: grant to release.", m.HoldHist)
+}
+
+// writeHistogram emits one histogram in Prometheus text format.
+func writeHistogram(w io.Writer, name, help string, h *stats.LatencyHistogram) {
+	bounds, cum, count, sum := h.Snapshot()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, b := range bounds {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// MetricNames returns the sorted names of all exported series families
+// (used by tests and docs to keep the catalog honest).
+func MetricNames() []string {
+	names := []string{
+		"dinerd_acquire_requests_total",
+		"dinerd_grants_total",
+		"dinerd_releases_total",
+		"dinerd_lease_expirations_total",
+		"dinerd_rejected_queue_full_total",
+		"dinerd_rejected_timeout_total",
+		"dinerd_rejected_unmappable_total",
+		"dinerd_rejected_unserviceable_total",
+		"dinerd_rejected_draining_total",
+		"dinerd_crashes_injected_total",
+		"dinerd_messages_sent_total",
+		"dinerd_messages_dropped_total",
+		"dinerd_messages_lost_total",
+		"dinerd_queue_depth",
+		"dinerd_active_leases",
+		"dinerd_node_queue_depth",
+		"dinerd_node_state",
+		"dinerd_node_eats_total",
+		"dinerd_acquire_wait_seconds",
+		"dinerd_lease_hold_seconds",
+	}
+	sort.Strings(names)
+	return names
+}

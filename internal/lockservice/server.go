@@ -1,0 +1,452 @@
+package lockservice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcdp/internal/core"
+	"mcdp/internal/drinkers"
+	"mcdp/internal/graph"
+	"mcdp/internal/msgpass"
+	"mcdp/internal/sim"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrUnmappable: the resource set spans arbitration shards (422).
+	ErrUnmappable = errors.New("lockservice: unmappable resource set")
+	// ErrQueueFull: every candidate home's queue is at capacity (429).
+	ErrQueueFull = errors.New("lockservice: all candidate queues full")
+	// ErrTimeout: the request's wait budget expired before a grant (408).
+	ErrTimeout = errors.New("lockservice: acquire timed out")
+	// ErrDraining: the server is shutting down (503).
+	ErrDraining = errors.New("lockservice: server draining")
+	// ErrUnserviceable: every candidate home worker is dead (503).
+	ErrUnserviceable = errors.New("lockservice: no live worker can arbitrate this resource set")
+	// ErrNotFound: unknown session ID (404).
+	ErrNotFound = errors.New("lockservice: unknown session")
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Graph is the worker topology (a lock per edge). Defaults to
+	// DemoTopology().
+	Graph *graph.Graph
+	// Seed drives the msgpass substrate.
+	Seed int64
+	// QueueLimit bounds each worker's pending-session queue; overflowing
+	// requests are rejected with ErrQueueFull (default 64).
+	QueueLimit int
+	// DefaultTimeout caps how long an Acquire without its own budget
+	// waits for a grant (default 5s). MaxTimeout caps client-supplied
+	// budgets (default 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DefaultTTL is the lease time-to-live: a granted session not
+	// released within its TTL is expired server-side so a crashed or
+	// wedged client cannot hold a lock forever (default 30s).
+	DefaultTTL time.Duration
+	// TickEvery and EatEvents pass through to the msgpass substrate.
+	TickEvery time.Duration
+	EatEvents int
+	// LossRate passes through to the msgpass substrate (frame loss).
+	LossRate float64
+}
+
+// Grant is a successful acquisition: a lease on the requested
+// resources.
+type Grant struct {
+	// SessionID identifies the lease for Release.
+	SessionID string
+	// Node is the worker that arbitrated (and granted) the session.
+	Node graph.ProcID
+	// Resources echoes the requested resource names.
+	Resources []string
+	// Wait is how long the request waited for its grant.
+	Wait time.Duration
+}
+
+// lease is a live grant tracked for TTL expiry.
+type lease struct {
+	id        string
+	sess      *drinkers.Session
+	resources []string
+	grantedAt time.Time
+	deadline  time.Time
+}
+
+// Server is the dinerd core: the msgpass diners network, the drinkers
+// session arbiter, and the lease bookkeeping. Create with NewServer,
+// then Start; the HTTP surface is Handler().
+type Server struct {
+	cfg     Config
+	g       *graph.Graph
+	mapper  *ResourceMapper
+	arb     *drinkers.Arbiter
+	nw      *msgpass.Network
+	metrics *Metrics
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	leases   map[string]*lease
+	draining bool
+	started  bool
+	startAt  time.Time
+
+	idCtr atomic.Uint64
+}
+
+// NewServer builds a server; it does not start any goroutines.
+func NewServer(cfg Config) *Server {
+	if cfg.Graph == nil {
+		cfg.Graph = DemoTopology()
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	if cfg.DefaultTTL <= 0 {
+		cfg.DefaultTTL = 30 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		g:       cfg.Graph,
+		mapper:  NewResourceMapper(cfg.Graph),
+		arb:     drinkers.NewArbiter(cfg.Graph, cfg.QueueLimit),
+		metrics: NewMetrics(),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		leases:  make(map[string]*lease),
+	}
+	hungry := make([]bool, cfg.Graph.N()) // nobody hungry until demand arrives
+	s.nw = msgpass.NewNetwork(msgpass.Config{
+		Graph:            cfg.Graph,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(cfg.Graph),
+		Hungry:           hungry,
+		EatEvents:        cfg.EatEvents,
+		TickEvery:        cfg.TickEvery,
+		LossRate:         cfg.LossRate,
+		Seed:             cfg.Seed,
+		OnSnapshot: func(p graph.ProcID, snap msgpass.Snapshot) {
+			// Nudge the scheduler only on windows it can use; the pump
+			// re-reads all state anyway, so coalescing loses nothing.
+			if snap.State == core.Eating && !snap.Dead {
+				s.nudge()
+			}
+		},
+	})
+	return s
+}
+
+// Graph returns the worker topology.
+func (s *Server) Graph() *graph.Graph { return s.g }
+
+// Mapper returns the server's resource mapper.
+func (s *Server) Mapper() *ResourceMapper { return s.mapper }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Start launches the diners network, the scheduler, and the lease
+// janitor. It may be called once.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("lockservice: Start called twice")
+	}
+	s.started = true
+	s.startAt = time.Now()
+	s.mu.Unlock()
+	s.nw.Start()
+	s.wg.Add(2)
+	go s.pumpLoop()
+	go s.janitor()
+}
+
+// nudge wakes the scheduler without ever blocking.
+func (s *Server) nudge() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pumpLoop turns eating windows into grants: every nudge, it pumps the
+// arbiter with the current eating oracle and refreshes each worker's
+// hunger to match its queue.
+func (s *Server) pumpLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.wake:
+		}
+		s.arb.Pump(func(p graph.ProcID) bool {
+			snap := s.nw.Snapshot(p)
+			return snap.State == core.Eating && !snap.Dead
+		})
+		for p := 0; p < s.g.N(); p++ {
+			s.nw.SetNeeds(graph.ProcID(p), s.arb.HasPending(graph.ProcID(p)))
+		}
+	}
+}
+
+// janitor expires leases past their TTL.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		s.mu.Lock()
+		var expired []*lease
+		for id, l := range s.leases {
+			if now.After(l.deadline) {
+				expired = append(expired, l)
+				delete(s.leases, id)
+			}
+		}
+		s.mu.Unlock()
+		for _, l := range expired {
+			s.arb.Release(l.sess)
+			s.metrics.Expirations.Add(1)
+			s.nudge()
+		}
+	}
+}
+
+// Acquire blocks until the resource set is granted, the context or the
+// server's wait budget expires, or the server drains. ttl <= 0 uses the
+// configured default lease TTL.
+func (s *Server) Acquire(ctx context.Context, resources []string, ttl time.Duration) (*Grant, error) {
+	s.metrics.AcquireRequests.Add(1)
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.metrics.RejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	bottles, homes, err := s.mapper.MapSession(resources)
+	if err != nil {
+		s.metrics.RejectedUnmappable.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrUnmappable, err)
+	}
+	// Place at a live candidate home with the shortest queue.
+	var live []graph.ProcID
+	for _, p := range homes {
+		if !s.nw.Snapshot(p).Dead {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		s.metrics.RejectedUnserviceable.Add(1)
+		return nil, fmt.Errorf("%w: homes %v all dead", ErrUnserviceable, homes)
+	}
+	var (
+		sess    *drinkers.Session
+		home    graph.ProcID
+		lastErr error
+	)
+	for _, p := range sortByQueueDepth(live, s.arb) {
+		sess, lastErr = s.arb.Submit(p, bottles)
+		if lastErr == nil {
+			home = p
+			break
+		}
+	}
+	if sess == nil {
+		if errors.Is(lastErr, drinkers.ErrQueueFull) {
+			s.metrics.RejectedQueueFull.Add(1)
+			return nil, ErrQueueFull
+		}
+		return nil, lastErr
+	}
+	start := time.Now()
+	s.nw.SetNeeds(home, true)
+	s.nudge()
+
+	budget := s.cfg.DefaultTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if d := time.Until(dl); d < budget || budget == 0 {
+			budget = d
+		}
+	}
+	if budget > s.cfg.MaxTimeout {
+		budget = s.cfg.MaxTimeout
+	}
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+
+	abort := func(reject *atomic.Int64, err error) (*Grant, error) {
+		if !s.arb.Cancel(sess) {
+			// Granted in the race; nobody will ever release it but us.
+			s.arb.Release(sess)
+		}
+		s.nw.SetNeeds(home, s.arb.HasPending(home))
+		s.nudge()
+		if reject != nil {
+			reject.Add(1)
+		}
+		return nil, err
+	}
+	select {
+	case <-sess.Granted():
+	case <-ctx.Done():
+		return abort(&s.metrics.RejectedTimeout, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err()))
+	case <-timer.C:
+		return abort(&s.metrics.RejectedTimeout, ErrTimeout)
+	case <-s.done:
+		return abort(&s.metrics.RejectedDraining, ErrDraining)
+	}
+	wait := time.Since(start)
+	if ttl <= 0 {
+		ttl = s.cfg.DefaultTTL
+	}
+	l := &lease{
+		id:        fmt.Sprintf("s%08x-%d", s.idCtr.Add(1), home),
+		sess:      sess,
+		resources: append([]string(nil), resources...),
+		grantedAt: time.Now(),
+		deadline:  time.Now().Add(ttl),
+	}
+	s.mu.Lock()
+	s.leases[l.id] = l
+	s.mu.Unlock()
+	s.metrics.Grants.Add(1)
+	s.metrics.WaitHist.Observe(wait.Seconds())
+	return &Grant{SessionID: l.id, Node: home, Resources: l.resources, Wait: wait}, nil
+}
+
+// Release ends the lease with the given session ID.
+func (s *Server) Release(sessionID string) error {
+	s.mu.Lock()
+	l, ok := s.leases[sessionID]
+	if ok {
+		delete(s.leases, sessionID)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	s.arb.Release(l.sess)
+	s.metrics.Releases.Add(1)
+	s.metrics.HoldHist.Observe(time.Since(l.grantedAt).Seconds())
+	s.nudge()
+	return nil
+}
+
+// ActiveLeases returns the number of live leases.
+func (s *Server) ActiveLeases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.leases)
+}
+
+// InjectCrash triggers the malicious-crash fault machinery on a worker:
+// steps > 0 gives the node that many arbitrary (garbage-spewing) events
+// before it halts; steps <= 0 is a benign kill. This is the admin
+// surface that lets locality-2 be demonstrated against a live server.
+func (s *Server) InjectCrash(node graph.ProcID, steps int) error {
+	if node < 0 || int(node) >= s.g.N() {
+		return fmt.Errorf("lockservice: node %d out of range [0,%d)", node, s.g.N())
+	}
+	if steps > 0 {
+		s.nw.CrashMaliciously(node, steps)
+	} else {
+		s.nw.Kill(node)
+	}
+	s.metrics.CrashesInjected.Add(1)
+	s.nudge()
+	return nil
+}
+
+// Stop drains the server: new acquires are rejected, pending waiters
+// are woken with ErrDraining, and live leases are given until the
+// context's deadline to be released before being dropped. It then
+// stops the diners network. Stop is idempotent.
+func (s *Server) Stop(ctx context.Context) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	started := s.started
+	s.mu.Unlock()
+	close(s.done)
+	// Graceful drain: wait for clients to release their leases.
+	for {
+		s.mu.Lock()
+		n := len(s.leases)
+		s.mu.Unlock()
+		if n == 0 || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if started {
+		s.nw.Stop()
+		s.wg.Wait()
+	}
+}
+
+// sortByQueueDepth orders candidate homes by current queue depth
+// (shallowest first, ties by ID for determinism).
+func sortByQueueDepth(homes []graph.ProcID, arb *drinkers.Arbiter) []graph.ProcID {
+	out := append([]graph.ProcID(nil), homes...)
+	depth := make(map[graph.ProcID]int, len(out))
+	for _, p := range out {
+		depth[p] = arb.QueueDepth(p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if depth[b] < depth[a] || (depth[b] == depth[a] && b < a) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Uptime returns time since Start (0 before Start).
+func (s *Server) Uptime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.startAt.IsZero() {
+		return 0
+	}
+	return time.Since(s.startAt)
+}
+
+// Network exposes the underlying msgpass network (tests and status).
+func (s *Server) Network() *msgpass.Network { return s.nw }
+
+// Arbiter exposes the underlying session arbiter (tests and status).
+func (s *Server) Arbiter() *drinkers.Arbiter { return s.arb }

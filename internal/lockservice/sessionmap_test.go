@@ -1,0 +1,123 @@
+package lockservice
+
+import (
+	"testing"
+
+	"mcdp/internal/graph"
+)
+
+func TestEdgeForExplicitNames(t *testing.T) {
+	m := NewResourceMapper(DemoTopology())
+	e, idx := m.EdgeFor("edge:0-1")
+	if e.A != 0 || e.B != 1 {
+		t.Fatalf("edge:0-1 mapped to %v", e)
+	}
+	if idx < 0 {
+		t.Fatalf("edge:0-1 has no index")
+	}
+	// Reversed endpoints normalize to the same edge.
+	e2, idx2 := m.EdgeFor("edge:1-0")
+	if e2 != e || idx2 != idx {
+		t.Fatalf("edge:1-0 mapped to %v/%d, want %v/%d", e2, idx2, e, idx)
+	}
+}
+
+func TestEdgeForHashFallback(t *testing.T) {
+	m := NewResourceMapper(DemoTopology())
+	// Non-adjacent pair: not a topology edge, so it hashes like any name.
+	names := []string{"edge:0-5", "users-table", "build-lock", ""}
+	for _, name := range names {
+		e1, i1 := m.EdgeFor(name)
+		e2, i2 := m.EdgeFor(name)
+		if e1 != e2 || i1 != i2 {
+			t.Fatalf("EdgeFor(%q) not deterministic: %v/%d vs %v/%d", name, e1, i1, e2, i2)
+		}
+		if i1 < 0 || i1 >= m.Graph().EdgeCount() {
+			t.Fatalf("EdgeFor(%q) index %d out of range", name, i1)
+		}
+	}
+}
+
+func TestEdgeNameRoundTrip(t *testing.T) {
+	m := NewResourceMapper(DemoTopology())
+	for _, e := range m.Graph().Edges() {
+		got, _ := m.EdgeFor(EdgeName(e))
+		if got != e {
+			t.Fatalf("round trip of %v via %q gave %v", e, EdgeName(e), got)
+		}
+	}
+}
+
+func TestMapSessionCommonHome(t *testing.T) {
+	m := NewResourceMapper(DemoTopology())
+	bottles, homes, err := m.MapSession([]string{"edge:0-1", "edge:0-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bottles) != 2 {
+		t.Fatalf("bottles = %v, want 2", bottles)
+	}
+	if len(homes) != 1 || homes[0] != 0 {
+		t.Fatalf("homes = %v, want [0]", homes)
+	}
+}
+
+func TestMapSessionSingleEdgeTwoHomes(t *testing.T) {
+	m := NewResourceMapper(DemoTopology())
+	_, homes, err := m.MapSession([]string{"edge:5-6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(homes) != 2 || homes[0] != 5 || homes[1] != 6 {
+		t.Fatalf("homes = %v, want [5 6]", homes)
+	}
+}
+
+func TestMapSessionDedupes(t *testing.T) {
+	m := NewResourceMapper(DemoTopology())
+	bottles, _, err := m.MapSession([]string{"edge:0-1", "edge:1-0", "edge:0-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bottles) != 1 {
+		t.Fatalf("bottles = %v, want a single deduplicated bottle", bottles)
+	}
+}
+
+func TestMapSessionUnmappable(t *testing.T) {
+	m := NewResourceMapper(DemoTopology())
+	// Edges (0,1) and (6,7) share no endpoint: no worker is adjacent to
+	// both, so the set cannot be arbitrated by one home.
+	if _, _, err := m.MapSession([]string{"edge:0-1", "edge:6-7"}); err == nil {
+		t.Fatal("disjoint edge set unexpectedly mapped")
+	}
+	if _, _, err := m.MapSession(nil); err == nil {
+		t.Fatal("empty resource set unexpectedly mapped")
+	}
+}
+
+func TestCatalogSessionsDeterministicAndIncident(t *testing.T) {
+	g := DemoTopology()
+	names := []string{"edge:0-1", "edge:5-6", "users-table", "build-lock"}
+	a := NewCatalogSessions(g, names, 0.5, 42)
+	b := NewCatalogSessions(g, names, 0.5, 42)
+	fired := 0
+	for step := int64(0); step < 200; step++ {
+		for p := 0; p < g.N(); p++ {
+			pa := a.Next(graph.ProcID(p), step)
+			pb := b.Next(graph.ProcID(p), step)
+			if len(pa) != len(pb) || (len(pa) == 1 && pa[0] != pb[0]) {
+				t.Fatalf("seed-identical sources diverged at p=%d step=%d: %v vs %v", p, step, pa, pb)
+			}
+			if len(pa) == 1 {
+				fired++
+				if !g.HasEdge(graph.ProcID(p), pa[0]) {
+					t.Fatalf("session partner %d not adjacent to home %d", pa[0], p)
+				}
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("catalog source never produced a session")
+	}
+}

@@ -39,17 +39,30 @@ func TestForkNetworkCrashStarvesEveryone(t *testing.T) {
 	// survivors each pry one dirty fork loose — which arrives CLEAN and
 	// is then pinned at its hungry holder until that holder eats, which
 	// it never does because the chain terminates at the dead
-	// philosopher. The deadlock wraps all the way around: NOBODY ever
-	// eats. One crash, total starvation — against the paper's failure
-	// locality 2 on the very same scenario.
+	// philosopher. The deadlock wraps all the way around and the whole
+	// ring starves. One crash, total starvation — against the paper's
+	// failure locality 2 on the very same scenario.
+	//
+	// Message timing may let a survivor sneak in one meal before the
+	// clean forks pin (its first eat dirties its forks again, and a
+	// second collection needs a neighbor that can never eat to yield a
+	// clean fork — impossible), so the assertion is quiescence: once the
+	// deadlock closes, nobody EVER eats again, and no philosopher got
+	// more than that single transient meal.
 	nw := NewForkNetwork(ForkConfig{Graph: graph.Ring(5)})
 	nw.Kill(0)
 	nw.Start()
 	time.Sleep(400 * time.Millisecond)
+	settled := nw.Eats()
+	time.Sleep(300 * time.Millisecond)
 	nw.Stop()
-	for p, e := range nw.Eats() {
-		if e != 0 {
-			t.Errorf("philosopher %d ate %d times; the CM ring should starve entirely", p, e)
+	final := nw.Eats()
+	for p, e := range final {
+		if e > 1 {
+			t.Errorf("philosopher %d ate %d times; at most one transient meal can precede the CM deadlock", p, e)
+		}
+		if e != settled[p] {
+			t.Errorf("philosopher %d still eating after the deadlock closed (%d -> %d); the CM ring should starve", p, settled[p], e)
 		}
 	}
 }

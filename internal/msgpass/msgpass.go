@@ -99,4 +99,12 @@ type Config struct {
 	// Seed drives the arbitrary-state initializer, malicious garbage,
 	// and loss decisions.
 	Seed int64
+	// OnSnapshot, if non-nil, is called after every snapshot publish with
+	// the publishing node's fresh snapshot. It runs on node goroutines
+	// outside the network's locks and must be fast and non-blocking —
+	// typically a non-blocking nudge on a channel. Hunger set through
+	// SetNeeds plus this hook is what lets an external controller (the
+	// lock service in internal/lockservice) drive and observe the system
+	// without touching node-owned state.
+	OnSnapshot func(p graph.ProcID, s Snapshot)
 }

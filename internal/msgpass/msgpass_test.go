@@ -1,6 +1,7 @@
 package msgpass
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -372,6 +373,75 @@ func TestPartitionHeals(t *testing.T) {
 	}
 	if nw.MessagesLost() == 0 {
 		t.Error("the partition lost no frames (not exercised)")
+	}
+}
+
+func TestDynamicNeedsDrivesEating(t *testing.T) {
+	// Start with nobody hungry: no one may ever eat. Then flip one node's
+	// needs on via the thread-safe control surface and it must start
+	// eating; flip it off and its meal count must settle.
+	g := graph.Ring(4)
+	hungry := make([]bool, g.N())
+	nw := NewNetwork(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Hungry:           hungry,
+		Seed:             7,
+	})
+	nw.Start()
+	defer nw.Stop()
+	time.Sleep(100 * time.Millisecond)
+	for p, e := range nw.Eats() {
+		if e != 0 {
+			t.Fatalf("node %d ate %d times with needs() false everywhere", p, e)
+		}
+	}
+	nw.SetNeeds(2, true)
+	if !nw.Needs(2) {
+		t.Fatal("SetNeeds(2, true) not visible through Needs")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for nw.Eats()[2] < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if nw.Eats()[2] < 2 {
+		t.Fatalf("node 2 ate %d times after becoming needy, want >= 2", nw.Eats()[2])
+	}
+	nw.SetNeeds(2, false)
+	time.Sleep(50 * time.Millisecond) // let any in-flight meal finish
+	settled := nw.Eats()[2]
+	time.Sleep(150 * time.Millisecond)
+	if got := nw.Eats()[2]; got != settled {
+		t.Errorf("node 2 kept eating after needs went false: %d -> %d", settled, got)
+	}
+	for _, p := range []int{0, 1, 3} {
+		if e := nw.Eats()[p]; e != 0 {
+			t.Errorf("node %d ate %d times though never needy", p, e)
+		}
+	}
+}
+
+func TestSnapshotHookFires(t *testing.T) {
+	g := graph.Ring(3)
+	var hooks atomic.Int64
+	nw := NewNetwork(Config{
+		Graph:     g,
+		Algorithm: core.NewMCDP(),
+		Seed:      1,
+		OnSnapshot: func(p graph.ProcID, s Snapshot) {
+			hooks.Add(1)
+		},
+	})
+	runFor(nw, 100*time.Millisecond)
+	if hooks.Load() == 0 {
+		t.Error("OnSnapshot never fired")
+	}
+	if got := nw.Snapshot(0); got.Events == 0 {
+		t.Error("Snapshot(0) shows no processed events")
+	}
+	if nw.Graph() != g {
+		t.Error("Graph() does not return the configured topology")
 	}
 }
 

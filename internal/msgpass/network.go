@@ -46,8 +46,9 @@ type Network struct {
 	stopped bool
 
 	// control flags polled by nodes each event
-	killFlag []atomic.Bool
-	malFlag  []atomic.Int32
+	killFlag  []atomic.Bool
+	malFlag   []atomic.Int32
+	needsFlag []atomic.Bool // dynamic needs():p, refreshed by nodes per event
 
 	mu        sync.Mutex
 	table     []Snapshot
@@ -99,6 +100,7 @@ func NewNetwork(cfg Config) *Network {
 		openSince: make([]time.Time, g.N()),
 		killFlag:  make([]atomic.Bool, g.N()),
 		malFlag:   make([]atomic.Int32, g.N()),
+		needsFlag: make([]atomic.Bool, g.N()),
 		isolated:  make([]atomic.Bool, g.N()),
 	}
 	d := g.Diameter()
@@ -112,6 +114,7 @@ func NewNetwork(cfg Config) *Network {
 		if cfg.Hungry != nil {
 			hungry = cfg.Hungry[p]
 		}
+		nw.needsFlag[p].Store(hungry)
 		nd := &node{
 			net:     nw,
 			id:      pid,
@@ -246,6 +249,27 @@ func (nw *Network) Stop() {
 // Kill benignly crashes node p: it halts at its next event.
 func (nw *Network) Kill(p graph.ProcID) { nw.killFlag[p].Store(true) }
 
+// SetNeeds dynamically sets needs():p — whether node p currently wants to
+// eat. It is safe to call from any goroutine at any time; the node picks
+// the new value up at its next event, so within one atomic event the
+// guard evaluations still agree (the paper lets needs() "evaluate to true
+// arbitrarily"). This is the control surface external demand sources
+// (e.g. the lock service) use to turn client requests into hunger.
+func (nw *Network) SetNeeds(p graph.ProcID, hungry bool) { nw.needsFlag[p].Store(hungry) }
+
+// Needs returns the currently requested needs():p value.
+func (nw *Network) Needs(p graph.ProcID) bool { return nw.needsFlag[p].Load() }
+
+// Graph returns the network's topology.
+func (nw *Network) Graph() *graph.Graph { return nw.cfg.Graph }
+
+// Snapshot returns node p's latest published snapshot.
+func (nw *Network) Snapshot(p graph.ProcID) Snapshot {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.table[p]
+}
+
 // SetPartitioned transiently isolates node p: while set, every frame to
 // or from p is lost in transit (the node itself keeps running). Because
 // every frame is full-state gossip, healing the partition lets the
@@ -312,16 +336,21 @@ func splitmix(x uint64) uint64 {
 	return x
 }
 
-// publish records a node's observable state.
+// publish records a node's observable state and notifies the snapshot
+// hook (outside the lock).
 func (nw *Network) publish(p graph.ProcID, s core.State, depth int, dead bool, events int64) {
 	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	nw.table[p] = Snapshot{
+	snap := Snapshot{
 		State:  s,
 		Depth:  depth,
 		Dead:   dead,
 		Events: events,
 		Eats:   nw.eats[p],
+	}
+	nw.table[p] = snap
+	nw.mu.Unlock()
+	if nw.cfg.OnSnapshot != nil {
+		nw.cfg.OnSnapshot(p, snap)
 	}
 }
 

@@ -125,6 +125,9 @@ func (n *node) onEvent() {
 		return
 	}
 	n.events++
+	// Refresh dynamic hunger once per event so all guard evaluations of
+	// this event agree on needs():p.
+	n.hungry = n.net.needsFlag[n.id].Load()
 	if n.malSteps > 0 {
 		n.maliciousStep()
 		return

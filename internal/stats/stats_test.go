@@ -210,3 +210,143 @@ func TestTrimFloat(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentileEmptyAndSingleton(t *testing.T) {
+	// Empty: every quantile is 0, including the extremes.
+	for _, q := range []float64{-1, 0, 0.5, 0.95, 1, 2} {
+		if got := Percentile(nil, q); got != 0 {
+			t.Errorf("Percentile(nil, %v) = %v, want 0", q, got)
+		}
+		if got := Quantile(nil, q); got != 0 {
+			t.Errorf("Quantile(nil, %v) = %v, want 0", q, got)
+		}
+	}
+	// Singleton: every quantile is the one element.
+	for _, q := range []float64{-1, 0, 0.5, 0.95, 1, 2} {
+		if got := Percentile([]float64{42}, q); got != 42 {
+			t.Errorf("Percentile([42], %v) = %v, want 42", q, got)
+		}
+		if got := Quantile([]float64{42}, q); got != 42 {
+			t.Errorf("Quantile([42], %v) = %v, want 42", q, got)
+		}
+	}
+}
+
+func TestQuantileMatchesPercentileOnUnsortedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 3, 64, 65, 500} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+			if got, want := Quantile(xs, q), Percentile(sorted, q); !almostEqual(got, want) {
+				t.Errorf("n=%d q=%v: Quantile=%v Percentile=%v", n, q, got, want)
+			}
+		}
+		// Quantile must not mutate its input.
+		for i := range xs {
+			if i > 0 && xs[i] < xs[i-1] {
+				return // still unsorted somewhere: not mutated into sorted order
+			}
+		}
+	}
+}
+
+func TestRecorderExactBelowCap(t *testing.T) {
+	r := NewRecorder(100)
+	for i := 1; i <= 10; i++ {
+		r.Observe(float64(i))
+	}
+	if r.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", r.Count())
+	}
+	s := r.Summary()
+	if s.N != 10 || !almostEqual(s.Mean, 5.5) || s.Min != 1 || s.Max != 10 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+}
+
+func TestRecorderReservoirBoundsMemory(t *testing.T) {
+	r := NewRecorder(64)
+	for i := 0; i < 10000; i++ {
+		r.Observe(float64(i % 100))
+	}
+	if got := len(r.Samples()); got != 64 {
+		t.Errorf("kept %d samples, want cap 64", got)
+	}
+	if r.Count() != 10000 {
+		t.Errorf("Count = %d, want 10000", r.Count())
+	}
+	for _, x := range r.Samples() {
+		if x < 0 || x > 99 {
+			t.Fatalf("reservoir holds impossible sample %v", x)
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(1024)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				r.Observe(1)
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if r.Count() != 4000 {
+		t.Errorf("Count = %d, want 4000", r.Count())
+	}
+}
+
+func TestLatencyHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewLatencyHistogram([]float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	for _, x := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(x)
+	}
+	bounds, cum, count, sum := h.Snapshot()
+	if len(bounds) != 3 || count != 5 || !almostEqual(sum, 106.5) {
+		t.Fatalf("snapshot: bounds=%v count=%d sum=%v", bounds, count, sum)
+	}
+	wantCum := []int64{1, 3, 4} // le=1:1, le=2:3, le=4:4 (+Inf holds the 100)
+	for i := range wantCum {
+		if cum[i] != wantCum[i] {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], wantCum[i])
+		}
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("median %v outside its bucket (1,2]", q)
+	}
+	if q := h.Quantile(1); q != 4 {
+		t.Errorf("q=1 with +Inf mass = %v, want clamp to max bound 4", q)
+	}
+	if !almostEqual(h.Mean(), 106.5/5) {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestLatencyHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLatencyHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewLatencyHistogram(bounds)
+		}()
+	}
+	if b := DefaultLatencyBounds(); len(b) < 6 {
+		t.Errorf("default bounds suspiciously few: %v", b)
+	}
+}
