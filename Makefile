@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short cover bench examples experiments figure2 modelcheck dinerd loadgen clean
+.PHONY: all build vet test race short cover bench examples experiments figure2 modelcheck detsim fuzz dinerd loadgen clean
 
 all: build vet test
 
@@ -44,6 +44,19 @@ figure2:
 modelcheck:
 	$(GO) run ./cmd/modelcheck -topology ring -n 3
 	$(GO) run ./cmd/modelcheck -topology ring -n 3 -threshold 1 || true
+
+# Deterministic simulation: full seed sweep plus a replayable example run.
+detsim:
+	$(GO) test ./internal/detsim/ ./cmd/detsim/
+	$(GO) run ./cmd/detsim -topology ring:6 -seed 42 -crash 2
+
+# Short-budget fuzz smoke over the three detsim fuzz targets. Native Go
+# fuzzing accepts one -fuzz target per package invocation, hence three
+# runs; -run='^$' skips the regular tests each time.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzScheduleSafety -fuzztime=10s ./internal/detsim/
+	$(GO) test -run='^$$' -fuzz=FuzzMaliciousWindow -fuzztime=10s ./internal/detsim/
+	$(GO) test -run='^$$' -fuzz=FuzzLockHistory -fuzztime=10s ./internal/detsim/
 
 # Build the lock-service daemon (serve + loadgen subcommands) into bin/.
 dinerd:

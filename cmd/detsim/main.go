@@ -1,0 +1,206 @@
+// Command detsim runs deterministic, seed-replayable simulations of the
+// malicious-crash diners runtime and the lock service over it.
+//
+// One seed names one complete execution — schedule, crash plan,
+// delivery order — so a seed flagged by a sweep (here or in the test
+// suite) replays bit-for-bit:
+//
+//	detsim -topology ring:6 -seed 42 -crash 2 -trace
+//	detsim -topology grid:3x3 -seeds 0..999 -crash 1
+//	detsim -topology ring:8 -seed 7 -mode service
+//	detsim -topology ring:5 -seed 1 -mode fork
+//
+// The process exits 1 if any run violates a checked property (eating
+// exclusion, failure locality 2, lock-history linearizability), which
+// makes sweeps scriptable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcdp/internal/detsim"
+	"mcdp/internal/graph"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// run executes the CLI and returns the process exit code.
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("detsim", flag.ExitOnError)
+	var (
+		topology = fs.String("topology", "ring:6", "topology: ring:N | star:N | path:N | complete:N | grid:RxC | torus:RxC")
+		seed     = fs.Int64("seed", 0, "seed for a single run")
+		seeds    = fs.String("seeds", "", "seed range N..M (inclusive) for a sweep; overrides -seed")
+		rounds   = fs.Int("rounds", 200, "fair rounds (or adversarial steps)")
+		crash    = fs.Int("crash", 0, "number of seed-drawn crash victims (malicious windows up to 6 steps)")
+		mode     = fs.String("mode", "fair", "fair | adversarial | service | fork")
+		trace    = fs.Bool("trace", false, "print the full event trace (single-seed runs)")
+	)
+	fs.Parse(args)
+
+	g, err := parseTopology(*topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detsim: %v\n", err)
+		return 2
+	}
+	lo, hi := *seed, *seed
+	if *seeds != "" {
+		if lo, hi, err = parseSeedRange(*seeds); err != nil {
+			fmt.Fprintf(os.Stderr, "detsim: %v\n", err)
+			return 2
+		}
+	}
+
+	bad := 0
+	for s := lo; s <= hi; s++ {
+		single := lo == hi
+		failed, summary := runSeed(g, s, *rounds, *crash, *mode, *trace && single)
+		if failed {
+			bad++
+			fmt.Fprintf(out, "seed %d: FAIL %s\n", s, summary)
+			fmt.Fprintf(out, "  replay: detsim -topology %s -seed %d -rounds %d -crash %d -mode %s -trace\n",
+				*topology, s, *rounds, *crash, *mode)
+		} else if single {
+			fmt.Fprintf(out, "seed %d: ok %s\n", s, summary)
+		}
+	}
+	if lo != hi {
+		fmt.Fprintf(out, "swept seeds %d..%d on %s (%s, %d crashes): %d failing\n",
+			lo, hi, g.Name(), *mode, *crash, bad)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runSeed executes one seed in the given mode and returns (failed,
+// one-line summary).
+func runSeed(g *graph.Graph, seed int64, rounds, crash int, mode string, trace bool) (bool, string) {
+	switch mode {
+	case "fair":
+		res := detsim.SweepRun(g, seed, rounds, crash, trace)
+		printTrace(trace, res.Trace)
+		return res.Failed(), fmt.Sprintf("eats=%v steps=%d hash=%016x safety=%v locality=%v",
+			res.Eats, res.Steps, res.TraceHash, res.SafetyViolations, res.LocalityViolations)
+	case "adversarial":
+		src := detsim.NewRand(seed)
+		var plan []detsim.Crash
+		if crash > 0 {
+			plan = detsim.RandomCrashes(src, g, crash, rounds/3, 6)
+		}
+		res := detsim.RunAdversarial(detsim.Config{
+			Graph: g, Seed: seed, MaxSteps: rounds, Crashes: plan, Trace: trace, Source: src,
+		})
+		printTrace(trace, res.Trace)
+		return len(res.SafetyViolations) > 0, fmt.Sprintf("eats=%v steps=%d hash=%016x safety=%v",
+			res.Eats, res.Steps, res.TraceHash, res.SafetyViolations)
+	case "service":
+		src := detsim.NewRand(seed)
+		var plan []detsim.Crash
+		if crash > 0 {
+			plan = detsim.RandomCrashes(src, g, crash, rounds/3, 6)
+		}
+		res := detsim.RunService(detsim.ServiceConfig{
+			Graph: g, Seed: seed, Rounds: rounds, Crashes: plan, Trace: trace, Source: src,
+		})
+		printTrace(trace, res.Trace)
+		return res.Failed(), fmt.Sprintf("submitted=%d granted=%d hash=%016x safety=%v history=%v",
+			res.Submitted, res.Granted, res.TraceHash, res.SafetyViolations, res.HistoryViolations)
+	case "fork":
+		src := detsim.NewRand(seed)
+		var plan []detsim.Crash
+		if crash > 0 {
+			plan = detsim.RandomCrashes(src, g, crash, rounds/3, 0)
+		}
+		res := detsim.RunFork(detsim.ForkConfig{
+			Graph: g, Seed: seed, Rounds: rounds, Crashes: plan, Trace: trace, Source: src,
+		})
+		printTrace(trace, res.Trace)
+		return len(res.SafetyViolations) > 0, fmt.Sprintf("eats=%v quiesced=%d hash=%016x safety=%v",
+			res.Eats, res.QuiescedAt, res.TraceHash, res.SafetyViolations)
+	default:
+		fmt.Fprintf(os.Stderr, "detsim: unknown mode %q\n", mode)
+		os.Exit(2)
+		return false, ""
+	}
+}
+
+func printTrace(enabled bool, lines []string) {
+	if !enabled {
+		return
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// parseTopology decodes name:size strings like ring:6 or grid:3x3.
+func parseTopology(s string) (*graph.Graph, error) {
+	name, size, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("topology %q: want name:size, e.g. ring:6 or grid:3x3", s)
+	}
+	dims := func() (int, int, error) {
+		r, c, ok := strings.Cut(size, "x")
+		if !ok {
+			return 0, 0, fmt.Errorf("topology %q: want %s:RxC", s, name)
+		}
+		ri, err1 := strconv.Atoi(r)
+		ci, err2 := strconv.Atoi(c)
+		if err1 != nil || err2 != nil || ri < 1 || ci < 1 {
+			return 0, 0, fmt.Errorf("topology %q: bad dimensions", s)
+		}
+		return ri, ci, nil
+	}
+	switch name {
+	case "grid":
+		r, c, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return graph.Grid(r, c), nil
+	case "torus":
+		r, c, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return graph.Torus(r, c), nil
+	}
+	n, err := strconv.Atoi(size)
+	if err != nil || n < 2 {
+		return nil, fmt.Errorf("topology %q: bad size", s)
+	}
+	switch name {
+	case "ring":
+		return graph.Ring(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	default:
+		return nil, fmt.Errorf("topology %q: unknown family %q", s, name)
+	}
+}
+
+// parseSeedRange decodes "N..M" (inclusive).
+func parseSeedRange(s string) (int64, int64, error) {
+	a, b, ok := strings.Cut(s, "..")
+	if !ok {
+		return 0, 0, fmt.Errorf("seed range %q: want N..M", s)
+	}
+	lo, err1 := strconv.ParseInt(a, 10, 64)
+	hi, err2 := strconv.ParseInt(b, 10, 64)
+	if err1 != nil || err2 != nil || hi < lo {
+		return 0, 0, fmt.Errorf("seed range %q: want N..M with M >= N", s)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mcdp/internal/detsim"
+	"mcdp/internal/graph"
+)
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		spec  string
+		name  string
+		n     int
+		valid bool
+	}{
+		{"ring:6", "ring(6)", 6, true},
+		{"star:7", "star(7)", 7, true},
+		{"path:5", "path(5)", 5, true},
+		{"complete:4", "complete(4)", 4, true},
+		{"grid:3x3", "grid(3x3)", 9, true},
+		{"torus:3x4", "torus(3x4)", 12, true},
+		{"ring", "", 0, false},
+		{"ring:1", "", 0, false},
+		{"ring:x", "", 0, false},
+		{"grid:3", "", 0, false},
+		{"grid:0x3", "", 0, false},
+		{"blob:5", "", 0, false},
+		{"", "", 0, false},
+	}
+	for _, c := range cases {
+		g, err := parseTopology(c.spec)
+		if !c.valid {
+			if err == nil {
+				t.Errorf("parseTopology(%q): expected error, got %v", c.spec, g.Name())
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseTopology(%q): %v", c.spec, err)
+			continue
+		}
+		if g.Name() != c.name || g.N() != c.n {
+			t.Errorf("parseTopology(%q) = %s with %d nodes, want %s with %d",
+				c.spec, g.Name(), g.N(), c.name, c.n)
+		}
+	}
+}
+
+func TestParseSeedRange(t *testing.T) {
+	if lo, hi, err := parseSeedRange("3..17"); err != nil || lo != 3 || hi != 17 {
+		t.Errorf("parseSeedRange(3..17) = %d, %d, %v", lo, hi, err)
+	}
+	if lo, hi, err := parseSeedRange("9..9"); err != nil || lo != 9 || hi != 9 {
+		t.Errorf("parseSeedRange(9..9) = %d, %d, %v", lo, hi, err)
+	}
+	for _, bad := range []string{"", "5", "7..3", "a..9", "1..b", ".."} {
+		if _, _, err := parseSeedRange(bad); err == nil {
+			t.Errorf("parseSeedRange(%q): expected error", bad)
+		}
+	}
+}
+
+// TestRunSeedMatchesSweepRun: the CLI's single-seed fair path is
+// SweepRun verbatim, so a replay command printed by a failing sweep
+// test reproduces the flagged execution bit-for-bit.
+func TestRunSeedMatchesSweepRun(t *testing.T) {
+	g := graph.Ring(6)
+	want := detsim.SweepRun(g, 42, 120, 2, false)
+	failed, summary := runSeed(graph.Ring(6), 42, 120, 2, "fair", false)
+	if failed != want.Failed() {
+		t.Errorf("CLI failed=%v, SweepRun failed=%v", failed, want.Failed())
+	}
+	wantHash := ""
+	for _, part := range strings.Fields(summary) {
+		if strings.HasPrefix(part, "hash=") {
+			wantHash = strings.TrimPrefix(part, "hash=")
+		}
+	}
+	if got := len(wantHash); got != 16 {
+		t.Fatalf("summary %q carries no 16-hex hash", summary)
+	}
+	var hex [16]byte
+	for i := range hex {
+		hex[i] = "0123456789abcdef"[(want.TraceHash>>uint(60-4*i))&0xf]
+	}
+	if wantHash != string(hex[:]) {
+		t.Errorf("CLI hash %s != SweepRun hash %s", wantHash, hex)
+	}
+}
+
+func TestRunSweepExitCodes(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-topology", "ring:6", "-seeds", "0..3", "-crash", "1", "-rounds", "120"}, devnull); code != 0 {
+		t.Errorf("clean sweep exited %d, want 0", code)
+	}
+	if code := run([]string{"-topology", "nope:6"}, devnull); code != 2 {
+		t.Errorf("bad topology exited %d, want 2", code)
+	}
+	if code := run([]string{"-topology", "ring:6", "-seeds", "9..1"}, devnull); code != 2 {
+		t.Errorf("bad seed range exited %d, want 2", code)
+	}
+}

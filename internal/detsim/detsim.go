@@ -1,0 +1,499 @@
+// Package detsim is a deterministic simulation harness for the
+// message-passing diners runtime and the lock service built on it.
+//
+// The production runtime (internal/msgpass) schedules nodes with
+// goroutines, channels, and wall-clock tickers, so a failing run is
+// unrepeatable: rerunning it reshuffles every interleaving. detsim runs
+// the very same protocol code — via msgpass's driven mode — as a
+// single-threaded event loop under a virtual clock, with every schedule
+// decision (node step order, message delivery order, crash and
+// partition timing) drawn from one Source. A seed therefore names a
+// complete execution: same seed, byte-identical event trace, checkable
+// by hash. Violating seeds found by sweeps or fuzzers replay exactly
+// under cmd/detsim -seed.
+//
+// Two scheduling modes:
+//
+//   - fair (Run): round-based — every live node steps once per round in
+//     a drawn permutation, and every frame pending at the round's start
+//     is delivered within the round. Weak fairness holds, so both the
+//     safety oracle and the liveness/failure-locality oracle are valid.
+//   - adversarial (RunAdversarial): each step the source freely picks
+//     "tick some node" or "make some channel deliver" (channels stay
+//     FIFO, as the runtime's Go channels are; the adversary controls
+//     progress and loss, not reordering). No fairness is promised, so
+//     only safety is checked — which is precisely the property that
+//     must survive arbitrary schedules.
+//
+// Oracles: after every atomic step the eating-exclusion predicate of
+// internal/spec runs against the driven state; dead nodes and nodes
+// inside a malicious-crash window are exempt (a garbage Eating variable
+// is not an eating session — the paper's safety is "two neighbors eat
+// together only if both crashed"). At the end the interval-based
+// session checker cross-checks on virtual timestamps, and in fair mode
+// the failure-locality oracle requires every hungry node at distance
+// >= 3 from all crash sites to keep completing meals after the crashes
+// (the paper's failure locality is 2).
+package detsim
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"time"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/msgpass"
+	"mcdp/internal/sim"
+	"mcdp/internal/spec"
+)
+
+// Crash schedules one fault injection.
+type Crash struct {
+	// Node is the victim.
+	Node graph.ProcID
+	// Round is when the fault fires: a fair-mode round index, or an
+	// adversarial-mode step index.
+	Round int
+	// Steps > 0 gives the node a malicious window of that many garbage
+	// events before it halts; Steps <= 0 is a benign kill.
+	Steps int
+}
+
+// Partition isolates one node for a window of rounds (fair mode) or
+// steps (adversarial mode): frames to and from it are lost in transit.
+type Partition struct {
+	// Node is the isolated node.
+	Node graph.ProcID
+	// From and Until bound the window as [From, Until).
+	From, Until int
+}
+
+// Config describes one deterministic run.
+type Config struct {
+	// Graph is the topology. Required.
+	Graph *graph.Graph
+	// Seed names the run; it drives the schedule source (unless Source
+	// overrides it), the per-node protocol PRNGs, and loss decisions.
+	Seed int64
+	// Rounds is the fair-mode round count (default 200).
+	Rounds int
+	// MaxSteps is the adversarial-mode step count (default 2048).
+	MaxSteps int
+	// Crashes is the fault plan.
+	Crashes []Crash
+	// Partitions is the partition plan.
+	Partitions []Partition
+	// Hungry fixes needs() per node; nil means always hungry.
+	Hungry []bool
+	// EatEvents passes through to the substrate (default 2).
+	EatEvents int
+	// LossRate passes through to the substrate (frame loss).
+	LossRate float64
+	// Trace retains the full event trace in the result (the FNV hash is
+	// always computed).
+	Trace bool
+	// Source overrides the schedule source; nil uses NewRand(Seed).
+	Source Source
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Seed echoes the run's seed.
+	Seed int64
+	// Rounds is how many fair rounds (or adversarial steps) executed.
+	Rounds int
+	// TraceHash is the FNV-64a hash over the event trace — two runs are
+	// the same execution iff their hashes match.
+	TraceHash uint64
+	// Trace is the full event trace (only with Config.Trace).
+	Trace []string
+	// Eats is completed meals per node.
+	Eats []int64
+	// SafetyViolations lists eating-exclusion violations between
+	// non-crashed neighbors, deduplicated per edge.
+	SafetyViolations []string
+	// LocalityViolations lists hungry nodes outside failure locality 2
+	// (distance >= 3 from every crash site) that stopped completing
+	// meals — fair mode only.
+	LocalityViolations []string
+	// Steps counts atomic steps (node events + deliveries).
+	Steps int64
+	// Delivered counts frames delivered.
+	Delivered int64
+	// MessagesSent counts frames emitted by the protocol.
+	MessagesSent int64
+}
+
+// Failed reports whether the run violated any checked property.
+func (r *Result) Failed() bool {
+	return len(r.SafetyViolations) > 0 || len(r.LocalityViolations) > 0
+}
+
+// maxPending bounds the adversarial in-flight pool; overflow drops the
+// oldest frame (the protocol is built to absorb loss).
+const maxPending = 4096
+
+// maxRecorded caps recorded violation strings per category.
+const maxRecorded = 32
+
+// runner is one in-progress deterministic run.
+type runner struct {
+	cfg Config
+	src Source
+
+	d  *msgpass.Driven
+	rd *msgpass.DrivenReader
+
+	vnow    time.Time
+	pending []msgpass.Frame
+
+	h     hash.Hash64
+	trace []string
+
+	steps     int64
+	delivered int64
+
+	crashed   []graph.ProcID
+	violEdges map[graph.Edge]bool
+	safety    []string
+
+	baselineRound int
+	baseline      []int64
+}
+
+func newRunner(cfg Config) *runner {
+	if cfg.Graph == nil {
+		panic("detsim: Config.Graph is required")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 200
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 2048
+	}
+	src := cfg.Source
+	if src == nil {
+		src = NewRand(cfg.Seed)
+	}
+	r := &runner{
+		cfg:       cfg,
+		src:       src,
+		vnow:      time.Unix(0, 0).UTC(),
+		h:         fnv.New64a(),
+		violEdges: make(map[graph.Edge]bool),
+	}
+	r.d = msgpass.NewDriven(msgpass.Config{
+		Graph:            cfg.Graph,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(cfg.Graph),
+		Hungry:           cfg.Hungry,
+		EatEvents:        cfg.EatEvents,
+		LossRate:         cfg.LossRate,
+		Seed:             cfg.Seed,
+	}, func() time.Time { return r.vnow })
+	r.rd = r.d.Reader()
+	for _, c := range cfg.Crashes {
+		r.crashed = append(r.crashed, c.Node)
+	}
+	// The liveness baseline splits the post-crash run in half: locality
+	// is judged on whether far nodes kept eating through the second
+	// half. Short post-crash runs (< 20 rounds) skip the oracle.
+	last := 0
+	for _, c := range cfg.Crashes {
+		if c.Round > last {
+			last = c.Round
+		}
+	}
+	r.baselineRound = -1
+	if cfg.Rounds-last >= 20 {
+		r.baselineRound = last + (cfg.Rounds-last)/2
+	}
+	r.event("run %s n=%d seed=%d", cfg.Graph.Name(), cfg.Graph.N(), cfg.Seed)
+	return r
+}
+
+// event appends one line to the trace hash (and the retained trace).
+func (r *runner) event(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	r.h.Write([]byte(line))
+	r.h.Write([]byte{'\n'})
+	if r.cfg.Trace {
+		r.trace = append(r.trace, line)
+	}
+}
+
+// step advances the virtual clock by one instant and counts the step.
+// Every atomic step gets its own instant, so eating-session intervals
+// are exact and strictly ordered.
+func (r *runner) step() {
+	r.vnow = r.vnow.Add(time.Millisecond)
+	r.steps++
+}
+
+// applyFaults fires the crash and partition plan entries due at time t
+// (a round in fair mode, a step in adversarial mode).
+func (r *runner) applyFaults(t int) {
+	nw := r.d.Network()
+	for _, c := range r.cfg.Crashes {
+		if c.Round != t {
+			continue
+		}
+		if c.Steps > 0 {
+			nw.CrashMaliciously(c.Node, c.Steps)
+			r.event("t%d crash %d mal=%d", t, c.Node, c.Steps)
+		} else {
+			nw.Kill(c.Node)
+			r.event("t%d crash %d kill", t, c.Node)
+		}
+	}
+	for _, pt := range r.cfg.Partitions {
+		if pt.From == t {
+			nw.SetPartitioned(pt.Node, true)
+			r.event("t%d partition %d", t, pt.Node)
+		}
+		if pt.Until == t {
+			nw.SetPartitioned(pt.Node, false)
+			r.event("t%d heal %d", t, pt.Node)
+		}
+	}
+}
+
+// exempt reports whether p is outside the safety property's scope:
+// crashed dead, or inside a malicious window (its Eating variable is
+// garbage, not a session).
+func (r *runner) exempt(p graph.ProcID) bool {
+	return r.rd.Dead(p) || r.rd.Malicious(p)
+}
+
+// checkSafety runs the eating-exclusion oracle against the current
+// state, recording each violating edge once.
+func (r *runner) checkSafety(t int) {
+	for _, e := range spec.EatingPairs(r.rd) {
+		if r.exempt(e.A) || r.exempt(e.B) {
+			continue
+		}
+		if r.violEdges[e] {
+			continue
+		}
+		r.violEdges[e] = true
+		if len(r.safety) < maxRecorded {
+			r.safety = append(r.safety,
+				fmt.Sprintf("t%d: non-crashed neighbors %d and %d eating together", t, e.A, e.B))
+		}
+	}
+}
+
+// tick steps node p once and pools its emitted frames.
+func (r *runner) tick(t int, p graph.ProcID) {
+	r.step()
+	frames := r.d.Tick(p)
+	r.event("t%d tick %d s%d dp%d", t, p, r.rd.State(p), r.rd.Depth(p))
+	for _, f := range frames {
+		r.event("+ %s", f)
+	}
+	r.pending = append(r.pending, frames...)
+	r.checkSafety(t)
+}
+
+// deliver hands one pending frame over and pools the responses.
+func (r *runner) deliver(t int, f msgpass.Frame) {
+	r.step()
+	r.delivered++
+	frames := r.d.Deliver(f)
+	r.event("t%d dlv %s", t, f)
+	for _, g := range frames {
+		r.event("+ %s", g)
+	}
+	r.pending = append(r.pending, frames...)
+	r.checkSafety(t)
+}
+
+// fairRound executes one fair round: faults due this round fire, every
+// node steps once in a drawn permutation, then every frame that was
+// pending at the round's start is delivered in a drawn permutation
+// (frames emitted during the round wait one round — a uniform one-round
+// channel latency).
+func (r *runner) fairRound(t int) {
+	r.applyFaults(t)
+	window := r.pending
+	r.pending = nil
+	for _, i := range perm(r.src, r.cfg.Graph.N()) {
+		r.tick(t, graph.ProcID(i))
+	}
+	for _, i := range perm(r.src, len(window)) {
+		r.deliver(t, window[i])
+	}
+	if t == r.baselineRound {
+		r.baseline = r.d.Network().Eats()
+		r.event("t%d baseline %v", t, r.baseline)
+	}
+}
+
+// livenessExempt reports whether node p is excused from the locality
+// oracle: within distance 2 of a crash site (the tolerated locality),
+// not hungry, or within distance 2 of a partition whose window reaches
+// into the measured half.
+func (r *runner) livenessExempt(p graph.ProcID) bool {
+	if r.cfg.Hungry != nil && !r.cfg.Hungry[p] {
+		return true
+	}
+	g := r.cfg.Graph
+	for _, c := range r.crashed {
+		if d := g.Dist(p, c); d >= 0 && d <= 2 {
+			return true
+		}
+	}
+	for _, pt := range r.cfg.Partitions {
+		if pt.Until > r.baselineRound {
+			if d := g.Dist(p, pt.Node); d >= 0 && d <= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// finish closes sessions, runs the end-of-run oracles, and assembles
+// the result.
+func (r *runner) finish(fair bool, executed int) *Result {
+	r.d.Finish()
+	nw := r.d.Network()
+	res := &Result{
+		Seed:         r.cfg.Seed,
+		Rounds:       executed,
+		TraceHash:    r.h.Sum64(),
+		Trace:        r.trace,
+		Eats:         nw.Eats(),
+		Steps:        r.steps,
+		Delivered:    r.delivered,
+		MessagesSent: nw.MessagesSent(),
+	}
+	res.SafetyViolations = r.safety
+	// Interval cross-check on virtual timestamps: sessions only open on
+	// legitimate enter transitions (crash closes them), so any overlap
+	// between live neighbors the per-step oracle somehow missed shows
+	// here.
+	for _, s := range nw.OverlappingNeighborSessions() {
+		if len(res.SafetyViolations) >= maxRecorded {
+			break
+		}
+		res.SafetyViolations = append(res.SafetyViolations, "session overlap: "+s)
+	}
+	if fair && r.baseline != nil {
+		final := res.Eats
+		for p := 0; p < r.cfg.Graph.N(); p++ {
+			pid := graph.ProcID(p)
+			if r.livenessExempt(pid) {
+				continue
+			}
+			if final[p] <= r.baseline[p] {
+				res.LocalityViolations = append(res.LocalityViolations,
+					fmt.Sprintf("node %d (distance >= 3 from every crash) ate %d..%d: starved after round %d",
+						p, r.baseline[p], final[p], r.baselineRound))
+			}
+		}
+	}
+	return res
+}
+
+// Run executes one fair deterministic run.
+func Run(cfg Config) *Result {
+	r := newRunner(cfg)
+	for _, f := range r.d.Boot() {
+		r.event("+ %s", f)
+		r.pending = append(r.pending, f)
+	}
+	for t := 0; t < r.cfg.Rounds; t++ {
+		r.fairRound(t)
+	}
+	return r.finish(true, r.cfg.Rounds)
+}
+
+// RunAdversarial executes one adversarial run: every step the source
+// freely chooses a node to tick or a pending frame to deliver. Only
+// safety is checked — no fairness means no liveness.
+func RunAdversarial(cfg Config) *Result {
+	r := newRunner(cfg)
+	for _, f := range r.d.Boot() {
+		r.event("+ %s", f)
+		r.pending = append(r.pending, f)
+	}
+	n := r.cfg.Graph.N()
+	for t := 0; t < r.cfg.MaxSteps; t++ {
+		r.applyFaults(t)
+		if len(r.pending) > maxPending {
+			drop := len(r.pending) - maxPending
+			r.pending = append([]msgpass.Frame(nil), r.pending[drop:]...)
+			r.event("t%d drop %d", t, drop)
+		}
+		k := r.src.Intn(n + len(r.pending))
+		if k < n {
+			r.tick(t, graph.ProcID(k))
+			continue
+		}
+		// The drawn frame names a channel; deliver that channel's OLDEST
+		// pending frame (append order is send order). The runtime's
+		// channels are FIFO, so the adversary picks which channel makes
+		// progress but may not reorder within one — unrestricted
+		// reordering lets stale K-state counters duplicate a token, a
+		// fault model the real transport cannot exhibit.
+		j := k - n
+		for i := 0; i < j; i++ {
+			if r.pending[i].From == r.pending[j].From && r.pending[i].To == r.pending[j].To {
+				j = i
+				break
+			}
+		}
+		f := r.pending[j]
+		r.pending = append(r.pending[:j], r.pending[j+1:]...)
+		r.deliver(t, f)
+	}
+	return r.finish(false, r.cfg.MaxSteps)
+}
+
+// SweepRun is the canonical seed-indexed run shared by the sweep tests
+// and cmd/detsim: the seed determines first the crash plan (crashCount
+// victims, rounds in the first third, malicious windows up to 6 garbage
+// steps) and then the whole schedule, all from one PRNG — so a seed a
+// sweep flags replays bit-for-bit from the CLI with the same topology,
+// rounds, and crash count.
+func SweepRun(g *graph.Graph, seed int64, rounds, crashCount int, trace bool) *Result {
+	if rounds <= 0 {
+		rounds = 200
+	}
+	src := NewRand(seed)
+	var plan []Crash
+	if crashCount > 0 {
+		plan = RandomCrashes(src, g, crashCount, rounds/3, 6)
+	}
+	return Run(Config{
+		Graph:   g,
+		Seed:    seed,
+		Rounds:  rounds,
+		Crashes: plan,
+		Trace:   trace,
+		Source:  src,
+	})
+}
+
+// RandomCrashes draws a crash plan from src: count distinct victims,
+// each crashing in [0, maxRound) with a malicious window of up to
+// maxWindow garbage steps (0 = benign kill). Drawing the plan from the
+// same source that schedules the run keeps "one seed = one execution".
+func RandomCrashes(src Source, g *graph.Graph, count, maxRound, maxWindow int) []Crash {
+	if count > g.N() {
+		count = g.N()
+	}
+	victims := perm(src, g.N())[:count]
+	crashes := make([]Crash, 0, count)
+	for _, v := range victims {
+		crashes = append(crashes, Crash{
+			Node:  graph.ProcID(v),
+			Round: src.Intn(maxRound),
+			Steps: src.Intn(maxWindow + 1),
+		})
+	}
+	return crashes
+}

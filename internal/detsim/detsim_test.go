@@ -1,0 +1,272 @@
+package detsim
+
+import (
+	"fmt"
+	"testing"
+
+	"mcdp/internal/graph"
+)
+
+// TestSameSeedIdenticalTrace is the determinism contract: two runs from
+// the same seed must produce byte-identical event traces (not merely
+// equal hashes), across all three runners.
+func TestSameSeedIdenticalTrace(t *testing.T) {
+	cfg := Config{
+		Graph:  graph.Grid(3, 3),
+		Seed:   42,
+		Rounds: 120,
+		Trace:  true,
+		Crashes: []Crash{
+			{Node: 0, Round: 20, Steps: 5},
+			{Node: 8, Round: 45},
+		},
+		Partitions: []Partition{{Node: 4, From: 30, Until: 50}},
+	}
+	a, b := Run(cfg), Run(cfg)
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("same seed, different trace hashes: %x vs %x", a.TraceHash, b.TraceHash)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("same seed, different trace lengths: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace line %d differs:\n  %q\n  %q", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	cfg.Seed = 43
+	if c := Run(cfg); c.TraceHash == a.TraceHash {
+		t.Error("different seeds produced the same trace hash")
+	}
+
+	fcfg := ForkConfig{Graph: graph.Ring(6), Seed: 7, Rounds: 100, Trace: true,
+		Crashes: []Crash{{Node: 0, Round: 10}}}
+	fa, fb := RunFork(fcfg), RunFork(fcfg)
+	if fa.TraceHash != fb.TraceHash || fa.QuiescedAt != fb.QuiescedAt {
+		t.Errorf("fork runs diverged: hash %x vs %x, quiesced %d vs %d",
+			fa.TraceHash, fb.TraceHash, fa.QuiescedAt, fb.QuiescedAt)
+	}
+
+	scfg := ServiceConfig{Graph: graph.Ring(8), Seed: 5, Rounds: 150, Trace: true,
+		Crashes: []Crash{{Node: 1, Round: 40, Steps: 4}}}
+	sa, sb := RunService(scfg), RunService(scfg)
+	if sa.TraceHash != sb.TraceHash || sa.Granted != sb.Granted {
+		t.Errorf("service runs diverged: hash %x vs %x, granted %d vs %d",
+			sa.TraceHash, sb.TraceHash, sa.Granted, sb.Granted)
+	}
+
+	acfg := Config{Graph: graph.Ring(6), Seed: 11, MaxSteps: 1000, Trace: true,
+		Crashes: []Crash{{Node: 2, Round: 200, Steps: 6}}}
+	aa, ab := RunAdversarial(acfg), RunAdversarial(acfg)
+	if aa.TraceHash != ab.TraceHash {
+		t.Errorf("adversarial runs diverged: %x vs %x", aa.TraceHash, ab.TraceHash)
+	}
+}
+
+// TestBytesSourceDrivesSchedule pins the fuzz bridge: byte input is a
+// deterministic schedule (same bytes, same trace), and the degenerate
+// empty input still terminates.
+func TestBytesSourceDrivesSchedule(t *testing.T) {
+	data := []byte("some schedule bytes \x00\xff\x17deadbeef")
+	run := func() *Result {
+		return RunAdversarial(Config{Graph: graph.Ring(5), Seed: 1, MaxSteps: 600,
+			Source: NewBytes(data), Trace: true})
+	}
+	a, b := run(), run()
+	if a.TraceHash != b.TraceHash {
+		t.Errorf("same bytes, different schedules: %x vs %x", a.TraceHash, b.TraceHash)
+	}
+	empty := RunAdversarial(Config{Graph: graph.Ring(5), Seed: 1, MaxSteps: 300, Source: NewBytes(nil)})
+	if empty.Steps != 300 {
+		t.Errorf("empty byte source ran %d steps, want 300", empty.Steps)
+	}
+	if len(empty.SafetyViolations) != 0 {
+		t.Errorf("empty-source schedule violated safety: %v", empty.SafetyViolations)
+	}
+}
+
+// sweepSeeds returns the per-topology seed count: 334 x 3 topologies
+// gives the full 1000-seed sweep; -short and -race runs shrink it.
+func sweepSeeds() int {
+	if testing.Short() || raceEnabled {
+		return 40
+	}
+	return 334
+}
+
+// TestSeedSweepNoViolations is the main acceptance sweep: seed-indexed
+// runs over ring, star, and grid with randomized malicious and benign
+// crash injection, requiring zero safety violations and zero
+// failure-locality-2 violations. A flagged seed's exact execution
+// replays via the printed cmd/detsim invocation.
+func TestSeedSweepNoViolations(t *testing.T) {
+	topos := []struct {
+		flag string
+		g    *graph.Graph
+	}{
+		{"ring:6", graph.Ring(6)},
+		{"star:7", graph.Star(7)},
+		{"grid:3x3", graph.Grid(3, 3)},
+	}
+	seeds := sweepSeeds()
+	for ti, tp := range topos {
+		tp := tp
+		base := int64(ti * 1_000_000)
+		t.Run(tp.flag, func(t *testing.T) {
+			t.Parallel()
+			for s := 0; s < seeds; s++ {
+				seed := base + int64(s)
+				crashes := 1 + int(seed%2)
+				res := SweepRun(tp.g, seed, 200, crashes, false)
+				if res.Failed() {
+					t.Errorf("seed %d: safety=%v locality=%v\nreplay: go run ./cmd/detsim -topology %s -seed %d -rounds 200 -crash %d -trace",
+						seed, res.SafetyViolations, res.LocalityViolations, tp.flag, seed, crashes)
+				}
+			}
+		})
+	}
+}
+
+// TestAdversarialSweepSafetyOnly hammers safety under unfair schedules:
+// the source may starve nodes and reorder deliveries arbitrarily, and
+// eating exclusion between non-crashed neighbors must still never
+// break.
+func TestAdversarialSweepSafetyOnly(t *testing.T) {
+	seeds := sweepSeeds() / 2
+	g := graph.Ring(6)
+	for s := 0; s < seeds; s++ {
+		seed := int64(7_000_000 + s)
+		src := NewRand(seed)
+		crashes := RandomCrashes(src, g, 1+src.Intn(2), 500, 8)
+		res := RunAdversarial(Config{Graph: g, Seed: seed, MaxSteps: 1500, Crashes: crashes, Source: src})
+		if len(res.SafetyViolations) != 0 {
+			t.Errorf("seed %d: adversarial schedule broke safety: %v", seed, res.SafetyViolations)
+		}
+	}
+}
+
+// TestBenignCrashLocalityDeterministic ports the wall-clock msgpass
+// locality test onto the harness, with the assertions the sleep-based
+// version could not afford: exact per-node meal accounting around a
+// crash at a known round, zero safety violations, and the built-in
+// locality oracle instead of a hand-picked settle window.
+func TestBenignCrashLocalityDeterministic(t *testing.T) {
+	g := graph.Path(6)
+	res := Run(Config{
+		Graph:   g,
+		Seed:    3,
+		Rounds:  300,
+		Crashes: []Crash{{Node: 0, Round: 40}},
+		Trace:   true,
+	})
+	if len(res.SafetyViolations) != 0 {
+		t.Errorf("safety violated: %v", res.SafetyViolations)
+	}
+	// Nodes 3, 4, 5 are at distance >= 3 from the crash: the locality
+	// oracle requires each to keep completing meals through the second
+	// half of the run.
+	if len(res.LocalityViolations) != 0 {
+		t.Errorf("failure locality 2 violated: %v", res.LocalityViolations)
+	}
+	for p := 3; p < 6; p++ {
+		if res.Eats[p] == 0 {
+			t.Errorf("node %d (distance >= 3) never ate", p)
+		}
+	}
+}
+
+// TestMaliciousCrashLocalityDeterministic ports the malicious-window
+// test: a node spews 25 garbage events mid-run, and the node at
+// distance 3 must keep eating while no non-crashed neighbors ever
+// overlap — checked after every atomic step, not just at the end.
+func TestMaliciousCrashLocalityDeterministic(t *testing.T) {
+	g := graph.Ring(6)
+	res := Run(Config{
+		Graph:   g,
+		Seed:    4,
+		Rounds:  300,
+		Crashes: []Crash{{Node: 2, Round: 40, Steps: 25}},
+	})
+	if len(res.SafetyViolations) != 0 {
+		t.Errorf("safety violated around the malicious window: %v", res.SafetyViolations)
+	}
+	if len(res.LocalityViolations) != 0 {
+		t.Errorf("failure locality 2 violated: %v", res.LocalityViolations)
+	}
+	if res.Eats[5] == 0 {
+		t.Error("node 5 (distance 3 from the malicious crash) never ate")
+	}
+}
+
+// TestPartitionHealsDeterministic: an isolated node's frames are lost
+// both ways for a fixed window; after healing, the full-state gossip
+// resynchronizes and everyone eats again (the locality oracle covers
+// the post-heal half since the partition exemption expires with the
+// window).
+func TestPartitionHealsDeterministic(t *testing.T) {
+	g := graph.Ring(5)
+	res := Run(Config{
+		Graph:      g,
+		Seed:       8,
+		Rounds:     300,
+		Partitions: []Partition{{Node: 2, From: 30, Until: 80}},
+	})
+	if len(res.SafetyViolations) != 0 {
+		t.Errorf("safety violated across the partition: %v", res.SafetyViolations)
+	}
+	if len(res.LocalityViolations) != 0 {
+		t.Errorf("liveness violated after healing: %v", res.LocalityViolations)
+	}
+	for p, e := range res.Eats {
+		if e == 0 {
+			t.Errorf("node %d never ate despite the healed partition", p)
+		}
+	}
+}
+
+// TestRunValidation pins the config contract.
+func TestRunValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run without a graph must panic")
+		}
+	}()
+	Run(Config{})
+}
+
+// TestResultFailed covers the failure predicate.
+func TestResultFailed(t *testing.T) {
+	if (&Result{}).Failed() {
+		t.Error("empty result reports failure")
+	}
+	if !(&Result{SafetyViolations: []string{"x"}}).Failed() {
+		t.Error("safety violation not reported as failure")
+	}
+	if !(&Result{LocalityViolations: []string{"x"}}).Failed() {
+		t.Error("locality violation not reported as failure")
+	}
+}
+
+// TestRandomCrashesDeterministic pins that a crash plan is a pure
+// function of the source (and clamps the victim count).
+func TestRandomCrashesDeterministic(t *testing.T) {
+	g := graph.Ring(6)
+	a := RandomCrashes(NewRand(9), g, 2, 50, 6)
+	b := RandomCrashes(NewRand(9), g, 2, 50, 6)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same source, different plans: %v vs %v", a, b)
+	}
+	if got := RandomCrashes(NewRand(1), g, 99, 50, 6); len(got) != g.N() {
+		t.Errorf("victim count not clamped: %d", len(got))
+	}
+	seen := map[graph.ProcID]bool{}
+	for _, c := range a {
+		if seen[c.Node] {
+			t.Errorf("duplicate victim %d", c.Node)
+		}
+		seen[c.Node] = true
+		if c.Round < 0 || c.Round >= 50 || c.Steps < 0 || c.Steps > 6 {
+			t.Errorf("plan entry out of range: %+v", c)
+		}
+	}
+}

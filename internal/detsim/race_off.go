@@ -1,0 +1,8 @@
+//go:build !race
+
+package detsim
+
+// raceEnabled reports whether the race detector is compiled in; sweep
+// tests shrink their seed ranges under -race (each run is single
+// threaded, but instrumentation still costs ~10x).
+const raceEnabled = false

@@ -1,0 +1,62 @@
+package detsim
+
+import "math/rand"
+
+// Source supplies every schedule decision a deterministic run makes:
+// node step permutations, delivery orders, adversarial step choices, and
+// workload draws. One Source fully determines one run, which is what
+// makes a run replayable from a seed and a fuzzer able to treat its
+// input bytes as a schedule.
+type Source interface {
+	// Intn returns a value in [0, n). n must be > 0.
+	Intn(n int) int
+}
+
+// NewRand returns the seeded PRNG source used for seed-indexed runs.
+// math/rand's generator is stable across Go releases for a fixed seed
+// (Go 1 compatibility), so seeds stay reproducible over toolchain
+// upgrades.
+func NewRand(seed int64) Source { return rand.New(rand.NewSource(seed)) }
+
+// Bytes is a Source that decodes decisions from a byte string — the
+// bridge that turns a fuzzer's input into a schedule. Two bytes feed
+// each decision; exhausted input wraps around, so every finite byte
+// string yields an infinite (eventually periodic, hence still
+// deterministic) schedule, and empty input yields the all-zeros
+// schedule.
+type Bytes struct {
+	data []byte
+	pos  int
+}
+
+// NewBytes wraps data as a decision source.
+func NewBytes(data []byte) *Bytes { return &Bytes{data: data} }
+
+// Intn decodes the next decision in [0, n).
+func (b *Bytes) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if len(b.data) == 0 {
+		return 0
+	}
+	lo := int(b.data[b.pos%len(b.data)])
+	hi := int(b.data[(b.pos+1)%len(b.data)])
+	b.pos += 2
+	return (hi<<8 | lo) % n
+}
+
+// perm returns a permutation of [0, n) drawn from src (Fisher-Yates,
+// written out so the decision stream is exactly n-1 Intn draws
+// regardless of source type).
+func perm(src Source, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -58,6 +58,19 @@ func (s *Session) Granted() <-chan struct{} { return s.granted }
 // agnostic and safe for concurrent use; internal/lockservice drives one
 // from the msgpass runtime's snapshot hook.
 type Arbiter struct {
+	// OnSubmit, OnGrant, OnRelease, and OnCancel, when non-nil, are
+	// invoked synchronously under the arbiter's mutex at the matching
+	// lifecycle transition, in the exact order the arbiter's own state
+	// changes — which is what makes them usable as history taps: a
+	// recorded grant can never appear to precede the submit or follow
+	// the release it raced with. Hooks must be fast and must not call
+	// back into the arbiter. Set them before sharing the arbiter across
+	// goroutines (lockservice.History.Tap wires all four).
+	OnSubmit  func(*Session)
+	OnGrant   func(*Session)
+	OnRelease func(*Session)
+	OnCancel  func(*Session)
+
 	mu         sync.Mutex
 	g          *graph.Graph
 	queueLimit int
@@ -123,6 +136,9 @@ func (a *Arbiter) Submit(home graph.ProcID, bottles []int) (*Session, error) {
 	}
 	s := &Session{Home: home, Bottles: dedup, granted: make(chan struct{})}
 	a.queues[home] = append(a.queues[home], s)
+	if a.OnSubmit != nil {
+		a.OnSubmit(s)
+	}
 	return s, nil
 }
 
@@ -140,6 +156,9 @@ func (a *Arbiter) Cancel(s *Session) bool {
 		if qs == s {
 			a.queues[s.Home] = append(q[:i], q[i+1:]...)
 			s.status = Done
+			if a.OnCancel != nil {
+				a.OnCancel(s)
+			}
 			return true
 		}
 	}
@@ -162,6 +181,9 @@ func (a *Arbiter) Release(s *Session) bool {
 	}
 	s.status = Done
 	a.active--
+	if a.OnRelease != nil {
+		a.OnRelease(s)
+	}
 	return true
 }
 
@@ -249,6 +271,9 @@ func (a *Arbiter) Pump(eating func(p graph.ProcID) bool) []*Session {
 			a.active++
 			close(s.granted)
 			a.queues[p] = a.queues[p][1:]
+			if a.OnGrant != nil {
+				a.OnGrant(s)
+			}
 			grants = append(grants, s)
 		}
 	}

@@ -1,0 +1,212 @@
+package lockservice
+
+import (
+	"testing"
+
+	"mcdp/internal/drinkers"
+	"mcdp/internal/graph"
+)
+
+// TestHistoryRecordsArbiterLifecycle drives an arbiter with a tapped
+// history through submit → grant → release and submit → cancel, and
+// checks both the recorded event order and that the checker accepts it.
+func TestHistoryRecordsArbiterLifecycle(t *testing.T) {
+	g := graph.Ring(5)
+	a := drinkers.NewArbiter(g, 8)
+	h := NewHistory()
+	h.Tap(a)
+
+	bottles := g.IncidentEdgeIndices(0)
+	s1, err := a.Submit(0, bottles)
+	if err != nil {
+		t.Fatalf("submit s1: %v", err)
+	}
+	s2, err := a.Submit(2, g.IncidentEdgeIndices(2))
+	if err != nil {
+		t.Fatalf("submit s2: %v", err)
+	}
+	// Grant s1 only (node 0 eating), release it, then cancel s2.
+	if got := a.Pump(func(p graph.ProcID) bool { return p == 0 }); len(got) != 1 || got[0] != s1 {
+		t.Fatalf("pump granted %v, want [s1]", got)
+	}
+	if !a.Release(s1) {
+		t.Fatal("release s1 failed")
+	}
+	if !a.Cancel(s2) {
+		t.Fatal("cancel s2 failed")
+	}
+
+	events := h.Events()
+	wantKinds := []HistoryKind{HSubmit, HSubmit, HGrant, HRelease, HCancel}
+	wantSessions := []int64{1, 2, 1, 1, 2}
+	if len(events) != len(wantKinds) {
+		t.Fatalf("recorded %d events, want %d: %v", len(events), len(wantKinds), events)
+	}
+	for i, e := range events {
+		if e.Kind != wantKinds[i] || e.Session != wantSessions[i] {
+			t.Errorf("event %d = %v, want kind %v session %d", i, e, wantKinds[i], wantSessions[i])
+		}
+		if e.Seq != int64(i+1) {
+			t.Errorf("event %d Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if bad := h.Check(g); len(bad) != 0 {
+		t.Fatalf("clean history flagged: %v", bad)
+	}
+}
+
+// TestHistorySharedBottleSerialized checks that two sessions competing
+// for one bottle are recorded as disjoint holds, never overlapping.
+func TestHistorySharedBottleSerialized(t *testing.T) {
+	g := graph.Ring(4)
+	a := drinkers.NewArbiter(g, 8)
+	h := NewHistory()
+	h.Tap(a)
+
+	shared := g.EdgeIndex(0, 1)
+	s1, err := a.Submit(0, []int{shared})
+	if err != nil {
+		t.Fatalf("submit s1: %v", err)
+	}
+	s2, err := a.Submit(1, []int{shared})
+	if err != nil {
+		t.Fatalf("submit s2: %v", err)
+	}
+	all := func(graph.ProcID) bool { return true }
+	if got := a.Pump(all); len(got) != 1 || got[0] != s1 {
+		t.Fatalf("first pump granted %v, want only s1", got)
+	}
+	// While s1 drinks, the shared bottle blocks s2 even though node 1 is
+	// inside its window.
+	if got := a.Pump(all); len(got) != 0 {
+		t.Fatalf("pump while s1 holds granted %v", got)
+	}
+	a.Release(s1)
+	if got := a.Pump(all); len(got) != 1 || got[0] != s2 {
+		t.Fatalf("post-release pump granted %v, want s2", got)
+	}
+	a.Release(s2)
+
+	if bad := h.Check(g); len(bad) != 0 {
+		t.Fatalf("serialized history flagged: %v", bad)
+	}
+}
+
+// TestHistoryServerTap checks Config.History is wired through NewServer.
+func TestHistoryServerTap(t *testing.T) {
+	h := NewHistory()
+	s := NewServer(Config{Graph: graph.Ring(5), History: h})
+	sess, err := s.Arbiter().Submit(1, s.Graph().IncidentEdgeIndices(1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s.Arbiter().Cancel(sess)
+	events := h.Events()
+	if len(events) != 2 || events[0].Kind != HSubmit || events[1].Kind != HCancel {
+		t.Fatalf("server tap recorded %v, want [submit cancel]", events)
+	}
+}
+
+// ev is shorthand for handcrafting histories in checker tests.
+func ev(seq int64, k HistoryKind, session int64, home graph.ProcID, bottles ...int) HistoryEvent {
+	return HistoryEvent{Seq: seq, Kind: k, Session: session, Home: home, Bottles: bottles}
+}
+
+// TestCheckEventsCatchesViolations feeds handcrafted illegal histories
+// to the checker and requires each to be flagged.
+func TestCheckEventsCatchesViolations(t *testing.T) {
+	g := graph.Ring(5) // edges 0:(0,1) 1:(1,2) 2:(2,3) 3:(3,4) 4:(0,4)
+	cases := []struct {
+		name   string
+		events []HistoryEvent
+		want   int // minimum number of violations
+	}{
+		{
+			name: "clean",
+			events: []HistoryEvent{
+				ev(1, HSubmit, 1, 0, 0), ev(2, HGrant, 1, 0, 0), ev(3, HRelease, 1, 0, 0),
+				ev(4, HSubmit, 2, 1, 0), ev(5, HGrant, 2, 1, 0), ev(6, HRelease, 2, 1, 0),
+			},
+			want: 0,
+		},
+		{
+			name: "overlapping holds of one bottle",
+			events: []HistoryEvent{
+				ev(1, HSubmit, 1, 0, 0), ev(2, HSubmit, 2, 1, 0),
+				ev(3, HGrant, 1, 0, 0), ev(4, HGrant, 2, 1, 0),
+				ev(5, HRelease, 1, 0, 0), ev(6, HRelease, 2, 1, 0),
+			},
+			want: 1,
+		},
+		{
+			name: "open grant overlaps later grant",
+			events: []HistoryEvent{
+				ev(1, HSubmit, 1, 0, 0), ev(2, HGrant, 1, 0, 0),
+				ev(3, HSubmit, 2, 1, 0), ev(4, HGrant, 2, 1, 0),
+			},
+			want: 1,
+		},
+		{
+			name: "grant before submit",
+			events: []HistoryEvent{
+				ev(1, HGrant, 1, 0, 0),
+			},
+			want: 1,
+		},
+		{
+			name: "double grant",
+			events: []HistoryEvent{
+				ev(1, HSubmit, 1, 0, 0), ev(2, HGrant, 1, 0, 0), ev(3, HGrant, 1, 0, 0),
+			},
+			want: 1,
+		},
+		{
+			name: "release without grant",
+			events: []HistoryEvent{
+				ev(1, HSubmit, 1, 0, 0), ev(2, HRelease, 1, 0, 0),
+			},
+			want: 1,
+		},
+		{
+			name: "cancel after grant",
+			events: []HistoryEvent{
+				ev(1, HSubmit, 1, 0, 0), ev(2, HGrant, 1, 0, 0), ev(3, HCancel, 1, 0, 0),
+			},
+			want: 1,
+		},
+		{
+			name: "bottle not incident to home",
+			events: []HistoryEvent{
+				ev(1, HSubmit, 1, 0, 2), // edge (2,3), home 0
+			},
+			want: 1,
+		},
+		{
+			name: "bottle out of range",
+			events: []HistoryEvent{
+				ev(1, HSubmit, 1, 0, 99),
+			},
+			want: 1,
+		},
+		{
+			name: "distinct bottles never conflict",
+			events: []HistoryEvent{
+				ev(1, HSubmit, 1, 0, 0), ev(2, HSubmit, 2, 2, 2),
+				ev(3, HGrant, 1, 0, 0), ev(4, HGrant, 2, 2, 2),
+				ev(5, HRelease, 1, 0, 0), ev(6, HRelease, 2, 2, 2),
+			},
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := CheckEvents(g, tc.events)
+			if tc.want == 0 && len(bad) != 0 {
+				t.Fatalf("clean history flagged: %v", bad)
+			}
+			if tc.want > 0 && len(bad) < tc.want {
+				t.Fatalf("got %d violations %v, want >= %d", len(bad), bad, tc.want)
+			}
+		})
+	}
+}

@@ -55,6 +55,10 @@ type Config struct {
 	EatEvents int
 	// LossRate passes through to the msgpass substrate (frame loss).
 	LossRate float64
+	// History, when non-nil, records every session lifecycle event for
+	// post-run mutual-exclusion and linearizability checking (tests and
+	// the detsim harness; unbounded, so not for long-lived servers).
+	History *History
 }
 
 // Grant is a successful acquisition: a lease on the requested
@@ -129,6 +133,9 @@ func NewServer(cfg Config) *Server {
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 		leases:  make(map[string]*lease),
+	}
+	if cfg.History != nil {
+		cfg.History.Tap(s.arb)
 	}
 	hungry := make([]bool, cfg.Graph.N()) // nobody hungry until demand arrives
 	s.nw = msgpass.NewNetwork(msgpass.Config{

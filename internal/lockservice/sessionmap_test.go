@@ -1,7 +1,10 @@
 package lockservice
 
 import (
+	"fmt"
+	"hash/fnv"
 	"testing"
+	"testing/quick"
 
 	"mcdp/internal/graph"
 )
@@ -119,5 +122,68 @@ func TestCatalogSessionsDeterministicAndIncident(t *testing.T) {
 	}
 	if fired == 0 {
 		t.Fatal("catalog source never produced a session")
+	}
+}
+
+// Property: every "edge:a-b" form and its reversal "edge:b-a" address
+// the same lock, across the whole topology, including self-inverse
+// round trips through EdgeName.
+func TestEdgeNameReversalProperty(t *testing.T) {
+	for _, g := range []*graph.Graph{DemoTopology(), graph.Ring(9), graph.Star(7)} {
+		m := NewResourceMapper(g)
+		for _, e := range g.Edges() {
+			fwd := fmt.Sprintf("edge:%d-%d", e.A, e.B)
+			rev := fmt.Sprintf("edge:%d-%d", e.B, e.A)
+			ef, fi := m.EdgeFor(fwd)
+			er, ri := m.EdgeFor(rev)
+			if ef != er || fi != ri {
+				t.Fatalf("%s: %q -> %v/%d but %q -> %v/%d", g.Name(), fwd, ef, fi, rev, er, ri)
+			}
+			if EdgeName(ef) != fwd {
+				t.Fatalf("%s: canonical name of %v is %q, want %q", g.Name(), ef, EdgeName(ef), fwd)
+			}
+		}
+	}
+}
+
+// Property: a name without a valid edge form maps to exactly the
+// FNV-1a hash of its bytes mod the edge count — the wire-level contract
+// every client, server, and load generator must agree on. quick.Check
+// feeds arbitrary names; the reference computation is independent of
+// the mapper.
+func TestEdgeForFNVContractProperty(t *testing.T) {
+	m := NewResourceMapper(DemoTopology())
+	edges := m.Graph().EdgeCount()
+	check := func(name string) bool {
+		if _, ok := m.parseEdgeName(name); ok {
+			return true // explicit edge form: addressed directly, not hashed
+		}
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		want := int(h.Sum64() % uint64(edges))
+		_, got := m.EdgeFor(name)
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The hash placement is part of the persistent protocol: clients built
+// against older servers must keep agreeing on shard placement, so the
+// concrete FNV-1a values are pinned here. If this test breaks, the
+// mapping changed and every deployed client disagrees with the server.
+func TestEdgeForFNVGoldenValues(t *testing.T) {
+	m := NewResourceMapper(DemoTopology()) // 3x4 grid, 17 edges
+	golden := map[string]int{
+		"users-table": 3,
+		"build-lock":  5,
+		"":            13,
+		"edge:0-5":    1, // not a grid edge, so it hashes like any name
+	}
+	for name, want := range golden {
+		if _, got := m.EdgeFor(name); got != want {
+			t.Errorf("EdgeFor(%q) = %d, want pinned %d", name, got, want)
+		}
 	}
 }

@@ -1,0 +1,132 @@
+package msgpass
+
+import (
+	"testing"
+	"time"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// drivenConfig is a minimal driven-mode config over g.
+func drivenConfig(g *graph.Graph) Config {
+	return Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             1,
+	}
+}
+
+func TestDrivenStartPanics(t *testing.T) {
+	d := NewDriven(drivenConfig(graph.Ring(3)), nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Start on a driven network must panic")
+		}
+	}()
+	d.Network().Start()
+}
+
+func TestForkDrivenStartPanics(t *testing.T) {
+	d := NewForkDriven(ForkConfig{Graph: graph.Ring(3)}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Start on a driven ForkNetwork must panic")
+		}
+	}()
+	d.Network().Start()
+}
+
+// TestDrivenBootEmitsFullGossip: the boot step is each node's initial
+// gossip — exactly one frame per directed edge.
+func TestDrivenBootEmitsFullGossip(t *testing.T) {
+	g := graph.Ring(4)
+	d := NewDriven(drivenConfig(g), nil)
+	frames := d.Boot()
+	if want := 2 * g.EdgeCount(); len(frames) != want {
+		t.Fatalf("boot emitted %d frames, want %d (one per directed edge)", len(frames), want)
+	}
+	seen := map[[2]graph.ProcID]bool{}
+	for _, f := range frames {
+		if !g.HasEdge(f.From, f.To) {
+			t.Errorf("frame %v travels a non-edge", f)
+		}
+		key := [2]graph.ProcID{f.From, f.To}
+		if seen[key] {
+			t.Errorf("duplicate boot frame on %d->%d", f.From, f.To)
+		}
+		seen[key] = true
+		if f.EdgeIndex() != g.EdgeIndex(f.From, f.To) {
+			t.Errorf("frame %v carries wrong edge index", f)
+		}
+	}
+}
+
+// TestDrivenVirtualClockStampsSessions: the pluggable clock is the only
+// time source — eating sessions carry exactly the instants the driver's
+// clock produced.
+func TestDrivenVirtualClockStampsSessions(t *testing.T) {
+	g := graph.Ring(4)
+	vnow := time.Unix(1000, 0).UTC()
+	d := NewDriven(drivenConfig(g), func() time.Time { return vnow })
+	pending := d.Boot()
+	for round := 0; round < 60; round++ {
+		for p := 0; p < g.N(); p++ {
+			vnow = vnow.Add(time.Millisecond)
+			pending = append(pending, d.Tick(graph.ProcID(p))...)
+		}
+		window := pending
+		pending = nil
+		for _, f := range window {
+			vnow = vnow.Add(time.Millisecond)
+			pending = append(pending, d.Deliver(f)...)
+		}
+	}
+	d.Finish()
+	sessions := d.Network().Sessions()
+	if len(sessions) == 0 {
+		t.Fatal("no eating sessions in 60 driven rounds")
+	}
+	lo := time.Unix(1000, 0).UTC()
+	for _, s := range sessions {
+		if s.Start.Before(lo) || s.End.After(vnow) || s.End.Before(s.Start) {
+			t.Errorf("session %v outside the virtual clock's range [%v, %v]", s, lo, vnow)
+		}
+	}
+}
+
+// TestDrivenReaderMatchesControlSurface: reader views reflect kills and
+// malicious windows applied through the normal Network controls.
+func TestDrivenReaderMatchesControlSurface(t *testing.T) {
+	g := graph.Ring(4)
+	d := NewDriven(drivenConfig(g), nil)
+	rd := d.Reader()
+	d.Boot()
+	nw := d.Network()
+	nw.Kill(1)
+	nw.CrashMaliciously(2, 3)
+	d.Tick(1)
+	d.Tick(2)
+	if !rd.Dead(1) {
+		t.Error("killed node not dead through the reader")
+	}
+	if !rd.Malicious(2) || rd.Dead(2) {
+		t.Error("node 2 should be mid-window: malicious, not yet dead")
+	}
+	d.Tick(2)
+	d.Tick(2)
+	if !rd.Dead(2) || rd.Malicious(2) {
+		t.Error("node 2 should be dead after its 3-step window")
+	}
+	if rd.Graph() != g || rd.DiameterConst() != sim.SafeDepthBound(g) {
+		t.Error("reader misreports graph or diameter")
+	}
+	for _, e := range g.Edges() {
+		pr := rd.Priority(e)
+		if pr != e.A && pr != e.B {
+			t.Errorf("edge %v priority %d is not an endpoint", e, pr)
+		}
+	}
+}

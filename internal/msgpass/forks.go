@@ -76,6 +76,13 @@ type ForkNetwork struct {
 	eatEvents int
 	tick      time.Duration
 
+	// driven and the pluggable clock/transport mirror Network's driven
+	// mode (see NewForkDriven): a deterministic driver substitutes its
+	// virtual clock and captures frames instead of channel pushes.
+	driven    bool
+	now       func() time.Time
+	sendFrame func(to graph.ProcID, m forkMsg) bool
+
 	mu        sync.Mutex
 	eats      []int64
 	sessions  []EatSession
@@ -114,6 +121,7 @@ func NewForkNetwork(cfg ForkConfig) *ForkNetwork {
 	g := cfg.Graph
 	nw := &ForkNetwork{
 		g:         g,
+		now:       time.Now,
 		done:      make(chan struct{}),
 		eats:      make([]int64, g.N()),
 		openSince: make([]time.Time, g.N()),
@@ -146,6 +154,9 @@ func NewForkNetwork(cfg ForkConfig) *ForkNetwork {
 
 // Start launches the philosopher goroutines.
 func (nw *ForkNetwork) Start() {
+	if nw.driven {
+		panic("msgpass: a driven ForkNetwork is stepped by its driver, not Started")
+	}
 	if nw.started {
 		panic("msgpass: ForkNetwork.Start called twice")
 	}
@@ -164,9 +175,15 @@ func (nw *ForkNetwork) Stop() {
 	nw.stopped = true
 	close(nw.done)
 	nw.wg.Wait()
+	nw.finishSessions()
+}
+
+// finishSessions closes any eating session left open so interval checks
+// see it.
+func (nw *ForkNetwork) finishSessions() {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	now := time.Now()
+	now := nw.now()
 	for p, since := range nw.openSince {
 		if !since.IsZero() {
 			nw.sessions = append(nw.sessions, EatSession{Proc: graph.ProcID(p), Start: since, End: now})
@@ -324,6 +341,10 @@ func (n *forkNode) sendFork(e *forkEdge) {
 
 func (n *forkNode) send(to graph.ProcID, m forkMsg) {
 	n.net.sent.Add(1)
+	if n.net.sendFrame != nil {
+		n.net.sendFrame(to, m)
+		return
+	}
 	select {
 	case n.net.nodes[to].inbox <- m:
 	default:
@@ -337,7 +358,7 @@ func (n *forkNode) send(to graph.ProcID, m forkMsg) {
 func (nw *ForkNetwork) recordStart(p graph.ProcID) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	nw.openSince[p] = time.Now()
+	nw.openSince[p] = nw.now()
 }
 
 func (nw *ForkNetwork) recordEnd(p graph.ProcID) {
@@ -345,7 +366,7 @@ func (nw *ForkNetwork) recordEnd(p graph.ProcID) {
 	defer nw.mu.Unlock()
 	nw.eats[p]++
 	if since := nw.openSince[p]; !since.IsZero() {
-		nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: time.Now()})
+		nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: nw.now()})
 		nw.openSince[p] = time.Time{}
 	}
 }

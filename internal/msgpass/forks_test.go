@@ -32,40 +32,11 @@ func TestForkNetworkSafety(t *testing.T) {
 	}
 }
 
-func TestForkNetworkCrashStarvesEveryone(t *testing.T) {
-	// The baseline's defining weakness, in its strongest form: kill 0
-	// before the run starts (the initial placement has the low-ID
-	// endpoint holding every incident fork). On a ring, the hungry
-	// survivors each pry one dirty fork loose — which arrives CLEAN and
-	// is then pinned at its hungry holder until that holder eats, which
-	// it never does because the chain terminates at the dead
-	// philosopher. The deadlock wraps all the way around and the whole
-	// ring starves. One crash, total starvation — against the paper's
-	// failure locality 2 on the very same scenario.
-	//
-	// Message timing may let a survivor sneak in one meal before the
-	// clean forks pin (its first eat dirties its forks again, and a
-	// second collection needs a neighbor that can never eat to yield a
-	// clean fork — impossible), so the assertion is quiescence: once the
-	// deadlock closes, nobody EVER eats again, and no philosopher got
-	// more than that single transient meal.
-	nw := NewForkNetwork(ForkConfig{Graph: graph.Ring(5)})
-	nw.Kill(0)
-	nw.Start()
-	time.Sleep(400 * time.Millisecond)
-	settled := nw.Eats()
-	time.Sleep(300 * time.Millisecond)
-	nw.Stop()
-	final := nw.Eats()
-	for p, e := range final {
-		if e > 1 {
-			t.Errorf("philosopher %d ate %d times; at most one transient meal can precede the CM deadlock", p, e)
-		}
-		if e != settled[p] {
-			t.Errorf("philosopher %d still eating after the deadlock closed (%d -> %d); the CM ring should starve", p, settled[p], e)
-		}
-	}
-}
+// The crash-starvation property of the baseline (one early kill
+// deadlocks and starves the whole CM ring) is exact-checked on the
+// deterministic harness: see detsim.TestForkCrashStarvesRing, which
+// replaced the sleep-window test that lived here — quiescence there is
+// decided, not sampled.
 
 func TestForkNetworkStartStopDiscipline(t *testing.T) {
 	nw := NewForkNetwork(ForkConfig{Graph: graph.Ring(3)})

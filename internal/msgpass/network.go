@@ -45,6 +45,14 @@ type Network struct {
 	started bool
 	stopped bool
 
+	// driven marks a network owned by an external single-threaded driver
+	// (see NewDriven): Start must not spawn the goroutine loop.
+	driven bool
+	// now is the network's clock. The goroutine runtime uses time.Now; a
+	// deterministic driver substitutes a virtual clock so eating-session
+	// intervals become exact, replayable instants.
+	now func() time.Time
+
 	// control flags polled by nodes each event
 	killFlag  []atomic.Bool
 	malFlag   []atomic.Int32
@@ -94,6 +102,7 @@ func NewNetwork(cfg Config) *Network {
 	g := cfg.Graph
 	nw := &Network{
 		cfg:       cfg,
+		now:       time.Now,
 		done:      make(chan struct{}),
 		table:     make([]Snapshot, g.N()),
 		eats:      make([]int64, g.N()),
@@ -175,6 +184,9 @@ func (nw *Network) InitArbitrary(seed int64) {
 
 // Start launches one goroutine per node. It may be called once.
 func (nw *Network) Start() {
+	if nw.driven {
+		panic("msgpass: a driven network is stepped by its driver, not Started")
+	}
 	if nw.started {
 		panic("msgpass: Start called twice")
 	}
@@ -234,10 +246,15 @@ func (nw *Network) Stop() {
 		nw.onStop()
 	}
 	nw.wg.Wait()
-	// Close any eating session left open so interval checks see it.
+	nw.finishSessions()
+}
+
+// finishSessions closes any eating session left open so interval checks
+// see it.
+func (nw *Network) finishSessions() {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	now := time.Now()
+	now := nw.now()
 	for p, since := range nw.openSince {
 		if !since.IsZero() {
 			nw.sessions = append(nw.sessions, EatSession{Proc: graph.ProcID(p), Start: since, End: now})
@@ -360,7 +377,7 @@ func (nw *Network) closeOpenSession(p graph.ProcID) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if since := nw.openSince[p]; !since.IsZero() {
-		nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: time.Now()})
+		nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: nw.now()})
 		nw.openSince[p] = time.Time{}
 	}
 }
@@ -369,7 +386,7 @@ func (nw *Network) closeOpenSession(p graph.ProcID) {
 func (nw *Network) recordEatStart(p graph.ProcID) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	nw.openSince[p] = time.Now()
+	nw.openSince[p] = nw.now()
 }
 
 // recordEatEnd closes p's eating session and counts it.
@@ -381,7 +398,7 @@ func (nw *Network) recordEatEnd(p graph.ProcID, start time.Time) {
 	if since.IsZero() {
 		since = start
 	}
-	nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: time.Now()})
+	nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: nw.now()})
 	nw.openSince[p] = time.Time{}
 }
 

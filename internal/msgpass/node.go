@@ -163,7 +163,7 @@ func (n *node) act() {
 			executed = true
 			if n.state == core.Eating && before != core.Eating {
 				n.eatRemaining = n.net.cfg.EatEvents
-				n.eatStart = time.Now()
+				n.eatStart = n.net.now()
 				n.net.recordEatStart(n.id)
 			}
 			if before == core.Eating && n.state != core.Eating {

@@ -350,3 +350,70 @@ func TestLatencyHistogramValidation(t *testing.T) {
 		t.Errorf("default bounds suspiciously few: %v", b)
 	}
 }
+
+// Two recorders with the same capacity fed the same stream keep
+// byte-identical reservoirs: the replacement decisions come from a
+// fixed-seed splitmix64 stream, so percentile reports from replayed
+// experiments are reproducible even past the cap.
+func TestRecorderDeterministicUnderFixedSeed(t *testing.T) {
+	a, b := NewRecorder(32), NewRecorder(32)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		x := rng.ExpFloat64()
+		a.Observe(x)
+		b.Observe(x)
+	}
+	sa, sb := a.Samples(), b.Samples()
+	if len(sa) != 32 || len(sb) != 32 {
+		t.Fatalf("reservoirs hold %d and %d samples, want 32", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("reservoirs diverge at %d: %v vs %v", i, sa[i], sb[i])
+		}
+	}
+	if a.Summary() != b.Summary() {
+		t.Errorf("summaries diverge: %v vs %v", a.Summary(), b.Summary())
+	}
+}
+
+// Bucket assignment is Prometheus `le` semantics: an observation equal
+// to a bound lands in that bound's bucket, epsilon above lands in the
+// next. Table-driven over every boundary of a small histogram.
+func TestLatencyHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	cases := []struct {
+		x      float64
+		bucket int // index into cumulative counts; len(bounds) = +Inf
+	}{
+		{0.5, 0},
+		{1, 0}, // exactly on the first bound: le=1
+		{math.Nextafter(1, 2), 1},
+		{2, 1}, // exactly on a middle bound: le=2
+		{math.Nextafter(2, 3), 2},
+		{4, 2},
+		{8, 3},                    // exactly on the last finite bound: le=8
+		{math.Nextafter(8, 9), 4}, // +Inf bucket
+		{1e9, 4},
+	}
+	for _, c := range cases {
+		h := NewLatencyHistogram(bounds)
+		h.Observe(c.x)
+		_, cum, count, _ := h.Snapshot()
+		if count != 1 {
+			t.Fatalf("x=%v: count %d", c.x, count)
+		}
+		for i, acc := range cum {
+			want := int64(0)
+			if i >= c.bucket {
+				want = 1
+			}
+			if c.bucket == len(bounds) {
+				want = 0 // +Inf only: no finite le bucket sees it
+			}
+			if acc != want {
+				t.Errorf("x=%v: cumulative[le=%v] = %d, want %d", c.x, bounds[i], acc, want)
+			}
+		}
+	}
+}
