@@ -3,15 +3,23 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short cover bench examples experiments figure2 modelcheck detsim fuzz dinerd loadgen clean
+.PHONY: all build vet lint test race short cover bench examples experiments figure2 modelcheck detsim fuzz dinerd loadgen clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis: determinism, edge-ownership, and lock
+# discipline (see docs/LINT.md). Fails on any finding or unformatted file.
+lint:
+	$(GO) build -o bin/dinerlint ./cmd/dinerlint
+	./bin/dinerlint ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,55 @@
+// Command dinerlint runs the repo's static-analysis suite: the
+// determinism, edgeownership, and lockdiscipline analyzers from
+// internal/lint. It prints go-vet-style file:line:col diagnostics (or a
+// JSON array with -json) and exits 1 if there are findings, 2 on load
+// errors.
+//
+// Usage:
+//
+//	dinerlint [-json] [packages]
+//
+// Packages default to ./... relative to the current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcdp/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	dir := flag.String("C", ".", "change to `dir` before loading packages")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinerlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAll(pkgs, lint.Analyzers())
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dinerlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "dinerlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -37,7 +37,7 @@ type Session struct {
 	Bottles []int
 
 	granted chan struct{}
-	status  SessionStatus // guarded by the arbiter's mutex
+	status  SessionStatus // guarded by mu (the arbiter's)
 }
 
 // Granted returns a channel that is closed when the session is granted.
@@ -75,10 +75,10 @@ type Arbiter struct {
 	g          *graph.Graph
 	queueLimit int
 
-	queues [][]*Session   // per node, FIFO
-	user   []*Session     // per edge: the Drinking session using the bottle, or nil
-	holder []graph.ProcID // per edge: which endpoint last collected the bottle
-	active int            // Drinking session count
+	queues [][]*Session   // per node, FIFO; guarded by mu
+	user   []*Session     // per edge: the Drinking session using the bottle, or nil; guarded by mu
+	holder []graph.ProcID // per edge: which endpoint last collected the bottle; guarded by mu
+	active int            // Drinking session count; guarded by mu
 }
 
 // NewArbiter returns an arbiter over g with the given per-node queue
@@ -284,6 +284,8 @@ func (a *Arbiter) Pump(eating func(p graph.ProcID) bool) []*Session {
 // bottles to the home node as it checks (partial collection mirrors the
 // drinkers reduction: a surrendered bottle travels even if the whole
 // set is not yet available).
+//
+// requires mu
 func (a *Arbiter) collect(s *Session) bool {
 	all := true
 	for _, b := range s.Bottles {

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Inline directive grammar (see docs/LINT.md):
+//
+//	//lint:sorted <why>        justify a map iteration as order-safe
+//	//lint:allow <rule> <why>  suppress one rule at this site
+//	//lint:deterministic       opt a whole file into the determinism
+//	                           wall-clock/rand/goroutine rules
+//	//lint:edgestate           mark a struct type as shared edge state
+//	                           (enforced by the edgeownership rule)
+//	// guarded by <mu>         a field only accessed holding <mu>
+//	// requires <mu>           a function whose callers hold <mu>
+//
+// A suppression comment covers findings on its own line, or — when it
+// stands alone on a line — findings on the following line; an
+// //lint:allow in a function's doc comment covers the whole function.
+// Every suppression must carry a justification; a bare directive
+// suppresses nothing, so "because I said so" at least has to be typed
+// out.
+
+// directives indexes the suppression comments of one package.
+type directives struct {
+	// byLine maps file -> line -> rules suppressed at that line.
+	byLine map[string]map[int][]string
+}
+
+// suppressed reports whether rule findings at file:line are suppressed.
+func (d *directives) suppressed(rule, file string, line int) bool {
+	for _, r := range d.byLine[file][line] {
+		if r == rule || r == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans every comment of the package for suppression
+// directives.
+func collectDirectives(p *Package) *directives {
+	d := &directives{byLine: make(map[string]map[int][]string)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rule, ok := parseSuppression(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					d.byLine[pos.Filename] = lines
+				}
+				// Cover the comment's own line (trailing form) and the
+				// next line (standalone form).
+				lines[pos.Line] = append(lines[pos.Line], rule)
+				lines[pos.Line+1] = append(lines[pos.Line+1], rule)
+			}
+		}
+		// An allow in a function's doc comment covers the whole body.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				rule, ok := parseSuppression(c.Text)
+				if !ok {
+					continue
+				}
+				start := p.Fset.Position(fn.Pos())
+				end := p.Fset.Position(fn.End())
+				lines := d.byLine[start.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					d.byLine[start.Filename] = lines
+				}
+				for l := start.Line; l <= end.Line; l++ {
+					lines[l] = append(lines[l], rule)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// parseSuppression recognizes the //lint:sorted and //lint:allow forms,
+// returning the rule they suppress. Directives without a justification
+// are ignored.
+func parseSuppression(text string) (rule string, ok bool) {
+	body, found := strings.CutPrefix(text, "//lint:")
+	if !found {
+		return "", false
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return "", false
+	}
+	switch fields[0] {
+	case "sorted":
+		if len(fields) < 2 {
+			return "", false // justification required
+		}
+		return "determinism", true
+	case "allow":
+		if len(fields) < 3 {
+			return "", false // rule and justification required
+		}
+		return fields[1], true
+	}
+	return "", false
+}
+
+// fileOptsIn reports whether file f carries the //lint:deterministic
+// opt-in pragma.
+func fileOptsIn(f *ast.File, pragma string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == pragma {
+				return true
+			}
+		}
+	}
+	return false
+}

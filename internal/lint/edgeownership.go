@@ -1,0 +1,485 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EdgeOwnership enforces the paper's shared-variable write model: a
+// process writes only variables on its incident edges. Struct types
+// marked //lint:edgestate are the shared edge state; every mutation of
+// their fields (or of a whole edge value) must be rooted at the acting
+// process — the receiver of a method on the edge type itself, on an
+// owner type (a struct holding the edge values), or on a single-owner
+// adapter view — or at an edge passed into an owner's method. Reaching
+// an edge through a process table (a collection of owners, i.e. some
+// other process's state) is exactly the cross-process write the model
+// forbids.
+//
+// Freshly allocated values (composite literals, new) are still under
+// construction and exempt: no other process can observe them yet.
+type EdgeOwnership struct{}
+
+// Name implements Analyzer.
+func (*EdgeOwnership) Name() string { return "edgeownership" }
+
+// edgeModel is the per-package ownership universe.
+type edgeModel struct {
+	edges    map[*types.Named]bool // //lint:edgestate structs
+	owners   map[*types.Named]bool // structs embedding edge values
+	adapters map[*types.Named]bool // structs holding exactly one owner ref
+}
+
+// Run implements Analyzer.
+func (a *EdgeOwnership) Run(p *Package) []Diagnostic {
+	m := buildEdgeModel(p)
+	if len(m.edges) == 0 {
+		return nil
+	}
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ds = append(ds, a.runFunc(p, m, fn)...)
+		}
+	}
+	return ds
+}
+
+// buildEdgeModel finds the marked edge types, then the owner and
+// adapter types derived from them.
+func buildEdgeModel(p *Package) *edgeModel {
+	m := &edgeModel{
+		edges:    make(map[*types.Named]bool),
+		owners:   make(map[*types.Named]bool),
+		adapters: make(map[*types.Named]bool),
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasEdgeStateMark(gd.Doc) && !hasEdgeStateMark(ts.Doc) && !hasEdgeStateMark(ts.Comment) {
+					continue
+				}
+				if obj, ok := p.Info.Defs[ts.Name].(*types.TypeName); ok {
+					if named, ok := obj.Type().(*types.Named); ok {
+						m.edges[named] = true
+					}
+				}
+			}
+		}
+	}
+	if len(m.edges) == 0 {
+		return m
+	}
+	// Owners: package structs with a field holding edge values directly
+	// (E, *E, []E, [N]E, []*E).
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || m.edges[named] {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if holdsEdgeValues(m, st.Field(i).Type()) {
+				m.owners[named] = true
+				break
+			}
+		}
+	}
+	// Adapters: structs whose fields include exactly one owner reference
+	// and no owner collections — a per-process view, not a process table.
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || m.owners[named] || m.edges[named] {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		refs := 0
+		for i := 0; i < st.NumFields(); i++ {
+			t := st.Field(i).Type()
+			if pt, ok := t.(*types.Pointer); ok {
+				t = pt.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && m.owners[n] {
+				refs++
+			}
+		}
+		if refs == 1 {
+			m.adapters[named] = true
+		}
+	}
+	return m
+}
+
+// hasEdgeStateMark reports whether a comment group carries the
+// //lint:edgestate marker.
+func hasEdgeStateMark(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), "//lint:edgestate") {
+			return true
+		}
+	}
+	return false
+}
+
+// holdsEdgeValues reports whether t stores edge state directly: E, *E,
+// []E, [N]E, []*E, or a map with such element type.
+func holdsEdgeValues(m *edgeModel, t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		return m.edges[t]
+	case *types.Pointer:
+		return holdsEdgeValues(m, t.Elem())
+	case *types.Slice:
+		return holdsEdgeValues(m, t.Elem())
+	case *types.Array:
+		return holdsEdgeValues(m, t.Elem())
+	case *types.Map:
+		return holdsEdgeValues(m, t.Elem())
+	}
+	return false
+}
+
+// runFunc checks every edge-state mutation in one function.
+func (a *EdgeOwnership) runFunc(p *Package, m *edgeModel, fn *ast.FuncDecl) []Diagnostic {
+	ok := newRootJudge(p, m, fn)
+	var ds []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var targets []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			targets = n.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{n.X}
+		default:
+			return true
+		}
+		for _, t := range targets {
+			if !a.mutatesEdge(p, m, t) {
+				continue
+			}
+			if !ok.rooted(t) {
+				ds = append(ds, diagnose(p, a.Name(), t,
+					"write to edge state %s is not rooted at the acting process; use the owner's accessor methods (a process writes only its incident edges)",
+					types.ExprString(t)))
+			}
+		}
+		return true
+	})
+	return ds
+}
+
+// mutatesEdge reports whether the assignment target is a field of an
+// edge-state struct or a whole edge value.
+func (a *EdgeOwnership) mutatesEdge(p *Package, m *edgeModel, target ast.Expr) bool {
+	switch t := target.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[t]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if pt, ok := recv.(*types.Pointer); ok {
+				recv = pt.Elem()
+			}
+			if n, ok := recv.(*types.Named); ok && m.edges[n] {
+				return true
+			}
+		}
+	case *ast.IndexExpr, *ast.StarExpr:
+		if tv, ok := p.Info.Types[target]; ok {
+			typ := tv.Type
+			if pt, ok := typ.(*types.Pointer); ok {
+				typ = pt.Elem()
+			}
+			if n, ok := typ.(*types.Named); ok && m.edges[n] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootJudge decides whether an access path is rooted at the acting
+// process, tracking local-variable provenance within one function.
+type rootJudge struct {
+	p  *Package
+	m  *edgeModel
+	fn *ast.FuncDecl
+	// defs maps each local object to the RHS expressions assigned to it,
+	// for provenance; fresh marks locals bound to new allocations.
+	defs  map[types.Object][]ast.Expr
+	fresh map[types.Object]bool
+	// visiting guards against cyclic provenance chains.
+	visiting map[types.Object]bool
+}
+
+// newRootJudge records the provenance of every local in fn.
+func newRootJudge(p *Package, m *edgeModel, fn *ast.FuncDecl) *rootJudge {
+	j := &rootJudge{
+		p: p, m: m, fn: fn,
+		defs:     make(map[types.Object][]ast.Expr),
+		fresh:    make(map[types.Object]bool),
+		visiting: make(map[types.Object]bool),
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					j.record(obj, n.Rhs[i])
+				} else if len(n.Rhs) == 1 {
+					j.record(obj, n.Rhs[0])
+				}
+			}
+		case *ast.RangeStmt:
+			// for _, e := range X: the bindings inherit X's rooting.
+			for _, b := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := b.(*ast.Ident); ok && id.Name != "_" {
+					if obj := p.Info.ObjectOf(id); obj != nil {
+						j.record(obj, n.X)
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := p.Info.ObjectOf(name)
+					if obj == nil {
+						continue
+					}
+					if len(vs.Values) == len(vs.Names) {
+						j.record(obj, vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						j.record(obj, vs.Values[0])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return j
+}
+
+// record notes one assignment to obj, marking fresh allocations.
+func (j *rootJudge) record(obj types.Object, rhs ast.Expr) {
+	if isFreshAlloc(rhs) {
+		j.fresh[obj] = true
+		return
+	}
+	j.defs[obj] = append(j.defs[obj], rhs)
+}
+
+// isFreshAlloc reports whether e is a brand-new allocation no other
+// process can yet observe.
+func isFreshAlloc(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if _, ok := e.X.(*ast.CompositeLit); ok {
+			return true
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && (id.Name == "new" || id.Name == "make") {
+			return true
+		}
+	}
+	return false
+}
+
+// rooted reports whether the access path e is rooted at the acting
+// process. Traversing a field holding a collection of owners (a process
+// table) poisons the path — that is a reach into some other process's
+// state — unless the root turns out to be a fresh allocation still
+// under construction.
+func (j *rootJudge) rooted(e ast.Expr) bool {
+	viaTable := false
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := j.p.Info.ObjectOf(x)
+			if obj != nil && j.fresh[obj] {
+				return true // under construction: nothing observes it yet
+			}
+			if viaTable {
+				return false
+			}
+			return j.rootedIdent(x)
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return false
+			}
+			e = x.X // &n.edges[i] is rooted where n.edges[i] is
+		case *ast.SelectorExpr:
+			if s, ok := j.p.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+				if holdsOwnerCollection(j.m, s.Obj().Type()) {
+					viaTable = true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// Accessor call: n.edgeByIdx(i) — rooted iff its receiver is.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if s, ok := j.p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					e = sel.X
+					continue
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// holdsOwnerCollection reports whether t is a collection of owner
+// values — a process table. A single owner reference (Owner or *Owner)
+// is a view, not a table.
+func holdsOwnerCollection(m *edgeModel, t types.Type) bool {
+	var elem types.Type
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	case *types.Map:
+		elem = t.Elem()
+	default:
+		return false
+	}
+	if pt, ok := elem.(*types.Pointer); ok {
+		elem = pt.Elem()
+	}
+	n, ok := elem.(*types.Named)
+	return ok && m.owners[n]
+}
+
+// rootedIdent judges the base identifier of an access path.
+func (j *rootJudge) rootedIdent(id *ast.Ident) bool {
+	obj := j.p.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	// The receiver of a method on an edge, owner, or adapter type IS the
+	// acting process.
+	if j.fn.Recv != nil && len(j.fn.Recv.List) == 1 {
+		for _, rn := range j.fn.Recv.List[0].Names {
+			if j.p.Info.ObjectOf(rn) == obj {
+				return j.actingType(obj.Type())
+			}
+		}
+	}
+	// An edge handed into an owner's method (e.g. gossipEdge(e *edgeState))
+	// was selected by the acting process.
+	if j.isParam(obj) {
+		t := obj.Type()
+		if pt, ok := t.(*types.Pointer); ok {
+			t = pt.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && (j.m.edges[n] || j.m.owners[n] || j.m.adapters[n]) {
+			return j.onActingMethod()
+		}
+		return false
+	}
+	// Fresh allocations are under construction.
+	if j.fresh[obj] {
+		return true
+	}
+	// Locals: rooted iff every recorded provenance is rooted.
+	rhs, known := j.defs[obj]
+	if !known || j.visiting[obj] {
+		return false
+	}
+	j.visiting[obj] = true
+	defer delete(j.visiting, obj)
+	for _, r := range rhs {
+		if !j.rooted(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// actingType reports whether t (possibly a pointer) is an edge, owner,
+// or adapter type.
+func (j *rootJudge) actingType(t types.Type) bool {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && (j.m.edges[n] || j.m.owners[n] || j.m.adapters[n])
+}
+
+// onActingMethod reports whether fn is a method on an edge, owner, or
+// adapter type: only those may receive edges to mutate.
+func (j *rootJudge) onActingMethod() bool {
+	if j.fn.Recv == nil || len(j.fn.Recv.List) != 1 {
+		return false
+	}
+	if tv, ok := j.p.Info.Types[j.fn.Recv.List[0].Type]; ok {
+		return j.actingType(tv.Type)
+	}
+	return false
+}
+
+// isParam reports whether obj is a parameter of fn.
+func (j *rootJudge) isParam(obj types.Object) bool {
+	if j.fn.Type.Params == nil {
+		return false
+	}
+	for _, f := range j.fn.Type.Params.List {
+		for _, name := range f.Names {
+			if j.p.Info.ObjectOf(name) == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

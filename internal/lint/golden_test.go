@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// expectation is one `// want <rule>` marker from a testdata file.
+type expectation struct {
+	file string
+	line int
+	rule string
+}
+
+// collectWants scans a loaded package for `// want <rule>` markers.
+func collectWants(p *Package) []expectation {
+	var wants []expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "// want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				wants = append(wants, expectation{
+					file: pos.Filename,
+					line: pos.Line,
+					rule: strings.TrimSpace(rest),
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// loadTestPkg loads one package under testdata/src.
+func loadTestPkg(t *testing.T, name string) *Package {
+	t.Helper()
+	pkgs, err := Load("testdata/src", "./"+name)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(%s): got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// TestGoldenViolations checks that every seeded violation is reported at
+// exactly its marker line, and nothing else is.
+func TestGoldenViolations(t *testing.T) {
+	for _, name := range []string{"determbad", "edgebad", "lockbad"} {
+		t.Run(name, func(t *testing.T) {
+			p := loadTestPkg(t, name)
+			diags := RunAll([]*Package{p}, Analyzers())
+
+			got := make(map[string]int)
+			for _, d := range diags {
+				if d.Line <= 0 || d.Col <= 0 {
+					t.Errorf("diagnostic without a position: %+v", d)
+				}
+				got[fmt.Sprintf("%s:%d:%s", d.File, d.Line, d.Rule)]++
+			}
+			want := make(map[string]int)
+			for _, w := range collectWants(p) {
+				want[fmt.Sprintf("%s:%d:%s", w.file, w.line, w.rule)]++
+			}
+			if len(want) == 0 {
+				t.Fatal("no // want markers found; bad testdata")
+			}
+			for k := range want {
+				if got[k] == 0 {
+					t.Errorf("missing diagnostic %s", k)
+				}
+			}
+			for k := range got {
+				if want[k] == 0 {
+					t.Errorf("unexpected diagnostic %s", k)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenClean checks the clean counterparts produce no findings.
+func TestGoldenClean(t *testing.T) {
+	for _, name := range []string{"determclean", "edgeclean", "lockclean"} {
+		t.Run(name, func(t *testing.T) {
+			p := loadTestPkg(t, name)
+			diags := RunAll([]*Package{p}, Analyzers())
+			for _, d := range diags {
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+		})
+	}
+}
+
+// TestGoldenExactPositions pins a few full positions (file:line:col) so
+// column drift is caught too.
+func TestGoldenExactPositions(t *testing.T) {
+	p := loadTestPkg(t, "lockbad")
+	diags := RunAll([]*Package{p}, Analyzers())
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d:%d", d.Line, d.Col))
+	}
+	sort.Strings(got)
+	want := []string{"15:9", "22:2", "30:9"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("lockbad positions: got %v, want %v", got, want)
+	}
+}
+
+// TestRepoClean is the meta-test: the suite must report zero findings on
+// the repository itself.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load repo: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags := RunAll(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// Diagnostic is one finding: a rule violated at a position.
+type Diagnostic struct {
+	// Rule names the analyzer that produced the finding.
+	Rule string `json:"rule"`
+	// File, Line, and Col locate the finding.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message explains the violation.
+	Message string `json:"message"`
+}
+
+// String renders the go-vet-style one-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Analyzer is one rule of the suite.
+type Analyzer interface {
+	// Name is the rule name used in diagnostics and suppressions.
+	Name() string
+	// Run analyzes one package and returns its findings (unsuppressed
+	// filtering is the runner's job).
+	Run(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		&Determinism{},
+		&EdgeOwnership{},
+		&LockDiscipline{},
+	}
+}
+
+// RunAll applies every analyzer to every package, drops findings
+// suppressed by an inline directive, and returns the rest sorted by
+// position.
+func RunAll(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		dirs := collectDirectives(p)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if dirs.suppressed(d.Rule, d.File, d.Line) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// WriteJSON emits the findings as a JSON array (empty array, not null,
+// for a clean run — consumers diff the output).
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ds)
+}
+
+// diagnose builds a Diagnostic at the position of node n.
+func diagnose(p *Package, rule string, n ast.Node, format string, args ...any) Diagnostic {
+	pos := p.Fset.Position(n.Pos())
+	return Diagnostic{
+		Rule:    rule,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// enclosingFile returns the *ast.File of p containing pos.
+func enclosingFile(p *Package, pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseSuppression(t *testing.T) {
+	cases := []struct {
+		text string
+		rule string
+		ok   bool
+	}{
+		{"//lint:sorted keys feed the trace hash", "determinism", true},
+		{"//lint:sorted", "", false}, // justification required
+		{"//lint:allow edgeownership fault injector", "edgeownership", true},
+		{"//lint:allow edgeownership", "", false}, // justification required
+		{"//lint:allow", "", false},
+		{"//lint:deterministic", "", false}, // a pragma, not a suppression
+		{"// plain comment", "", false},
+	}
+	for _, c := range cases {
+		rule, ok := parseSuppression(c.text)
+		if rule != c.rule || ok != c.ok {
+			t.Errorf("parseSuppression(%q) = %q, %v; want %q, %v",
+				c.text, rule, ok, c.rule, c.ok)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: "determinism", File: "x.go", Line: 3, Col: 7, Message: "boom"}
+	if got, want := d.String(), "x.go:3:7: determinism: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty findings encode as %q, want []", got)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ds := []Diagnostic{{Rule: "lockdiscipline", File: "a.go", Line: 1, Col: 2, Message: "m"}}
+	if err := WriteJSON(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"rule": "lockdiscipline"`, `"file": "a.go"`, `"line": 1`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package lint is the repo-specific static-analysis suite behind
+// cmd/dinerlint. It enforces, at the source level, the structural rules
+// the paper's correctness argument rests on but the compiler cannot
+// see: schedule determinism in detsim-driven code, the shared-variable
+// write-ownership of the algorithm (a process writes only its incident
+// edges), and mutex discipline over annotated fields.
+//
+// The suite is stdlib-only: packages are enumerated with `go list`,
+// parsed with go/parser, and type-checked with go/types against the
+// toolchain's export data (go/importer) — no golang.org/x/tools.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path; Dir the package directory.
+	Path string
+	Dir  string
+	// Fset positions every AST node of the package.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files (build-tag filtered by the
+	// go tool, comments retained).
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir),
+// type-checks the ones belonging to the surrounding module, and returns
+// them ready for analysis. Test files are excluded, mirroring what the
+// compiler builds; testdata trees are excluded by `go list` unless
+// named explicitly.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []listedPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("lint: no module packages match %v", patterns)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList shells out to the toolchain's package loader, the one
+// component a module-aware stdlib-only linter cannot reimplement. The
+// -export flag makes the toolchain materialize (and cache) export data
+// for every dependency, which the type-checker then imports.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,Standard,GoFiles,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, errb.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, t listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		Path:  t.ImportPath,
+		Dir:   t.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,546 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockDiscipline enforces `// guarded by <mu>` field annotations: an
+// annotated field may only be read under a dominating <mu>.Lock() or
+// <mu>.RLock(), and only written under <mu>.Lock(), within the same
+// function — or in a function whose doc comment carries a
+// `// requires <mu>` contract, which transfers the obligation to the
+// callers. Mutexes are matched by name (the paper-sized codebase keeps
+// one name per lock; a same-named mutex on a different instance would
+// fool the checker, which docs/LINT.md records as the known limit).
+//
+// The scan is branch-aware: lock state is copied into branches and
+// merged by intersection, and branches that terminate (return, panic)
+// do not merge back — so `if cond { mu.Unlock(); return }` keeps the
+// lock held on the fall-through path. Accesses through freshly
+// allocated values (constructors) are exempt: nothing else can hold a
+// reference yet.
+type LockDiscipline struct{}
+
+// Name implements Analyzer.
+func (*LockDiscipline) Name() string { return "lockdiscipline" }
+
+// guardKey identifies an annotated field.
+type guardKey struct {
+	typ   *types.Named
+	field string
+}
+
+// lock strengths.
+const (
+	lockNone  = 0
+	lockRead  = 1
+	lockWrite = 2
+)
+
+// heldSet maps mutex name to the strongest lock held.
+type heldSet map[string]int
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps the weaker of the two states for every mutex.
+func intersect(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, v := range a {
+		if bv, ok := b[k]; ok {
+			if bv < v {
+				v = bv
+			}
+			if v > lockNone {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+var (
+	guardedByRe = regexp.MustCompile(`\bguarded by (?:the )?([A-Za-z_][A-Za-z0-9_]*)\b`)
+	requiresRe  = regexp.MustCompile(`^requires ([A-Za-z_][A-Za-z0-9_]*)\.?$`)
+)
+
+// Run implements Analyzer.
+func (a *LockDiscipline) Run(p *Package) []Diagnostic {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return nil
+	}
+	s := &lockScan{p: p, guards: guards, fresh: make(map[types.Object]bool)}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := make(heldSet)
+			for _, mu := range requiredMutexes(fn.Doc) {
+				held[mu] = lockWrite
+			}
+			s.scanStmts(fn.Body.List, held)
+		}
+	}
+	return s.diags
+}
+
+// collectGuards parses the `// guarded by <mu>` field annotations of
+// the package.
+func collectGuards(p *Package) map[guardKey]string {
+	guards := make(map[guardKey]string)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tn, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					mu := guardAnnotation(field.Comment)
+					if mu == "" {
+						mu = guardAnnotation(field.Doc)
+					}
+					if mu == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						guards[guardKey{named, name.Name}] = mu
+					}
+				}
+			}
+		}
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a guarded-by comment.
+func guardAnnotation(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		if m := guardedByRe.FindStringSubmatch(c.Text); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// requiredMutexes extracts `// requires <mu>` contract lines from a
+// function doc comment.
+func requiredMutexes(cg *ast.CommentGroup) []string {
+	if cg == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range cg.List {
+		line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if m := requiresRe.FindStringSubmatch(line); m != nil {
+			out = append(out, m[1])
+		}
+	}
+	return out
+}
+
+// lockScan is the per-package scanner state.
+type lockScan struct {
+	p      *Package
+	guards map[guardKey]string
+	// fresh marks constructor locals: values no other goroutine can
+	// reference yet.
+	fresh map[types.Object]bool
+	diags []Diagnostic
+}
+
+// scanStmts scans a statement list, threading the held-lock state
+// through it, and returns the state at its end.
+func (s *lockScan) scanStmts(list []ast.Stmt, held heldSet) heldSet {
+	for _, st := range list {
+		held = s.scanStmt(st, held)
+	}
+	return held
+}
+
+// scanStmt scans one statement and returns the updated state.
+func (s *lockScan) scanStmt(st ast.Stmt, held heldSet) heldSet {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if mu, op, ok := lockCall(s.p, st.X); ok {
+			applyLockOp(held, mu, op)
+			return held
+		}
+		s.checkExpr(st.X, held, false)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			s.checkExpr(rhs, held, false)
+		}
+		for i, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && st.Tok == token.DEFINE {
+				if i < len(st.Rhs) && isFreshAlloc(st.Rhs[i]) {
+					if obj := s.p.Info.ObjectOf(id); obj != nil {
+						s.fresh[obj] = true
+					}
+				}
+			}
+			s.checkExpr(lhs, held, true)
+		}
+	case *ast.IncDecStmt:
+		s.checkExpr(st.X, held, true)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held to function end — the
+		// linear scan simply never sees an explicit unlock.
+		if _, _, ok := lockCall(s.p, st.Call); ok {
+			return held
+		}
+		s.checkExpr(st.Call, held, false)
+	case *ast.GoStmt:
+		// The goroutine body runs outside this critical section.
+		for _, arg := range st.Call.Args {
+			s.checkExpr(arg, held, false)
+		}
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.scanStmts(fl.Body.List, make(heldSet))
+		} else {
+			s.checkExpr(st.Call.Fun, held, false)
+		}
+	case *ast.BlockStmt:
+		return s.scanStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		s.checkExpr(st.Cond, held, false)
+		thenOut := s.scanStmts(st.Body.List, held.clone())
+		elseOut := held.clone()
+		if st.Else != nil {
+			elseOut = s.scanStmt(st.Else, held.clone())
+		}
+		switch {
+		case terminates(st.Body) && st.Else != nil && terminatesStmt(st.Else):
+			return held
+		case terminates(st.Body):
+			return elseOut
+		case st.Else != nil && terminatesStmt(st.Else):
+			return thenOut
+		default:
+			return intersect(thenOut, elseOut)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.checkExpr(st.Cond, held, false)
+		}
+		bodyOut := s.scanStmts(st.Body.List, held.clone())
+		if st.Post != nil {
+			bodyOut = s.scanStmt(st.Post, bodyOut)
+		}
+		// The loop may run zero times; keep only what survives both ways.
+		return intersect(held, bodyOut)
+	case *ast.RangeStmt:
+		s.checkExpr(st.X, held, false)
+		bodyOut := s.scanStmts(st.Body.List, held.clone())
+		return intersect(held, bodyOut)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.checkExpr(st.Tag, held, false)
+		}
+		return s.scanClauses(st.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		s.scanStmt(st.Assign, held.clone())
+		return s.scanClauses(st.Body.List, held)
+	case *ast.SelectStmt:
+		return s.scanClauses(st.Body.List, held)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.checkExpr(r, held, false)
+		}
+	case *ast.SendStmt:
+		s.checkExpr(st.Chan, held, false)
+		s.checkExpr(st.Value, held, false)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.checkExpr(v, held, false)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return s.scanStmt(st.Stmt, held)
+	}
+	return held
+}
+
+// scanClauses scans switch/select clause bodies, merging the states of
+// the non-terminating clauses intersected with the entry state (the
+// clause set may not be exhaustive).
+func (s *lockScan) scanClauses(clauses []ast.Stmt, held heldSet) heldSet {
+	out := held
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				s.checkExpr(e, held, false)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			in := held.clone()
+			if c.Comm != nil {
+				in = s.scanStmt(c.Comm, in)
+			}
+			cout := s.scanStmts(c.Body, in)
+			if !listTerminates(c.Body) {
+				out = intersect(out, cout)
+			}
+			continue
+		}
+		cout := s.scanStmts(body, held.clone())
+		if !listTerminates(body) {
+			out = intersect(out, cout)
+		}
+	}
+	return out
+}
+
+// checkExpr walks an expression checking guarded-field accesses under
+// the current lock state. isWrite applies to the outermost access.
+func (s *lockScan) checkExpr(e ast.Expr, held heldSet, isWrite bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.SelectorExpr:
+		s.checkGuardedAccess(e, held, isWrite)
+		s.checkExpr(e.X, held, false)
+	case *ast.IndexExpr:
+		// Writing m[k] mutates the container the field holds.
+		s.checkExpr(e.X, held, isWrite)
+		s.checkExpr(e.Index, held, false)
+	case *ast.SliceExpr:
+		s.checkExpr(e.X, held, false)
+		s.checkExpr(e.Low, held, false)
+		s.checkExpr(e.High, held, false)
+		s.checkExpr(e.Max, held, false)
+	case *ast.StarExpr:
+		s.checkExpr(e.X, held, isWrite)
+	case *ast.UnaryExpr:
+		// Taking the address hands out an alias; treat as a write.
+		s.checkExpr(e.X, held, e.Op == token.AND || isWrite)
+	case *ast.BinaryExpr:
+		s.checkExpr(e.X, held, false)
+		s.checkExpr(e.Y, held, false)
+	case *ast.ParenExpr:
+		s.checkExpr(e.X, held, isWrite)
+	case *ast.CallExpr:
+		s.checkExpr(e.Fun, held, false)
+		for _, arg := range e.Args {
+			s.checkExpr(arg, held, false)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				s.checkExpr(kv.Value, held, false)
+				continue
+			}
+			s.checkExpr(el, held, false)
+		}
+	case *ast.KeyValueExpr:
+		s.checkExpr(e.Value, held, false)
+	case *ast.TypeAssertExpr:
+		s.checkExpr(e.X, held, false)
+	case *ast.FuncLit:
+		// Synchronously invoked literals (sort.Slice comparators and the
+		// like) run inside the critical section; goroutine literals are
+		// handled at the go statement with an empty state.
+		s.scanStmts(e.Body.List, held.clone())
+	}
+}
+
+// checkGuardedAccess reports a diagnostic if sel accesses an annotated
+// field without its mutex held strongly enough.
+func (s *lockScan) checkGuardedAccess(sel *ast.SelectorExpr, held heldSet, isWrite bool) {
+	selection, ok := s.p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	recv := selection.Recv()
+	if pt, ok := recv.(*types.Pointer); ok {
+		recv = pt.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return
+	}
+	mu, guarded := s.guards[guardKey{named, sel.Sel.Name}]
+	if !guarded {
+		return
+	}
+	if s.freshBase(sel.X) {
+		return // constructor: no other goroutine holds a reference
+	}
+	need, verb := lockRead, "read"
+	if isWrite {
+		need, verb = lockWrite, "written"
+	}
+	if held[mu] >= need {
+		return
+	}
+	want := mu + ".Lock() or " + mu + ".RLock()"
+	if isWrite {
+		want = mu + ".Lock()"
+	}
+	s.diags = append(s.diags, diagnose(s.p, "lockdiscipline", sel,
+		"field %s.%s (guarded by %s) %s without holding %s; lock first or document a `requires %s` contract",
+		named.Obj().Name(), sel.Sel.Name, mu, verb, want, mu))
+}
+
+// freshBase reports whether the access path is rooted at a
+// constructor-fresh local.
+func (s *lockScan) freshBase(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := s.p.Info.ObjectOf(x)
+			return obj != nil && s.fresh[obj]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// lockCall recognizes <expr>.Lock/RLock/Unlock/RUnlock() on a sync
+// mutex and returns the mutex's name (the last path component).
+func lockCall(p *Package, e ast.Expr) (mu string, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	tv, found := p.Info.Types[sel.X]
+	if !found || !isSyncMutex(tv.Type) {
+		return "", "", false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		mu = x.Name
+	case *ast.SelectorExpr:
+		mu = x.Sel.Name
+	default:
+		return "", "", false
+	}
+	return mu, sel.Sel.Name, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// applyLockOp updates the held state for one mutex operation. TryLock
+// results are not tracked (the success branch is unknown to a linear
+// scan), so they conservatively acquire nothing.
+func applyLockOp(held heldSet, mu, op string) {
+	switch op {
+	case "Lock":
+		held[mu] = lockWrite
+	case "RLock":
+		if held[mu] < lockRead {
+			held[mu] = lockRead
+		}
+	case "Unlock", "RUnlock":
+		delete(held, mu)
+	}
+}
+
+// terminates reports whether a block always transfers control away.
+func terminates(b *ast.BlockStmt) bool { return listTerminates(b.List) }
+
+// terminatesStmt reports whether st always transfers control away.
+func terminatesStmt(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return listTerminates(st.List)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		return terminates(st.Body) && st.Else != nil && terminatesStmt(st.Else)
+	}
+	return false
+}
+
+// listTerminates reports whether a statement list always transfers
+// control away.
+func listTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return terminatesStmt(list[len(list)-1])
+}

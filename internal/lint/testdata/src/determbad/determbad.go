@@ -1,0 +1,46 @@
+// Package determbad seeds determinism violations for the golden test.
+// Every `// want determinism` marker line must be reported.
+package determbad
+
+//lint:deterministic
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall reads the wall clock inside deterministic scope.
+func Wall() time.Time {
+	return time.Now() // want determinism
+}
+
+// Nap blocks on a wall-clock timer.
+func Nap() {
+	time.Sleep(time.Millisecond) // want determinism
+}
+
+// Roll draws from the global, non-replayable source.
+func Roll() int {
+	return rand.Intn(6) // want determinism
+}
+
+// Spawn forks concurrency the driver cannot schedule.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want determinism
+}
+
+// CollectUnsorted leaks map order into its result.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want determinism
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// FanOut emits values on a channel in map order.
+func FanOut(m map[string]int, ch chan int) {
+	for _, v := range m { // want determinism
+		ch <- v
+	}
+}

@@ -1,0 +1,72 @@
+// Package determclean mirrors determbad using only the sanctioned
+// idioms; the analyzer must report nothing here.
+package determclean
+
+//lint:deterministic
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SeededDraw owns a seeded source instead of the global one.
+func SeededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// CollectSorted uses the collect-then-sort idiom.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Double writes only slots indexed by the loop key: order commutes.
+func Double(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+// Drain deletes from the ranged map itself, which the spec sanctions.
+func Drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Count accumulates with exact commutative integer addition.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Any stores an idempotent constant: every visit order agrees.
+func Any(m map[string]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true
+		}
+	}
+	return found
+}
+
+// Sum carries a justified suppression for its inexact accumulation.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	//lint:sorted rounding drift across orders is acceptable for display
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

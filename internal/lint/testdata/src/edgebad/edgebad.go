@@ -1,0 +1,34 @@
+// Package edgebad seeds edge-ownership violations: writes that reach
+// another process's edge state through the process table.
+package edgebad
+
+// edge is the shared per-edge state.
+//
+//lint:edgestate
+type edge struct {
+	counter int
+	prio    int
+}
+
+// proc owns its incident edges.
+type proc struct {
+	id    int
+	edges []edge
+}
+
+// table is the process table of the whole system.
+type table struct {
+	procs []proc
+}
+
+// PokeNeighbor reaches through the process table into another
+// process's edge — the canonical cross-process write.
+func (t *table) PokeNeighbor(p, e int) {
+	t.procs[p].edges[e].counter++ // want edgeownership
+}
+
+// Steal aliases a neighbor's edge first; provenance must catch it.
+func Steal(t *table) {
+	e := &t.procs[0].edges[0]
+	e.prio = 1 // want edgeownership
+}

@@ -1,0 +1,61 @@
+// Package edgeclean exercises every sanctioned edge-write path; the
+// analyzer must report nothing here.
+package edgeclean
+
+// edge is the shared per-edge state.
+//
+//lint:edgestate
+type edge struct {
+	counter int
+	prio    int
+}
+
+// proc owns its incident edges.
+type proc struct {
+	id    int
+	edges []edge
+}
+
+// view is a single-owner adapter (a per-process window, not a table).
+type view struct {
+	p *proc
+}
+
+// system is the process table.
+type system struct {
+	procs []*proc
+}
+
+// bump is an accessor on the edge itself.
+func (e *edge) bump() { e.counter++ }
+
+// Reset clears the receiver's own edges through a loop alias.
+func (p *proc) Reset() {
+	for i := range p.edges {
+		e := &p.edges[i]
+		e.counter = 0
+		e.prio = p.id
+	}
+}
+
+// Bump mutates an incident edge handed to an owner's method.
+func (p *proc) Bump(e *edge) {
+	e.bump()
+	e.prio = p.id
+}
+
+// Clear writes through the adapter's single owner reference.
+func (v *view) Clear(i int) {
+	v.p.edges[i].counter = 0
+}
+
+// NewSystem performs construction writes on fresh values.
+func NewSystem(n int) *system {
+	s := &system{}
+	for i := 0; i < n; i++ {
+		p := &proc{id: i, edges: make([]edge, 2)}
+		p.edges[0].prio = i
+		s.procs = append(s.procs, p)
+	}
+	return s
+}

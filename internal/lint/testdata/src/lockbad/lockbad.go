@@ -1,0 +1,31 @@
+// Package lockbad seeds lock-discipline violations on a `// guarded by`
+// annotated field.
+package lockbad
+
+import "sync"
+
+// counter is a guarded pair.
+type counter struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+// Racy reads n without any lock.
+func (c *counter) Racy() int {
+	return c.n // want lockdiscipline
+}
+
+// UnderRead writes while holding only the read lock.
+func (c *counter) UnderRead() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n++ // want lockdiscipline
+}
+
+// AfterUnlock touches n after releasing the lock.
+func (c *counter) AfterUnlock() int {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	return c.n // want lockdiscipline
+}

@@ -1,0 +1,62 @@
+// Package lockclean exercises the sanctioned locking patterns; the
+// analyzer must report nothing here.
+package lockclean
+
+import "sync"
+
+// counter is a guarded pair with a lifecycle flag.
+type counter struct {
+	mu   sync.RWMutex
+	n    int  // guarded by mu
+	done bool // guarded by mu
+}
+
+// newCounter initializes guarded fields before the value is shared.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// Add writes under the write lock.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// Get reads under the read lock.
+func (c *counter) Get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Finish uses the unlock-inside-terminating-branch pattern: the lock
+// stays held on the fall-through path.
+func (c *counter) Finish() {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return
+	}
+	c.done = true
+	c.n = 0
+	c.mu.Unlock()
+}
+
+// addLocked documents its contract instead of locking.
+//
+// requires mu
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+// AddTwice drives the contract helper under the lock.
+func (c *counter) AddTwice(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(d)
+	c.addLocked(d)
+	_ = newCounter()
+}

@@ -63,10 +63,10 @@ func (e HistoryEvent) String() string {
 // counter.
 type History struct {
 	mu     sync.Mutex
-	seq    int64
-	nextID int64
-	ids    map[*drinkers.Session]int64
-	events []HistoryEvent
+	seq    int64                       // guarded by mu
+	nextID int64                       // guarded by mu
+	ids    map[*drinkers.Session]int64 // guarded by mu
+	events []HistoryEvent              // guarded by mu
 }
 
 // NewHistory returns an empty history.

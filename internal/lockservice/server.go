@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,10 +100,10 @@ type Server struct {
 	wg   sync.WaitGroup
 
 	mu       sync.Mutex
-	leases   map[string]*lease
-	draining bool
-	started  bool
-	startAt  time.Time
+	leases   map[string]*lease // guarded by mu
+	draining bool              // guarded by mu
+	started  bool              // guarded by mu
+	startAt  time.Time         // guarded by mu
 
 	idCtr atomic.Uint64
 }
@@ -234,6 +235,9 @@ func (s *Server) janitor() {
 			}
 		}
 		s.mu.Unlock()
+		// Map order must not reach the arbiter: release in lease-id order
+		// so expiry cascades replay identically run to run.
+		sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id })
 		for _, l := range expired {
 			s.arb.Release(l.sess)
 			s.metrics.Expirations.Add(1)

@@ -10,6 +10,8 @@
 // the interleaving, the in-flight frame pool, and a virtual clock can
 // therefore replay any schedule byte-for-byte while running the very same
 // protocol code the production goroutine runtime executes.
+//
+//lint:deterministic
 package msgpass
 
 import (

@@ -40,6 +40,8 @@ type forkMsg struct {
 }
 
 // forkEdge is one philosopher's view of an incident edge.
+//
+//lint:edgestate
 type forkEdge struct {
 	idx  int
 	peer graph.ProcID
@@ -84,9 +86,9 @@ type ForkNetwork struct {
 	sendFrame func(to graph.ProcID, m forkMsg) bool
 
 	mu        sync.Mutex
-	eats      []int64
-	sessions  []EatSession
-	openSince []time.Time
+	eats      []int64      // guarded by mu
+	sessions  []EatSession // guarded by mu
+	openSince []time.Time  // guarded by mu
 
 	sent atomic.Int64
 }

@@ -59,10 +59,10 @@ type Network struct {
 	needsFlag []atomic.Bool // dynamic needs():p, refreshed by nodes per event
 
 	mu        sync.Mutex
-	table     []Snapshot
-	eats      []int64
-	sessions  []EatSession
-	openSince []time.Time
+	table     []Snapshot   // guarded by mu
+	eats      []int64      // guarded by mu
+	sessions  []EatSession // guarded by mu
+	openSince []time.Time  // guarded by mu
 
 	sent    atomic.Int64
 	dropped atomic.Int64
@@ -158,6 +158,8 @@ func NewNetwork(cfg Config) *Network {
 // InitArbitrary corrupts every node's variables, caches, and counters
 // with domain-respecting garbage before Start — the message-passing
 // equivalent of a transient fault hitting the whole system.
+//
+//lint:allow edgeownership fault injector: deliberately violates the write model, single-threaded before Start
 func (nw *Network) InitArbitrary(seed int64) {
 	if nw.started {
 		panic("msgpass: InitArbitrary must precede Start")

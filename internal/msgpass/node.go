@@ -9,6 +9,8 @@ import (
 )
 
 // edgeState is a node's view of one incident edge.
+//
+//lint:edgestate
 type edgeState struct {
 	idx  int          // edge index in the graph
 	peer graph.ProcID // the other endpoint

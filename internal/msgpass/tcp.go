@@ -56,14 +56,14 @@ type tcpTransport struct {
 	listeners []net.Listener
 
 	mu    sync.Mutex
-	conns map[int]map[graph.ProcID]*tcpConn // edge index -> sender -> conn
-	done  bool
+	conns map[int]map[graph.ProcID]*tcpConn // edge index -> sender -> conn; guarded by mu
+	done  bool                              // guarded by mu
 }
 
 // tcpConn is one direction of an edge's socket with its encoder.
 type tcpConn struct {
 	c   net.Conn
-	enc *gob.Encoder
+	enc *gob.Encoder // guarded by mu
 	mu  sync.Mutex
 }
 

@@ -12,10 +12,10 @@ import (
 // use NewRecorder.
 type Recorder struct {
 	mu      sync.Mutex
-	cap     int
-	samples []float64
-	seen    int64
-	rng     uint64 // splitmix64 state for the reservoir decisions
+	cap     int       // guarded by mu
+	samples []float64 // guarded by mu
+	seen    int64     // guarded by mu
+	rng     uint64    // splitmix64 state for the reservoir decisions; guarded by mu
 }
 
 // NewRecorder returns a recorder keeping at most capacity samples
@@ -130,10 +130,10 @@ func siftDownFloats(xs []float64, root, end int) {
 // NewLatencyHistogram.
 type LatencyHistogram struct {
 	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds, exclusive of +Inf
-	counts []int64   // len(bounds) + 1; last is the +Inf bucket
-	sum    float64
-	count  int64
+	bounds []float64 // ascending upper bounds, exclusive of +Inf; guarded by mu
+	counts []int64   // len(bounds) + 1; last is the +Inf bucket; guarded by mu
+	sum    float64   // guarded by mu
+	count  int64     // guarded by mu
 }
 
 // DefaultLatencyBounds returns exponential seconds-scale bounds
