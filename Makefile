@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race short cover bench examples experiments figure2 modelcheck detsim fuzz dinerd loadgen clean
+.PHONY: all build vet lint test race short cover bench examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
 
 all: build vet lint test
 
@@ -58,13 +58,14 @@ detsim:
 	$(GO) test ./internal/detsim/ ./cmd/detsim/
 	$(GO) run ./cmd/detsim -topology ring:6 -seed 42 -crash 2
 
-# Short-budget fuzz smoke over the three detsim fuzz targets. Native Go
-# fuzzing accepts one -fuzz target per package invocation, hence three
+# Short-budget fuzz smoke over the four detsim fuzz targets. Native Go
+# fuzzing accepts one -fuzz target per package invocation, hence four
 # runs; -run='^$' skips the regular tests each time.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzScheduleSafety -fuzztime=10s ./internal/detsim/
 	$(GO) test -run='^$$' -fuzz=FuzzMaliciousWindow -fuzztime=10s ./internal/detsim/
 	$(GO) test -run='^$$' -fuzz=FuzzLockHistory -fuzztime=10s ./internal/detsim/
+	$(GO) test -run='^$$' -fuzz=FuzzChaosCampaign -fuzztime=10s ./internal/detsim/
 
 # Build the lock-service daemon (serve + loadgen subcommands) into bin/.
 dinerd:
@@ -73,6 +74,13 @@ dinerd:
 # Drive a locally running dinerd with the built-in load generator.
 loadgen: dinerd
 	./bin/dinerd loadgen
+
+# Chaos smoke: one seeded live campaign against an in-process dinerd
+# (kills, garbage restarts, transport faults, exit 1 on any violation)
+# plus a deterministic campaign sweep (see docs/CHAOS.md).
+chaos-smoke:
+	$(GO) run -race ./cmd/dinerd chaos -duration 6s -seed 1 -kills 2
+	$(GO) run ./cmd/detsim -mode chaos -topology grid:3x3 -seeds 0..20 -crash 2 -rounds 400
 
 clean:
 	$(GO) clean ./...

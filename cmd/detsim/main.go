@@ -9,6 +9,7 @@
 //	detsim -topology grid:3x3 -seeds 0..999 -crash 1
 //	detsim -topology ring:8 -seed 7 -mode service
 //	detsim -topology ring:5 -seed 1 -mode fork
+//	detsim -topology grid:3x3 -seeds 0..99 -crash 2 -mode chaos
 //
 // The process exits 1 if any run violates a checked property (eating
 // exclusion, failure locality 2, lock-history linearizability), which
@@ -22,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mcdp/internal/chaos"
 	"mcdp/internal/detsim"
 	"mcdp/internal/graph"
 )
@@ -39,7 +41,7 @@ func run(args []string, out *os.File) int {
 		seeds    = fs.String("seeds", "", "seed range N..M (inclusive) for a sweep; overrides -seed")
 		rounds   = fs.Int("rounds", 200, "fair rounds (or adversarial steps)")
 		crash    = fs.Int("crash", 0, "number of seed-drawn crash victims (malicious windows up to 6 steps)")
-		mode     = fs.String("mode", "fair", "fair | adversarial | service | fork")
+		mode     = fs.String("mode", "fair", "fair | adversarial | service | fork | chaos")
 		trace    = fs.Bool("trace", false, "print the full event trace (single-seed runs)")
 	)
 	fs.Parse(args)
@@ -125,6 +127,15 @@ func runSeed(g *graph.Graph, seed int64, rounds, crash int, mode string, trace b
 		printTrace(trace, res.Trace)
 		return len(res.SafetyViolations) > 0, fmt.Sprintf("eats=%v quiesced=%d hash=%016x safety=%v",
 			res.Eats, res.QuiescedAt, res.TraceHash, res.SafetyViolations)
+	case "chaos":
+		// Seed-drawn chaos campaign: kills with restarts, a partition
+		// window, and default transport fault rates (-crash = victims).
+		res := detsim.SweepCampaign(g, seed, rounds, crash, chaos.DefaultFaults(), trace)
+		printTrace(trace, res.Trace)
+		return res.Failed(), fmt.Sprintf("eats=%v hash=%016x recoveries=%d faults=%d/%d/%d/%d safety=%v restarts=%v",
+			res.Eats, res.TraceHash, len(res.Recoveries),
+			res.FaultsDropped, res.FaultsDuplicated, res.FaultsCorrupted, res.FaultsDelayed,
+			res.SafetyViolations, res.RestartViolations)
 	default:
 		fmt.Fprintf(os.Stderr, "detsim: unknown mode %q\n", mode)
 		os.Exit(2)

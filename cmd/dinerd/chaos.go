@@ -1,0 +1,360 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcdp/internal/chaos"
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/lockservice"
+	"mcdp/internal/msgpass"
+	"mcdp/internal/stats"
+)
+
+// recovery tracks one crashed node from fault to first post-revival
+// meal: revive is how long the node stayed down, converge how long the
+// revived incarnation took to complete a meal (-1 if it never did).
+type recovery struct {
+	node     graph.ProcID
+	kind     chaos.ActionKind
+	revive   time.Duration
+	converge time.Duration
+}
+
+// chaosCmd runs a seeded chaos campaign against a live, in-process
+// dinerd: client load over the real HTTP API while the campaign kills
+// nodes, revives them (clean or with garbage state), opens partition
+// windows, and injects transport faults on every frame. A sampled
+// watchdog watches for adjacent eaters during the run; the verdict
+// comes from the authoritative post-run checks (session overlaps, lock
+// history, every victim eating again). Exit status 1 on any violation,
+// so campaigns are scriptable; the same -seed replays the same plan.
+func chaosCmd(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	var (
+		topology = fs.String("topology", "grid", "grid|ring|path|torus|complete")
+		rows     = fs.Int("rows", 3, "grid/torus rows")
+		cols     = fs.Int("cols", 3, "grid/torus cols")
+		n        = fs.Int("n", 8, "process count (ring/path/complete)")
+		seed     = fs.Int64("seed", 1, "campaign seed (same seed, same plan)")
+		duration = fs.Duration("duration", 15*time.Second, "campaign duration")
+		kills    = fs.Int("kills", 2, "crash victims (each gets a restart)")
+		drop     = fs.Float64("drop", 0.10, "per-frame drop probability")
+		dup      = fs.Float64("dup", 0.05, "per-frame duplication probability")
+		corrupt  = fs.Float64("corrupt", 0.05, "per-frame payload-corruption probability")
+		delay    = fs.Float64("delay", 0.10, "per-frame channel-stall probability")
+		maxDelay = fs.Int("max-delay", 3, "maximum stall length in ticks")
+		reorder  = fs.Float64("reorder", 0.10, "per-frame reorder (1-tick stall) probability")
+		garbage  = fs.Bool("garbage", true, "revive victims with arbitrary state instead of clean")
+		supmode  = fs.Bool("supervise", false, "let the self-healing supervisor revive victims instead of the script")
+		clients  = fs.Int("clients", 4, "concurrent load clients")
+		tick     = fs.Duration("tick", time.Millisecond, "substrate gossip tick (campaign time unit)")
+		hold     = fs.Duration("hold", 3*time.Millisecond, "lease hold time per grant")
+		timeout  = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
+	)
+	fs.Parse(args)
+
+	g, err := buildTopology(*topology, *n, *rows, *cols)
+	if err != nil {
+		fail(err)
+	}
+	faults := chaos.Faults{
+		Drop: *drop, Duplicate: *dup, Corrupt: *corrupt,
+		Delay: *delay, MaxDelayTicks: *maxDelay, Reorder: *reorder,
+	}
+	horizon := int(*duration / *tick)
+	camp := chaos.Random(*seed, g, horizon, *kills, faults)
+
+	hist := lockservice.NewHistory()
+	cfg := lockservice.Config{
+		Graph:     g,
+		Seed:      *seed,
+		TickEvery: *tick,
+		Faults:    camp.Injector(),
+		History:   hist,
+	}
+	if *supmode {
+		cfg.Supervise = &lockservice.SupervisorConfig{Garbage: *garbage}
+	}
+	srv := lockservice.NewServer(cfg)
+	srv.Start()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	baseURL := "http://" + ln.Addr().String()
+
+	fmt.Printf("chaos: seed=%d %s (%d workers, %d locks) for %v on %s\n",
+		*seed, g.Name(), g.N(), g.EdgeCount(), *duration, baseURL)
+	fmt.Printf("chaos: faults drop=%.2f dup=%.2f corrupt=%.2f delay=%.2f(max %d ticks) reorder=%.2f\n",
+		faults.Drop, faults.Duplicate, faults.Corrupt, faults.Delay, faults.MaxDelayTicks, faults.Reorder)
+	for _, a := range camp.Actions {
+		fmt.Printf("chaos:   t+%-8v %s\n", time.Duration(a.At)*(*tick), a)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	var (
+		wg       sync.WaitGroup
+		attempts atomic.Int64
+		grants   atomic.Int64
+		rejects  atomic.Int64 // timeouts + backpressure + unserviceable: expected under chaos
+		fenced   atomic.Int64 // releases that hit a fenced lease (404): expected after restarts
+		failures atomic.Int64
+	)
+	rep, err := lockservice.NewClient(baseURL).Status(ctx)
+	if err != nil {
+		fail(fmt.Errorf("cannot reach own server: %w", err))
+	}
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			c := lockservice.NewClient(baseURL)
+			for ctx.Err() == nil {
+				res := rep.Edges[rng.Intn(len(rep.Edges))]
+				attempts.Add(1)
+				grant, err := c.Acquire(ctx, []string{res}, *timeout, 0)
+				if err != nil {
+					if isExpectedChaosErr(err) {
+						rejects.Add(1)
+					} else if ctx.Err() == nil {
+						failures.Add(1)
+					}
+					continue
+				}
+				grants.Add(1)
+				time.Sleep(*hold)
+				if err := c.Release(context.WithoutCancel(ctx), grant.SessionID); err != nil {
+					if strings.Contains(err.Error(), "HTTP 404") {
+						fenced.Add(1) // lease fenced by a restart mid-hold
+					} else {
+						failures.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Sampled watchdog: advisory only — per-node snapshots are not an
+	// atomic cut, so a sampled "overlap" can be a tearing artifact. The
+	// authoritative eating-exclusion verdict is the post-run session
+	// check below.
+	var sampledOverlaps atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		nw := srv.Network()
+		for ctx.Err() == nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			table := nw.Table()
+			for _, e := range g.Edges() {
+				a, b := table[e.A], table[e.B]
+				if a.State == core.Eating && b.State == core.Eating && !a.Dead && !b.Dead {
+					sampledOverlaps.Add(1)
+				}
+			}
+		}
+	}()
+
+	// Campaign executor: replay the plan on the wall clock, one tick =
+	// -tick. Crashes and restarts go through the HTTP admin API (the
+	// surface an operator would use); partitions poke the substrate
+	// directly — there is deliberately no HTTP endpoint for them.
+	recoveriesPtr := runCampaign(ctx, camp, srv, baseURL, *tick, *garbage, *supmode, &wg)
+
+	<-ctx.Done()
+	cancel()
+	wg.Wait()
+	recoveries := *recoveriesPtr
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	srv.Stop(shutdownCtx)
+
+	// Authoritative verdicts, computed after the network has stopped.
+	overlaps := srv.Network().OverlappingNeighborSessions()
+	histViolations := hist.Check(g)
+	var unrecovered []string
+	for _, r := range recoveries {
+		if r.converge < 0 {
+			unrecovered = append(unrecovered, fmt.Sprintf("node %d (%s) never ate after revival", r.node, r.kind))
+		}
+	}
+
+	m := srv.Metrics()
+	d, du, co, de := srv.Network().FaultsInjected()
+	summary := stats.NewTable("chaos campaign summary", "metric", "value")
+	summary.AddRow("attempts", attempts.Load())
+	summary.AddRow("grants", grants.Load())
+	summary.AddRow("availability", fmt.Sprintf("%.1f%%", 100*float64(grants.Load())/float64(max64(attempts.Load(), 1))))
+	summary.AddRow("rejects (expected: 408/429/503)", rejects.Load())
+	summary.AddRow("fenced releases (404 after restart)", fenced.Load())
+	summary.AddRow("unexpected failures", failures.Load())
+	summary.AddRow("node restarts", m.NodeRestarts.Load())
+	summary.AddRow("leases fenced", m.LeasesFenced.Load())
+	summary.AddRow("faults drop/dup/corrupt/delay", fmt.Sprintf("%d/%d/%d/%d", d, du, co, de))
+	summary.AddRow("frames lost (faults+partitions)", srv.Network().MessagesLost())
+	summary.AddRow("sampled overlaps (advisory)", sampledOverlaps.Load())
+	summary.Render(os.Stdout)
+
+	if len(recoveries) > 0 {
+		rec := stats.NewTable("per-victim recovery", "node", "fault", "down", "converge")
+		for _, r := range recoveries {
+			conv := "never"
+			if r.converge >= 0 {
+				conv = r.converge.Round(time.Millisecond).String()
+			}
+			rec.AddRow(int(r.node), r.kind.String(), r.revive.Round(time.Millisecond).String(), conv)
+		}
+		rec.Render(os.Stdout)
+	}
+
+	bad := false
+	for _, v := range overlaps {
+		bad = true
+		fmt.Printf("chaos: EATING-EXCLUSION VIOLATION: %s\n", v)
+	}
+	for _, v := range histViolations {
+		bad = true
+		fmt.Printf("chaos: LOCK-HISTORY VIOLATION: %s\n", v)
+	}
+	for _, v := range unrecovered {
+		bad = true
+		fmt.Printf("chaos: LIVENESS VIOLATION: %s\n", v)
+	}
+	if failures.Load() > 0 {
+		bad = true
+		fmt.Printf("chaos: %d unexpected client failures\n", failures.Load())
+	}
+	if bad {
+		fmt.Printf("chaos: FAIL (replay: dinerd chaos -seed %d)\n", *seed)
+		os.Exit(1)
+	}
+	fmt.Println("chaos: ok — exclusion held, history linearizable, every victim recovered")
+}
+
+// runCampaign spawns the executor and per-victim recovery watchers;
+// the returned slice is populated by the watchers and must be read
+// only after wg.Wait().
+func runCampaign(ctx context.Context, camp chaos.Campaign, srv *lockservice.Server,
+	baseURL string, tick time.Duration, garbage, supervised bool, wg *sync.WaitGroup) *[]recovery {
+	recoveries := &[]recovery{}
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := lockservice.NewClient(baseURL)
+		nw := srv.Network()
+		start := time.Now()
+		for _, a := range camp.Actions {
+			at := start.Add(time.Duration(a.At) * tick)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Until(at)):
+			}
+			switch a.Kind {
+			case chaos.ActKill, chaos.ActMaliciousCrash:
+				steps := 0
+				if a.Kind == chaos.ActMaliciousCrash {
+					steps = a.Steps
+				}
+				baseline := nw.Eats()[a.Node]
+				if err := c.Crash(ctx, int(a.Node), steps); err != nil {
+					continue // drained mid-campaign
+				}
+				watchRecovery(ctx, nw, a, baseline, &mu, recoveries, wg)
+			case chaos.ActRestartClean, chaos.ActRestartGarbage:
+				if supervised {
+					continue // the supervisor owns revival
+				}
+				_, _ = c.Restart(ctx, int(a.Node), a.Kind == chaos.ActRestartGarbage || garbage)
+			case chaos.ActPartition:
+				nw.SetPartitioned(a.Node, true)
+			case chaos.ActHeal:
+				nw.SetPartitioned(a.Node, false)
+			}
+		}
+	}()
+	return recoveries
+}
+
+// watchRecovery polls one crashed node: down time ends when a restart
+// revives it (Dead clears), convergence when the revived incarnation
+// finishes a meal. converge stays -1 if the campaign ends first.
+func watchRecovery(ctx context.Context, nw *msgpass.Network, a chaos.Action, baseline int64,
+	mu *sync.Mutex, out *[]recovery, wg *sync.WaitGroup) {
+	crashedAt := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := recovery{node: a.Node, kind: a.Kind, revive: -1, converge: -1}
+		defer func() {
+			mu.Lock()
+			*out = append(*out, r)
+			mu.Unlock()
+		}()
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for r.revive < 0 { // phase 1: still down (or mid-malicious-window)
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			snap := nw.Snapshot(a.Node)
+			if !snap.Dead && snap.Incarnation > 0 {
+				r.revive = time.Since(crashedAt)
+			}
+		}
+		revivedAt := time.Now()
+		for { // phase 2: revived, waiting for a complete meal
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			if nw.Eats()[a.Node] > baseline {
+				r.converge = time.Since(revivedAt)
+				return
+			}
+		}
+	}()
+}
+
+// isExpectedChaosErr reports rejections the campaign treats as load
+// shedding rather than bugs: waits that timed out (408), backpressure
+// (429), and windows where every candidate home was dead (503).
+func isExpectedChaosErr(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "HTTP 408") || strings.Contains(s, "HTTP 429") ||
+		strings.Contains(s, "HTTP 503") || strings.Contains(s, "context deadline exceeded") ||
+		strings.Contains(s, "context canceled")
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -122,9 +122,62 @@ func loadgen(args []string) {
 	lat.AddRow(ms(0.50), ms(0.90), ms(0.95), ms(0.99), ms(1.0))
 	lat.Render(os.Stdout)
 
+	printSubstrateCounters(ctx, probe)
+
 	if failures.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// printSubstrateCounters scrapes the server's /metrics and reports the
+// message-substrate and chaos counters, so a load run shows what the
+// transport went through (faults, restarts, reconnects), not just what
+// clients observed.
+func printSubstrateCounters(ctx context.Context, c *lockservice.Client) {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: cannot scrape /metrics: %v\n", err)
+		return
+	}
+	vals := parseCounters(text)
+	rows := []struct{ label, series string }{
+		{"frames sent", "dinerd_messages_sent_total"},
+		{"frames dropped (full inboxes)", "dinerd_messages_dropped_total"},
+		{"frames lost (loss/partitions)", "dinerd_messages_lost_total"},
+		{"faults: dropped", "dinerd_faults_dropped_total"},
+		{"faults: duplicated", "dinerd_faults_duplicated_total"},
+		{"faults: corrupted", "dinerd_faults_corrupted_total"},
+		{"faults: channel stalls", "dinerd_faults_delayed_total"},
+		{"node restarts", "dinerd_node_restarts_total"},
+		{"leases fenced", "dinerd_leases_fenced_total"},
+		{"transport reconnects", "dinerd_transport_reconnects_total"},
+	}
+	tbl := stats.NewTable("substrate counters (server-side)", "counter", "value")
+	for _, r := range rows {
+		if v, ok := vals[r.series]; ok {
+			tbl.AddRow(r.label, v)
+		}
+	}
+	tbl.Render(os.Stdout)
+}
+
+// parseCounters extracts single-value series from Prometheus text
+// exposition (comment and labeled lines are skipped).
+func parseCounters(text string) map[string]int64 {
+	out := map[string]int64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+			out[name] = v
+		}
+	}
+	return out
 }
 
 // pickResources draws one lock, or — with probability pair — two locks

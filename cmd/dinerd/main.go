@@ -5,6 +5,7 @@
 //
 //	dinerd serve   [-addr :7467] [-topology grid] [-rows 3] [-cols 4] ...
 //	dinerd loadgen [-addr http://127.0.0.1:7467] [-clients 8] [-duration 10s] ...
+//	dinerd chaos   [-seed 1] [-duration 15s] [-kills 2] [-supervise] ...
 //
 // serve starts the HTTP/JSON API (see docs/DINERD.md): POST
 // /v1/acquire, POST /v1/release, GET /v1/status, GET /metrics, and
@@ -36,13 +37,15 @@ func main() {
 		serve(os.Args[2:])
 	case "loadgen":
 		loadgen(os.Args[2:])
+	case "chaos":
+		chaosCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: dinerd serve|loadgen [flags]\n")
+	fmt.Fprintf(os.Stderr, "usage: dinerd serve|loadgen|chaos [flags]\n")
 	os.Exit(2)
 }
 

@@ -1,0 +1,183 @@
+// Campaigns: scripted sequences of node-level faults with a transport
+// fault profile riding alongside. A Campaign is plain data — detsim
+// executes one deterministically under the virtual clock, and the
+// dinerd chaos runner executes the same shape against a live service.
+//
+//lint:deterministic
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"mcdp/internal/graph"
+)
+
+// ActionKind is one node-level fault or recovery.
+type ActionKind uint8
+
+const (
+	// ActKill halts the node benignly (fail-stop).
+	ActKill ActionKind = iota + 1
+	// ActMaliciousCrash gives the node a window of Steps garbage events
+	// before it halts — the paper's malicious crash.
+	ActMaliciousCrash
+	// ActRestartClean revives a halted node in the legitimate initial
+	// state, as a new incarnation.
+	ActRestartClean
+	// ActRestartGarbage revives a halted node with arbitrary state — the
+	// adversarial reboot a stabilizing protocol must absorb.
+	ActRestartGarbage
+	// ActPartition isolates the node: frames to and from it are lost.
+	ActPartition
+	// ActHeal ends the node's partition.
+	ActHeal
+)
+
+// String names the kind for traces and reports.
+func (k ActionKind) String() string {
+	switch k {
+	case ActKill:
+		return "kill"
+	case ActMaliciousCrash:
+		return "malcrash"
+	case ActRestartClean:
+		return "restart-clean"
+	case ActRestartGarbage:
+		return "restart-garbage"
+	case ActPartition:
+		return "partition"
+	case ActHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", uint8(k))
+	}
+}
+
+// Action is one scheduled fault.
+type Action struct {
+	// At is when the action fires: a fair-mode round index under detsim,
+	// or a tick index for the live campaign runner.
+	At int
+	// Kind is what happens.
+	Kind ActionKind
+	// Node is the victim.
+	Node graph.ProcID
+	// Steps is the malicious window length (ActMaliciousCrash only).
+	Steps int
+}
+
+// String renders one action for traces.
+func (a Action) String() string {
+	if a.Kind == ActMaliciousCrash {
+		return fmt.Sprintf("t%d %s %d steps=%d", a.At, a.Kind, a.Node, a.Steps)
+	}
+	return fmt.Sprintf("t%d %s %d", a.At, a.Kind, a.Node)
+}
+
+// Campaign is one complete fault plan: node-level actions on a shared
+// timeline plus a transport fault profile active for the whole run.
+type Campaign struct {
+	// Seed names the campaign; Random derives everything from it, and
+	// the transport injector reuses it.
+	Seed int64
+	// Faults is the transport fault profile.
+	Faults Faults
+	// Actions is the node-level plan, sorted by At.
+	Actions []Action
+}
+
+// Injector builds the campaign's transport fault injector (nil when
+// the profile is zero).
+func (c Campaign) Injector() *Injector { return NewInjector(c.Seed, c.Faults) }
+
+// String renders the plan one action per line.
+func (c Campaign) String() string {
+	s := fmt.Sprintf("campaign seed=%d faults=%+v", c.Seed, c.Faults)
+	for _, a := range c.Actions {
+		s += "\n  " + a.String()
+	}
+	return s
+}
+
+// Random derives a complete campaign from a seed: kills distinct
+// victims somewhere in the first half of the horizon (each a benign
+// kill or a malicious crash), restarts every victim after a gap (clean
+// or with garbage state), and with probability one half adds one
+// partition window on a non-victim. The same (seed, graph, horizon,
+// kills, faults) always yields the identical plan.
+func Random(seed int64, g *graph.Graph, horizon, kills int, f Faults) Campaign {
+	if horizon < 20 {
+		horizon = 20
+	}
+	n := g.N()
+	if kills > n {
+		kills = n
+	}
+	if kills < 0 {
+		kills = 0
+	}
+	s := uint64(seed) ^ 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		s = Splitmix64(s)
+		return s
+	}
+	draw := func(lo, hi int) int { // uniform in [lo, hi)
+		if hi <= lo {
+			return lo
+		}
+		return lo + int(next()%uint64(hi-lo))
+	}
+
+	// Victims without replacement: a seeded Fisher-Yates over all nodes.
+	perm := make([]graph.ProcID, n)
+	for i := range perm {
+		perm[i] = graph.ProcID(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+
+	var actions []Action
+	for _, v := range perm[:kills] {
+		at := draw(horizon/10, horizon/2)
+		if next()&1 == 0 {
+			actions = append(actions, Action{At: at, Kind: ActMaliciousCrash, Node: v, Steps: draw(8, 28)})
+		} else {
+			actions = append(actions, Action{At: at, Kind: ActKill, Node: v})
+		}
+		restartAt := at + draw(horizon/10, horizon/4)
+		kind := ActRestartClean
+		if next()&1 == 0 {
+			kind = ActRestartGarbage
+		}
+		actions = append(actions, Action{At: restartAt, Kind: kind, Node: v})
+	}
+
+	// One partition window on a non-victim, half the time.
+	if kills < n && next()&1 == 0 {
+		p := perm[kills+int(next()%uint64(n-kills))]
+		from := draw(horizon/10, horizon/2)
+		until := from + draw(horizon/20, horizon/5)
+		if until >= horizon {
+			until = horizon - 1
+		}
+		if until > from {
+			actions = append(actions,
+				Action{At: from, Kind: ActPartition, Node: p},
+				Action{At: until, Kind: ActHeal, Node: p})
+		}
+	}
+
+	sort.Slice(actions, func(i, j int) bool {
+		if actions[i].At != actions[j].At {
+			return actions[i].At < actions[j].At
+		}
+		if actions[i].Node != actions[j].Node {
+			return actions[i].Node < actions[j].Node
+		}
+		return actions[i].Kind < actions[j].Kind
+	})
+	return Campaign{Seed: seed, Faults: f, Actions: actions}
+}

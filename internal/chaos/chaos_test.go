@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"testing"
+
+	"mcdp/internal/graph"
+)
+
+// TestInjectorDeterminism: two injectors with the same seed and profile
+// produce the identical decision stream.
+func TestInjectorDeterminism(t *testing.T) {
+	f := DefaultFaults()
+	a := NewInjector(42, f)
+	b := NewInjector(42, f)
+	for i := 0; i < 10_000; i++ {
+		da := a.Decide(0, 1, i%7)
+		db := b.Decide(0, 1, i%7)
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+	if a.Decisions() != 10_000 {
+		t.Fatalf("decision count %d, want 10000", a.Decisions())
+	}
+}
+
+// TestInjectorRates: observed fault frequencies track the configured
+// probabilities within loose tolerance.
+func TestInjectorRates(t *testing.T) {
+	f := Faults{Drop: 0.10, Duplicate: 0.05, Corrupt: 0.05, Delay: 0.10, MaxDelayTicks: 3, Reorder: 0.10}
+	in := NewInjector(7, f)
+	const n = 200_000
+	var drops, dups, corrupts, delays int
+	for i := 0; i < n; i++ {
+		d := in.Decide(0, 1, 0)
+		if d.Drop {
+			drops++
+		}
+		if d.Duplicates > 0 {
+			dups++
+		}
+		if d.CorruptBits != 0 {
+			corrupts++
+		}
+		if d.DelayTicks > 0 {
+			delays++
+			if d.DelayTicks > f.MaxDelayTicks {
+				t.Fatalf("delay %d exceeds max %d", d.DelayTicks, f.MaxDelayTicks)
+			}
+		}
+	}
+	check := func(name string, got int, want float64) {
+		t.Helper()
+		rate := float64(got) / n
+		if rate < want*0.8 || rate > want*1.2 {
+			t.Fatalf("%s rate %.4f, want about %.2f", name, rate, want)
+		}
+	}
+	check("drop", drops, 0.10)
+	// Duplicate/corrupt/delay coins only flip on non-dropped frames.
+	check("duplicate", dups, 0.05*0.9)
+	check("corrupt", corrupts, 0.05*0.9)
+	// Delay fires on its own coin plus reorder's (1 tick) on the rest.
+	check("delay", delays, (0.10+0.90*0.10)*0.9)
+}
+
+// TestZeroProfile: the zero profile yields a nil injector, and zero
+// rates never fire.
+func TestZeroProfile(t *testing.T) {
+	if NewInjector(1, Faults{}) != nil {
+		t.Fatal("zero profile must yield nil injector")
+	}
+	if (Faults{}).Zero() != true || DefaultFaults().Zero() {
+		t.Fatal("Zero() misclassifies profiles")
+	}
+}
+
+// TestRandomCampaignShape: plans are seed-deterministic, sorted by At,
+// restart every victim after its crash, and stay within the horizon.
+func TestRandomCampaignShape(t *testing.T) {
+	g := graph.Grid(3, 3)
+	const horizon = 400
+	for seed := int64(0); seed < 50; seed++ {
+		c := Random(seed, g, horizon, 2, DefaultFaults())
+		c2 := Random(seed, g, horizon, 2, DefaultFaults())
+		if c.String() != c2.String() {
+			t.Fatalf("seed %d: plan not deterministic", seed)
+		}
+		crashAt := make(map[graph.ProcID]int)
+		restarted := make(map[graph.ProcID]bool)
+		for i, a := range c.Actions {
+			if i > 0 && c.Actions[i-1].At > a.At {
+				t.Fatalf("seed %d: actions unsorted: %s", seed, c.String())
+			}
+			if a.At < 0 || a.At >= horizon {
+				t.Fatalf("seed %d: action outside horizon: %s", seed, a)
+			}
+			switch a.Kind {
+			case ActKill, ActMaliciousCrash:
+				crashAt[a.Node] = a.At
+				if a.Kind == ActMaliciousCrash && a.Steps <= 0 {
+					t.Fatalf("seed %d: malicious crash without window: %s", seed, a)
+				}
+			case ActRestartClean, ActRestartGarbage:
+				at, ok := crashAt[a.Node]
+				if !ok || a.At <= at {
+					t.Fatalf("seed %d: restart before crash: %s", seed, c.String())
+				}
+				restarted[a.Node] = true
+			}
+		}
+		if len(crashAt) != 2 || len(restarted) != 2 {
+			t.Fatalf("seed %d: want 2 distinct victims all restarted, got %d/%d",
+				seed, len(crashAt), len(restarted))
+		}
+	}
+}
+
+// TestRandomVictimsDistinct: kill counts up to n yield distinct victims.
+func TestRandomVictimsDistinct(t *testing.T) {
+	g := graph.Ring(5)
+	c := Random(3, g, 200, 5, Faults{})
+	victims := make(map[graph.ProcID]bool)
+	for _, a := range c.Actions {
+		if a.Kind == ActKill || a.Kind == ActMaliciousCrash {
+			if victims[a.Node] {
+				t.Fatalf("victim %d drawn twice", a.Node)
+			}
+			victims[a.Node] = true
+		}
+	}
+	if len(victims) != 5 {
+		t.Fatalf("want 5 victims, got %d", len(victims))
+	}
+}

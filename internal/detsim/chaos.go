@@ -1,0 +1,82 @@
+// Chaos campaigns under the deterministic scheduler: an internal/chaos
+// plan (kills, malicious crashes, restarts, partitions, plus a seeded
+// transport fault profile) translated onto one fair-mode run. The
+// campaign seed drives the plan, the schedule, and every per-frame
+// fault decision, so the acceptance bar's replay property holds by
+// construction: running the same campaign twice yields byte-identical
+// event traces, checked by TraceHash.
+package detsim
+
+import (
+	"sort"
+
+	"mcdp/internal/chaos"
+	"mcdp/internal/graph"
+)
+
+// CampaignConfig translates a chaos campaign into a run Config.
+// Partition actions pair with the next heal on the same node (an
+// unhealed partition runs to the end). The returned config has a fresh
+// fault injector; translate again rather than reusing a config for a
+// second run.
+func CampaignConfig(g *graph.Graph, c chaos.Campaign, rounds int, trace bool) Config {
+	cfg := Config{
+		Graph:  g,
+		Seed:   c.Seed,
+		Rounds: rounds,
+		Trace:  trace,
+	}
+	if inj := c.Injector(); inj != nil {
+		cfg.Faults = inj
+	}
+	open := make(map[graph.ProcID]int) // node -> open partition start
+	for _, a := range c.Actions {
+		switch a.Kind {
+		case chaos.ActKill:
+			cfg.Crashes = append(cfg.Crashes, Crash{Node: a.Node, Round: a.At})
+		case chaos.ActMaliciousCrash:
+			cfg.Crashes = append(cfg.Crashes, Crash{Node: a.Node, Round: a.At, Steps: a.Steps})
+		case chaos.ActRestartClean:
+			cfg.Restarts = append(cfg.Restarts, Restart{Node: a.Node, Round: a.At})
+		case chaos.ActRestartGarbage:
+			cfg.Restarts = append(cfg.Restarts, Restart{Node: a.Node, Round: a.At, Garbage: true})
+		case chaos.ActPartition:
+			open[a.Node] = a.At
+		case chaos.ActHeal:
+			if from, ok := open[a.Node]; ok {
+				cfg.Partitions = append(cfg.Partitions, Partition{Node: a.Node, From: from, Until: a.At})
+				delete(open, a.Node)
+			}
+		}
+	}
+	// Unhealed partitions run to the end, in node order for determinism.
+	var unhealed []graph.ProcID
+	for node := range open {
+		unhealed = append(unhealed, node)
+	}
+	sort.Slice(unhealed, func(i, j int) bool { return unhealed[i] < unhealed[j] })
+	for _, node := range unhealed {
+		cfg.Partitions = append(cfg.Partitions, Partition{Node: node, From: open[node], Until: rounds})
+	}
+	return cfg
+}
+
+// RunCampaign executes one chaos campaign deterministically in fair
+// mode and returns the full result: safety and locality oracles as
+// usual, plus the restart-recovery oracle and per-restart convergence
+// rounds in Result.Recoveries.
+func RunCampaign(g *graph.Graph, c chaos.Campaign, rounds int, trace bool) *Result {
+	return Run(CampaignConfig(g, c, rounds, trace))
+}
+
+// SweepCampaign is the canonical seed-indexed chaos run shared by tests
+// and cmd/detsim: the seed derives a random campaign (kills victims,
+// restarts each clean or with garbage, maybe one partition window) with
+// the default fault profile, then executes it. A seed a sweep flags
+// replays bit-for-bit from the CLI.
+func SweepCampaign(g *graph.Graph, seed int64, rounds, kills int, f chaos.Faults, trace bool) *Result {
+	if rounds <= 0 {
+		rounds = 200
+	}
+	return RunCampaign(g, chaos.Random(seed, g, rounds, kills, f), rounds, trace)
+}

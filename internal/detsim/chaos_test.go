@@ -1,0 +1,177 @@
+package detsim
+
+import (
+	"testing"
+
+	"mcdp/internal/chaos"
+	"mcdp/internal/graph"
+)
+
+// TestCampaignAcceptance is the issue's acceptance bar: a seeded
+// campaign with kills, garbage restarts, and every transport fault
+// class at double-digit rates completes with zero eating-exclusion and
+// zero locality violations, every restarted node eats again, and
+// replaying the same seed reproduces the identical fault trace.
+func TestCampaignAcceptance(t *testing.T) {
+	g := graph.Grid(3, 3)
+	f := chaos.DefaultFaults() // drop/delay/reorder at 10%, dup/corrupt at 5%
+	for seed := int64(1); seed <= 4; seed++ {
+		res := SweepCampaign(g, seed, 400, 2, f, false)
+		if res.Failed() {
+			t.Fatalf("seed %d: campaign failed:\nsafety: %v\nlocality: %v\nrestart: %v",
+				seed, res.SafetyViolations, res.LocalityViolations, res.RestartViolations)
+		}
+		if len(res.Recoveries) != 2 {
+			t.Fatalf("seed %d: want 2 restarts in plan, got %d", seed, len(res.Recoveries))
+		}
+		for _, rc := range res.Recoveries {
+			if rc.RecoveredAfter < 0 {
+				t.Fatalf("seed %d: node %d restarted at %d never ate again", seed, rc.Node, rc.Round)
+			}
+		}
+		if res.FaultsDropped == 0 || res.FaultsDelayed == 0 {
+			t.Fatalf("seed %d: injector idle: dropped=%d delayed=%d",
+				seed, res.FaultsDropped, res.FaultsDelayed)
+		}
+		replay := SweepCampaign(g, seed, 400, 2, f, false)
+		if replay.TraceHash != res.TraceHash {
+			t.Fatalf("seed %d: replay diverged: %x vs %x", seed, replay.TraceHash, res.TraceHash)
+		}
+	}
+}
+
+// TestCleanRestartDoesNotForgeTokens pins a regression: these
+// fault-free campaigns clean-restart a node while a neighbor is
+// mid-meal. Rebooting into zeroed K-state counters used to make the
+// low endpoint "hold" every incident token instantly (equal counters
+// read as parity), so the revived node ate over the neighbor's live
+// session. The unheard-edge rule makes it abstain until each peer's
+// first frame re-syncs the pair, so these seeds must run violation-free.
+func TestCleanRestartDoesNotForgeTokens(t *testing.T) {
+	g := graph.Grid(3, 3)
+	for _, seed := range []int64{47, 53} {
+		res := SweepCampaign(g, seed, 400, 2, chaos.Faults{}, false)
+		if res.Failed() {
+			t.Fatalf("seed %d: fault-free campaign failed:\nsafety: %v\nlocality: %v\nrestart: %v",
+				seed, res.SafetyViolations, res.LocalityViolations, res.RestartViolations)
+		}
+	}
+}
+
+// TestCampaignConfigTranslation pins the action-to-plan mapping,
+// including the partition/heal pairing and the run-to-end default.
+func TestCampaignConfigTranslation(t *testing.T) {
+	g := graph.Ring(5)
+	c := chaos.Campaign{
+		Seed: 7,
+		Actions: []chaos.Action{
+			{At: 10, Kind: chaos.ActMaliciousCrash, Node: 1, Steps: 12},
+			{At: 20, Kind: chaos.ActPartition, Node: 3},
+			{At: 30, Kind: chaos.ActKill, Node: 2},
+			{At: 40, Kind: chaos.ActRestartGarbage, Node: 1},
+			{At: 50, Kind: chaos.ActHeal, Node: 3},
+			{At: 60, Kind: chaos.ActRestartClean, Node: 2},
+			{At: 70, Kind: chaos.ActPartition, Node: 4}, // never healed
+		},
+	}
+	cfg := CampaignConfig(g, c, 100, false)
+	if len(cfg.Crashes) != 2 || cfg.Crashes[0].Steps != 12 || cfg.Crashes[1].Steps != 0 {
+		t.Fatalf("crash plan wrong: %+v", cfg.Crashes)
+	}
+	if len(cfg.Restarts) != 2 || !cfg.Restarts[0].Garbage || cfg.Restarts[1].Garbage {
+		t.Fatalf("restart plan wrong: %+v", cfg.Restarts)
+	}
+	want := []Partition{{Node: 3, From: 20, Until: 50}, {Node: 4, From: 70, Until: 100}}
+	if len(cfg.Partitions) != 2 || cfg.Partitions[0] != want[0] || cfg.Partitions[1] != want[1] {
+		t.Fatalf("partition plan wrong: %+v", cfg.Partitions)
+	}
+	if cfg.Faults != nil {
+		t.Fatalf("zero fault profile must yield nil injector")
+	}
+}
+
+// TestRestartRecoveryOracleFires proves the new oracle is live: a node
+// killed and never restarted trips no restart check, but a restart plan
+// whose victim is immediately re-killed is excused — and a plain
+// kill+restart must recover.
+func TestRestartRecoveryOracleFires(t *testing.T) {
+	g := graph.Ring(6)
+	res := Run(Config{
+		Graph:    g,
+		Seed:     11,
+		Rounds:   200,
+		Crashes:  []Crash{{Node: 2, Round: 30}},
+		Restarts: []Restart{{Node: 2, Round: 60, Garbage: true}},
+	})
+	if res.Failed() {
+		t.Fatalf("kill+garbage-restart failed: %v %v %v",
+			res.SafetyViolations, res.LocalityViolations, res.RestartViolations)
+	}
+	if len(res.Recoveries) != 1 || res.Recoveries[0].RecoveredAfter < 0 {
+		t.Fatalf("restarted node did not recover: %+v", res.Recoveries)
+	}
+	// Restart followed by a second kill: the oracle must excuse it.
+	res = Run(Config{
+		Graph:    g,
+		Seed:     12,
+		Rounds:   200,
+		Crashes:  []Crash{{Node: 2, Round: 30}, {Node: 2, Round: 62}},
+		Restarts: []Restart{{Node: 2, Round: 60}},
+	})
+	if len(res.RestartViolations) != 0 {
+		t.Fatalf("re-killed node must be excused: %v", res.RestartViolations)
+	}
+}
+
+// TestCampaignDelayHoldsFrames ensures injector delays actually defer
+// delivery under the fair scheduler rather than being dropped: a
+// delay-only profile still converges and delivers every held frame.
+func TestCampaignDelayHoldsFrames(t *testing.T) {
+	g := graph.Ring(6)
+	f := chaos.Faults{Delay: 0.5, MaxDelayTicks: 4}
+	res := RunCampaign(g, chaos.Campaign{Seed: 5, Faults: f}, 150, false)
+	if res.Failed() {
+		t.Fatalf("delay-only campaign failed: %v %v", res.SafetyViolations, res.LocalityViolations)
+	}
+	if res.FaultsDelayed == 0 {
+		t.Fatalf("no frames delayed at 50%% rate")
+	}
+	for p, e := range res.Eats {
+		if e == 0 {
+			t.Fatalf("node %d starved under delay-only faults (eats %v)", p, res.Eats)
+		}
+	}
+}
+
+// FuzzChaosCampaign: byte-drawn campaigns (topology, kill count, fault
+// rates) must preserve safety, and the seed must fully determine the
+// execution — the replay-equality half of the acceptance bar, explored
+// over the campaign space.
+func FuzzChaosCampaign(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0x2a})
+	f.Add([]byte("chaos campaign over topology kills and fault rates"))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := NewBytes(data)
+		g := fuzzTopology(src)
+		seed := int64(src.Intn(1 << 20))
+		kills := src.Intn(3)
+		faults := chaos.Faults{
+			Drop:          float64(src.Intn(20)) / 100,
+			Duplicate:     float64(src.Intn(10)) / 100,
+			Corrupt:       float64(src.Intn(10)) / 100,
+			Delay:         float64(src.Intn(20)) / 100,
+			MaxDelayTicks: 1 + src.Intn(4),
+			Reorder:       float64(src.Intn(20)) / 100,
+		}
+		res := SweepCampaign(g, seed, 120, kills, faults, false)
+		if len(res.SafetyViolations) != 0 {
+			t.Fatalf("campaign seed %d broke safety on %s: %v", seed, g.Name(), res.SafetyViolations)
+		}
+		replay := SweepCampaign(g, seed, 120, kills, faults, false)
+		if replay.TraceHash != res.TraceHash {
+			t.Fatalf("campaign seed %d not replayable: %x vs %x", seed, res.TraceHash, replay.TraceHash)
+		}
+	})
+}

@@ -70,6 +70,32 @@ type Partition struct {
 	From, Until int
 }
 
+// Restart schedules one node revival: at the given round (fair mode)
+// or step (adversarial mode) the node reboots into a new incarnation,
+// either clean or with arbitrary garbage state.
+type Restart struct {
+	// Node is the revived node.
+	Node graph.ProcID
+	// Round is when the restart fires.
+	Round int
+	// Garbage reboots with arbitrary state instead of the legitimate
+	// initial state.
+	Garbage bool
+}
+
+// Recovery reports how one restarted node fared: how many rounds after
+// its restart it completed its next meal (-1 if it never did before the
+// run ended). Fair mode only.
+type Recovery struct {
+	// Node is the restarted node.
+	Node graph.ProcID
+	// Round is the restart round.
+	Round int
+	// RecoveredAfter is rounds from restart to the next completed meal,
+	// -1 if none.
+	RecoveredAfter int
+}
+
 // Config describes one deterministic run.
 type Config struct {
 	// Graph is the topology. Required.
@@ -85,6 +111,15 @@ type Config struct {
 	Crashes []Crash
 	// Partitions is the partition plan.
 	Partitions []Partition
+	// Restarts is the revival plan.
+	Restarts []Restart
+	// Faults, when non-nil, injects per-frame transport faults (drop,
+	// duplicate, corrupt, delay) on the delivery path. Under the driven
+	// runtime the injector is consulted in deterministic order, so a
+	// seeded injector (internal/chaos) makes the whole fault trace part
+	// of the execution the seed names. Use a fresh injector per run —
+	// its internal counter is part of the replayed state.
+	Faults msgpass.FaultInjector
 	// Hungry fixes needs() per node; nil means always hungry.
 	Hungry []bool
 	// EatEvents passes through to the substrate (default 2).
@@ -118,17 +153,28 @@ type Result struct {
 	// (distance >= 3 from every crash site) that stopped completing
 	// meals — fair mode only.
 	LocalityViolations []string
+	// RestartViolations lists restarted hungry nodes that never
+	// completed another meal despite at least 20 post-restart rounds —
+	// fair mode only.
+	RestartViolations []string
+	// Recoveries reports per-restart convergence: rounds from each
+	// restart to the node's next completed meal — fair mode only.
+	Recoveries []Recovery
 	// Steps counts atomic steps (node events + deliveries).
 	Steps int64
 	// Delivered counts frames delivered.
 	Delivered int64
 	// MessagesSent counts frames emitted by the protocol.
 	MessagesSent int64
+	// FaultsDropped, FaultsDuplicated, FaultsCorrupted, and
+	// FaultsDelayed count the transport faults the injector landed.
+	FaultsDropped, FaultsDuplicated, FaultsCorrupted, FaultsDelayed int64
 }
 
 // Failed reports whether the run violated any checked property.
 func (r *Result) Failed() bool {
-	return len(r.SafetyViolations) > 0 || len(r.LocalityViolations) > 0
+	return len(r.SafetyViolations) > 0 || len(r.LocalityViolations) > 0 ||
+		len(r.RestartViolations) > 0
 }
 
 // maxPending bounds the adversarial in-flight pool; overflow drops the
@@ -137,6 +183,13 @@ const maxPending = 4096
 
 // maxRecorded caps recorded violation strings per category.
 const maxRecorded = 32
+
+// chanKey identifies one directed channel (edge plus sender), the
+// granularity at which injector delays stall delivery.
+type chanKey struct {
+	edge int
+	from graph.ProcID
+}
 
 // runner is one in-progress deterministic run.
 type runner struct {
@@ -161,7 +214,23 @@ type runner struct {
 
 	baselineRound int
 	baseline      []int64
+
+	recoveries  []Recovery
+	recovEats   []int64 // eats at restart time, parallel to recoveries
+	lastRestart int
+
+	// garbageUntil[p] is the round before which p is exempt from the
+	// eating-exclusion oracle: a garbage restart boots it with arbitrary
+	// variables (possibly a garbage Eating state, possibly one forged
+	// token entry), and the paper promises convergence within the
+	// stabilization window, not exclusion during it.
+	garbageUntil []int
 }
+
+// garbageGraceRounds bounds the post-garbage-restart stabilization
+// window the safety oracle tolerates, mirroring the 20-round grace the
+// restart-recovery oracle already grants.
+const garbageGraceRounds = 25
 
 func newRunner(cfg Config) *runner {
 	if cfg.Graph == nil {
@@ -178,11 +247,12 @@ func newRunner(cfg Config) *runner {
 		src = NewRand(cfg.Seed)
 	}
 	r := &runner{
-		cfg:       cfg,
-		src:       src,
-		vnow:      time.Unix(0, 0).UTC(),
-		h:         fnv.New64a(),
-		violEdges: make(map[graph.Edge]bool),
+		cfg:          cfg,
+		src:          src,
+		vnow:         time.Unix(0, 0).UTC(),
+		h:            fnv.New64a(),
+		violEdges:    make(map[graph.Edge]bool),
+		garbageUntil: make([]int, cfg.Graph.N()),
 	}
 	r.d = msgpass.NewDriven(msgpass.Config{
 		Graph:            cfg.Graph,
@@ -192,6 +262,7 @@ func newRunner(cfg Config) *runner {
 		EatEvents:        cfg.EatEvents,
 		LossRate:         cfg.LossRate,
 		Seed:             cfg.Seed,
+		Faults:           cfg.Faults,
 	}, func() time.Time { return r.vnow })
 	r.rd = r.d.Reader()
 	for _, c := range cfg.Crashes {
@@ -258,20 +329,40 @@ func (r *runner) applyFaults(t int) {
 			r.event("t%d heal %d", t, pt.Node)
 		}
 	}
+	for _, rs := range r.cfg.Restarts {
+		if rs.Round != t {
+			continue
+		}
+		mode := msgpass.RestartClean
+		if rs.Garbage {
+			mode = msgpass.RestartArbitrary
+		}
+		nw.Restart(rs.Node, mode)
+		r.event("t%d restart %d mode=%s", t, rs.Node, mode)
+		if rs.Garbage {
+			r.garbageUntil[rs.Node] = t + garbageGraceRounds
+		}
+		r.recoveries = append(r.recoveries, Recovery{Node: rs.Node, Round: t, RecoveredAfter: -1})
+		r.recovEats = append(r.recovEats, nw.Eats()[rs.Node])
+		if t > r.lastRestart {
+			r.lastRestart = t
+		}
+	}
 }
 
-// exempt reports whether p is outside the safety property's scope:
-// crashed dead, or inside a malicious window (its Eating variable is
-// garbage, not a session).
-func (r *runner) exempt(p graph.ProcID) bool {
-	return r.rd.Dead(p) || r.rd.Malicious(p)
+// exempt reports whether p is outside the safety property's scope at
+// round t: crashed dead, inside a malicious window (its Eating variable
+// is garbage, not a session), or still stabilizing from a garbage
+// restart.
+func (r *runner) exempt(t int, p graph.ProcID) bool {
+	return r.rd.Dead(p) || r.rd.Malicious(p) || t < r.garbageUntil[p]
 }
 
 // checkSafety runs the eating-exclusion oracle against the current
 // state, recording each violating edge once.
 func (r *runner) checkSafety(t int) {
 	for _, e := range spec.EatingPairs(r.rd) {
-		if r.exempt(e.A) || r.exempt(e.B) {
+		if r.exempt(t, e.A) || r.exempt(t, e.B) {
 			continue
 		}
 		if r.violEdges[e] {
@@ -314,20 +405,75 @@ func (r *runner) deliver(t int, f msgpass.Frame) {
 // node steps once in a drawn permutation, then every frame that was
 // pending at the round's start is delivered in a drawn permutation
 // (frames emitted during the round wait one round — a uniform one-round
-// channel latency).
+// channel latency). Frames carrying an injector delay are held instead:
+// each round in flight decrements the hold, and only frames whose hold
+// has expired enter the delivery window. Like the goroutine runtime's
+// transmit, the hold stalls the whole channel — frames behind a held
+// frame wait with it, and within the window same-channel frames deliver
+// oldest-first — because per-channel FIFO is the ordering the K-state
+// handshake needs (a stale counter delivered after newer frames can
+// fake a second token). The reordering faults exhibit is channels
+// overtaking one another. No extra schedule draws happen, so
+// fault-free runs hash exactly as before.
 func (r *runner) fairRound(t int) {
 	r.applyFaults(t)
-	window := r.pending
-	r.pending = nil
+	var window, held []msgpass.Frame
+	stalled := make(map[chanKey]bool)
+	for _, f := range r.pending {
+		key := chanKey{edge: f.EdgeIndex(), from: f.From}
+		if f.Delay > 0 || stalled[key] {
+			if f.Delay > 0 {
+				f.Delay--
+			}
+			stalled[key] = true
+			held = append(held, f)
+			continue
+		}
+		window = append(window, f)
+	}
+	r.pending = held
 	for _, i := range perm(r.src, r.cfg.Graph.N()) {
 		r.tick(t, graph.ProcID(i))
 	}
-	for _, i := range perm(r.src, len(window)) {
-		r.deliver(t, window[i])
+	if r.cfg.Faults == nil {
+		for _, i := range perm(r.src, len(window)) {
+			r.deliver(t, window[i])
+		}
+	} else {
+		// With an injector active the window can hold several frames of
+		// one channel from different rounds; remap each draw to the
+		// oldest undelivered frame on the drawn frame's channel (append
+		// order is send order), as RunAdversarial does.
+		// Each channel is drawn once per frame it has in the window, so
+		// the remap is a bijection: the draw picks the channel, the
+		// channel yields its frames in send order.
+		delivered := make([]bool, len(window))
+		for _, i := range perm(r.src, len(window)) {
+			j := -1
+			for k := 0; k < len(window); k++ {
+				if !delivered[k] && window[k].From == window[i].From &&
+					window[k].EdgeIndex() == window[i].EdgeIndex() {
+					j = k
+					break
+				}
+			}
+			delivered[j] = true
+			r.deliver(t, window[j])
+		}
 	}
 	if t == r.baselineRound {
 		r.baseline = r.d.Network().Eats()
 		r.event("t%d baseline %v", t, r.baseline)
+	}
+	if len(r.recoveries) > 0 {
+		eats := r.d.Network().Eats()
+		for i := range r.recoveries {
+			rc := &r.recoveries[i]
+			if rc.RecoveredAfter < 0 && rc.Round <= t && eats[rc.Node] > r.recovEats[i] {
+				rc.RecoveredAfter = t - rc.Round
+				r.event("t%d recovered %d after %d", t, rc.Node, rc.RecoveredAfter)
+			}
+		}
 	}
 }
 
@@ -355,6 +501,23 @@ func (r *runner) livenessExempt(p graph.ProcID) bool {
 	return false
 }
 
+// disturbedAfter reports whether node p is hit by another scheduled
+// fault at or after the given round — a re-crash or a partition window
+// reaching past it voids the recovery promise for that restart.
+func (r *runner) disturbedAfter(p graph.ProcID, round int) bool {
+	for _, c := range r.cfg.Crashes {
+		if c.Node == p && c.Round >= round {
+			return true
+		}
+	}
+	for _, pt := range r.cfg.Partitions {
+		if pt.Node == p && pt.Until > round {
+			return true
+		}
+	}
+	return false
+}
+
 // finish closes sessions, runs the end-of-run oracles, and assembles
 // the result.
 func (r *runner) finish(fair bool, executed int) *Result {
@@ -370,6 +533,7 @@ func (r *runner) finish(fair bool, executed int) *Result {
 		Delivered:    r.delivered,
 		MessagesSent: nw.MessagesSent(),
 	}
+	res.FaultsDropped, res.FaultsDuplicated, res.FaultsCorrupted, res.FaultsDelayed = nw.FaultsInjected()
 	res.SafetyViolations = r.safety
 	// Interval cross-check on virtual timestamps: sessions only open on
 	// legitimate enter transitions (crash closes them), so any overlap
@@ -392,6 +556,24 @@ func (r *runner) finish(fair bool, executed int) *Result {
 				res.LocalityViolations = append(res.LocalityViolations,
 					fmt.Sprintf("node %d (distance >= 3 from every crash) ate %d..%d: starved after round %d",
 						p, r.baseline[p], final[p], r.baselineRound))
+			}
+		}
+	}
+	// Restart-recovery oracle: a revived hungry node must complete a
+	// meal again, given at least 20 post-restart rounds to stabilize.
+	if fair && len(r.recoveries) > 0 {
+		res.Recoveries = r.recoveries
+		if executed-r.lastRestart >= 20 {
+			for _, rc := range r.recoveries {
+				if rc.RecoveredAfter >= 0 || (r.cfg.Hungry != nil && !r.cfg.Hungry[rc.Node]) {
+					continue
+				}
+				if r.disturbedAfter(rc.Node, rc.Round) {
+					continue // re-crashed or partitioned post-restart: no promise
+				}
+				res.RestartViolations = append(res.RestartViolations,
+					fmt.Sprintf("node %d restarted at round %d never ate again (%d rounds left)",
+						rc.Node, rc.Round, executed-rc.Round))
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mcdp/internal/graph"
+	"mcdp/internal/msgpass"
 )
 
 // AcquireRequest is the body of POST /v1/acquire.
@@ -44,13 +45,14 @@ type ReleaseResponse struct {
 
 // NodeStatus is one worker's row in GET /v1/status.
 type NodeStatus struct {
-	ID         int    `json:"id"`
-	State      string `json:"state"`
-	Dead       bool   `json:"dead"`
-	Depth      int    `json:"depth"`
-	Events     int64  `json:"events"`
-	Eats       int64  `json:"eats"`
-	QueueDepth int    `json:"queue_depth"`
+	ID          int    `json:"id"`
+	State       string `json:"state"`
+	Dead        bool   `json:"dead"`
+	Depth       int    `json:"depth"`
+	Events      int64  `json:"events"`
+	Eats        int64  `json:"eats"`
+	QueueDepth  int    `json:"queue_depth"`
+	Incarnation int64  `json:"incarnation"`
 }
 
 // StatusReport is the body of GET /v1/status.
@@ -79,6 +81,15 @@ type CrashResponse struct {
 	Mode  string `json:"mode"`
 }
 
+// RestartResponse is the body of a successful node restart.
+type RestartResponse struct {
+	Node int `json:"node"`
+	// Mode is "clean" or "arbitrary".
+	Mode string `json:"mode"`
+	// Fenced is how many leases homed at the node were revoked.
+	Fenced int `json:"fenced"`
+}
+
 // Status assembles the current status report.
 func (s *Server) Status() StatusReport {
 	table := s.nw.Table()
@@ -101,6 +112,7 @@ func (s *Server) Status() StatusReport {
 		rep.Nodes = append(rep.Nodes, NodeStatus{
 			ID: p, State: st, Dead: snap.Dead, Depth: snap.Depth,
 			Events: snap.Events, Eats: snap.Eats, QueueDepth: depths[p],
+			Incarnation: snap.Incarnation,
 		})
 		rep.QueueDepth += depths[p]
 	}
@@ -118,6 +130,7 @@ func (s *Server) Status() StatusReport {
 //	GET  /v1/status       topology, per-worker state, queues, leases
 //	GET  /metrics         Prometheus text exposition
 //	POST /v1/admin/crash  inject a malicious (or benign) crash: ?node=N&steps=K
+//	POST /v1/admin/restart  revive a worker: ?node=N&mode=clean|garbage
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/acquire", s.handleAcquire)
@@ -125,6 +138,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/admin/crash", s.handleCrash)
+	mux.HandleFunc("/v1/admin/restart", s.handleRestart)
 	return mux
 }
 
@@ -246,4 +260,31 @@ func (s *Server) handleCrash(w http.ResponseWriter, r *http.Request) {
 		mode = "benign"
 	}
 	writeJSON(w, http.StatusOK, CrashResponse{Node: node, Steps: steps, Mode: mode})
+}
+
+func (s *Server) handleRestart(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	node, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("node query parameter required"))
+		return
+	}
+	mode := msgpass.RestartClean
+	switch r.URL.Query().Get("mode") {
+	case "", "clean":
+	case "garbage", "arbitrary":
+		mode = msgpass.RestartArbitrary
+	default:
+		writeErr(w, http.StatusBadRequest, errors.New("mode must be clean or garbage"))
+		return
+	}
+	fenced, err := s.RestartNode(graph.ProcID(node), mode)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RestartResponse{Node: node, Mode: mode.String(), Fenced: fenced})
 }

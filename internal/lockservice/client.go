@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,9 +23,15 @@ type Client struct {
 	// MaxAttempts bounds tries per call (default 4).
 	MaxAttempts int
 	// Backoff is the first retry delay (default 50ms); it doubles per
-	// attempt and is capped by MaxBackoff (default 1s).
+	// attempt, is capped by MaxBackoff (default 1s), and is jittered
+	// over the upper half of the window so concurrent retriers spread
+	// out instead of thundering back in lockstep.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+
+	// jitter is the backoff jitter PRNG state, lazily seeded on first
+	// use (tests can pre-seed it for reproducible schedules).
+	jitter atomic.Uint64
 }
 
 // NewClient returns a client for the server at baseURL.
@@ -71,11 +78,19 @@ func (c *Client) backoff(attempt int) time.Duration {
 		maxB = time.Second
 	}
 	d := base << uint(attempt)
-	if d > maxB {
+	if d > maxB || d <= 0 {
 		d = maxB
 	}
-	// Deterministic jitter: stagger concurrent retriers by attempt parity.
-	return d + d/4*time.Duration(attempt%2)
+	// Full jitter over [d/2, d]: pure doubling re-synchronizes every
+	// client that failed together, so each retry wave arrives as the
+	// same thundering herd that caused the failure. Half the window is
+	// kept deterministic so the cap still bounds tail latency.
+	if c.jitter.Load() == 0 {
+		c.jitter.CompareAndSwap(0, uint64(time.Now().UnixNano())|1)
+	}
+	x := splitmix(c.jitter.Add(0x9e3779b97f4a7c15))
+	half := uint64(d / 2)
+	return time.Duration(half + x%(half+1))
 }
 
 // do runs one HTTP round-trip and decodes the JSON response into out.
@@ -180,6 +195,22 @@ func (c *Client) Status(ctx context.Context) (*StatusReport, error) {
 func (c *Client) Crash(ctx context.Context, node, steps int) error {
 	path := fmt.Sprintf("/v1/admin/crash?node=%d&steps=%d", node, steps)
 	return c.do(ctx, http.MethodPost, path, nil, nil)
+}
+
+// Restart revives a crashed (or live) node; garbage revives it with
+// arbitrary protocol state instead of clean. Not retried, like Crash —
+// each call is a distinct fault-injection event.
+func (c *Client) Restart(ctx context.Context, node int, garbage bool) (*RestartResponse, error) {
+	mode := "clean"
+	if garbage {
+		mode = "garbage"
+	}
+	path := fmt.Sprintf("/v1/admin/restart?node=%d&mode=%s", node, mode)
+	var resp RestartResponse
+	if err := c.do(ctx, http.MethodPost, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Metrics fetches the raw Prometheus exposition text.

@@ -79,7 +79,7 @@ func TestEndToEndServiceSurvivesMaliciousCrash(t *testing.T) {
 	defer ts.Close()
 
 	ledger := newShadowLedger()
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 
 	// acquireHold grabs one resource through the HTTP API, verifies it
@@ -186,7 +186,7 @@ func TestEndToEndServiceSurvivesMaliciousCrash(t *testing.T) {
 		go func(res string) {
 			defer wg.Done()
 			c := NewClient(ts.URL)
-			deadline := time.Now().Add(15 * time.Second)
+			deadline := time.Now().Add(25 * time.Second)
 			for {
 				ok, err := acquireHold(c, res, 1500*time.Millisecond)
 				if ok && err == nil {
@@ -194,6 +194,53 @@ func TestEndToEndServiceSurvivesMaliciousCrash(t *testing.T) {
 				}
 				if time.Now().After(deadline) {
 					t.Errorf("far lock %s never granted after the crash (last err: %v)", res, err)
+					return
+				}
+			}
+		}(res)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Phase 3: revive the victim with garbage state through the admin
+	// API. Stabilization absorbs the arbitrary state, the node rejoins,
+	// and locks incident to it are granted again.
+	if _, err := c.Restart(ctx, int(victim), true); err != nil {
+		t.Fatalf("restart injection: %v", err)
+	}
+	waitFor(t, ctx, 5*time.Second, "victim revival", func() (bool, string) {
+		rep, err := c.Status(ctx)
+		if err != nil {
+			return false, err.Error()
+		}
+		for _, n := range rep.Nodes {
+			if n.ID == int(victim) {
+				return !n.Dead && n.Incarnation > 0, fmt.Sprintf("dead=%v inc=%d", n.Dead, n.Incarnation)
+			}
+		}
+		return false, "victim missing from status"
+	})
+	var victimEdges []string
+	for _, e := range g.Edges() {
+		if e.A == victim || e.B == victim {
+			victimEdges = append(victimEdges, EdgeName(e))
+		}
+	}
+	for _, res := range victimEdges {
+		wg.Add(1)
+		go func(res string) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			deadline := time.Now().Add(25 * time.Second)
+			for {
+				ok, err := acquireHold(c, res, 1500*time.Millisecond)
+				if ok && err == nil {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("victim-incident lock %s never granted after revival (last err: %v)", res, err)
 					return
 				}
 			}

@@ -24,6 +24,8 @@ type Metrics struct {
 	RejectedUnserviceable atomic.Int64
 	RejectedDraining      atomic.Int64
 	CrashesInjected       atomic.Int64
+	NodeRestarts          atomic.Int64
+	LeasesFenced          atomic.Int64
 
 	// WaitHist observes hungry time: seconds from submission to grant.
 	WaitHist *stats.LatencyHistogram
@@ -62,9 +64,16 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		{"dinerd_rejected_unserviceable_total", "Acquires whose candidate workers are all dead (503).", m.RejectedUnserviceable.Load},
 		{"dinerd_rejected_draining_total", "Acquires rejected during drain (503).", m.RejectedDraining.Load},
 		{"dinerd_crashes_injected_total", "Faults injected through the admin endpoint.", m.CrashesInjected.Load},
+		{"dinerd_node_restarts_total", "Worker restarts (admin endpoint and supervisor).", m.NodeRestarts.Load},
+		{"dinerd_leases_fenced_total", "Leases revoked because their home worker restarted.", m.LeasesFenced.Load},
 		{"dinerd_messages_sent_total", "Frames sent by the diners substrate.", s.nw.MessagesSent},
 		{"dinerd_messages_dropped_total", "Frames dropped to full inboxes.", s.nw.MessagesDropped},
 		{"dinerd_messages_lost_total", "Frames lost in transit (loss injection / partitions).", s.nw.MessagesLost},
+		{"dinerd_transport_reconnects_total", "TCP edge reconnections after restarts or socket loss.", s.nw.Reconnects},
+		{"dinerd_faults_dropped_total", "Frames dropped by the chaos fault injector.", func() int64 { d, _, _, _ := s.nw.FaultsInjected(); return d }},
+		{"dinerd_faults_duplicated_total", "Frames duplicated by the chaos fault injector.", func() int64 { _, d, _, _ := s.nw.FaultsInjected(); return d }},
+		{"dinerd_faults_corrupted_total", "Frames payload-corrupted by the chaos fault injector.", func() int64 { _, _, c, _ := s.nw.FaultsInjected(); return c }},
+		{"dinerd_faults_delayed_total", "Channel stalls injected by the chaos fault injector.", func() int64 { _, _, _, d := s.nw.FaultsInjected(); return d }},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val())
@@ -130,9 +139,16 @@ func MetricNames() []string {
 		"dinerd_rejected_unserviceable_total",
 		"dinerd_rejected_draining_total",
 		"dinerd_crashes_injected_total",
+		"dinerd_node_restarts_total",
+		"dinerd_leases_fenced_total",
 		"dinerd_messages_sent_total",
 		"dinerd_messages_dropped_total",
 		"dinerd_messages_lost_total",
+		"dinerd_transport_reconnects_total",
+		"dinerd_faults_dropped_total",
+		"dinerd_faults_duplicated_total",
+		"dinerd_faults_corrupted_total",
+		"dinerd_faults_delayed_total",
 		"dinerd_queue_depth",
 		"dinerd_active_leases",
 		"dinerd_node_queue_depth",

@@ -56,6 +56,13 @@ type Config struct {
 	EatEvents int
 	// LossRate passes through to the msgpass substrate (frame loss).
 	LossRate float64
+	// Faults, when non-nil, passes a fault injector through to the
+	// msgpass substrate (chaos campaigns against a live server).
+	Faults msgpass.FaultInjector
+	// Supervise, when non-nil, starts the self-healing supervisor: a
+	// loop that health-checks workers and restarts crashed ones with
+	// capped exponential backoff (see SupervisorConfig).
+	Supervise *SupervisorConfig
 	// History, when non-nil, records every session lifecycle event for
 	// post-run mutual-exclusion and linearizability checking (tests and
 	// the detsim harness; unbounded, so not for long-lived servers).
@@ -75,11 +82,15 @@ type Grant struct {
 	Wait time.Duration
 }
 
-// lease is a live grant tracked for TTL expiry.
+// lease is a live grant tracked for TTL expiry. home is the worker
+// whose eating window backed the grant: when that worker restarts, the
+// new incarnation's protocol state no longer vouches for the lease, so
+// RestartNode fences every lease homed there.
 type lease struct {
 	id        string
 	sess      *drinkers.Session
 	resources []string
+	home      graph.ProcID
 	grantedAt time.Time
 	deadline  time.Time
 }
@@ -147,6 +158,7 @@ func NewServer(cfg Config) *Server {
 		EatEvents:        cfg.EatEvents,
 		TickEvery:        cfg.TickEvery,
 		LossRate:         cfg.LossRate,
+		Faults:           cfg.Faults,
 		Seed:             cfg.Seed,
 		OnSnapshot: func(p graph.ProcID, snap msgpass.Snapshot) {
 			// Nudge the scheduler only on windows it can use; the pump
@@ -183,6 +195,10 @@ func (s *Server) Start() {
 	s.wg.Add(2)
 	go s.pumpLoop()
 	go s.janitor()
+	if s.cfg.Supervise != nil {
+		s.wg.Add(1)
+		go s.superviseLoop()
+	}
 }
 
 // nudge wakes the scheduler without ever blocking.
@@ -338,6 +354,7 @@ func (s *Server) Acquire(ctx context.Context, resources []string, ttl time.Durat
 		id:        fmt.Sprintf("s%08x-%d", s.idCtr.Add(1), home),
 		sess:      sess,
 		resources: append([]string(nil), resources...),
+		home:      home,
 		grantedAt: time.Now(),
 		deadline:  time.Now().Add(ttl),
 	}
@@ -390,6 +407,38 @@ func (s *Server) InjectCrash(node graph.ProcID, steps int) error {
 	s.metrics.CrashesInjected.Add(1)
 	s.nudge()
 	return nil
+}
+
+// RestartNode revives a worker, clean or with arbitrary garbage state,
+// returning how many leases it fenced. Leases homed at the node were
+// granted by its pre-restart incarnation, whose eating window is gone;
+// leaving them live would let a client hold a lock the protocol no
+// longer backs, so they are revoked (fenced) before the node rejoins —
+// a later Release on a fenced lease reports ErrNotFound.
+func (s *Server) RestartNode(node graph.ProcID, mode msgpass.RestartMode) (int, error) {
+	if node < 0 || int(node) >= s.g.N() {
+		return 0, fmt.Errorf("lockservice: node %d out of range [0,%d)", node, s.g.N())
+	}
+	s.mu.Lock()
+	var fenced []*lease
+	for id, l := range s.leases {
+		if l.home == node {
+			fenced = append(fenced, l)
+			delete(s.leases, id)
+		}
+	}
+	s.mu.Unlock()
+	// Map order must not reach the arbiter (same rule as the janitor):
+	// release in lease-id order so fencing replays identically.
+	sort.Slice(fenced, func(i, j int) bool { return fenced[i].id < fenced[j].id })
+	for _, l := range fenced {
+		s.arb.Release(l.sess)
+		s.metrics.LeasesFenced.Add(1)
+	}
+	s.nw.Restart(node, mode)
+	s.metrics.NodeRestarts.Add(1)
+	s.nudge()
+	return len(fenced), nil
 }
 
 // Stop drains the server: new acquires are rejected, pending waiters

@@ -1,0 +1,86 @@
+package lockservice
+
+import (
+	"time"
+
+	"mcdp/internal/graph"
+	"mcdp/internal/msgpass"
+)
+
+// SupervisorConfig tunes the self-healing supervisor: a loop that
+// health-checks every worker and restarts crashed ones, so the service
+// rides through kills and malicious crashes without an operator. The
+// paper's stabilization does the hard part — a revived node converges
+// from any state — which is what makes a supervisor this simple sound.
+type SupervisorConfig struct {
+	// CheckEvery is the health-check period (default 50ms).
+	CheckEvery time.Duration
+	// BackoffBase is the delay after a restart attempt before the next
+	// one for the same node (default 200ms). It doubles per consecutive
+	// attempt while the node stays down, capped at BackoffMax (default
+	// 5s), and resets once the node is seen alive — capped exponential
+	// backoff, so a node that dies the instant it revives (a crash loop)
+	// cannot busy-spin the service.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Garbage revives nodes with arbitrary state instead of the
+	// legitimate initial state — the adversarial setting for chaos runs.
+	Garbage bool
+}
+
+// superviseLoop is the supervisor body, started by Start when
+// Config.Supervise is set. Every restart it issues goes through
+// RestartNode, so stale leases homed at the dead incarnation are fenced
+// before the node rejoins.
+func (s *Server) superviseLoop() {
+	defer s.wg.Done()
+	sc := s.cfg.Supervise
+	check := sc.CheckEvery
+	if check <= 0 {
+		check = 50 * time.Millisecond
+	}
+	base := sc.BackoffBase
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	maxB := sc.BackoffMax
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	mode := msgpass.RestartClean
+	if sc.Garbage {
+		mode = msgpass.RestartArbitrary
+	}
+	nextAttempt := make([]time.Time, s.g.N())
+	backoff := make([]time.Duration, s.g.N())
+	t := time.NewTicker(check)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for p := 0; p < s.g.N(); p++ {
+			pid := graph.ProcID(p)
+			if !s.nw.Snapshot(pid).Dead {
+				backoff[p] = 0
+				continue
+			}
+			if now.Before(nextAttempt[p]) {
+				continue // a restart is in flight or backing off
+			}
+			if backoff[p] == 0 {
+				backoff[p] = base
+			} else {
+				backoff[p] *= 2
+				if backoff[p] > maxB {
+					backoff[p] = maxB
+				}
+			}
+			nextAttempt[p] = now.Add(backoff[p])
+			_, _ = s.RestartNode(pid, mode) // in-range by construction
+		}
+	}
+}

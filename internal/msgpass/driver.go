@@ -29,11 +29,20 @@ type Frame struct {
 	// To and From are the receiving and sending endpoints.
 	To, From graph.ProcID
 
+	// Delay is the fault injector's remaining hold, in driver rounds: a
+	// deterministic driver must keep the frame pending for this many
+	// rounds before delivering it (zero for normal frames).
+	Delay int
+
 	m message
 }
 
 // String renders the full frame payload for event traces.
 func (f Frame) String() string {
+	if f.Delay > 0 {
+		return fmt.Sprintf("e%d %d->%d k%d s%d dp%d pr%d hold%d",
+			f.m.edgeIdx, f.From, f.To, f.m.counter, f.m.state, f.m.depth, f.m.priority, f.Delay)
+	}
 	return fmt.Sprintf("e%d %d->%d k%d s%d dp%d pr%d",
 		f.m.edgeIdx, f.From, f.To, f.m.counter, f.m.state, f.m.depth, f.m.priority)
 }
@@ -60,8 +69,8 @@ func NewDriven(cfg Config, clock func() time.Time) *Driven {
 		nw.now = clock
 	}
 	d := &Driven{nw: nw}
-	nw.sendFrame = func(to graph.ProcID, m message) bool {
-		d.out = append(d.out, Frame{To: to, From: m.from, m: m})
+	nw.sendFrame = func(to graph.ProcID, m message, delayTicks int) bool {
+		d.out = append(d.out, Frame{To: to, From: m.from, Delay: delayTicks, m: m})
 		return true
 	}
 	return d

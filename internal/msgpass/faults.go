@@ -1,0 +1,150 @@
+// Transport fault injection: a pluggable per-frame decision hook on the
+// delivery path, shared by the in-process channel transport, the TCP
+// transport, and the driven (detsim) mode. The protocol's stabilization
+// claim is exactly that none of these faults can break it — frames are
+// full-state gossip, so drops and delays only slow convergence,
+// duplicates are idempotent, and corrupted payloads are one more shape
+// of the arbitrary state the K-state handshake already absorbs.
+package msgpass
+
+import (
+	"time"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+)
+
+// FaultDecision is what the delivery path does with one frame. The zero
+// value passes the frame through untouched.
+type FaultDecision struct {
+	// Drop loses the frame in transit (gossip retransmits).
+	Drop bool
+	// Duplicates sends this many extra copies of the frame.
+	Duplicates int
+	// CorruptBits, when non-zero, scrambles the frame payload with
+	// domain-respecting garbage derived from these bits — the in-flight
+	// analogue of a malicious node's garbage frames.
+	CorruptBits uint64
+	// DelayTicks, when positive, holds the frame for roughly that many
+	// gossip ticks before delivery (virtual rounds under a driver),
+	// letting later frames overtake it — delay and reordering in one.
+	DelayTicks int
+}
+
+// FaultInjector decides per-frame transport faults. Implementations
+// must be safe for concurrent use in the goroutine runtime; under a
+// single-threaded driver the call order is deterministic, so a seeded
+// injector makes whole fault campaigns replayable (internal/chaos).
+type FaultInjector interface {
+	Decide(from, to graph.ProcID, edgeIdx int) FaultDecision
+}
+
+// applyFaults runs the configured injector on one frame and transmits
+// the surviving copies. It is only called when an injector is set.
+func (nw *Network) applyFaults(p graph.ProcID, m message) {
+	d := nw.cfg.Faults.Decide(m.from, p, m.edgeIdx)
+	if d.Drop {
+		nw.faultsDropped.Add(1)
+		nw.lost.Add(1)
+		return
+	}
+	if d.CorruptBits != 0 {
+		m = corruptMessage(m, d.CorruptBits, nw.nodes[p].d)
+		nw.faultsCorrupted.Add(1)
+	}
+	for i := 0; i < d.Duplicates; i++ {
+		nw.faultsDuplicated.Add(1)
+		nw.transmit(p, m, d.DelayTicks)
+	}
+	nw.transmit(p, m, d.DelayTicks)
+}
+
+// delayKey identifies one directed channel: an edge plus the sending
+// endpoint. Delays operate at channel granularity.
+type delayKey struct {
+	edge int
+	from graph.ProcID
+}
+
+// transmit forwards one frame copy, honoring a delay. Delay is
+// head-of-line blocking, not per-frame lateness: a delayed frame stalls
+// its whole channel, and frames sent behind it queue in order until the
+// delay expires. Per-channel FIFO is the one ordering property the
+// K-state handshake needs — a stale counter delivered after newer
+// frames can fake a second token — and it is the property every real
+// transport here provides (Go channels, one TCP connection per edge).
+// Other channels overtake the stalled one freely, which is where the
+// observable reordering comes from. In the goroutine runtime a timer
+// flushes the channel after roughly DelayTicks gossip periods; in
+// driven mode the delay rides on the captured Frame and the
+// deterministic driver holds the channel for that many virtual rounds.
+func (nw *Network) transmit(p graph.ProcID, m message, delayTicks int) {
+	if nw.driven {
+		if delayTicks > 0 {
+			nw.faultsDelayed.Add(1)
+		}
+		nw.sendFrame(p, m, delayTicks)
+		return
+	}
+	key := delayKey{m.edgeIdx, m.from}
+	nw.delayMu.Lock()
+	if q, ok := nw.delayed[key]; ok {
+		// Channel already stalled: queue behind the delayed frame. A
+		// nested delay verdict is subsumed by the stall in progress.
+		nw.delayed[key] = append(q, m)
+		nw.delayMu.Unlock()
+		return
+	}
+	if delayTicks <= 0 {
+		nw.delayMu.Unlock()
+		nw.transmitNow(p, m)
+		return
+	}
+	nw.faultsDelayed.Add(1)
+	nw.delayed[key] = []message{m}
+	nw.delayMu.Unlock()
+	time.AfterFunc(time.Duration(delayTicks)*nw.cfg.TickEvery, func() {
+		nw.delayMu.Lock()
+		q := nw.delayed[key]
+		delete(nw.delayed, key)
+		nw.delayMu.Unlock()
+		for _, qm := range q {
+			nw.transmitNow(p, qm)
+		}
+	})
+}
+
+// transmitNow hands the frame to the transport (or the in-process
+// inbox) immediately.
+func (nw *Network) transmitNow(p graph.ProcID, m message) {
+	if nw.sendFrame != nil {
+		if !nw.sendFrame(p, m, 0) {
+			nw.lost.Add(1) // transport failure: gossip will retransmit
+		}
+		return
+	}
+	nw.inject(p, m)
+}
+
+// corruptMessage scrambles a frame's payload with domain-respecting
+// garbage drawn from the given bits: a valid-looking state, a depth
+// within the bound, and a priority claim for either endpoint. The
+// K-state counter is deliberately left intact. Corrupting it would
+// model a Byzantine channel that continuously forges token-possession
+// proofs, which no stabilizing dining solution tolerates (the same
+// reason the adversarial scheduler keeps channels FIFO) — and real
+// transports checksum frames, turning bit corruption into the drops
+// the Drop rate already models. What survives a checksum is garbage
+// application payload, the in-flight analogue of a malicious node's
+// garbage frames, and that is what this injects: it can stall or
+// misdirect progress transiently, and the next genuine gossip on the
+// edge repairs it.
+func corruptMessage(m message, bits uint64, d int) message {
+	x := splitmix(bits)
+	m.state = core.State(x>>8%3 + 1)
+	m.depth = int((x >> 16) % uint64(2*d+4))
+	if x>>24&1 == 0 {
+		m.priority = m.from
+	}
+	return m
+}

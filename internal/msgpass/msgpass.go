@@ -71,6 +71,13 @@ type EatSession struct {
 	Proc graph.ProcID
 	// Start and End bound the interval (monotonic clock).
 	Start, End time.Time
+	// PostGarbage marks the node's first session after a garbage
+	// restart. Arbitrary boot state can forge token parity for exactly
+	// one entry before the neighbors' frames re-cohere the edges, so
+	// this session may overlap a neighbor's — a stabilization transient
+	// the paper's safety property does not cover, and the overlap
+	// oracle exempts it.
+	PostGarbage bool
 }
 
 // Config tunes a Network.
@@ -99,6 +106,11 @@ type Config struct {
 	// Seed drives the arbitrary-state initializer, malicious garbage,
 	// and loss decisions.
 	Seed int64
+	// Faults, when non-nil, is consulted on every frame delivery to
+	// inject transport faults (drop, duplicate, corrupt, delay). It
+	// composes with LossRate and partitions, which apply first. See
+	// internal/chaos for the seeded, replayable implementation.
+	Faults FaultInjector
 	// OnSnapshot, if non-nil, is called after every snapshot publish with
 	// the publishing node's fresh snapshot. It runs on node goroutines
 	// outside the network's locks and must be fast and non-blocking —

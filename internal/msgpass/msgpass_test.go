@@ -18,7 +18,7 @@ func runFor(nw *Network, d time.Duration) {
 }
 
 func TestEdgeStateTokenProtocol(t *testing.T) {
-	low := edgeState{low: true}
+	low := edgeState{low: true, heard: true}
 	if !low.holds() {
 		t.Fatal("low endpoint with equal counters must hold")
 	}
@@ -26,7 +26,7 @@ func TestEdgeStateTokenProtocol(t *testing.T) {
 	if low.holds() {
 		t.Fatal("after passing, low must not hold")
 	}
-	high := edgeState{low: false, counter: 1, peerCounter: 1}
+	high := edgeState{low: false, counter: 1, peerCounter: 1, heard: true}
 	if high.holds() {
 		t.Fatal("high endpoint with equal counters must not hold... counters equal means low holds")
 	}
@@ -64,8 +64,8 @@ func TestSenderHeldJudgment(t *testing.T) {
 func TestTokenExclusivityInvariant(t *testing.T) {
 	// Simulate a full exchange: at most one endpoint holds at any point,
 	// and between pass and delivery, neither does.
-	low := edgeState{low: true}
-	high := edgeState{low: false}
+	low := edgeState{low: true, heard: true}
+	high := edgeState{low: false, heard: true}
 	deliverToHigh := func() { high.peerCounter = low.counter }
 	deliverToLow := func() { low.peerCounter = high.counter }
 	for i := 0; i < 3*kStates; i++ {
@@ -94,13 +94,52 @@ func TestTokenExclusivityInvariant(t *testing.T) {
 	}
 }
 
+// TestCleanRestartResyncsFromFirstFrame covers the humble-reboot rule:
+// after a clean restart an edge is unheard — the node holds nothing on
+// it regardless of counter parity — and the first frame from the peer
+// syncs the node to the non-holding counter, so the token regenerates
+// at the live peer instead of being forged by the zeroed boot state.
+func TestCleanRestartResyncsFromFirstFrame(t *testing.T) {
+	nw := NewNetwork(Config{Graph: graph.Path(2), Algorithm: core.NewMCDP()})
+	n0 := nw.nodes[0] // low endpoint of edge 0-1
+	n0.applyRestart(RestartClean)
+	e := &n0.edges[0]
+	if e.heard {
+		t.Fatal("clean restart must mark edges unheard")
+	}
+	if e.holds() {
+		t.Fatal("unheard edge held despite equal zeroed counters")
+	}
+	n0.handle(message{edgeIdx: e.idx, from: 1, counter: 5, state: core.Hungry, depth: 1, priority: 1})
+	if !e.heard {
+		t.Fatal("first frame must mark the edge heard")
+	}
+	if e.peerCounter != 5 || e.counter != 6 {
+		t.Fatalf("sync adopted (counter=%d, peerCounter=%d), want the non-holding pair (6, 5)", e.counter, e.peerCounter)
+	}
+	if e.holds() {
+		t.Fatal("low endpoint holds after syncing to the non-holding counter")
+	}
+	if e.peerState != core.Hungry || e.peerDepth != 1 || e.priority != 1 {
+		t.Fatalf("sync must adopt the peer's frame wholesale: %+v", *e)
+	}
+
+	// A garbage restart keeps its edges heard: arbitrary state owes no
+	// humility — stabilization handles it, and the exclusion oracles
+	// grant its first session the post-garbage exemption instead.
+	n0.applyRestart(RestartArbitrary)
+	if !e.heard {
+		t.Fatal("garbage restart must leave edges heard")
+	}
+}
+
 func TestKStateStabilizesFromGarbage(t *testing.T) {
 	// From any counter pair, after each endpoint hears the other once,
 	// exactly one endpoint holds.
 	for c0 := uint8(0); c0 < kStates; c0++ {
 		for c1 := uint8(0); c1 < kStates; c1++ {
-			low := edgeState{low: true, counter: c0, peerCounter: 99}
-			high := edgeState{low: false, counter: c1, peerCounter: 99}
+			low := edgeState{low: true, counter: c0, peerCounter: 99, heard: true}
+			high := edgeState{low: false, counter: c1, peerCounter: 99, heard: true}
 			low.peerCounter = high.counter
 			high.peerCounter = low.counter
 			l, h := low.holds(), high.holds()

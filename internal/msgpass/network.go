@@ -33,6 +33,32 @@ type Snapshot struct {
 	Events int64
 	// Eats counts completed eating sessions.
 	Eats int64
+	// Incarnation counts the node's restarts: 0 for the original boot,
+	// incremented every time Restart revives the node. External
+	// controllers fence state tied to an older incarnation.
+	Incarnation int64
+}
+
+// RestartMode selects the state a revived node boots with.
+type RestartMode int
+
+const (
+	// RestartClean revives the node in the legitimate initial state
+	// (Thinking, depth zero, zeroed edge caches). The peers' caches
+	// still disagree, so even a clean restart leans on stabilization.
+	RestartClean RestartMode = iota + 1
+	// RestartArbitrary revives the node with InitArbitrary-style
+	// domain-respecting garbage — a malicious recovery, converging only
+	// because the protocol stabilizes.
+	RestartArbitrary
+)
+
+// String names the mode for traces and status displays.
+func (m RestartMode) String() string {
+	if m == RestartArbitrary {
+		return "arbitrary"
+	}
+	return "clean"
 }
 
 // Network assembles and runs a message-passing diners system.
@@ -54,31 +80,52 @@ type Network struct {
 	now func() time.Time
 
 	// control flags polled by nodes each event
-	killFlag  []atomic.Bool
-	malFlag   []atomic.Int32
-	needsFlag []atomic.Bool // dynamic needs():p, refreshed by nodes per event
+	killFlag    []atomic.Bool
+	malFlag     []atomic.Int32
+	restartFlag []atomic.Int32 // pending RestartMode (0 = none)
+	needsFlag   []atomic.Bool  // dynamic needs():p, refreshed by nodes per event
 
 	mu        sync.Mutex
 	table     []Snapshot   // guarded by mu
 	eats      []int64      // guarded by mu
 	sessions  []EatSession // guarded by mu
 	openSince []time.Time  // guarded by mu
+	// garbagePending marks nodes with a garbage restart issued but no
+	// session opened since; the next session they open carries the
+	// EatSession.PostGarbage exemption. openPostGarbage carries that
+	// mark from open to close. Both guarded by mu.
+	garbagePending  []bool
+	openPostGarbage []bool
 
 	sent    atomic.Int64
 	dropped atomic.Int64
 	lost    atomic.Int64
 	lossCtr atomic.Uint64
 
+	restarts         atomic.Int64
+	reconnects       atomic.Int64
+	faultsDropped    atomic.Int64
+	faultsDuplicated atomic.Int64
+	faultsCorrupted  atomic.Int64
+	faultsDelayed    atomic.Int64
+
+	delayMu sync.Mutex
+	delayed map[delayKey][]message // stalled channels' queued frames; guarded by delayMu
+
 	isolated []atomic.Bool // transiently partitioned nodes
 
 	// sendFrame, when non-nil, carries frames over an external transport
 	// (e.g. TCP; see NewTCPNetwork) instead of the in-process channel
-	// push. The transport calls inject on the receiving side.
-	sendFrame func(to graph.ProcID, m message) bool
+	// push. The transport calls inject on the receiving side. delayTicks
+	// is only non-zero in driven mode, where the driver owns delays.
+	sendFrame func(to graph.ProcID, m message, delayTicks int) bool
 	// onStop tears the external transport down; it runs after the node
 	// goroutines are signaled and before they are awaited, so blocked
 	// transport reads unblock.
 	onStop func()
+	// onRestart lets the transport react to a node revival (the TCP
+	// transport severs the node's sockets so its edges reconnect).
+	onRestart func(p graph.ProcID)
 }
 
 // NewNetwork builds a network in the legitimate initial state (all
@@ -101,16 +148,20 @@ func NewNetwork(cfg Config) *Network {
 	}
 	g := cfg.Graph
 	nw := &Network{
-		cfg:       cfg,
-		now:       time.Now,
-		done:      make(chan struct{}),
-		table:     make([]Snapshot, g.N()),
-		eats:      make([]int64, g.N()),
-		openSince: make([]time.Time, g.N()),
-		killFlag:  make([]atomic.Bool, g.N()),
-		malFlag:   make([]atomic.Int32, g.N()),
-		needsFlag: make([]atomic.Bool, g.N()),
-		isolated:  make([]atomic.Bool, g.N()),
+		cfg:             cfg,
+		now:             time.Now,
+		done:            make(chan struct{}),
+		table:           make([]Snapshot, g.N()),
+		eats:            make([]int64, g.N()),
+		openSince:       make([]time.Time, g.N()),
+		garbagePending:  make([]bool, g.N()),
+		openPostGarbage: make([]bool, g.N()),
+		killFlag:        make([]atomic.Bool, g.N()),
+		malFlag:         make([]atomic.Int32, g.N()),
+		restartFlag:     make([]atomic.Int32, g.N()),
+		needsFlag:       make([]atomic.Bool, g.N()),
+		isolated:        make([]atomic.Bool, g.N()),
+		delayed:         make(map[delayKey][]message),
 	}
 	d := g.Diameter()
 	if cfg.DiameterOverride > 0 {
@@ -147,6 +198,7 @@ func NewNetwork(cfg Config) *Network {
 				low:       pid == e.A,
 				peerState: core.Thinking,
 				priority:  e.A, // lower ID is the ancestor initially
+				heard:     true,
 			}
 		}
 		nw.nodes[p] = nd
@@ -226,6 +278,9 @@ func (n *node) runGuarded() {
 // variable, not an eating session, and the safety property exempts it
 // ("two neighbors eat together only if both are dead").
 func (n *node) pollControl() {
+	if v := n.net.restartFlag[n.id].Swap(0); v != 0 {
+		n.applyRestart(RestartMode(v))
+	}
 	if n.net.killFlag[n.id].Load() && !n.dead {
 		n.dead = true
 		n.net.closeOpenSession(n.id)
@@ -259,14 +314,55 @@ func (nw *Network) finishSessions() {
 	now := nw.now()
 	for p, since := range nw.openSince {
 		if !since.IsZero() {
-			nw.sessions = append(nw.sessions, EatSession{Proc: graph.ProcID(p), Start: since, End: now})
+			nw.sessions = append(nw.sessions, EatSession{Proc: graph.ProcID(p), Start: since, End: now, PostGarbage: nw.openPostGarbage[p]})
 			nw.openSince[p] = time.Time{}
+			nw.openPostGarbage[p] = false
 		}
 	}
 }
 
 // Kill benignly crashes node p: it halts at its next event.
 func (nw *Network) Kill(p graph.ProcID) { nw.killFlag[p].Store(true) }
+
+// Restart revives node p at its next event — the inverse of Kill the
+// paper's recovery story needs. The node reboots into a new incarnation
+// with either the legitimate initial state (RestartClean) or arbitrary
+// garbage (RestartArbitrary); either way its neighbors' caches disagree
+// with it, and stabilization is what re-converges the system. Pending
+// kill and malicious-crash commands are cancelled; an external
+// transport is told to reconnect the node's edges. Restarting a live
+// node is a reboot. Safe to call from any goroutine.
+func (nw *Network) Restart(p graph.ProcID, mode RestartMode) {
+	if mode != RestartArbitrary {
+		mode = RestartClean
+	}
+	nw.killFlag[p].Store(false)
+	nw.malFlag[p].Store(0)
+	if mode == RestartArbitrary {
+		nw.mu.Lock()
+		nw.garbagePending[p] = true
+		nw.mu.Unlock()
+	}
+	nw.restartFlag[p].Store(int32(mode))
+	nw.restarts.Add(1)
+	if nw.onRestart != nil {
+		nw.onRestart(p)
+	}
+}
+
+// Restarts returns how many node restarts were requested.
+func (nw *Network) Restarts() int64 { return nw.restarts.Load() }
+
+// Reconnects returns how many transport edge connections were
+// re-established (TCP transport only; in-process edges never drop).
+func (nw *Network) Reconnects() int64 { return nw.reconnects.Load() }
+
+// FaultsInjected returns the injected-fault counters: frames dropped,
+// duplicated, corrupted, and delayed by the configured FaultInjector.
+func (nw *Network) FaultsInjected() (dropped, duplicated, corrupted, delayed int64) {
+	return nw.faultsDropped.Load(), nw.faultsDuplicated.Load(),
+		nw.faultsCorrupted.Load(), nw.faultsDelayed.Load()
+}
 
 // SetNeeds dynamically sets needs():p — whether node p currently wants to
 // eat. It is safe to call from any goroutine at any time; the node picks
@@ -325,13 +421,11 @@ func (nw *Network) deliver(p graph.ProcID, m message) {
 			return
 		}
 	}
-	if nw.sendFrame != nil {
-		if !nw.sendFrame(p, m) {
-			nw.lost.Add(1) // transport failure: gossip will retransmit
-		}
+	if nw.cfg.Faults != nil {
+		nw.applyFaults(p, m)
 		return
 	}
-	nw.inject(p, m)
+	nw.transmitNow(p, m)
 }
 
 // inject pushes a frame into p's inbox without blocking; overflow drops
@@ -357,14 +451,15 @@ func splitmix(x uint64) uint64 {
 
 // publish records a node's observable state and notifies the snapshot
 // hook (outside the lock).
-func (nw *Network) publish(p graph.ProcID, s core.State, depth int, dead bool, events int64) {
+func (nw *Network) publish(p graph.ProcID, s core.State, depth int, dead bool, events, inc int64) {
 	nw.mu.Lock()
 	snap := Snapshot{
-		State:  s,
-		Depth:  depth,
-		Dead:   dead,
-		Events: events,
-		Eats:   nw.eats[p],
+		State:       s,
+		Depth:       depth,
+		Dead:        dead,
+		Events:      events,
+		Eats:        nw.eats[p],
+		Incarnation: inc,
 	}
 	nw.table[p] = snap
 	nw.mu.Unlock()
@@ -379,29 +474,39 @@ func (nw *Network) closeOpenSession(p graph.ProcID) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if since := nw.openSince[p]; !since.IsZero() {
-		nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: nw.now()})
+		nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: nw.now(), PostGarbage: nw.openPostGarbage[p]})
 		nw.openSince[p] = time.Time{}
+		nw.openPostGarbage[p] = false
 	}
 }
 
-// recordEatStart opens an eating session for p.
+// recordEatStart opens an eating session for p. The first session after
+// a garbage restart inherits the PostGarbage exemption (see EatSession).
 func (nw *Network) recordEatStart(p graph.ProcID) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	nw.openSince[p] = nw.now()
+	nw.openPostGarbage[p] = nw.garbagePending[p]
+	nw.garbagePending[p] = false
 }
 
-// recordEatEnd closes p's eating session and counts it.
-func (nw *Network) recordEatEnd(p graph.ProcID, start time.Time) {
+// recordEatEnd closes p's eating session and counts it. Exiting Eating
+// with no session open means the node never legitimately entered — it
+// booted or restarted into a garbage Eating state (InitArbitrary,
+// RestartArbitrary) — so there is no meal to count and no interval to
+// record; fabricating one from a stale eatStart would charge a
+// pre-crash incarnation's timestamp to the new one.
+func (nw *Network) recordEatEnd(p graph.ProcID) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	nw.eats[p]++
 	since := nw.openSince[p]
 	if since.IsZero() {
-		since = start
+		return
 	}
-	nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: nw.now()})
+	nw.eats[p]++
+	nw.sessions = append(nw.sessions, EatSession{Proc: p, Start: since, End: nw.now(), PostGarbage: nw.openPostGarbage[p]})
 	nw.openSince[p] = time.Time{}
+	nw.openPostGarbage[p] = false
 }
 
 // Table returns a copy of the current snapshot table.
@@ -438,7 +543,9 @@ func (nw *Network) MessagesLost() int64 { return nw.lost.Load() }
 
 // OverlappingNeighborSessions returns pairs of completed sessions by
 // neighboring nodes whose intervals overlap — safety violations of the
-// message-passing system.
+// message-passing system. Sessions flagged PostGarbage are exempt: a
+// garbage-restarted node's first meal sits inside the stabilization
+// window, where the paper promises convergence, not exclusion.
 func (nw *Network) OverlappingNeighborSessions() []string {
 	sessions := nw.Sessions()
 	g := nw.cfg.Graph
@@ -447,6 +554,9 @@ func (nw *Network) OverlappingNeighborSessions() []string {
 		for j := i + 1; j < len(sessions); j++ {
 			a, b := sessions[i], sessions[j]
 			if a.Proc == b.Proc || !g.HasEdge(a.Proc, b.Proc) {
+				continue
+			}
+			if a.PostGarbage || b.PostGarbage {
 				continue
 			}
 			if a.Start.Before(b.End) && b.Start.Before(a.End) {

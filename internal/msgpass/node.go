@@ -2,7 +2,6 @@ package msgpass
 
 import (
 	"math/rand"
-	"time"
 
 	"mcdp/internal/core"
 	"mcdp/internal/graph"
@@ -24,10 +23,22 @@ type edgeState struct {
 
 	priority     graph.ProcID // our belief of the edge priority holder
 	pendingYield bool         // yield requested while not holding
+
+	// heard is false after a clean restart until the first frame from the
+	// peer re-syncs the token pair. The K-state parity test below is only
+	// meaningful against a peerCounter actually heard from the peer: a
+	// zeroed cache would make the low endpoint "hold" every edge, letting
+	// a freshly rebooted node forge tokens over a live neighbor's meal.
+	heard bool
 }
 
-// holds reports whether this endpoint currently holds the edge token.
+// holds reports whether this endpoint currently holds the edge token. A
+// node that has not heard its peer since rebooting holds nothing: it
+// cannot tell parity from forgery, so it abstains until handle() syncs.
 func (e *edgeState) holds() bool {
+	if !e.heard {
+		return false
+	}
 	if e.low {
 		return e.counter == e.peerCounter
 	}
@@ -77,10 +88,10 @@ type node struct {
 	events int64
 
 	eatRemaining int // events left before exit becomes eligible
-	eatStart     time.Time
 
 	dead     bool
-	malSteps int // > 0: malicious window
+	malSteps int   // > 0: malicious window
+	inc      int64 // incarnation: restarts survived
 	rng      *rand.Rand
 
 	inbox chan message
@@ -94,6 +105,31 @@ func (n *node) handle(m message) {
 	e := n.edgeByIdx(m.edgeIdx)
 	if e == nil || m.from != e.peer {
 		return // stray frame (possible during malicious garbage storms)
+	}
+	if !e.heard {
+		// First frame since a clean reboot: the peer's word is the only
+		// truth about this edge. Adopt its view wholesale and pick the
+		// counter that does NOT hold the token (low differs from the peer,
+		// high matches it), so the token regenerates at the live peer and
+		// reaches us only by an explicit grant.
+		e.heard = true
+		e.peerCounter = m.counter
+		if e.low {
+			e.counter = (m.counter + 1) % kStates
+		} else {
+			e.counter = m.counter
+		}
+		if m.priority == n.id || m.priority == e.peer {
+			e.priority = m.priority
+		}
+		if m.state.Valid() {
+			e.peerState = m.state
+		}
+		if m.depth >= 0 {
+			e.peerDepth = m.depth
+		}
+		n.onEvent()
+		return
 	}
 	// A receiver adopts the priority belief only from a frame whose
 	// counters prove authority: either the sender still holds the token,
@@ -165,11 +201,10 @@ func (n *node) act() {
 			executed = true
 			if n.state == core.Eating && before != core.Eating {
 				n.eatRemaining = n.net.cfg.EatEvents
-				n.eatStart = n.net.now()
 				n.net.recordEatStart(n.id)
 			}
 			if before == core.Eating && n.state != core.Eating {
-				n.net.recordEatEnd(n.id, n.eatStart)
+				n.net.recordEatEnd(n.id)
 			}
 			if n.state != before {
 				n.applyPendingYields()
@@ -301,7 +336,63 @@ func (n *node) maliciousStep() {
 // publish pushes the node's externally observable state to the network's
 // snapshot table.
 func (n *node) publish() {
-	n.net.publish(n.id, n.state, n.depth, n.dead, n.events)
+	n.net.publish(n.id, n.state, n.depth, n.dead, n.events, n.inc)
+}
+
+// applyRestart reboots the node into a fresh incarnation: clean mode
+// re-enters the legitimate initial per-node state, arbitrary mode boots
+// with domain-respecting garbage (the recovery analogue of
+// InitArbitrary). Either way the peers' caches still describe the old
+// incarnation, so convergence is stabilization's job, not a handshake's.
+// Runs on the node's own goroutine (via pollControl), preserving the
+// rule that only the owner writes node state.
+func (n *node) applyRestart(mode RestartMode) {
+	n.net.closeOpenSession(n.id)
+	n.dead = false
+	n.malSteps = 0
+	n.inc++
+	n.eatRemaining = 0
+	if mode == RestartArbitrary {
+		n.state = core.State(n.rng.Intn(3) + 1)
+		n.depth = n.rng.Intn(2*n.d + 4)
+		for i := range n.edges {
+			e := &n.edges[i]
+			e.counter = uint8(n.rng.Intn(kStates))
+			e.peerCounter = uint8(n.rng.Intn(kStates))
+			e.peerState = core.State(n.rng.Intn(3) + 1)
+			e.peerDepth = n.rng.Intn(2*n.d + 4)
+			if n.rng.Intn(2) == 0 {
+				e.priority = n.id
+			} else {
+				e.priority = e.peer
+			}
+			e.pendingYield = n.rng.Intn(4) == 0
+			e.heard = true // arbitrary state is arbitrary: no humility owed
+		}
+	} else {
+		// Clean means humble, not factory-fresh: the boot-time convention
+		// (lower ID holds the tokens and the priority) assumed everyone
+		// starts together. A lone reboot into a live system must not
+		// reassert it — zeroed counters make the low endpoint "hold" every
+		// edge, forging tokens over a neighbor's legitimate meal. Instead
+		// the node yields priority, marks each edge unheard (holding
+		// nothing), and lets the first frame from each live peer re-sync
+		// the pair. Worst case it waits one meal per edge.
+		n.state = core.Thinking
+		n.depth = 0
+		for i := range n.edges {
+			e := &n.edges[i]
+			e.counter = 0
+			e.peerCounter = 0
+			e.peerState = core.Thinking
+			e.peerDepth = 0
+			e.priority = e.peer
+			e.pendingYield = false
+			e.heard = false
+		}
+	}
+	n.publish()
+	n.gossipAll() // announce the revival without waiting for the tick
 }
 
 // edgeByIdx locates the incident edge with the given graph edge index.

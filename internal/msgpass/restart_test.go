@@ -1,0 +1,181 @@
+package msgpass
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcdp/internal/core"
+	"mcdp/internal/graph"
+	"mcdp/internal/sim"
+)
+
+// waitUntil polls cond every few milliseconds until it holds or the
+// deadline passes.
+func waitUntil(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRestartCleanEatsAgain: a killed node revived clean rejoins the
+// protocol and completes meals in its new incarnation.
+func TestRestartCleanEatsAgain(t *testing.T) {
+	g := graph.Ring(5)
+	nw := NewNetwork(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             11,
+	})
+	nw.Start()
+	defer nw.Stop()
+	const victim = graph.ProcID(2)
+	waitUntil(t, 5*time.Second, func() bool { return nw.Eats()[victim] > 0 }, "first meal")
+	nw.Kill(victim)
+	time.Sleep(50 * time.Millisecond)
+	atKill := nw.Eats()[victim]
+	nw.Restart(victim, RestartClean)
+	waitUntil(t, 5*time.Second, func() bool { return nw.Eats()[victim] > atKill },
+		"revived node to eat again")
+	if got := nw.Table()[victim]; got.Incarnation != 1 {
+		t.Fatalf("incarnation = %d, want 1", got.Incarnation)
+	}
+	if nw.Restarts() != 1 {
+		t.Fatalf("Restarts() = %d, want 1", nw.Restarts())
+	}
+}
+
+// TestRestartGarbageConverges: a node revived with arbitrary state is
+// absorbed by stabilization — it eats again and the run stays safe.
+func TestRestartGarbageConverges(t *testing.T) {
+	g := graph.Grid(3, 3)
+	nw := NewNetwork(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             12,
+	})
+	nw.Start()
+	const victim = graph.ProcID(4) // center: every edge touched
+	waitUntil(t, 5*time.Second, func() bool { return nw.Eats()[victim] > 0 }, "first meal")
+	nw.CrashMaliciously(victim, 15)
+	time.Sleep(60 * time.Millisecond)
+	atKill := nw.Eats()[victim]
+	nw.Restart(victim, RestartArbitrary)
+	waitUntil(t, 10*time.Second, func() bool { return nw.Eats()[victim] > atKill },
+		"garbage-revived node to eat again")
+	nw.Stop()
+	if bad := nw.OverlappingNeighborSessions(); len(bad) != 0 {
+		t.Fatalf("garbage restart broke safety: %v", bad)
+	}
+}
+
+// TestRestartPendingCollapses: multiple Restart calls before the node
+// polls collapse to the latest mode, and restarting a live node is a
+// reboot, not an error.
+func TestRestartPendingCollapses(t *testing.T) {
+	g := graph.Ring(4)
+	nw := NewNetwork(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             13,
+	})
+	nw.Start()
+	defer nw.Stop()
+	waitUntil(t, 5*time.Second, func() bool { return nw.Eats()[0] > 0 }, "first meal")
+	nw.Restart(0, RestartArbitrary)
+	nw.Restart(0, RestartClean) // live reboot on top of a pending one
+	waitUntil(t, 5*time.Second, func() bool { return nw.Table()[0].Incarnation >= 1 },
+		"incarnation to advance")
+	if nw.Restarts() != 2 {
+		t.Fatalf("Restarts() = %d, want 2", nw.Restarts())
+	}
+}
+
+// TestTCPRestartReconnectsEdges: restarting a node over the TCP
+// transport severs its sockets; the surviving endpoints redial, the
+// edges come back, and the revived node eats again.
+func TestTCPRestartReconnectsEdges(t *testing.T) {
+	g := graph.Ring(5)
+	nw, err := NewTCPNetwork(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	const victim = graph.ProcID(1)
+	waitUntil(t, 5*time.Second, func() bool { return nw.Eats()[victim] > 0 }, "first meal")
+	nw.Kill(victim)
+	time.Sleep(50 * time.Millisecond)
+	atKill := nw.Eats()[victim]
+	nw.Restart(victim, RestartArbitrary)
+	waitUntil(t, 10*time.Second, func() bool { return nw.Eats()[victim] > atKill },
+		"revived node to eat again over TCP")
+	waitUntil(t, 5*time.Second, func() bool { return nw.Reconnects() >= 2 },
+		"both incident edges to reconnect")
+	nw.Stop()
+	if bad := nw.OverlappingNeighborSessions(); len(bad) != 0 {
+		t.Fatalf("TCP restart broke safety: %v", bad)
+	}
+}
+
+// TestGoroutineFaultInjection: the injector hook runs on the live
+// goroutine path — faults land at roughly configured rates and the
+// system keeps eating through them.
+func TestGoroutineFaultInjection(t *testing.T) {
+	g := graph.Ring(5)
+	nw := NewNetwork(Config{
+		Graph:            g,
+		Algorithm:        core.NewMCDP(),
+		DiameterOverride: sim.SafeDepthBound(g),
+		Seed:             15,
+		Faults:           &cycleFaults{},
+	})
+	nw.Start()
+	waitUntil(t, 10*time.Second, func() bool {
+		for _, e := range nw.Eats() {
+			if e == 0 {
+				return false
+			}
+		}
+		return true
+	}, "every node to eat under injected faults")
+	nw.Stop()
+	dropped, duplicated, _, delayed := nw.FaultsInjected()
+	if dropped == 0 || duplicated == 0 || delayed == 0 {
+		t.Fatalf("injector idle: dropped=%d duplicated=%d delayed=%d", dropped, duplicated, delayed)
+	}
+	if bad := nw.OverlappingNeighborSessions(); len(bad) != 0 {
+		t.Fatalf("faults broke safety: %v", bad)
+	}
+}
+
+// cycleFaults cycles drop, duplicate, and delay verdicts over a shared
+// counter (so every channel sees every fault class) without importing
+// internal/chaos — msgpass must not depend on its consumers.
+type cycleFaults struct{ ctr atomic.Int64 }
+
+func (c *cycleFaults) Decide(from, to graph.ProcID, edgeIdx int) FaultDecision {
+	switch c.ctr.Add(1) % 10 {
+	case 0:
+		return FaultDecision{Drop: true}
+	case 1:
+		return FaultDecision{Duplicates: 1}
+	case 2:
+		return FaultDecision{DelayTicks: 2}
+	default:
+		return FaultDecision{}
+	}
+}
