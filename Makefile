@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race short cover bench examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
+.PHONY: all build vet lint test race short cover bench bench-json examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
 
 all: build vet lint test
 
@@ -35,6 +35,15 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf baseline: the core micro/experiment benchmarks
+# plus the shard scaling sweep (1/2/4 arbiter shards under the same
+# 512-key load), merged into BENCH_shard.json. Rerun and diff to spot
+# a regression; docs/SHARD.md explains the sweep's shape.
+bench-json: dinerd
+	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep|BenchmarkSimStepLargeRing|BenchmarkDrinkersStep|BenchmarkInvariantCheck|BenchmarkEnabledChoices)$$' -benchmem . | tee bench_core.txt
+	./bin/dinerd bench -core bench_core.txt -out BENCH_shard.json
+	@rm -f bench_core.txt
 
 examples:
 	$(GO) run ./examples/quickstart

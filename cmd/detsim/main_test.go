@@ -69,7 +69,7 @@ func TestParseSeedRange(t *testing.T) {
 func TestRunSeedMatchesSweepRun(t *testing.T) {
 	g := graph.Ring(6)
 	want := detsim.SweepRun(g, 42, 120, 2, false)
-	failed, summary := runSeed(graph.Ring(6), 42, 120, 2, "fair", false)
+	failed, summary := runSeed(graph.Ring(6), 42, 120, 2, 0, "fair", false)
 	if failed != want.Failed() {
 		t.Errorf("CLI failed=%v, SweepRun failed=%v", failed, want.Failed())
 	}

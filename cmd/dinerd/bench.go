@@ -1,0 +1,285 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcdp/internal/graph"
+	"mcdp/internal/lockservice"
+)
+
+// benchResult is one shard count's measurement in BENCH_shard.json.
+type benchResult struct {
+	Shards        int              `json:"shards"`
+	Workers       int              `json:"workers"`
+	Locks         int              `json:"locks"`
+	Grants        int64            `json:"grants"`
+	ThroughputPS  float64          `json:"throughput_per_s"`
+	P50MS         float64          `json:"p50_ms"`
+	P90MS         float64          `json:"p90_ms"`
+	P99MS         float64          `json:"p99_ms"`
+	Timeouts      int64            `json:"timeouts_408"`
+	Backpressure  int64            `json:"backpressure_429"`
+	CrossShard    int64            `json:"cross_shard_422"`
+	Failures      int64            `json:"failures"`
+	PerShardGrant map[string]int64 `json:"per_shard_grants"`
+}
+
+// coreBench is one parsed `go test -bench` result line.
+type coreBench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchFile is the full BENCH_shard.json artifact.
+type benchFile struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	GoVersion     string        `json:"go_version"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	Config        benchConfig   `json:"config"`
+	ShardSweep    []benchResult `json:"shard_sweep"`
+	// Speedup4v1 is the acceptance quantity: 4-shard over 1-shard
+	// throughput (0 when either stage is missing from -shards).
+	Speedup4v1 float64     `json:"speedup_4shard_vs_1shard"`
+	Core       []coreBench `json:"core_benchmarks,omitempty"`
+}
+
+type benchConfig struct {
+	Topology  string  `json:"topology_per_shard"`
+	Keys      int     `json:"keyspace"`
+	Clients   int     `json:"clients"`
+	DurationS float64 `json:"duration_s_per_stage"`
+	TickUS    int64   `json:"tick_us"`
+	HoldMS    float64 `json:"hold_ms"`
+	Pair      float64 `json:"pair_probability"`
+	Seed      int64   `json:"seed"`
+}
+
+// benchCmd sweeps shard counts over an in-process dinerd — router,
+// HTTP listener, and client swarm all real — and records the scaling
+// curve plus (optionally) parsed core `go test -bench` output into one
+// JSON artifact. This is the repo's perf baseline: rerun `make
+// bench-json` and diff BENCH_shard.json to see a regression.
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		shardsCSV = fs.String("shards", "1,2,4", "comma-separated shard counts to sweep")
+		topology  = fs.String("topology", "grid", "per-shard topology: grid|ring|path|torus|complete")
+		rows      = fs.Int("rows", 3, "grid/torus rows")
+		cols      = fs.Int("cols", 3, "grid/torus cols")
+		n         = fs.Int("n", 8, "process count (ring/path/complete)")
+		clients   = fs.Int("clients", 96, "concurrent clients per stage")
+		duration  = fs.Duration("duration", 4*time.Second, "load duration per shard count")
+		hold      = fs.Duration("hold", 5*time.Millisecond, "lease hold per grant")
+		pair      = fs.Float64("pair", 0.2, "probability of a two-lock same-worker request")
+		keys      = fs.Int("keys", 512, "named-resource keyspace size (fixed across the sweep)")
+		tick      = fs.Duration("tick", 2*time.Millisecond, "substrate gossip tick")
+		timeout   = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
+		seed      = fs.Int64("seed", 1, "substrate and client seed")
+		corePath  = fs.String("core", "", "`go test -bench` output to parse and embed")
+		out       = fs.String("out", "BENCH_shard.json", "output JSON path")
+	)
+	fs.Parse(args)
+
+	counts, err := parseShardCounts(*shardsCSV)
+	if err != nil {
+		fail(err)
+	}
+	g, err := buildTopology(*topology, *n, *rows, *cols)
+	if err != nil {
+		fail(err)
+	}
+
+	file := benchFile{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Config: benchConfig{
+			Topology:  g.Name(),
+			Keys:      *keys,
+			Clients:   *clients,
+			DurationS: duration.Seconds(),
+			TickUS:    tick.Microseconds(),
+			HoldMS:    float64(hold.Microseconds()) / 1000,
+			Pair:      *pair,
+			Seed:      *seed,
+		},
+	}
+
+	byCount := map[int]*benchResult{}
+	for _, count := range counts {
+		fmt.Printf("bench: %d shard(s), %d clients for %v (tick %v)\n", count, *clients, *duration, *tick)
+		r, err := benchStage(g, count, loadOpts{
+			clients:  *clients,
+			duration: *duration,
+			hold:     *hold,
+			timeout:  *timeout,
+			pair:     *pair,
+			seed:     *seed,
+			keys:     *keys,
+			sharded:  true,
+		}, lockservice.Config{Graph: g, Seed: *seed, TickEvery: *tick})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("bench:   %.0f grants/s, p50 %.2fms p99 %.2fms (%d grants, %d timeouts)\n",
+			r.ThroughputPS, r.P50MS, r.P99MS, r.Grants, r.Timeouts)
+		file.ShardSweep = append(file.ShardSweep, *r)
+		byCount[count] = r
+	}
+	if one, four := byCount[1], byCount[4]; one != nil && four != nil && one.ThroughputPS > 0 {
+		file.Speedup4v1 = four.ThroughputPS / one.ThroughputPS
+		fmt.Printf("bench: 4-shard vs 1-shard throughput: %.2fx (p99 %.2fms vs %.2fms)\n",
+			file.Speedup4v1, four.P99MS, one.P99MS)
+	}
+
+	if *corePath != "" {
+		core, err := parseGoBench(*corePath)
+		if err != nil {
+			fail(err)
+		}
+		file.Core = core
+		fmt.Printf("bench: embedded %d core benchmark rows from %s\n", len(core), *corePath)
+	}
+
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("bench: wrote %s\n", *out)
+}
+
+// benchStage measures one shard count: start a router over real HTTP,
+// run the load swarm, tear everything down.
+func benchStage(g *graph.Graph, shards int, o loadOpts, base lockservice.Config) (*benchResult, error) {
+	rt := lockservice.NewRouter(lockservice.RouterConfig{Shards: shards, Base: base})
+	rt.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	o.addr = "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.duration+30*time.Second)
+	defer cancel()
+	probe := lockservice.NewClient(o.addr)
+	rep, err := probe.Status(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench server unreachable: %w", err)
+	}
+	info, err := probe.Ring(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench server has no ring: %w", err)
+	}
+	cat := buildCatalog(rep.Edges, replicaRing(info))
+	if o.keys > 0 {
+		cat = buildKeyCatalog(o.keys, rep.Edges, replicaRing(info))
+	}
+
+	res := runLoad(ctx, cat, o)
+
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelShutdown()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	rt.Stop(shutdownCtx)
+
+	br := &benchResult{
+		Shards:        shards,
+		Workers:       shards * g.N(),
+		Locks:         shards * g.EdgeCount(),
+		Grants:        res.grants.Load(),
+		ThroughputPS:  float64(res.grants.Load()) / o.duration.Seconds(),
+		P50MS:         quantileMS(res.overall, 0.50),
+		P90MS:         quantileMS(res.overall, 0.90),
+		P99MS:         quantileMS(res.overall, 0.99),
+		Timeouts:      res.timeouts.Load(),
+		Backpressure:  res.busy.Load(),
+		CrossShard:    res.crossShard.Load(),
+		Failures:      res.failures.Load(),
+		PerShardGrant: map[string]int64{},
+	}
+	var shardIDs []int
+	for s := range res.perShard {
+		shardIDs = append(shardIDs, s)
+	}
+	sort.Ints(shardIDs)
+	for _, s := range shardIDs {
+		br.PerShardGrant[strconv.Itoa(s)] = res.perShard[s].grants.Load()
+	}
+	return br, nil
+}
+
+// parseShardCounts reads "1,2,4" into a sorted-as-given int slice.
+func parseShardCounts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad shard count %q (want positive integers, comma-separated)", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -shards list")
+	}
+	return out, nil
+}
+
+// parseGoBench reads standard `go test -bench` text output:
+//
+//	BenchmarkSimStep-8   12345   9876 ns/op   120 B/op   3 allocs/op
+func parseGoBench(path string) ([]coreBench, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []coreBench
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		cb := coreBench{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				cb.NsPerOp = v
+			case "B/op":
+				cb.BytesPerOp = v
+			case "allocs/op":
+				cb.AllocsPerOp = v
+			}
+		}
+		out = append(out, cb)
+	}
+	return out, sc.Err()
+}

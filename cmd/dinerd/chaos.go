@@ -49,6 +49,7 @@ func chaosCmd(args []string) {
 		seed     = fs.Int64("seed", 1, "campaign seed (same seed, same plan)")
 		duration = fs.Duration("duration", 15*time.Second, "campaign duration")
 		kills    = fs.Int("kills", 2, "crash victims (each gets a restart)")
+		churn    = fs.Int("churn", 0, "leave/rejoin victim pairs (runtime membership churn)")
 		drop     = fs.Float64("drop", 0.10, "per-frame drop probability")
 		dup      = fs.Float64("dup", 0.05, "per-frame duplication probability")
 		corrupt  = fs.Float64("corrupt", 0.05, "per-frame payload-corruption probability")
@@ -73,7 +74,7 @@ func chaosCmd(args []string) {
 		Delay: *delay, MaxDelayTicks: *maxDelay, Reorder: *reorder,
 	}
 	horizon := int(*duration / *tick)
-	camp := chaos.Random(*seed, g, horizon, *kills, faults)
+	camp := chaos.Random(*seed, g, horizon, *kills, *churn, faults)
 
 	hist := lockservice.NewHistory()
 	cfg := lockservice.Config{
@@ -289,6 +290,18 @@ func runCampaign(ctx context.Context, camp chaos.Campaign, srv *lockservice.Serv
 					continue // the supervisor owns revival
 				}
 				_, _ = c.Restart(ctx, int(a.Node), a.Kind == chaos.ActRestartGarbage || garbage)
+			case chaos.ActLeave:
+				// A leave is a crash the graph absorbs: the node's edges
+				// vanish and waiters it blocked run free. The watcher's
+				// phase 1 completes when the paired join revives the node
+				// as a new incarnation.
+				baseline := nw.Eats()[a.Node]
+				if _, err := c.Leave(ctx, int(a.Node)); err != nil {
+					continue
+				}
+				watchRecovery(ctx, nw, a, baseline, &mu, recoveries, wg)
+			case chaos.ActJoin:
+				_, _ = c.Join(ctx, int(a.Node))
 			case chaos.ActPartition:
 				nw.SetPartitioned(a.Node, true)
 			case chaos.ActHeal:

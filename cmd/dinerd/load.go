@@ -1,0 +1,227 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcdp/internal/lockservice"
+	"mcdp/internal/shard"
+	"mcdp/internal/stats"
+)
+
+// shardCatalog maps the resource names the generator draws onto the
+// placement ring so every request is single-shard by construction.
+// Against an unsharded server (nil ring) everything lives on pseudo-
+// shard 0 and the catalog degenerates to the old behavior.
+type shardCatalog struct {
+	keys    []string
+	shardOf map[string]int
+	buckets [][]string // same-worker, same-shard groups of >=2 keys
+	shards  []int      // sorted shard ids owning at least one key
+}
+
+// buildCatalog draws directly from the server's raw lock catalog: the
+// keys are the canonical edge names themselves.
+func buildCatalog(edges []string, ring *shard.Ring) *shardCatalog {
+	return assembleCatalog(edges, edges, ring)
+}
+
+// buildKeyCatalog synthesizes a keyspace of nkeys named resources. The
+// server hashes an arbitrary name onto an edge (FNV-1a over the edge
+// count — the ResourceMapper contract), so many keys share each
+// arbitration slot; sharding multiplies the slot count while the
+// keyspace stays fixed. This is the service's natural workload shape:
+// clients lock domain names ("res-000042"), not topology edges.
+func buildKeyCatalog(nkeys int, edges []string, ring *shard.Ring) *shardCatalog {
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("res-%06d", i)
+	}
+	return assembleCatalog(keys, edges, ring)
+}
+
+// assembleCatalog classifies every key by owning shard and groups keys
+// by (arbitrating worker, shard): a two-lock request drawn from one
+// group stays single-worker (the MapSession contract) and single-shard
+// (the router contract).
+func assembleCatalog(keys, edges []string, ring *shard.Ring) *shardCatalog {
+	c := &shardCatalog{keys: keys, shardOf: make(map[string]int, len(keys))}
+	seen := map[int]bool{}
+	type group struct{ endpoint, shard int }
+	byGroup := map[group][]string{}
+	var order []group
+	for _, name := range keys {
+		s := 0
+		if ring != nil {
+			s, _ = ring.Lookup(name)
+		}
+		c.shardOf[name] = s
+		seen[s] = true
+		a, b, ok := parseEdge(edgeNameFor(name, edges))
+		if !ok {
+			continue
+		}
+		for _, p := range []int{a, b} {
+			g := group{p, s}
+			if _, dup := byGroup[g]; !dup {
+				order = append(order, g)
+			}
+			byGroup[g] = append(byGroup[g], name)
+		}
+	}
+	for s := range seen {
+		c.shards = append(c.shards, s)
+	}
+	sort.Ints(c.shards)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].endpoint != order[j].endpoint {
+			return order[i].endpoint < order[j].endpoint
+		}
+		return order[i].shard < order[j].shard
+	})
+	for _, g := range order {
+		if members := byGroup[g]; len(members) >= 2 {
+			c.buckets = append(c.buckets, members)
+		}
+	}
+	return c
+}
+
+// edgeNameFor replicates ResourceMapper.EdgeFor client-side: explicit
+// edge names map to themselves, anything else FNV-1a hashes onto the
+// server's edge list (which Status reports in graph order).
+func edgeNameFor(name string, edges []string) string {
+	if strings.HasPrefix(name, "edge:") {
+		return name
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return edges[h.Sum64()%uint64(len(edges))]
+}
+
+// pick draws one request's resource set: with probability pair a
+// two-lock same-worker same-shard request, otherwise a single lock.
+func (c *shardCatalog) pick(rng *rand.Rand, pair float64) []string {
+	if pair > 0 && len(c.buckets) > 0 && rng.Float64() < pair {
+		b := c.buckets[rng.Intn(len(c.buckets))]
+		i := rng.Intn(len(b))
+		j := rng.Intn(len(b) - 1)
+		if j >= i {
+			j++
+		}
+		return []string{b[i], b[j]}
+	}
+	return []string{c.keys[rng.Intn(len(c.keys))]}
+}
+
+// replicaRing rebuilds the router's placement ring from its /v1/ring
+// description; Lookup then agrees with the router for every key at the
+// reported generation.
+func replicaRing(info *lockservice.RingInfo) *shard.Ring {
+	r := shard.New(info.Seed, info.Vnodes)
+	for _, m := range info.Members {
+		if err := r.Add(m); err != nil {
+			return nil // overlapping members: trust the server, route blind
+		}
+	}
+	return r
+}
+
+// shardTally collects one shard's client-observed outcomes.
+type shardTally struct {
+	rec    *stats.Recorder
+	grants atomic.Int64
+}
+
+// loadOpts parameterizes one load run.
+type loadOpts struct {
+	addr     string
+	clients  int
+	duration time.Duration
+	hold     time.Duration
+	timeout  time.Duration
+	pair     float64
+	seed     int64
+	keys     int  // synthetic keyspace size (0 = raw edge catalog)
+	sharded  bool // fetch /v1/ring per client so acquires assert the generation
+}
+
+// loadResult is what the swarm observed, overall and per shard.
+type loadResult struct {
+	grants     atomic.Int64
+	timeouts   atomic.Int64 // 408: wait budget exhausted
+	busy       atomic.Int64 // 429: backpressure
+	crossShard atomic.Int64 // 422: resource set spans shards (catalog bug)
+	failures   atomic.Int64
+	overall    *stats.Recorder
+	perShard   map[int]*shardTally
+}
+
+// runLoad drives the acquire/hold/release swarm against addr until the
+// duration elapses and returns everything it measured. Shared by the
+// loadgen and bench subcommands.
+func runLoad(ctx context.Context, cat *shardCatalog, o loadOpts) *loadResult {
+	res := &loadResult{
+		overall:  stats.NewRecorder(1 << 18),
+		perShard: make(map[int]*shardTally, len(cat.shards)),
+	}
+	for _, s := range cat.shards {
+		res.perShard[s] = &shardTally{rec: stats.NewRecorder(1 << 16)}
+	}
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(o.duration)
+	for w := 0; w < o.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(w)*7919))
+			c := lockservice.NewClient(o.addr)
+			if o.sharded {
+				_, _ = c.Ring(ctx) // seed the generation the acquires assert
+			}
+			for time.Now().Before(stopAt) && ctx.Err() == nil {
+				resources := cat.pick(rng, o.pair)
+				start := time.Now()
+				grant, err := c.Acquire(ctx, resources, o.timeout, 0)
+				if err != nil {
+					switch {
+					case strings.Contains(err.Error(), "HTTP 408"):
+						res.timeouts.Add(1)
+					case strings.Contains(err.Error(), "HTTP 429"):
+						res.busy.Add(1)
+					case strings.Contains(err.Error(), "HTTP 422"):
+						res.crossShard.Add(1)
+					default:
+						res.failures.Add(1)
+					}
+					continue
+				}
+				lat := time.Since(start).Seconds()
+				res.overall.Observe(lat)
+				res.grants.Add(1)
+				if t := res.perShard[cat.shardOf[resources[0]]]; t != nil {
+					t.rec.Observe(lat)
+					t.grants.Add(1)
+				}
+				time.Sleep(o.hold)
+				if err := c.Release(ctx, grant.SessionID); err != nil {
+					res.failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return res
+}
+
+// quantileMS reads a latency quantile from a recorder in milliseconds.
+func quantileMS(rec *stats.Recorder, q float64) float64 {
+	return stats.Quantile(rec.Samples(), q) * 1000
+}

@@ -4,21 +4,21 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"mcdp/internal/lockservice"
+	"mcdp/internal/shard"
 	"mcdp/internal/stats"
 )
 
 // loadgen hammers a running dinerd with concurrent acquire/hold/release
-// cycles and reports client-observed latency percentiles.
+// cycles and reports client-observed latency percentiles. Against a
+// sharded server it replicates the placement ring from /v1/ring, draws
+// only single-shard resource sets, and breaks the percentiles out per
+// shard.
 func loadgen(args []string) {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	var (
@@ -29,6 +29,7 @@ func loadgen(args []string) {
 		pair     = fs.Float64("pair", 0.2, "probability a request asks for two locks sharing a worker")
 		timeout  = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
 		seed     = fs.Int64("seed", 1, "client randomness seed")
+		keys     = fs.Int("keys", 0, "synthetic named-resource keyspace size (0 = lock raw edge names)")
 	)
 	fs.Parse(args)
 
@@ -42,89 +43,67 @@ func loadgen(args []string) {
 	if len(rep.Edges) == 0 {
 		fail(fmt.Errorf("server at %s exposes no lockable resources", *addr))
 	}
-	// Group the server's canonical edge names by endpoint so pair
-	// requests can pick two locks arbitrated by one worker.
-	byEndpoint := map[int][]string{}
-	for _, name := range rep.Edges {
-		a, b, ok := parseEdge(name)
-		if !ok {
-			continue
-		}
-		byEndpoint[a] = append(byEndpoint[a], name)
-		byEndpoint[b] = append(byEndpoint[b], name)
-	}
-	var hubs []int
-	for p, names := range byEndpoint {
-		if len(names) >= 2 {
-			hubs = append(hubs, p)
-		}
-	}
-	sort.Ints(hubs)
 
-	fmt.Printf("loadgen: %d clients for %v against %s (%s, %d locks)\n",
-		*clients, *duration, *addr, rep.Topology, len(rep.Edges))
-
-	var (
-		wg        sync.WaitGroup
-		latencies = stats.NewRecorder(1 << 18)
-		grants    atomic.Int64
-		timeouts  atomic.Int64
-		busy      atomic.Int64
-		failures  atomic.Int64
-	)
-	stopAt := time.Now().Add(*duration)
-	for w := 0; w < *clients; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
-			c := lockservice.NewClient(*addr)
-			for time.Now().Before(stopAt) && ctx.Err() == nil {
-				resources := pickResources(rng, rep.Edges, hubs, byEndpoint, *pair)
-				start := time.Now()
-				grant, err := c.Acquire(ctx, resources, *timeout, 0)
-				if err != nil {
-					switch {
-					case strings.Contains(err.Error(), "HTTP 408"):
-						timeouts.Add(1)
-					case strings.Contains(err.Error(), "HTTP 429"):
-						busy.Add(1)
-					default:
-						failures.Add(1)
-					}
-					continue
-				}
-				latencies.Observe(time.Since(start).Seconds())
-				grants.Add(1)
-				time.Sleep(*hold)
-				if err := c.Release(ctx, grant.SessionID); err != nil {
-					failures.Add(1)
-				}
-			}
-		}(w)
+	// A router answers /v1/ring; a single Server does not. With a ring
+	// in hand the catalog keeps every request on one shard and each
+	// acquire asserts the generation the placement was resolved under.
+	var ring *shard.Ring
+	if info, err := probe.Ring(ctx); err == nil {
+		ring = replicaRing(info)
 	}
-	wg.Wait()
+	cat := buildCatalog(rep.Edges, ring)
+	if *keys > 0 {
+		cat = buildKeyCatalog(*keys, rep.Edges, ring)
+	}
 
-	xs := latencies.Samples()
+	fmt.Printf("loadgen: %d clients for %v against %s (%s, %d keys over %d locks, %d shards)\n",
+		*clients, *duration, *addr, rep.Topology, len(cat.keys), len(rep.Edges), len(cat.shards))
+
+	res := runLoad(ctx, cat, loadOpts{
+		addr:     *addr,
+		clients:  *clients,
+		duration: *duration,
+		hold:     *hold,
+		timeout:  *timeout,
+		pair:     *pair,
+		seed:     *seed,
+		sharded:  ring != nil,
+	})
+
+	summary := stats.NewTable("loadgen summary", "metric", "value")
+	summary.AddRow("grants", res.grants.Load())
+	summary.AddRow("throughput (grants/s)", fmt.Sprintf("%.1f", float64(res.grants.Load())/duration.Seconds()))
+	summary.AddRow("timeouts (408)", res.timeouts.Load())
+	summary.AddRow("backpressure (429)", res.busy.Load())
+	summary.AddRow("cross-shard rejects (422)", res.crossShard.Load())
+	summary.AddRow("other failures", res.failures.Load())
+	summary.Render(os.Stdout)
+
+	xs := res.overall.Samples()
 	ms := func(q float64) string {
 		return fmt.Sprintf("%.2f", stats.Quantile(xs, q)*1000)
 	}
-	summary := stats.NewTable("loadgen summary", "metric", "value")
-	summary.AddRow("grants", grants.Load())
-	summary.AddRow("throughput (grants/s)", fmt.Sprintf("%.1f", float64(grants.Load())/duration.Seconds()))
-	summary.AddRow("timeouts (408)", timeouts.Load())
-	summary.AddRow("backpressure (429)", busy.Load())
-	summary.AddRow("other failures", failures.Load())
-	summary.Render(os.Stdout)
-
 	lat := stats.NewTable("acquire latency (ms, client-observed)",
 		"p50", "p90", "p95", "p99", "max")
 	lat.AddRow(ms(0.50), ms(0.90), ms(0.95), ms(0.99), ms(1.0))
 	lat.Render(os.Stdout)
 
+	if ring != nil {
+		per := stats.NewTable("per-shard acquire latency (ms)",
+			"shard", "grants", "p50", "p95", "p99")
+		for _, s := range cat.shards {
+			t := res.perShard[s]
+			per.AddRow(s, t.grants.Load(),
+				fmt.Sprintf("%.2f", quantileMS(t.rec, 0.50)),
+				fmt.Sprintf("%.2f", quantileMS(t.rec, 0.95)),
+				fmt.Sprintf("%.2f", quantileMS(t.rec, 0.99)))
+		}
+		per.Render(os.Stdout)
+	}
+
 	printSubstrateCounters(ctx, probe)
 
-	if failures.Load() > 0 {
+	if res.failures.Load() > 0 {
 		os.Exit(1)
 	}
 }
@@ -178,21 +157,6 @@ func parseCounters(text string) map[string]int64 {
 		}
 	}
 	return out
-}
-
-// pickResources draws one lock, or — with probability pair — two locks
-// sharing a worker (so the request stays mappable to a single home).
-func pickResources(rng *rand.Rand, edges []string, hubs []int, byEndpoint map[int][]string, pair float64) []string {
-	if pair > 0 && len(hubs) > 0 && rng.Float64() < pair {
-		p := hubs[rng.Intn(len(hubs))]
-		incident := byEndpoint[p]
-		i := rng.Intn(len(incident))
-		j := rng.Intn(len(incident))
-		if i != j {
-			return []string{incident[i], incident[j]}
-		}
-	}
-	return []string{edges[rng.Intn(len(edges))]}
 }
 
 // parseEdge reads the canonical "edge:a-b" form.

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	dinerd serve   [-addr :7467] [-topology grid] [-rows 3] [-cols 4] ...
+//	dinerd serve   [-addr :7467] [-topology grid] [-rows 3] [-cols 4] [-shards 4] ...
 //	dinerd loadgen [-addr http://127.0.0.1:7467] [-clients 8] [-duration 10s] ...
-//	dinerd chaos   [-seed 1] [-duration 15s] [-kills 2] [-supervise] ...
+//	dinerd chaos   [-seed 1] [-duration 15s] [-kills 2] [-churn 1] [-supervise] ...
+//	dinerd bench   [-shards 1,2,4] [-out BENCH_shard.json] ...
 //
 // serve starts the HTTP/JSON API (see docs/DINERD.md): POST
 // /v1/acquire, POST /v1/release, GET /v1/status, GET /metrics, and
@@ -39,13 +40,15 @@ func main() {
 		loadgen(os.Args[2:])
 	case "chaos":
 		chaosCmd(os.Args[2:])
+	case "bench":
+		benchCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: dinerd serve|loadgen|chaos [flags]\n")
+	fmt.Fprintf(os.Stderr, "usage: dinerd serve|loadgen|chaos|bench [flags]\n")
 	os.Exit(2)
 }
 
@@ -68,6 +71,8 @@ func serve(args []string) {
 		timeout  = fs.Duration("timeout", 5*time.Second, "default acquire wait budget")
 		seed     = fs.Int64("seed", 1, "substrate seed")
 		loss     = fs.Float64("loss", 0, "frame loss rate injected into the substrate")
+		shards   = fs.Int("shards", 1, "independent arbiter shards fronted by the consistent-hash ring")
+		vnodes   = fs.Int("vnodes", 0, "virtual nodes per shard on the ring (0 = default)")
 	)
 	fs.Parse(args)
 
@@ -75,7 +80,7 @@ func serve(args []string) {
 	if err != nil {
 		fail(err)
 	}
-	srv := lockservice.NewServer(lockservice.Config{
+	base := lockservice.Config{
 		Graph:          g,
 		Seed:           *seed,
 		QueueLimit:     *queue,
@@ -83,14 +88,29 @@ func serve(args []string) {
 		DefaultTTL:     *ttl,
 		TickEvery:      *tick,
 		LossRate:       *loss,
-	})
-	srv.Start()
+	}
+	// One shard serves the plain Server; more front N servers with the
+	// consistent-hash router (each shard its own diners core over its
+	// own copy of the topology).
+	var handler http.Handler
+	var stopSvc func(context.Context)
+	if *shards > 1 {
+		rt := lockservice.NewRouter(lockservice.RouterConfig{Shards: *shards, Vnodes: *vnodes, Base: base})
+		rt.Start()
+		handler, stopSvc = rt.Handler(), rt.Stop
+		fmt.Printf("dinerd: serving %d x %s (%d workers, %d locks, ring gen %d) on %s\n",
+			*shards, g.Name(), *shards*g.N(), *shards*g.EdgeCount(), rt.RingInfo().Generation, *addr)
+	} else {
+		srv := lockservice.NewServer(base)
+		srv.Start()
+		handler, stopSvc = srv.Handler(), srv.Stop
+		fmt.Printf("dinerd: serving %s (%d workers, %d locks) on %s\n",
+			g.Name(), g.N(), g.EdgeCount(), *addr)
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("dinerd: serving %s (%d workers, %d locks) on %s\n",
-		g.Name(), g.N(), g.EdgeCount(), *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -103,7 +123,7 @@ func serve(args []string) {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(shutdownCtx)
-	srv.Stop(shutdownCtx)
+	stopSvc(shutdownCtx)
 	fmt.Println("dinerd: stopped")
 }
 

@@ -32,6 +32,12 @@ const (
 	ActPartition
 	// ActHeal ends the node's partition.
 	ActHeal
+	// ActLeave splices the node out of the conflict graph: its edges —
+	// and any tokens they pinned — vanish, freeing blocked waiters.
+	ActLeave
+	// ActJoin readmits a departed node over its surviving original
+	// edges, each booting by the humble-reboot rule.
+	ActJoin
 )
 
 // String names the kind for traces and reports.
@@ -49,6 +55,10 @@ func (k ActionKind) String() string {
 		return "partition"
 	case ActHeal:
 		return "heal"
+	case ActLeave:
+		return "leave"
+	case ActJoin:
+		return "join"
 	default:
 		return fmt.Sprintf("ActionKind(%d)", uint8(k))
 	}
@@ -103,10 +113,14 @@ func (c Campaign) String() string {
 // Random derives a complete campaign from a seed: kills distinct
 // victims somewhere in the first half of the horizon (each a benign
 // kill or a malicious crash), restarts every victim after a gap (clean
-// or with garbage state), and with probability one half adds one
-// partition window on a non-victim. The same (seed, graph, horizon,
-// kills, faults) always yields the identical plan.
-func Random(seed int64, g *graph.Graph, horizon, kills int, f Faults) Campaign {
+// or with garbage state), makes churn further distinct victims leave
+// the conflict graph and rejoin after a gap (so membership is always
+// restored before the horizon ends), and with probability one half
+// adds one partition window on an untouched node. The same (seed,
+// graph, horizon, kills, churn, faults) always yields the identical
+// plan, and churn = 0 draws exactly the plans it drew before churn
+// existed.
+func Random(seed int64, g *graph.Graph, horizon, kills, churn int, f Faults) Campaign {
 	if horizon < 20 {
 		horizon = 20
 	}
@@ -116,6 +130,12 @@ func Random(seed int64, g *graph.Graph, horizon, kills int, f Faults) Campaign {
 	}
 	if kills < 0 {
 		kills = 0
+	}
+	if churn > n-kills {
+		churn = n - kills
+	}
+	if churn < 0 {
+		churn = 0
 	}
 	s := uint64(seed) ^ 0x9e3779b97f4a7c15
 	next := func() uint64 {
@@ -155,9 +175,16 @@ func Random(seed int64, g *graph.Graph, horizon, kills int, f Faults) Campaign {
 		actions = append(actions, Action{At: restartAt, Kind: kind, Node: v})
 	}
 
-	// One partition window on a non-victim, half the time.
-	if kills < n && next()&1 == 0 {
-		p := perm[kills+int(next()%uint64(n-kills))]
+	for _, v := range perm[kills : kills+churn] {
+		at := draw(horizon/10, horizon/2)
+		actions = append(actions,
+			Action{At: at, Kind: ActLeave, Node: v},
+			Action{At: at + draw(horizon/10, horizon/4), Kind: ActJoin, Node: v})
+	}
+
+	// One partition window on an untouched node, half the time.
+	if kills+churn < n && next()&1 == 0 {
+		p := perm[kills+churn+int(next()%uint64(n-kills-churn))]
 		from := draw(horizon/10, horizon/2)
 		until := from + draw(horizon/20, horizon/5)
 		if until >= horizon {

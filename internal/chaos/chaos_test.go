@@ -81,8 +81,8 @@ func TestRandomCampaignShape(t *testing.T) {
 	g := graph.Grid(3, 3)
 	const horizon = 400
 	for seed := int64(0); seed < 50; seed++ {
-		c := Random(seed, g, horizon, 2, DefaultFaults())
-		c2 := Random(seed, g, horizon, 2, DefaultFaults())
+		c := Random(seed, g, horizon, 2, 1, DefaultFaults())
+		c2 := Random(seed, g, horizon, 2, 1, DefaultFaults())
 		if c.String() != c2.String() {
 			t.Fatalf("seed %d: plan not deterministic", seed)
 		}
@@ -119,7 +119,7 @@ func TestRandomCampaignShape(t *testing.T) {
 // TestRandomVictimsDistinct: kill counts up to n yield distinct victims.
 func TestRandomVictimsDistinct(t *testing.T) {
 	g := graph.Ring(5)
-	c := Random(3, g, 200, 5, Faults{})
+	c := Random(3, g, 200, 5, 2, Faults{})
 	victims := make(map[graph.ProcID]bool)
 	for _, a := range c.Actions {
 		if a.Kind == ActKill || a.Kind == ActMaliciousCrash {

@@ -40,6 +40,10 @@ func CampaignConfig(g *graph.Graph, c chaos.Campaign, rounds int, trace bool) Co
 			cfg.Restarts = append(cfg.Restarts, Restart{Node: a.Node, Round: a.At})
 		case chaos.ActRestartGarbage:
 			cfg.Restarts = append(cfg.Restarts, Restart{Node: a.Node, Round: a.At, Garbage: true})
+		case chaos.ActLeave:
+			cfg.Leaves = append(cfg.Leaves, Leave{Node: a.Node, Round: a.At})
+		case chaos.ActJoin:
+			cfg.Joins = append(cfg.Joins, Join{Node: a.Node, Round: a.At})
 		case chaos.ActPartition:
 			open[a.Node] = a.At
 		case chaos.ActHeal:
@@ -71,12 +75,12 @@ func RunCampaign(g *graph.Graph, c chaos.Campaign, rounds int, trace bool) *Resu
 
 // SweepCampaign is the canonical seed-indexed chaos run shared by tests
 // and cmd/detsim: the seed derives a random campaign (kills victims,
-// restarts each clean or with garbage, maybe one partition window) with
-// the default fault profile, then executes it. A seed a sweep flags
-// replays bit-for-bit from the CLI.
-func SweepCampaign(g *graph.Graph, seed int64, rounds, kills int, f chaos.Faults, trace bool) *Result {
+// restarts each clean or with garbage, churn leave/rejoin pairs, maybe
+// one partition window) with the default fault profile, then executes
+// it. A seed a sweep flags replays bit-for-bit from the CLI.
+func SweepCampaign(g *graph.Graph, seed int64, rounds, kills, churn int, f chaos.Faults, trace bool) *Result {
 	if rounds <= 0 {
 		rounds = 200
 	}
-	return RunCampaign(g, chaos.Random(seed, g, rounds, kills, f), rounds, trace)
+	return RunCampaign(g, chaos.Random(seed, g, rounds, kills, churn, f), rounds, trace)
 }

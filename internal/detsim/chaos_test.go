@@ -16,7 +16,7 @@ func TestCampaignAcceptance(t *testing.T) {
 	g := graph.Grid(3, 3)
 	f := chaos.DefaultFaults() // drop/delay/reorder at 10%, dup/corrupt at 5%
 	for seed := int64(1); seed <= 4; seed++ {
-		res := SweepCampaign(g, seed, 400, 2, f, false)
+		res := SweepCampaign(g, seed, 400, 2, 0, f, false)
 		if res.Failed() {
 			t.Fatalf("seed %d: campaign failed:\nsafety: %v\nlocality: %v\nrestart: %v",
 				seed, res.SafetyViolations, res.LocalityViolations, res.RestartViolations)
@@ -33,9 +33,29 @@ func TestCampaignAcceptance(t *testing.T) {
 			t.Fatalf("seed %d: injector idle: dropped=%d delayed=%d",
 				seed, res.FaultsDropped, res.FaultsDelayed)
 		}
-		replay := SweepCampaign(g, seed, 400, 2, f, false)
+		replay := SweepCampaign(g, seed, 400, 2, 0, f, false)
 		if replay.TraceHash != res.TraceHash {
 			t.Fatalf("seed %d: replay diverged: %x vs %x", seed, replay.TraceHash, res.TraceHash)
+		}
+	}
+}
+
+// TestCampaignChurnAcceptance is the shardring issue's churn bar: 50+
+// seeded campaigns mixing a malicious-capable crash with leave/rejoin
+// pairs and full transport faults must pass every oracle — exclusion
+// through each splice, restart recovery, and every displaced waiter
+// eating again.
+func TestCampaignChurnAcceptance(t *testing.T) {
+	g := graph.Grid(3, 3)
+	f := chaos.DefaultFaults()
+	for seed := int64(100); seed < 155; seed++ {
+		res := SweepCampaign(g, seed, 400, 1, 2, f, false)
+		if res.Failed() {
+			t.Fatalf("seed %d: churn campaign failed:\nsafety: %v\nlocality: %v\nrestart: %v\nchurn: %v\nreplay: go run ./cmd/detsim -mode chaos -topology grid:3x3 -seed %d -rounds 400 -crash 1 -churn 2 -trace",
+				seed, res.SafetyViolations, res.LocalityViolations, res.RestartViolations, res.ChurnViolations, seed)
+		}
+		if res.Leaves != 2 || res.Joins != 2 {
+			t.Fatalf("seed %d: executed %d leaves / %d joins, want 2/2", seed, res.Leaves, res.Joins)
 		}
 	}
 }
@@ -50,7 +70,7 @@ func TestCampaignAcceptance(t *testing.T) {
 func TestCleanRestartDoesNotForgeTokens(t *testing.T) {
 	g := graph.Grid(3, 3)
 	for _, seed := range []int64{47, 53} {
-		res := SweepCampaign(g, seed, 400, 2, chaos.Faults{}, false)
+		res := SweepCampaign(g, seed, 400, 2, 0, chaos.Faults{}, false)
 		if res.Failed() {
 			t.Fatalf("seed %d: fault-free campaign failed:\nsafety: %v\nlocality: %v\nrestart: %v",
 				seed, res.SafetyViolations, res.LocalityViolations, res.RestartViolations)
@@ -157,6 +177,7 @@ func FuzzChaosCampaign(f *testing.F) {
 		g := fuzzTopology(src)
 		seed := int64(src.Intn(1 << 20))
 		kills := src.Intn(3)
+		churn := src.Intn(2)
 		faults := chaos.Faults{
 			Drop:          float64(src.Intn(20)) / 100,
 			Duplicate:     float64(src.Intn(10)) / 100,
@@ -165,11 +186,11 @@ func FuzzChaosCampaign(f *testing.F) {
 			MaxDelayTicks: 1 + src.Intn(4),
 			Reorder:       float64(src.Intn(20)) / 100,
 		}
-		res := SweepCampaign(g, seed, 120, kills, faults, false)
+		res := SweepCampaign(g, seed, 120, kills, churn, faults, false)
 		if len(res.SafetyViolations) != 0 {
 			t.Fatalf("campaign seed %d broke safety on %s: %v", seed, g.Name(), res.SafetyViolations)
 		}
-		replay := SweepCampaign(g, seed, 120, kills, faults, false)
+		replay := SweepCampaign(g, seed, 120, kills, churn, faults, false)
 		if replay.TraceHash != res.TraceHash {
 			t.Fatalf("campaign seed %d not replayable: %x vs %x", seed, res.TraceHash, replay.TraceHash)
 		}

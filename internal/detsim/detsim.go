@@ -83,6 +83,33 @@ type Restart struct {
 	Garbage bool
 }
 
+// Leave schedules a membership splice-out: at the given round (fair
+// mode) or step (adversarial mode) the node departs, its edges — and
+// any tokens they carried — vanishing with it. Unlike a kill, a leave
+// can never pin a token: waiters blocked on the leaver are freed, which
+// is what the displaced-waiter oracle checks.
+type Leave struct {
+	// Node is the departing node.
+	Node graph.ProcID
+	// Round is when the leave fires.
+	Round int
+}
+
+// Join schedules a membership splice-in. Node >= 0 readmits that
+// departed node; Node < 0 adds a brand-new process (its ID is assigned
+// densely at fire time). Neighbors lists the peers to splice edges to;
+// for a readmission nil means "all original-topology neighbors still
+// present at fire time". Every new edge boots by the humble-reboot
+// rule, so a join can never forge a token.
+type Join struct {
+	// Node is the rejoining node, or -1 for a fresh AddProcess.
+	Node graph.ProcID
+	// Neighbors are the peers to splice to (see above for nil).
+	Neighbors []graph.ProcID
+	// Round is when the join fires.
+	Round int
+}
+
 // Recovery reports how one restarted node fared: how many rounds after
 // its restart it completed its next meal (-1 if it never did before the
 // run ended). Fair mode only.
@@ -113,6 +140,13 @@ type Config struct {
 	Partitions []Partition
 	// Restarts is the revival plan.
 	Restarts []Restart
+	// Leaves and Joins are the membership-churn plan.
+	Leaves []Leave
+	Joins  []Join
+	// DiameterOverride widens the substrate's propagation-depth bound;
+	// 0 derives it from the graph, plus two per planned AddProcess since
+	// splice-ins can deepen the conflict graph mid-run.
+	DiameterOverride int
 	// Faults, when non-nil, injects per-frame transport faults (drop,
 	// duplicate, corrupt, delay) on the delivery path. Under the driven
 	// runtime the injector is consulted in deterministic order, so a
@@ -153,10 +187,17 @@ type Result struct {
 	// (distance >= 3 from every crash site) that stopped completing
 	// meals — fair mode only.
 	LocalityViolations []string
-	// RestartViolations lists restarted hungry nodes that never
-	// completed another meal despite at least 20 post-restart rounds —
-	// fair mode only.
+	// RestartViolations lists restarted or rejoined hungry nodes that
+	// never completed another meal despite at least 20 post-restart
+	// rounds — fair mode only.
 	RestartViolations []string
+	// ChurnViolations lists displaced waiters — live neighbors of a
+	// departing node — that never completed another meal after the
+	// leave freed them, given at least 20 remaining rounds — fair mode
+	// only.
+	ChurnViolations []string
+	// Joins and Leaves count executed membership changes.
+	Joins, Leaves int64
 	// Recoveries reports per-restart convergence: rounds from each
 	// restart to the node's next completed meal — fair mode only.
 	Recoveries []Recovery
@@ -174,7 +215,7 @@ type Result struct {
 // Failed reports whether the run violated any checked property.
 func (r *Result) Failed() bool {
 	return len(r.SafetyViolations) > 0 || len(r.LocalityViolations) > 0 ||
-		len(r.RestartViolations) > 0
+		len(r.RestartViolations) > 0 || len(r.ChurnViolations) > 0
 }
 
 // maxPending bounds the adversarial in-flight pool; overflow drops the
@@ -219,6 +260,10 @@ type runner struct {
 	recovEats   []int64 // eats at restart time, parallel to recoveries
 	lastRestart int
 
+	displaced     []displaced
+	churnSite     []graph.ProcID // leave victims and splice-in attach points
+	joins, leaves int64
+
 	// garbageUntil[p] is the round before which p is exempt from the
 	// eating-exclusion oracle: a garbage restart boots it with arbitrary
 	// variables (possibly a garbage Eating state, possibly one forged
@@ -231,6 +276,15 @@ type runner struct {
 // window the safety oracle tolerates, mirroring the 20-round grace the
 // restart-recovery oracle already grants.
 const garbageGraceRounds = 25
+
+// displaced is one waiter freed by a leave: a live neighbor of the
+// departing node at the moment its edges were dropped. The churn
+// oracle requires each one to complete a meal afterwards.
+type displaced struct {
+	waiter graph.ProcID
+	round  int
+	eats   int64 // waiter's meals at leave time
+}
 
 func newRunner(cfg Config) *runner {
 	if cfg.Graph == nil {
@@ -254,10 +308,19 @@ func newRunner(cfg Config) *runner {
 		violEdges:    make(map[graph.Edge]bool),
 		garbageUntil: make([]int, cfg.Graph.N()),
 	}
+	depth := cfg.DiameterOverride
+	if depth <= 0 {
+		depth = sim.SafeDepthBound(cfg.Graph)
+		for _, jn := range cfg.Joins {
+			if jn.Node < 0 {
+				depth += 2 // a splice-in can lengthen shortest paths
+			}
+		}
+	}
 	r.d = msgpass.NewDriven(msgpass.Config{
 		Graph:            cfg.Graph,
 		Algorithm:        core.NewMCDP(),
-		DiameterOverride: sim.SafeDepthBound(cfg.Graph),
+		DiameterOverride: depth,
 		Hungry:           cfg.Hungry,
 		EatEvents:        cfg.EatEvents,
 		LossRate:         cfg.LossRate,
@@ -268,13 +331,36 @@ func newRunner(cfg Config) *runner {
 	for _, c := range cfg.Crashes {
 		r.crashed = append(r.crashed, c.Node)
 	}
-	// The liveness baseline splits the post-crash run in half: locality
+	for _, l := range cfg.Leaves {
+		r.churnSite = append(r.churnSite, l.Node)
+	}
+	for _, jn := range cfg.Joins {
+		if jn.Node >= 0 && int(jn.Node) < cfg.Graph.N() {
+			r.churnSite = append(r.churnSite, jn.Node)
+		}
+		for _, q := range jn.Neighbors {
+			if int(q) < cfg.Graph.N() {
+				r.churnSite = append(r.churnSite, q)
+			}
+		}
+	}
+	// The liveness baseline splits the post-fault run in half: locality
 	// is judged on whether far nodes kept eating through the second
-	// half. Short post-crash runs (< 20 rounds) skip the oracle.
+	// half. Short post-fault runs (< 20 rounds) skip the oracle.
 	last := 0
 	for _, c := range cfg.Crashes {
 		if c.Round > last {
 			last = c.Round
+		}
+	}
+	for _, l := range cfg.Leaves {
+		if l.Round > last {
+			last = l.Round
+		}
+	}
+	for _, jn := range cfg.Joins {
+		if jn.Round > last {
+			last = jn.Round
 		}
 	}
 	r.baselineRound = -1
@@ -348,14 +434,82 @@ func (r *runner) applyFaults(t int) {
 			r.lastRestart = t
 		}
 	}
+	for _, l := range r.cfg.Leaves {
+		if l.Round != t || int(l.Node) >= nw.N() {
+			continue
+		}
+		// Snapshot the waiters the leave will free — the leaver's live
+		// neighbors in the CURRENT graph generation — before the edges
+		// (and any tokens they pinned) vanish.
+		var waiters []displaced
+		eats := nw.Eats()
+		for _, q := range nw.Graph().Neighbors(l.Node) {
+			if r.rd.Dead(q) || nw.Departed(q) {
+				continue
+			}
+			waiters = append(waiters, displaced{waiter: q, round: t, eats: eats[q]})
+		}
+		if err := nw.RemoveProcess(l.Node); err != nil {
+			r.event("t%d leave %d err", t, l.Node)
+			continue
+		}
+		r.displaced = append(r.displaced, waiters...)
+		r.leaves++
+		r.event("t%d leave %d", t, l.Node)
+	}
+	for _, jn := range r.cfg.Joins {
+		if jn.Round != t {
+			continue
+		}
+		node := jn.Node
+		if node < 0 {
+			pid, err := nw.AddProcess(jn.Neighbors)
+			if err != nil {
+				r.event("t%d join new err", t)
+				continue
+			}
+			for int(pid) >= len(r.garbageUntil) {
+				r.garbageUntil = append(r.garbageUntil, 0)
+			}
+			node = pid
+		} else {
+			nbrs := jn.Neighbors
+			if nbrs == nil {
+				// Rejoin default: the original-topology neighbors still
+				// present. Resolved at fire time so overlapping absence
+				// windows compose — the missing edge reappears when the
+				// other endpoint rejoins.
+				for _, q := range r.cfg.Graph.Neighbors(node) {
+					if !nw.Departed(q) {
+						nbrs = append(nbrs, q)
+					}
+				}
+			}
+			if err := nw.JoinProcess(node, nbrs); err != nil {
+				r.event("t%d join %d err", t, node)
+				continue
+			}
+		}
+		r.joins++
+		r.event("t%d join %d", t, node)
+		// A join is a clean reboot over fresh edges: judge its convergence
+		// with the same recovery oracle restarts use.
+		r.recoveries = append(r.recoveries, Recovery{Node: node, Round: t, RecoveredAfter: -1})
+		r.recovEats = append(r.recovEats, nw.Eats()[node])
+		if t > r.lastRestart {
+			r.lastRestart = t
+		}
+	}
 }
 
 // exempt reports whether p is outside the safety property's scope at
 // round t: crashed dead, inside a malicious window (its Eating variable
-// is garbage, not a session), or still stabilizing from a garbage
-// restart.
+// is garbage, not a session), awaiting a lazily applied kill or reboot
+// (its variables are a frozen corpse), or still stabilizing from a
+// garbage restart.
 func (r *runner) exempt(t int, p graph.ProcID) bool {
-	return r.rd.Dead(p) || r.rd.Malicious(p) || t < r.garbageUntil[p]
+	return r.rd.Dead(p) || r.rd.Malicious(p) || r.rd.Halting(p) ||
+		(int(p) < len(r.garbageUntil) && t < r.garbageUntil[p])
 }
 
 // checkSafety runs the eating-exclusion oracle against the current
@@ -432,7 +586,10 @@ func (r *runner) fairRound(t int) {
 		window = append(window, f)
 	}
 	r.pending = held
-	for _, i := range perm(r.src, r.cfg.Graph.N()) {
+	// N is read from the network, not the config graph: membership joins
+	// grow the roster mid-run, and every process — including retired
+	// ones, whose tick is a no-op — steps once per round.
+	for _, i := range perm(r.src, r.d.Network().N()) {
 		r.tick(t, graph.ProcID(i))
 	}
 	if r.cfg.Faults == nil {
@@ -479,8 +636,11 @@ func (r *runner) fairRound(t int) {
 
 // livenessExempt reports whether node p is excused from the locality
 // oracle: within distance 2 of a crash site (the tolerated locality),
-// not hungry, or within distance 2 of a partition whose window reaches
-// into the measured half.
+// not hungry, within distance 2 of a partition whose window reaches
+// into the measured half, or within distance 2 of a churn site (a
+// leave victim or splice-in attach point — membership changes disturb
+// exactly the edges they splice, the same locality the paper grants
+// crashes).
 func (r *runner) livenessExempt(p graph.ProcID) bool {
 	if r.cfg.Hungry != nil && !r.cfg.Hungry[p] {
 		return true
@@ -498,12 +658,21 @@ func (r *runner) livenessExempt(p graph.ProcID) bool {
 			}
 		}
 	}
+	for _, c := range r.churnSite {
+		if int(c) >= g.N() {
+			continue
+		}
+		if d := g.Dist(p, c); d >= 0 && d <= 2 {
+			return true
+		}
+	}
 	return false
 }
 
 // disturbedAfter reports whether node p is hit by another scheduled
-// fault at or after the given round — a re-crash or a partition window
-// reaching past it voids the recovery promise for that restart.
+// fault at or after the given round — a re-crash, a partition window
+// reaching past it, or its own departure voids the recovery promise
+// for that restart.
 func (r *runner) disturbedAfter(p graph.ProcID, round int) bool {
 	for _, c := range r.cfg.Crashes {
 		if c.Node == p && c.Round >= round {
@@ -512,6 +681,11 @@ func (r *runner) disturbedAfter(p graph.ProcID, round int) bool {
 	}
 	for _, pt := range r.cfg.Partitions {
 		if pt.Node == p && pt.Until > round {
+			return true
+		}
+	}
+	for _, l := range r.cfg.Leaves {
+		if l.Node == p && l.Round >= round {
 			return true
 		}
 	}
@@ -561,19 +735,64 @@ func (r *runner) finish(fair bool, executed int) *Result {
 	}
 	// Restart-recovery oracle: a revived hungry node must complete a
 	// meal again, given at least 20 post-restart rounds to stabilize.
+	// Joins feed the same oracle (a join is a clean reboot over fresh
+	// edges). Processes added mid-run under an explicit Hungry map boot
+	// non-hungry, hence exempt.
 	if fair && len(r.recoveries) > 0 {
 		res.Recoveries = r.recoveries
 		if executed-r.lastRestart >= 20 {
 			for _, rc := range r.recoveries {
-				if rc.RecoveredAfter >= 0 || (r.cfg.Hungry != nil && !r.cfg.Hungry[rc.Node]) {
+				if rc.RecoveredAfter >= 0 {
+					continue
+				}
+				if r.cfg.Hungry != nil && (int(rc.Node) >= len(r.cfg.Hungry) || !r.cfg.Hungry[rc.Node]) {
 					continue
 				}
 				if r.disturbedAfter(rc.Node, rc.Round) {
-					continue // re-crashed or partitioned post-restart: no promise
+					continue // re-crashed, partitioned, or departed post-restart: no promise
 				}
 				res.RestartViolations = append(res.RestartViolations,
 					fmt.Sprintf("node %d restarted at round %d never ate again (%d rounds left)",
 						rc.Node, rc.Round, executed-rc.Round))
+			}
+		}
+	}
+	res.Joins, res.Leaves = r.joins, r.leaves
+	// Churn oracle: a waiter displaced by a leave was freed, not harmed —
+	// the leave dropped the edge (and any token it pinned), so the waiter
+	// must complete another meal, given at least 20 remaining rounds.
+	if fair {
+		nw := r.d.Network()
+		g := r.cfg.Graph
+		for _, dw := range r.displaced {
+			if executed-dw.round < 20 {
+				continue
+			}
+			if r.cfg.Hungry != nil && (int(dw.waiter) >= len(r.cfg.Hungry) || !r.cfg.Hungry[dw.waiter]) {
+				continue
+			}
+			if nw.Departed(dw.waiter) || r.rd.Dead(dw.waiter) {
+				continue // itself left or crashed: no promise
+			}
+			if r.disturbedAfter(dw.waiter, dw.round) {
+				continue
+			}
+			near := false
+			if int(dw.waiter) < g.N() {
+				for _, c := range r.crashed {
+					if d := g.Dist(dw.waiter, c); d >= 0 && d <= 2 {
+						near = true // inside a crash's locality radius
+						break
+					}
+				}
+			}
+			if near {
+				continue
+			}
+			if len(res.ChurnViolations) < maxRecorded && res.Eats[dw.waiter] <= dw.eats {
+				res.ChurnViolations = append(res.ChurnViolations,
+					fmt.Sprintf("waiter %d displaced by leave at round %d never ate again (%d rounds left)",
+						dw.waiter, dw.round, executed-dw.round))
 			}
 		}
 	}
@@ -602,9 +821,9 @@ func RunAdversarial(cfg Config) *Result {
 		r.event("+ %s", f)
 		r.pending = append(r.pending, f)
 	}
-	n := r.cfg.Graph.N()
 	for t := 0; t < r.cfg.MaxSteps; t++ {
 		r.applyFaults(t)
+		n := r.d.Network().N() // membership churn grows the roster mid-run
 		if len(r.pending) > maxPending {
 			drop := len(r.pending) - maxPending
 			r.pending = append([]msgpass.Frame(nil), r.pending[drop:]...)
@@ -658,6 +877,52 @@ func SweepRun(g *graph.Graph, seed int64, rounds, crashCount int, trace bool) *R
 		Trace:   trace,
 		Source:  src,
 	})
+}
+
+// SweepChurn is the canonical seed-indexed membership-churn run shared
+// by the sweep tests and cmd/detsim -mode churn: the seed determines
+// first the churn plan (churnCount leave/rejoin pairs, leaves in the
+// first half, each rejoin 10–29 rounds later) and then the whole
+// schedule, all from one PRNG — so a flagged seed replays bit-for-bit.
+func SweepChurn(g *graph.Graph, seed int64, rounds, churnCount int, trace bool) *Result {
+	if rounds <= 0 {
+		rounds = 240
+	}
+	src := NewRand(seed)
+	var leaves []Leave
+	var joins []Join
+	if churnCount > 0 {
+		leaves, joins = RandomChurn(src, g, churnCount, rounds/2)
+	}
+	return Run(Config{
+		Graph:  g,
+		Seed:   seed,
+		Rounds: rounds,
+		Leaves: leaves,
+		Joins:  joins,
+		Trace:  trace,
+		Source: src,
+	})
+}
+
+// RandomChurn draws a membership-churn plan from src: count distinct
+// victims, each leaving in [0, maxRound) and rejoining 10–29 rounds
+// later with whichever of its original neighbors are present then
+// (nil Neighbors). Drawing the plan from the schedule source keeps
+// "one seed = one execution".
+func RandomChurn(src Source, g *graph.Graph, count, maxRound int) ([]Leave, []Join) {
+	if count > g.N() {
+		count = g.N()
+	}
+	victims := perm(src, g.N())[:count]
+	leaves := make([]Leave, 0, count)
+	joins := make([]Join, 0, count)
+	for _, v := range victims {
+		at := src.Intn(maxRound)
+		leaves = append(leaves, Leave{Node: graph.ProcID(v), Round: at})
+		joins = append(joins, Join{Node: graph.ProcID(v), Round: at + 10 + src.Intn(20)})
+	}
+	return leaves, joins
 }
 
 // RandomCrashes draws a crash plan from src: count distinct victims,

@@ -23,6 +23,10 @@ type AcquireRequest struct {
 	TTLMS int64 `json:"ttl_ms,omitempty"`
 	// Client optionally identifies the requester (logging only).
 	Client string `json:"client,omitempty"`
+	// RingGen, when non-zero, is the ring generation the client routed
+	// under; a Router rejects a stale generation with 409 so the client
+	// re-resolves key placement before retrying.
+	RingGen uint64 `json:"ring_gen,omitempty"`
 }
 
 // AcquireResponse is the body of a successful acquire.
@@ -46,8 +50,10 @@ type ReleaseResponse struct {
 // NodeStatus is one worker's row in GET /v1/status.
 type NodeStatus struct {
 	ID          int    `json:"id"`
+	Shard       int    `json:"shard,omitempty"`
 	State       string `json:"state"`
 	Dead        bool   `json:"dead"`
+	Departed    bool   `json:"departed,omitempty"`
 	Depth       int    `json:"depth"`
 	Events      int64  `json:"events"`
 	Eats        int64  `json:"eats"`
@@ -55,23 +61,33 @@ type NodeStatus struct {
 	Incarnation int64  `json:"incarnation"`
 }
 
-// StatusReport is the body of GET /v1/status.
+// StatusReport is the body of GET /v1/status. A standalone server fills
+// ShardID from its config and leaves Shards at zero; a Router answers
+// with the same shape, Shards set to the shard count, RingGen to the
+// current ring generation, and the per-shard reports under Reports.
 type StatusReport struct {
-	Topology     string       `json:"topology"`
-	Workers      int          `json:"workers"`
-	Locks        int          `json:"locks"`
-	Edges        []string     `json:"edges"`
-	Nodes        []NodeStatus `json:"nodes"`
-	ActiveLeases int          `json:"active_leases"`
-	QueueDepth   int          `json:"queue_depth"`
-	Grants       int64        `json:"grants"`
-	UptimeMS     int64        `json:"uptime_ms"`
-	Draining     bool         `json:"draining"`
+	Topology     string         `json:"topology"`
+	ShardID      int            `json:"shard_id"`
+	Shards       int            `json:"shards,omitempty"`
+	RingGen      uint64         `json:"ring_gen"`
+	Workers      int            `json:"workers"`
+	Locks        int            `json:"locks"`
+	Edges        []string       `json:"edges"`
+	Nodes        []NodeStatus   `json:"nodes"`
+	ActiveLeases int            `json:"active_leases"`
+	QueueDepth   int            `json:"queue_depth"`
+	Grants       int64          `json:"grants"`
+	UptimeMS     int64          `json:"uptime_ms"`
+	Draining     bool           `json:"draining"`
+	Reports      []StatusReport `json:"reports,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. RingGen rides
+// along on 409 wrong-shard rejections so the client can refresh its
+// cached generation without a /v1/ring round-trip.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	RingGen uint64 `json:"ring_gen,omitempty"`
 }
 
 // CrashResponse is the body of a successful fault injection.
@@ -96,6 +112,8 @@ func (s *Server) Status() StatusReport {
 	depths := s.arb.QueueDepths()
 	rep := StatusReport{
 		Topology: s.g.String(),
+		ShardID:  s.cfg.ShardID,
+		RingGen:  s.ringGen.Load(),
 		Workers:  s.g.N(),
 		Locks:    s.g.EdgeCount(),
 		Grants:   s.metrics.Grants.Load(),
@@ -110,7 +128,8 @@ func (s *Server) Status() StatusReport {
 			st = "?"
 		}
 		rep.Nodes = append(rep.Nodes, NodeStatus{
-			ID: p, State: st, Dead: snap.Dead, Depth: snap.Depth,
+			ID: p, Shard: s.cfg.ShardID, State: st, Dead: snap.Dead,
+			Departed: s.Departed(graph.ProcID(p)), Depth: snap.Depth,
 			Events: snap.Events, Eats: snap.Eats, QueueDepth: depths[p],
 			Incarnation: snap.Incarnation,
 		})
@@ -131,6 +150,8 @@ func (s *Server) Status() StatusReport {
 //	GET  /metrics         Prometheus text exposition
 //	POST /v1/admin/crash  inject a malicious (or benign) crash: ?node=N&steps=K
 //	POST /v1/admin/restart  revive a worker: ?node=N&mode=clean|garbage
+//	POST /v1/admin/leave  retire a worker from service: ?node=N
+//	POST /v1/admin/join   readmit a departed worker: ?node=N
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/acquire", s.handleAcquire)
@@ -139,6 +160,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/admin/crash", s.handleCrash)
 	mux.HandleFunc("/v1/admin/restart", s.handleRestart)
+	mux.HandleFunc("/v1/admin/leave", s.handleLeave)
+	mux.HandleFunc("/v1/admin/join", s.handleJoin)
 	return mux
 }
 
@@ -155,8 +178,10 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 // statusFor maps the server's sentinel errors onto HTTP status codes.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrUnmappable):
+	case errors.Is(err, ErrUnmappable), errors.Is(err, ErrCrossShard):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrWrongShard):
+		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrTimeout):
@@ -287,4 +312,53 @@ func (s *Server) handleRestart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, RestartResponse{Node: node, Mode: mode.String(), Fenced: fenced})
+}
+
+// MembershipResponse is the body of a successful leave or join.
+type MembershipResponse struct {
+	Node int `json:"node"`
+	// Op is "leave" or "join".
+	Op string `json:"op"`
+	// Fenced is how many leases the leave revoked (0 for joins).
+	Fenced int `json:"fenced"`
+}
+
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	node, ok := membershipNode(w, r)
+	if !ok {
+		return
+	}
+	fenced, err := s.LeaveNode(graph.ProcID(node))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MembershipResponse{Node: node, Op: "leave", Fenced: fenced})
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	node, ok := membershipNode(w, r)
+	if !ok {
+		return
+	}
+	if err := s.JoinNode(graph.ProcID(node)); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MembershipResponse{Node: node, Op: "join"})
+}
+
+// membershipNode validates the shared method/query contract of the
+// leave and join endpoints.
+func membershipNode(w http.ResponseWriter, r *http.Request) (int, bool) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return 0, false
+	}
+	node, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("node query parameter required"))
+		return 0, false
+	}
+	return node, true
 }

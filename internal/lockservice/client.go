@@ -32,6 +32,12 @@ type Client struct {
 	// jitter is the backoff jitter PRNG state, lazily seeded on first
 	// use (tests can pre-seed it for reproducible schedules).
 	jitter atomic.Uint64
+
+	// ringGen caches the last ring generation observed from /v1/ring or
+	// a 409 wrong-shard rejection. When non-zero it is asserted on every
+	// acquire, so a sharded server can bounce placements the client
+	// resolved before a ring membership change.
+	ringGen atomic.Uint64
 }
 
 // NewClient returns a client for the server at baseURL.
@@ -43,6 +49,9 @@ func NewClient(baseURL string) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RingGen is the server's ring generation when the response carried
+	// one (409 wrong-shard rejections).
+	RingGen uint64
 }
 
 func (e *APIError) Error() string {
@@ -50,8 +59,13 @@ func (e *APIError) Error() string {
 }
 
 // IsRetryable reports whether the client would retry this failure.
+// 409 wrong-shard is retryable because the call is idempotent up to
+// placement: nothing was queued, and the response names the live ring
+// generation to retry under.
 func (e *APIError) IsRetryable() bool {
-	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode >= 500
+	return e.StatusCode == http.StatusTooManyRequests ||
+		e.StatusCode == http.StatusConflict ||
+		e.StatusCode >= 500
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -121,7 +135,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg, RingGen: apiErr.RingGen}
 	}
 	if out == nil {
 		_, err = io.Copy(io.Discard, resp.Body)
@@ -147,8 +161,17 @@ func (c *Client) call(ctx context.Context, method, path string, body, out any) e
 			return nil
 		}
 		last = err
-		if apiErr, ok := err.(*APIError); ok && !apiErr.IsRetryable() {
-			return err
+		if apiErr, ok := err.(*APIError); ok {
+			if !apiErr.IsRetryable() {
+				return err
+			}
+			if apiErr.StatusCode == http.StatusConflict && apiErr.RingGen != 0 {
+				// Adopt the live generation so the retry routes correctly.
+				c.ringGen.Store(apiErr.RingGen)
+				if ar, ok := body.(*AcquireRequest); ok {
+					ar.RingGen = apiErr.RingGen
+				}
+			}
 		}
 		if ctx.Err() != nil {
 			return last
@@ -161,7 +184,7 @@ func (c *Client) call(ctx context.Context, method, path string, body, out any) e
 // or ctx cancellation. timeout, when positive, is forwarded as the
 // server-side wait budget.
 func (c *Client) Acquire(ctx context.Context, resources []string, timeout, ttl time.Duration) (*AcquireResponse, error) {
-	req := AcquireRequest{Resources: resources}
+	req := AcquireRequest{Resources: resources, RingGen: c.ringGen.Load()}
 	if timeout > 0 {
 		req.TimeoutMS = timeout.Milliseconds()
 	}
@@ -169,7 +192,44 @@ func (c *Client) Acquire(ctx context.Context, resources []string, timeout, ttl t
 		req.TTLMS = ttl.Milliseconds()
 	}
 	var resp AcquireResponse
-	if err := c.call(ctx, http.MethodPost, "/v1/acquire", req, &resp); err != nil {
+	if err := c.call(ctx, http.MethodPost, "/v1/acquire", &req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Ring fetches the router's ring description and caches its generation
+// for subsequent acquires. Against an unsharded server the endpoint is
+// absent and the call fails; callers that support both probe once and
+// fall back.
+func (c *Client) Ring(ctx context.Context) (*RingInfo, error) {
+	var info RingInfo
+	if err := c.call(ctx, http.MethodGet, "/v1/ring", nil, &info); err != nil {
+		return nil, err
+	}
+	c.ringGen.Store(info.Generation)
+	return &info, nil
+}
+
+// RingGen returns the cached ring generation (0 before the first Ring
+// call or 409 rejection).
+func (c *Client) RingGen() uint64 { return c.ringGen.Load() }
+
+// Leave retires a worker from service (membership leave). Not retried:
+// membership changes are distinct events, like Crash.
+func (c *Client) Leave(ctx context.Context, node int) (*MembershipResponse, error) {
+	return c.membership(ctx, "leave", node)
+}
+
+// Join readmits a departed worker through the humble clean reboot.
+func (c *Client) Join(ctx context.Context, node int) (*MembershipResponse, error) {
+	return c.membership(ctx, "join", node)
+}
+
+func (c *Client) membership(ctx context.Context, op string, node int) (*MembershipResponse, error) {
+	var resp MembershipResponse
+	path := fmt.Sprintf("/v1/admin/%s?node=%d", op, node)
+	if err := c.do(ctx, http.MethodPost, path, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -25,6 +25,8 @@ type Metrics struct {
 	RejectedDraining      atomic.Int64
 	CrashesInjected       atomic.Int64
 	NodeRestarts          atomic.Int64
+	NodeLeaves            atomic.Int64
+	NodeJoins             atomic.Int64
 	LeasesFenced          atomic.Int64
 
 	// WaitHist observes hungry time: seconds from submission to grant.
@@ -65,6 +67,8 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		{"dinerd_rejected_draining_total", "Acquires rejected during drain (503).", m.RejectedDraining.Load},
 		{"dinerd_crashes_injected_total", "Faults injected through the admin endpoint.", m.CrashesInjected.Load},
 		{"dinerd_node_restarts_total", "Worker restarts (admin endpoint and supervisor).", m.NodeRestarts.Load},
+		{"dinerd_node_leaves_total", "Workers removed from service (membership leave).", m.NodeLeaves.Load},
+		{"dinerd_node_joins_total", "Departed workers readmitted (membership join).", m.NodeJoins.Load},
 		{"dinerd_leases_fenced_total", "Leases revoked because their home worker restarted.", m.LeasesFenced.Load},
 		{"dinerd_messages_sent_total", "Frames sent by the diners substrate.", s.nw.MessagesSent},
 		{"dinerd_messages_dropped_total", "Frames dropped to full inboxes.", s.nw.MessagesDropped},
@@ -140,6 +144,8 @@ func MetricNames() []string {
 		"dinerd_rejected_draining_total",
 		"dinerd_crashes_injected_total",
 		"dinerd_node_restarts_total",
+		"dinerd_node_leaves_total",
+		"dinerd_node_joins_total",
 		"dinerd_leases_fenced_total",
 		"dinerd_messages_sent_total",
 		"dinerd_messages_dropped_total",

@@ -1,0 +1,534 @@
+package lockservice
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcdp/internal/shard"
+)
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// Shards is the number of independent arbiter shards (default 1).
+	Shards int
+	// Vnodes is the ring's virtual-node count per shard (default
+	// shard.DefaultVnodes).
+	Vnodes int
+	// Base is the per-shard server config template. Each shard gets a
+	// copy with ShardID set to its index and Seed offset by it, so the
+	// shards' msgpass substrates draw distinct randomness streams.
+	// Base.History, when set, taps shard 0 only — the history checker
+	// judges one arbiter at a time.
+	Base Config
+}
+
+// RouterMetrics counts the router's own routing decisions; per-shard
+// service metrics live on each shard's Server.
+type RouterMetrics struct {
+	CrossShardRejections atomic.Int64
+	WrongShardRejections atomic.Int64
+	// ShardRequests counts acquire requests routed to each shard.
+	ShardRequests []atomic.Int64
+}
+
+// Router fronts N independent arbiter shards with a consistent-hash
+// ring: each resource name hashes to one shard, whose diners core
+// arbitrates it with no coordination with the others. All resources in
+// one acquire must land on the same shard (422 otherwise — exactly the
+// contract MapSession already imposes within a shard), and a client
+// that resolved placement under a stale ring generation is bounced
+// with 409 so it re-resolves before retrying.
+//
+// Ring membership changes (RingLeave/RingJoin) redirect new placements
+// only: leases already granted by a departing shard stay valid on that
+// shard until released or expired, and the session-ID shard prefix
+// keeps their releases routable throughout.
+type Router struct {
+	cfg      RouterConfig
+	shards   []*Server
+	handlers []http.Handler
+	metrics  *RouterMetrics
+
+	mu   sync.Mutex
+	ring *shard.Ring // guarded by mu
+}
+
+// NewRouter builds a router and its shard servers; no goroutines start
+// until Start.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	r := &Router{
+		cfg:     cfg,
+		metrics: &RouterMetrics{ShardRequests: make([]atomic.Int64, cfg.Shards)},
+		ring:    shard.New(uint64(cfg.Base.Seed), cfg.Vnodes),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		scfg := cfg.Base
+		scfg.ShardID = i
+		scfg.Seed = cfg.Base.Seed + int64(i)
+		if i > 0 {
+			scfg.History = nil
+		}
+		s := NewServer(scfg)
+		r.shards = append(r.shards, s)
+		r.handlers = append(r.handlers, s.Handler())
+		if err := r.ring.Add(i); err != nil {
+			panic(err) // fresh ring, dense ids: unreachable
+		}
+	}
+	r.pushRingGen()
+	return r
+}
+
+// pushRingGen publishes the current ring generation to every shard so
+// any shard's status answer names the routing epoch.
+//
+// requires mu
+func (r *Router) pushRingGen() {
+	gen := r.ring.Generation()
+	for _, s := range r.shards {
+		s.SetRingGen(gen)
+	}
+}
+
+// Start starts every shard server.
+func (r *Router) Start() {
+	for _, s := range r.shards {
+		s.Start()
+	}
+}
+
+// Stop drains every shard server concurrently under the shared context.
+func (r *Router) Stop(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, s := range r.shards {
+		wg.Add(1)
+		go func(s *Server) {
+			defer wg.Done()
+			s.Stop(ctx)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Shard returns shard i's server (tests and the bench harness).
+func (r *Router) Shard(i int) *Server { return r.shards[i] }
+
+// Metrics returns the router's routing counters.
+func (r *Router) Metrics() *RouterMetrics { return r.metrics }
+
+// RingInfo describes the ring so clients can replicate placement
+// locally: a shard.Ring built from Seed/Vnodes with Members added in
+// ascending order reproduces the router's Lookup for every key at this
+// Generation.
+type RingInfo struct {
+	Seed       uint64 `json:"seed"`
+	Vnodes     int    `json:"vnodes"`
+	Generation uint64 `json:"generation"`
+	Shards     int    `json:"shards"`
+	Members    []int  `json:"members"`
+}
+
+// RingInfo snapshots the current ring.
+func (r *Router) RingInfo() RingInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RingInfo{
+		Seed:       r.ring.Seed(),
+		Vnodes:     r.ring.Vnodes(),
+		Generation: r.ring.Generation(),
+		Shards:     len(r.shards),
+		Members:    r.ring.Members(),
+	}
+}
+
+// RingLeave removes shard s from the ring: new placements avoid it,
+// its live leases drain in place. The shard's server keeps running so
+// those leases stay releasable.
+func (r *Router) RingLeave(s int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ring.Size() <= 1 {
+		return errors.New("lockservice: cannot remove the last ring member")
+	}
+	if err := r.ring.Remove(s); err != nil {
+		return err
+	}
+	r.pushRingGen()
+	return nil
+}
+
+// RingJoin readmits shard s to the ring; its old keys return to it
+// (virtual-node positions are stable).
+func (r *Router) RingJoin(s int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s < 0 || s >= len(r.shards) {
+		return fmt.Errorf("lockservice: shard %d out of range [0,%d)", s, len(r.shards))
+	}
+	if err := r.ring.Add(s); err != nil {
+		return err
+	}
+	r.pushRingGen()
+	return nil
+}
+
+// shardFor resolves a resource set to its owning shard. Every resource
+// must hash to the same shard; a spanning set is ErrCrossShard.
+func (r *Router) shardFor(resources []string) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(resources) == 0 {
+		return 0, fmt.Errorf("%w: empty resource set", ErrUnmappable)
+	}
+	home := -1
+	for _, res := range resources {
+		s, ok := r.ring.Lookup(res)
+		if !ok {
+			return 0, ErrUnserviceable
+		}
+		if home == -1 {
+			home = s
+		} else if s != home {
+			return 0, fmt.Errorf("%w: %q on shard %d, %q on shard %d",
+				ErrCrossShard, resources[0], home, res, s)
+		}
+	}
+	return home, nil
+}
+
+// generation returns the current ring generation.
+func (r *Router) generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.Generation()
+}
+
+// Acquire routes the resource set to its shard and acquires there.
+// ringGen, when non-zero, asserts the generation the caller resolved
+// placement under; a mismatch is ErrWrongShard.
+func (r *Router) Acquire(ctx context.Context, resources []string, ttl time.Duration, ringGen uint64) (*Grant, error) {
+	if cur := r.generation(); ringGen != 0 && ringGen != cur {
+		r.metrics.WrongShardRejections.Add(1)
+		return nil, fmt.Errorf("%w: client generation %d, ring generation %d", ErrWrongShard, ringGen, cur)
+	}
+	home, err := r.shardFor(resources)
+	if err != nil {
+		if errors.Is(err, ErrCrossShard) {
+			r.metrics.CrossShardRejections.Add(1)
+		}
+		return nil, err
+	}
+	r.metrics.ShardRequests[home].Add(1)
+	return r.shards[home].Acquire(ctx, resources, ttl)
+}
+
+// Release routes a release by the session ID's shard prefix.
+func (r *Router) Release(sessionID string) error {
+	s, ok := sessionShard(sessionID)
+	if !ok || s >= len(r.shards) {
+		return ErrNotFound
+	}
+	return r.shards[s].Release(sessionID)
+}
+
+// sessionShard parses the "k<shard>:" session-ID prefix.
+func sessionShard(sessionID string) (int, bool) {
+	pfx, _, ok := strings.Cut(sessionID, ":")
+	if !ok || !strings.HasPrefix(pfx, "k") {
+		return 0, false
+	}
+	s, err := strconv.Atoi(pfx[1:])
+	if err != nil || s < 0 {
+		return 0, false
+	}
+	return s, true
+}
+
+// Status aggregates every shard's report: summed service totals at the
+// top level, full per-shard reports under Reports. Node rows carry
+// their shard, so IDs stay meaningful after concatenation.
+func (r *Router) Status() StatusReport {
+	agg := StatusReport{
+		Shards:  len(r.shards),
+		ShardID: -1, // the aggregate speaks for no single shard
+		RingGen: r.generation(),
+	}
+	for _, s := range r.shards {
+		rep := s.Status()
+		if agg.Topology == "" {
+			agg.Topology = fmt.Sprintf("%d x %s", len(r.shards), rep.Topology)
+			// Every shard arbitrates the same catalog (one conflict graph
+			// per shard, identical names); publish it once.
+			agg.Edges = rep.Edges
+		}
+		agg.Workers += rep.Workers
+		agg.Locks += rep.Locks
+		agg.ActiveLeases += rep.ActiveLeases
+		agg.QueueDepth += rep.QueueDepth
+		agg.Grants += rep.Grants
+		if rep.UptimeMS > agg.UptimeMS {
+			agg.UptimeMS = rep.UptimeMS
+		}
+		agg.Draining = agg.Draining || rep.Draining
+		agg.Nodes = append(agg.Nodes, rep.Nodes...)
+		agg.Reports = append(agg.Reports, rep)
+	}
+	return agg
+}
+
+// Handler returns the router's HTTP surface — the Server API plus the
+// ring endpoints:
+//
+//	POST /v1/acquire     ring-routed acquire (409 on stale ring_gen)
+//	POST /v1/release     release, routed by the session-ID shard prefix
+//	GET  /v1/status      aggregated report with per-shard sub-reports
+//	GET  /v1/ring        ring seed/vnodes/generation/members
+//	GET  /metrics        merged Prometheus exposition across shards
+//	POST /v1/admin/ring  ?op=leave|join&shard=S: ring membership
+//	POST /v1/admin/*     crash/restart/leave/join, fanned out by ?shard=S
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/acquire", r.handleAcquire)
+	mux.HandleFunc("/v1/release", r.handleRelease)
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, r.Status())
+	})
+	mux.HandleFunc("/v1/ring", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, r.RingInfo())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WriteMetrics(w)
+	})
+	mux.HandleFunc("/v1/admin/ring", r.handleRing)
+	mux.HandleFunc("/v1/admin/", r.handleAdmin)
+	return mux
+}
+
+func (r *Router) handleAcquire(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var body AcquireRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body.Resources) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("resources must be non-empty"))
+		return
+	}
+	ctx := req.Context()
+	if body.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	grant, err := r.Acquire(ctx, body.Resources, time.Duration(body.TTLMS)*time.Millisecond, body.RingGen)
+	if err != nil {
+		code := statusFor(err)
+		switch code {
+		case http.StatusTooManyRequests:
+			w.Header().Set("Retry-After", "1")
+		case http.StatusConflict:
+			// Ship the live generation so the client can retry without a
+			// /v1/ring round-trip.
+			writeJSON(w, code, ErrorResponse{Error: err.Error(), RingGen: r.generation()})
+			return
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AcquireResponse{
+		SessionID: grant.SessionID,
+		Node:      int(grant.Node),
+		Resources: grant.Resources,
+		WaitMS:    float64(grant.Wait.Microseconds()) / 1000,
+	})
+}
+
+func (r *Router) handleRelease(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var body ReleaseRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := r.Release(body.SessionID); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReleaseResponse{Released: true})
+}
+
+func (r *Router) handleRing(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	s, err := strconv.Atoi(req.URL.Query().Get("shard"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("shard query parameter required"))
+		return
+	}
+	switch req.URL.Query().Get("op") {
+	case "leave":
+		err = r.RingLeave(s)
+	case "join":
+		err = r.RingJoin(s)
+	default:
+		writeErr(w, http.StatusBadRequest, errors.New("op must be leave or join"))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, r.RingInfo())
+}
+
+// handleAdmin fans the per-node admin endpoints out to one shard's own
+// handler, selected by ?shard=S (default 0).
+func (r *Router) handleAdmin(w http.ResponseWriter, req *http.Request) {
+	s := 0
+	if v := req.URL.Query().Get("shard"); v != "" {
+		var err error
+		if s, err = strconv.Atoi(v); err != nil || s < 0 || s >= len(r.shards) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("shard must be in [0,%d)", len(r.shards)))
+			return
+		}
+	}
+	r.handlers[s].ServeHTTP(w, req)
+}
+
+// WriteMetrics merges every shard's exposition into one: samples with
+// identical name and labels are summed (which aggregates the plain
+// counters, gauges, and histogram buckets correctly), and node-labeled
+// samples first gain a shard label so worker IDs that repeat across
+// shards stay distinct. Router-level routing series are prepended.
+func (r *Router) WriteMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP dinerd_router_ring_generation Consistent-hash ring generation.\n# TYPE dinerd_router_ring_generation gauge\ndinerd_router_ring_generation %d\n", r.generation())
+	fmt.Fprintf(w, "# HELP dinerd_router_cross_shard_rejections_total Acquires naming resources on multiple shards (422).\n# TYPE dinerd_router_cross_shard_rejections_total counter\ndinerd_router_cross_shard_rejections_total %d\n", r.metrics.CrossShardRejections.Load())
+	fmt.Fprintf(w, "# HELP dinerd_router_wrong_shard_rejections_total Acquires routed under a stale ring generation (409).\n# TYPE dinerd_router_wrong_shard_rejections_total counter\ndinerd_router_wrong_shard_rejections_total %d\n", r.metrics.WrongShardRejections.Load())
+	fmt.Fprintf(w, "# HELP dinerd_router_shard_requests_total Acquire requests routed per shard.\n# TYPE dinerd_router_shard_requests_total counter\n")
+	for i := range r.metrics.ShardRequests {
+		fmt.Fprintf(w, "dinerd_router_shard_requests_total{shard=%q} %d\n", strconv.Itoa(i), r.metrics.ShardRequests[i].Load())
+	}
+
+	help := map[string]string{}
+	typ := map[string]string{}
+	sums := map[string]float64{}
+	var order []string // first-seen sample keys, for stable output
+	for i, s := range r.shards {
+		var buf bytes.Buffer
+		s.WriteMetrics(&buf)
+		sc := bufio.NewScanner(&buf)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+				name, text, _ := strings.Cut(rest, " ")
+				help[name] = text
+				continue
+			}
+			if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				name, t, _ := strings.Cut(rest, " ")
+				typ[name] = t
+				continue
+			}
+			key, val, ok := parseSample(line, i)
+			if !ok {
+				continue
+			}
+			if _, seen := sums[key]; !seen {
+				order = append(order, key)
+			}
+			sums[key] += val
+		}
+	}
+	emitted := map[string]bool{}
+	for _, key := range order {
+		name := key
+		if j := strings.IndexByte(key, '{'); j >= 0 {
+			name = key[:j]
+		}
+		if fam := familyOf(name, help); fam != "" && !emitted[fam] {
+			emitted[fam] = true
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam, help[fam], fam, typ[fam])
+		}
+		fmt.Fprintf(w, "%s %s\n", key, strconv.FormatFloat(sums[key], 'g', -1, 64))
+	}
+}
+
+// parseSample splits one exposition sample line into its merge key and
+// value, injecting a shard label into node-labeled samples.
+func parseSample(line string, shardID int) (key string, val float64, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp <= 0 {
+		return "", 0, false
+	}
+	key = line[:sp]
+	v, err := strconv.ParseFloat(line[sp+1:], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	if strings.Contains(key, `{node=`) && strings.HasSuffix(key, "}") {
+		key = fmt.Sprintf("%s,shard=%q}", key[:len(key)-1], strconv.Itoa(shardID))
+	}
+	return key, v, true
+}
+
+// familyOf resolves a sample name to its HELP/TYPE family, stripping
+// the histogram sample suffixes.
+func familyOf(name string, help map[string]string) string {
+	if _, ok := help[name]; ok {
+		return name
+	}
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, sfx); ok {
+			if _, ok := help[base]; ok {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// ShardKeys partitions a catalog of resource names by owning shard —
+// the helper loadgen and the bench harness use to draw same-shard
+// resource pairs.
+func (r *Router) ShardKeys(names []string) map[int][]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int][]string)
+	for _, n := range names {
+		if s, ok := r.ring.Lookup(n); ok {
+			out[s] = append(out[s], n)
+		}
+	}
+	for s := range out {
+		sort.Strings(out[s])
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package lockservice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcdp/internal/graph"
+	"mcdp/internal/shard"
+)
+
+func startRouter(t *testing.T, shards int, base Config) *Router {
+	t.Helper()
+	rt := NewRouter(RouterConfig{Shards: shards, Base: base})
+	rt.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		rt.Stop(ctx)
+	})
+	return rt
+}
+
+// catalog returns generic resource names ("res-i"), which hash onto
+// ring shards and then onto each shard's edges.
+func catalog(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("res-%d", i)
+	}
+	return out
+}
+
+// TestRouterEndToEnd drives a 2-shard router over HTTP with concurrent
+// clients: every grant must come from the shard the ring names, carry
+// that shard's session prefix, and release cleanly. Run with -race in
+// CI (the CI e2e smoke step).
+func TestRouterEndToEnd(t *testing.T) {
+	rt := startRouter(t, 2, fastConfig(graph.Grid(2, 3)))
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+
+	info := NewClient(hs.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ring, err := info.Ring(ctx)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	if ring.Shards != 2 || ring.Generation != 2 || len(ring.Members) != 2 {
+		t.Fatalf("ring info: %+v", ring)
+	}
+	// The client-side replica of the ring must agree with the server.
+	local := shard.New(ring.Seed, ring.Vnodes)
+	for _, m := range ring.Members {
+		if err := local.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	names := catalog(16)
+	byShard := rt.ShardKeys(names)
+	if len(byShard) != 2 {
+		t.Fatalf("catalog of 16 names landed on %d shards, want 2", len(byShard))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(hs.URL)
+			for i := 0; i < 8; i++ {
+				name := names[(w*8+i)%len(names)]
+				want, _ := local.Lookup(name)
+				grant, err := c.Acquire(ctx, []string{name}, 10*time.Second, 0)
+				if err != nil {
+					errs <- fmt.Errorf("acquire %q: %w", name, err)
+					return
+				}
+				if !strings.HasPrefix(grant.SessionID, fmt.Sprintf("k%d:", want)) {
+					errs <- fmt.Errorf("grant for %q has session %q, want shard %d prefix", name, grant.SessionID, want)
+					return
+				}
+				if err := c.Release(ctx, grant.SessionID); err != nil {
+					errs <- fmt.Errorf("release %q: %w", grant.SessionID, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	rep, err := info.Status(ctx)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if rep.Shards != 2 || len(rep.Reports) != 2 || rep.Grants != 48 {
+		t.Fatalf("aggregate status: shards=%d reports=%d grants=%d", rep.Shards, len(rep.Reports), rep.Grants)
+	}
+	if rep.Workers != 12 {
+		t.Fatalf("aggregate workers = %d, want 12", rep.Workers)
+	}
+	for i, sub := range rep.Reports {
+		if sub.ShardID != i || sub.RingGen != 2 {
+			t.Fatalf("sub-report %d: shard_id=%d ring_gen=%d", i, sub.ShardID, sub.RingGen)
+		}
+	}
+
+	text, err := info.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		"dinerd_router_ring_generation 2",
+		"dinerd_router_shard_requests_total{shard=\"0\"}",
+		"dinerd_router_shard_requests_total{shard=\"1\"}",
+		"dinerd_grants_total 48",
+		`shard="1"`,
+		"dinerd_acquire_wait_seconds_count 48",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("merged metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRouterCrossShardRejected: resources on different shards cannot be
+// acquired atomically; the router rejects with 422 and counts it.
+func TestRouterCrossShardRejected(t *testing.T) {
+	rt := startRouter(t, 2, fastConfig(graph.Grid(2, 2)))
+	byShard := rt.ShardKeys(catalog(32))
+	if len(byShard[0]) == 0 || len(byShard[1]) == 0 {
+		t.Fatalf("catalog did not cover both shards: %v", byShard)
+	}
+	pair := []string{byShard[0][0], byShard[1][0]}
+	ctx := context.Background()
+	if _, err := rt.Acquire(ctx, pair, 0, 0); !errors.Is(err, ErrCrossShard) {
+		t.Fatalf("cross-shard acquire: err = %v, want ErrCrossShard", err)
+	}
+	if got := rt.Metrics().CrossShardRejections.Load(); got != 1 {
+		t.Fatalf("CrossShardRejections = %d, want 1", got)
+	}
+	// Over HTTP the same rejection is a 422.
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL)
+	_, err := c.Acquire(ctx, pair, time.Second, 0)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("HTTP cross-shard acquire: err = %v, want 422", err)
+	}
+}
+
+// TestRouterWrongShardRetry: a client that resolved placement under a
+// stale ring generation is bounced with 409 carrying the live
+// generation, and its retry loop recovers without operator help. Also
+// covers release-after-ring-leave: a lease granted by a shard stays
+// releasable after the shard leaves the ring.
+func TestRouterWrongShardRetry(t *testing.T) {
+	rt := startRouter(t, 2, fastConfig(graph.Grid(2, 2)))
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	byShard := rt.ShardKeys(catalog(32))
+	onShard1 := byShard[1][0]
+
+	c := NewClient(hs.URL)
+	c.Backoff = time.Millisecond
+	if _, err := c.Ring(ctx); err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	if c.RingGen() != 2 {
+		t.Fatalf("cached generation %d, want 2", c.RingGen())
+	}
+	// A lease on shard 1, held across the ring change.
+	held, err := c.Acquire(ctx, []string{onShard1}, 10*time.Second, 0)
+	if err != nil {
+		t.Fatalf("acquire before ring change: %v", err)
+	}
+
+	if err := rt.RingLeave(1); err != nil {
+		t.Fatalf("RingLeave: %v", err)
+	}
+	// The client's cached generation (2) is now stale (3): the first
+	// attempt draws a 409, the retry adopts generation 3 and must land on
+	// shard 0 — the only ring member left.
+	grant, err := c.Acquire(ctx, []string{onShard1}, 10*time.Second, 0)
+	if err != nil {
+		t.Fatalf("acquire after ring change: %v", err)
+	}
+	if !strings.HasPrefix(grant.SessionID, "k0:") {
+		t.Fatalf("post-leave grant %q not on shard 0", grant.SessionID)
+	}
+	if got := rt.Metrics().WrongShardRejections.Load(); got < 1 {
+		t.Fatal("no wrong-shard rejection recorded")
+	}
+	if c.RingGen() != 3 {
+		t.Fatalf("client generation after retry = %d, want 3", c.RingGen())
+	}
+	if err := c.Release(ctx, grant.SessionID); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	// The old lease's shard prefix still routes its release.
+	if err := c.Release(ctx, held.SessionID); err != nil {
+		t.Fatalf("release on departed ring member: %v", err)
+	}
+
+	// Rejoin restores the original placement and refuses nonsense.
+	if err := rt.RingJoin(1); err != nil {
+		t.Fatalf("RingJoin: %v", err)
+	}
+	if err := rt.RingJoin(1); err == nil {
+		t.Fatal("double ring join accepted")
+	}
+	if err := rt.RingJoin(7); err == nil {
+		t.Fatal("ring join of unknown shard accepted")
+	}
+	if err := rt.RingLeave(0); err != nil {
+		t.Fatalf("RingLeave(0): %v", err)
+	}
+	if err := rt.RingLeave(1); err == nil {
+		t.Fatal("removing the last ring member accepted")
+	}
+}

@@ -30,6 +30,12 @@ var (
 	ErrUnserviceable = errors.New("lockservice: no live worker can arbitrate this resource set")
 	// ErrNotFound: unknown session ID (404).
 	ErrNotFound = errors.New("lockservice: unknown session")
+	// ErrWrongShard: the client routed with a stale ring generation (409).
+	ErrWrongShard = errors.New("lockservice: stale ring generation")
+	// ErrCrossShard: the resource set spans ring shards (422).
+	ErrCrossShard = errors.New("lockservice: resource set spans shards")
+	// ErrDeparted: the node left the service; only a join readmits it.
+	ErrDeparted = errors.New("lockservice: node has departed")
 )
 
 // Config tunes a Server.
@@ -37,6 +43,10 @@ type Config struct {
 	// Graph is the worker topology (a lock per edge). Defaults to
 	// DemoTopology().
 	Graph *graph.Graph
+	// ShardID identifies this server inside a sharded deployment; it
+	// prefixes every session ID ("k<shard>:s...") so a Router can route
+	// releases without a lookup table. 0 for a standalone server.
+	ShardID int
 	// Seed drives the msgpass substrate.
 	Seed int64
 	// QueueLimit bounds each worker's pending-session queue; overflowing
@@ -116,7 +126,8 @@ type Server struct {
 	started  bool              // guarded by mu
 	startAt  time.Time         // guarded by mu
 
-	idCtr atomic.Uint64
+	idCtr   atomic.Uint64
+	ringGen atomic.Uint64 // set by the Router on ring membership changes
 }
 
 // NewServer builds a server; it does not start any goroutines.
@@ -279,10 +290,12 @@ func (s *Server) Acquire(ctx context.Context, resources []string, ttl time.Durat
 		s.metrics.RejectedUnmappable.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrUnmappable, err)
 	}
-	// Place at a live candidate home with the shortest queue.
+	// Place at a live candidate home with the shortest queue. Departed
+	// homes are excluded even before their kill lands: a session queued
+	// there would wait on a worker that is never coming back.
 	var live []graph.ProcID
 	for _, p := range homes {
-		if !s.nw.Snapshot(p).Dead {
+		if !s.nw.Snapshot(p).Dead && !s.Departed(p) {
 			live = append(live, p)
 		}
 	}
@@ -351,7 +364,7 @@ func (s *Server) Acquire(ctx context.Context, resources []string, ttl time.Durat
 		ttl = s.cfg.DefaultTTL
 	}
 	l := &lease{
-		id:        fmt.Sprintf("s%08x-%d", s.idCtr.Add(1), home),
+		id:        fmt.Sprintf("k%d:s%08x-%d", s.cfg.ShardID, s.idCtr.Add(1), home),
 		sess:      sess,
 		resources: append([]string(nil), resources...),
 		home:      home,
@@ -419,6 +432,20 @@ func (s *Server) RestartNode(node graph.ProcID, mode msgpass.RestartMode) (int, 
 	if node < 0 || int(node) >= s.g.N() {
 		return 0, fmt.Errorf("lockservice: node %d out of range [0,%d)", node, s.g.N())
 	}
+	if s.Departed(node) {
+		return 0, fmt.Errorf("%w: node %d (use join to readmit)", ErrDeparted, node)
+	}
+	fenced := s.fenceLeases(node)
+	s.nw.Restart(node, mode)
+	s.metrics.NodeRestarts.Add(1)
+	s.nudge()
+	return fenced, nil
+}
+
+// fenceLeases revokes every lease homed at node and returns the count.
+// Called whenever the node's current incarnation ends (restart or
+// leave): its eating windows no longer back those grants.
+func (s *Server) fenceLeases(node graph.ProcID) int {
 	s.mu.Lock()
 	var fenced []*lease
 	for id, l := range s.leases {
@@ -435,11 +462,71 @@ func (s *Server) RestartNode(node graph.ProcID, mode msgpass.RestartMode) (int, 
 		s.arb.Release(l.sess)
 		s.metrics.LeasesFenced.Add(1)
 	}
-	s.nw.Restart(node, mode)
-	s.metrics.NodeRestarts.Add(1)
-	s.nudge()
-	return len(fenced), nil
+	return len(fenced)
 }
+
+// Departed reports whether node has left the service.
+func (s *Server) Departed(node graph.ProcID) bool {
+	return int(node) < s.g.N() && s.nw.Departed(node)
+}
+
+// LeaveNode removes a worker from service: its leases are fenced and
+// the node is spliced out of the conflict graph, so any edge tokens it
+// held vanish with its edges instead of starving the neighbors waiting
+// on them (a plain kill would pin those tokens forever). Unlike a
+// crash, neither the supervisor nor the restart endpoint will revive
+// it — only JoinNode readmits it. Returns how many leases were fenced.
+func (s *Server) LeaveNode(node graph.ProcID) (int, error) {
+	if node < 0 || int(node) >= s.g.N() {
+		return 0, fmt.Errorf("lockservice: node %d out of range [0,%d)", node, s.g.N())
+	}
+	if s.Departed(node) {
+		return 0, fmt.Errorf("%w: node %d", ErrDeparted, node)
+	}
+	if err := s.nw.RemoveProcess(node); err != nil {
+		return 0, err
+	}
+	fenced := s.fenceLeases(node)
+	s.metrics.NodeLeaves.Add(1)
+	s.nudge()
+	return fenced, nil
+}
+
+// JoinNode readmits a departed worker by splicing it back into the
+// conflict graph next to its still-present topology neighbors, through
+// the humble clean reboot: it comes back holding nothing, with priority
+// ceded on every restored edge, so the join cannot disturb a session in
+// progress. Edges to neighbors that are themselves departed return when
+// those neighbors rejoin.
+func (s *Server) JoinNode(node graph.ProcID) error {
+	if node < 0 || int(node) >= s.g.N() {
+		return fmt.Errorf("lockservice: node %d out of range [0,%d)", node, s.g.N())
+	}
+	if !s.Departed(node) {
+		return fmt.Errorf("lockservice: node %d has not departed", node)
+	}
+	var neighbors []graph.ProcID
+	for _, q := range s.g.Neighbors(node) {
+		if !s.Departed(q) {
+			neighbors = append(neighbors, q)
+		}
+	}
+	if err := s.nw.JoinProcess(node, neighbors); err != nil {
+		return err
+	}
+	s.metrics.NodeJoins.Add(1)
+	s.nudge()
+	return nil
+}
+
+// SetRingGen records the consistent-hash ring generation this server is
+// serving under; the Router updates it on every ring membership change
+// so /v1/status answers from any shard agree on the routing epoch.
+func (s *Server) SetRingGen(gen uint64) { s.ringGen.Store(gen) }
+
+// RingGen returns the last ring generation set by SetRingGen (0 for a
+// standalone server).
+func (s *Server) RingGen() uint64 { return s.ringGen.Load() }
 
 // Stop drains the server: new acquires are rejected, pending waiters
 // are woken with ErrDraining, and live leases are given until the

@@ -64,6 +64,14 @@ func (s *Server) superviseLoop() {
 		now := time.Now()
 		for p := 0; p < s.g.N(); p++ {
 			pid := graph.ProcID(p)
+			if s.Departed(pid) {
+				// A leave is not a crash: the node is gone on purpose, and
+				// reviving it would resurrect a retired identity. The check
+				// sits before the backoff gate so a leave that lands while a
+				// restart timer is already pending still wins.
+				backoff[p] = 0
+				continue
+			}
 			if !s.nw.Snapshot(pid).Dead {
 				backoff[p] = 0
 				continue

@@ -89,7 +89,7 @@ func (d *Driven) take() []Frame {
 // Boot performs each node's initial gossip (the goroutine loop's first
 // act) and returns the emitted frames. Call once, before any stepping.
 func (d *Driven) Boot() []Frame {
-	for _, nd := range d.nw.nodes {
+	for _, nd := range d.nw.procs.Load().nodes {
 		nd.gossipAll()
 	}
 	return d.take()
@@ -98,7 +98,7 @@ func (d *Driven) Boot() []Frame {
 // Tick delivers one scheduler tick to node p — exactly the ticker arm of
 // the goroutine loop — and returns the frames it emitted.
 func (d *Driven) Tick(p graph.ProcID) []Frame {
-	nd := d.nw.nodes[p]
+	nd := d.nw.procs.Load().nodes[p]
 	nd.pollControl()
 	nd.onEvent()
 	nd.gossipAll()
@@ -108,7 +108,7 @@ func (d *Driven) Tick(p graph.ProcID) []Frame {
 // Deliver hands frame f to its destination — exactly the inbox arm of
 // the goroutine loop — and returns the frames emitted in response.
 func (d *Driven) Deliver(f Frame) []Frame {
-	nd := d.nw.nodes[f.To]
+	nd := d.nw.procs.Load().nodes[f.To]
 	nd.pollControl()
 	nd.handle(f.m)
 	return d.take()
@@ -129,39 +129,51 @@ type DrivenReader struct {
 	nw *Network
 }
 
-// Graph returns the topology.
-func (r *DrivenReader) Graph() *graph.Graph { return r.nw.cfg.Graph }
+// Graph returns the current topology generation (membership splices
+// install a fresh immutable graph; see Network.Graph).
+func (r *DrivenReader) Graph() *graph.Graph { return r.nw.Graph() }
 
 // DiameterConst returns the constant D the nodes use.
-func (r *DrivenReader) DiameterConst() int { return r.nw.nodes[0].d }
+func (r *DrivenReader) DiameterConst() int { return r.nw.d }
 
 // State returns node p's current dining state variable.
-func (r *DrivenReader) State(p graph.ProcID) core.State { return r.nw.nodes[p].state }
+func (r *DrivenReader) State(p graph.ProcID) core.State { return r.nw.procs.Load().nodes[p].state }
 
 // Depth returns node p's current depth variable.
-func (r *DrivenReader) Depth(p graph.ProcID) int { return r.nw.nodes[p].depth }
+func (r *DrivenReader) Depth(p graph.ProcID) int { return r.nw.procs.Load().nodes[p].depth }
 
 // Dead reports whether node p has halted. A node inside its malicious
 // window is not yet dead (see Malicious).
-func (r *DrivenReader) Dead(p graph.ProcID) bool { return r.nw.nodes[p].dead }
+func (r *DrivenReader) Dead(p graph.ProcID) bool { return r.nw.procs.Load().nodes[p].dead }
 
 // Malicious reports whether node p is inside a malicious-crash window:
 // still taking steps, but with garbage state. Safety oracles exempt such
 // nodes the same way they exempt the dead — a corrupted Eating variable
 // is not an eating session.
-func (r *DrivenReader) Malicious(p graph.ProcID) bool { return r.nw.nodes[p].malSteps > 0 }
+func (r *DrivenReader) Malicious(p graph.ProcID) bool { return r.nw.procs.Load().nodes[p].malSteps > 0 }
+
+// Halting reports whether node p has a kill or revival command it has
+// not yet polled. Control flags apply lazily at the node's next step, so
+// between the command and that step its variables are a corpse — frozen
+// by a departure, or about to be rebooted — not a live protocol state;
+// safety oracles exempt the window exactly as they exempt the dead.
+func (r *DrivenReader) Halting(p graph.ProcID) bool {
+	ros := r.nw.procs.Load()
+	return ros.kill[p].Load() || ros.restart[p].Load() != 0
+}
 
 // Priority returns the believed holder of the shared priority variable
 // on edge e: the belief of the endpoint currently holding the edge
 // token (the write capability), falling back to the low endpoint's
 // belief while the token is in flight.
 func (r *DrivenReader) Priority(e graph.Edge) graph.ProcID {
-	i := r.nw.cfg.Graph.EdgeIndex(e.A, e.B)
+	i := r.nw.edgeIDOf(e.A, e.B)
 	if i < 0 {
 		panic(fmt.Sprintf("msgpass: no edge %v", e))
 	}
-	ea := r.nw.nodes[e.A].edgeByIdx(i)
-	eb := r.nw.nodes[e.B].edgeByIdx(i)
+	ros := r.nw.procs.Load()
+	ea := ros.nodes[e.A].edgeByIdx(i)
+	eb := ros.nodes[e.B].edgeByIdx(i)
 	switch {
 	case ea.holds():
 		return ea.priority

@@ -49,7 +49,7 @@ func (nw *Network) applyFaults(p graph.ProcID, m message) {
 		return
 	}
 	if d.CorruptBits != 0 {
-		m = corruptMessage(m, d.CorruptBits, nw.nodes[p].d)
+		m = corruptMessage(m, d.CorruptBits, nw.d)
 		nw.faultsCorrupted.Add(1)
 	}
 	for i := 0; i < d.Duplicates; i++ {

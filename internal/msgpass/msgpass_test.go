@@ -101,7 +101,7 @@ func TestTokenExclusivityInvariant(t *testing.T) {
 // at the live peer instead of being forged by the zeroed boot state.
 func TestCleanRestartResyncsFromFirstFrame(t *testing.T) {
 	nw := NewNetwork(Config{Graph: graph.Path(2), Algorithm: core.NewMCDP()})
-	n0 := nw.nodes[0] // low endpoint of edge 0-1
+	n0 := nw.procs.Load().nodes[0] // low endpoint of edge 0-1
 	n0.applyRestart(RestartClean)
 	e := &n0.edges[0]
 	if e.heard {

@@ -61,15 +61,52 @@ func (m RestartMode) String() string {
 	return "clean"
 }
 
+// roster is the per-process control plane: the node handles and the
+// atomic control flags node goroutines poll. It is replaced wholesale
+// (copy-on-write) behind Network.procs so runtime membership
+// (AddProcess) can extend it while node goroutines and controllers keep
+// reading lock-free: elements are pointers, so an element's address is
+// stable across growth, and a stale roster load still resolves every
+// process that existed when it was taken.
+type roster struct {
+	nodes    []*node
+	kill     []*atomic.Bool
+	mal      []*atomic.Int32 // pending malicious window (steps)
+	restart  []*atomic.Int32 // pending RestartMode (0 = none)
+	needs    []*atomic.Bool  // dynamic needs():p, refreshed by nodes per event
+	isolated []*atomic.Bool  // transiently partitioned nodes
+	edgeOps  []*atomic.Bool  // hint: pending membership edge ops for p
+}
+
+// n returns the process count of this roster generation.
+func (r *roster) n() int { return len(r.nodes) }
+
+// grow returns a new roster with nd appended. Existing flag pointers are
+// shared, so controllers holding the old roster still command the same
+// processes.
+func (r *roster) grow(nd *node) *roster {
+	return &roster{
+		nodes:    append(append([]*node(nil), r.nodes...), nd),
+		kill:     append(append([]*atomic.Bool(nil), r.kill...), new(atomic.Bool)),
+		mal:      append(append([]*atomic.Int32(nil), r.mal...), new(atomic.Int32)),
+		restart:  append(append([]*atomic.Int32(nil), r.restart...), new(atomic.Int32)),
+		needs:    append(append([]*atomic.Bool(nil), r.needs...), new(atomic.Bool)),
+		isolated: append(append([]*atomic.Bool(nil), r.isolated...), new(atomic.Bool)),
+		edgeOps:  append(append([]*atomic.Bool(nil), r.edgeOps...), new(atomic.Bool)),
+	}
+}
+
 // Network assembles and runs a message-passing diners system.
 type Network struct {
-	cfg   Config
-	nodes []*node
-	wg    sync.WaitGroup
-	done  chan struct{}
+	cfg  Config
+	wg   sync.WaitGroup
+	done chan struct{}
 
-	started bool
-	stopped bool
+	// lifeMu orders Start/Stop against membership goroutine spawns, so a
+	// process added mid-run never races the final wg.Wait.
+	lifeMu  sync.Mutex
+	started bool // guarded by lifeMu
+	stopped bool // guarded by lifeMu
 
 	// driven marks a network owned by an external single-threaded driver
 	// (see NewDriven): Start must not spawn the goroutine loop.
@@ -79,11 +116,31 @@ type Network struct {
 	// intervals become exact, replayable instants.
 	now func() time.Time
 
-	// control flags polled by nodes each event
-	killFlag    []atomic.Bool
-	malFlag     []atomic.Int32
-	restartFlag []atomic.Int32 // pending RestartMode (0 = none)
-	needsFlag   []atomic.Bool  // dynamic needs():p, refreshed by nodes per event
+	// procs is the current process roster (copy-on-write; see roster).
+	procs atomic.Pointer[roster]
+
+	// d is the diameter constant D every node boots with. Runtime joins
+	// inherit it: the paper treats D as a system-wide constant, so
+	// membership assumes the configured bound still covers the grown
+	// graph (detsim churn runs pass a generous DiameterOverride).
+	d int
+
+	// Membership state. curGraph is the live topology, replaced wholesale
+	// on every splice so readers get an immutable graph lock-free;
+	// everything else is guarded by memMu. Lock order: memMu before mu.
+	memMu      sync.Mutex
+	curGraph   atomic.Pointer[graph.Graph]
+	curAdj     map[graph.Edge]bool       // guarded by memMu
+	everAdj    map[graph.Edge]bool       // guarded by memMu
+	departed   []bool                    // guarded by memMu
+	edgeIDs    map[graph.Edge]int        // guarded by memMu
+	nextEdgeID int                       // guarded by memMu
+	pendingOps map[graph.ProcID][]edgeOp // guarded by memMu
+
+	// external marks a network whose frames ride an external transport
+	// (TCP): runtime membership is disabled there, because the transport
+	// pins one socket per static edge.
+	external bool
 
 	mu        sync.Mutex
 	table     []Snapshot   // guarded by mu
@@ -109,10 +166,11 @@ type Network struct {
 	faultsCorrupted  atomic.Int64
 	faultsDelayed    atomic.Int64
 
+	joins  atomic.Int64
+	leaves atomic.Int64
+
 	delayMu sync.Mutex
 	delayed map[delayKey][]message // stalled channels' queued frames; guarded by delayMu
-
-	isolated []atomic.Bool // transiently partitioned nodes
 
 	// sendFrame, when non-nil, carries frames over an external transport
 	// (e.g. TCP; see NewTCPNetwork) instead of the in-process channel
@@ -156,37 +214,50 @@ func NewNetwork(cfg Config) *Network {
 		openSince:       make([]time.Time, g.N()),
 		garbagePending:  make([]bool, g.N()),
 		openPostGarbage: make([]bool, g.N()),
-		killFlag:        make([]atomic.Bool, g.N()),
-		malFlag:         make([]atomic.Int32, g.N()),
-		restartFlag:     make([]atomic.Int32, g.N()),
-		needsFlag:       make([]atomic.Bool, g.N()),
-		isolated:        make([]atomic.Bool, g.N()),
+		curAdj:          make(map[graph.Edge]bool, g.EdgeCount()),
+		everAdj:         make(map[graph.Edge]bool, g.EdgeCount()),
+		departed:        make([]bool, g.N()),
+		edgeIDs:         make(map[graph.Edge]int, g.EdgeCount()),
+		nextEdgeID:      g.EdgeCount(),
+		pendingOps:      make(map[graph.ProcID][]edgeOp),
 		delayed:         make(map[delayKey][]message),
+	}
+	nw.curGraph.Store(g)
+	for i, e := range g.Edges() {
+		nw.curAdj[e] = true
+		nw.everAdj[e] = true
+		nw.edgeIDs[e] = i
 	}
 	d := g.Diameter()
 	if cfg.DiameterOverride > 0 {
 		d = cfg.DiameterOverride
 	}
-	nw.nodes = make([]*node, g.N())
+	nw.d = d
+	ros := &roster{
+		nodes:    make([]*node, g.N()),
+		kill:     make([]*atomic.Bool, g.N()),
+		mal:      make([]*atomic.Int32, g.N()),
+		restart:  make([]*atomic.Int32, g.N()),
+		needs:    make([]*atomic.Bool, g.N()),
+		isolated: make([]*atomic.Bool, g.N()),
+		edgeOps:  make([]*atomic.Bool, g.N()),
+	}
+	for p := 0; p < g.N(); p++ {
+		ros.kill[p] = new(atomic.Bool)
+		ros.mal[p] = new(atomic.Int32)
+		ros.restart[p] = new(atomic.Int32)
+		ros.needs[p] = new(atomic.Bool)
+		ros.isolated[p] = new(atomic.Bool)
+		ros.edgeOps[p] = new(atomic.Bool)
+	}
 	for p := 0; p < g.N(); p++ {
 		pid := graph.ProcID(p)
 		hungry := true
 		if cfg.Hungry != nil {
 			hungry = cfg.Hungry[p]
 		}
-		nw.needsFlag[p].Store(hungry)
-		nd := &node{
-			net:     nw,
-			id:      pid,
-			alg:     cfg.Algorithm,
-			enterID: actionNamed(cfg.Algorithm, "enter"),
-			exitID:  actionNamed(cfg.Algorithm, "exit"),
-			state:   core.Thinking,
-			hungry:  hungry,
-			d:       d,
-			rng:     rand.New(rand.NewSource(cfg.Seed + int64(p)*7919)),
-			inbox:   make(chan message, cfg.InboxSize),
-		}
+		ros.needs[p].Store(hungry)
+		nd := nw.newNode(pid, hungry, ros)
 		nbrs := g.Neighbors(pid)
 		idxs := g.IncidentEdgeIndices(pid)
 		nd.edges = make([]edgeState, len(nbrs))
@@ -201,10 +272,34 @@ func NewNetwork(cfg Config) *Network {
 				heard:     true,
 			}
 		}
-		nw.nodes[p] = nd
+		nd.refreshNeighbors()
+		ros.nodes[p] = nd
 		nw.table[p] = Snapshot{State: core.Thinking}
 	}
+	nw.procs.Store(ros)
 	return nw
+}
+
+// newNode allocates node pid with its control-flag pointers taken from
+// ros (which must already have slot pid).
+func (nw *Network) newNode(pid graph.ProcID, hungry bool, ros *roster) *node {
+	return &node{
+		net:     nw,
+		id:      pid,
+		alg:     nw.cfg.Algorithm,
+		enterID: actionNamed(nw.cfg.Algorithm, "enter"),
+		exitID:  actionNamed(nw.cfg.Algorithm, "exit"),
+		state:   core.Thinking,
+		hungry:  hungry,
+		d:       nw.d,
+		rng:     rand.New(rand.NewSource(nw.cfg.Seed + int64(pid)*7919)),
+		inbox:   make(chan message, nw.cfg.InboxSize),
+		ctlKill: ros.kill[pid],
+		ctlMal:  ros.mal[pid],
+		ctlRst:  ros.restart[pid],
+		ctlNeed: ros.needs[pid],
+		ctlOps:  ros.edgeOps[pid],
+	}
 }
 
 // InitArbitrary corrupts every node's variables, caches, and counters
@@ -213,11 +308,14 @@ func NewNetwork(cfg Config) *Network {
 //
 //lint:allow edgeownership fault injector: deliberately violates the write model, single-threaded before Start
 func (nw *Network) InitArbitrary(seed int64) {
-	if nw.started {
+	nw.lifeMu.Lock()
+	started := nw.started
+	nw.lifeMu.Unlock()
+	if started {
 		panic("msgpass: InitArbitrary must precede Start")
 	}
 	rng := rand.New(rand.NewSource(seed))
-	for _, nd := range nw.nodes {
+	for _, nd := range nw.procs.Load().nodes {
 		nd.state = core.State(rng.Intn(3) + 1)
 		nd.depth = rng.Intn(2*nd.d + 4)
 		for i := range nd.edges {
@@ -241,14 +339,17 @@ func (nw *Network) Start() {
 	if nw.driven {
 		panic("msgpass: a driven network is stepped by its driver, not Started")
 	}
+	nw.lifeMu.Lock()
 	if nw.started {
+		nw.lifeMu.Unlock()
 		panic("msgpass: Start called twice")
 	}
 	nw.started = true
-	for _, nd := range nw.nodes {
+	for _, nd := range nw.procs.Load().nodes {
 		nw.wg.Add(1)
 		go nd.runGuarded()
 	}
+	nw.lifeMu.Unlock()
 }
 
 // runGuarded wraps run with the control-flag polling.
@@ -272,21 +373,26 @@ func (n *node) runGuarded() {
 	}
 }
 
-// pollControl applies pending kill / malicious-crash commands. Crashing
-// (either way) ends any live eating session at that instant: the frozen
-// or garbage E value a dead process leaves behind is a corrupted
-// variable, not an eating session, and the safety property exempts it
-// ("two neighbors eat together only if both are dead").
+// pollControl applies pending membership splices and kill /
+// malicious-crash commands. Edge ops come first so a revival always
+// reboots over the already-spliced edge set. Crashing (either way) ends
+// any live eating session at that instant: the frozen or garbage E value
+// a dead process leaves behind is a corrupted variable, not an eating
+// session, and the safety property exempts it ("two neighbors eat
+// together only if both are dead").
 func (n *node) pollControl() {
-	if v := n.net.restartFlag[n.id].Swap(0); v != 0 {
+	if n.ctlOps.Load() && n.ctlOps.Swap(false) {
+		n.applyEdgeOps()
+	}
+	if v := n.ctlRst.Swap(0); v != 0 {
 		n.applyRestart(RestartMode(v))
 	}
-	if n.net.killFlag[n.id].Load() && !n.dead {
+	if n.ctlKill.Load() && !n.dead {
 		n.dead = true
 		n.net.closeOpenSession(n.id)
 		n.publish()
 	}
-	if v := n.net.malFlag[n.id].Swap(0); v > 0 && !n.dead && n.malSteps == 0 {
+	if v := n.ctlMal.Swap(0); v > 0 && !n.dead && n.malSteps == 0 {
 		n.malSteps = int(v)
 		n.net.closeOpenSession(n.id)
 	}
@@ -294,10 +400,13 @@ func (n *node) pollControl() {
 
 // Stop terminates all node goroutines and waits for them.
 func (nw *Network) Stop() {
+	nw.lifeMu.Lock()
 	if !nw.started || nw.stopped {
+		nw.lifeMu.Unlock()
 		return
 	}
 	nw.stopped = true
+	nw.lifeMu.Unlock()
 	close(nw.done)
 	if nw.onStop != nil {
 		nw.onStop()
@@ -322,7 +431,7 @@ func (nw *Network) finishSessions() {
 }
 
 // Kill benignly crashes node p: it halts at its next event.
-func (nw *Network) Kill(p graph.ProcID) { nw.killFlag[p].Store(true) }
+func (nw *Network) Kill(p graph.ProcID) { nw.procs.Load().kill[p].Store(true) }
 
 // Restart revives node p at its next event — the inverse of Kill the
 // paper's recovery story needs. The node reboots into a new incarnation
@@ -331,19 +440,25 @@ func (nw *Network) Kill(p graph.ProcID) { nw.killFlag[p].Store(true) }
 // with it, and stabilization is what re-converges the system. Pending
 // kill and malicious-crash commands are cancelled; an external
 // transport is told to reconnect the node's edges. Restarting a live
-// node is a reboot. Safe to call from any goroutine.
+// node is a reboot; restarting a departed node is a no-op — a process
+// spliced out of the conflict graph has no edges to reboot onto, and
+// only JoinProcess may bring it back. Safe to call from any goroutine.
 func (nw *Network) Restart(p graph.ProcID, mode RestartMode) {
+	if nw.Departed(p) {
+		return
+	}
 	if mode != RestartArbitrary {
 		mode = RestartClean
 	}
-	nw.killFlag[p].Store(false)
-	nw.malFlag[p].Store(0)
+	ros := nw.procs.Load()
+	ros.kill[p].Store(false)
+	ros.mal[p].Store(0)
 	if mode == RestartArbitrary {
 		nw.mu.Lock()
 		nw.garbagePending[p] = true
 		nw.mu.Unlock()
 	}
-	nw.restartFlag[p].Store(int32(mode))
+	ros.restart[p].Store(int32(mode))
 	nw.restarts.Add(1)
 	if nw.onRestart != nil {
 		nw.onRestart(p)
@@ -370,13 +485,19 @@ func (nw *Network) FaultsInjected() (dropped, duplicated, corrupted, delayed int
 // guard evaluations still agree (the paper lets needs() "evaluate to true
 // arbitrarily"). This is the control surface external demand sources
 // (e.g. the lock service) use to turn client requests into hunger.
-func (nw *Network) SetNeeds(p graph.ProcID, hungry bool) { nw.needsFlag[p].Store(hungry) }
+func (nw *Network) SetNeeds(p graph.ProcID, hungry bool) { nw.procs.Load().needs[p].Store(hungry) }
 
 // Needs returns the currently requested needs():p value.
-func (nw *Network) Needs(p graph.ProcID) bool { return nw.needsFlag[p].Load() }
+func (nw *Network) Needs(p graph.ProcID) bool { return nw.procs.Load().needs[p].Load() }
 
-// Graph returns the network's topology.
-func (nw *Network) Graph() *graph.Graph { return nw.cfg.Graph }
+// Graph returns the network's current topology. With runtime membership
+// the returned graph is an immutable generation: splices install a new
+// one, so a held reference stays internally consistent.
+func (nw *Network) Graph() *graph.Graph { return nw.curGraph.Load() }
+
+// N returns the current process count, including departed (retired)
+// processes, whose IDs are never reused.
+func (nw *Network) N() int { return nw.procs.Load().n() }
 
 // Snapshot returns node p's latest published snapshot.
 func (nw *Network) Snapshot(p graph.ProcID) Snapshot {
@@ -391,7 +512,7 @@ func (nw *Network) Snapshot(p graph.ProcID) Snapshot {
 // protocol resynchronize without any special recovery path — the
 // stabilization property doing its job at the transport level.
 func (nw *Network) SetPartitioned(p graph.ProcID, isolated bool) {
-	nw.isolated[p].Store(isolated)
+	nw.procs.Load().isolated[p].Store(isolated)
 }
 
 // CrashMaliciously gives node p a window of arbitrarySteps garbage events
@@ -401,7 +522,7 @@ func (nw *Network) CrashMaliciously(p graph.ProcID, arbitrarySteps int) {
 		nw.Kill(p)
 		return
 	}
-	nw.malFlag[p].Store(int32(arbitrarySteps))
+	nw.procs.Load().mal[p].Store(int32(arbitrarySteps))
 }
 
 // deliver routes a frame to p's inbox without blocking; overflow drops
@@ -410,7 +531,8 @@ func (nw *Network) CrashMaliciously(p graph.ProcID, arbitrarySteps int) {
 // likewise absorb.
 func (nw *Network) deliver(p graph.ProcID, m message) {
 	nw.sent.Add(1)
-	if nw.isolated[p].Load() || nw.isolated[m.from].Load() {
+	ros := nw.procs.Load()
+	if ros.isolated[p].Load() || ros.isolated[m.from].Load() {
 		nw.lost.Add(1) // partitioned: the frame is lost in transit
 		return
 	}
@@ -432,7 +554,7 @@ func (nw *Network) deliver(p graph.ProcID, m message) {
 // the frame. External transports call this on the receiving side.
 func (nw *Network) inject(p graph.ProcID, m message) {
 	select {
-	case nw.nodes[p].inbox <- m:
+	case nw.procs.Load().nodes[p].inbox <- m:
 	default:
 		nw.dropped.Add(1)
 	}
@@ -543,17 +665,24 @@ func (nw *Network) MessagesLost() int64 { return nw.lost.Load() }
 
 // OverlappingNeighborSessions returns pairs of completed sessions by
 // neighboring nodes whose intervals overlap — safety violations of the
-// message-passing system. Sessions flagged PostGarbage are exempt: a
-// garbage-restarted node's first meal sits inside the stabilization
-// window, where the paper promises convergence, not exclusion.
+// message-passing system. Adjacency is judged against the union of every
+// topology generation the run saw: an edge that existed at any point
+// makes the pair neighbors for the check, so membership churn cannot
+// hide a violation behind a later splice-out. (No spurious positives:
+// two sessions can only overlap while their edge exists, because a
+// departing node's edges vanish only once it is dead and a joining
+// node's first meal waits for the token its incumbent holds.) Sessions
+// flagged PostGarbage are exempt: a garbage-restarted node's first meal
+// sits inside the stabilization window, where the paper promises
+// convergence, not exclusion.
 func (nw *Network) OverlappingNeighborSessions() []string {
 	sessions := nw.Sessions()
-	g := nw.cfg.Graph
+	ever := nw.everAdjSnapshot()
 	var bad []string
 	for i := 0; i < len(sessions); i++ {
 		for j := i + 1; j < len(sessions); j++ {
 			a, b := sessions[i], sessions[j]
-			if a.Proc == b.Proc || !g.HasEdge(a.Proc, b.Proc) {
+			if a.Proc == b.Proc || !ever[graph.EdgeBetween(a.Proc, b.Proc)] {
 				continue
 			}
 			if a.PostGarbage || b.PostGarbage {

@@ -2,6 +2,7 @@ package msgpass
 
 import (
 	"math/rand"
+	"sync/atomic"
 
 	"mcdp/internal/core"
 	"mcdp/internal/graph"
@@ -84,7 +85,8 @@ type node struct {
 	hungry bool
 	d      int
 
-	edges  []edgeState // aligned with Graph().Neighbors(id)
+	edges  []edgeState    // sorted by peer; spliced by membership ops
+	nbrs   []graph.ProcID // peer IDs of edges, kept in sync by refreshNeighbors
 	events int64
 
 	eatRemaining int // events left before exit becomes eligible
@@ -95,6 +97,62 @@ type node struct {
 	rng      *rand.Rand
 
 	inbox chan message
+
+	// ctl* are this node's control-flag cells, shared with the roster.
+	// The pointers are set at construction and never change, so the node
+	// polls them without loading the (copy-on-write) roster.
+	ctlKill *atomic.Bool
+	ctlMal  *atomic.Int32
+	ctlRst  *atomic.Int32
+	ctlNeed *atomic.Bool
+	ctlOps  *atomic.Bool
+}
+
+// refreshNeighbors rebuilds the cached neighbor list from the edge set.
+func (n *node) refreshNeighbors() {
+	n.nbrs = make([]graph.ProcID, len(n.edges))
+	for i := range n.edges {
+		n.nbrs[i] = n.edges[i].peer
+	}
+}
+
+// applyEdgeOps drains and applies pending membership splices on the
+// node's own goroutine, keeping the edge set sorted by peer. A splice-in
+// for an existing peer replaces the edge (leave→join collapses in one
+// poll); a splice-out for an unknown peer is a stale no-op.
+func (n *node) applyEdgeOps() {
+	ops := n.net.takeEdgeOps(n.id)
+	if len(ops) == 0 {
+		return
+	}
+	for _, op := range ops {
+		at := -1
+		for i := range n.edges {
+			if n.edges[i].peer == op.peer {
+				at = i
+				break
+			}
+		}
+		switch {
+		case op.remove && at >= 0:
+			n.edges = append(n.edges[:at], n.edges[at+1:]...)
+		case !op.remove && at >= 0:
+			n.edges[at] = op.es
+		case !op.remove && at < 0:
+			pos := len(n.edges)
+			for i := range n.edges {
+				if n.edges[i].peer > op.peer {
+					pos = i
+					break
+				}
+			}
+			n.edges = append(n.edges, edgeState{})
+			copy(n.edges[pos+1:], n.edges[pos:])
+			n.edges[pos] = op.es
+		}
+	}
+	n.refreshNeighbors()
+	n.publish()
 }
 
 // handle processes one incoming frame.
@@ -165,7 +223,7 @@ func (n *node) onEvent() {
 	n.events++
 	// Refresh dynamic hunger once per event so all guard evaluations of
 	// this event agree on needs():p.
-	n.hungry = n.net.needsFlag[n.id].Load()
+	n.hungry = n.ctlNeed.Load()
 	if n.malSteps > 0 {
 		n.maliciousStep()
 		return
@@ -423,7 +481,7 @@ func (v *nodeView) Depth() int { return v.n.depth }
 func (v *nodeView) Diameter() int { return v.n.d }
 
 func (v *nodeView) Neighbors() []graph.ProcID {
-	return v.n.net.cfg.Graph.Neighbors(v.n.id)
+	return v.n.nbrs
 }
 
 func (v *nodeView) NeighborState(q graph.ProcID) core.State {

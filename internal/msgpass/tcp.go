@@ -92,6 +92,7 @@ type tcpConn struct {
 // and partitions apply before the transport, so they compose.
 func NewTCPNetwork(cfg Config) (*Network, error) {
 	nw := NewNetwork(cfg)
+	nw.external = true // sockets pin the edge set: no runtime membership
 	tr := &tcpTransport{
 		nw:        nw,
 		conns:     make(map[int]map[graph.ProcID]*tcpConn),

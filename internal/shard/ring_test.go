@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("edge:%d-%d", i, i+1)
+	}
+	return out
+}
+
+// TestRingDeterminism: same seed, same membership history → identical
+// generation and identical placement for every key. This is what lets
+// detsim replay routing from a seed.
+func TestRingDeterminism(t *testing.T) {
+	build := func() *Ring {
+		r := New(42, 0)
+		for s := 0; s < 5; s++ {
+			if err := r.Add(s); err != nil {
+				t.Fatalf("Add(%d): %v", s, err)
+			}
+		}
+		if err := r.Remove(3); err != nil {
+			t.Fatalf("Remove(3): %v", err)
+		}
+		return r
+	}
+	a, b := build(), build()
+	if a.Generation() != b.Generation() || a.Generation() != 6 {
+		t.Fatalf("generations %d vs %d, want 6", a.Generation(), b.Generation())
+	}
+	for _, k := range keys(2000) {
+		sa, oka := a.Lookup(k)
+		sb, okb := b.Lookup(k)
+		if !oka || !okb || sa != sb {
+			t.Fatalf("placement of %q diverged: %d/%v vs %d/%v", k, sa, oka, sb, okb)
+		}
+		if sa == 3 {
+			t.Fatalf("key %q routed to removed shard 3", k)
+		}
+	}
+}
+
+// TestRingSeedSensitivity: a different seed must shuffle placements —
+// otherwise the seed is decorative.
+func TestRingSeedSensitivity(t *testing.T) {
+	a, b := New(1, 0), New(2, 0)
+	for s := 0; s < 4; s++ {
+		a.Add(s)
+		b.Add(s)
+	}
+	same := 0
+	ks := keys(1000)
+	for _, k := range ks {
+		sa, _ := a.Lookup(k)
+		sb, _ := b.Lookup(k)
+		if sa == sb {
+			same++
+		}
+	}
+	if same == len(ks) {
+		t.Fatal("seed has no effect on placement")
+	}
+}
+
+// TestRingBalance: with the default virtual-node count no shard owns a
+// wildly disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	r := New(7, 0)
+	const shards = 4
+	for s := 0; s < shards; s++ {
+		r.Add(s)
+	}
+	counts := make([]int, shards)
+	ks := keys(20000)
+	for _, k := range ks {
+		s, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed on populated ring")
+		}
+		counts[s]++
+	}
+	mean := float64(len(ks)) / shards
+	for s, c := range counts {
+		if f := float64(c) / mean; f < 0.5 || f > 2.0 {
+			t.Fatalf("shard %d owns %d keys (%.2fx mean): balance too skewed, counts=%v", s, c, f, counts)
+		}
+	}
+}
+
+// TestRingConsistency: removing one shard moves only that shard's keys;
+// every key owned by a survivor stays put. Re-adding the shard restores
+// the original placement exactly (virtual nodes are position-stable).
+func TestRingConsistency(t *testing.T) {
+	r := New(99, 0)
+	const shards = 5
+	for s := 0; s < shards; s++ {
+		r.Add(s)
+	}
+	ks := keys(5000)
+	before := make(map[string]int, len(ks))
+	for _, k := range ks {
+		s, _ := r.Lookup(k)
+		before[k] = s
+	}
+	if err := r.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		s, _ := r.Lookup(k)
+		if before[k] != 2 && s != before[k] {
+			t.Fatalf("key %q moved %d→%d though shard %d survived", k, before[k], s, before[k])
+		}
+		if s == 2 {
+			t.Fatalf("key %q still routed to removed shard", k)
+		}
+	}
+	if err := r.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		if s, _ := r.Lookup(k); s != before[k] {
+			t.Fatalf("re-admitting shard 2 did not restore placement of %q (%d→%d)", k, before[k], s)
+		}
+	}
+}
+
+// TestRingErrors covers the deliberate-change contract.
+func TestRingErrors(t *testing.T) {
+	r := New(0, 8)
+	if _, ok := r.Lookup("x"); ok {
+		t.Error("lookup on empty ring succeeded")
+	}
+	if err := r.Add(-1); err == nil {
+		t.Error("negative shard accepted")
+	}
+	if err := r.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(1); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+	if err := r.Remove(9); err == nil {
+		t.Error("Remove of non-member accepted")
+	}
+	if got := r.Members(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Members() = %v", got)
+	}
+	if !r.Has(1) || r.Has(2) {
+		t.Error("Has() inconsistent")
+	}
+	if r.Size() != 1 {
+		t.Errorf("Size() = %d", r.Size())
+	}
+	if r.Vnodes() != 8 || r.Seed() != 0 {
+		t.Errorf("accessors: vnodes=%d seed=%d", r.Vnodes(), r.Seed())
+	}
+}
