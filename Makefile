@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race short cover bench bench-json examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
+.PHONY: all build vet lint test race short cover bench bench-json bench-gate wire-smoke examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
 
 all: build vet lint test
 
@@ -36,14 +36,32 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable perf baseline: the core micro/experiment benchmarks
-# plus the shard scaling sweep (1/2/4 arbiter shards under the same
-# 512-key load), merged into BENCH_shard.json. Rerun and diff to spot
-# a regression; docs/SHARD.md explains the sweep's shape.
+# Machine-readable perf baselines. BENCH_shard.json: core micro
+# benchmarks plus the shard scaling sweep (1/2/4 arbiter shards under
+# the same 512-key load; docs/SHARD.md). BENCH_wire.json: HTTP vs wire
+# transport throughput with adaptive sampling and the wire_vs_http
+# ratio the CI gate enforces (docs/WIRE.md). Rerun and diff to spot a
+# regression; GOMAXPROCS=1 keeps the one-core regime the checked-in
+# baselines were measured in.
 bench-json: dinerd
 	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep|BenchmarkSimStepLargeRing|BenchmarkDrinkersStep|BenchmarkInvariantCheck|BenchmarkEnabledChoices)$$' -benchmem . | tee bench_core.txt
-	./bin/dinerd bench -core bench_core.txt -out BENCH_shard.json
+	./bin/dinerd bench -mode shards -core bench_core.txt -out BENCH_shard.json
 	@rm -f bench_core.txt
+	GOMAXPROCS=1 ./bin/dinerd bench -mode transports -out BENCH_wire.json
+
+# Gate a working tree against the checked-in transport baseline: rerun
+# the transports benchmark and fail if wire_vs_http (or, on the same
+# machine, absolute grants/s) regressed beyond tolerance.
+bench-gate: dinerd
+	GOMAXPROCS=1 ./bin/dinerd bench -mode transports -compare BENCH_wire.json -tolerance 0.25
+
+# Wire transport smoke: race-checked end-to-end + facade parity over
+# framed connections, a frame-decoder fuzz burst, and a seeded chaos
+# campaign whose load and fault profile both ride the wire transport.
+wire-smoke:
+	$(GO) test -race -run 'TestWireEndToEnd|TestWireFacadeParity' ./internal/lockservice/
+	$(GO) test -run='^$$' -fuzz=FuzzFrameRoundTrip -fuzztime=10s ./internal/wire/
+	$(GO) run -race ./cmd/dinerd chaos -transport wire -duration 6s -seed 1 -kills 2
 
 examples:
 	$(GO) run ./examples/quickstart

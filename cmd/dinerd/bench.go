@@ -10,13 +10,16 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"mcdp/internal/bench"
 	"mcdp/internal/graph"
 	"mcdp/internal/lockservice"
+	"mcdp/internal/wire"
 )
 
 // benchResult is one shard count's measurement in BENCH_shard.json.
@@ -69,37 +72,250 @@ type benchConfig struct {
 	Seed      int64   `json:"seed"`
 }
 
-// benchCmd sweeps shard counts over an in-process dinerd — router,
-// HTTP listener, and client swarm all real — and records the scaling
-// curve plus (optionally) parsed core `go test -bench` output into one
-// JSON artifact. This is the repo's perf baseline: rerun `make
-// bench-json` and diff BENCH_shard.json to see a regression.
+// benchCmd measures the service in-process — router, listeners, and
+// client swarm all real — in one of two modes:
+//
+//   - transports (default): HTTP vs wire throughput over the identical
+//     router config, sampled adaptively (warmup discarded, repeat until
+//     the CV settles) and written as BENCH_wire.json with the
+//     dimensionless wire_vs_http ratio. With -compare it instead gates
+//     a run against a checked-in baseline and exits nonzero on
+//     regression.
+//   - shards: the shard-count scaling sweep behind BENCH_shard.json.
+//
+// Rerun `make bench-json` and diff the artifacts to see a regression.
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		shardsCSV = fs.String("shards", "1,2,4", "comma-separated shard counts to sweep")
+		mode      = fs.String("mode", "transports", "transports (HTTP vs wire) or shards (scaling sweep)")
+		shardsCSV = fs.String("shards", "", "shard counts: comma list to sweep (shards mode, default 1,2,4) or one count (transports mode, default 4)")
 		topology  = fs.String("topology", "grid", "per-shard topology: grid|ring|path|torus|complete")
 		rows      = fs.Int("rows", 3, "grid/torus rows")
 		cols      = fs.Int("cols", 3, "grid/torus cols")
 		n         = fs.Int("n", 8, "process count (ring/path/complete)")
 		clients   = fs.Int("clients", 96, "concurrent clients per stage")
-		duration  = fs.Duration("duration", 4*time.Second, "load duration per shard count")
-		hold      = fs.Duration("hold", 5*time.Millisecond, "lease hold per grant")
+		duration  = fs.Duration("duration", 4*time.Second, "load duration per stage/sample")
+		hold      = fs.Duration("hold", 5*time.Millisecond, "lease hold per grant (transports mode defaults to 0: it measures the transport, not the hold)")
 		pair      = fs.Float64("pair", 0.2, "probability of a two-lock same-worker request")
 		keys      = fs.Int("keys", 512, "named-resource keyspace size (fixed across the sweep)")
 		tick      = fs.Duration("tick", 2*time.Millisecond, "substrate gossip tick")
 		timeout   = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
 		seed      = fs.Int64("seed", 1, "substrate and client seed")
-		corePath  = fs.String("core", "", "`go test -bench` output to parse and embed")
-		out       = fs.String("out", "BENCH_shard.json", "output JSON path")
+		warmup    = fs.Int("warmup", 1, "discarded warmup runs per transport (transports mode)")
+		samples   = fs.Int("samples", 6, "max kept samples per transport (transports mode)")
+		cv        = fs.Float64("cv", 0.10, "stop sampling at this coefficient of variation (transports mode)")
+		wireConns = fs.Int("wire-conns", 8, "wire connection pool size (transports mode)")
+		compare   = fs.String("compare", "", "baseline BENCH_wire.json to gate against (transports mode)")
+		tolerance = fs.Float64("tolerance", 0.15, "relative regression tolerance for -compare")
+		corePath  = fs.String("core", "", "`go test -bench` output to parse and embed (shards mode)")
+		out       = fs.String("out", "", "output JSON path (default BENCH_wire.json / BENCH_shard.json by mode)")
+		profile   = fs.String("cpuprofile", "", "write a CPU profile of the measurement to this path")
 	)
 	fs.Parse(args)
 
-	counts, err := parseShardCounts(*shardsCSV)
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Mode-dependent defaults: the transports comparison measures the
+	// per-grant transport cost, so it drops the artificial hold unless
+	// one was asked for explicitly; the shard sweep keeps 5ms so lock
+	// dwell time stays realistic.
+	holdSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "hold" {
+			holdSet = true
+		}
+	})
+	if *mode == "transports" && !holdSet {
+		*hold = 0
+	}
+
+	g, err := buildTopology(*topology, *n, *rows, *cols)
 	if err != nil {
 		fail(err)
 	}
-	g, err := buildTopology(*topology, *n, *rows, *cols)
+	base := loadOpts{
+		clients:  *clients,
+		duration: *duration,
+		hold:     *hold,
+		timeout:  *timeout,
+		pair:     *pair,
+		seed:     *seed,
+		keys:     *keys,
+		sharded:  true,
+	}
+	cfg := lockservice.Config{Graph: g, Seed: *seed, TickEvery: *tick}
+
+	switch *mode {
+	case "transports":
+		if *shardsCSV == "" {
+			*shardsCSV = "4"
+		}
+		counts, err := parseShardCounts(*shardsCSV)
+		if err != nil {
+			fail(err)
+		}
+		if len(counts) != 1 {
+			fail(fmt.Errorf("transports mode measures one shard count, got -shards %q", *shardsCSV))
+		}
+		if *out == "" {
+			*out = "BENCH_wire.json"
+		}
+		benchTransports(g, counts[0], base, cfg, bench.Options{
+			Warmup:     *warmup,
+			MaxSamples: *samples,
+			TargetCV:   *cv,
+		}, *wireConns, *out, *compare, *tolerance)
+	case "shards":
+		if *shardsCSV == "" {
+			*shardsCSV = "1,2,4"
+		}
+		if *out == "" {
+			*out = "BENCH_shard.json"
+		}
+		benchShards(g, *shardsCSV, base, cfg, *tick, *corePath, *out)
+	default:
+		fail(fmt.Errorf("unknown -mode %q (want transports or shards)", *mode))
+	}
+}
+
+// benchTransports measures HTTP vs wire grants/s against one live
+// router serving both listeners at once — the same process, lease
+// table, and shard ring; only the transport differs.
+func benchTransports(g *graph.Graph, shards int, o loadOpts, base lockservice.Config, bo bench.Options, wireConns int, out, compare string, tolerance float64) {
+	rt := lockservice.NewRouter(lockservice.RouterConfig{Shards: shards, Base: base})
+	rt.Start()
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	go func() { _ = httpSrv.Serve(httpLn) }()
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	ws := wire.NewServer(wire.ServerConfig{Backend: rt.WireBackend()})
+	go func() { _ = ws.Serve(wireLn) }()
+	defer func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		ws.Close()
+		_ = httpSrv.Shutdown(shutdownCtx)
+		rt.Stop(shutdownCtx)
+	}()
+
+	httpURL := "http://" + httpLn.Addr().String()
+	probeCtx, cancelProbe := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelProbe()
+	probe := lockservice.NewClient(httpURL)
+	rep, err := probe.Status(probeCtx)
+	if err != nil {
+		fail(fmt.Errorf("bench server unreachable: %w", err))
+	}
+	info, err := probe.Ring(probeCtx)
+	if err != nil {
+		fail(fmt.Errorf("bench server has no ring: %w", err))
+	}
+	cat := buildKeyCatalog(o.keys, rep.Edges, replicaRing(info))
+
+	fmt.Printf("bench: transports over %d-shard %s, %d clients, %v per sample (warmup %d, <=%d samples, cv target %.2f)\n",
+		shards, g.Name(), o.clients, o.duration, bo.Warmup, bo.MaxSamples, bo.TargetCV)
+
+	measure := func(transport, addr string) (*bench.Series, error) {
+		run := func(iteration int) (float64, error) {
+			lo := o
+			lo.addr = addr
+			lo.transport = transport
+			lo.wireConns = wireConns
+			lo.seed = o.seed + int64(iteration)*1000003
+			ctx, cancel := context.WithTimeout(context.Background(), o.duration+30*time.Second)
+			defer cancel()
+			res := runLoad(ctx, cat, lo)
+			if f := res.failures.Load(); f > 0 {
+				fmt.Printf("bench:   warning: %d unclassified failures over %s\n", f, transport)
+			}
+			return float64(res.grants.Load()) / o.duration.Seconds(), nil
+		}
+		opts := bo
+		opts.Progress = func(iteration int, warm bool, v float64) {
+			tag := "sample"
+			if warm {
+				tag = "warmup"
+			}
+			fmt.Printf("bench:   %s %s %d: %.0f grants/s\n", transport, tag, iteration, v)
+		}
+		return bench.Run(transport, "grants/s", opts, run)
+	}
+
+	httpSeries, err := measure("http", httpURL)
+	if err != nil {
+		fail(err)
+	}
+	wireSeries, err := measure("wire", wireLn.Addr().String())
+	if err != nil {
+		fail(err)
+	}
+
+	file := &bench.File{
+		Schema:        bench.SchemaVersion,
+		GeneratedUnix: time.Now().Unix(),
+		Fingerprint:   bench.CurrentFingerprint(),
+		Config: map[string]any{
+			"mode":       "transports",
+			"topology":   g.Name(),
+			"shards":     shards,
+			"keys":       o.keys,
+			"clients":    o.clients,
+			"duration_s": o.duration.Seconds(),
+			"tick_us":    base.TickEvery.Microseconds(),
+			"hold_ms":    float64(o.hold.Microseconds()) / 1000,
+			"pair":       o.pair,
+			"seed":       o.seed,
+			"timeout_ms": o.timeout.Milliseconds(),
+			"wire_conns": wireConns,
+		},
+		Results: []bench.Series{*httpSeries, *wireSeries},
+		Ratios:  map[string]float64{},
+	}
+	if httpSeries.Mean > 0 {
+		file.Ratios["wire_vs_http"] = wireSeries.Mean / httpSeries.Mean
+	}
+	fmt.Printf("bench: http %.0f grants/s (cv %.3f), wire %.0f grants/s (cv %.3f), wire/http %.2fx\n",
+		httpSeries.Mean, httpSeries.CV, wireSeries.Mean, wireSeries.CV, file.Ratios["wire_vs_http"])
+
+	if compare != "" {
+		baseline, err := bench.Load(compare)
+		if err != nil {
+			fail(fmt.Errorf("bench: load baseline: %w", err))
+		}
+		if bad := bench.Compare(baseline, file, tolerance); len(bad) > 0 {
+			for _, v := range bad {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("bench: holds the %s baseline within %.0f%%\n", compare, tolerance*100)
+		return
+	}
+	if err := file.Write(out); err != nil {
+		fail(err)
+	}
+	fmt.Printf("bench: wrote %s\n", out)
+}
+
+// benchShards runs the shard-count scaling sweep into BENCH_shard.json.
+func benchShards(g *graph.Graph, shardsCSV string, o loadOpts, cfg lockservice.Config, tick time.Duration, corePath, out string) {
+	counts, err := parseShardCounts(shardsCSV)
 	if err != nil {
 		fail(err)
 	}
@@ -110,29 +326,20 @@ func benchCmd(args []string) {
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Config: benchConfig{
 			Topology:  g.Name(),
-			Keys:      *keys,
-			Clients:   *clients,
-			DurationS: duration.Seconds(),
+			Keys:      o.keys,
+			Clients:   o.clients,
+			DurationS: o.duration.Seconds(),
 			TickUS:    tick.Microseconds(),
-			HoldMS:    float64(hold.Microseconds()) / 1000,
-			Pair:      *pair,
-			Seed:      *seed,
+			HoldMS:    float64(o.hold.Microseconds()) / 1000,
+			Pair:      o.pair,
+			Seed:      o.seed,
 		},
 	}
 
 	byCount := map[int]*benchResult{}
 	for _, count := range counts {
-		fmt.Printf("bench: %d shard(s), %d clients for %v (tick %v)\n", count, *clients, *duration, *tick)
-		r, err := benchStage(g, count, loadOpts{
-			clients:  *clients,
-			duration: *duration,
-			hold:     *hold,
-			timeout:  *timeout,
-			pair:     *pair,
-			seed:     *seed,
-			keys:     *keys,
-			sharded:  true,
-		}, lockservice.Config{Graph: g, Seed: *seed, TickEvery: *tick})
+		fmt.Printf("bench: %d shard(s), %d clients for %v (tick %v)\n", count, o.clients, o.duration, tick)
+		r, err := benchStage(g, count, o, cfg)
 		if err != nil {
 			fail(err)
 		}
@@ -147,23 +354,23 @@ func benchCmd(args []string) {
 			file.Speedup4v1, four.P99MS, one.P99MS)
 	}
 
-	if *corePath != "" {
-		core, err := parseGoBench(*corePath)
+	if corePath != "" {
+		core, err := parseGoBench(corePath)
 		if err != nil {
 			fail(err)
 		}
 		file.Core = core
-		fmt.Printf("bench: embedded %d core benchmark rows from %s\n", len(core), *corePath)
+		fmt.Printf("bench: embedded %d core benchmark rows from %s\n", len(core), corePath)
 	}
 
 	buf, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fail(err)
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Printf("bench: wrote %s\n", *out)
+	fmt.Printf("bench: wrote %s\n", out)
 }
 
 // benchStage measures one shard count: start a router over real HTTP,

@@ -2,13 +2,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +19,7 @@ import (
 	"mcdp/internal/lockservice"
 	"mcdp/internal/msgpass"
 	"mcdp/internal/stats"
+	"mcdp/internal/wire"
 )
 
 // recovery tracks one crashed node from fault to first post-revival
@@ -42,26 +43,27 @@ type recovery struct {
 func chaosCmd(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	var (
-		topology = fs.String("topology", "grid", "grid|ring|path|torus|complete")
-		rows     = fs.Int("rows", 3, "grid/torus rows")
-		cols     = fs.Int("cols", 3, "grid/torus cols")
-		n        = fs.Int("n", 8, "process count (ring/path/complete)")
-		seed     = fs.Int64("seed", 1, "campaign seed (same seed, same plan)")
-		duration = fs.Duration("duration", 15*time.Second, "campaign duration")
-		kills    = fs.Int("kills", 2, "crash victims (each gets a restart)")
-		churn    = fs.Int("churn", 0, "leave/rejoin victim pairs (runtime membership churn)")
-		drop     = fs.Float64("drop", 0.10, "per-frame drop probability")
-		dup      = fs.Float64("dup", 0.05, "per-frame duplication probability")
-		corrupt  = fs.Float64("corrupt", 0.05, "per-frame payload-corruption probability")
-		delay    = fs.Float64("delay", 0.10, "per-frame channel-stall probability")
-		maxDelay = fs.Int("max-delay", 3, "maximum stall length in ticks")
-		reorder  = fs.Float64("reorder", 0.10, "per-frame reorder (1-tick stall) probability")
-		garbage  = fs.Bool("garbage", true, "revive victims with arbitrary state instead of clean")
-		supmode  = fs.Bool("supervise", false, "let the self-healing supervisor revive victims instead of the script")
-		clients  = fs.Int("clients", 4, "concurrent load clients")
-		tick     = fs.Duration("tick", time.Millisecond, "substrate gossip tick (campaign time unit)")
-		hold     = fs.Duration("hold", 3*time.Millisecond, "lease hold time per grant")
-		timeout  = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
+		topology  = fs.String("topology", "grid", "grid|ring|path|torus|complete")
+		rows      = fs.Int("rows", 3, "grid/torus rows")
+		cols      = fs.Int("cols", 3, "grid/torus cols")
+		n         = fs.Int("n", 8, "process count (ring/path/complete)")
+		seed      = fs.Int64("seed", 1, "campaign seed (same seed, same plan)")
+		duration  = fs.Duration("duration", 15*time.Second, "campaign duration")
+		kills     = fs.Int("kills", 2, "crash victims (each gets a restart)")
+		churn     = fs.Int("churn", 0, "leave/rejoin victim pairs (runtime membership churn)")
+		drop      = fs.Float64("drop", 0.10, "per-frame drop probability")
+		dup       = fs.Float64("dup", 0.05, "per-frame duplication probability")
+		corrupt   = fs.Float64("corrupt", 0.05, "per-frame payload-corruption probability")
+		delay     = fs.Float64("delay", 0.10, "per-frame channel-stall probability")
+		maxDelay  = fs.Int("max-delay", 3, "maximum stall length in ticks")
+		reorder   = fs.Float64("reorder", 0.10, "per-frame reorder (1-tick stall) probability")
+		garbage   = fs.Bool("garbage", true, "revive victims with arbitrary state instead of clean")
+		supmode   = fs.Bool("supervise", false, "let the self-healing supervisor revive victims instead of the script")
+		transport = fs.String("transport", "http", "load transport: http or wire (admin always HTTP; wire mode also injects the fault profile into framed connections)")
+		clients   = fs.Int("clients", 4, "concurrent load clients")
+		tick      = fs.Duration("tick", time.Millisecond, "substrate gossip tick (campaign time unit)")
+		hold      = fs.Duration("hold", 3*time.Millisecond, "lease hold time per grant")
+		timeout   = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
 	)
 	fs.Parse(args)
 
@@ -98,8 +100,34 @@ func chaosCmd(args []string) {
 	go func() { _ = httpSrv.Serve(ln) }()
 	baseURL := "http://" + ln.Addr().String()
 
-	fmt.Printf("chaos: seed=%d %s (%d workers, %d locks) for %v on %s\n",
-		*seed, g.Name(), g.N(), g.EdgeCount(), *duration, baseURL)
+	// In wire mode the load swarm speaks the framed protocol, and the
+	// same fault profile that torments the diners substrate is injected
+	// into every outbound frame: the campaign exercises both the
+	// arbitration layer and the transport's own recovery (CRC drops,
+	// redials, retries). Admin traffic stays on HTTP — crash/restart is
+	// the operator surface, deliberately facade-only.
+	var ws *wire.Server
+	var wireClient *wire.Client
+	if *transport == "wire" {
+		ws = wire.NewServer(wire.ServerConfig{
+			Backend:   srv.WireBackend(),
+			Faults:    chaos.NewInjector(*seed+101, faults),
+			FaultTick: *tick,
+		})
+		wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		go func() { _ = ws.Serve(wireLn) }()
+		wireClient = wire.NewClient(wireLn.Addr().String())
+		wireClient.OpTimeout = time.Second // bound waiters orphaned by dropped frames
+		defer wireClient.Close()
+	} else if *transport != "http" {
+		fail(fmt.Errorf("unknown -transport %q (want http or wire)", *transport))
+	}
+
+	fmt.Printf("chaos: seed=%d %s (%d workers, %d locks) for %v on %s via %s\n",
+		*seed, g.Name(), g.N(), g.EdgeCount(), *duration, baseURL, *transport)
 	fmt.Printf("chaos: faults drop=%.2f dup=%.2f corrupt=%.2f delay=%.2f(max %d ticks) reorder=%.2f\n",
 		faults.Drop, faults.Duplicate, faults.Corrupt, faults.Delay, faults.MaxDelayTicks, faults.Reorder)
 	for _, a := range camp.Actions {
@@ -124,11 +152,16 @@ func chaosCmd(args []string) {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
-			c := lockservice.NewClient(baseURL)
+			var sess loadSession
+			if wireClient != nil {
+				sess = wireSession{wireClient}
+			} else {
+				sess = httpSession{lockservice.NewClient(baseURL)}
+			}
 			for ctx.Err() == nil {
 				res := rep.Edges[rng.Intn(len(rep.Edges))]
 				attempts.Add(1)
-				grant, err := c.Acquire(ctx, []string{res}, *timeout, 0)
+				session, err := sess.Acquire(ctx, []string{res}, *timeout)
 				if err != nil {
 					if isExpectedChaosErr(err) {
 						rejects.Add(1)
@@ -139,10 +172,13 @@ func chaosCmd(args []string) {
 				}
 				grants.Add(1)
 				time.Sleep(*hold)
-				if err := c.Release(context.WithoutCancel(ctx), grant.SessionID); err != nil {
-					if strings.Contains(err.Error(), "HTTP 404") {
+				if err := sess.Release(context.WithoutCancel(ctx), session); err != nil {
+					switch {
+					case errCode(err) == 404:
 						fenced.Add(1) // lease fenced by a restart mid-hold
-					} else {
+					case isExpectedChaosErr(err):
+						rejects.Add(1)
+					default:
 						failures.Add(1)
 					}
 				}
@@ -215,6 +251,12 @@ func chaosCmd(args []string) {
 	summary.AddRow("leases fenced", m.LeasesFenced.Load())
 	summary.AddRow("faults drop/dup/corrupt/delay", fmt.Sprintf("%d/%d/%d/%d", d, du, co, de))
 	summary.AddRow("frames lost (faults+partitions)", srv.Network().MessagesLost())
+	if ws != nil {
+		st := ws.Stats()
+		summary.AddRow("wire faults drop/dup/corrupt/stall", fmt.Sprintf("%d/%d/%d/%d",
+			st.FaultsDropped.Load(), st.FaultsDuplicate.Load(), st.FaultsCorrupted.Load(), st.FaultsStalled.Load()))
+		summary.AddRow("wire client retries", wireClient.Stats().Retries.Load())
+	}
 	summary.AddRow("sampled overlaps (advisory)", sampledOverlaps.Load())
 	summary.Render(os.Stdout)
 
@@ -357,12 +399,18 @@ func watchRecovery(ctx context.Context, nw *msgpass.Network, a chaos.Action, bas
 
 // isExpectedChaosErr reports rejections the campaign treats as load
 // shedding rather than bugs: waits that timed out (408), backpressure
-// (429), and windows where every candidate home was dead (503).
+// (429), windows where every candidate home was dead (503), and — in
+// wire mode, where the fault profile is injected into the framed
+// transport itself — operations that exhausted their retries against
+// dropped or corrupted frames. The verdict that matters is computed
+// after the run: exclusion, history linearizability, and recovery.
 func isExpectedChaosErr(err error) bool {
-	s := err.Error()
-	return strings.Contains(s, "HTTP 408") || strings.Contains(s, "HTTP 429") ||
-		strings.Contains(s, "HTTP 503") || strings.Contains(s, "context deadline exceeded") ||
-		strings.Contains(s, "context canceled")
+	switch errCode(err) {
+	case 408, 429, 503:
+		return true
+	}
+	return errors.Is(err, wire.ErrTransport) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
 func max64(a, b int64) int64 {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -14,6 +15,7 @@ import (
 	"mcdp/internal/lockservice"
 	"mcdp/internal/shard"
 	"mcdp/internal/stats"
+	"mcdp/internal/wire"
 )
 
 // shardCatalog maps the resource names the generator draws onto the
@@ -142,15 +144,17 @@ type shardTally struct {
 
 // loadOpts parameterizes one load run.
 type loadOpts struct {
-	addr     string
-	clients  int
-	duration time.Duration
-	hold     time.Duration
-	timeout  time.Duration
-	pair     float64
-	seed     int64
-	keys     int  // synthetic keyspace size (0 = raw edge catalog)
-	sharded  bool // fetch /v1/ring per client so acquires assert the generation
+	addr      string // HTTP base URL, or host:port for the wire transport
+	transport string // "http" (default) or "wire"
+	wireConns int    // wire connection pool size shared by the swarm (default 8)
+	clients   int
+	duration  time.Duration
+	hold      time.Duration
+	timeout   time.Duration
+	pair      float64
+	seed      int64
+	keys      int  // synthetic keyspace size (0 = raw edge catalog)
+	sharded   bool // seed the ring generation so acquires assert it
 }
 
 // loadResult is what the swarm observed, overall and per shard.
@@ -162,11 +166,83 @@ type loadResult struct {
 	failures   atomic.Int64
 	overall    *stats.Recorder
 	perShard   map[int]*shardTally
+	// wire carries the shared wire client's traffic counters (nil for
+	// HTTP runs): connection reuse and outbound batch-size distribution.
+	wire *wire.ClientStats
+}
+
+// errCode extracts the rejection code from either transport's error.
+// Both reuse the HTTP status numbers — *lockservice.APIError carries
+// them natively and *wire.Error mirrors them — so one switch covers
+// either, with no string matching. 0 means no code (transport-level
+// failure or context cancellation).
+func errCode(err error) int {
+	var apiErr *lockservice.APIError
+	var wireErr *wire.Error
+	switch {
+	case errors.As(err, &apiErr):
+		return apiErr.StatusCode
+	case errors.As(err, &wireErr):
+		return int(wireErr.Code)
+	}
+	return 0
+}
+
+// classify buckets one acquire/release failure by its rejection code.
+func classify(err error, res *loadResult) {
+	switch errCode(err) {
+	case 408:
+		res.timeouts.Add(1)
+	case 429:
+		res.busy.Add(1)
+	case 422:
+		res.crossShard.Add(1)
+	default:
+		res.failures.Add(1)
+	}
+}
+
+// loadSession is the transport-agnostic slice of the client surface the
+// swarm needs; both transports land on the same Router underneath.
+type loadSession interface {
+	Acquire(ctx context.Context, resources []string, timeout time.Duration) (session string, err error)
+	Release(ctx context.Context, session string) error
+}
+
+type httpSession struct{ c *lockservice.Client }
+
+func (s httpSession) Acquire(ctx context.Context, resources []string, timeout time.Duration) (string, error) {
+	grant, err := s.c.Acquire(ctx, resources, timeout, 0)
+	if err != nil {
+		return "", err
+	}
+	return grant.SessionID, nil
+}
+
+func (s httpSession) Release(ctx context.Context, session string) error {
+	return s.c.Release(ctx, session)
+}
+
+type wireSession struct{ c *wire.Client }
+
+func (s wireSession) Acquire(ctx context.Context, resources []string, timeout time.Duration) (string, error) {
+	grant, err := s.c.Acquire(ctx, resources, timeout, 0)
+	if err != nil {
+		return "", err
+	}
+	return grant.SessionID, nil
+}
+
+func (s wireSession) Release(ctx context.Context, session string) error {
+	return s.c.Release(ctx, session)
 }
 
 // runLoad drives the acquire/hold/release swarm against addr until the
 // duration elapses and returns everything it measured. Shared by the
-// loadgen and bench subcommands.
+// loadgen and bench subcommands. HTTP workers each own a client (the
+// stdlib transport pools connections per client); wire workers share
+// one pooled, pipelined client so concurrent operations coalesce into
+// batched frames — that sharing is the transport's whole point.
 func runLoad(ctx context.Context, cat *shardCatalog, o loadOpts) *loadResult {
 	res := &loadResult{
 		overall:  stats.NewRecorder(1 << 18),
@@ -175,6 +251,22 @@ func runLoad(ctx context.Context, cat *shardCatalog, o loadOpts) *loadResult {
 	for _, s := range cat.shards {
 		res.perShard[s] = &shardTally{rec: stats.NewRecorder(1 << 16)}
 	}
+
+	var shared *wire.Client
+	if o.transport == "wire" {
+		shared = wire.NewClient(o.addr)
+		if o.wireConns > 0 {
+			shared.Conns = o.wireConns
+		} else {
+			shared.Conns = 8
+		}
+		if o.sharded {
+			_ = shared.Sync(ctx) // hello seeds the generation the acquires assert
+		}
+		res.wire = shared.Stats()
+		defer shared.Close()
+	}
+
 	var wg sync.WaitGroup
 	stopAt := time.Now().Add(o.duration)
 	for w := 0; w < o.clients; w++ {
@@ -182,25 +274,22 @@ func runLoad(ctx context.Context, cat *shardCatalog, o loadOpts) *loadResult {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(o.seed + int64(w)*7919))
-			c := lockservice.NewClient(o.addr)
-			if o.sharded {
-				_, _ = c.Ring(ctx) // seed the generation the acquires assert
+			var sess loadSession
+			if shared != nil {
+				sess = wireSession{shared}
+			} else {
+				c := lockservice.NewClient(o.addr)
+				if o.sharded {
+					_, _ = c.Ring(ctx) // seed the generation the acquires assert
+				}
+				sess = httpSession{c}
 			}
 			for time.Now().Before(stopAt) && ctx.Err() == nil {
 				resources := cat.pick(rng, o.pair)
 				start := time.Now()
-				grant, err := c.Acquire(ctx, resources, o.timeout, 0)
+				session, err := sess.Acquire(ctx, resources, o.timeout)
 				if err != nil {
-					switch {
-					case strings.Contains(err.Error(), "HTTP 408"):
-						res.timeouts.Add(1)
-					case strings.Contains(err.Error(), "HTTP 429"):
-						res.busy.Add(1)
-					case strings.Contains(err.Error(), "HTTP 422"):
-						res.crossShard.Add(1)
-					default:
-						res.failures.Add(1)
-					}
+					classify(err, res)
 					continue
 				}
 				lat := time.Since(start).Seconds()
@@ -211,7 +300,7 @@ func runLoad(ctx context.Context, cat *shardCatalog, o loadOpts) *loadResult {
 					t.grants.Add(1)
 				}
 				time.Sleep(o.hold)
-				if err := c.Release(ctx, grant.SessionID); err != nil {
+				if err := sess.Release(ctx, session); err != nil {
 					res.failures.Add(1)
 				}
 			}

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"mcdp/internal/lockservice"
 	"mcdp/internal/shard"
 	"mcdp/internal/stats"
+	"mcdp/internal/wire"
 )
 
 // loadgen hammers a running dinerd with concurrent acquire/hold/release
@@ -22,16 +24,22 @@ import (
 func loadgen(args []string) {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", "http://127.0.0.1:7467", "dinerd base URL")
-		clients  = fs.Int("clients", 8, "concurrent clients")
-		duration = fs.Duration("duration", 10*time.Second, "load duration")
-		hold     = fs.Duration("hold", 5*time.Millisecond, "lease hold time per grant")
-		pair     = fs.Float64("pair", 0.2, "probability a request asks for two locks sharing a worker")
-		timeout  = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
-		seed     = fs.Int64("seed", 1, "client randomness seed")
-		keys     = fs.Int("keys", 0, "synthetic named-resource keyspace size (0 = lock raw edge names)")
+		addr      = fs.String("addr", "http://127.0.0.1:7467", "dinerd base URL (catalog probe + HTTP load)")
+		transport = fs.String("transport", "http", "load transport: http or wire")
+		wireAddr  = fs.String("wire-addr", "127.0.0.1:7468", "wire listener host:port (when -transport wire)")
+		wireConns = fs.Int("wire-conns", 8, "wire connection pool size shared by all clients")
+		clients   = fs.Int("clients", 8, "concurrent clients")
+		duration  = fs.Duration("duration", 10*time.Second, "load duration")
+		hold      = fs.Duration("hold", 5*time.Millisecond, "lease hold time per grant")
+		pair      = fs.Float64("pair", 0.2, "probability a request asks for two locks sharing a worker")
+		timeout   = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
+		seed      = fs.Int64("seed", 1, "client randomness seed")
+		keys      = fs.Int("keys", 0, "synthetic named-resource keyspace size (0 = lock raw edge names)")
 	)
 	fs.Parse(args)
+	if *transport != "http" && *transport != "wire" {
+		fail(fmt.Errorf("unknown -transport %q (want http or wire)", *transport))
+	}
 
 	probe := lockservice.NewClient(*addr)
 	ctx, cancel := context.WithTimeout(context.Background(), *duration+30*time.Second)
@@ -56,18 +64,24 @@ func loadgen(args []string) {
 		cat = buildKeyCatalog(*keys, rep.Edges, ring)
 	}
 
-	fmt.Printf("loadgen: %d clients for %v against %s (%s, %d keys over %d locks, %d shards)\n",
-		*clients, *duration, *addr, rep.Topology, len(cat.keys), len(rep.Edges), len(cat.shards))
+	target := *addr
+	if *transport == "wire" {
+		target = *wireAddr
+	}
+	fmt.Printf("loadgen: %d clients for %v against %s via %s (%s, %d keys over %d locks, %d shards)\n",
+		*clients, *duration, target, *transport, rep.Topology, len(cat.keys), len(rep.Edges), len(cat.shards))
 
 	res := runLoad(ctx, cat, loadOpts{
-		addr:     *addr,
-		clients:  *clients,
-		duration: *duration,
-		hold:     *hold,
-		timeout:  *timeout,
-		pair:     *pair,
-		seed:     *seed,
-		sharded:  ring != nil,
+		addr:      target,
+		transport: *transport,
+		wireConns: *wireConns,
+		clients:   *clients,
+		duration:  *duration,
+		hold:      *hold,
+		timeout:   *timeout,
+		pair:      *pair,
+		seed:      *seed,
+		sharded:   ring != nil,
 	})
 
 	summary := stats.NewTable("loadgen summary", "metric", "value")
@@ -83,14 +97,14 @@ func loadgen(args []string) {
 	ms := func(q float64) string {
 		return fmt.Sprintf("%.2f", stats.Quantile(xs, q)*1000)
 	}
-	lat := stats.NewTable("acquire latency (ms, client-observed)",
-		"p50", "p90", "p95", "p99", "max")
+	lat := stats.NewTable("acquire latency (client-observed)",
+		"p50 (ms)", "p90 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)")
 	lat.AddRow(ms(0.50), ms(0.90), ms(0.95), ms(0.99), ms(1.0))
 	lat.Render(os.Stdout)
 
 	if ring != nil {
-		per := stats.NewTable("per-shard acquire latency (ms)",
-			"shard", "grants", "p50", "p95", "p99")
+		per := stats.NewTable("per-shard acquire latency",
+			"shard", "grants", "p50 (ms)", "p95 (ms)", "p99 (ms)")
 		for _, s := range cat.shards {
 			t := res.perShard[s]
 			per.AddRow(s, t.grants.Load(),
@@ -101,11 +115,51 @@ func loadgen(args []string) {
 		per.Render(os.Stdout)
 	}
 
+	printWireStats(res.wire)
 	printSubstrateCounters(ctx, probe)
 
 	if res.failures.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// printWireStats reports the shared wire client's connection reuse and
+// outbound batch-size distribution — the two numbers that explain why
+// the framed transport outruns HTTP (no per-op connection churn, many
+// entries per TCP write). No-op for HTTP runs (s == nil).
+func printWireStats(s *wire.ClientStats) {
+	if s == nil {
+		return
+	}
+	conns, ops, writes := s.ConnsOpened.Load(), s.Ops.Load(), s.Writes.Load()
+	entries := s.BatchedEntries.Load()
+	reuse := stats.NewTable("wire transport", "metric", "value")
+	reuse.AddRow("connections opened", conns)
+	reuse.AddRow("operations", ops)
+	reuse.AddRow("retries", s.Retries.Load())
+	if conns > 0 {
+		reuse.AddRow("ops per connection (reuse)", fmt.Sprintf("%.1f", float64(ops)/float64(conns)))
+	}
+	reuse.AddRow("tcp writes", writes)
+	if writes > 0 {
+		reuse.AddRow("entries per write (mean batch)", fmt.Sprintf("%.2f", float64(entries)/float64(writes)))
+	}
+	reuse.Render(os.Stdout)
+
+	sizes := s.BatchSizes()
+	if len(sizes) == 0 {
+		return
+	}
+	var keys []int
+	for k := range sizes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	dist := stats.NewTable("wire batch-size distribution", "entries/frame", "writes", "share (%)")
+	for _, k := range keys {
+		dist.AddRow(k, sizes[k], fmt.Sprintf("%.1f", 100*float64(sizes[k])/float64(writes)))
+	}
+	dist.Render(os.Stdout)
 }
 
 // printSubstrateCounters scrapes the server's /metrics and reports the

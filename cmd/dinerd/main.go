@@ -3,22 +3,25 @@
 //
 // Usage:
 //
-//	dinerd serve   [-addr :7467] [-topology grid] [-rows 3] [-cols 4] [-shards 4] ...
-//	dinerd loadgen [-addr http://127.0.0.1:7467] [-clients 8] [-duration 10s] ...
+//	dinerd serve   [-addr :7467] [-wire-addr :7468] [-topology grid] [-shards 4] ...
+//	dinerd loadgen [-addr http://127.0.0.1:7467] [-transport http|wire] [-clients 8] ...
 //	dinerd chaos   [-seed 1] [-duration 15s] [-kills 2] [-churn 1] [-supervise] ...
-//	dinerd bench   [-shards 1,2,4] [-out BENCH_shard.json] ...
+//	dinerd bench   [-mode transports|shards] [-out BENCH_wire.json] ...
 //
 // serve starts the HTTP/JSON API (see docs/DINERD.md): POST
-// /v1/acquire, POST /v1/release, GET /v1/status, GET /metrics, and
-// POST /v1/admin/crash for fault injection. SIGINT/SIGTERM drain
-// gracefully: in-flight leases get a grace window to be released
-// before the diners network stops.
+// /v1/acquire, POST /v1/release, POST /v1/renew, GET /v1/status,
+// GET /metrics, and POST /v1/admin/crash for fault injection — plus
+// the framed binary wire protocol (see docs/WIRE.md) on -wire-addr,
+// both transports fronting the same lease table. SIGINT/SIGTERM
+// drain gracefully: in-flight leases get a grace window to be
+// released before the diners network stops.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -27,6 +30,7 @@ import (
 
 	"mcdp/internal/graph"
 	"mcdp/internal/lockservice"
+	"mcdp/internal/wire"
 )
 
 func main() {
@@ -60,7 +64,8 @@ func fail(err error) {
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", ":7467", "listen address")
+		addr     = fs.String("addr", ":7467", "HTTP listen address")
+		wireAddr = fs.String("wire-addr", ":7468", "framed wire-protocol listen address (empty disables)")
 		topology = fs.String("topology", "grid", "grid|ring|path|torus|complete")
 		rows     = fs.Int("rows", 3, "grid/torus rows")
 		cols     = fs.Int("cols", 4, "grid/torus cols")
@@ -94,22 +99,49 @@ func serve(args []string) {
 	// own copy of the topology).
 	var handler http.Handler
 	var stopSvc func(context.Context)
+	var backend wire.Backend
 	if *shards > 1 {
 		rt := lockservice.NewRouter(lockservice.RouterConfig{Shards: *shards, Vnodes: *vnodes, Base: base})
 		rt.Start()
-		handler, stopSvc = rt.Handler(), rt.Stop
+		handler, stopSvc, backend = rt.Handler(), rt.Stop, rt.WireBackend()
 		fmt.Printf("dinerd: serving %d x %s (%d workers, %d locks, ring gen %d) on %s\n",
 			*shards, g.Name(), *shards*g.N(), *shards*g.EdgeCount(), rt.RingInfo().Generation, *addr)
 	} else {
 		srv := lockservice.NewServer(base)
 		srv.Start()
-		handler, stopSvc = srv.Handler(), srv.Stop
+		handler, stopSvc, backend = srv.Handler(), srv.Stop, srv.WireBackend()
 		fmt.Printf("dinerd: serving %s (%d workers, %d locks) on %s\n",
 			g.Name(), g.N(), g.EdgeCount(), *addr)
 	}
 
+	// Both transports front the same backend: the wire listener accepts
+	// framed connections while HTTP stays up as the compatibility
+	// facade, and /metrics (served over HTTP) appends the wire server's
+	// counters so one scrape covers both.
+	errc := make(chan error, 2)
+	var ws *wire.Server
+	if *wireAddr != "" {
+		ws = wire.NewServer(wire.ServerConfig{Backend: backend})
+		wireLn, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fail(err)
+		}
+		go func() {
+			if err := ws.Serve(wireLn); err != nil {
+				errc <- err
+			}
+		}()
+		fmt.Printf("dinerd: wire protocol on %s\n", wireLn.Addr())
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			inner.ServeHTTP(w, r)
+			if r.Method == http.MethodGet && r.URL.Path == "/metrics" {
+				ws.WritePrometheus(w)
+			}
+		})
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
-	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -122,6 +154,9 @@ func serve(args []string) {
 	fmt.Println("dinerd: draining")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if ws != nil {
+		ws.Close()
+	}
 	_ = httpSrv.Shutdown(shutdownCtx)
 	stopSvc(shutdownCtx)
 	fmt.Println("dinerd: stopped")

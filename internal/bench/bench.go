@@ -1,0 +1,274 @@
+// Package bench is the adaptive measurement harness behind `dinerd
+// bench`: warmup iterations that are discarded, then sampling until
+// the coefficient of variation falls under a target (or a sample cap
+// is hit), summarized into a JSON artifact that is checked into the
+// repo as a baseline and compared against on later runs.
+//
+// The artifact records the machine fingerprint it was generated on.
+// Comparisons are two-tier: dimensionless ratios (wire-vs-HTTP
+// speedup) are compared on any machine, absolute throughput only when
+// the fingerprints match — a laptop regenerating the baseline should
+// not fail CI because it is slower than the machine that produced it.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// Options tunes one adaptive measurement.
+type Options struct {
+	// Warmup iterations run and discard before sampling (default 1).
+	Warmup int
+	// MinSamples floors the kept sample count (default 3).
+	MinSamples int
+	// MaxSamples caps the kept sample count (default 8).
+	MaxSamples int
+	// TargetCV stops sampling once the coefficient of variation
+	// (stddev/mean) is at or below it (default 0.10).
+	TargetCV float64
+	// Progress, when non-nil, is called after every iteration
+	// (including warmup, with warm=true).
+	Progress func(iteration int, warm bool, value float64)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 3
+	}
+	if o.MaxSamples < o.MinSamples {
+		o.MaxSamples = o.MinSamples + 5
+	}
+	if o.TargetCV <= 0 {
+		o.TargetCV = 0.10
+	}
+	return o
+}
+
+// Series is one metric's summarized sample set.
+type Series struct {
+	Name    string    `json:"name"`
+	Unit    string    `json:"unit"`
+	Samples []float64 `json:"samples"`
+	Mean    float64   `json:"mean"`
+	Stddev  float64   `json:"stddev"`
+	CV      float64   `json:"cv"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	// Converged reports whether TargetCV was reached before MaxSamples.
+	Converged bool `json:"converged"`
+}
+
+// Summarize computes the derived statistics from Samples in place.
+func (s *Series) Summarize() {
+	if len(s.Samples) == 0 {
+		return
+	}
+	s.Min, s.Max = s.Samples[0], s.Samples[0]
+	sum := 0.0
+	for _, v := range s.Samples {
+		sum += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean = sum / float64(len(s.Samples))
+	var sq float64
+	for _, v := range s.Samples {
+		d := v - s.Mean
+		sq += d * d
+	}
+	if len(s.Samples) > 1 {
+		s.Stddev = math.Sqrt(sq / float64(len(s.Samples)-1))
+	}
+	if s.Mean != 0 {
+		s.CV = s.Stddev / s.Mean
+	}
+}
+
+// Run measures fn adaptively: Warmup discarded iterations, then
+// samples until the CV target or MaxSamples. fn's error aborts the
+// run. The iteration index passed to fn counts warmups too, so the
+// callee can vary seeds without repeating a schedule.
+func Run(name, unit string, o Options, fn func(iteration int) (float64, error)) (*Series, error) {
+	o = o.withDefaults()
+	s := &Series{Name: name, Unit: unit}
+	iter := 0
+	for w := 0; w < o.Warmup; w++ {
+		v, err := fn(iter)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: warmup: %w", name, err)
+		}
+		if o.Progress != nil {
+			o.Progress(iter, true, v)
+		}
+		iter++
+	}
+	for len(s.Samples) < o.MaxSamples {
+		v, err := fn(iter)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: sample %d: %w", name, len(s.Samples), err)
+		}
+		if o.Progress != nil {
+			o.Progress(iter, false, v)
+		}
+		iter++
+		s.Samples = append(s.Samples, v)
+		s.Summarize()
+		if len(s.Samples) >= o.MinSamples && s.CV <= o.TargetCV {
+			s.Converged = true
+			break
+		}
+	}
+	return s, nil
+}
+
+// sortedKeys returns m's keys in ascending order, so reports built by
+// map iteration come out in one deterministic order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Quantile reads the q-quantile (0..1) of the series' samples.
+func (s *Series) Quantile(q float64) float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), s.Samples...)
+	sort.Float64s(xs)
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}
+
+// Fingerprint identifies the environment a baseline was generated on.
+// Absolute numbers only transfer between equal fingerprints.
+type Fingerprint struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentFingerprint captures this process's environment.
+func CurrentFingerprint() Fingerprint {
+	return Fingerprint{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Equal reports whether absolute numbers are comparable across the two
+// environments.
+func (f Fingerprint) Equal(g Fingerprint) bool { return f == g }
+
+// File is the checked-in benchmark artifact (BENCH_wire.json).
+type File struct {
+	Schema        int         `json:"schema"`
+	GeneratedUnix int64       `json:"generated_unix"`
+	Fingerprint   Fingerprint `json:"fingerprint"`
+	// Config echoes the workload parameters so a regenerated baseline
+	// is comparable by construction (mismatches fail Compare).
+	Config map[string]any `json:"config"`
+	// Results holds one summarized series per measured mode.
+	Results []Series `json:"results"`
+	// Ratios are the dimensionless acceptance quantities, e.g.
+	// "wire_vs_http" = Mean(wire)/Mean(http). Ratios compare across
+	// machines; Results compare only within one fingerprint.
+	Ratios map[string]float64 `json:"ratios"`
+}
+
+// SchemaVersion is the current artifact schema.
+const SchemaVersion = 1
+
+// Result returns the named series, or nil.
+func (f *File) Result(name string) *Series {
+	for i := range f.Results {
+		if f.Results[i].Name == name {
+			return &f.Results[i]
+		}
+	}
+	return nil
+}
+
+// Load reads a benchmark artifact.
+func Load(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Write serializes the artifact with stable formatting.
+func (f *File) Write(path string) error {
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Compare checks current against baseline with a relative tolerance
+// (0.15 = current may be up to 15% below baseline) and returns the
+// violations, empty when current holds the line. Ratios present in
+// both files are always compared. Absolute series means are compared
+// only when the fingerprints match. A config mismatch is itself a
+// violation: numbers from different workloads prove nothing.
+func Compare(baseline, current *File, tolerance float64) []string {
+	var bad []string
+	for _, k := range sortedKeys(baseline.Config) {
+		bv := baseline.Config[k]
+		if cv, ok := current.Config[k]; !ok || fmt.Sprint(cv) != fmt.Sprint(bv) {
+			bad = append(bad, fmt.Sprintf("config %q: baseline %v, current %v", k, bv, current.Config[k]))
+		}
+	}
+	if len(bad) > 0 {
+		return bad
+	}
+	for _, name := range sortedKeys(baseline.Ratios) {
+		base := baseline.Ratios[name]
+		cur, ok := current.Ratios[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("ratio %q missing from current run", name))
+			continue
+		}
+		if floor := base * (1 - tolerance); cur < floor {
+			bad = append(bad, fmt.Sprintf("ratio %q regressed: %.3f < %.3f (baseline %.3f, tolerance %.0f%%)",
+				name, cur, floor, base, tolerance*100))
+		}
+	}
+	if !baseline.Fingerprint.Equal(current.Fingerprint) {
+		return bad // absolute numbers don't transfer across machines
+	}
+	for _, base := range baseline.Results {
+		cur := current.Result(base.Name)
+		if cur == nil {
+			bad = append(bad, fmt.Sprintf("series %q missing from current run", base.Name))
+			continue
+		}
+		if floor := base.Mean * (1 - tolerance); cur.Mean < floor {
+			bad = append(bad, fmt.Sprintf("series %q regressed: mean %.1f %s < %.1f (baseline %.1f, tolerance %.0f%%)",
+				base.Name, cur.Mean, base.Unit, floor, base.Mean, tolerance*100))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunConvergesOnStableMetric(t *testing.T) {
+	calls := 0
+	s, err := Run("stable", "ops/s", Options{Warmup: 2, MinSamples: 3, MaxSamples: 10, TargetCV: 0.10},
+		func(i int) (float64, error) {
+			calls++
+			return 1000, nil
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !s.Converged {
+		t.Fatal("constant series did not converge")
+	}
+	if len(s.Samples) != 3 || calls != 5 { // 2 warmup + 3 samples
+		t.Fatalf("samples %d calls %d, want 3 and 5", len(s.Samples), calls)
+	}
+	if s.Mean != 1000 || s.CV != 0 {
+		t.Fatalf("mean %v cv %v", s.Mean, s.CV)
+	}
+}
+
+func TestRunCapsNoisyMetric(t *testing.T) {
+	vals := []float64{100, 900, 100, 900, 100, 900, 100, 900, 100, 900, 100, 900}
+	i := 0
+	s, err := Run("noisy", "ops/s", Options{Warmup: 0, MinSamples: 3, MaxSamples: 6, TargetCV: 0.05},
+		func(int) (float64, error) {
+			v := vals[i%len(vals)]
+			i++
+			return v, nil
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Converged {
+		t.Fatal("noisy series claimed convergence")
+	}
+	if len(s.Samples) != 6 {
+		t.Fatalf("kept %d samples, want the cap 6", len(s.Samples))
+	}
+	if s.CV < 0.5 {
+		t.Fatalf("cv %v suspiciously low for an alternating series", s.CV)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := Run("bad", "x", Options{}, func(int) (float64, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestSeriesSummary(t *testing.T) {
+	s := &Series{Samples: []float64{10, 20, 30}}
+	s.Summarize()
+	if s.Mean != 20 || s.Min != 10 || s.Max != 30 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.Stddev-10) > 1e-9 {
+		t.Fatalf("stddev %v want 10", s.Stddev)
+	}
+}
+
+func testFile(mean float64, ratio float64, fp Fingerprint) *File {
+	s := Series{Name: "wire", Unit: "grants/s", Samples: []float64{mean}}
+	s.Summarize()
+	return &File{
+		Schema:      SchemaVersion,
+		Fingerprint: fp,
+		Config:      map[string]any{"clients": 96, "keys": 512},
+		Results:     []Series{s},
+		Ratios:      map[string]float64{"wire_vs_http": ratio},
+	}
+}
+
+func TestCompareRatiosAcrossMachines(t *testing.T) {
+	here := CurrentFingerprint()
+	other := here
+	other.NumCPU = here.NumCPU + 64
+
+	base := testFile(5000, 3.5, here)
+	// Slower machine, ratio holds: no violations (absolutes skipped).
+	cur := testFile(800, 3.4, other)
+	if v := Compare(base, cur, 0.15); len(v) != 0 {
+		t.Fatalf("cross-machine ratio within tolerance flagged: %v", v)
+	}
+	// Ratio collapse is flagged regardless of machine.
+	cur = testFile(800, 1.2, other)
+	if v := Compare(base, cur, 0.15); len(v) != 1 {
+		t.Fatalf("ratio regression not flagged exactly once: %v", v)
+	}
+}
+
+func TestCompareAbsolutesSameMachine(t *testing.T) {
+	fp := CurrentFingerprint()
+	base := testFile(5000, 3.5, fp)
+	// Same fingerprint, throughput collapsed: flagged.
+	if v := Compare(base, testFile(2000, 3.5, fp), 0.15); len(v) != 1 {
+		t.Fatalf("absolute regression not flagged: %v", v)
+	}
+	// Within tolerance: clean.
+	if v := Compare(base, testFile(4500, 3.5, fp), 0.15); len(v) != 0 {
+		t.Fatalf("in-tolerance run flagged: %v", v)
+	}
+}
+
+func TestCompareConfigMismatchFails(t *testing.T) {
+	fp := CurrentFingerprint()
+	base := testFile(5000, 3.5, fp)
+	cur := testFile(5000, 3.5, fp)
+	cur.Config["clients"] = 8
+	v := Compare(base, cur, 0.15)
+	if len(v) != 1 {
+		t.Fatalf("config mismatch not flagged: %v", v)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f := testFile(1234, 3.3, CurrentFingerprint())
+	f.GeneratedUnix = 1700000000
+	if err := f.Write(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.Ratios["wire_vs_http"] != 3.3 || got.Result("wire") == nil || got.GeneratedUnix != 1700000000 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Result("wire").Mean != 1234 {
+		t.Fatalf("series mean lost: %+v", got.Result("wire"))
+	}
+}

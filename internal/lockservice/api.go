@@ -47,6 +47,21 @@ type ReleaseResponse struct {
 	Released bool `json:"released"`
 }
 
+// RenewRequest is the body of POST /v1/renew.
+type RenewRequest struct {
+	SessionID string `json:"session_id"`
+	// TTLMS optionally overrides the lease time-to-live; 0 renews for
+	// the server default.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+}
+
+// RenewResponse is the body of a successful renew.
+type RenewResponse struct {
+	Renewed bool `json:"renewed"`
+	// TTLMS is the granted lease lifetime from now.
+	TTLMS int64 `json:"ttl_ms"`
+}
+
 // NodeStatus is one worker's row in GET /v1/status.
 type NodeStatus struct {
 	ID          int    `json:"id"`
@@ -156,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/acquire", s.handleAcquire)
 	mux.HandleFunc("/v1/release", s.handleRelease)
+	mux.HandleFunc("/v1/renew", s.handleRenew)
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/admin/crash", s.handleCrash)
@@ -247,6 +263,24 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ReleaseResponse{Released: true})
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req RenewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ttl, err := s.Renew(req.SessionID, time.Duration(req.TTLMS)*time.Millisecond)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RenewResponse{Renewed: true, TTLMS: ttl.Milliseconds()})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

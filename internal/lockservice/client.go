@@ -240,6 +240,19 @@ func (c *Client) Release(ctx context.Context, sessionID string) error {
 	return c.call(ctx, http.MethodPost, "/v1/release", ReleaseRequest{SessionID: sessionID}, nil)
 }
 
+// Renew extends a live lease's TTL and returns the granted lifetime.
+func (c *Client) Renew(ctx context.Context, sessionID string, ttl time.Duration) (time.Duration, error) {
+	req := RenewRequest{SessionID: sessionID}
+	if ttl > 0 {
+		req.TTLMS = ttl.Milliseconds()
+	}
+	var resp RenewResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/renew", req, &resp); err != nil {
+		return 0, err
+	}
+	return time.Duration(resp.TTLMS) * time.Millisecond, nil
+}
+
 // Status fetches the server's status report.
 func (c *Client) Status(ctx context.Context) (*StatusReport, error) {
 	var rep StatusReport

@@ -17,6 +17,7 @@ type Metrics struct {
 	AcquireRequests       atomic.Int64
 	Grants                atomic.Int64
 	Releases              atomic.Int64
+	Renewals              atomic.Int64
 	Expirations           atomic.Int64
 	RejectedQueueFull     atomic.Int64
 	RejectedTimeout       atomic.Int64
@@ -59,6 +60,7 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		{"dinerd_acquire_requests_total", "Acquire requests received.", m.AcquireRequests.Load},
 		{"dinerd_grants_total", "Sessions granted.", m.Grants.Load},
 		{"dinerd_releases_total", "Sessions released by clients.", m.Releases.Load},
+		{"dinerd_lease_renewals_total", "Lease TTL extensions granted.", m.Renewals.Load},
 		{"dinerd_lease_expirations_total", "Leases expired by the server-side TTL janitor.", m.Expirations.Load},
 		{"dinerd_rejected_queue_full_total", "Acquires rejected for backpressure (429).", m.RejectedQueueFull.Load},
 		{"dinerd_rejected_timeout_total", "Acquires that timed out waiting (408).", m.RejectedTimeout.Load},
@@ -136,6 +138,7 @@ func MetricNames() []string {
 		"dinerd_acquire_requests_total",
 		"dinerd_grants_total",
 		"dinerd_releases_total",
+		"dinerd_lease_renewals_total",
 		"dinerd_lease_expirations_total",
 		"dinerd_rejected_queue_full_total",
 		"dinerd_rejected_timeout_total",

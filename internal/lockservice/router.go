@@ -249,6 +249,15 @@ func (r *Router) Release(sessionID string) error {
 	return r.shards[s].Release(sessionID)
 }
 
+// Renew routes a lease renewal by the session ID's shard prefix.
+func (r *Router) Renew(sessionID string, ttl time.Duration) (time.Duration, error) {
+	s, ok := sessionShard(sessionID)
+	if !ok || s >= len(r.shards) {
+		return 0, ErrNotFound
+	}
+	return r.shards[s].Renew(sessionID, ttl)
+}
+
 // sessionShard parses the "k<shard>:" session-ID prefix.
 func sessionShard(sessionID string) (int, bool) {
 	pfx, _, ok := strings.Cut(sessionID, ":")
@@ -308,6 +317,7 @@ func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/acquire", r.handleAcquire)
 	mux.HandleFunc("/v1/release", r.handleRelease)
+	mux.HandleFunc("/v1/renew", r.handleRenew)
 	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, r.Status())
 	})
@@ -381,6 +391,24 @@ func (r *Router) handleRelease(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ReleaseResponse{Released: true})
+}
+
+func (r *Router) handleRenew(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var body RenewRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ttl, err := r.Renew(body.SessionID, time.Duration(body.TTLMS)*time.Millisecond)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RenewResponse{Renewed: true, TTLMS: ttl.Milliseconds()})
 }
 
 func (r *Router) handleRing(w http.ResponseWriter, req *http.Request) {

@@ -236,7 +236,14 @@ func (s *Server) pumpLoop() {
 			return snap.State == core.Eating && !snap.Dead
 		})
 		for p := 0; p < s.g.N(); p++ {
-			s.nw.SetNeeds(graph.ProcID(p), s.arb.HasPending(graph.ProcID(p)))
+			pid := graph.ProcID(p)
+			want := s.arb.HasPending(pid)
+			if s.nw.Needs(pid) != want {
+				s.nw.SetNeeds(pid, want)
+				// Hunger changed: run the worker's event now so the new
+				// demand is served at transport latency, not tick latency.
+				s.nw.Wake(pid)
+			}
 		}
 	}
 }
@@ -324,6 +331,7 @@ func (s *Server) Acquire(ctx context.Context, resources []string, ttl time.Durat
 	}
 	start := time.Now()
 	s.nw.SetNeeds(home, true)
+	s.nw.Wake(home)
 	s.nudge()
 
 	budget := s.cfg.DefaultTimeout
@@ -395,6 +403,33 @@ func (s *Server) Release(sessionID string) error {
 	s.metrics.HoldHist.Observe(time.Since(l.grantedAt).Seconds())
 	s.nudge()
 	return nil
+}
+
+// Renew extends a live lease's TTL from now (ttl <= 0 uses the
+// configured default) and returns the granted lifetime. Renewing a
+// lease that has expired, been fenced, or was never granted reports
+// ErrNotFound — the fencing rules are unchanged: a restart of the
+// lease's home still revokes it no matter how recently it was renewed.
+func (s *Server) Renew(sessionID string, ttl time.Duration) (time.Duration, error) {
+	if ttl <= 0 {
+		ttl = s.cfg.DefaultTTL
+	}
+	if ttl > s.cfg.MaxTimeout && s.cfg.MaxTimeout > 0 {
+		// Leases cannot outlive the service's largest budget in one hop;
+		// long-lived holders renew repeatedly instead.
+		ttl = s.cfg.MaxTimeout
+	}
+	s.mu.Lock()
+	l, ok := s.leases[sessionID]
+	if ok {
+		l.deadline = time.Now().Add(ttl)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return 0, ErrNotFound
+	}
+	s.metrics.Renewals.Add(1)
+	return ttl, nil
 }
 
 // ActiveLeases returns the number of live leases.

@@ -1,0 +1,101 @@
+package lockservice
+
+import (
+	"context"
+	"time"
+
+	"mcdp/internal/wire"
+)
+
+// wireErr maps a service error onto the wire error space. The codes
+// are the same HTTP status numbers statusFor assigns, so a rejection
+// classifies identically no matter which transport carried it; 409
+// rejections additionally carry the live ring generation so wire
+// clients refresh placement without an extra round trip.
+func wireErr(err error, ringGen uint64) *wire.Error {
+	code := uint16(statusFor(err))
+	e := &wire.Error{Code: code, Text: err.Error()}
+	if code == 409 {
+		e.RingGen = ringGen
+	}
+	return e
+}
+
+// acquireCtx applies the request's wait budget as a context deadline —
+// the same translation the HTTP handlers perform for timeout_ms.
+func acquireCtx(ctx context.Context, req wire.AcquireReq) (context.Context, context.CancelFunc) {
+	if req.Timeout > 0 {
+		return context.WithTimeout(ctx, req.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// serverBackend adapts a standalone Server onto wire.Backend.
+type serverBackend struct{ s *Server }
+
+// WireBackend adapts the server for a wire listener: the framed binary
+// transport and the HTTP facade both land on the same Acquire/Release/
+// Renew core, so leases, TTL fencing, and metrics are shared.
+func (s *Server) WireBackend() wire.Backend { return serverBackend{s} }
+
+func (b serverBackend) Acquire(ctx context.Context, req wire.AcquireReq) (wire.GrantInfo, error) {
+	ctx, cancel := acquireCtx(ctx, req)
+	defer cancel()
+	g, err := b.s.Acquire(ctx, req.Resources, req.TTL)
+	if err != nil {
+		return wire.GrantInfo{}, wireErr(err, b.s.RingGen())
+	}
+	return wire.GrantInfo{Session: g.SessionID, Node: int(g.Node), Wait: g.Wait}, nil
+}
+
+func (b serverBackend) Release(ctx context.Context, session string) error {
+	if err := b.s.Release(session); err != nil {
+		return wireErr(err, b.s.RingGen())
+	}
+	return nil
+}
+
+func (b serverBackend) Renew(ctx context.Context, session string, ttl time.Duration) (time.Duration, error) {
+	granted, err := b.s.Renew(session, ttl)
+	if err != nil {
+		return 0, wireErr(err, b.s.RingGen())
+	}
+	return granted, nil
+}
+
+func (b serverBackend) RingGen() uint64 { return b.s.RingGen() }
+
+// routerBackend adapts a sharded Router onto wire.Backend.
+type routerBackend struct{ r *Router }
+
+// WireBackend adapts the router for a wire listener: shard routing,
+// ring-generation assertions, and session-prefix release routing all
+// behave exactly as they do under the HTTP facade.
+func (r *Router) WireBackend() wire.Backend { return routerBackend{r} }
+
+func (b routerBackend) Acquire(ctx context.Context, req wire.AcquireReq) (wire.GrantInfo, error) {
+	ctx, cancel := acquireCtx(ctx, req)
+	defer cancel()
+	g, err := b.r.Acquire(ctx, req.Resources, req.TTL, req.RingGen)
+	if err != nil {
+		return wire.GrantInfo{}, wireErr(err, b.r.generation())
+	}
+	return wire.GrantInfo{Session: g.SessionID, Node: int(g.Node), Wait: g.Wait}, nil
+}
+
+func (b routerBackend) Release(ctx context.Context, session string) error {
+	if err := b.r.Release(session); err != nil {
+		return wireErr(err, b.r.generation())
+	}
+	return nil
+}
+
+func (b routerBackend) Renew(ctx context.Context, session string, ttl time.Duration) (time.Duration, error) {
+	granted, err := b.r.Renew(session, ttl)
+	if err != nil {
+		return 0, wireErr(err, b.r.generation())
+	}
+	return granted, nil
+}
+
+func (b routerBackend) RingGen() uint64 { return b.r.generation() }

@@ -167,7 +167,8 @@ func (m *Machine) actOp(pr *proc) opKind {
 	// always-hungry process would spin join/enter/exit in the act slot
 	// forever on stale caches, never granting a token to anyone.
 	v := machineView{m: m, pr: pr}
-	for a := 0; a < len(m.alg.Actions()); a++ {
+	numActions := len(m.alg.Actions()) // Actions() allocates per call
+	for a := 0; a < numActions; a++ {
 		id := core.ActionID(a)
 		if !m.alg.Enabled(&v, id) {
 			continue

@@ -283,23 +283,27 @@ func NewNetwork(cfg Config) *Network {
 // newNode allocates node pid with its control-flag pointers taken from
 // ros (which must already have slot pid).
 func (nw *Network) newNode(pid graph.ProcID, hungry bool, ros *roster) *node {
-	return &node{
-		net:     nw,
-		id:      pid,
-		alg:     nw.cfg.Algorithm,
-		enterID: actionNamed(nw.cfg.Algorithm, "enter"),
-		exitID:  actionNamed(nw.cfg.Algorithm, "exit"),
-		state:   core.Thinking,
-		hungry:  hungry,
-		d:       nw.d,
-		rng:     rand.New(rand.NewSource(nw.cfg.Seed + int64(pid)*7919)),
-		inbox:   make(chan message, nw.cfg.InboxSize),
-		ctlKill: ros.kill[pid],
-		ctlMal:  ros.mal[pid],
-		ctlRst:  ros.restart[pid],
-		ctlNeed: ros.needs[pid],
-		ctlOps:  ros.edgeOps[pid],
+	nd := &node{
+		net:        nw,
+		id:         pid,
+		alg:        nw.cfg.Algorithm,
+		enterID:    actionNamed(nw.cfg.Algorithm, "enter"),
+		exitID:     actionNamed(nw.cfg.Algorithm, "exit"),
+		numActions: len(nw.cfg.Algorithm.Actions()),
+		state:      core.Thinking,
+		hungry:     hungry,
+		d:          nw.d,
+		rng:        rand.New(rand.NewSource(nw.cfg.Seed + int64(pid)*7919)),
+		inbox:      make(chan message, nw.cfg.InboxSize),
+		wakeCh:     make(chan struct{}, 1),
+		ctlKill:    ros.kill[pid],
+		ctlMal:     ros.mal[pid],
+		ctlRst:     ros.restart[pid],
+		ctlNeed:    ros.needs[pid],
+		ctlOps:     ros.edgeOps[pid],
 	}
+	nd.view.n = nd
+	return nd
 }
 
 // InitArbitrary corrupts every node's variables, caches, and counters
@@ -369,6 +373,18 @@ func (n *node) runGuarded() {
 			n.pollControl()
 			n.onEvent()
 			n.gossipAll()
+		case <-n.wakeCh:
+			// Demand-driven event: run one event now so a fresh needs()
+			// value is acted on at transport latency, not tick latency.
+			// Gossip only on a state change — an unchanged node has
+			// nothing new to announce, and unconditional gossip here
+			// would turn a hot demand source into a frame storm.
+			n.pollControl()
+			before := n.state
+			n.onEvent()
+			if n.state != before {
+				n.gossipAll()
+			}
 		}
 	}
 }
@@ -486,6 +502,21 @@ func (nw *Network) FaultsInjected() (dropped, duplicated, corrupted, delayed int
 // arbitrarily"). This is the control surface external demand sources
 // (e.g. the lock service) use to turn client requests into hunger.
 func (nw *Network) SetNeeds(p graph.ProcID, hungry bool) { nw.procs.Load().needs[p].Store(hungry) }
+
+// Wake schedules an immediate extra event for node p, so a needs()
+// change just written with SetNeeds is acted on now instead of at p's
+// next gossip tick. Demand sources (the lock service) call it on the
+// grant path; without it every acquire pays up to one tick period of
+// pure waiting, which is the dominant latency once the transport is
+// microseconds. Wakes coalesce (capacity-1 channel) and are a no-op on
+// a driven network, whose driver owns all event scheduling. Safe to
+// call from any goroutine.
+func (nw *Network) Wake(p graph.ProcID) {
+	select {
+	case nw.procs.Load().nodes[p].wakeCh <- struct{}{}:
+	default:
+	}
+}
 
 // Needs returns the currently requested needs():p value.
 func (nw *Network) Needs(p graph.ProcID) bool { return nw.procs.Load().needs[p].Load() }

@@ -79,6 +79,12 @@ type node struct {
 	// the eating dwell to them regardless of the algorithm.
 	enterID core.ActionID
 	exitID  core.ActionID
+	// numActions caches len(alg.Actions()): Actions() builds a fresh
+	// slice per call, far too hot for act()'s per-event guard sweep.
+	numActions int
+	// view is the node's reusable core.View/Effects adapter; taking its
+	// address never escapes to the heap (the node is already there).
+	view nodeView
 
 	state  core.State
 	depth  int
@@ -97,6 +103,10 @@ type node struct {
 	rng      *rand.Rand
 
 	inbox chan message
+	// wakeCh coalesces demand-driven wake requests (Network.Wake): a
+	// pending token means "run one event now instead of waiting for the
+	// tick". Capacity 1; wakes are level-triggered, not counted.
+	wakeCh chan struct{}
 
 	// ctl* are this node's control-flag cells, shared with the roster.
 	// The pointers are set at construction and never change, so the node
@@ -242,10 +252,9 @@ func (n *node) onEvent() {
 func (n *node) act() {
 	for round := 0; round < 4; round++ {
 		executed := false
-		for a := 0; a < len(n.alg.Actions()); a++ {
+		for a := 0; a < n.numActions; a++ {
 			id := core.ActionID(a)
-			v := nodeView{n: n}
-			if !n.alg.Enabled(&v, id) {
+			if !n.alg.Enabled(&n.view, id) {
 				continue
 			}
 			if id == n.enterID && !n.holdsAll() {
@@ -255,7 +264,7 @@ func (n *node) act() {
 				continue // dwell: eating spans a few events
 			}
 			before := n.state
-			n.alg.Apply(&nodeView{n: n}, id)
+			n.alg.Apply(&n.view, id)
 			executed = true
 			if n.state == core.Eating && before != core.Eating {
 				n.eatRemaining = n.net.cfg.EatEvents

@@ -136,11 +136,15 @@ type LatencyHistogram struct {
 	count  int64     // guarded by mu
 }
 
-// DefaultLatencyBounds returns exponential seconds-scale bounds
-// suitable for lock-acquire latencies: 0.5ms up to ~16s.
+// DefaultLatencyBounds returns exponential seconds-scale bounds for
+// lock-acquire latencies: 1µs doubling up to ~16s. The microsecond
+// start matters for the framed wire transport, whose uncontended
+// grants land well under a millisecond — a 0.5ms first bound would
+// flatten them all into one bucket and make the histogram p50
+// meaningless at wire speeds.
 func DefaultLatencyBounds() []float64 {
 	var bounds []float64
-	for b := 0.0005; b < 20; b *= 2 {
+	for b := 1e-6; b < 20; b *= 2 {
 		bounds = append(bounds, b)
 	}
 	return bounds

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Error is a logical rejection carried over the wire. Codes reuse the
+// HTTP status numbers of the JSON facade so one table classifies
+// rejections on both transports: 404 unknown session, 408 timeout,
+// 409 stale ring generation, 422 unmappable/cross-shard, 429
+// backpressure, 503 draining/unserviceable, 500 anything else.
+type Error struct {
+	Code    uint16
+	Text    string
+	RingGen uint64 // live ring generation, carried on 409 rejections
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("wire: code %d: %s", e.Code, e.Text)
+}
+
+// IsRetryable mirrors the HTTP client's retry policy: backpressure,
+// stale ring generation (idempotent up to placement), and server-side
+// failures are retried; logical rejections are not.
+func (e *Error) IsRetryable() bool {
+	return e.Code == 429 || e.Code == 409 || e.Code >= 500
+}
+
+// AcquireReq is one acquire operation as the backend sees it.
+type AcquireReq struct {
+	Resources []string
+	// Timeout caps the server-side wait for a grant (0 = server
+	// default).
+	Timeout time.Duration
+	// TTL overrides the lease time-to-live (0 = server default).
+	TTL time.Duration
+	// RingGen, when non-zero, asserts the ring generation the client
+	// resolved placement under.
+	RingGen uint64
+}
+
+// GrantInfo is a successful acquire as the backend reports it.
+type GrantInfo struct {
+	Session string
+	Node    int
+	Wait    time.Duration
+}
+
+// Backend is the service a wire listener fronts. The lockservice
+// Server and Router both adapt onto it; errors should be *Error so
+// rejections keep their code across the wire (anything else is
+// reported as code 500).
+type Backend interface {
+	Acquire(ctx context.Context, req AcquireReq) (GrantInfo, error)
+	Release(ctx context.Context, session string) error
+	// Renew extends a live lease and returns the granted lifetime.
+	Renew(ctx context.Context, session string, ttl time.Duration) (time.Duration, error)
+	// RingGen is the current routing generation, sent in the server
+	// hello so clients start asserting it without an extra round trip.
+	RingGen() uint64
+}
+
+// asWireError coerces a backend error into *Error, defaulting unknown
+// errors to code 500 so the client's retry policy still applies.
+func asWireError(err error) *Error {
+	if e, ok := err.(*Error); ok {
+		return e
+	}
+	return &Error{Code: 500, Text: err.Error()}
+}

@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Msg is one decoded protocol entry. Type discriminates which fields
+// are meaningful; the rest stay zero. A flat struct (rather than an
+// interface per message kind) keeps the hot decode path to one
+// allocation per batch, not one per entry.
+type Msg struct {
+	// Type is the frame type this entry rides in.
+	Type byte
+	// Corr is the correlation ID: chosen by the requester, echoed on
+	// the response, never interpreted by the server.
+	Corr uint64
+
+	// Acquire fields.
+	Resources []string
+	TimeoutMS uint32
+	TTLMS     uint32 // also Renew's requested TTL
+	RingGen   uint64 // acquire assertion; hello and 409 responses carry the live value
+
+	// Grant / Release / Renew fields.
+	Session string
+	Node    uint16
+	WaitUS  uint64
+
+	// Error fields (Code also distinguishes retryable rejections).
+	Code uint16
+	Text string
+
+	// Renewed field: milliseconds of lease lifetime remaining.
+	RemainingMS uint32
+
+	// Hello field.
+	Proto byte
+}
+
+// Protocol bounds enforced by the codec on both encode (panic: caller
+// bug) and decode (ErrBadFrame: untrusted input).
+const (
+	maxResources  = 64
+	maxStringLen  = 4096
+	maxResNameLen = 512
+)
+
+// appendBody encodes m's type-specific body.
+func appendBody(buf []byte, typ byte, m *Msg) []byte {
+	switch typ {
+	case TypeHello:
+		buf = append(buf, m.Proto)
+		buf = binary.LittleEndian.AppendUint64(buf, m.RingGen)
+	case TypeAcquire:
+		buf = binary.LittleEndian.AppendUint32(buf, m.TimeoutMS)
+		buf = binary.LittleEndian.AppendUint32(buf, m.TTLMS)
+		buf = binary.LittleEndian.AppendUint64(buf, m.RingGen)
+		if len(m.Resources) == 0 || len(m.Resources) > maxResources {
+			panic(fmt.Sprintf("wire: acquire with %d resources", len(m.Resources)))
+		}
+		buf = append(buf, byte(len(m.Resources)))
+		for _, r := range m.Resources {
+			buf = appendString(buf, r, maxResNameLen)
+		}
+	case TypeGrant:
+		buf = appendString(buf, m.Session, maxStringLen)
+		buf = binary.LittleEndian.AppendUint16(buf, m.Node)
+		buf = binary.LittleEndian.AppendUint64(buf, m.WaitUS)
+	case TypeError:
+		buf = binary.LittleEndian.AppendUint16(buf, m.Code)
+		buf = binary.LittleEndian.AppendUint64(buf, m.RingGen)
+		buf = appendString(buf, m.Text, maxStringLen)
+	case TypeRelease:
+		buf = appendString(buf, m.Session, maxStringLen)
+	case TypeReleased, TypePing, TypePong:
+		// Correlation ID only.
+	case TypeRenew:
+		buf = appendString(buf, m.Session, maxStringLen)
+		buf = binary.LittleEndian.AppendUint32(buf, m.TTLMS)
+	case TypeRenewed:
+		buf = binary.LittleEndian.AppendUint32(buf, m.RemainingMS)
+	default:
+		panic(fmt.Sprintf("wire: appendBody for invalid type %d", typ))
+	}
+	return buf
+}
+
+// decodeBody parses the type-specific body for one entry.
+func decodeBody(r *reader, typ byte, m *Msg) error {
+	var ok bool
+	switch typ {
+	case TypeHello:
+		if m.Proto, ok = r.u8(); !ok {
+			return errors.New("short hello")
+		}
+		if m.RingGen, ok = r.u64(); !ok {
+			return errors.New("short hello")
+		}
+	case TypeAcquire:
+		if m.TimeoutMS, ok = r.u32(); !ok {
+			return errors.New("short acquire")
+		}
+		if m.TTLMS, ok = r.u32(); !ok {
+			return errors.New("short acquire")
+		}
+		if m.RingGen, ok = r.u64(); !ok {
+			return errors.New("short acquire")
+		}
+		n, ok := r.u8()
+		if !ok || n == 0 || int(n) > maxResources {
+			return fmt.Errorf("acquire resource count %d", n)
+		}
+		m.Resources = make([]string, n)
+		for i := range m.Resources {
+			if m.Resources[i], ok = r.str(maxResNameLen); !ok {
+				return errors.New("short acquire resource")
+			}
+		}
+	case TypeGrant:
+		if m.Session, ok = r.str(maxStringLen); !ok {
+			return errors.New("short grant")
+		}
+		if m.Node, ok = r.u16(); !ok {
+			return errors.New("short grant")
+		}
+		if m.WaitUS, ok = r.u64(); !ok {
+			return errors.New("short grant")
+		}
+	case TypeError:
+		if m.Code, ok = r.u16(); !ok {
+			return errors.New("short error")
+		}
+		if m.RingGen, ok = r.u64(); !ok {
+			return errors.New("short error")
+		}
+		if m.Text, ok = r.str(maxStringLen); !ok {
+			return errors.New("short error text")
+		}
+	case TypeRelease:
+		if m.Session, ok = r.str(maxStringLen); !ok {
+			return errors.New("short release")
+		}
+	case TypeReleased, TypePing, TypePong:
+		// Correlation ID only.
+	case TypeRenew:
+		if m.Session, ok = r.str(maxStringLen); !ok {
+			return errors.New("short renew")
+		}
+		if m.TTLMS, ok = r.u32(); !ok {
+			return errors.New("short renew")
+		}
+	case TypeRenewed:
+		if m.RemainingMS, ok = r.u32(); !ok {
+			return errors.New("short renewed")
+		}
+	default:
+		return fmt.Errorf("unknown type %d", typ)
+	}
+	return nil
+}
+
+// appendString encodes a length-prefixed string, panicking past the
+// protocol bound (encode side is caller-controlled).
+func appendString(buf []byte, s string, maxLen int) []byte {
+	if len(s) > maxLen {
+		panic(fmt.Sprintf("wire: string length %d exceeds bound %d", len(s), maxLen))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// reader is a bounds-checked cursor over a frame payload.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) u8() (byte, bool) {
+	if r.off+1 > len(r.buf) {
+		return 0, false
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, true
+}
+
+func (r *reader) u16() (uint16, bool) {
+	if r.off+2 > len(r.buf) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, true
+}
+
+func (r *reader) u32() (uint32, bool) {
+	if r.off+4 > len(r.buf) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, true
+}
+
+func (r *reader) u64() (uint64, bool) {
+	if r.off+8 > len(r.buf) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, true
+}
+
+func (r *reader) str(maxLen int) (string, bool) {
+	n, ok := r.u16()
+	if !ok || int(n) > maxLen || r.off+int(n) > len(r.buf) {
+		return "", false
+	}
+	v := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return v, true
+}

@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleEntries returns one representative entry per frame type, with
+// every field the type carries populated.
+func sampleEntries() map[byte][]Msg {
+	return map[byte][]Msg{
+		TypeHello: {{Type: TypeHello, Corr: 1, Proto: ProtoVersion, RingGen: 7}},
+		TypeAcquire: {
+			{Type: TypeAcquire, Corr: 2, Resources: []string{"a", "b/0"}, TimeoutMS: 2000, TTLMS: 30000, RingGen: 3},
+			{Type: TypeAcquire, Corr: 3, Resources: []string{"k:17"}},
+		},
+		TypeGrant: {
+			{Type: TypeGrant, Corr: 2, Session: "k0:s00000001-4", Node: 4, WaitUS: 1234567},
+			{Type: TypeGrant, Corr: 3, Session: "k1:s00000002-0"},
+		},
+		TypeError: {
+			{Type: TypeError, Corr: 9, Code: 409, Text: "stale ring generation", RingGen: 12},
+			{Type: TypeError, Corr: 10, Code: 429, Text: ""},
+		},
+		TypeRelease:  {{Type: TypeRelease, Corr: 4, Session: "k0:s00000001-4"}},
+		TypeReleased: {{Type: TypeReleased, Corr: 4}},
+		TypeRenew:    {{Type: TypeRenew, Corr: 5, Session: "k0:s00000001-4", TTLMS: 45000}},
+		TypeRenewed:  {{Type: TypeRenewed, Corr: 5, RemainingMS: 45000}},
+		TypePing:     {{Type: TypePing, Corr: 6}},
+		TypePong:     {{Type: TypePong, Corr: 6}},
+	}
+}
+
+func TestFrameRoundTripAllTypes(t *testing.T) {
+	for typ, entries := range sampleEntries() {
+		buf := AppendFrame(nil, typ, entries)
+
+		gotTyp, got, consumed, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("%s: DecodeFrame: %v", typeName(typ), err)
+		}
+		if gotTyp != typ || consumed != len(buf) {
+			t.Fatalf("%s: decoded type %d consumed %d of %d", typeName(typ), gotTyp, consumed, len(buf))
+		}
+		if !reflect.DeepEqual(got, entries) {
+			t.Errorf("%s: round trip mismatch\n got %+v\nwant %+v", typeName(typ), got, entries)
+		}
+
+		rTyp, rGot, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf)))
+		if err != nil || rTyp != typ || !reflect.DeepEqual(rGot, entries) {
+			t.Errorf("%s: ReadFrame mismatch (err %v)", typeName(typ), err)
+		}
+	}
+}
+
+func TestFrameConcatenationPreservesBoundaries(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, TypeAcquire, []Msg{{Type: TypeAcquire, Corr: 1, Resources: []string{"x"}}})
+	buf = AppendFrame(buf, TypePing, []Msg{{Type: TypePing, Corr: 2}})
+	buf = AppendFrame(buf, TypeRelease, []Msg{{Type: TypeRelease, Corr: 3, Session: "s"}})
+
+	br := bufio.NewReader(bytes.NewReader(buf))
+	wantTypes := []byte{TypeAcquire, TypePing, TypeRelease}
+	for _, want := range wantTypes {
+		typ, entries, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if typ != want || len(entries) != 1 {
+			t.Fatalf("got type %s want %s", typeName(typ), typeName(want))
+		}
+	}
+	if _, _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("expected clean EOF at boundary, got %v", err)
+	}
+}
+
+func TestFrameEveryByteFlipRejected(t *testing.T) {
+	entries := []Msg{
+		{Type: TypeAcquire, Corr: 42, Resources: []string{"r0", "r1"}, TimeoutMS: 100, TTLMS: 200, RingGen: 9},
+	}
+	frame := AppendFrame(nil, TypeAcquire, entries)
+	for pos := 0; pos < len(frame); pos++ {
+		for _, mask := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), frame...)
+			mut[pos] ^= mask
+			typ, got, consumed, err := DecodeFrame(mut)
+			if err == nil {
+				// A flip must never silently decode to something else.
+				if typ != TypeAcquire || consumed != len(frame) || !reflect.DeepEqual(got, entries) {
+					t.Fatalf("flip at %d mask %02x decoded to altered content", pos, mask)
+				}
+				t.Fatalf("flip at %d mask %02x passed CRC", pos, mask)
+			}
+			if !errors.Is(err, ErrBadFrame) && pos >= headerSize {
+				t.Fatalf("flip at %d: error not ErrBadFrame: %v", pos, err)
+			}
+		}
+	}
+}
+
+func TestFrameTruncationRejected(t *testing.T) {
+	frame := AppendFrame(nil, TypeGrant, []Msg{{Type: TypeGrant, Corr: 1, Session: "abc", Node: 2, WaitUS: 3}})
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, _, err := DecodeFrame(frame[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		}
+		// Stream reads of a truncated tail must also fail (EOF only
+		// clean at a boundary).
+		if cut > 0 {
+			_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame[:cut])))
+			if err == nil || err == io.EOF {
+				t.Fatalf("stream truncation to %d bytes gave %v", cut, err)
+			}
+		}
+	}
+}
+
+func TestFrameHeaderBoundsRejected(t *testing.T) {
+	good := AppendFrame(nil, TypePing, []Msg{{Type: TypePing, Corr: 1}})
+
+	cases := []struct {
+		name string
+		mut  func(b []byte)
+	}{
+		{"bad magic", func(b []byte) { b[0] = 0x00 }},
+		{"zero type", func(b []byte) { b[1] = 0 }},
+		{"unknown type", func(b []byte) { b[1] = byte(typeMax) }},
+		{"zero count", func(b []byte) { b[2], b[3] = 0, 0 }},
+		{"huge count", func(b []byte) { b[2], b[3] = 0xff, 0xff }},
+		{"huge payload len", func(b []byte) { b[4], b[5], b[6], b[7] = 0xff, 0xff, 0xff, 0xff }},
+	}
+	for _, tc := range cases {
+		mut := append([]byte(nil), good...)
+		tc.mut(mut)
+		if _, _, _, err := DecodeFrame(mut); err == nil {
+			t.Errorf("%s: decoded", tc.name)
+		}
+		if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(mut))); err == nil {
+			t.Errorf("%s: stream decoded", tc.name)
+		}
+	}
+}
+
+func TestFrameBatchedEntries(t *testing.T) {
+	entries := make([]Msg, 100)
+	for i := range entries {
+		entries[i] = Msg{Type: TypeAcquire, Corr: uint64(i + 1), Resources: []string{"edge"}, RingGen: 1}
+	}
+	buf := AppendFrame(nil, TypeAcquire, entries)
+	_, got, _, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Fatal("batched round trip mismatch")
+	}
+}
+
+func TestAppendFramePanicsOnCallerBugs(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("invalid type", func() { AppendFrame(nil, 0, []Msg{{Corr: 1}}) })
+	mustPanic("no entries", func() { AppendFrame(nil, TypePing, nil) })
+	mustPanic("acquire without resources", func() {
+		AppendFrame(nil, TypeAcquire, []Msg{{Corr: 1}})
+	})
+	mustPanic("oversized resource name", func() {
+		AppendFrame(nil, TypeAcquire, []Msg{{Corr: 1, Resources: []string{strings.Repeat("x", maxResNameLen+1)}}})
+	})
+	mustPanic("oversized session", func() {
+		AppendFrame(nil, TypeRelease, []Msg{{Corr: 1, Session: strings.Repeat("s", maxStringLen+1)}})
+	})
+}
+
+// FuzzFrameRoundTrip drives the decoder with arbitrary bytes: it must
+// never panic, and whenever a prefix decodes, re-encoding the decoded
+// entries must produce a byte-identical frame (encode and decode are
+// inverses on the valid subset).
+func FuzzFrameRoundTrip(f *testing.F) {
+	for typ, entries := range sampleEntries() {
+		f.Add(AppendFrame(nil, typ, entries))
+	}
+	// Seeds that stress the validators rather than the happy path.
+	f.Add([]byte{frameMagic})
+	f.Add([]byte{frameMagic, TypeAcquire, 1, 0, 8, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{frameMagic}, headerSize+16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, entries, consumed, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if consumed < headerSize || consumed > len(data) {
+			t.Fatalf("consumed %d of %d", consumed, len(data))
+		}
+		re := AppendFrame(nil, typ, entries)
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", data[:consumed], re)
+		}
+		// The stream reader must agree with the buffer decoder.
+		sTyp, sEntries, sErr := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		if sErr != nil || sTyp != typ || !reflect.DeepEqual(sEntries, entries) {
+			t.Fatalf("ReadFrame disagrees with DecodeFrame: %v", sErr)
+		}
+	})
+}

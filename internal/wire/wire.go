@@ -1,0 +1,23 @@
+// Package wire is dinerd's framed binary transport: a persistent,
+// length-prefixed protocol over TCP that replaces the per-grant
+// HTTP/JSON round trip on the hot path. One connection multiplexes
+// many in-flight requests (every entry carries a correlation ID), and
+// both sides coalesce pending entries into batched frames, so an
+// acquire/release cycle costs two small writes instead of two HTTP
+// exchanges.
+//
+// The protocol is a strict facade peer of the HTTP/JSON API: both
+// surfaces drive the same lockservice router, error codes reuse the
+// HTTP status numbers (408 timeout, 409 stale ring generation, 422
+// cross-shard, 429 backpressure, 503 unserviceable), and ring
+// generations flow through hellos and 409 rejections exactly as they
+// do through /v1/ring and the JSON error body.
+//
+// Every frame is integrity-checked (CRC32-IEEE over header and
+// payload): a receiver that sees a bad checksum or a malformed header
+// cannot trust stream framing anymore and drops the connection, which
+// clients treat as a retryable transport fault. That rule is what lets
+// the chaos injector corrupt, drop, duplicate, and stall frames on a
+// live listener while the service converges back to 100% recovery —
+// see docs/WIRE.md for the layout and the full fault model.
+package wire
