@@ -65,6 +65,8 @@ func (b serverBackend) Renew(ctx context.Context, session string, ttl time.Durat
 
 func (b serverBackend) RingGen() uint64 { return b.s.RingGen() }
 
+func (b serverBackend) WaitBudget() time.Duration { return b.s.cfg.DefaultTimeout }
+
 // routerBackend adapts a sharded Router onto wire.Backend.
 type routerBackend struct{ r *Router }
 
@@ -99,3 +101,7 @@ func (b routerBackend) Renew(ctx context.Context, session string, ttl time.Durat
 }
 
 func (b routerBackend) RingGen() uint64 { return b.r.generation() }
+
+// WaitBudget reports shard 0's default acquire budget: every shard is
+// built from the router's one Base config, so the budget is uniform.
+func (b routerBackend) WaitBudget() time.Duration { return b.r.shards[0].cfg.DefaultTimeout }

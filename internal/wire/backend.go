@@ -60,6 +60,13 @@ type Backend interface {
 	// RingGen is the current routing generation, sent in the server
 	// hello so clients start asserting it without an extra round trip.
 	RingGen() uint64
+	// WaitBudget is the server's default acquire wait budget — the cap
+	// applied to an acquire that carries no timeout of its own. It is
+	// advertised in the server hello so the client's lost-response
+	// guard can be derived from the real budget: a guard shorter than
+	// the budget would misread a legitimately slow grant as a lost
+	// response and leak the late lease until TTL expiry.
+	WaitBudget() time.Duration
 }
 
 // asWireError coerces a backend error into *Error, defaulting unknown

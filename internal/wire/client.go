@@ -40,11 +40,15 @@ type Client struct {
 	MaxBackoff time.Duration
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
-	// OpTimeout is the client-side guard on waiting for any response
-	// beyond the server-side budget (default 10s). A response lost in
-	// transit (dropped frame) is otherwise indistinguishable from a
-	// slow server; the guard converts it into a retryable transport
-	// fault.
+	// OpTimeout is the client-side slack allowed past the server-side
+	// wait budget before a missing response is declared lost (default
+	// 10s). A response lost in transit (dropped frame) is otherwise
+	// indistinguishable from a slow server; the guard converts it into
+	// a retryable transport fault. The guard timer is the operation's
+	// effective budget — the caller's explicit timeout, or the server's
+	// default budget advertised in the hello — plus this slack, so a
+	// legitimately slow grant inside the server's budget is never
+	// misread as a lost response.
 	OpTimeout time.Duration
 
 	// jitter is the backoff PRNG state, lazily seeded on first use.
@@ -309,6 +313,11 @@ func (c *Client) call(ctx context.Context, build func() (Msg, error), timeout ti
 		if err != nil {
 			return err
 		}
+		if err := req.Check(); err != nil {
+			// Out-of-bounds input is the caller's bug: surface it here
+			// rather than letting AppendFrame panic the shared writer.
+			return err
+		}
 		m, err := c.roundTrip(ctx, req, timeout)
 		if err == nil && m.Type == TypeError {
 			err = &Error{Code: m.Code, Text: m.Text, RingGen: m.RingGen}
@@ -376,7 +385,15 @@ func (c *Client) roundTrip(ctx context.Context, req Msg, timeout time.Duration) 
 	// Client-side guard: the server owns the wait budget (it rejects
 	// with 408), so this timer only fires when the response itself was
 	// lost in transit — transport territory, retried on a fresh frame.
-	t := time.NewTimer(timeout + c.opTimeout())
+	// The budget is the caller's explicit timeout, falling back to the
+	// server's default advertised in the hello, so an acquire sent with
+	// timeout=0 against a long server budget is never misclassified as
+	// a lost response while it legitimately waits.
+	budget := timeout
+	if budget <= 0 {
+		budget = cc.budget
+	}
+	t := time.NewTimer(budget + c.opTimeout())
 	defer t.Stop()
 	guard := t.C
 	select {
@@ -455,6 +472,7 @@ func (c *Client) dial(ctx context.Context) (*clientConn, error) {
 	if gen := entries[0].RingGen; gen != 0 {
 		c.ringGen.Store(gen)
 	}
+	cc.budget = time.Duration(entries[0].TimeoutMS) * time.Millisecond
 	c.stats.ConnsOpened.Add(1)
 	cc.corr.Store(1) // 1 was the hello
 	go cc.readLoop()
@@ -474,6 +492,9 @@ type clientConn struct {
 	corr   atomic.Uint64
 	stats  *ClientStats
 	max    int
+	// budget is the server's default acquire wait budget from the
+	// hello (0 if the server predates the field); immutable after dial.
+	budget time.Duration
 
 	mu      sync.Mutex
 	waiters map[uint64]chan Msg // guarded by mu
@@ -538,7 +559,9 @@ func (cc *clientConn) readLoop() {
 // writeLoop coalesces queued entries into batched frames: one blocking
 // receive, then an opportunistic drain, one write, one flush. Under
 // concurrency this is where pipelining pays — many goroutines' ops
-// ride one TCP segment.
+// ride one TCP segment. The drain caps by entry count; frameGroups
+// additionally splits the batch by encoded size, so a run of maximal
+// acquires can never assemble a frame past MaxPayload.
 func (cc *clientConn) writeLoop() {
 	batch := make([]Msg, 0, cc.max)
 	var buf []byte
@@ -559,7 +582,7 @@ func (cc *clientConn) writeLoop() {
 			}
 		}
 		buf = buf[:0]
-		for _, group := range groupByType(batch) {
+		for _, group := range frameGroups(batch) {
 			buf = AppendFrame(buf, group[0].Type, group)
 		}
 		cc.stats.observeBatch(len(batch))

@@ -35,7 +35,10 @@ type Msg struct {
 	// Renewed field: milliseconds of lease lifetime remaining.
 	RemainingMS uint32
 
-	// Hello field.
+	// Hello field. Server hellos also carry RingGen and reuse
+	// TimeoutMS to advertise the default acquire wait budget, so the
+	// client's lost-response guard can be derived from the real server
+	// budget instead of a guessed constant.
 	Proto byte
 }
 
@@ -53,6 +56,7 @@ func appendBody(buf []byte, typ byte, m *Msg) []byte {
 	case TypeHello:
 		buf = append(buf, m.Proto)
 		buf = binary.LittleEndian.AppendUint64(buf, m.RingGen)
+		buf = binary.LittleEndian.AppendUint32(buf, m.TimeoutMS)
 	case TypeAcquire:
 		buf = binary.LittleEndian.AppendUint32(buf, m.TimeoutMS)
 		buf = binary.LittleEndian.AppendUint32(buf, m.TTLMS)
@@ -96,6 +100,9 @@ func decodeBody(r *reader, typ byte, m *Msg) error {
 			return errors.New("short hello")
 		}
 		if m.RingGen, ok = r.u64(); !ok {
+			return errors.New("short hello")
+		}
+		if m.TimeoutMS, ok = r.u32(); !ok {
 			return errors.New("short hello")
 		}
 	case TypeAcquire:
@@ -157,6 +164,84 @@ func decodeBody(r *reader, typ byte, m *Msg) error {
 		}
 	default:
 		return fmt.Errorf("unknown type %d", typ)
+	}
+	return nil
+}
+
+// entrySize reports the exact encoded size of one entry (correlation
+// ID plus type-specific body) — the size mirror of appendBody, used by
+// frameGroups to split batches before any frame can overflow
+// MaxPayload.
+func entrySize(m *Msg) int {
+	n := 8 // correlation ID
+	switch m.Type {
+	case TypeHello:
+		n += 1 + 8 + 4
+	case TypeAcquire:
+		n += 4 + 4 + 8 + 1
+		for _, r := range m.Resources {
+			n += 2 + len(r)
+		}
+	case TypeGrant:
+		n += 2 + len(m.Session) + 2 + 8
+	case TypeError:
+		n += 2 + 8 + 2 + len(m.Text)
+	case TypeRelease:
+		n += 2 + len(m.Session)
+	case TypeRenew:
+		n += 2 + len(m.Session) + 4
+	case TypeRenewed:
+		n += 4
+	}
+	return n
+}
+
+// frameGroups splits a batch into per-frame entry runs: consecutive
+// same-type entries group together (frames carry one type only), and a
+// run is cut whenever appending the next entry would push the frame's
+// payload past MaxPayload. Relative order is preserved throughout, so
+// batching never reorders a connection's responses.
+func frameGroups(batch []Msg) [][]Msg {
+	var groups [][]Msg
+	for i := 0; i < len(batch); {
+		typ := batch[i].Type
+		size := entrySize(&batch[i])
+		j := i + 1
+		for j < len(batch) && batch[j].Type == typ {
+			es := entrySize(&batch[j])
+			if size+es > MaxPayload {
+				break
+			}
+			size += es
+			j++
+		}
+		groups = append(groups, batch[i:j])
+		i = j
+	}
+	return groups
+}
+
+// Check validates m against the protocol's encode bounds, returning an
+// error where AppendFrame would panic. The client runs it on every
+// caller-built request before enqueueing, so oversized input surfaces
+// as an error on the calling goroutine instead of a panic in the
+// shared writer.
+func (m *Msg) Check() error {
+	if m.Type == TypeAcquire {
+		if len(m.Resources) == 0 || len(m.Resources) > maxResources {
+			return fmt.Errorf("wire: acquire with %d resources (bound 1..%d)", len(m.Resources), maxResources)
+		}
+		for _, r := range m.Resources {
+			if len(r) > maxResNameLen {
+				return fmt.Errorf("wire: resource name length %d exceeds bound %d", len(r), maxResNameLen)
+			}
+		}
+	}
+	if len(m.Session) > maxStringLen {
+		return fmt.Errorf("wire: session length %d exceeds bound %d", len(m.Session), maxStringLen)
+	}
+	if len(m.Text) > maxStringLen {
+		return fmt.Errorf("wire: text length %d exceeds bound %d", len(m.Text), maxStringLen)
 	}
 	return nil
 }

@@ -14,7 +14,7 @@ import (
 // every field the type carries populated.
 func sampleEntries() map[byte][]Msg {
 	return map[byte][]Msg{
-		TypeHello: {{Type: TypeHello, Corr: 1, Proto: ProtoVersion, RingGen: 7}},
+		TypeHello: {{Type: TypeHello, Corr: 1, Proto: ProtoVersion, RingGen: 7, TimeoutMS: 5000}},
 		TypeAcquire: {
 			{Type: TypeAcquire, Corr: 2, Resources: []string{"a", "b/0"}, TimeoutMS: 2000, TTLMS: 30000, RingGen: 3},
 			{Type: TypeAcquire, Corr: 3, Resources: []string{"k:17"}},
@@ -183,6 +183,80 @@ func TestAppendFramePanicsOnCallerBugs(t *testing.T) {
 	mustPanic("oversized session", func() {
 		AppendFrame(nil, TypeRelease, []Msg{{Corr: 1, Session: strings.Repeat("s", maxStringLen+1)}})
 	})
+}
+
+// TestFrameGroupsSplitOversizedBatch drives a batch whose total
+// encoding exceeds MaxPayload through frameGroups: every group must
+// encode without panicking, stay within the payload bound, preserve
+// order, and cover every entry.
+func TestFrameGroupsSplitOversizedBatch(t *testing.T) {
+	// 64 maximal acquires (64 resources x 512-byte names each encode
+	// to ~33KB) total ~2.1MB — more than double MaxPayload.
+	name := strings.Repeat("r", maxResNameLen)
+	resources := make([]string, maxResources)
+	for i := range resources {
+		resources[i] = name
+	}
+	batch := make([]Msg, 64)
+	for i := range batch {
+		batch[i] = Msg{Type: TypeAcquire, Corr: uint64(i + 1), Resources: resources}
+	}
+
+	groups := frameGroups(batch)
+	if len(groups) < 2 {
+		t.Fatalf("oversized batch produced %d group(s); expected a split", len(groups))
+	}
+	var wantCorr uint64 = 1
+	for _, group := range groups {
+		frame := AppendFrame(nil, group[0].Type, group)
+		if len(frame) > headerSize+MaxPayload {
+			t.Fatalf("group of %d entries encoded to %d bytes, past MaxPayload", len(group), len(frame))
+		}
+		_, decoded, _, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("split frame failed to decode: %v", err)
+		}
+		for _, m := range decoded {
+			if m.Corr != wantCorr {
+				t.Fatalf("split reordered entries: corr %d where %d expected", m.Corr, wantCorr)
+			}
+			wantCorr++
+		}
+	}
+	if wantCorr != uint64(len(batch))+1 {
+		t.Fatalf("split dropped entries: %d of %d covered", wantCorr-1, len(batch))
+	}
+
+	// Mixed types still split into per-type runs.
+	mixed := []Msg{
+		{Type: TypePong, Corr: 1}, {Type: TypePong, Corr: 2},
+		{Type: TypeReleased, Corr: 3},
+		{Type: TypePong, Corr: 4},
+	}
+	if got := len(frameGroups(mixed)); got != 3 {
+		t.Fatalf("mixed-type batch produced %d groups, want 3", got)
+	}
+}
+
+// TestMsgCheckBounds: Check must reject exactly the inputs AppendFrame
+// would panic on, and accept maximal-but-legal entries.
+func TestMsgCheckBounds(t *testing.T) {
+	legal := Msg{Type: TypeAcquire, Resources: []string{strings.Repeat("x", maxResNameLen)}}
+	if err := legal.Check(); err != nil {
+		t.Fatalf("maximal legal acquire rejected: %v", err)
+	}
+	bad := []Msg{
+		{Type: TypeAcquire},
+		{Type: TypeAcquire, Resources: make([]string, maxResources+1)},
+		{Type: TypeAcquire, Resources: []string{strings.Repeat("x", maxResNameLen+1)}},
+		{Type: TypeRelease, Session: strings.Repeat("s", maxStringLen+1)},
+		{Type: TypeError, Text: strings.Repeat("t", maxStringLen+1)},
+	}
+	for i := range bad {
+		if err := bad[i].Check(); err == nil {
+			t.Errorf("case %d: out-of-bounds entry passed Check", i)
+		}
+	}
 }
 
 // FuzzFrameRoundTrip drives the decoder with arbitrary bytes: it must

@@ -166,6 +166,7 @@ func (s *Server) serveConn(c net.Conn) {
 	_ = c.SetReadDeadline(time.Time{})
 	resp := AppendFrame(nil, TypeHello, []Msg{{
 		Corr: hello[0].Corr, Proto: ProtoVersion, RingGen: s.cfg.Backend.RingGen(),
+		TimeoutMS: uint32(s.cfg.Backend.WaitBudget().Milliseconds()),
 	}})
 	if _, err := bw.Write(resp); err != nil {
 		return
@@ -175,19 +176,25 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	out := make(chan Msg, 256)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		s.writeLoop(c, bw, out)
+		s.writeLoop(c, bw, out, cancel)
 	}()
-	defer writerWG.Wait()
-	defer close(out)
-
 	var opWG sync.WaitGroup
-	defer opWG.Wait()
+	defer func() {
+		// Order matters: cancel first, so any send() blocked on a full
+		// out channel (the writer may already be dead) unblocks via
+		// ctx.Done; then wait out the op goroutines so nothing can send
+		// after close; only then close out so a live writer drains what
+		// remains and exits.
+		cancel()
+		opWG.Wait()
+		close(out)
+		writerWG.Wait()
+	}()
 	for {
 		typ, entries, err := ReadFrame(br)
 		if err != nil {
@@ -264,16 +271,28 @@ func (s *Server) doRenew(ctx context.Context, m Msg) Msg {
 	return Msg{Type: TypeRenewed, Corr: m.Corr, RemainingMS: uint32(ttl.Milliseconds())}
 }
 
-// errMsg renders a backend error as a wire error entry.
+// errMsg renders a backend error as a wire error entry. Text is
+// truncated to the protocol bound: backend error strings are
+// uncontrolled, and an oversize one must degrade to a shorter message,
+// not panic the connection's writer.
 func errMsg(corr uint64, err error) Msg {
 	e := asWireError(err)
-	return Msg{Type: TypeError, Corr: corr, Code: e.Code, Text: e.Text, RingGen: e.RingGen}
+	text := e.Text
+	if len(text) > maxStringLen {
+		text = text[:maxStringLen]
+	}
+	return Msg{Type: TypeError, Corr: corr, Code: e.Code, Text: text, RingGen: e.RingGen}
 }
 
 // writeLoop drains responses, coalescing whatever is pending (up to
-// MaxBatch) into one flush: entries are grouped by type, each group
-// encoded as one batched frame, faults applied per frame.
-func (s *Server) writeLoop(c net.Conn, bw *bufio.Writer, out <-chan Msg) {
+// MaxBatch) into one flush: entries are split into per-type,
+// size-bounded frame groups (frameGroups), each group encoded as one
+// batched frame, faults applied per frame. On exit — error or out
+// closed — it cancels the connection context so blocked send()s (the
+// reader's synchronous ops, parked acquire goroutines) unwedge instead
+// of filling out forever behind a dead writer.
+func (s *Server) writeLoop(c net.Conn, bw *bufio.Writer, out <-chan Msg, cancel context.CancelFunc) {
+	defer cancel()
 	batch := make([]Msg, 0, s.cfg.MaxBatch)
 	var buf []byte
 	for {
@@ -295,7 +314,7 @@ func (s *Server) writeLoop(c net.Conn, bw *bufio.Writer, out <-chan Msg) {
 			}
 		}
 		buf = buf[:0]
-		for _, group := range groupByType(batch) {
+		for _, group := range frameGroups(batch) {
 			frame := AppendFrame(nil, group[0].Type, group)
 			frame, skip := s.applyFaults(frame)
 			if skip {
@@ -317,21 +336,6 @@ func (s *Server) writeLoop(c net.Conn, bw *bufio.Writer, out <-chan Msg) {
 			return
 		}
 	}
-}
-
-// groupByType splits a response batch into per-type runs, preserving
-// relative order within each type (frames carry one type only).
-func groupByType(batch []Msg) [][]Msg {
-	var groups [][]Msg
-	for i := 0; i < len(batch); {
-		j := i + 1
-		for j < len(batch) && batch[j].Type == batch[i].Type {
-			j++
-		}
-		groups = append(groups, batch[i:j])
-		i = j
-	}
-	return groups
 }
 
 // applyFaults runs one encoded frame through the chaos injector:

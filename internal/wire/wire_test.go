@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -139,6 +140,9 @@ func (b *fakeBackend) Renew(ctx context.Context, session string, ttl time.Durati
 }
 
 func (b *fakeBackend) RingGen() uint64 { return b.ringGen.Load() }
+
+// WaitBudget mirrors the fake's hardcoded 2s default acquire deadline.
+func (b *fakeBackend) WaitBudget() time.Duration { return 2 * time.Second }
 
 // startServer spins up a wire server over a loopback listener.
 func startServer(t *testing.T, cfg ServerConfig) (*Server, string) {
@@ -318,6 +322,111 @@ func TestClientSurvivesSeededFaults(t *testing.T) {
 	t.Logf("survived faults: dropped=%d dup=%d corrupt=%d stalled=%d retries=%d reconnects=%d",
 		st.FaultsDropped.Load(), st.FaultsDuplicate.Load(), st.FaultsCorrupted.Load(),
 		st.FaultsStalled.Load(), cl.Stats().Retries.Load(), cl.Stats().ConnsOpened.Load())
+}
+
+// TestServeConnUnwedgesWhenWriterDies reproduces the writer-death
+// deadlock: the peer stops reading so the server's writer wedges on
+// the (synchronous) pipe, completed ops fill the 256-entry response
+// buffer until the reader blocks in send(), then the peer closes and
+// the writer dies on a write error. The dead writer must cancel the
+// connection context so every blocked send unwedges and Close returns,
+// rather than leaking the connection goroutines forever.
+func TestServeConnUnwedgesWhenWriterDies(t *testing.T) {
+	be := newFakeBackend()
+	srv := NewServer(ServerConfig{Backend: be})
+	peer, conn := net.Pipe()
+	defer peer.Close()
+	srv.mu.Lock()
+	srv.conns[conn] = struct{}{}
+	srv.mu.Unlock()
+	srv.stats.OpenConnections.Add(1)
+	srv.wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		srv.serveConn(conn)
+		close(done)
+	}()
+
+	hello := AppendFrame(nil, TypeHello, []Msg{{Corr: 1, Proto: ProtoVersion}})
+	if _, err := peer.Write(hello); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if _, _, err := ReadFrame(bufio.NewReader(peer)); err != nil {
+		t.Fatalf("hello response: %v", err)
+	}
+
+	// 600 pings in one frame, then never read again: the writer blocks
+	// writing the first pong batch, the buffer fills behind it, and the
+	// reader blocks in send() mid-dispatch.
+	entries := make([]Msg, 600)
+	for i := range entries {
+		entries[i] = Msg{Type: TypePing, Corr: uint64(i + 2)}
+	}
+	if _, err := peer.Write(AppendFrame(nil, TypePing, entries)); err != nil {
+		t.Fatalf("ping burst: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the pipeline wedge
+	peer.Close()
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveConn never returned after its writer died")
+	}
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close hung on the wedged connection")
+	}
+}
+
+// TestClientRejectsOversizedAcquire: protocol-bound violations are the
+// caller's bug and must come back as an immediate error — not a panic
+// in the shared writer goroutine, not a retried transport fault.
+func TestClientRejectsOversizedAcquire(t *testing.T) {
+	cl := NewClient("127.0.0.1:1") // never dialed: bounds fail first
+	defer cl.Close()
+	_, err := cl.Acquire(context.Background(), []string{strings.Repeat("x", maxResNameLen+1)}, 0, 0)
+	if err == nil {
+		t.Fatal("oversized resource name accepted")
+	}
+	if errors.Is(err, ErrTransport) {
+		t.Fatalf("caller bug misclassified as transport fault: %v", err)
+	}
+	if got := cl.Stats().Retries.Load(); got != 0 {
+		t.Fatalf("caller bug burned %d retries", got)
+	}
+}
+
+// TestHelloAdvertisesWaitBudget: the server hello must carry the
+// backend's default acquire budget, and the client must adopt it as
+// the base of its lost-response guard.
+func TestHelloAdvertisesWaitBudget(t *testing.T) {
+	be := newFakeBackend()
+	_, addr := startServer(t, ServerConfig{Backend: be})
+	cl := NewClient(addr)
+	defer cl.Close()
+	if err := cl.Ping(context.Background()); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	found := false
+	for _, slot := range cl.pool {
+		slot.mu.Lock()
+		if slot.cc != nil {
+			found = true
+			if slot.cc.budget != be.WaitBudget() {
+				t.Errorf("connection budget %v, want %v", slot.cc.budget, be.WaitBudget())
+			}
+		}
+		slot.mu.Unlock()
+	}
+	if !found {
+		t.Fatal("no pooled connection after ping")
+	}
 }
 
 func TestServerRejectsBadHello(t *testing.T) {
