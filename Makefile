@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race short cover bench bench-json bench-gate wire-smoke examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
+.PHONY: all build vet lint test race short cover bench bench-json bench-gate wire-smoke span-smoke examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
 
 all: build vet lint test
 
@@ -62,6 +62,15 @@ wire-smoke:
 	$(GO) test -race -run 'TestWireEndToEnd|TestWireFacadeParity' ./internal/lockservice/
 	$(GO) test -run='^$$' -fuzz=FuzzFrameRoundTrip -fuzztime=10s ./internal/wire/
 	$(GO) run -race ./cmd/dinerd chaos -transport wire -duration 6s -seed 1 -kills 2
+
+# Cross-shard span smoke: race-checked router multi-key e2e + facade
+# parity, the detsim span-oracle sweep (fair, churn, and mid-prepare
+# shard-crash flavors), and a short fuzz burst over random key-set/
+# churn/crash interleavings (docs/SHARD.md).
+span-smoke:
+	$(GO) test -race -run 'TestRouterSpan|TestRouterSingleShardFastPath|TestWireFacadeParity' ./internal/lockservice/
+	$(GO) test -race -run 'TestSpanSweep|TestSpanSameSeed' ./internal/detsim/
+	$(GO) test -run='^$$' -fuzz=FuzzCrossShardAcquire -fuzztime=10s ./internal/detsim/
 
 examples:
 	$(GO) run ./examples/quickstart

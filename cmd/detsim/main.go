@@ -11,6 +11,8 @@
 //	detsim -topology ring:5 -seed 1 -mode fork
 //	detsim -topology grid:3x3 -seeds 0..99 -crash 2 -mode chaos
 //	detsim -topology grid:3x3 -seeds 0..99 -churn 2 -mode churn
+//	detsim -topology grid:3x3 -seed 9 -shards 3 -mode span
+//	detsim -topology grid:3x3 -seeds 0..99 -shards 2 -crash 2 -mode span
 //
 // The process exits 1 if any run violates a checked property (eating
 // exclusion, failure locality 2, lock-history linearizability), which
@@ -43,7 +45,8 @@ func run(args []string, out *os.File) int {
 		rounds   = fs.Int("rounds", 200, "fair rounds (or adversarial steps)")
 		crash    = fs.Int("crash", 0, "number of seed-drawn crash victims (malicious windows up to 6 steps)")
 		churn    = fs.Int("churn", 0, "number of seed-drawn leave/rejoin pairs (churn mode)")
-		mode     = fs.String("mode", "fair", "fair | adversarial | service | fork | chaos | churn")
+		shards   = fs.Int("shards", 2, "shard count for span mode")
+		mode     = fs.String("mode", "fair", "fair | adversarial | service | fork | chaos | churn | span")
 		trace    = fs.Bool("trace", false, "print the full event trace (single-seed runs)")
 	)
 	fs.Parse(args)
@@ -64,12 +67,12 @@ func run(args []string, out *os.File) int {
 	bad := 0
 	for s := lo; s <= hi; s++ {
 		single := lo == hi
-		failed, summary := runSeed(g, s, *rounds, *crash, *churn, *mode, *trace && single)
+		failed, summary := runSeed(g, s, *rounds, *crash, *churn, *shards, *mode, *trace && single)
 		if failed {
 			bad++
 			fmt.Fprintf(out, "seed %d: FAIL %s\n", s, summary)
-			fmt.Fprintf(out, "  replay: detsim -topology %s -seed %d -rounds %d -crash %d -churn %d -mode %s -trace\n",
-				*topology, s, *rounds, *crash, *churn, *mode)
+			fmt.Fprintf(out, "  replay: detsim -topology %s -seed %d -rounds %d -crash %d -churn %d -shards %d -mode %s -trace\n",
+				*topology, s, *rounds, *crash, *churn, *shards, *mode)
 		} else if single {
 			fmt.Fprintf(out, "seed %d: ok %s\n", s, summary)
 		}
@@ -86,7 +89,7 @@ func run(args []string, out *os.File) int {
 
 // runSeed executes one seed in the given mode and returns (failed,
 // one-line summary).
-func runSeed(g *graph.Graph, seed int64, rounds, crash, churn int, mode string, trace bool) (bool, string) {
+func runSeed(g *graph.Graph, seed int64, rounds, crash, churn, shards int, mode string, trace bool) (bool, string) {
 	switch mode {
 	case "fair":
 		res := detsim.SweepRun(g, seed, rounds, crash, trace)
@@ -151,6 +154,25 @@ func runSeed(g *graph.Graph, seed int64, rounds, crash, churn int, mode string, 
 		return res.Failed(), fmt.Sprintf("eats=%v hash=%016x leaves=%d joins=%d safety=%v restarts=%v churn=%v",
 			res.Eats, res.TraceHash, res.Leaves, res.Joins,
 			res.SafetyViolations, res.RestartViolations, res.ChurnViolations)
+	case "span":
+		// Cross-shard span harness: K shard substrates in lockstep under
+		// one schedule source, judged by the atomicity oracles. Flavors
+		// follow the flags: -churn draws ring leave/rejoin pairs, -crash
+		// draws per-shard kill/restart campaigns, neither is the fair run.
+		var res *detsim.SpanResult
+		switch {
+		case churn > 0:
+			res = detsim.SweepSpanChurn(g, seed, rounds, shards, churn, trace)
+		case crash > 0:
+			res = detsim.SweepSpanChaos(g, seed, rounds, shards, crash, trace)
+		default:
+			res = detsim.SweepSpan(g, seed, rounds, shards, trace)
+		}
+		printTrace(trace, res.Trace)
+		return res.Failed(), fmt.Sprintf("spans=%d commits=%d rollbacks=%d displaced=%d hash=%016x partial=%v overlap=%v orphan=%v safety=%v history=%v",
+			res.Spans, res.Commits, res.Rollbacks, res.Displaced, res.TraceHash,
+			res.PartialCommits, res.OverlapViolations, res.OrphanedSpans,
+			res.SafetyViolations, res.HistoryViolations)
 	default:
 		fmt.Fprintf(os.Stderr, "detsim: unknown mode %q\n", mode)
 		os.Exit(2)

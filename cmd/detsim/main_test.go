@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -69,7 +70,7 @@ func TestParseSeedRange(t *testing.T) {
 func TestRunSeedMatchesSweepRun(t *testing.T) {
 	g := graph.Ring(6)
 	want := detsim.SweepRun(g, 42, 120, 2, false)
-	failed, summary := runSeed(graph.Ring(6), 42, 120, 2, 0, "fair", false)
+	failed, summary := runSeed(graph.Ring(6), 42, 120, 2, 0, 2, "fair", false)
 	if failed != want.Failed() {
 		t.Errorf("CLI failed=%v, SweepRun failed=%v", failed, want.Failed())
 	}
@@ -88,6 +89,26 @@ func TestRunSeedMatchesSweepRun(t *testing.T) {
 	}
 	if wantHash != string(hex[:]) {
 		t.Errorf("CLI hash %s != SweepRun hash %s", wantHash, hex)
+	}
+}
+
+// TestRunSeedSpanMatchesSweepSpan: the CLI's span path is SweepSpan
+// (and its churn/chaos flavors) verbatim, so the replay commands the
+// span sweep tests print reproduce the flagged execution bit-for-bit.
+func TestRunSeedSpanMatchesSweepSpan(t *testing.T) {
+	g := graph.Grid(3, 3)
+	want := detsim.SweepSpan(g, 7, 120, 2, false)
+	failed, summary := runSeed(graph.Grid(3, 3), 7, 120, 0, 0, 2, "span", false)
+	if failed != want.Failed() {
+		t.Errorf("CLI failed=%v, SweepSpan failed=%v", failed, want.Failed())
+	}
+	if !strings.Contains(summary, fmt.Sprintf("hash=%016x", want.TraceHash)) {
+		t.Errorf("CLI summary %q missing SweepSpan hash %016x", summary, want.TraceHash)
+	}
+	wantChaos := detsim.SweepSpanChaos(g, 7, 120, 2, 1, false)
+	_, chaosSummary := runSeed(graph.Grid(3, 3), 7, 120, 1, 0, 2, "span", false)
+	if !strings.Contains(chaosSummary, fmt.Sprintf("hash=%016x", wantChaos.TraceHash)) {
+		t.Errorf("CLI chaos summary %q missing SweepSpanChaos hash %016x", chaosSummary, wantChaos.TraceHash)
 	}
 }
 

@@ -34,7 +34,8 @@ type benchResult struct {
 	P99MS         float64          `json:"p99_ms"`
 	Timeouts      int64            `json:"timeouts_408"`
 	Backpressure  int64            `json:"backpressure_429"`
-	CrossShard    int64            `json:"cross_shard_422"`
+	Unserviceable int64            `json:"unserviceable_422"`
+	SpanGrants    int64            `json:"span_grants,omitempty"`
 	Failures      int64            `json:"failures"`
 	PerShardGrant map[string]int64 `json:"per_shard_grants"`
 }
@@ -69,6 +70,7 @@ type benchConfig struct {
 	TickUS    int64   `json:"tick_us"`
 	HoldMS    float64 `json:"hold_ms"`
 	Pair      float64 `json:"pair_probability"`
+	Span      float64 `json:"span_probability,omitempty"`
 	Seed      int64   `json:"seed"`
 }
 
@@ -97,6 +99,7 @@ func benchCmd(args []string) {
 		duration  = fs.Duration("duration", 4*time.Second, "load duration per stage/sample")
 		hold      = fs.Duration("hold", 5*time.Millisecond, "lease hold per grant (transports mode defaults to 0: it measures the transport, not the hold)")
 		pair      = fs.Float64("pair", 0.2, "probability of a two-lock same-worker request")
+		span      = fs.Float64("span", 0, "probability of a cross-shard multi-key request (shards mode)")
 		keys      = fs.Int("keys", 512, "named-resource keyspace size (fixed across the sweep)")
 		tick      = fs.Duration("tick", 2*time.Millisecond, "substrate gossip tick")
 		timeout   = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
@@ -149,6 +152,7 @@ func benchCmd(args []string) {
 		hold:     *hold,
 		timeout:  *timeout,
 		pair:     *pair,
+		span:     *span,
 		seed:     *seed,
 		keys:     *keys,
 		sharded:  true,
@@ -332,6 +336,7 @@ func benchShards(g *graph.Graph, shardsCSV string, o loadOpts, cfg lockservice.C
 			TickUS:    tick.Microseconds(),
 			HoldMS:    float64(o.hold.Microseconds()) / 1000,
 			Pair:      o.pair,
+			Span:      o.span,
 			Seed:      o.seed,
 		},
 	}
@@ -420,7 +425,8 @@ func benchStage(g *graph.Graph, shards int, o loadOpts, base lockservice.Config)
 		P99MS:         quantileMS(res.overall, 0.99),
 		Timeouts:      res.timeouts.Load(),
 		Backpressure:  res.busy.Load(),
-		CrossShard:    res.crossShard.Load(),
+		Unserviceable: res.unserviceable.Load(),
+		SpanGrants:    res.spanGrants.Load(),
 		Failures:      res.failures.Load(),
 		PerShardGrant: map[string]int64{},
 	}

@@ -25,8 +25,9 @@ import (
 type shardCatalog struct {
 	keys    []string
 	shardOf map[string]int
-	buckets [][]string // same-worker, same-shard groups of >=2 keys
-	shards  []int      // sorted shard ids owning at least one key
+	byShard map[int][]string // keys grouped by owning shard, for span draws
+	buckets [][]string       // same-worker, same-shard groups of >=2 keys
+	shards  []int            // sorted shard ids owning at least one key
 }
 
 // buildCatalog draws directly from the server's raw lock catalog: the
@@ -54,7 +55,11 @@ func buildKeyCatalog(nkeys int, edges []string, ring *shard.Ring) *shardCatalog 
 // group stays single-worker (the MapSession contract) and single-shard
 // (the router contract).
 func assembleCatalog(keys, edges []string, ring *shard.Ring) *shardCatalog {
-	c := &shardCatalog{keys: keys, shardOf: make(map[string]int, len(keys))}
+	c := &shardCatalog{
+		keys:    keys,
+		shardOf: make(map[string]int, len(keys)),
+		byShard: make(map[int][]string),
+	}
 	seen := map[int]bool{}
 	type group struct{ endpoint, shard int }
 	byGroup := map[group][]string{}
@@ -65,6 +70,7 @@ func assembleCatalog(keys, edges []string, ring *shard.Ring) *shardCatalog {
 			s, _ = ring.Lookup(name)
 		}
 		c.shardOf[name] = s
+		c.byShard[s] = append(c.byShard[s], name)
 		seen[s] = true
 		a, b, ok := parseEdge(edgeNameFor(name, edges))
 		if !ok {
@@ -123,6 +129,26 @@ func (c *shardCatalog) pick(rng *rand.Rand, pair float64) []string {
 	return []string{c.keys[rng.Intn(len(c.keys))]}
 }
 
+// pickSpan draws a cross-shard multi-key set: one key from each of two
+// or three distinct shards, so the request is guaranteed to decompose
+// into per-shard parts the router can place (each part is a single
+// key). Returns nil when the catalog holds fewer than two shards.
+func (c *shardCatalog) pickSpan(rng *rand.Rand) []string {
+	if len(c.shards) < 2 {
+		return nil
+	}
+	want := 2
+	if len(c.shards) > 2 && rng.Intn(2) == 1 {
+		want = 3
+	}
+	set := make([]string, 0, want)
+	for _, i := range rng.Perm(len(c.shards))[:want] {
+		members := c.byShard[c.shards[i]]
+		set = append(set, members[rng.Intn(len(members))])
+	}
+	return set
+}
+
 // replicaRing rebuilds the router's placement ring from its /v1/ring
 // description; Lookup then agrees with the router for every key at the
 // reported generation.
@@ -152,6 +178,7 @@ type loadOpts struct {
 	hold      time.Duration
 	timeout   time.Duration
 	pair      float64
+	span      float64 // probability a request draws a cross-shard multi-key set
 	seed      int64
 	keys      int  // synthetic keyspace size (0 = raw edge catalog)
 	sharded   bool // seed the ring generation so acquires assert it
@@ -159,13 +186,14 @@ type loadOpts struct {
 
 // loadResult is what the swarm observed, overall and per shard.
 type loadResult struct {
-	grants     atomic.Int64
-	timeouts   atomic.Int64 // 408: wait budget exhausted
-	busy       atomic.Int64 // 429: backpressure
-	crossShard atomic.Int64 // 422: resource set spans shards (catalog bug)
-	failures   atomic.Int64
-	overall    *stats.Recorder
-	perShard   map[int]*shardTally
+	grants        atomic.Int64
+	spanGrants    atomic.Int64 // grants answering a cross-shard multi-key draw
+	timeouts      atomic.Int64 // 408: wait budget exhausted
+	busy          atomic.Int64 // 429: backpressure
+	unserviceable atomic.Int64 // 422: no worker can arbitrate the mapped set
+	failures      atomic.Int64
+	overall       *stats.Recorder
+	perShard      map[int]*shardTally
 	// wire carries the shared wire client's traffic counters (nil for
 	// HTTP runs): connection reuse and outbound batch-size distribution.
 	wire *wire.ClientStats
@@ -196,7 +224,7 @@ func classify(err error, res *loadResult) {
 	case 429:
 		res.busy.Add(1)
 	case 422:
-		res.crossShard.Add(1)
+		res.unserviceable.Add(1)
 	default:
 		res.failures.Add(1)
 	}
@@ -286,6 +314,12 @@ func runLoad(ctx context.Context, cat *shardCatalog, o loadOpts) *loadResult {
 			}
 			for time.Now().Before(stopAt) && ctx.Err() == nil {
 				resources := cat.pick(rng, o.pair)
+				isSpan := false
+				if o.span > 0 && rng.Float64() < o.span {
+					if set := cat.pickSpan(rng); set != nil {
+						resources, isSpan = set, true
+					}
+				}
 				start := time.Now()
 				session, err := sess.Acquire(ctx, resources, o.timeout)
 				if err != nil {
@@ -295,6 +329,9 @@ func runLoad(ctx context.Context, cat *shardCatalog, o loadOpts) *loadResult {
 				lat := time.Since(start).Seconds()
 				res.overall.Observe(lat)
 				res.grants.Add(1)
+				if isSpan {
+					res.spanGrants.Add(1)
+				}
 				if t := res.perShard[cat.shardOf[resources[0]]]; t != nil {
 					t.rec.Observe(lat)
 					t.grants.Add(1)

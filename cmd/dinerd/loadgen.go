@@ -18,9 +18,10 @@ import (
 
 // loadgen hammers a running dinerd with concurrent acquire/hold/release
 // cycles and reports client-observed latency percentiles. Against a
-// sharded server it replicates the placement ring from /v1/ring, draws
-// only single-shard resource sets, and breaks the percentiles out per
-// shard.
+// sharded server it replicates the placement ring from /v1/ring, keeps
+// ordinary draws single-shard, and breaks the percentiles out per
+// shard; -span mixes in cross-shard multi-key sets (one key per
+// distinct shard) that exercise the router's span protocol.
 func loadgen(args []string) {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	var (
@@ -32,6 +33,7 @@ func loadgen(args []string) {
 		duration  = fs.Duration("duration", 10*time.Second, "load duration")
 		hold      = fs.Duration("hold", 5*time.Millisecond, "lease hold time per grant")
 		pair      = fs.Float64("pair", 0.2, "probability a request asks for two locks sharing a worker")
+		span      = fs.Float64("span", 0, "probability a request draws a cross-shard multi-key set (needs a sharded server)")
 		timeout   = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
 		seed      = fs.Int64("seed", 1, "client randomness seed")
 		keys      = fs.Int("keys", 0, "synthetic named-resource keyspace size (0 = lock raw edge names)")
@@ -80,16 +82,20 @@ func loadgen(args []string) {
 		hold:      *hold,
 		timeout:   *timeout,
 		pair:      *pair,
+		span:      *span,
 		seed:      *seed,
 		sharded:   ring != nil,
 	})
 
 	summary := stats.NewTable("loadgen summary", "metric", "value")
 	summary.AddRow("grants", res.grants.Load())
+	if *span > 0 {
+		summary.AddRow("cross-shard span grants", res.spanGrants.Load())
+	}
 	summary.AddRow("throughput (grants/s)", fmt.Sprintf("%.1f", float64(res.grants.Load())/duration.Seconds()))
 	summary.AddRow("timeouts (408)", res.timeouts.Load())
 	summary.AddRow("backpressure (429)", res.busy.Load())
-	summary.AddRow("cross-shard rejects (422)", res.crossShard.Load())
+	summary.AddRow("unserviceable (422)", res.unserviceable.Load())
 	summary.AddRow("other failures", res.failures.Load())
 	summary.Render(os.Stdout)
 
@@ -184,6 +190,9 @@ func printSubstrateCounters(ctx context.Context, c *lockservice.Client) {
 		{"node restarts", "dinerd_node_restarts_total"},
 		{"leases fenced", "dinerd_leases_fenced_total"},
 		{"transport reconnects", "dinerd_transport_reconnects_total"},
+		{"span acquires", "dinerd_span_acquires_total"},
+		{"span commits", "dinerd_span_commits_total"},
+		{"span rollbacks", "dinerd_span_rollback_total"},
 	}
 	tbl := stats.NewTable("substrate counters (server-side)", "counter", "value")
 	for _, r := range rows {

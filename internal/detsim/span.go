@@ -1,0 +1,842 @@
+// Cross-shard span simulation: the deterministic mirror of the
+// Router's multi-key acquire protocol. K independent diners shards —
+// each a full driven msgpass substrate with its own session arbiter —
+// advance in lockstep under one schedule Source, while a span
+// coordinator plays the Router: it decomposes drawn key sets by
+// consistent-hash ring placement, acquires per-shard parts in
+// ascending shard order, holds early grants under a prepare deadline
+// measured in rounds (refreshed after every later grant, exactly like
+// the production renew-refresh), and commits all parts or rolls all of
+// them back. The spanOracle then asserts the property the paper-level
+// protocol owes its clients: no schedule, fault plan, or ring-churn
+// plan may ever surface a partially committed span.
+package detsim
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+
+	"mcdp/internal/core"
+	"mcdp/internal/drinkers"
+	"mcdp/internal/graph"
+	"mcdp/internal/lockservice"
+	"mcdp/internal/msgpass"
+	"mcdp/internal/shard"
+)
+
+// RingChurn schedules one ring-membership change: shard Shard leaves
+// the ring at Leave and rejoins at Join (Join <= Leave means it never
+// returns). Mirrors Router.RingLeave/RingJoin: new placements avoid
+// the absentee, in-flight spans keep their sub-sessions.
+type RingChurn struct {
+	Shard int
+	Leave int
+	Join  int
+}
+
+// SpanConfig describes one deterministic cross-shard span run.
+type SpanConfig struct {
+	// Graph is each shard's diners topology. Required.
+	Graph *graph.Graph
+	// Shards is the shard count (default 2).
+	Shards int
+	// Vnodes is the placement ring's virtual-node count per shard
+	// (0 = shard.DefaultVnodes).
+	Vnodes int
+	// Seed names the run: it seeds the ring, each shard's substrate
+	// (offset per shard), and — unless Source overrides it — the one
+	// schedule source every decision draws from.
+	Seed int64
+	// Rounds is the lockstep round count (default 200).
+	Rounds int
+	// Adversarial switches every shard from a fair round to AdvSteps
+	// free adversarial steps per round (safety-only schedules).
+	Adversarial bool
+	// AdvSteps is the adversarial steps per shard per round (default 8).
+	AdvSteps int
+	// KeyCount is the synthetic keyspace size (default 24).
+	KeyCount int
+	// SpanPercent is the per-round chance (0..100) a new span is drawn
+	// (default 50).
+	SpanPercent int
+	// MaxKeysPerSpan bounds a drawn span's key count (default 4, min 2).
+	MaxKeysPerSpan int
+	// AcquireRounds bounds how long one part may stay pending before
+	// the span gives up and rolls back (default 25).
+	AcquireRounds int
+	// PrepareRounds is the prepare-lease budget in rounds: an early
+	// grant not refreshed by a later grant within this many rounds is
+	// considered expired and forces a rollback — the round-domain twin
+	// of RouterConfig.PrepareTTL (default 20).
+	PrepareRounds int
+	// MaxHoldRounds bounds how long a committed span is held (default 3).
+	MaxHoldRounds int
+	// QueueLimit is each arbiter's per-node queue capacity (default 8).
+	QueueLimit int
+	// RingChurn is the ring-membership plan.
+	RingChurn []RingChurn
+	// Crashes, Restarts, Leaves, and Joins are per-shard fault plans
+	// (index = shard; nil or short slices mean no plan for that shard).
+	Crashes  [][]Crash
+	Restarts [][]Restart
+	Leaves   [][]Leave
+	Joins    [][]Join
+	// Faults holds per-shard transport fault injectors.
+	Faults []msgpass.FaultInjector
+	// Trace retains coordinator and shard traces in the result.
+	Trace bool
+	// Source overrides the schedule source; nil uses NewRand(Seed).
+	Source Source
+}
+
+// SpanResult is the outcome of one cross-shard span run.
+type SpanResult struct {
+	Seed   int64
+	Rounds int
+	Shards int
+	// TraceHash combines the coordinator's event hash with every
+	// shard's trace hash; equal hashes mean the same execution.
+	TraceHash uint64
+	// Trace is the coordinator's event trace (only with Trace).
+	Trace []string
+	// Spans counts created spans; SingleShard of them placed on one
+	// shard (the fast-path control group), the rest genuinely spanned.
+	Spans, SingleShard int
+	// Commits and Rollbacks count terminal outcomes; Displaced counts
+	// spans fenced by a ring change that remapped one of their keys or
+	// by a node fence revoking a sub-lease.
+	Commits, Rollbacks, Displaced int
+	// RingLeaves and RingJoins count executed ring changes.
+	RingLeaves, RingJoins int
+	// PartialCommits lists spans that committed while some part was not
+	// held — the cross-shard atomicity violation this harness exists to
+	// rule out.
+	PartialCommits []string
+	// OverlapViolations lists committed spans sharing a key whose
+	// commit windows overlapped (all-or-nothing linearizability at the
+	// span level).
+	OverlapViolations []string
+	// OrphanedSpans lists spans that never reached a terminal state
+	// despite generous budgets — including multi-key waiters orphaned
+	// after their prepare-holding shard left the ring.
+	OrphanedSpans []string
+	// SafetyViolations concatenates every shard's eating-exclusion
+	// violations, shard-prefixed.
+	SafetyViolations []string
+	// HistoryViolations concatenates every shard's lock-history
+	// linearizability violations, shard-prefixed.
+	HistoryViolations []string
+}
+
+// Failed reports whether the run violated any checked property.
+func (r *SpanResult) Failed() bool {
+	return len(r.PartialCommits) > 0 || len(r.OverlapViolations) > 0 ||
+		len(r.OrphanedSpans) > 0 || len(r.SafetyViolations) > 0 ||
+		len(r.HistoryViolations) > 0
+}
+
+// simPart is one shard's slice of a span: its keys mapped onto that
+// shard's arbiter (bottle indices plus candidate homes).
+type simPart struct {
+	shard   int
+	keys    []string
+	bottles []int
+	homes   []graph.ProcID
+}
+
+// simSpan is one in-flight span: parts in ascending shard order, with
+// parts[0..next) granted under prepare deadlines and parts[next] (if
+// any) pending at its shard's arbiter.
+type simSpan struct {
+	id    int
+	keys  []string
+	parts []simPart
+	next  int
+	sess  []*drinkers.Session
+	// deadline[i] is the round at which part i's prepare expires; it is
+	// refreshed to now+PrepareRounds whenever a later part grants.
+	deadline    []int
+	submitRound int
+	born        int
+	committed   bool
+	commitRound int
+	releaseAt   int
+	mustAbort   bool
+	displacedAt int // -1 until a ring leave or fence touches the span
+	done        bool
+}
+
+// spanHarness wires K shard runners, their arbiters and histories, the
+// placement ring, and the coordinator state.
+type spanHarness struct {
+	cfg     SpanConfig
+	src     Source
+	ring    *shard.Ring
+	runners []*runner
+	arbs    []*drinkers.Arbiter
+	hists   []*lockservice.History
+	mappers []*lockservice.ResourceMapper
+	keys    []string
+
+	spans []*simSpan
+	res   *SpanResult
+	h     *spanTrace
+}
+
+// spanTrace is the coordinator's own event log and hash.
+type spanTrace struct {
+	hash  hash.Hash64
+	keep  bool
+	lines []string
+}
+
+func (t *spanTrace) event(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	t.hash.Write([]byte(line))
+	t.hash.Write([]byte{'\n'})
+	if t.keep {
+		t.lines = append(t.lines, line)
+	}
+}
+
+// RunSpan executes one deterministic cross-shard span run.
+func RunSpan(cfg SpanConfig) *SpanResult {
+	h := newSpanHarness(cfg)
+	for t := 0; t < h.cfg.Rounds; t++ {
+		h.round(t)
+	}
+	return h.finish()
+}
+
+func newSpanHarness(cfg SpanConfig) *spanHarness {
+	if cfg.Graph == nil {
+		panic("detsim: SpanConfig.Graph is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 200
+	}
+	if cfg.AdvSteps <= 0 {
+		cfg.AdvSteps = 8
+	}
+	if cfg.KeyCount <= 0 {
+		cfg.KeyCount = 24
+	}
+	if cfg.SpanPercent <= 0 {
+		cfg.SpanPercent = 50
+	}
+	if cfg.MaxKeysPerSpan < 2 {
+		cfg.MaxKeysPerSpan = 4
+	}
+	if cfg.AcquireRounds <= 0 {
+		cfg.AcquireRounds = 25
+	}
+	if cfg.PrepareRounds <= 0 {
+		cfg.PrepareRounds = 20
+	}
+	if cfg.MaxHoldRounds <= 0 {
+		cfg.MaxHoldRounds = 3
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 8
+	}
+	src := cfg.Source
+	if src == nil {
+		src = NewRand(cfg.Seed)
+	}
+	h := &spanHarness{
+		cfg:  cfg,
+		src:  src,
+		ring: shard.New(uint64(cfg.Seed)+1, cfg.Vnodes),
+		res:  &SpanResult{Seed: cfg.Seed, Rounds: cfg.Rounds, Shards: cfg.Shards},
+		h:    &spanTrace{hash: fnv.New64a(), keep: cfg.Trace},
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		hungry := make([]bool, cfg.Graph.N()) // demand arrives with spans
+		rcfg := Config{
+			Graph:  cfg.Graph,
+			Seed:   cfg.Seed + int64(s)*101,
+			Rounds: cfg.Rounds,
+			Hungry: hungry,
+			Source: src,
+		}
+		if s < len(cfg.Crashes) {
+			rcfg.Crashes = cfg.Crashes[s]
+		}
+		if s < len(cfg.Restarts) {
+			rcfg.Restarts = cfg.Restarts[s]
+		}
+		if s < len(cfg.Leaves) {
+			rcfg.Leaves = cfg.Leaves[s]
+		}
+		if s < len(cfg.Joins) {
+			rcfg.Joins = cfg.Joins[s]
+		}
+		if s < len(cfg.Faults) {
+			rcfg.Faults = cfg.Faults[s]
+		}
+		rn := newRunner(rcfg)
+		for _, f := range rn.d.Boot() {
+			rn.event("+ %s", f)
+			rn.pending = append(rn.pending, f)
+		}
+		arb := drinkers.NewArbiter(cfg.Graph, cfg.QueueLimit)
+		hist := lockservice.NewHistory()
+		hist.Tap(arb)
+		h.runners = append(h.runners, rn)
+		h.arbs = append(h.arbs, arb)
+		h.hists = append(h.hists, hist)
+		h.mappers = append(h.mappers, lockservice.NewResourceMapper(cfg.Graph))
+		if err := h.ring.Add(s); err != nil {
+			panic(err) // fresh ring, dense ids: unreachable
+		}
+	}
+	for i := 0; i < cfg.KeyCount; i++ {
+		h.keys = append(h.keys, fmt.Sprintf("key-%03d", i))
+	}
+	h.h.event("span run n=%d shards=%d seed=%d", cfg.Graph.N(), cfg.Shards, cfg.Seed)
+	return h
+}
+
+// advSteps runs one adversarial burst on a runner: the RunAdversarial
+// step body, replicated so the span coordinator can interleave K
+// adversarial shards round by round.
+func (r *runner) advSteps(t, steps int) {
+	for i := 0; i < steps; i++ {
+		n := r.d.Network().N()
+		if len(r.pending) > maxPending {
+			drop := len(r.pending) - maxPending
+			r.pending = append([]msgpass.Frame(nil), r.pending[drop:]...)
+			r.event("t%d drop %d", t, drop)
+		}
+		k := r.src.Intn(n + len(r.pending))
+		if k < n {
+			r.tick(t, graph.ProcID(k))
+			continue
+		}
+		// FIFO per channel: deliver the drawn channel's oldest frame.
+		j := k - n
+		for i := 0; i < j; i++ {
+			if r.pending[i].From == r.pending[j].From && r.pending[i].To == r.pending[j].To {
+				j = i
+				break
+			}
+		}
+		f := r.pending[j]
+		r.pending = append(r.pending[:j], r.pending[j+1:]...)
+		r.deliver(t, f)
+	}
+}
+
+// round advances every shard one lockstep round, applies ring churn
+// and sub-lease fencing, steps each span's acquire state machine, and
+// draws new workload.
+func (h *spanHarness) round(t int) {
+	for _, rn := range h.runners {
+		if h.cfg.Adversarial {
+			rn.advSteps(t, h.cfg.AdvSteps)
+		} else {
+			rn.fairRound(t)
+		}
+	}
+	h.applyRingChurn(t)
+	h.fenceDueNodes(t)
+	for s, arb := range h.arbs {
+		rn := h.runners[s]
+		arb.Pump(func(p graph.ProcID) bool {
+			return rn.rd.State(p) == core.Eating && !rn.rd.Dead(p) && !rn.d.Network().Departed(p)
+		})
+	}
+	for _, sp := range h.spans {
+		h.stepSpan(t, sp)
+	}
+	h.drawWorkload(t)
+	for s, arb := range h.arbs {
+		nw := h.runners[s].d.Network()
+		for p := 0; p < h.cfg.Graph.N(); p++ {
+			nw.SetNeeds(graph.ProcID(p), arb.HasPending(graph.ProcID(p)))
+		}
+	}
+}
+
+// applyRingChurn fires ring membership changes due at round t. After
+// every membership change — leave or join, since consistent hashing
+// moves keys in both directions — it fences each in-flight span whose
+// recorded placement the new ring contradicts: the span's keys now map
+// to other shards, so letting it keep (or go on to take) its old
+// sub-leases would let a later span acquire the same keys on the new
+// owners concurrently. Production leaves stranded leases to drain by
+// TTL (exclusivity is per placement epoch; operators drain a shard
+// before removing it) — the harness adopts the stricter
+// drain-at-change so its cross-epoch exclusivity oracle stays sound,
+// and the displaced oracle demands each fenced span still terminates
+// promptly.
+func (h *spanHarness) applyRingChurn(t int) {
+	for _, rc := range h.cfg.RingChurn {
+		if rc.Leave == t && h.ring.Size() > 1 {
+			if err := h.ring.Remove(rc.Shard); err == nil {
+				h.res.RingLeaves++
+				h.h.event("t%d ring leave %d", t, rc.Shard)
+				h.fenceRemapped(t)
+			}
+		}
+		if rc.Join == t && rc.Join > rc.Leave {
+			if err := h.ring.Add(rc.Shard); err == nil {
+				h.res.RingJoins++
+				h.h.event("t%d ring join %d", t, rc.Shard)
+				h.fenceRemapped(t)
+			}
+		}
+	}
+}
+
+// fenceRemapped aborts every live span holding, awaiting, or still
+// planning a part whose keys the current ring no longer places on that
+// part's shard.
+func (h *spanHarness) fenceRemapped(t int) {
+	for _, sp := range h.spans {
+		if sp.done || sp.mustAbort {
+			continue
+		}
+	parts:
+		for _, pt := range sp.parts {
+			for _, k := range pt.keys {
+				if s, ok := h.ring.Lookup(k); !ok || s != pt.shard {
+					sp.mustAbort = true
+					if sp.displacedAt < 0 {
+						sp.displacedAt = t
+						h.res.Displaced++
+					}
+					h.h.event("t%d span%d displaced: key %s moved off shard %d", t, sp.id, k, pt.shard)
+					break parts
+				}
+			}
+		}
+	}
+}
+
+// fenceDueNodes mirrors Server.fenceLeases: a node restart or
+// membership leave inside a shard revokes the sub-leases homed there,
+// so every span holding a granted part at a fenced node must abort —
+// holding the other parts would be exactly the partial commit the
+// protocol forbids.
+func (h *spanHarness) fenceDueNodes(t int) {
+	for s, rn := range h.runners {
+		for _, rs := range rn.cfg.Restarts {
+			if rs.Round == t {
+				h.fence(t, s, rs.Node)
+			}
+		}
+		for _, l := range rn.cfg.Leaves {
+			if l.Round == t {
+				h.fence(t, s, l.Node)
+			}
+		}
+	}
+}
+
+func (h *spanHarness) fence(t, s int, node graph.ProcID) {
+	for _, sp := range h.spans {
+		if sp.done || sp.mustAbort {
+			continue
+		}
+		for i := 0; i < sp.next; i++ {
+			if sp.parts[i].shard == s && sp.sess[i].Home == node {
+				sp.mustAbort = true
+				if sp.displacedAt < 0 {
+					sp.displacedAt = t
+					h.res.Displaced++
+				}
+				h.h.event("t%d span%d fenced at shard %d node %d", t, sp.id, s, node)
+				break
+			}
+		}
+	}
+}
+
+// stepSpan advances one span's acquire state machine by one round.
+func (h *spanHarness) stepSpan(t int, sp *simSpan) {
+	if sp.done {
+		return
+	}
+	if sp.committed {
+		if sp.mustAbort {
+			// A committed part was fenced: production detects this on the
+			// client's next renew and releases the survivors. All-or-nothing
+			// is preserved by tearing the span down, not by keeping it.
+			h.rollback(t, sp, "post-commit fence")
+			return
+		}
+		if sp.releaseAt <= t {
+			for i := range sp.parts {
+				h.arbs[sp.parts[i].shard].Release(sp.sess[i])
+			}
+			sp.done = true
+			h.h.event("t%d span%d released", t, sp.id)
+		}
+		return
+	}
+	if sp.mustAbort {
+		h.rollback(t, sp, "fenced prepare")
+		return
+	}
+	// Prepare leases not refreshed in time have expired server-side.
+	for i := 0; i < sp.next; i++ {
+		if sp.deadline[i] <= t {
+			h.rollback(t, sp, fmt.Sprintf("prepare expired on shard %d", sp.parts[i].shard))
+			return
+		}
+	}
+	arb := h.arbs[sp.parts[sp.next].shard]
+	switch arb.Status(sp.sess[sp.next]) {
+	case drinkers.Drinking:
+		sp.deadline[sp.next] = t + h.cfg.PrepareRounds
+		for i := 0; i < sp.next; i++ {
+			sp.deadline[i] = t + h.cfg.PrepareRounds // renew-refresh
+		}
+		sp.next++
+		h.h.event("t%d span%d part%d granted", t, sp.id, sp.next-1)
+		if sp.next == len(sp.parts) {
+			h.commit(t, sp)
+			return
+		}
+		if !h.submitPart(t, sp) {
+			h.rollback(t, sp, "submit failed")
+		}
+	case drinkers.Pending:
+		if t-sp.submitRound >= h.cfg.AcquireRounds {
+			h.rollback(t, sp, fmt.Sprintf("acquire timeout on shard %d", sp.parts[sp.next].shard))
+		}
+	case drinkers.Done:
+		// Canceled or released out from under us — cannot happen from
+		// this coordinator; treat as a lost sub-session.
+		h.rollback(t, sp, "sub-session vanished")
+	}
+}
+
+// commit promotes every part to a committed hold — and first runs the
+// partial-commit oracle: at this instant every part's session must
+// actually hold its bottles.
+func (h *spanHarness) commit(t int, sp *simSpan) {
+	for i := range sp.parts {
+		if h.arbs[sp.parts[i].shard].Status(sp.sess[i]) != drinkers.Drinking {
+			if len(h.res.PartialCommits) < maxRecorded {
+				h.res.PartialCommits = append(h.res.PartialCommits,
+					fmt.Sprintf("t%d: span %d committed while part %d (shard %d) was not held",
+						t, sp.id, i, sp.parts[i].shard))
+			}
+		}
+	}
+	sp.committed = true
+	sp.commitRound = t
+	sp.releaseAt = t + 1 + h.src.Intn(h.cfg.MaxHoldRounds)
+	h.res.Commits++
+	h.h.event("t%d span%d committed hold=%d", t, sp.id, sp.releaseAt-t)
+}
+
+// rollback releases granted parts and cancels the pending one; the
+// span terminates with no residue on any shard.
+func (h *spanHarness) rollback(t int, sp *simSpan, why string) {
+	for i := 0; i < sp.next && i < len(sp.sess); i++ {
+		h.arbs[sp.parts[i].shard].Release(sp.sess[i])
+	}
+	if !sp.committed && sp.next < len(sp.sess) && sp.sess[sp.next] != nil {
+		arb := h.arbs[sp.parts[sp.next].shard]
+		if !arb.Cancel(sp.sess[sp.next]) {
+			// Granted between our status check and now (or by the same
+			// round's pump): a grant cannot be canceled, only released.
+			arb.Release(sp.sess[sp.next])
+		}
+	}
+	if sp.committed {
+		for i := sp.next; i < len(sp.sess); i++ {
+			if sp.sess[i] != nil {
+				h.arbs[sp.parts[i].shard].Release(sp.sess[i])
+			}
+		}
+		sp.releaseAt = t // the commit window truly ended here
+	}
+	sp.done = true
+	h.res.Rollbacks++
+	h.h.event("t%d span%d rollback: %s", t, sp.id, why)
+}
+
+// submitPart queues span part sp.next at its shard, choosing the first
+// live candidate home (the deterministic analog of the server's
+// queue-depth-sorted home choice).
+func (h *spanHarness) submitPart(t int, sp *simSpan) bool {
+	pt := sp.parts[sp.next]
+	rn := h.runners[pt.shard]
+	home := graph.ProcID(-1)
+	for _, c := range pt.homes {
+		if !rn.rd.Dead(c) && !rn.d.Network().Departed(c) {
+			home = c
+			break
+		}
+	}
+	if home < 0 {
+		return false
+	}
+	s, err := h.arbs[pt.shard].Submit(home, pt.bottles)
+	if err != nil {
+		return false
+	}
+	sp.sess[sp.next] = s
+	sp.submitRound = t
+	h.h.event("t%d span%d submit part%d shard%d home=%d", t, sp.id, sp.next, pt.shard, home)
+	return true
+}
+
+// drawWorkload maybe creates one new span: a drawn key set decomposed
+// by the current ring into ascending-shard parts, each mapped onto its
+// shard's arbiter. Key sets may overlap across spans — contention is
+// the interesting case.
+func (h *spanHarness) drawWorkload(t int) {
+	if h.src.Intn(100) >= h.cfg.SpanPercent {
+		return
+	}
+	max := h.cfg.MaxKeysPerSpan
+	if max > len(h.keys) {
+		max = len(h.keys)
+	}
+	want := 2 + h.src.Intn(max-1)
+	keys := make([]string, 0, want)
+	for _, i := range perm(h.src, len(h.keys))[:want] {
+		keys = append(keys, h.keys[i])
+	}
+	var parts []simPart
+	for _, k := range keys {
+		s, ok := h.ring.Lookup(k)
+		if !ok {
+			return // empty ring: no placement, no span
+		}
+		i := 0
+		for i < len(parts) && parts[i].shard != s {
+			i++
+		}
+		if i == len(parts) {
+			parts = append(parts, simPart{shard: s})
+		}
+		parts[i].keys = append(parts[i].keys, k)
+	}
+	// Ascending shard order — the deadlock-freedom invariant.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j].shard < parts[j-1].shard; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	for i := range parts {
+		bottles, homes, err := h.mappers[parts[i].shard].MapSession(parts[i].keys)
+		if err != nil {
+			return // part unmappable within its shard: skip the draw
+		}
+		parts[i].bottles = bottles
+		parts[i].homes = homes
+	}
+	sp := &simSpan{
+		id:          h.res.Spans,
+		keys:        keys,
+		parts:       parts,
+		sess:        make([]*drinkers.Session, len(parts)),
+		deadline:    make([]int, len(parts)),
+		born:        t,
+		displacedAt: -1,
+	}
+	h.res.Spans++
+	if len(parts) == 1 {
+		h.res.SingleShard++
+	}
+	h.h.event("t%d span%d new keys=%v parts=%d", t, sp.id, keys, len(parts))
+	if !h.submitPart(t, sp) {
+		sp.done = true
+		h.res.Rollbacks++
+		h.h.event("t%d span%d rollback: first submit failed", t, sp.id)
+	}
+	h.spans = append(h.spans, sp)
+}
+
+// finish runs the end-of-run oracles, drains surviving spans, and
+// assembles the result.
+func (h *spanHarness) finish() *SpanResult {
+	res := h.res
+	rounds := h.cfg.Rounds
+	// Orphan oracle (before the shutdown drain): every span gets a
+	// generous budget — each part may take AcquireRounds to grant plus a
+	// PrepareRounds refresh cycle, plus the hold. A span still live past
+	// it is wedged, not slow; a displaced span (its prepare-holding
+	// shard left the ring, or a fence hit it) gets the same bound from
+	// its displacement — the multi-key analog of the churn
+	// displaced-waiter oracle.
+	for _, sp := range h.spans {
+		if sp.done {
+			continue
+		}
+		budget := len(sp.parts)*(h.cfg.AcquireRounds+h.cfg.PrepareRounds) + h.cfg.MaxHoldRounds + 10
+		if rounds-sp.born >= budget {
+			if len(res.OrphanedSpans) < maxRecorded {
+				res.OrphanedSpans = append(res.OrphanedSpans,
+					fmt.Sprintf("span %d born t%d never terminated in %d rounds", sp.id, sp.born, rounds-sp.born))
+			}
+			continue
+		}
+		if sp.displacedAt >= 0 && rounds-sp.displacedAt >= budget {
+			if len(res.OrphanedSpans) < maxRecorded {
+				res.OrphanedSpans = append(res.OrphanedSpans,
+					fmt.Sprintf("span %d displaced t%d still wedged at t%d", sp.id, sp.displacedAt, rounds))
+			}
+		}
+	}
+	// Shutdown drain so every history closes.
+	for _, sp := range h.spans {
+		if sp.done {
+			continue
+		}
+		if sp.committed {
+			for i := range sp.parts {
+				h.arbs[sp.parts[i].shard].Release(sp.sess[i])
+			}
+			sp.done = true
+			continue
+		}
+		h.rollback(rounds, sp, "shutdown drain")
+	}
+	// All-or-nothing linearizability at the span level: two committed
+	// spans sharing a key must have disjoint commit windows.
+	for i, a := range h.spans {
+		if !a.committed {
+			continue
+		}
+		for _, b := range h.spans[i+1:] {
+			if !b.committed || a.releaseAt <= b.commitRound || b.releaseAt <= a.commitRound {
+				continue
+			}
+			if shareKey(a.keys, b.keys) && len(res.OverlapViolations) < maxRecorded {
+				res.OverlapViolations = append(res.OverlapViolations,
+					fmt.Sprintf("spans %d and %d share a key and overlapped: [%d,%d) vs [%d,%d)",
+						a.id, b.id, a.commitRound, a.releaseAt, b.commitRound, b.releaseAt))
+			}
+		}
+	}
+	res.Trace = h.h.lines
+	comb := fnv.New64a()
+	fmt.Fprintf(comb, "%016x\n", h.h.hash.Sum64())
+	for s, rn := range h.runners {
+		fair := !h.cfg.Adversarial
+		rn.baseline = nil // demand-driven hunger: no locality promise
+		sub := rn.finish(fair, rounds)
+		fmt.Fprintf(comb, "%016x\n", sub.TraceHash)
+		for _, v := range sub.SafetyViolations {
+			if len(res.SafetyViolations) < maxRecorded {
+				res.SafetyViolations = append(res.SafetyViolations,
+					fmt.Sprintf("shard %d: %s", s, v))
+			}
+		}
+		for _, v := range h.hists[s].Check(h.cfg.Graph) {
+			if len(res.HistoryViolations) < maxRecorded {
+				res.HistoryViolations = append(res.HistoryViolations,
+					fmt.Sprintf("shard %d: %s", s, v))
+			}
+		}
+	}
+	res.TraceHash = comb.Sum64()
+	return res
+}
+
+// shareKey reports whether the two key sets intersect.
+func shareKey(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SweepSpan is the canonical seed-indexed fair span run shared by the
+// sweep tests and cmd/detsim -mode span: seed-determined schedule over
+// a fault-free K-shard lockstep, checking the span oracles.
+func SweepSpan(g *graph.Graph, seed int64, rounds, shards int, trace bool) *SpanResult {
+	return RunSpan(SpanConfig{
+		Graph:  g,
+		Shards: shards,
+		Seed:   seed,
+		Rounds: rounds,
+		Trace:  trace,
+	})
+}
+
+// SweepSpanAdversarial is the adversarial-schedule variant: each shard
+// advances by free source-driven steps, so only safety-class span
+// oracles are meaningful — which they remain, by design.
+func SweepSpanAdversarial(g *graph.Graph, seed int64, rounds, shards int, trace bool) *SpanResult {
+	return RunSpan(SpanConfig{
+		Graph:       g,
+		Shards:      shards,
+		Seed:        seed,
+		Rounds:      rounds,
+		Adversarial: true,
+		Trace:       trace,
+	})
+}
+
+// SweepSpanChurn is the ring-churn variant: churnCount shards leave
+// the ring mid-run and rejoin 10–29 rounds later, with the plan drawn
+// from the schedule source so one seed names the whole execution. The
+// displaced-span oracle watches every multi-key waiter whose
+// prepare-holding shard left.
+func SweepSpanChurn(g *graph.Graph, seed int64, rounds, shards, churnCount int, trace bool) *SpanResult {
+	src := NewRand(seed)
+	var plan []RingChurn
+	for i := 0; i < churnCount; i++ {
+		s := src.Intn(shards)
+		at := src.Intn(rounds / 2)
+		plan = append(plan, RingChurn{Shard: s, Leave: at, Join: at + 10 + src.Intn(20)})
+	}
+	return RunSpan(SpanConfig{
+		Graph:     g,
+		Shards:    shards,
+		Seed:      seed,
+		Rounds:    rounds,
+		RingChurn: plan,
+		Source:    src,
+		Trace:     trace,
+	})
+}
+
+// SweepSpanChaos is the shard-crash variant — the mid-prepare crash
+// campaign: each shard draws kills (some malicious) in the first third
+// of the run and a clean-or-garbage restart 10–29 rounds after each,
+// all from the schedule source. Crashing a prepare-holding home fences
+// the sub-lease (the restart path), which must roll the whole span
+// back; the oracles then require full recovery with a linearizable
+// multi-key history.
+func SweepSpanChaos(g *graph.Graph, seed int64, rounds, shards, kills int, trace bool) *SpanResult {
+	src := NewRand(seed)
+	crashes := make([][]Crash, shards)
+	restarts := make([][]Restart, shards)
+	for s := 0; s < shards; s++ {
+		crashes[s] = RandomCrashes(src, g, kills, rounds/3, 6)
+		for _, c := range crashes[s] {
+			restarts[s] = append(restarts[s], Restart{
+				Node:    c.Node,
+				Round:   c.Round + 10 + src.Intn(20),
+				Garbage: src.Intn(2) == 1,
+			})
+		}
+	}
+	return RunSpan(SpanConfig{
+		Graph:    g,
+		Shards:   shards,
+		Seed:     seed,
+		Rounds:   rounds,
+		Crashes:  crashes,
+		Restarts: restarts,
+		Source:   src,
+		Trace:    trace,
+	})
+}

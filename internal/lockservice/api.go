@@ -196,7 +196,7 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnmappable), errors.Is(err, ErrCrossShard):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, ErrWrongShard):
+	case errors.Is(err, ErrWrongShard), errors.Is(err, ErrSpanAborted):
 		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests

@@ -32,24 +32,44 @@ type RouterConfig struct {
 	// Base.History, when set, taps shard 0 only — the history checker
 	// judges one arbiter at a time.
 	Base Config
+	// PrepareTTL bounds how long a cross-shard span may hold an early
+	// sub-lease before the whole span commits. Every prepare is
+	// refreshed back to this budget after each downstream sub-acquire,
+	// so it only needs to cover ONE shard's wait plus slack — not the
+	// span's total latency. Default: Base.DefaultTimeout + 1s.
+	PrepareTTL time.Duration
 }
 
 // RouterMetrics counts the router's own routing decisions; per-shard
 // service metrics live on each shard's Server.
 type RouterMetrics struct {
-	CrossShardRejections atomic.Int64
 	WrongShardRejections atomic.Int64
+	// SpanAcquires counts acquires whose resource set spanned shards
+	// and entered the prepare/commit protocol; single-shard sets take
+	// the direct fast path and are not counted here.
+	SpanAcquires atomic.Int64
+	// SpanCommits counts spans whose every sub-lease was promoted to
+	// the client's TTL atomically.
+	SpanCommits atomic.Int64
+	// SpanRollbacks counts spans (or span renewals) that released early
+	// sub-leases after a sub-acquire failure, a lost prepare, or a
+	// fenced sub-lease.
+	SpanRollbacks atomic.Int64
 	// ShardRequests counts acquire requests routed to each shard.
 	ShardRequests []atomic.Int64
 }
 
 // Router fronts N independent arbiter shards with a consistent-hash
 // ring: each resource name hashes to one shard, whose diners core
-// arbitrates it with no coordination with the others. All resources in
-// one acquire must land on the same shard (422 otherwise — exactly the
-// contract MapSession already imposes within a shard), and a client
-// that resolved placement under a stale ring generation is bounced
-// with 409 so it re-resolves before retrying.
+// arbitrates it with no coordination with the others. A resource set
+// that lands on one shard acquires directly there; a set that spans
+// shards goes through the span protocol — per-shard sub-sessions
+// acquired in ascending shard order (a deterministic total order, so
+// two spans contending for overlapping shards can never deadlock),
+// early grants held under a TTL-fenced prepare lease, then every
+// sub-lease promoted to the client's TTL at commit or released at
+// rollback. A client that resolved placement under a stale ring
+// generation is bounced with 409 so it re-resolves before retrying.
 //
 // Ring membership changes (RingLeave/RingJoin) redirect new placements
 // only: leases already granted by a departing shard stay valid on that
@@ -221,27 +241,171 @@ func (r *Router) generation() uint64 {
 	return r.ring.Generation()
 }
 
-// Acquire routes the resource set to its shard and acquires there.
-// ringGen, when non-zero, asserts the generation the caller resolved
-// placement under; a mismatch is ErrWrongShard.
+// spanPart is one shard's slice of a (possibly spanning) resource set.
+type spanPart struct {
+	shard int
+	keys  []string
+}
+
+// partsFor decomposes a resource set by ring placement under one ring
+// snapshot, returning parts in ascending shard order (the canonical
+// acquisition order); within a part, keys keep request order.
+func (r *Router) partsFor(resources []string) ([]spanPart, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(resources) == 0 {
+		return nil, fmt.Errorf("%w: empty resource set", ErrUnmappable)
+	}
+	var parts []spanPart
+	for _, res := range resources {
+		s, ok := r.ring.Lookup(res)
+		if !ok {
+			return nil, ErrUnserviceable
+		}
+		i := 0
+		for i < len(parts) && parts[i].shard != s {
+			i++
+		}
+		if i == len(parts) {
+			parts = append(parts, spanPart{shard: s})
+		}
+		parts[i].keys = append(parts[i].keys, res)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].shard < parts[j].shard })
+	return parts, nil
+}
+
+// prepareBudget resolves the span prepare-lease TTL.
+func (r *Router) prepareBudget() time.Duration {
+	if r.cfg.PrepareTTL > 0 {
+		return r.cfg.PrepareTTL
+	}
+	// NewServer defaulted every shard's DefaultTimeout, so this is
+	// always positive: one shard's wait budget plus scheduling slack.
+	return r.shards[0].cfg.DefaultTimeout + time.Second
+}
+
+// Acquire routes the resource set by ring placement. A set owned by
+// one shard acquires directly there (no prepare lease, one round
+// trip); a spanning set runs the span protocol. ringGen, when
+// non-zero, asserts the generation the caller resolved placement
+// under; a mismatch is ErrWrongShard.
 func (r *Router) Acquire(ctx context.Context, resources []string, ttl time.Duration, ringGen uint64) (*Grant, error) {
 	if cur := r.generation(); ringGen != 0 && ringGen != cur {
 		r.metrics.WrongShardRejections.Add(1)
 		return nil, fmt.Errorf("%w: client generation %d, ring generation %d", ErrWrongShard, ringGen, cur)
 	}
-	home, err := r.shardFor(resources)
+	parts, err := r.partsFor(resources)
 	if err != nil {
-		if errors.Is(err, ErrCrossShard) {
-			r.metrics.CrossShardRejections.Add(1)
-		}
 		return nil, err
 	}
-	r.metrics.ShardRequests[home].Add(1)
-	return r.shards[home].Acquire(ctx, resources, ttl)
+	if len(parts) == 1 {
+		home := parts[0].shard
+		r.metrics.ShardRequests[home].Add(1)
+		return r.shards[home].Acquire(ctx, resources, ttl)
+	}
+	return r.acquireSpan(ctx, resources, parts, ttl)
 }
 
-// Release routes a release by the session ID's shard prefix.
+// acquireSpan acquires a shard-spanning resource set all-or-nothing:
+// sub-sessions in ascending shard order under prepare leases, then a
+// commit pass promoting every prepare to the client's TTL. Any
+// sub-acquire failure or lost prepare rolls every early grant back, so
+// no client ever observes a partially committed set. After each
+// sub-acquire, every earlier prepare is refreshed back to the full
+// prepare budget — a prepare therefore only has to survive ONE shard's
+// wait between refreshes, regardless of how many shards the span
+// touches. A prepare the janitor or a node fence revoked mid-protocol
+// surfaces as ErrSpanAborted (409, retryable: rollback left no
+// residue).
+func (r *Router) acquireSpan(ctx context.Context, resources []string, parts []spanPart, ttl time.Duration) (*Grant, error) {
+	r.metrics.SpanAcquires.Add(1)
+	start := time.Now()
+	prep := r.prepareBudget()
+	subs := make([]*Grant, 0, len(parts))
+	rollback := func() {
+		if len(subs) == 0 {
+			return
+		}
+		for i := len(subs) - 1; i >= 0; i-- {
+			_ = r.shards[parts[i].shard].Release(subs[i].SessionID)
+		}
+		r.metrics.SpanRollbacks.Add(1)
+	}
+	for _, pt := range parts {
+		r.metrics.ShardRequests[pt.shard].Add(1)
+		g, err := r.shards[pt.shard].Acquire(ctx, pt.keys, prep)
+		if err != nil {
+			rollback()
+			return nil, err
+		}
+		subs = append(subs, g)
+		for i := 0; i < len(subs)-1; i++ {
+			if _, err := r.shards[parts[i].shard].Renew(subs[i].SessionID, prep); err != nil {
+				rollback()
+				return nil, fmt.Errorf("%w: shard %d prepare lost mid-span: %v", ErrSpanAborted, parts[i].shard, err)
+			}
+		}
+	}
+	for i := range subs {
+		if _, err := r.shards[parts[i].shard].Renew(subs[i].SessionID, ttl); err != nil {
+			rollback()
+			return nil, fmt.Errorf("%w: shard %d prepare lost at commit: %v", ErrSpanAborted, parts[i].shard, err)
+		}
+	}
+	r.metrics.SpanCommits.Add(1)
+	ids := make([]string, len(subs))
+	for i, g := range subs {
+		ids[i] = g.SessionID
+	}
+	return &Grant{
+		SessionID: spanPrefix + strings.Join(ids, spanSep),
+		Node:      subs[0].Node,
+		Resources: append([]string(nil), resources...),
+		Wait:      time.Since(start),
+	}, nil
+}
+
+// Span session IDs concatenate the per-shard sub-lease IDs:
+// "span:k0:s00000001-2+k3:s00000004-1". Sub IDs contain ':' but never
+// '+', so the separator is unambiguous; with the codec's 64-resource
+// bound the result stays far under the wire's 4096-byte session limit.
+const (
+	spanPrefix = "span:"
+	spanSep    = "+"
+)
+
+// spanSubIDs splits a span session ID into its sub-lease IDs.
+func spanSubIDs(sessionID string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(sessionID, spanPrefix)
+	if !ok || rest == "" {
+		return nil, false
+	}
+	return strings.Split(rest, spanSep), true
+}
+
+// Release routes a release by the session ID's shard prefix. A span
+// session releases every sub-lease; it succeeds if any sub-lease was
+// still live (sub-leases already expired or fenced are at-most-once
+// no-ops, matching the single-session release contract) and reports
+// ErrNotFound only when the whole span was already gone.
 func (r *Router) Release(sessionID string) error {
+	if ids, ok := spanSubIDs(sessionID); ok {
+		released := false
+		for _, id := range ids {
+			if r.releaseSub(id) == nil {
+				released = true
+			}
+		}
+		if !released {
+			return ErrNotFound
+		}
+		return nil
+	}
+	return r.releaseSub(sessionID)
+}
+
+func (r *Router) releaseSub(sessionID string) error {
 	s, ok := sessionShard(sessionID)
 	if !ok || s >= len(r.shards) {
 		return ErrNotFound
@@ -249,8 +413,35 @@ func (r *Router) Release(sessionID string) error {
 	return r.shards[s].Release(sessionID)
 }
 
-// Renew routes a lease renewal by the session ID's shard prefix.
+// Renew routes a lease renewal by the session ID's shard prefix. A
+// span session renews every sub-lease and reports the smallest granted
+// lifetime; if any sub-lease is gone (expired or fenced), the span's
+// atomicity is already broken, so the survivors are released and the
+// renewal fails — the client holds all of its keys or none.
 func (r *Router) Renew(sessionID string, ttl time.Duration) (time.Duration, error) {
+	if ids, ok := spanSubIDs(sessionID); ok {
+		granted := time.Duration(0)
+		for i, id := range ids {
+			g, err := r.renewSub(id, ttl)
+			if err != nil {
+				for _, other := range ids {
+					if other != id {
+						_ = r.releaseSub(other)
+					}
+				}
+				r.metrics.SpanRollbacks.Add(1)
+				return 0, fmt.Errorf("%w: span sub-lease %s lost: %v", ErrNotFound, id, err)
+			}
+			if i == 0 || g < granted {
+				granted = g
+			}
+		}
+		return granted, nil
+	}
+	return r.renewSub(sessionID, ttl)
+}
+
+func (r *Router) renewSub(sessionID string, ttl time.Duration) (time.Duration, error) {
 	s, ok := sessionShard(sessionID)
 	if !ok || s >= len(r.shards) {
 		return 0, ErrNotFound
@@ -458,8 +649,10 @@ func (r *Router) handleAdmin(w http.ResponseWriter, req *http.Request) {
 // shards stay distinct. Router-level routing series are prepended.
 func (r *Router) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP dinerd_router_ring_generation Consistent-hash ring generation.\n# TYPE dinerd_router_ring_generation gauge\ndinerd_router_ring_generation %d\n", r.generation())
-	fmt.Fprintf(w, "# HELP dinerd_router_cross_shard_rejections_total Acquires naming resources on multiple shards (422).\n# TYPE dinerd_router_cross_shard_rejections_total counter\ndinerd_router_cross_shard_rejections_total %d\n", r.metrics.CrossShardRejections.Load())
 	fmt.Fprintf(w, "# HELP dinerd_router_wrong_shard_rejections_total Acquires routed under a stale ring generation (409).\n# TYPE dinerd_router_wrong_shard_rejections_total counter\ndinerd_router_wrong_shard_rejections_total %d\n", r.metrics.WrongShardRejections.Load())
+	fmt.Fprintf(w, "# HELP dinerd_span_acquires_total Cross-shard span acquires attempted.\n# TYPE dinerd_span_acquires_total counter\ndinerd_span_acquires_total %d\n", r.metrics.SpanAcquires.Load())
+	fmt.Fprintf(w, "# HELP dinerd_span_commits_total Cross-shard spans committed atomically.\n# TYPE dinerd_span_commits_total counter\ndinerd_span_commits_total %d\n", r.metrics.SpanCommits.Load())
+	fmt.Fprintf(w, "# HELP dinerd_span_rollback_total Cross-shard spans rolled back (sub-acquire failure, lost prepare, or fenced sub-lease).\n# TYPE dinerd_span_rollback_total counter\ndinerd_span_rollback_total %d\n", r.metrics.SpanRollbacks.Load())
 	fmt.Fprintf(w, "# HELP dinerd_router_shard_requests_total Acquire requests routed per shard.\n# TYPE dinerd_router_shard_requests_total counter\n")
 	for i := range r.metrics.ShardRequests {
 		fmt.Fprintf(w, "dinerd_router_shard_requests_total{shard=%q} %d\n", strconv.Itoa(i), r.metrics.ShardRequests[i].Load())

@@ -299,6 +299,53 @@ func TestWireFacadeParity(t *testing.T) {
 		t.Fatalf("wire release of HTTP-granted session: %v", err)
 	}
 
+	// A shard-spanning span session is transport-agnostic too: acquired
+	// over wire, its two sub-leases are visible to the HTTP facade,
+	// renewable and releasable through it as one unit.
+	spanSet := []string{keys[0][0], keys[1][0]}
+	gs, err := wc.Acquire(ctx, spanSet, 2*time.Second, 0)
+	if err != nil {
+		t.Fatalf("wire span acquire: %v", err)
+	}
+	if !strings.HasPrefix(gs.SessionID, "span:") {
+		t.Fatalf("wire span session %q lacks span: prefix", gs.SessionID)
+	}
+	rep, err = hc.Status(ctx)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if rep.ActiveLeases != 2 {
+		t.Fatalf("HTTP facade reports %d active leases for a wire span (one sub-lease per shard expected)", rep.ActiveLeases)
+	}
+	if ttl, err := hc.Renew(ctx, gs.SessionID, 10*time.Second); err != nil || ttl <= 0 {
+		t.Fatalf("HTTP renew of wire-granted span: %v (ttl %v)", err, ttl)
+	}
+	if err := hc.Release(ctx, gs.SessionID); err != nil {
+		t.Fatalf("HTTP release of wire-granted span: %v", err)
+	}
+
+	// And the reverse direction: HTTP span acquire, wire renew/release.
+	gh, err := hc.Acquire(ctx, spanSet, 2*time.Second, 0)
+	if err != nil {
+		t.Fatalf("HTTP span acquire: %v", err)
+	}
+	if !strings.HasPrefix(gh.SessionID, "span:") {
+		t.Fatalf("HTTP span session %q lacks span: prefix", gh.SessionID)
+	}
+	if ttl, err := wc.Renew(ctx, gh.SessionID, 10*time.Second); err != nil || ttl <= 0 {
+		t.Fatalf("wire renew of HTTP-granted span: %v (ttl %v)", err, ttl)
+	}
+	if err := wc.Release(ctx, gh.SessionID); err != nil {
+		t.Fatalf("wire release of HTTP-granted span: %v", err)
+	}
+	waitFor(t, ctx, 5*time.Second, "span quiescence", func() (bool, string) {
+		rep, err := hc.Status(ctx)
+		if err != nil {
+			return false, err.Error()
+		}
+		return rep.ActiveLeases == 0, fmt.Sprintf("leases=%d", rep.ActiveLeases)
+	})
+
 	// Same key, same placement on both transports: the wire hello's
 	// generation matches the ring endpoint's.
 	info, err := hc.Ring(ctx)
