@@ -16,6 +16,7 @@ vet:
 # Repo-specific static analysis: determinism, edge-ownership, and lock
 # discipline (see docs/LINT.md). Fails on any finding or unformatted file.
 lint:
+	$(GO) vet ./...
 	$(GO) build -o bin/dinerlint ./cmd/dinerlint
 	./bin/dinerlint ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \

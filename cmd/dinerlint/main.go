@@ -1,12 +1,14 @@
 // Command dinerlint runs the repo's static-analysis suite: the
-// determinism, edgeownership, and lockdiscipline analyzers from
-// internal/lint. It prints go-vet-style file:line:col diagnostics (or a
-// JSON array with -json) and exits 1 if there are findings, 2 on load
-// errors.
+// determinism, edgeownership, lockdiscipline, lockorder, and leaselife
+// analyzers from internal/lint. All five share one `go list -export`
+// load; the interprocedural pair (lockorder, leaselife) additionally
+// share one whole-program pass. It prints go-vet-style file:line:col
+// diagnostics (or a JSON array with -json) and exits 1 if there are
+// findings, 2 on load errors.
 //
 // Usage:
 //
-//	dinerlint [-json] [packages]
+//	dinerlint [-json] [-time] [packages]
 //
 // Packages default to ./... relative to the current directory.
 package main
@@ -15,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mcdp/internal/lint"
 )
@@ -22,6 +25,7 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	dir := flag.String("C", ".", "change to `dir` before loading packages")
+	timing := flag.Bool("time", false, "report load and analysis wall time on stderr")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -29,12 +33,23 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	pkgs, err := lint.Load(*dir, patterns...)
+	loadStart := time.Now()
+	prog, err := lint.Load(*dir, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dinerlint:", err)
 		os.Exit(2)
 	}
-	diags := lint.RunAll(pkgs, lint.Analyzers())
+	loadDur := time.Since(loadStart)
+
+	runStart := time.Now()
+	diags := lint.RunAll(prog, lint.Analyzers())
+	runDur := time.Since(runStart)
+
+	if *timing {
+		fmt.Fprintf(os.Stderr, "dinerlint: load %v, analysis %v (%d packages, %d analyzers)\n",
+			loadDur.Round(time.Millisecond), runDur.Round(time.Millisecond),
+			len(prog.Pkgs), len(lint.Analyzers()))
+	}
 
 	if *jsonOut {
 		if err := lint.WriteJSON(os.Stdout, diags); err != nil {

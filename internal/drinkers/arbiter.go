@@ -107,6 +107,8 @@ func NewArbiter(g *graph.Graph, queueLimit int) *Arbiter {
 // bottle edges (indices into Graph.Edges()). Every bottle must be
 // incident to home. It returns ErrQueueFull when the home queue is at
 // capacity.
+//
+//lint:lease acquire
 func (a *Arbiter) Submit(home graph.ProcID, bottles []int) (*Session, error) {
 	if home < 0 || int(home) >= a.g.N() {
 		return nil, fmt.Errorf("drinkers: home node %d out of range", home)
@@ -168,6 +170,8 @@ func (a *Arbiter) Cancel(s *Session) bool {
 // Release ends a Drinking session, detaching it from its bottles (the
 // bottles stay at the home node until a collector takes them). It
 // reports whether the session was actually drinking.
+//
+//lint:lease release
 func (a *Arbiter) Release(s *Session) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()

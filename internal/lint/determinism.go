@@ -56,7 +56,7 @@ var bannedRandFuncs = map[string]bool{
 }
 
 // Run implements Analyzer.
-func (a *Determinism) Run(p *Package) []Diagnostic {
+func (a *Determinism) Run(_ *Program, p *Package) []Diagnostic {
 	var ds []Diagnostic
 	for _, f := range p.Files {
 		inScope := deterministicPkgs[p.Path] || fileOptsIn(f, "//lint:deterministic")

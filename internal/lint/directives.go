@@ -1,7 +1,11 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
 	"strings"
 )
 
@@ -15,6 +19,15 @@ import (
 //	                           (enforced by the edgeownership rule)
 //	// guarded by <mu>         a field only accessed holding <mu>
 //	// requires <mu>           a function whose callers hold <mu>
+//
+//	//lint:order rank <class> <level>    static lock rank (lockorder)
+//	//lint:order acquire <class> <expr>  ranked domain acquisition
+//	//lint:order sorted <class> <field>  producer returns slice sorted
+//	                                     ascending by <field>
+//	//lint:lease acquire|release|renew [why]  lease lifecycle role
+//	                                          of a function (leaselife)
+//	//lint:leaselife goroutines          opt a file into the goroutine
+//	                                     join-ability check
 //
 // A suppression comment covers findings on its own line, or — when it
 // stands alone on a line — findings on the following line; an
@@ -114,6 +127,123 @@ func parseSuppression(text string) (rule string, ok bool) {
 		return fields[1], true
 	}
 	return "", false
+}
+
+// orderDirective is one parsed //lint:order directive.
+type orderDirective struct {
+	kind  string // "rank", "acquire", or "sorted"
+	class string
+	level int    // rank form
+	expr  string // acquire form: raw rank expression text
+	field string // sorted form: dotted field path ("." = the element)
+	pos   token.Pos
+
+	rankExpr ast.Expr // acquire form: the parsed rank expression
+
+	// claimed and used track which statement an acquire directive
+	// annotates (the first statement on a covered line).
+	claimed bool
+	used    map[token.Pos]bool
+}
+
+// parseOrderDirective parses one //lint:order directive. It returns
+// (nil, nil) for comments that are not order directives at all, and a
+// descriptive error for malformed ones — malformation is a diagnostic,
+// not a silent no-op, because a typo here silently weakens the proof.
+func parseOrderDirective(text string) (*orderDirective, error) {
+	body, found := strings.CutPrefix(text, "//lint:order")
+	if !found {
+		return nil, nil
+	}
+	if body != "" && body[0] != ' ' && body[0] != '\t' {
+		return nil, nil // e.g. //lint:orderly — not ours
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("//lint:order: missing form (want rank, acquire, or sorted)")
+	}
+	d := &orderDirective{kind: fields[0], used: make(map[token.Pos]bool)}
+	switch d.kind {
+	case "rank":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("//lint:order rank: want `rank <class> <level>`, got %q", body)
+		}
+		d.class = fields[1]
+		lv, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("//lint:order rank %s: level %q is not an integer", d.class, fields[2])
+		}
+		d.level = lv
+	case "acquire":
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("//lint:order acquire: want `acquire <class> <rank-expr>`, got %q", body)
+		}
+		d.class = fields[1]
+		d.expr = strings.Join(fields[2:], " ")
+		e, err := parser.ParseExpr(d.expr)
+		if err != nil {
+			return nil, fmt.Errorf("//lint:order acquire %s: rank expression %q does not parse: %v", d.class, d.expr, err)
+		}
+		d.rankExpr = e
+	case "sorted":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("//lint:order sorted: want `sorted <class> <field>`, got %q", body)
+		}
+		d.class = fields[1]
+		d.field = fields[2]
+		if d.field == "." {
+			d.field = "" // sorted by the element itself
+		}
+		for _, part := range strings.Split(d.field, ".") {
+			if d.field != "" && !validIdent(part) {
+				return nil, fmt.Errorf("//lint:order sorted %s: %q is not a field path", d.class, fields[2])
+			}
+		}
+	default:
+		return nil, fmt.Errorf("//lint:order: unknown form %q (want rank, acquire, or sorted)", d.kind)
+	}
+	return d, nil
+}
+
+// parseLeaseDirective parses one //lint:lease directive, returning the
+// lifecycle role it assigns. Like order directives, malformed lease
+// directives are errors, not no-ops.
+func parseLeaseDirective(text string) (role string, err error) {
+	body, found := strings.CutPrefix(text, "//lint:lease")
+	if !found {
+		return "", nil
+	}
+	if body != "" && body[0] != ' ' && body[0] != '\t' {
+		return "", nil // //lint:leaselife etc.
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("//lint:lease: missing role (want acquire, release, or renew)")
+	}
+	switch fields[0] {
+	case "acquire", "release", "renew":
+		return fields[0], nil
+	}
+	return "", fmt.Errorf("//lint:lease: unknown role %q (want acquire, release, or renew)", fields[0])
+}
+
+// validIdent reports whether s is a plausible Go identifier.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z':
+		case '0' <= r && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // fileOptsIn reports whether file f carries the //lint:deterministic

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOrderDirective(t *testing.T) {
+	cases := []struct {
+		text    string
+		kind    string // "" = not a directive (nil, nil)
+		wantErr string // "" = no error
+	}{
+		{"//lint:order rank wireclient 10", "rank", ""},
+		{"//lint:order rank wireclient -5", "rank", ""},
+		{"//lint:order acquire span pt.shard", "acquire", ""},
+		{"//lint:order acquire seq 3", "acquire", ""},
+		{"//lint:order sorted span shard", "sorted", ""},
+		{"//lint:order sorted span .", "sorted", ""},
+		{"//lint:order sorted span a.b", "sorted", ""},
+
+		{"//lint:order", "", "missing form"},
+		{"//lint:order rank", "", "want `rank <class> <level>`"},
+		{"//lint:order rank demo", "", "want `rank <class> <level>`"},
+		{"//lint:order rank demo ten", "", "not an integer"},
+		{"//lint:order rank demo 1 extra", "", "want `rank <class> <level>`"},
+		{"//lint:order acquire span", "", "want `acquire <class> <rank-expr>`"},
+		{"//lint:order acquire span ][", "", "does not parse"},
+		{"//lint:order sorted span", "", "want `sorted <class> <field>`"},
+		{"//lint:order sorted span 9bad", "", "not a field path"},
+		{"//lint:order frobnicate x", "", "unknown form"},
+
+		{"//lint:orderly nothing", "", ""}, // not ours
+		{"//lint:allow lockorder why", "", ""},
+		{"// plain comment", "", ""},
+	}
+	for _, c := range cases {
+		d, err := parseOrderDirective(c.text)
+		switch {
+		case c.wantErr != "":
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("parseOrderDirective(%q) err = %v, want containing %q", c.text, err, c.wantErr)
+			}
+		case c.kind == "":
+			if d != nil || err != nil {
+				t.Errorf("parseOrderDirective(%q) = %+v, %v; want nil, nil", c.text, d, err)
+			}
+		default:
+			if err != nil || d == nil || d.kind != c.kind {
+				t.Errorf("parseOrderDirective(%q) = %+v, %v; want kind %q", c.text, d, err, c.kind)
+			}
+		}
+	}
+}
+
+func TestParseOrderDirectiveFields(t *testing.T) {
+	d, err := parseOrderDirective("//lint:order rank wireclient 30")
+	if err != nil || d.class != "wireclient" || d.level != 30 {
+		t.Errorf("rank fields: %+v, %v", d, err)
+	}
+	d, err = parseOrderDirective("//lint:order acquire span pt.shard")
+	if err != nil || d.class != "span" || d.expr != "pt.shard" || d.rankExpr == nil {
+		t.Errorf("acquire fields: %+v, %v", d, err)
+	}
+	root, path := exprRootAndPath(d.rankExpr)
+	if root != "pt" || path != "shard" {
+		t.Errorf("rank expr split = %q, %q; want pt, shard", root, path)
+	}
+	d, err = parseOrderDirective("//lint:order sorted span .")
+	if err != nil || d.field != "" {
+		t.Errorf("sorted '.' should mean the element itself: %+v, %v", d, err)
+	}
+}
+
+func TestParseLeaseDirective(t *testing.T) {
+	cases := []struct {
+		text    string
+		role    string
+		wantErr string
+	}{
+		{"//lint:lease acquire", "acquire", ""},
+		{"//lint:lease release", "release", ""},
+		{"//lint:lease renew justification text", "renew", ""},
+		{"//lint:lease", "", "missing role"},
+		{"//lint:lease refresh", "", "unknown role"},
+		{"//lint:leaselife goroutines", "", ""}, // the pragma, not a role
+		{"// plain comment", "", ""},
+	}
+	for _, c := range cases {
+		role, err := parseLeaseDirective(c.text)
+		switch {
+		case c.wantErr != "":
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("parseLeaseDirective(%q) err = %v, want containing %q", c.text, err, c.wantErr)
+			}
+		default:
+			if err != nil || role != c.role {
+				t.Errorf("parseLeaseDirective(%q) = %q, %v; want %q, nil", c.text, role, err, c.role)
+			}
+		}
+	}
+}
+
+// TestDirectiveDiagnostics pins the malformed/misplaced/duplicate
+// directive findings seeded in testdata/src/dirbad. These anchor at the
+// directive comments themselves, so they are matched by message rather
+// than by // want markers.
+func TestDirectiveDiagnostics(t *testing.T) {
+	_, diags := goldenPkg(t, "dirbad")
+	want := []struct{ rule, frag string }{
+		{"lockorder", `level "notanint" is not an integer`},
+		{"lockorder", "must annotate a sync.Mutex"},
+		{"lockorder", "duplicate //lint:order rank"},
+		{"lockorder", "want `sorted <class> <field>`"},
+		{"lockorder", `unknown form "frobnicate"`},
+		{"lockorder", "duplicate //lint:order acquire"},
+		{"lockorder", "does not parse"},
+		{"leaselife", "must be in a function's doc comment"},
+		{"leaselife", `unknown role "refresh"`},
+		{"leaselife", "duplicate //lint:lease directive"},
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range diags {
+			if d.Rule == w.rule && strings.Contains(d.Message, w.frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			var got []string
+			for _, d := range diags {
+				got = append(got, d.String())
+			}
+			t.Errorf("missing %s diagnostic containing %q; got:\n%s",
+				w.rule, w.frag, strings.Join(got, "\n"))
+		}
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Errorf("dirbad produced %d diagnostics, want %d", len(diags), len(want))
+	}
+}

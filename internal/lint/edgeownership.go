@@ -33,7 +33,7 @@ type edgeModel struct {
 }
 
 // Run implements Analyzer.
-func (a *EdgeOwnership) Run(p *Package) []Diagnostic {
+func (a *EdgeOwnership) Run(_ *Program, p *Package) []Diagnostic {
 	m := buildEdgeModel(p)
 	if len(m.edges) == 0 {
 		return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -36,26 +37,59 @@ func collectWants(p *Package) []expectation {
 	return wants
 }
 
-// loadTestPkg loads one package under testdata/src.
-func loadTestPkg(t *testing.T, name string) *Package {
+// The golden corpus loads once per test binary: one `go list` pass, one
+// type-check, one analysis run shared by every golden test — the same
+// sharing Load gives dinerlint itself.
+var (
+	goldenOnce  sync.Once
+	goldenProg  *Program
+	goldenDiags []Diagnostic
+	goldenErr   error
+)
+
+func golden(t *testing.T) (*Program, []Diagnostic) {
 	t.Helper()
-	pkgs, err := Load("testdata/src", "./"+name)
-	if err != nil {
-		t.Fatalf("Load(%s): %v", name, err)
+	goldenOnce.Do(func() {
+		goldenProg, goldenErr = Load("testdata/src", "./...")
+		if goldenErr == nil {
+			goldenDiags = RunAll(goldenProg, Analyzers())
+		}
+	})
+	if goldenErr != nil {
+		t.Fatalf("Load testdata: %v", goldenErr)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("Load(%s): got %d packages, want 1", name, len(pkgs))
+	return goldenProg, goldenDiags
+}
+
+// goldenPkg finds one testdata package by directory name and returns it
+// with the diagnostics reported against its files.
+func goldenPkg(t *testing.T, name string) (*Package, []Diagnostic) {
+	t.Helper()
+	prog, diags := golden(t)
+	for _, p := range prog.Pkgs {
+		if strings.HasSuffix(p.Path, "/"+name) || p.Path == name {
+			var mine []Diagnostic
+			for _, d := range diags {
+				if prog.OwnerOf(d.File) == p.Path {
+					mine = append(mine, d)
+				}
+			}
+			return p, mine
+		}
 	}
-	return pkgs[0]
+	t.Fatalf("testdata package %q not loaded", name)
+	return nil, nil
 }
 
 // TestGoldenViolations checks that every seeded violation is reported at
 // exactly its marker line, and nothing else is.
 func TestGoldenViolations(t *testing.T) {
-	for _, name := range []string{"determbad", "edgebad", "lockbad"} {
+	for _, name := range []string{
+		"determbad", "edgebad", "lockbad",
+		"lockorderbad", "spanorderbad", "leasebad",
+	} {
 		t.Run(name, func(t *testing.T) {
-			p := loadTestPkg(t, name)
-			diags := RunAll([]*Package{p}, Analyzers())
+			p, diags := goldenPkg(t, name)
 
 			got := make(map[string]int)
 			for _, d := range diags {
@@ -87,10 +121,12 @@ func TestGoldenViolations(t *testing.T) {
 
 // TestGoldenClean checks the clean counterparts produce no findings.
 func TestGoldenClean(t *testing.T) {
-	for _, name := range []string{"determclean", "edgeclean", "lockclean"} {
+	for _, name := range []string{
+		"determclean", "edgeclean", "lockclean",
+		"lockorderclean", "leaseclean",
+	} {
 		t.Run(name, func(t *testing.T) {
-			p := loadTestPkg(t, name)
-			diags := RunAll([]*Package{p}, Analyzers())
+			_, diags := goldenPkg(t, name)
 			for _, d := range diags {
 				t.Errorf("unexpected diagnostic: %s", d)
 			}
@@ -101,8 +137,7 @@ func TestGoldenClean(t *testing.T) {
 // TestGoldenExactPositions pins a few full positions (file:line:col) so
 // column drift is caught too.
 func TestGoldenExactPositions(t *testing.T) {
-	p := loadTestPkg(t, "lockbad")
-	diags := RunAll([]*Package{p}, Analyzers())
+	_, diags := goldenPkg(t, "lockbad")
 	var got []string
 	for _, d := range diags {
 		got = append(got, fmt.Sprintf("%d:%d", d.Line, d.Col))
@@ -114,17 +149,43 @@ func TestGoldenExactPositions(t *testing.T) {
 	}
 }
 
+// TestGoldenCycleWitness pins the lockorder cycle diagnostic's witness
+// path: the message must name every edge of the seeded cycle with its
+// acquisition site.
+func TestGoldenCycleWitness(t *testing.T) {
+	_, diags := goldenPkg(t, "lockorderbad")
+	var cycle *Diagnostic
+	for i, d := range diags {
+		if d.Rule == "lockorder" && strings.Contains(d.Message, "lock-order cycle") {
+			cycle = &diags[i]
+			break
+		}
+	}
+	if cycle == nil {
+		t.Fatal("no lock-order cycle diagnostic reported for lockorderbad")
+	}
+	for _, frag := range []string{"A.mu", "B.mu", "C.mu", "cycle.go:", "→"} {
+		if !strings.Contains(cycle.Message, frag) {
+			t.Errorf("cycle witness missing %q:\n%s", frag, cycle.Message)
+		}
+	}
+	// Every edge of the witness carries a site: arrows and sites pair up.
+	if arrows, sites := strings.Count(cycle.Message, "→"), strings.Count(cycle.Message, "cycle.go:"); sites < arrows {
+		t.Errorf("cycle witness has %d edges but only %d sites:\n%s", arrows, sites, cycle.Message)
+	}
+}
+
 // TestRepoClean is the meta-test: the suite must report zero findings on
 // the repository itself.
 func TestRepoClean(t *testing.T) {
-	pkgs, err := Load("../..", "./...")
+	prog, err := Load("../..", "./...")
 	if err != nil {
 		t.Fatalf("Load repo: %v", err)
 	}
-	if len(pkgs) < 10 {
-		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	if len(prog.Pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(prog.Pkgs))
 	}
-	diags := RunAll(pkgs, Analyzers())
+	diags := RunAll(prog, Analyzers())
 	for _, d := range diags {
 		t.Errorf("repo not lint-clean: %s", d)
 	}

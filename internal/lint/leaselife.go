@@ -1,0 +1,590 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LeaseLife checks two liveness-adjacent lifecycles the type system
+// cannot express:
+//
+//  1. Must-release of prepare leases. Functions carrying a `//lint:lease
+//     acquire` doc directive mint a lease handle; every call site must
+//     resolve the handle on every exit path — by a release/renew call,
+//     by returning it (obligation transfer to the caller), or by any
+//     escape the analyzer can see (stored, sent, captured, passed on).
+//     The remaining class — a handle that is simply never touched again
+//     before an early `return` — is exactly the leak the span rollback
+//     paths must avoid, and is reported at the acquire site naming the
+//     first leaking exit. The `g, err :=` idiom is understood: the
+//     branch taken when err is non-nil (or the handle is nil) voids the
+//     obligation.
+//
+//  2. Goroutine join-ability. Every `go` statement in the lease-bearing
+//     packages (import paths containing internal/lockservice or
+//     internal/wire, or any file carrying the `//lint:leaselife
+//     goroutines` pragma) must spawn a body with visible join or cancel
+//     plumbing: a WaitGroup.Done, a channel operation, or a select —
+//     searched in the spawned body and two levels of static callees.
+//     A goroutine with none of these outlives Stop() silently.
+//
+// Both halves are computed once per Program and sliced per package.
+type LeaseLife struct{}
+
+// Name implements Analyzer.
+func (*LeaseLife) Name() string { return "leaselife" }
+
+// Run implements Analyzer.
+func (a *LeaseLife) Run(prog *Program, p *Package) []Diagnostic {
+	all := prog.Cached("leaselife", func() any {
+		return runLeaseLife(prog)
+	}).([]Diagnostic)
+	var out []Diagnostic
+	for _, d := range all {
+		if prog.OwnerOf(d.File) == p.Path {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// leaseGoroutinePragma opts a file into the goroutine join-ability
+// check regardless of its package path.
+const leaseGoroutinePragma = "//lint:leaselife goroutines"
+
+// leaseAnalysis is the whole-program leaselife state.
+type leaseAnalysis struct {
+	prog *Program
+	// roles is keyed by types.Func.FullName (pointer identity does not
+	// survive the source-check/export-data split).
+	roles map[string]string // acquire | release | renew
+	diags []Diagnostic
+}
+
+func runLeaseLife(prog *Program) []Diagnostic {
+	a := &leaseAnalysis{prog: prog, roles: make(map[string]string)}
+	a.collectRoles()
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			goScope := leaseGoScope(p, f)
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				s := &leaseScan{a: a, p: p}
+				end := s.stmts(fn.Body.List, make(obSet))
+				if !listTerminates(fn.Body.List) {
+					s.reportLive(end, fn.Body.Rbrace)
+				}
+				if goScope {
+					a.checkGoroutines(p, fn)
+				}
+			}
+		}
+	}
+	return a.diags
+}
+
+// collectRoles parses every //lint:lease directive: roles attach to
+// function doc comments; anything malformed, duplicated, or floating
+// free of a declaration is a finding.
+func (a *leaseAnalysis) collectRoles() {
+	consumed := make(map[token.Pos]bool)
+	for _, p := range a.prog.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil {
+					continue
+				}
+				for _, c := range fn.Doc.List {
+					role, err := parseLeaseDirective(c.Text)
+					if err != nil {
+						consumed[c.Pos()] = true
+						a.diags = append(a.diags, diagnoseAt(p, "leaselife", c.Pos(), "%v", err))
+						continue
+					}
+					if role == "" {
+						continue
+					}
+					consumed[c.Pos()] = true
+					obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					if prev, dup := a.roles[obj.FullName()]; dup {
+						a.diags = append(a.diags, diagnoseAt(p, "leaselife", c.Pos(),
+							"duplicate //lint:lease directive on %s (already %q)", fn.Name.Name, prev))
+						continue
+					}
+					a.roles[obj.FullName()] = role
+				}
+			}
+		}
+	}
+	// Lease directives not consumed above annotate nothing.
+	for _, p := range a.prog.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if consumed[c.Pos()] {
+						continue
+					}
+					role, err := parseLeaseDirective(c.Text)
+					if err != nil {
+						a.diags = append(a.diags, diagnoseAt(p, "leaselife", c.Pos(), "%v", err))
+					} else if role != "" {
+						a.diags = append(a.diags, diagnoseAt(p, "leaselife", c.Pos(),
+							"//lint:lease %s must be in a function's doc comment", role))
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---- must-release scan ----
+
+// obligation is one live lease handle minted at an acquire site.
+type obligation struct {
+	h        types.Object // the handle variable
+	e        types.Object // the paired error variable (nil if none)
+	pos      token.Pos    // acquire site
+	reported bool
+}
+
+// obSet is the set of live (unresolved) obligations on the current path.
+type obSet map[*obligation]bool
+
+func (s obSet) clone() obSet {
+	c := make(obSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func union(a, b obSet) obSet {
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// leaseScan walks one function tracking lease obligations.
+type leaseScan struct {
+	a *leaseAnalysis
+	p *Package
+}
+
+func (s *leaseScan) stmts(list []ast.Stmt, live obSet) obSet {
+	for _, st := range list {
+		live = s.stmt(st, live)
+	}
+	return live
+}
+
+func (s *leaseScan) stmt(st ast.Stmt, live obSet) obSet {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		s.uses(st, live)
+		s.acquires(st.Lhs, st.Rhs, st.Pos(), live)
+	case *ast.DeclStmt:
+		s.uses(st, live)
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					s.acquires(lhs, vs.Values, st.Pos(), live)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if fn := staticCallee(s.p, call); fn != nil && s.a.roles[fn.FullName()] == "acquire" {
+				s.a.diags = append(s.a.diags, diagnoseAt(s.p, "leaselife", st.Pos(),
+					"result of lease-acquiring %s discarded: the lease can never be released", fn.Name()))
+			}
+		}
+		s.uses(st, live)
+	case *ast.ReturnStmt:
+		s.uses(st, live)
+		s.reportLive(live, st.Pos())
+		return make(obSet)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			live = s.stmt(st.Init, live)
+		}
+		thenLive, elseLive := s.splitNilCheck(st.Cond, live)
+		thenOut := s.stmts(st.Body.List, thenLive)
+		elseOut := elseLive
+		if st.Else != nil {
+			elseOut = s.stmt(st.Else, elseLive)
+		}
+		switch {
+		case terminates(st.Body) && st.Else != nil && terminatesStmt(st.Else):
+			return make(obSet)
+		case terminates(st.Body):
+			return elseOut
+		case st.Else != nil && terminatesStmt(st.Else):
+			return thenOut
+		default:
+			return union(thenOut, elseOut)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			live = s.stmt(st.Init, live)
+		}
+		if st.Cond != nil {
+			s.usesExpr(st.Cond, live)
+		}
+		bodyOut := s.stmts(st.Body.List, live.clone())
+		if st.Post != nil {
+			bodyOut = s.stmt(st.Post, bodyOut)
+		}
+		return union(live, bodyOut)
+	case *ast.RangeStmt:
+		s.usesExpr(st.X, live)
+		return union(live, s.stmts(st.Body.List, live.clone()))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return s.clauses(st, live)
+	case *ast.BlockStmt:
+		return s.stmts(st.List, live)
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, live)
+	default:
+		// Defers, sends, go statements, incdec: any textual use of a
+		// handle resolves it (defer g.Release covers every later exit;
+		// sends/captures are escapes).
+		s.uses(st, live)
+	}
+	return live
+}
+
+// clauses handles switch/type-switch/select bodies: each clause runs on
+// a copy; the after-state is the union of non-terminating clause
+// outcomes, plus the incoming state when no clause is guaranteed to run.
+func (s *leaseScan) clauses(st ast.Stmt, live obSet) obSet {
+	var body []ast.Stmt
+	hasDefault := false
+	switch st := st.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			live = s.stmt(st.Init, live)
+		}
+		if st.Tag != nil {
+			s.usesExpr(st.Tag, live)
+		}
+		body = st.Body.List
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			live = s.stmt(st.Init, live)
+		}
+		s.uses(st.Assign, live)
+		body = st.Body.List
+	case *ast.SelectStmt:
+		body = st.Body.List
+		hasDefault = true // select blocks until some clause runs
+	}
+	out := make(obSet)
+	for _, c := range body {
+		in := live.clone()
+		var cbody []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				s.usesExpr(e, in)
+			}
+			cbody = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				in = s.stmt(c.Comm, in)
+			}
+			cbody = c.Body
+		}
+		cout := s.stmts(cbody, in)
+		if !listTerminates(cbody) {
+			out = union(out, cout)
+		}
+	}
+	if !hasDefault {
+		out = union(out, live)
+	}
+	return out
+}
+
+// splitNilCheck interprets `err != nil` / `handle == nil` conditions:
+// the branch where the acquire failed carries no obligation.
+func (s *leaseScan) splitNilCheck(cond ast.Expr, live obSet) (thenLive, elseLive obSet) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if ok && (bin.Op == token.NEQ || bin.Op == token.EQL) {
+		if id := nilCompare(bin); id != nil {
+			if obj := s.p.Info.ObjectOf(id); obj != nil {
+				thenLive, elseLive = live.clone(), live.clone()
+				for ob := range live {
+					if ob.e != obj && ob.h != obj {
+						continue
+					}
+					// err != nil / h == nil: failure in the then-branch.
+					failsThen := (ob.e == obj && bin.Op == token.NEQ) || (ob.h == obj && bin.Op == token.EQL)
+					if failsThen {
+						delete(thenLive, ob)
+					} else {
+						delete(elseLive, ob)
+					}
+				}
+				return thenLive, elseLive
+			}
+		}
+	}
+	// Not a nil check: condition uses (e.g. a method call on the handle)
+	// resolve normally, on both branches.
+	s.usesExpr(cond, live)
+	return live.clone(), live.clone()
+}
+
+// nilCompare matches `x op nil` / `nil op x` and returns x's ident.
+func nilCompare(bin *ast.BinaryExpr) *ast.Ident {
+	if isNilIdent(bin.Y) {
+		if id, ok := ast.Unparen(bin.X).(*ast.Ident); ok {
+			return id
+		}
+	}
+	if isNilIdent(bin.X) {
+		if id, ok := ast.Unparen(bin.Y).(*ast.Ident); ok {
+			return id
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// acquires records new obligations minted by acquire-role calls on the
+// right-hand side of an assignment.
+func (s *leaseScan) acquires(lhs, rhs []ast.Expr, pos token.Pos, live obSet) {
+	for _, r := range rhs {
+		call, ok := ast.Unparen(r).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := staticCallee(s.p, call)
+		if fn == nil || s.a.roles[fn.FullName()] != "acquire" {
+			continue
+		}
+		if len(rhs) != 1 || len(lhs) == 0 {
+			continue // exotic shapes: give up, not report
+		}
+		hID, ok := ast.Unparen(lhs[0]).(*ast.Ident)
+		if !ok || hID.Name == "_" {
+			s.a.diags = append(s.a.diags, diagnoseAt(s.p, "leaselife", pos,
+				"lease handle from %s discarded: the lease can never be released", fn.Name()))
+			continue
+		}
+		h := s.p.Info.ObjectOf(hID)
+		if h == nil {
+			continue
+		}
+		var e types.Object
+		if len(lhs) > 1 {
+			if eID, ok := ast.Unparen(lhs[len(lhs)-1]).(*ast.Ident); ok && eID.Name != "_" {
+				if obj := s.p.Info.ObjectOf(eID); obj != nil && isErrorType(obj.Type()) {
+					e = obj
+				}
+			}
+		}
+		live[&obligation{h: h, e: e, pos: pos}] = true
+	}
+}
+
+// uses resolves every live obligation whose handle is mentioned inside
+// node n, and gives function literals found along the way their own
+// obligation scan.
+func (s *leaseScan) uses(n ast.Node, live obSet) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.Ident:
+			obj := s.p.Info.ObjectOf(nd)
+			if obj == nil {
+				return true
+			}
+			for ob := range live {
+				if ob.h == obj {
+					delete(live, ob)
+				}
+			}
+		case *ast.FuncLit:
+			// The literal's own acquires are a fresh scope; captures of
+			// outer handles resolve via the Ident case (Inspect descends).
+			end := s.stmts(nd.Body.List, make(obSet))
+			if !listTerminates(nd.Body.List) {
+				s.reportLive(end, nd.Body.Rbrace)
+			}
+			// Idents inside were not visited by this Inspect pass (we
+			// return false to avoid double-scanning statements), so
+			// resolve captures explicitly.
+			ast.Inspect(nd.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					obj := s.p.Info.ObjectOf(id)
+					for ob := range live {
+						if obj != nil && ob.h == obj {
+							delete(live, ob)
+						}
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+// usesExpr is uses for a bare expression.
+func (s *leaseScan) usesExpr(e ast.Expr, live obSet) {
+	if e != nil {
+		s.uses(e, live)
+	}
+}
+
+// reportLive reports every still-live obligation as leaking at exit.
+func (s *leaseScan) reportLive(live obSet, exit token.Pos) {
+	obs := make([]*obligation, 0, len(live))
+	for ob := range live {
+		obs = append(obs, ob)
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i].pos < obs[j].pos })
+	for _, ob := range obs {
+		if ob.reported {
+			continue
+		}
+		ob.reported = true
+		s.a.diags = append(s.a.diags, diagnoseAt(s.p, "leaselife", ob.pos,
+			"lease acquired here can leak: the exit at %s neither releases, renews, nor hands it off",
+			shortPos(s.p, exit)))
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// ---- goroutine join-ability ----
+
+// leaseGoScope reports whether goroutines in file f of package p are
+// subject to the join-ability check.
+func leaseGoScope(p *Package, f *ast.File) bool {
+	if strings.Contains(p.Path, "internal/lockservice") || strings.Contains(p.Path, "internal/wire") {
+		return true
+	}
+	return fileOptsIn(f, leaseGoroutinePragma)
+}
+
+// checkGoroutines reports go statements in fn whose spawned body shows
+// no join or cancel plumbing.
+func (a *leaseAnalysis) checkGoroutines(p *Package, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var body *ast.BlockStmt
+		bodyPkg := p
+		if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			body = fl.Body
+		} else if callee := staticCallee(p, gs.Call); callee != nil {
+			if fi := a.prog.FuncDecl(callee); fi != nil {
+				body = fi.Decl.Body
+				bodyPkg = fi.Pkg
+			}
+		}
+		if body == nil {
+			// Unresolvable spawn target (func value, interface method):
+			// nothing to prove against; stay silent rather than cry wolf.
+			return true
+		}
+		if !a.joinEvidence(bodyPkg, body, 2) {
+			a.diags = append(a.diags, diagnoseAt(p, "leaselife", gs.Pos(),
+				"goroutine has no visible join or cancel signal (WaitGroup.Done, channel operation, or select) in its body or callees; it can outlive Stop"))
+		}
+		return true
+	})
+}
+
+// joinEvidence searches body (and depth levels of static callees) for
+// anything that ties the goroutine's lifetime to the outside world.
+func (a *leaseAnalysis) joinEvidence(p *Package, body *ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(p, n) {
+				found = true
+				return false
+			}
+			if depth > 0 {
+				if callee := staticCallee(p, n); callee != nil {
+					if fi := a.prog.FuncDecl(callee); fi != nil && fi.Decl.Body != nil {
+						if a.joinEvidence(fi.Pkg, fi.Decl.Body, depth-1) {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupDone matches wg.Done() on a sync.WaitGroup.
+func isWaitGroupDone(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}

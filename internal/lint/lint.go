@@ -30,9 +30,11 @@ func (d Diagnostic) String() string {
 type Analyzer interface {
 	// Name is the rule name used in diagnostics and suppressions.
 	Name() string
-	// Run analyzes one package and returns its findings (unsuppressed
-	// filtering is the runner's job).
-	Run(p *Package) []Diagnostic
+	// Run analyzes one package of prog and returns its findings
+	// (unsuppressed filtering is the runner's job). Interprocedural
+	// analyzers resolve call edges through prog's shared index; results
+	// must still be reported against the package owning each position.
+	Run(prog *Program, p *Package) []Diagnostic
 }
 
 // Analyzers returns the full suite in stable order.
@@ -41,18 +43,20 @@ func Analyzers() []Analyzer {
 		&Determinism{},
 		&EdgeOwnership{},
 		&LockDiscipline{},
+		&LockOrder{},
+		&LeaseLife{},
 	}
 }
 
-// RunAll applies every analyzer to every package, drops findings
-// suppressed by an inline directive, and returns the rest sorted by
-// position.
-func RunAll(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+// RunAll applies every analyzer to every package of the program, drops
+// findings suppressed by an inline directive, and returns the rest
+// sorted by position.
+func RunAll(prog *Program, analyzers []Analyzer) []Diagnostic {
 	var out []Diagnostic
-	for _, p := range pkgs {
+	for _, p := range prog.Pkgs {
 		dirs := collectDirectives(p)
 		for _, a := range analyzers {
-			for _, d := range a.Run(p) {
+			for _, d := range a.Run(prog, p) {
 				if dirs.suppressed(d.Rule, d.File, d.Line) {
 					continue
 				}

@@ -3,7 +3,8 @@
 // the paper's correctness argument rests on but the compiler cannot
 // see: schedule determinism in detsim-driven code, the shared-variable
 // write-ownership of the algorithm (a process writes only its incident
-// edges), and mutex discipline over annotated fields.
+// edges), mutex discipline over annotated fields, whole-program lock
+// acquisition order, and lease lifecycles.
 //
 // The suite is stdlib-only: packages are enumerated with `go list`,
 // parsed with go/parser, and type-checked with go/types against the
@@ -23,6 +24,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -40,6 +43,67 @@ type Package struct {
 	Info  *types.Info
 }
 
+// FuncInfo locates one function declaration inside the program: the
+// declaration plus the package whose Fset/Info position and type it.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// Program is one fully loaded analysis universe: every module package
+// matched by the patterns, sharing one FileSet, one `go list -export`
+// metadata pass, and one cross-package function index. All analyzers of
+// a run share the same Program — the interprocedural ones (lockorder,
+// leaselife) resolve call edges through it instead of re-loading
+// per-analyzer.
+type Program struct {
+	// Fset positions every AST node of every loaded package.
+	Fset *token.FileSet
+	// Pkgs are the loaded packages in `go list` order.
+	Pkgs []*Package
+
+	// funcDecls is keyed by types.Func.FullName, NOT by object pointer:
+	// a cross-package call resolves to the callee's export-data object,
+	// which is a different *types.Func instance than the one minted when
+	// the callee's own source was checked. The qualified name is the
+	// identity both instances share.
+	funcDecls map[string]*FuncInfo
+	fileOwner map[string]string // filename -> owning package path
+
+	// cacheMu guards cache: program-scoped analysis results (the
+	// lockorder graph is whole-program; computing it once per Program
+	// and slicing diagnostics per package keeps RunAll's per-package
+	// shape).
+	cacheMu sync.Mutex
+	cache   map[string]any
+}
+
+// FuncDecl resolves a function object to its declaration anywhere in
+// the program (nil for functions outside the loaded packages — stdlib,
+// interface methods, func values). Resolution is by qualified name, so
+// it works whether fn came from source checking or from export data.
+func (prog *Program) FuncDecl(fn *types.Func) *FuncInfo {
+	return prog.funcDecls[fn.FullName()]
+}
+
+// OwnerOf returns the import path of the package containing filename
+// ("" for files outside the program).
+func (prog *Program) OwnerOf(filename string) string {
+	return prog.fileOwner[filename]
+}
+
+// Cached memoizes a program-scoped computation under key.
+func (prog *Program) Cached(key string, compute func() any) any {
+	prog.cacheMu.Lock()
+	defer prog.cacheMu.Unlock()
+	if v, ok := prog.cache[key]; ok {
+		return v
+	}
+	v := compute()
+	prog.cache[key] = v
+	return v
+}
+
 // listedPkg is the subset of `go list -json` output the loader uses.
 type listedPkg struct {
 	Dir        string
@@ -54,10 +118,12 @@ type listedPkg struct {
 
 // Load enumerates the packages matching patterns (relative to dir),
 // type-checks the ones belonging to the surrounding module, and returns
-// them ready for analysis. Test files are excluded, mirroring what the
-// compiler builds; testdata trees are excluded by `go list` unless
-// named explicitly.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+// them as one Program ready for analysis. Test files are excluded,
+// mirroring what the compiler builds; testdata trees are excluded by
+// `go list` unless named explicitly. The `go list -export` metadata
+// pass runs once per (dir, patterns) per process — repeated Loads (the
+// golden tests) reuse the memoized listing.
+func Load(dir string, patterns ...string) (*Program, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -92,15 +158,52 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return os.Open(f)
 	})
 
-	var pkgs []*Package
+	prog := &Program{
+		Fset:      fset,
+		funcDecls: make(map[string]*FuncInfo),
+		fileOwner: make(map[string]string),
+		cache:     make(map[string]any),
+	}
 	for _, t := range targets {
 		pkg, err := check(fset, imp, t)
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
+		prog.Pkgs = append(prog.Pkgs, pkg)
 	}
-	return pkgs, nil
+	prog.index()
+	return prog, nil
+}
+
+// index builds the cross-package function and file-ownership indexes
+// once per Load; every analyzer shares them.
+func (prog *Program) index() {
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			prog.fileOwner[prog.Fset.Position(f.Pos()).Filename] = p.Path
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+					prog.funcDecls[obj.FullName()] = &FuncInfo{Decl: fn, Pkg: p}
+				}
+			}
+		}
+	}
+}
+
+// listCache memoizes goList per (dir, patterns): one `go list -export`
+// pass per process per target set, shared across every Load that asks
+// for it (the golden-test suite loads testdata once instead of once per
+// test).
+var listCache sync.Map // string -> *listEntry
+
+type listEntry struct {
+	once sync.Once
+	pkgs []listedPkg
+	err  error
 }
 
 // goList shells out to the toolchain's package loader, the one
@@ -108,6 +211,20 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // -export flag makes the toolchain materialize (and cache) export data
 // for every dependency, which the type-checker then imports.
 func goList(dir string, patterns []string) ([]listedPkg, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	key := abs + "\x00" + strings.Join(patterns, "\x00")
+	e, _ := listCache.LoadOrStore(key, &listEntry{})
+	entry := e.(*listEntry)
+	entry.once.Do(func() {
+		entry.pkgs, entry.err = goListUncached(dir, patterns)
+	})
+	return entry.pkgs, entry.err
+}
+
+func goListUncached(dir string, patterns []string) ([]listedPkg, error) {
 	args := append([]string{
 		"list", "-e", "-deps", "-export",
 		"-json=Dir,ImportPath,Name,Export,Standard,GoFiles,Module,Error",

@@ -74,7 +74,7 @@ var (
 )
 
 // Run implements Analyzer.
-func (a *LockDiscipline) Run(p *Package) []Diagnostic {
+func (a *LockDiscipline) Run(_ *Program, p *Package) []Diagnostic {
 	guards := collectGuards(p)
 	if len(guards) == 0 {
 		return nil
@@ -454,50 +454,6 @@ func (s *lockScan) freshBase(e ast.Expr) bool {
 	}
 }
 
-// lockCall recognizes <expr>.Lock/RLock/Unlock/RUnlock() on a sync
-// mutex and returns the mutex's name (the last path component).
-func lockCall(p *Package, e ast.Expr) (mu string, op string, ok bool) {
-	call, isCall := e.(*ast.CallExpr)
-	if !isCall {
-		return "", "", false
-	}
-	sel, isSel := call.Fun.(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
-	default:
-		return "", "", false
-	}
-	tv, found := p.Info.Types[sel.X]
-	if !found || !isSyncMutex(tv.Type) {
-		return "", "", false
-	}
-	switch x := sel.X.(type) {
-	case *ast.Ident:
-		mu = x.Name
-	case *ast.SelectorExpr:
-		mu = x.Sel.Name
-	default:
-		return "", "", false
-	}
-	return mu, sel.Sel.Name, true
-}
-
-// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
-// behind a pointer).
-func isSyncMutex(t types.Type) bool {
-	if pt, ok := t.(*types.Pointer); ok {
-		t = pt.Elem()
-	}
-	n, ok := t.(*types.Named)
-	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
-		return false
-	}
-	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
-}
-
 // applyLockOp updates the held state for one mutex operation. TryLock
 // results are not tracked (the success branch is unknown to a linear
 // scan), so they conservatively acquire nothing.
@@ -512,35 +468,4 @@ func applyLockOp(held heldSet, mu, op string) {
 	case "Unlock", "RUnlock":
 		delete(held, mu)
 	}
-}
-
-// terminates reports whether a block always transfers control away.
-func terminates(b *ast.BlockStmt) bool { return listTerminates(b.List) }
-
-// terminatesStmt reports whether st always transfers control away.
-func terminatesStmt(st ast.Stmt) bool {
-	switch st := st.(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.BlockStmt:
-		return listTerminates(st.List)
-	case *ast.ExprStmt:
-		if call, ok := st.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	case *ast.IfStmt:
-		return terminates(st.Body) && st.Else != nil && terminatesStmt(st.Else)
-	}
-	return false
-}
-
-// listTerminates reports whether a statement list always transfers
-// control away.
-func listTerminates(list []ast.Stmt) bool {
-	if len(list) == 0 {
-		return false
-	}
-	return terminatesStmt(list[len(list)-1])
 }

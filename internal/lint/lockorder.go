@@ -1,0 +1,1267 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a whole-program static acquisition-order graph and
+// reports anything that could deadlock: an edge A→B is recorded when B
+// is acquired while A is held, both directly and across static call
+// edges (a function called with A held contributes every mutex its
+// transitive body may acquire). Findings:
+//
+//   - a self edge (A acquired while A is held, write side involved);
+//   - a cycle A→…→A in the graph, reported once with the witness path
+//     naming every edge's acquisition site and call chain;
+//   - an edge that descends a declared rank: `//lint:order rank
+//     <class> <level>` on a mutex field assigns it a level inside an
+//     ordering class, and every graph edge between two ranked locks of
+//     one class must strictly ascend;
+//   - a ranked domain acquisition (`//lint:order acquire <class>
+//     <rank-expr>` on the acquiring statement) whose iteration order is
+//     not provably ascending in the rank expression — the span
+//     protocol's ascending-shard-order invariant, checked against a
+//     dominating ascending sort or a callee's verified `//lint:order
+//     sorted <class> <field>` contract;
+//   - malformed or duplicate `//lint:order` directives.
+//
+// The graph is computed once per Program (Cached) and diagnostics are
+// sliced per package, so the five-analyzer suite still shares one load.
+//
+// Known limits, mirroring lockdiscipline's: lock identity is the
+// declaring type plus field name (two instances of one type are one
+// node — the repo keeps one protected instance per type); calls through
+// function values and interfaces contribute no edges; a callee that
+// returns while still holding a lock is not modeled.
+type LockOrder struct{}
+
+// Name implements Analyzer.
+func (*LockOrder) Name() string { return "lockorder" }
+
+// Run implements Analyzer.
+func (a *LockOrder) Run(prog *Program, p *Package) []Diagnostic {
+	all := prog.Cached("lockorder", func() any {
+		return runLockOrder(prog)
+	}).([]Diagnostic)
+	var out []Diagnostic
+	for _, d := range all {
+		if prog.OwnerOf(d.File) == p.Path {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// orderEdge is one directed acquisition-order constraint: to was
+// acquired while from was held.
+type orderEdge struct{ from, to string }
+
+// edgeInfo is the first witness recorded for an edge.
+type edgeInfo struct {
+	from, to     lockID
+	fromOp, toOp string
+	pkg          *Package
+	pos          token.Pos // acquisition site of to
+	via          []string  // call chain from the scanned function (empty = direct)
+}
+
+// rankDecl is a static `//lint:order rank` assignment.
+type rankDecl struct {
+	class string
+	level int
+	pkg   *Package
+	pos   token.Pos
+}
+
+// sortedDecl is a `//lint:order sorted <class> <field>` contract on a
+// function returning a slice sorted ascending by field.
+type sortedDecl struct {
+	class, field string
+	verified     bool
+	fi           *FuncInfo
+}
+
+// orderAnalysis is the whole-program lockorder state.
+type orderAnalysis struct {
+	prog     *Program
+	edges    map[orderEdge]*edgeInfo
+	selfSeen map[string]bool
+	ranks    map[string]rankDecl // lock key -> rank
+	// sorted, summaries, and inProgress are keyed by types.Func.FullName
+	// (see Program.funcDecls: pointer identity does not survive the
+	// source-check/export-data split).
+	sorted     map[string]*sortedDecl
+	acquireAt  map[string]map[int]*orderDirective // file -> line -> acquire directive
+	summaries  map[string]*orderSummary
+	inProgress map[string]bool
+	diags      []Diagnostic
+}
+
+// acqEvent is one mutex acquisition a function may perform.
+type acqEvent struct {
+	id    lockID
+	op    string // Lock or RLock
+	pkg   *Package
+	pos   token.Pos
+	chain []string // call path from the summarized function to the site
+}
+
+// orderSummary is the set of mutexes a function (transitively) may
+// acquire on the caller's blocking path. Goroutines it spawns are
+// excluded: the caller does not wait on them, so their acquisitions
+// are no ordering constraint for the caller's held set.
+type orderSummary struct{ acquires []acqEvent }
+
+const (
+	maxChainDepth   = 8
+	maxSummaryLocks = 64
+)
+
+func runLockOrder(prog *Program) []Diagnostic {
+	a := &orderAnalysis{
+		prog:       prog,
+		edges:      make(map[orderEdge]*edgeInfo),
+		selfSeen:   make(map[string]bool),
+		ranks:      make(map[string]rankDecl),
+		sorted:     make(map[string]*sortedDecl),
+		acquireAt:  make(map[string]map[int]*orderDirective),
+		summaries:  make(map[string]*orderSummary),
+		inProgress: make(map[string]bool),
+	}
+	a.collectDirectives()
+	a.verifySortedContracts()
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				held := make(orderHeld)
+				a.seedRequired(p, fn, held)
+				s := &orderScan{a: a, p: p, fn: funcDisplayName(fn)}
+				s.stmts(fn.Body.List, held)
+				a.checkDomainOrder(p, fn)
+			}
+		}
+	}
+	a.reportRankViolations()
+	a.reportCycles()
+	return a.diags
+}
+
+// ---- directive collection ----
+
+// collectDirectives gathers every //lint:order directive in the
+// program: rank declarations on mutex fields and package-level vars,
+// sorted contracts on function docs, and acquire annotations indexed by
+// file:line for the domain scan. Malformed and duplicate directives
+// become diagnostics here.
+func (a *orderAnalysis) collectDirectives() {
+	for _, p := range a.prog.Pkgs {
+		for _, f := range p.Files {
+			// Acquire annotations can sit on any line; index them all.
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, err := parseOrderDirective(c.Text)
+					if err != nil {
+						a.diags = append(a.diags, diagnoseAt(p, "lockorder", c.Pos(), "%v", err))
+						continue
+					}
+					if d == nil || d.kind != "acquire" {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					lines := a.acquireAt[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]*orderDirective)
+						a.acquireAt[pos.Filename] = lines
+					}
+					// Trailing form covers its own line, standalone form the
+					// next; register both, statement matching takes the first.
+					if _, taken := lines[pos.Line]; taken {
+						a.diags = append(a.diags, diagnoseAt(p, "lockorder", c.Pos(),
+							"duplicate //lint:order acquire directive: this line is already annotated"))
+						continue
+					}
+					lines[pos.Line] = d
+					if _, taken := lines[pos.Line+1]; !taken {
+						lines[pos.Line+1] = d
+					}
+				}
+			}
+			for _, decl := range f.Decls {
+				switch decl := decl.(type) {
+				case *ast.GenDecl:
+					a.collectGenDeclRanks(p, decl)
+				case *ast.FuncDecl:
+					a.collectSortedContract(p, decl)
+				}
+			}
+		}
+	}
+}
+
+// collectGenDeclRanks parses rank directives on struct mutex fields and
+// package-level mutex vars.
+func (a *orderAnalysis) collectGenDeclRanks(p *Package, gd *ast.GenDecl) {
+	record := func(key string, cg *ast.CommentGroup, t types.Type) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			d, err := parseOrderDirective(c.Text)
+			if err != nil || d == nil || d.kind != "rank" {
+				continue // parse errors already reported by collectDirectives
+			}
+			if t != nil && !isSyncMutex(t) {
+				a.diags = append(a.diags, diagnoseAt(p, "lockorder", c.Pos(),
+					"//lint:order rank must annotate a sync.Mutex or sync.RWMutex"))
+				continue
+			}
+			if prev, dup := a.ranks[key]; dup {
+				a.diags = append(a.diags, diagnoseAt(p, "lockorder", c.Pos(),
+					"duplicate //lint:order rank for %s (already class %q level %d at %s)",
+					key, prev.class, prev.level, shortPos(prev.pkg, prev.pos)))
+				continue
+			}
+			a.ranks[key] = rankDecl{class: d.class, level: d.level, pkg: p, pos: c.Pos()}
+		}
+	}
+	switch gd.Tok {
+	case token.TYPE:
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				var ft types.Type
+				if tv, ok := p.Info.Types[field.Type]; ok {
+					ft = tv.Type
+				}
+				for _, name := range field.Names {
+					key := p.Path + "." + ts.Name.Name + "." + name.Name
+					record(key, field.Doc, ft)
+					record(key, field.Comment, ft)
+				}
+			}
+		}
+	case token.VAR:
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				var vt types.Type
+				if obj := p.Info.ObjectOf(name); obj != nil {
+					vt = obj.Type()
+				}
+				key := p.Path + "." + name.Name
+				record(key, vs.Doc, vt)
+				record(key, vs.Comment, vt)
+				record(key, gd.Doc, vt)
+			}
+		}
+	}
+}
+
+// collectSortedContract parses a `//lint:order sorted` contract from a
+// function's doc comment.
+func (a *orderAnalysis) collectSortedContract(p *Package, fn *ast.FuncDecl) {
+	if fn.Doc == nil {
+		return
+	}
+	for _, c := range fn.Doc.List {
+		d, err := parseOrderDirective(c.Text)
+		if err != nil || d == nil || d.kind != "sorted" {
+			continue
+		}
+		obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		a.sorted[obj.FullName()] = &sortedDecl{class: d.class, field: d.field, fi: &FuncInfo{Decl: fn, Pkg: p}}
+	}
+}
+
+// verifySortedContracts checks every sorted contract against its body:
+// the declaring function must actually perform an ascending sort on the
+// declared field before the claim may be consumed at acquire sites.
+func (a *orderAnalysis) verifySortedContracts() {
+	decls := make([]*sortedDecl, 0, len(a.sorted))
+	for _, sd := range a.sorted {
+		decls = append(decls, sd)
+	}
+	sort.Slice(decls, func(i, j int) bool { return decls[i].fi.Decl.Pos() < decls[j].fi.Decl.Pos() })
+	for _, sd := range decls {
+		fn := sd.fi.Decl
+		if fn.Body != nil && bodyHasAscendingSort(sd.fi.Pkg, fn.Body, sd.field, fn.End()) {
+			sd.verified = true
+			continue
+		}
+		a.diags = append(a.diags, diagnoseAt(sd.fi.Pkg, "lockorder", fn.Pos(),
+			"%s declares //lint:order sorted %s %s but performs no ascending sort on %q",
+			fn.Name.Name, sd.class, fieldOrSelf(sd.field), sd.field))
+	}
+}
+
+func fieldOrSelf(field string) string {
+	if field == "" {
+		return "."
+	}
+	return field
+}
+
+// ---- acquisition-order scan ----
+
+// heldLock is one held mutex in the order scan.
+type heldLock struct {
+	id lockID
+	op string
+}
+
+// orderHeld maps lock key to its held info.
+type orderHeld map[string]heldLock
+
+func (h orderHeld) clone() orderHeld {
+	c := make(orderHeld, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func intersectHeld(a, b orderHeld) orderHeld {
+	out := make(orderHeld)
+	for k, v := range a {
+		if bv, ok := b[k]; ok {
+			if bv.op == "RLock" {
+				v = bv // keep the weaker claim
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// seedRequired seeds the held set from `// requires <mu>` contracts,
+// resolving the mutex name against the receiver's fields so the helper's
+// acquisitions order against the lock its callers hold.
+func (a *orderAnalysis) seedRequired(p *Package, fn *ast.FuncDecl, held orderHeld) {
+	for _, mu := range requiredMutexes(fn.Doc) {
+		id, ok := receiverFieldLock(p, fn, mu)
+		if !ok {
+			continue
+		}
+		held[id.key] = heldLock{id: id, op: "Lock"}
+	}
+}
+
+// receiverFieldLock resolves mutex name mu against fn's receiver type.
+func receiverFieldLock(p *Package, fn *ast.FuncDecl, mu string) (lockID, bool) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return lockID{}, false
+	}
+	tv, ok := p.Info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return lockID{}, false
+	}
+	t := tv.Type
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return lockID{}, false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return lockID{}, false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == mu {
+			pkgPath := ""
+			if named.Obj().Pkg() != nil {
+				pkgPath = named.Obj().Pkg().Path()
+			}
+			return lockID{key: pkgPath + "." + named.Obj().Name() + "." + mu,
+				disp: named.Obj().Name() + "." + mu}, true
+		}
+	}
+	return lockID{}, false
+}
+
+// orderScan walks one function, threading held-lock state through the
+// same control-flow shapes lockdiscipline models.
+type orderScan struct {
+	a  *orderAnalysis
+	p  *Package
+	fn string
+}
+
+func (s *orderScan) stmts(list []ast.Stmt, held orderHeld) orderHeld {
+	for _, st := range list {
+		held = s.stmt(st, held)
+	}
+	return held
+}
+
+func (s *orderScan) stmt(st ast.Stmt, held orderHeld) orderHeld {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if s.lockOp(st.X, held) {
+			return held
+		}
+		s.calls(st.X, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.calls(e, held)
+		}
+		for _, e := range st.Lhs {
+			s.calls(e, held)
+		}
+	case *ast.IncDecStmt:
+		s.calls(st.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock runs at exit; like lockdiscipline, the linear
+		// scan simply never sees it, keeping the lock held to the end. A
+		// deferred call is modeled at the defer site (conservative: the
+		// held set there is what the scan knows).
+		if _, _, ok := lockCall(s.p, st.Call); ok {
+			return held
+		}
+		s.calls(st.Call, held)
+	case *ast.GoStmt:
+		for _, arg := range st.Call.Args {
+			s.calls(arg, held)
+		}
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			// The goroutine body runs concurrently: its acquisitions are
+			// ordering roots of their own, not edges from the spawner's
+			// held set.
+			s.stmts(fl.Body.List, make(orderHeld))
+		}
+	case *ast.BlockStmt:
+		return s.stmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		s.calls(st.Cond, held)
+		thenOut := s.stmts(st.Body.List, held.clone())
+		elseOut := held.clone()
+		if st.Else != nil {
+			elseOut = s.stmt(st.Else, held.clone())
+		}
+		switch {
+		case terminates(st.Body) && st.Else != nil && terminatesStmt(st.Else):
+			return held
+		case terminates(st.Body):
+			return elseOut
+		case st.Else != nil && terminatesStmt(st.Else):
+			return thenOut
+		default:
+			return intersectHeld(thenOut, elseOut)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.calls(st.Cond, held)
+		}
+		bodyOut := s.stmts(st.Body.List, held.clone())
+		if st.Post != nil {
+			bodyOut = s.stmt(st.Post, bodyOut)
+		}
+		return intersectHeld(held, bodyOut)
+	case *ast.RangeStmt:
+		s.calls(st.X, held)
+		bodyOut := s.stmts(st.Body.List, held.clone())
+		return intersectHeld(held, bodyOut)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.calls(st.Tag, held)
+		}
+		return s.clauses(st.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		s.stmt(st.Assign, held.clone())
+		return s.clauses(st.Body.List, held)
+	case *ast.SelectStmt:
+		return s.clauses(st.Body.List, held)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.calls(r, held)
+		}
+	case *ast.SendStmt:
+		s.calls(st.Chan, held)
+		s.calls(st.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.calls(v, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, held)
+	}
+	return held
+}
+
+func (s *orderScan) clauses(clauses []ast.Stmt, held orderHeld) orderHeld {
+	out := held
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				s.calls(e, held)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			in := held.clone()
+			if c.Comm != nil {
+				in = s.stmt(c.Comm, in)
+			}
+			cout := s.stmts(c.Body, in)
+			if !listTerminates(c.Body) {
+				out = intersectHeld(out, cout)
+			}
+			continue
+		}
+		cout := s.stmts(body, held.clone())
+		if !listTerminates(body) {
+			out = intersectHeld(out, cout)
+		}
+	}
+	return out
+}
+
+// lockOp handles a direct mutex operation: acquisition events pair
+// against every held lock, then the held set updates.
+func (s *orderScan) lockOp(e ast.Expr, held orderHeld) bool {
+	_, op, ok := lockCall(s.p, e)
+	if !ok {
+		return false
+	}
+	call := e.(*ast.CallExpr)
+	sel := call.Fun.(*ast.SelectorExpr)
+	id, idOK := lockIdent(s.p, sel.X, s.fn)
+	if !idOK {
+		return true
+	}
+	switch op {
+	case "Lock", "RLock":
+		s.a.event(held, acqEvent{id: id, op: op, pkg: s.p, pos: sel.Pos()})
+		held[id.key] = heldLock{id: id, op: op}
+	case "Unlock", "RUnlock":
+		delete(held, id.key)
+	}
+	// TryLock/TryRLock: outcome unknown to a linear scan; acquire
+	// nothing, same as lockdiscipline.
+	return true
+}
+
+// calls walks an expression for static call sites, adding the callee's
+// summarized acquisitions as edges from every held lock. Function
+// literals invoked synchronously inherit the current held set.
+func (s *orderScan) calls(e ast.Expr, held orderHeld) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.stmts(n.Body.List, held.clone())
+			return false
+		case *ast.CallExpr:
+			if _, _, ok := lockCall(s.p, n); ok {
+				return true // nested lock calls handled at statement level
+			}
+			if len(held) == 0 {
+				return true
+			}
+			callee := staticCallee(s.p, n)
+			if callee == nil {
+				return true
+			}
+			sum := s.a.summary(callee)
+			if sum == nil {
+				return true
+			}
+			name := callee.Name()
+			for _, acq := range sum.acquires {
+				ev := acq
+				ev.chain = append([]string{name}, acq.chain...)
+				ev.pkg = acq.pkg
+				s.a.event(held, ev)
+			}
+		}
+		return true
+	})
+}
+
+// event records one acquisition against the current held set.
+func (a *orderAnalysis) event(held orderHeld, ev acqEvent) {
+	heldKeys := make([]string, 0, len(held))
+	for k := range held {
+		heldKeys = append(heldKeys, k)
+	}
+	sort.Strings(heldKeys)
+	for _, hk := range heldKeys {
+		h := held[hk]
+		if h.id.key == ev.id.key {
+			if h.op == "RLock" && ev.op == "RLock" {
+				continue // read-read re-entry: not a write-side self deadlock
+			}
+			if !a.selfSeen[ev.id.key] {
+				a.selfSeen[ev.id.key] = true
+				a.diags = append(a.diags, diagnoseAt(ev.pkg, "lockorder", ev.pos,
+					"%s acquired while already held%s: self deadlock",
+					ev.id.disp, viaSuffix(ev.chain)))
+			}
+			continue
+		}
+		key := orderEdge{from: h.id.key, to: ev.id.key}
+		if _, seen := a.edges[key]; seen {
+			continue
+		}
+		a.edges[key] = &edgeInfo{
+			from: h.id, to: ev.id, fromOp: h.op, toOp: ev.op,
+			pkg: ev.pkg, pos: ev.pos, via: ev.chain,
+		}
+	}
+}
+
+// summary computes (and memoizes) the transitive acquisition summary of
+// one function. Recursive call chains terminate at the in-progress
+// marker; unresolvable callees contribute nothing.
+func (a *orderAnalysis) summary(fn *types.Func) *orderSummary {
+	key := fn.FullName()
+	if sum, ok := a.summaries[key]; ok {
+		return sum
+	}
+	fi := a.prog.FuncDecl(fn)
+	if fi == nil || fi.Decl.Body == nil || a.inProgress[key] {
+		return nil
+	}
+	a.inProgress[key] = true
+	defer delete(a.inProgress, key)
+	sum := &orderSummary{}
+	seen := make(map[string]bool)
+	add := func(ev acqEvent) {
+		k := ev.id.key + "\x00" + ev.op
+		if seen[k] || len(sum.acquires) >= maxSummaryLocks {
+			return
+		}
+		seen[k] = true
+		sum.acquires = append(sum.acquires, ev)
+	}
+	fname := funcDisplayName(fi.Decl)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Spawned work is not on the caller's blocking path.
+			return false
+		case *ast.CallExpr:
+			if mu, op, ok := lockCall(fi.Pkg, n); ok {
+				_ = mu
+				if op == "Lock" || op == "RLock" {
+					sel := n.Fun.(*ast.SelectorExpr)
+					if id, idOK := lockIdent(fi.Pkg, sel.X, fname); idOK {
+						add(acqEvent{id: id, op: op, pkg: fi.Pkg, pos: sel.Pos()})
+					}
+				}
+				return true
+			}
+			callee := staticCallee(fi.Pkg, n)
+			if callee == nil || callee.FullName() == key {
+				return true
+			}
+			if sub := a.summary(callee); sub != nil {
+				for _, ev := range sub.acquires {
+					if len(ev.chain) >= maxChainDepth {
+						continue
+					}
+					child := ev
+					child.chain = append([]string{callee.Name()}, ev.chain...)
+					add(child)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fi.Decl.Body, walk)
+	a.summaries[key] = sum
+	return sum
+}
+
+// ---- rank and cycle reporting ----
+
+func (a *orderAnalysis) reportRankViolations() {
+	keys := make([]orderEdge, 0, len(a.edges))
+	for k := range a.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		e := a.edges[k]
+		rf, okF := a.ranks[e.from.key]
+		rt, okT := a.ranks[e.to.key]
+		if !okF || !okT || rf.class != rt.class {
+			continue
+		}
+		if rt.level > rf.level {
+			continue
+		}
+		a.diags = append(a.diags, diagnoseAt(e.pkg, "lockorder", e.pos,
+			"%s (class %q rank %d) acquired while holding %s (rank %d)%s: rank order must strictly ascend",
+			e.to.disp, rt.class, rt.level, e.from.disp, rf.level, viaSuffix(e.via)))
+	}
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports one witness cycle per component, naming every edge.
+func (a *orderAnalysis) reportCycles() {
+	edgeKeys := make([]orderEdge, 0, len(a.edges))
+	for k := range a.edges {
+		edgeKeys = append(edgeKeys, k)
+	}
+	sort.Slice(edgeKeys, func(i, j int) bool {
+		if edgeKeys[i].from != edgeKeys[j].from {
+			return edgeKeys[i].from < edgeKeys[j].from
+		}
+		return edgeKeys[i].to < edgeKeys[j].to
+	})
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for _, k := range edgeKeys {
+		adj[k.from] = append(adj[k.from], k.to)
+		nodes[k.from], nodes[k.to] = true, true
+	}
+	var keys []string
+	for n := range nodes {
+		keys = append(keys, n)
+	}
+	sort.Strings(keys)
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan's SCC, iterative over the sorted node order for
+	// deterministic output.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range keys {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	for _, scc := range sccs {
+		sort.Strings(scc)
+		cycle := a.findCycle(scc[0], scc, adj)
+		if len(cycle) == 0 {
+			continue
+		}
+		var b strings.Builder
+		first := a.edges[orderEdge{from: cycle[0], to: cycle[1%len(cycle)]}]
+		b.WriteString("lock-order cycle: ")
+		b.WriteString(a.edges[orderEdge{from: cycle[0], to: cycle[1%len(cycle)]}].from.disp)
+		for i := range cycle {
+			e := a.edges[orderEdge{from: cycle[i], to: cycle[(i+1)%len(cycle)]}]
+			fmt.Fprintf(&b, " → %s (%s%s)", e.to.disp, shortPos(e.pkg, e.pos), viaSuffix(e.via))
+		}
+		a.diags = append(a.diags, diagnoseAt(first.pkg, "lockorder", first.pos, "%s", b.String()))
+	}
+}
+
+// findCycle walks within one SCC from start back to start, preferring
+// lexicographically smaller successors, and returns the node sequence.
+func (a *orderAnalysis) findCycle(start string, scc []string, adj map[string][]string) []string {
+	inSCC := make(map[string]bool, len(scc))
+	for _, n := range scc {
+		inSCC[n] = true
+	}
+	var path []string
+	visited := make(map[string]bool)
+	var dfs func(v string) bool
+	dfs = func(v string) bool {
+		path = append(path, v)
+		visited[v] = true
+		for _, w := range adj[v] {
+			if !inSCC[w] {
+				continue
+			}
+			if w == start && len(path) > 1 {
+				return true
+			}
+			if !visited[w] {
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if dfs(start) {
+		return path
+	}
+	return nil
+}
+
+// ---- domain (ranked-acquire) order ----
+
+// checkDomainOrder enforces `//lint:order acquire` annotations inside
+// fn: ranked acquisitions in a loop must iterate a source provably
+// sorted ascending in the rank expression; sequential constant-ranked
+// acquisitions must ascend.
+func (a *orderAnalysis) checkDomainOrder(p *Package, fn *ast.FuncDecl) {
+	type seqAcq struct {
+		class string
+		level int
+		pos   token.Pos
+	}
+	var seq []seqAcq
+
+	// ancestors tracks the enclosing statement path so a matched
+	// statement can find its nearest range loop.
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		st, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		pos := p.Fset.Position(st.Pos())
+		d := a.acquireAt[pos.Filename][pos.Line]
+		if d == nil || d.used[st.Pos()] || d.claimed {
+			return true
+		}
+		// One directive annotates one statement: the first whose line it
+		// covers.
+		d.claimed = true
+		d.used[st.Pos()] = true
+
+		root, path := exprRootAndPath(d.rankExpr)
+		if root == "" {
+			a.diags = append(a.diags, diagnoseAt(p, "lockorder", st.Pos(),
+				"//lint:order acquire %s: rank expression %q has no base identifier", d.class, d.expr))
+			return true
+		}
+		if rng := nearestRange(stack); rng != nil && rangeUses(rng, root) {
+			a.checkRankedLoop(p, fn, rng, st, d, root, path)
+			return true
+		}
+		if lv, ok := intLiteral(d.rankExpr); ok {
+			seq = append(seq, seqAcq{class: d.class, level: lv, pos: st.Pos()})
+			return true
+		}
+		a.diags = append(a.diags, diagnoseAt(p, "lockorder", st.Pos(),
+			"//lint:order acquire %s: rank %q is neither a constant nor a range variable of an enclosing loop; order cannot be proven", d.class, d.expr))
+		return true
+	})
+
+	for i := 1; i < len(seq); i++ {
+		if seq[i].class == seq[i-1].class && seq[i].level <= seq[i-1].level {
+			a.diags = append(a.diags, diagnoseAt(p, "lockorder", seq[i].pos,
+				"ranked acquisition (class %q rank %d) follows rank %d: order must strictly ascend",
+				seq[i].class, seq[i].level, seq[i-1].level))
+		}
+	}
+}
+
+// checkRankedLoop verifies that the range feeding a ranked acquisition
+// iterates ascending in the rank expression.
+func (a *orderAnalysis) checkRankedLoop(p *Package, fn *ast.FuncDecl, rng *ast.RangeStmt, st ast.Stmt, d *orderDirective, root, path string) {
+	// Ranking by the range key over a slice ascends by construction.
+	if key, ok := rng.Key.(*ast.Ident); ok && key.Name == root && path == "" {
+		if tv, ok := p.Info.Types[rng.X]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Pointer:
+				return
+			}
+		}
+	}
+	val, ok := rng.Value.(*ast.Ident)
+	if !ok || val.Name != root {
+		a.diags = append(a.diags, diagnoseAt(p, "lockorder", st.Pos(),
+			"//lint:order acquire %s: rank %q is not derived from the enclosing range's iteration variable", d.class, d.expr))
+		return
+	}
+	src := exprRootIdent(rng.X)
+	if src == nil {
+		a.diags = append(a.diags, diagnoseAt(p, "lockorder", st.Pos(),
+			"//lint:order acquire %s: cannot resolve the ranged source for rank %q", d.class, d.expr))
+		return
+	}
+	// Evidence 1: a dominating ascending sort on the ranged source in
+	// this function.
+	if sortedBefore(p, fn.Body, src, path, rng.Pos()) {
+		return
+	}
+	// Evidence 2: the source is produced by a function carrying a
+	// verified sorted contract for this class and field.
+	if a.sourceHasSortedContract(p, fn, src, d.class, path) {
+		return
+	}
+	a.diags = append(a.diags, diagnoseAt(p, "lockorder", st.Pos(),
+		"ranked acquisition (class %q, rank %s) may descend: %s is not provably sorted ascending by %q (sort it before the loop or produce it from a //lint:order sorted %s %s function)",
+		d.class, d.expr, src.Name, fieldOrSelf(path), d.class, fieldOrSelf(path)))
+}
+
+// sourceHasSortedContract reports whether src is assigned from a call
+// to a function whose verified sorted contract matches class and field.
+func (a *orderAnalysis) sourceHasSortedContract(p *Package, fn *ast.FuncDecl, src *ast.Ident, class, field string) bool {
+	srcObj := p.Info.ObjectOf(src)
+	if srcObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		assignsSrc := false
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && p.Info.ObjectOf(id) == srcObj {
+				assignsSrc = true
+			}
+		}
+		if !assignsSrc {
+			return true
+		}
+		callee := staticCallee(p, call)
+		if callee == nil {
+			return true
+		}
+		if sd, ok := a.sorted[callee.FullName()]; ok && sd.verified && sd.class == class && sd.field == field {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// sortedBefore reports whether an ascending sort of src on field
+// appears before pos in the function body.
+func sortedBefore(p *Package, body *ast.BlockStmt, src *ast.Ident, field string, pos token.Pos) bool {
+	srcObj := p.Info.ObjectOf(src)
+	if srcObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if !isSortCall(p, call, srcObj, field) {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// isSortCall recognizes an ascending sort of the slice bound to srcObj:
+// sort.Slice/sort.SliceStable with an ascending comparator on field, or
+// sort.Ints/sort.Strings/slices.Sort when field is empty.
+func isSortCall(p *Package, call *ast.CallExpr, srcObj types.Object, field string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[pkgID].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	pkgPath := pn.Imported().Path()
+	if len(call.Args) == 0 {
+		return false
+	}
+	arg0 := exprRootIdent(call.Args[0])
+	if arg0 == nil || p.Info.ObjectOf(arg0) != srcObj {
+		return false
+	}
+	switch {
+	case pkgPath == "sort" && (sel.Sel.Name == "Slice" || sel.Sel.Name == "SliceStable"):
+		if len(call.Args) != 2 {
+			return false
+		}
+		cmp, ok := call.Args[1].(*ast.FuncLit)
+		return ok && cmpAscendingOn(cmp, field)
+	case pkgPath == "sort" && (sel.Sel.Name == "Ints" || sel.Sel.Name == "Strings"):
+		return field == ""
+	case pkgPath == "slices" && sel.Sel.Name == "Sort":
+		return field == ""
+	}
+	return false
+}
+
+// bodyHasAscendingSort reports whether any ascending sort on field
+// appears in body before end (the sorted-contract verifier).
+func bodyHasAscendingSort(p *Package, body *ast.BlockStmt, field string, end token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= end {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch {
+		case pn.Imported().Path() == "sort" && (sel.Sel.Name == "Slice" || sel.Sel.Name == "SliceStable"):
+			if len(call.Args) == 2 {
+				if cmp, ok := call.Args[1].(*ast.FuncLit); ok && cmpAscendingOn(cmp, field) {
+					found = true
+				}
+			}
+		case pn.Imported().Path() == "sort" && (sel.Sel.Name == "Ints" || sel.Sel.Name == "Strings"),
+			pn.Imported().Path() == "slices" && sel.Sel.Name == "Sort":
+			if field == "" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// cmpAscendingOn reports whether cmp is the canonical ascending
+// comparator `func(i, j int) bool { return a[i].f < a[j].f }` for field
+// path f ("" compares elements directly).
+func cmpAscendingOn(cmp *ast.FuncLit, field string) bool {
+	if cmp.Type.Params == nil || len(cmp.Type.Params.List) == 0 {
+		return false
+	}
+	var params []string
+	for _, f := range cmp.Type.Params.List {
+		for _, n := range f.Names {
+			params = append(params, n.Name)
+		}
+	}
+	if len(params) != 2 {
+		return false
+	}
+	if len(cmp.Body.List) != 1 {
+		return false
+	}
+	ret, ok := cmp.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	bin, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.LSS {
+		return false
+	}
+	return indexedFieldAccess(bin.X, params[0], field) && indexedFieldAccess(bin.Y, params[1], field)
+}
+
+// indexedFieldAccess reports whether e is a[idx].field (field may be a
+// dotted path, or empty for a[idx] itself).
+func indexedFieldAccess(e ast.Expr, idx, field string) bool {
+	e = ast.Unparen(e)
+	var fields []string
+	for {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		fields = append([]string{sel.Sel.Name}, fields...)
+		e = ast.Unparen(sel.X)
+	}
+	if strings.Join(fields, ".") != field {
+		return false
+	}
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	return ok && id.Name == idx
+}
+
+// ---- small helpers ----
+
+// exprRootAndPath splits a parsed rank expression into its base
+// identifier and the dotted selector path hanging off it.
+func exprRootAndPath(e ast.Expr) (root, path string) {
+	if e == nil {
+		return "", ""
+	}
+	var fields []string
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name, strings.Join(fields, ".")
+		case *ast.SelectorExpr:
+			fields = append([]string{x.Sel.Name}, fields...)
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.BasicLit:
+			return x.Value, strings.Join(fields, ".")
+		default:
+			return "", ""
+		}
+	}
+}
+
+// intLiteral evaluates an integer-literal rank expression.
+func intLiteral(e ast.Expr) (int, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	var v int
+	if _, err := fmt.Sscanf(lit.Value, "%d", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// nearestRange returns the innermost RangeStmt on the ancestor stack.
+func nearestRange(stack []ast.Node) *ast.RangeStmt {
+	for i := len(stack) - 2; i >= 0; i-- { // -2: skip the node itself
+		if r, ok := stack[i].(*ast.RangeStmt); ok {
+			return r
+		}
+	}
+	return nil
+}
+
+// rangeUses reports whether name is the range's key or value variable.
+func rangeUses(rng *ast.RangeStmt, name string) bool {
+	if id, ok := rng.Key.(*ast.Ident); ok && id.Name == name {
+		return true
+	}
+	if id, ok := rng.Value.(*ast.Ident); ok && id.Name == name {
+		return true
+	}
+	return false
+}
+
+// viaSuffix renders a call-chain witness fragment.
+func viaSuffix(chain []string) string {
+	if len(chain) == 0 {
+		return ""
+	}
+	return ", via " + strings.Join(chain, "→")
+}
+
+// shortPos renders a position as base-filename:line.
+func shortPos(p *Package, pos token.Pos) string {
+	po := p.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(po.Filename), po.Line)
+}
+
+// diagnoseAt builds a Diagnostic at an arbitrary position.
+func diagnoseAt(p *Package, rule string, pos token.Pos, format string, args ...any) Diagnostic {
+	po := p.Fset.Position(pos)
+	return Diagnostic{
+		Rule:    rule,
+		File:    po.Filename,
+		Line:    po.Line,
+		Col:     po.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}

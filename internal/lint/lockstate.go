@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared lock-state machinery: the pieces of lockdiscipline's
+// branch-aware scan that the interprocedural lockorder analyzer reuses.
+// Both analyzers agree on what a mutex operation is; they differ in
+// what they track about it (held strength vs. acquisition order).
+
+// lockCall recognizes <expr>.Lock/RLock/Unlock/RUnlock() on a sync
+// mutex and returns the mutex's name (the last path component).
+func lockCall(p *Package, e ast.Expr) (mu string, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	tv, found := p.Info.Types[sel.X]
+	if !found || !isSyncMutex(tv.Type) {
+		return "", "", false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		mu = x.Name
+	case *ast.SelectorExpr:
+		mu = x.Sel.Name
+	default:
+		return "", "", false
+	}
+	return mu, sel.Sel.Name, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// lockID names one mutex for the whole-program acquisition graph.
+// Unlike lockdiscipline's per-name matching (scoped to one package's
+// annotated fields), the graph spans packages, so identity must not
+// collapse every `mu` in the repo onto one node: a field mutex is keyed
+// by its declaring type, a variable mutex by its declaring scope.
+type lockID struct {
+	// key is the stable graph-node identity:
+	//   field:   <pkg>.<Type>.<field>
+	//   global:  <pkg>.<var>
+	//   local:   <pkg>.<func>.<var>
+	key string
+	// disp is the short display form used in messages (Type.field or
+	// var name).
+	disp string
+}
+
+// lockIdent resolves the mutex operand of a lock call to its identity.
+// fn is the enclosing function's display name (scopes local mutexes).
+func lockIdent(p *Package, e ast.Expr, fn string) (lockID, bool) {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		// s.mu / s.inner.mu: key by the field's declaring struct type.
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if pt, ok := recv.(*types.Pointer); ok {
+				recv = pt.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				pkgPath := ""
+				if named.Obj().Pkg() != nil {
+					pkgPath = named.Obj().Pkg().Path()
+				}
+				return lockID{
+					key:  pkgPath + "." + named.Obj().Name() + "." + x.Sel.Name,
+					disp: named.Obj().Name() + "." + x.Sel.Name,
+				}, true
+			}
+		}
+		// pkg.Mu or unresolvable selector: fall back to the leaf name,
+		// scoped by the selector's package when known.
+		if obj := p.Info.ObjectOf(x.Sel); obj != nil && obj.Pkg() != nil {
+			return lockID{key: obj.Pkg().Path() + "." + x.Sel.Name, disp: x.Sel.Name}, true
+		}
+		return lockID{key: p.Path + "." + fn + "." + x.Sel.Name, disp: x.Sel.Name}, true
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(x)
+		if obj == nil {
+			return lockID{}, false
+		}
+		if obj.Parent() == p.Types.Scope() {
+			// Package-level mutex variable.
+			return lockID{key: p.Path + "." + x.Name, disp: x.Name}, true
+		}
+		return lockID{key: p.Path + "." + fn + "." + x.Name, disp: x.Name}, true
+	}
+	return lockID{}, false
+}
+
+// funcDisplayName renders a FuncDecl as Type.Method or Func for witness
+// chains and local-mutex scoping.
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		t := fn.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fn.Name.Name
+		}
+		if ix, ok := t.(*ast.IndexExpr); ok {
+			if id, ok := ix.X.(*ast.Ident); ok {
+				return id.Name + "." + fn.Name.Name
+			}
+		}
+	}
+	return fn.Name.Name
+}
+
+// exprRootIdent walks selector/index/star/paren chains to the base
+// identifier of an access path (nil when the base is not an ident).
+func exprRootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// staticCallee resolves a call expression to the *types.Func it
+// statically invokes (nil for func values, interface methods, builtins,
+// and type conversions).
+func staticCallee(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.F).
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// terminates reports whether a block always transfers control away.
+func terminates(b *ast.BlockStmt) bool { return listTerminates(b.List) }
+
+// terminatesStmt reports whether st always transfers control away.
+func terminatesStmt(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return listTerminates(st.List)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		return terminates(st.Body) && st.Else != nil && terminatesStmt(st.Else)
+	}
+	return false
+}
+
+// listTerminates reports whether a statement list always transfers
+// control away.
+func listTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return terminatesStmt(list[len(list)-1])
+}

@@ -1,0 +1,37 @@
+// Package dirbad seeds malformed, misplaced, and duplicate directives.
+// The expected diagnostics anchor at the directive comments themselves,
+// so they are asserted programmatically in directives_test.go (a want
+// marker cannot share a line with the directive it describes).
+package dirbad
+
+import "sync"
+
+// T collects the bad rank declarations.
+type T struct {
+	mu sync.Mutex //lint:order rank demo notanint
+	n  int        //lint:order rank demo 5
+	//lint:order rank demo 9
+	c sync.Mutex //lint:order rank demo 8
+	d sync.Mutex //lint:order sorted
+}
+
+//lint:order frobnicate x
+
+//lint:lease acquire
+
+//lint:lease refresh why
+
+// Dup carries two conflicting lease roles.
+//
+//lint:lease acquire
+//lint:lease release
+func Dup() {}
+
+// dupAcquire stacks two acquire directives onto one statement.
+func dupAcquire(x int) {
+	//lint:order acquire demo 1
+	_ = x //lint:order acquire demo 2
+
+	//lint:order acquire demo ][
+	_ = x
+}

@@ -1,0 +1,54 @@
+// Package leasebad seeds lease-lifecycle violations: a leak on an early
+// error return, two discarded handles, and a goroutine nothing joins.
+//
+//lint:leaselife goroutines
+package leasebad
+
+import "errors"
+
+// Lease is a prepare-lease handle.
+type Lease struct{ id int }
+
+// Acquire mints a lease.
+//
+//lint:lease acquire
+func Acquire() (*Lease, error) { return &Lease{}, nil }
+
+// Release returns it.
+//
+//lint:lease release
+func (l *Lease) Release() {}
+
+func work() {}
+
+// LeakEarlyReturn forgets the lease on the early exit.
+func LeakEarlyReturn(cond bool) error {
+	l, err := Acquire() // want leaselife
+	if err != nil {
+		return err
+	}
+	if cond {
+		return errors.New("early exit without release")
+	}
+	l.Release()
+	return nil
+}
+
+// Discard drops the handle entirely.
+func Discard() {
+	Acquire() // want leaselife
+}
+
+// Blank discards via underscore.
+func Blank() {
+	_, _ = Acquire() // want leaselife
+}
+
+// SpawnUnjoined starts a goroutine nothing can stop.
+func SpawnUnjoined() {
+	go func() { // want leaselife
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,109 @@
+// Package leaseclean exercises every resolution path the leaselife
+// analyzer accepts: defer, transfer, escape, nil-guard voiding, joined
+// goroutines, and a justified suppression.
+//
+//lint:leaselife goroutines
+package leaseclean
+
+import (
+	"errors"
+	"sync"
+)
+
+// Lease is a prepare-lease handle.
+type Lease struct{ id int }
+
+// Acquire mints a lease.
+//
+//lint:lease acquire
+func Acquire() (*Lease, error) { return &Lease{}, nil }
+
+// Release returns it.
+//
+//lint:lease release
+func (l *Lease) Release() {}
+
+// Renew extends it.
+//
+//lint:lease renew
+func (l *Lease) Renew() error { return nil }
+
+type registry struct{ held []*Lease }
+
+// DeferRelease is the canonical pattern: every later exit is covered.
+func DeferRelease(fail bool) error {
+	l, err := Acquire()
+	if err != nil {
+		return err
+	}
+	defer l.Release()
+	if fail {
+		return errors.New("covered by the defer")
+	}
+	return l.Renew()
+}
+
+// Transfer hands the obligation straight to the caller.
+func Transfer() (*Lease, error) {
+	return Acquire()
+}
+
+// TransferVar returns an assigned handle.
+func TransferVar() (*Lease, error) {
+	l, err := Acquire()
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Escape stores the handle; the registry owns it now.
+func Escape(r *registry) error {
+	l, err := Acquire()
+	if err != nil {
+		return err
+	}
+	r.held = append(r.held, l)
+	return nil
+}
+
+// NilGuard uses the handle-nil idiom instead of the error.
+func NilGuard() {
+	l, _ := Acquire()
+	if l == nil {
+		return
+	}
+	l.Release()
+}
+
+// SpawnJoined ties the goroutine to a WaitGroup and a done channel.
+func SpawnJoined(wg *sync.WaitGroup, done chan struct{}) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-done
+	}()
+}
+
+// SpawnLoop pumps a channel; the range ends when it closes.
+func SpawnLoop(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// AllowLeak leaks on the cond path, with a written justification.
+//
+//lint:allow leaselife intentional leak kept for the clean golden
+func AllowLeak(cond bool) error {
+	l, err := Acquire()
+	if err != nil {
+		return err
+	}
+	if cond {
+		return errors.New("suppressed leak")
+	}
+	l.Release()
+	return nil
+}

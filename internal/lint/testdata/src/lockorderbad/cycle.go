@@ -1,0 +1,39 @@
+// Package lockorderbad seeds acquisition-order violations: a
+// three-lock cycle (one edge crossing a call), a self deadlock, and a
+// rank inversion.
+package lockorderbad
+
+import "sync"
+
+// A, B, C are three independently locked owners.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+
+// ab acquires B under A.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want lockorder
+	b.mu.Unlock()
+}
+
+// bc acquires C under B — through a call, so the witness names lockC.
+func bc(b *B, c *C) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockC(c)
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// ca closes the cycle.
+func ca(c *C, a *A) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,17 @@
+package lockorderbad
+
+import "sync"
+
+// R carries two statically ranked locks of one class.
+type R struct {
+	lo sync.Mutex //lint:order rank demo 10
+	hi sync.Mutex //lint:order rank demo 20
+}
+
+// descend acquires against the declared rank order.
+func descend(r *R) {
+	r.hi.Lock()
+	defer r.hi.Unlock()
+	r.lo.Lock() // want lockorder
+	r.lo.Unlock()
+}

@@ -1,0 +1,13 @@
+package lockorderbad
+
+import "sync"
+
+// S is locked twice on one path.
+type S struct{ mu sync.Mutex }
+
+func double(s *S) {
+	s.mu.Lock()
+	s.mu.Lock() // want lockorder
+	s.mu.Unlock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,85 @@
+// Package lockorderclean holds order-correct counterparts for every
+// lockorder check: ascending ranks, a verified sorted contract, a local
+// dominating sort, index ranking, and a justified suppression.
+package lockorderclean
+
+import (
+	"sort"
+	"sync"
+)
+
+// R carries two statically ranked locks of one class.
+type R struct {
+	lo sync.Mutex //lint:order rank demo 10
+	hi sync.Mutex //lint:order rank demo 20
+}
+
+// ascend respects the declared order.
+func ascend(r *R) {
+	r.lo.Lock()
+	defer r.lo.Unlock()
+	r.hi.Lock()
+	r.hi.Unlock()
+}
+
+type part struct{ shard int }
+
+type shardLock struct{ mu sync.Mutex }
+
+var shards [4]shardLock
+
+// partsFor honors its sorted contract.
+//
+//lint:order sorted span shard
+func partsFor(n int) []part {
+	var parts []part
+	for i := 0; i < n; i++ {
+		parts = append(parts, part{shard: (7 * i) % 4})
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].shard < parts[j].shard })
+	return parts
+}
+
+// acquireContract leans on the producer's verified contract.
+func acquireContract() {
+	parts := partsFor(3)
+	for _, pt := range parts {
+		//lint:order acquire span pt.shard
+		shards[pt.shard].mu.Lock()
+	}
+	for _, pt := range parts {
+		shards[pt.shard].mu.Unlock()
+	}
+}
+
+// acquireLocalSort sorts right before the loop.
+func acquireLocalSort(parts []part) {
+	sort.Slice(parts, func(i, j int) bool { return parts[i].shard < parts[j].shard })
+	for _, pt := range parts {
+		//lint:order acquire span pt.shard
+		shards[pt.shard].mu.Lock()
+	}
+	for _, pt := range parts {
+		shards[pt.shard].mu.Unlock()
+	}
+}
+
+// acquireByIndex ranks by the slice index, ascending by construction.
+func acquireByIndex(locks []*sync.Mutex) {
+	for i := range locks {
+		//lint:order acquire idx i
+		locks[i].Lock()
+	}
+	for i := range locks {
+		locks[i].Unlock()
+	}
+}
+
+// descendAllowed shows a justified suppression of a deliberate
+// inversion.
+func descendAllowed(r *R) {
+	r.hi.Lock()
+	defer r.hi.Unlock()
+	r.lo.Lock() //lint:allow lockorder deliberate inversion for the clean golden
+	r.lo.Unlock()
+}

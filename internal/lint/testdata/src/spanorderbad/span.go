@@ -1,0 +1,67 @@
+// Package spanorderbad seeds a span-like multi-shard acquisition whose
+// iteration order is not provably ascending by shard: the producer
+// declares a sorted contract it does not honor, and the ranked acquire
+// loop therefore has no evidence.
+package spanorderbad
+
+import "sync"
+
+type part struct {
+	shard int
+	keys  []string
+}
+
+type shardLock struct{ mu sync.Mutex }
+
+var shards [4]shardLock
+
+// partsFor decomposes keys per shard but forgets to sort, violating its
+// declared contract.
+//
+//lint:order sorted span shard
+func partsFor(keys []string) []part { // want lockorder
+	var parts []part
+	for i, k := range keys {
+		parts = append(parts, part{shard: (7 * i) % 4, keys: []string{k}})
+	}
+	return parts
+}
+
+// acquireSpan takes the per-shard locks in whatever order partsFor
+// produced — which, absent the sort, can descend and deadlock against a
+// concurrent span.
+func acquireSpan(keys []string) {
+	parts := partsFor(keys)
+	for _, pt := range parts {
+		//lint:order acquire span pt.shard
+		shards[pt.shard].mu.Lock() // want lockorder
+	}
+	for _, pt := range parts {
+		shards[pt.shard].mu.Unlock()
+	}
+}
+
+// constDescend ranks two sequential acquisitions the wrong way round.
+func constDescend(a, b *sync.Mutex) {
+	//lint:order acquire seq 2
+	a.Lock()
+	//lint:order acquire seq 1
+	b.Lock() // want lockorder
+	b.Unlock()
+	a.Unlock()
+}
+
+// unprovable ranks by an expression the analyzer cannot tie to any
+// iteration order.
+func unprovable(v int) {
+	//lint:order acquire span v
+	_ = v // want lockorder
+}
+
+// wrongVar ranks by a variable that is not the loop's.
+func wrongVar(parts []part, other int) {
+	for range parts {
+		//lint:order acquire span other
+		_ = other // want lockorder
+	}
+}

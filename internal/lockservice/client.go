@@ -183,6 +183,8 @@ func (c *Client) call(ctx context.Context, method, path string, body, out any) e
 // Acquire requests the resource set and blocks until grant, rejection,
 // or ctx cancellation. timeout, when positive, is forwarded as the
 // server-side wait budget.
+//
+//lint:lease acquire
 func (c *Client) Acquire(ctx context.Context, resources []string, timeout, ttl time.Duration) (*AcquireResponse, error) {
 	req := AcquireRequest{Resources: resources, RingGen: c.ringGen.Load()}
 	if timeout > 0 {
@@ -236,11 +238,15 @@ func (c *Client) membership(ctx context.Context, op string, node int) (*Membersh
 }
 
 // Release releases a granted session.
+//
+//lint:lease release
 func (c *Client) Release(ctx context.Context, sessionID string) error {
 	return c.call(ctx, http.MethodPost, "/v1/release", ReleaseRequest{SessionID: sessionID}, nil)
 }
 
 // Renew extends a live lease's TTL and returns the granted lifetime.
+//
+//lint:lease renew
 func (c *Client) Renew(ctx context.Context, sessionID string, ttl time.Duration) (time.Duration, error) {
 	req := RenewRequest{SessionID: sessionID}
 	if ttl > 0 {

@@ -81,7 +81,7 @@ type Router struct {
 	handlers []http.Handler
 	metrics  *RouterMetrics
 
-	mu   sync.Mutex
+	mu   sync.Mutex  //lint:order rank lockservice 10
 	ring *shard.Ring // guarded by mu
 }
 
@@ -250,6 +250,8 @@ type spanPart struct {
 // partsFor decomposes a resource set by ring placement under one ring
 // snapshot, returning parts in ascending shard order (the canonical
 // acquisition order); within a part, keys keep request order.
+//
+//lint:order sorted span shard
 func (r *Router) partsFor(resources []string) ([]spanPart, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -290,6 +292,8 @@ func (r *Router) prepareBudget() time.Duration {
 // trip); a spanning set runs the span protocol. ringGen, when
 // non-zero, asserts the generation the caller resolved placement
 // under; a mismatch is ErrWrongShard.
+//
+//lint:lease acquire
 func (r *Router) Acquire(ctx context.Context, resources []string, ttl time.Duration, ringGen uint64) (*Grant, error) {
 	if cur := r.generation(); ringGen != 0 && ringGen != cur {
 		r.metrics.WrongShardRejections.Add(1)
@@ -319,6 +323,12 @@ func (r *Router) Acquire(ctx context.Context, resources []string, ttl time.Durat
 // surfaces as ErrSpanAborted (409, retryable: rollback left no
 // residue).
 func (r *Router) acquireSpan(ctx context.Context, resources []string, parts []spanPart, ttl time.Duration) (*Grant, error) {
+	// The protocol's deadlock freedom rests on every span walking its
+	// shards in the same order. partsFor already sorts, but the proof
+	// should not depend on a contract a caller could break: re-assert
+	// ascending shard order locally (a handful of elements, already
+	// sorted — effectively free).
+	sort.Slice(parts, func(i, j int) bool { return parts[i].shard < parts[j].shard })
 	r.metrics.SpanAcquires.Add(1)
 	start := time.Now()
 	prep := r.prepareBudget()
@@ -334,6 +344,7 @@ func (r *Router) acquireSpan(ctx context.Context, resources []string, parts []sp
 	}
 	for _, pt := range parts {
 		r.metrics.ShardRequests[pt.shard].Add(1)
+		//lint:order acquire span pt.shard
 		g, err := r.shards[pt.shard].Acquire(ctx, pt.keys, prep)
 		if err != nil {
 			rollback()
@@ -389,6 +400,8 @@ func spanSubIDs(sessionID string) ([]string, bool) {
 // still live (sub-leases already expired or fenced are at-most-once
 // no-ops, matching the single-session release contract) and reports
 // ErrNotFound only when the whole span was already gone.
+//
+//lint:lease release
 func (r *Router) Release(sessionID string) error {
 	if ids, ok := spanSubIDs(sessionID); ok {
 		released := false
@@ -418,6 +431,8 @@ func (r *Router) releaseSub(sessionID string) error {
 // lifetime; if any sub-lease is gone (expired or fenced), the span's
 // atomicity is already broken, so the survivors are released and the
 // renewal fails — the client holds all of its keys or none.
+//
+//lint:lease renew
 func (r *Router) Renew(sessionID string, ttl time.Duration) (time.Duration, error) {
 	if ids, ok := spanSubIDs(sessionID); ok {
 		granted := time.Duration(0)

@@ -362,6 +362,66 @@ func TestRouterSpanRollbackOnPrepareExpiry(t *testing.T) {
 // generation, and its retry loop recovers without operator help. Also
 // covers release-after-ring-leave: a lease granted by a shard stays
 // releasable after the shard leaves the ring.
+// TestRouterSpanAbortOnPrepareLostMidSpan exercises the span
+// protocol's OTHER rollback trigger: not a sub-acquire failure, but a
+// prepare lease lost while a later shard was still being acquired. The
+// shard-0 prepare (50ms TTL) is swept by the janitor while the span
+// blocks behind a holder on shard 1; when the holder releases and the
+// shard-1 sub-acquire finally succeeds, the refresh loop finds the
+// shard-0 prepare gone and must abort the whole span, releasing the
+// fresh shard-1 grant too — no sub-lease may survive an aborted span
+// on any shard.
+func TestRouterSpanAbortOnPrepareLostMidSpan(t *testing.T) {
+	rt := NewRouter(RouterConfig{
+		Shards:     2,
+		Base:       fastConfig(graph.Grid(2, 2)),
+		PrepareTTL: 50 * time.Millisecond, // swept by the 100ms janitor during the blocked wait
+	})
+	rt.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		rt.Stop(ctx)
+	})
+	pair := spanningPair(t, rt)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	held, err := rt.Acquire(ctx, []string{pair[1]}, 10*time.Second, 0)
+	if err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+	// Release the holder only after the janitor has certainly swept the
+	// span's shard-0 prepare (two full janitor periods past its TTL).
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		if err := rt.Release(held.SessionID); err != nil {
+			t.Errorf("holder release: %v", err)
+		}
+	}()
+
+	_, err = rt.Acquire(ctx, pair, 10*time.Second, 0)
+	if !errors.Is(err, ErrSpanAborted) {
+		t.Fatalf("span acquire after lost prepare: err = %v, want ErrSpanAborted", err)
+	}
+	if !strings.Contains(err.Error(), "mid-span") {
+		t.Fatalf("abort error %q does not name the mid-span refresh path", err)
+	}
+
+	m := rt.Metrics()
+	if got := m.SpanRollbacks.Load(); got != 1 {
+		t.Fatalf("SpanRollbacks = %d, want 1", got)
+	}
+	if got := m.SpanCommits.Load(); got != 0 {
+		t.Fatalf("SpanCommits = %d, want 0", got)
+	}
+	for s := 0; s < 2; s++ {
+		if got := rt.Shard(s).ActiveLeases(); got != 0 {
+			t.Fatalf("shard %d active leases after span abort = %d, want 0", s, got)
+		}
+	}
+}
+
 func TestRouterWrongShardRetry(t *testing.T) {
 	rt := startRouter(t, 2, fastConfig(graph.Grid(2, 2)))
 	hs := httptest.NewServer(rt.Handler())

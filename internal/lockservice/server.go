@@ -128,7 +128,7 @@ type Server struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	mu       sync.Mutex
+	mu       sync.Mutex        //lint:order rank lockservice 20
 	leases   map[string]*lease // guarded by mu
 	draining bool              // guarded by mu
 	started  bool              // guarded by mu
@@ -291,6 +291,8 @@ func (s *Server) janitor() {
 // Acquire blocks until the resource set is granted, the context or the
 // server's wait budget expires, or the server drains. ttl <= 0 uses the
 // configured default lease TTL.
+//
+//lint:lease acquire
 func (s *Server) Acquire(ctx context.Context, resources []string, ttl time.Duration) (*Grant, error) {
 	s.metrics.AcquireRequests.Add(1)
 	s.mu.Lock()
@@ -396,6 +398,8 @@ func (s *Server) Acquire(ctx context.Context, resources []string, ttl time.Durat
 }
 
 // Release ends the lease with the given session ID.
+//
+//lint:lease release
 func (s *Server) Release(sessionID string) error {
 	s.mu.Lock()
 	l, ok := s.leases[sessionID]
@@ -418,6 +422,8 @@ func (s *Server) Release(sessionID string) error {
 // lease that has expired, been fenced, or was never granted reports
 // ErrNotFound — the fencing rules are unchanged: a restart of the
 // lease's home still revokes it no matter how recently it was renewed.
+//
+//lint:lease renew
 func (s *Server) Renew(sessionID string, ttl time.Duration) (time.Duration, error) {
 	if ttl <= 0 {
 		ttl = s.cfg.DefaultTTL

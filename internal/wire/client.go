@@ -60,7 +60,7 @@ type Client struct {
 
 	stats ClientStats
 
-	mu   sync.Mutex
+	mu   sync.Mutex  //lint:order rank wireclient 10
 	pool []*connSlot // guarded by mu
 	rr   atomic.Uint64
 }
@@ -69,7 +69,7 @@ type Client struct {
 // burst of callers hitting a dead slot produces one dial, not one per
 // caller.
 type connSlot struct {
-	mu sync.Mutex
+	mu sync.Mutex  //lint:order rank wireclient 20
 	cc *clientConn // guarded by mu
 }
 
@@ -89,7 +89,7 @@ type ClientStats struct {
 	BatchedEntries atomic.Int64
 	Writes         atomic.Int64
 
-	mu          sync.Mutex
+	mu          sync.Mutex    //lint:order rank wireclient 40
 	batchCounts map[int]int64 // write batch size -> occurrences; guarded by mu
 }
 
@@ -197,6 +197,8 @@ type Grant struct {
 // Acquire requests the resource set, blocking until grant, rejection,
 // or ctx cancellation. timeout > 0 is forwarded as the server-side
 // wait budget; ttl > 0 overrides the lease TTL.
+//
+//lint:lease acquire
 func (c *Client) Acquire(ctx context.Context, resources []string, timeout, ttl time.Duration) (*Grant, error) {
 	req := Msg{Type: TypeAcquire, Resources: resources}
 	if timeout > 0 {
@@ -228,6 +230,8 @@ func (c *Client) Acquire(ctx context.Context, resources []string, timeout, ttl t
 // indeterminate attempt (response lost in transit) reports success:
 // the first attempt released the session, only its acknowledgment was
 // lost.
+//
+//lint:lease release
 func (c *Client) Release(ctx context.Context, sessionID string) error {
 	req := Msg{Type: TypeRelease, Session: sessionID}
 	err := c.call(ctx, func() (Msg, error) { return req, nil }, 0, func(m Msg) error {
@@ -244,6 +248,8 @@ func (c *Client) Release(ctx context.Context, sessionID string) error {
 }
 
 // Renew extends a live lease's TTL and returns the granted lifetime.
+//
+//lint:lease renew
 func (c *Client) Renew(ctx context.Context, sessionID string, ttl time.Duration) (time.Duration, error) {
 	req := Msg{Type: TypeRenew, Session: sessionID}
 	if ttl > 0 {
@@ -496,7 +502,7 @@ type clientConn struct {
 	// hello (0 if the server predates the field); immutable after dial.
 	budget time.Duration
 
-	mu      sync.Mutex
+	mu      sync.Mutex          //lint:order rank wireclient 30
 	waiters map[uint64]chan Msg // guarded by mu
 	err     error               // guarded by mu
 }
