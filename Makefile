@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race short cover bench bench-json bench-gate wire-smoke span-smoke examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
+.PHONY: all build vet lint test race short cover bench bench-json bench-gate wire-smoke span-smoke failover-smoke examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
 
 all: build vet lint test
 
@@ -49,6 +49,7 @@ bench-json: dinerd
 	./bin/dinerd bench -mode shards -core bench_core.txt -out BENCH_shard.json
 	@rm -f bench_core.txt
 	GOMAXPROCS=1 ./bin/dinerd bench -mode transports -out BENCH_wire.json
+	GOMAXPROCS=1 ./bin/dinerd bench -mode failover -out BENCH_failover.json
 
 # Gate a working tree against the checked-in transport baseline: rerun
 # the transports benchmark and fail if wire_vs_http (or, on the same
@@ -72,6 +73,19 @@ span-smoke:
 	$(GO) test -race -run 'TestRouterSpan|TestRouterSingleShardFastPath|TestWireFacadeParity' ./internal/lockservice/
 	$(GO) test -race -run 'TestSpanSweep|TestSpanSameSeed' ./internal/detsim/
 	$(GO) test -run='^$$' -fuzz=FuzzCrossShardAcquire -fuzztime=10s ./internal/detsim/
+
+# Failover smoke: race-checked kill-primary e2e + fencing parity over
+# both transports, the detsim replica-oracle sweeps (fair kill-primary,
+# adversarial standby strikes, kill-during-promotion), a live
+# kill-primary chaos campaign against a replicated router, and a fuzz
+# burst over random kill/stall schedules (docs/SHARD.md).
+failover-smoke:
+	$(GO) test -race -run 'TestFailoverEndToEnd|TestGenerationFencingParity|TestFailoverAdminEndpoint' ./internal/lockservice/
+	$(GO) run ./cmd/detsim -mode replica -seeds 0..30 -replicas 3 -kills 3
+	$(GO) run ./cmd/detsim -mode replica-adversarial -seeds 0..20 -replicas 3 -kills 3
+	$(GO) run ./cmd/detsim -mode replica-promokill -seeds 0..20 -replicas 3 -kills 2
+	$(GO) run -race ./cmd/dinerd chaos -replicas 2 -shards 2 -kills 3 -duration 6s -seed 1
+	$(GO) test -run='^$$' -fuzz=FuzzFailover -fuzztime=10s ./internal/detsim/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -13,6 +13,8 @@
 //	detsim -topology grid:3x3 -seeds 0..99 -churn 2 -mode churn
 //	detsim -topology grid:3x3 -seed 9 -shards 3 -mode span
 //	detsim -topology grid:3x3 -seeds 0..99 -shards 2 -crash 2 -mode span
+//	detsim -mode replica -seeds 0..99 -replicas 3 -kills 3
+//	detsim -mode replica-adversarial -seed 11 -replicas 3 -kills 4 -trace
 //
 // The process exits 1 if any run violates a checked property (eating
 // exclusion, failure locality 2, lock-history linearizability), which
@@ -46,7 +48,9 @@ func run(args []string, out *os.File) int {
 		crash    = fs.Int("crash", 0, "number of seed-drawn crash victims (malicious windows up to 6 steps)")
 		churn    = fs.Int("churn", 0, "number of seed-drawn leave/rejoin pairs (churn mode)")
 		shards   = fs.Int("shards", 2, "shard count for span mode")
-		mode     = fs.String("mode", "fair", "fair | adversarial | service | fork | chaos | churn | span")
+		replicas = fs.Int("replicas", 3, "replica count for the replica modes")
+		kills    = fs.Int("kills", 3, "seed-drawn primary kills for the replica modes")
+		mode     = fs.String("mode", "fair", "fair | adversarial | service | fork | chaos | churn | span | replica | replica-adversarial | replica-promokill")
 		trace    = fs.Bool("trace", false, "print the full event trace (single-seed runs)")
 	)
 	fs.Parse(args)
@@ -67,12 +71,12 @@ func run(args []string, out *os.File) int {
 	bad := 0
 	for s := lo; s <= hi; s++ {
 		single := lo == hi
-		failed, summary := runSeed(g, s, *rounds, *crash, *churn, *shards, *mode, *trace && single)
+		failed, summary := runSeed(g, s, *rounds, *crash, *churn, *shards, *replicas, *kills, *mode, *trace && single)
 		if failed {
 			bad++
 			fmt.Fprintf(out, "seed %d: FAIL %s\n", s, summary)
-			fmt.Fprintf(out, "  replay: detsim -topology %s -seed %d -rounds %d -crash %d -churn %d -shards %d -mode %s -trace\n",
-				*topology, s, *rounds, *crash, *churn, *shards, *mode)
+			fmt.Fprintf(out, "  replay: detsim -topology %s -seed %d -rounds %d -crash %d -churn %d -shards %d -replicas %d -kills %d -mode %s -trace\n",
+				*topology, s, *rounds, *crash, *churn, *shards, *replicas, *kills, *mode)
 		} else if single {
 			fmt.Fprintf(out, "seed %d: ok %s\n", s, summary)
 		}
@@ -89,7 +93,7 @@ func run(args []string, out *os.File) int {
 
 // runSeed executes one seed in the given mode and returns (failed,
 // one-line summary).
-func runSeed(g *graph.Graph, seed int64, rounds, crash, churn, shards int, mode string, trace bool) (bool, string) {
+func runSeed(g *graph.Graph, seed int64, rounds, crash, churn, shards, replicas, kills int, mode string, trace bool) (bool, string) {
 	switch mode {
 	case "fair":
 		res := detsim.SweepRun(g, seed, rounds, crash, trace)
@@ -173,6 +177,27 @@ func runSeed(g *graph.Graph, seed int64, rounds, crash, churn, shards int, mode 
 			res.Spans, res.Commits, res.Rollbacks, res.Displaced, res.TraceHash,
 			res.PartialCommits, res.OverlapViolations, res.OrphanedSpans,
 			res.SafetyViolations, res.HistoryViolations)
+	case "replica", "replica-adversarial", "replica-promokill":
+		// Shard-replica failover harness: one shard's primary plus hot
+		// standbys under seed-drawn kill-primary campaigns (-replicas,
+		// -kills; topology unused). The adversarial flavor adds standby
+		// kills and replication stalls; promokill chases each primary
+		// kill with a strike on the standby the promotion chose.
+		var res *detsim.ReplicaResult
+		switch mode {
+		case "replica-adversarial":
+			res = detsim.SweepReplicaAdversarial(seed, rounds, replicas, kills, trace)
+		case "replica-promokill":
+			res = detsim.SweepReplicaKillDuringPromotion(seed, rounds, replicas, kills, trace)
+		default:
+			res = detsim.SweepReplica(seed, rounds, replicas, kills, trace)
+		}
+		printTrace(trace, res.Trace)
+		return res.Failed(), fmt.Sprintf("grants=%d promotions=%d/%d fenced=%d dropped=%d holds=%d blackout=%d/max%d hash=%016x dual=%v excl=%v undrained=%v",
+			res.Grants, res.Promotions, res.Promotions+res.FailedPromotions,
+			res.FencedGrants, res.DroppedRecords, res.Holds,
+			res.BlackoutRounds, res.MaxBlackout, res.TraceHash,
+			res.DualPrimaryViolations, res.ExclusionViolations, res.UndrainedViolations)
 	default:
 		fmt.Fprintf(os.Stderr, "detsim: unknown mode %q\n", mode)
 		os.Exit(2)

@@ -89,7 +89,9 @@ type benchConfig struct {
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		mode      = fs.String("mode", "transports", "transports (HTTP vs wire) or shards (scaling sweep)")
+		mode      = fs.String("mode", "transports", "transports (HTTP vs wire), shards (scaling sweep), or failover (kill-primary MTTR)")
+		replicas  = fs.Int("replicas", 2, "hot standbys per shard (failover mode)")
+		kills     = fs.Int("kills", 4, "primary kills during the failover stage (failover mode)")
 		shardsCSV = fs.String("shards", "", "shard counts: comma list to sweep (shards mode, default 1,2,4) or one count (transports mode, default 4)")
 		topology  = fs.String("topology", "grid", "per-shard topology: grid|ring|path|torus|complete")
 		rows      = fs.Int("rows", 3, "grid/torus rows")
@@ -187,8 +189,23 @@ func benchCmd(args []string) {
 			*out = "BENCH_shard.json"
 		}
 		benchShards(g, *shardsCSV, base, cfg, *tick, *corePath, *out)
+	case "failover":
+		if *shardsCSV == "" {
+			*shardsCSV = "2"
+		}
+		counts, err := parseShardCounts(*shardsCSV)
+		if err != nil {
+			fail(err)
+		}
+		if len(counts) != 1 {
+			fail(fmt.Errorf("failover mode measures one shard count, got -shards %q", *shardsCSV))
+		}
+		if *out == "" {
+			*out = "BENCH_failover.json"
+		}
+		benchFailover(g, counts[0], *replicas, *kills, base, cfg, *out)
 	default:
-		fail(fmt.Errorf("unknown -mode %q (want transports or shards)", *mode))
+		fail(fmt.Errorf("unknown -mode %q (want transports, shards, or failover)", *mode))
 	}
 }
 

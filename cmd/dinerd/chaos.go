@@ -57,6 +57,8 @@ func chaosCmd(args []string) {
 		delay     = fs.Float64("delay", 0.10, "per-frame channel-stall probability")
 		maxDelay  = fs.Int("max-delay", 3, "maximum stall length in ticks")
 		reorder   = fs.Float64("reorder", 0.10, "per-frame reorder (1-tick stall) probability")
+		shards    = fs.Int("shards", 2, "shard count for the kill-primary campaign (-replicas > 0)")
+		replicas  = fs.Int("replicas", 0, "hot standbys per shard; > 0 switches to the kill-primary failover campaign")
 		garbage   = fs.Bool("garbage", true, "revive victims with arbitrary state instead of clean")
 		supmode   = fs.Bool("supervise", false, "let the self-healing supervisor revive victims instead of the script")
 		transport = fs.String("transport", "http", "load transport: http or wire (admin always HTTP; wire mode also injects the fault profile into framed connections)")
@@ -76,6 +78,14 @@ func chaosCmd(args []string) {
 		Delay: *delay, MaxDelayTicks: *maxDelay, Reorder: *reorder,
 	}
 	horizon := int(*duration / *tick)
+	if *replicas > 0 {
+		chaosFailover(failoverOpts{
+			graph: g, seed: *seed, duration: *duration, tick: *tick,
+			shards: *shards, replicas: *replicas, kills: *kills,
+			faults: faults, clients: *clients, hold: *hold, timeout: *timeout,
+		})
+		return
+	}
 	camp := chaos.Random(*seed, g, horizon, *kills, *churn, faults)
 
 	hist := lockservice.NewHistory()

@@ -1,0 +1,283 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcdp/internal/chaos"
+	"mcdp/internal/graph"
+	"mcdp/internal/lockservice"
+	"mcdp/internal/stats"
+)
+
+// failoverOpts parameterizes one kill-primary chaos campaign.
+type failoverOpts struct {
+	graph    *graph.Graph
+	seed     int64
+	duration time.Duration
+	tick     time.Duration
+	shards   int
+	replicas int
+	kills    int
+	faults   chaos.Faults
+	clients  int
+	hold     time.Duration
+	timeout  time.Duration
+}
+
+// strike records one executed kill-primary action.
+type strike struct {
+	shard     int
+	at        time.Duration // offset into the campaign
+	took      time.Duration // kill to promoted-and-settled (-1: never)
+	recovered bool
+}
+
+// chaosFailover is the kill-primary campaign: a replicated router under
+// client load while scripted strikes halt shard primaries and the
+// supervisor promotes standbys. Each strike is executed through
+// Router.Failover — the same kill switch the admin endpoint uses — so
+// what is measured is the production detection + promotion path, and
+// the verdict demands 100% recovery: every executed strike must end
+// with a settled successor. Post-run, eating exclusion is checked on
+// EVERY server each shard ever owned (deposed primaries granted leases
+// too) and the shard-0 lock history must be linearizable. Exit 1 on
+// any violation; the same -seed replays the same plan.
+func chaosFailover(o failoverOpts) {
+	hist := lockservice.NewHistory()
+	camp := chaos.RandomFailover(o.seed, o.shards, int(o.duration/o.tick), o.kills, o.faults)
+	rt := lockservice.NewRouter(lockservice.RouterConfig{
+		Shards:   o.shards,
+		Replicas: o.replicas,
+		Base: lockservice.Config{
+			Graph:     o.graph,
+			Seed:      o.seed,
+			TickEvery: o.tick,
+			Faults:    camp.Injector(),
+			History:   hist,
+		},
+		Failover: lockservice.FailoverConfig{
+			CheckEvery:     10 * time.Millisecond,
+			Misses:         2,
+			Cooloff:        500 * time.Millisecond,
+			AckTimeout:     100 * time.Millisecond,
+			HeartbeatEvery: 20 * time.Millisecond,
+			StaleAfter:     250 * time.Millisecond,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("chaos: "+format+"\n", args...)
+			},
+		},
+	})
+	rt.Start()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	baseURL := "http://" + ln.Addr().String()
+
+	fmt.Printf("chaos: failover campaign seed=%d %d x %s shards, %d standbys each, %d strikes over %v on %s\n",
+		o.seed, o.shards, o.graph.Name(), o.replicas, len(camp.Actions), o.duration, baseURL)
+	for _, a := range camp.Actions {
+		fmt.Printf("chaos:   t+%-8v %s shard %d\n", time.Duration(a.At)*o.tick, a.Kind, a.Node)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.duration)
+	probeCtx, cancelProbe := context.WithTimeout(context.Background(), 10*time.Second)
+	probe := lockservice.NewClient(baseURL)
+	rep, err := probe.Status(probeCtx)
+	cancelProbe()
+	if err != nil {
+		fail(fmt.Errorf("cannot reach own router: %w", err))
+	}
+
+	// Client load: acquire/hold/release over the whole catalog. The
+	// client's own machinery absorbs the failovers — 409 retries after
+	// ring bumps, Retry-After honored during promotions — so anything
+	// besides timeouts and shed load counts against the verdict.
+	var (
+		wg       sync.WaitGroup
+		attempts atomic.Int64
+		grants   atomic.Int64
+		rejects  atomic.Int64
+		failures atomic.Int64
+	)
+	for w := 0; w < o.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(w)*7919))
+			c := lockservice.NewClient(baseURL)
+			_, _ = c.Ring(ctx) // seed the generation the acquires assert
+			for ctx.Err() == nil {
+				res := rep.Edges[rng.Intn(len(rep.Edges))]
+				attempts.Add(1)
+				grant, err := c.Acquire(ctx, []string{res}, o.timeout, 0)
+				if err != nil {
+					if isExpectedChaosErr(err) || errCode(err) == 409 {
+						rejects.Add(1)
+					} else if ctx.Err() == nil {
+						failures.Add(1)
+					}
+					continue
+				}
+				grants.Add(1)
+				time.Sleep(o.hold)
+				if err := c.Release(context.WithoutCancel(ctx), grant.SessionID); err != nil {
+					switch {
+					case errCode(err) == 404:
+						rejects.Add(1) // lease TTL-drained by a gapped promotion mid-hold
+					case isExpectedChaosErr(err):
+						rejects.Add(1)
+					default:
+						failures.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Strike executor: replay the plan on the wall clock. A strike on a
+	// shard with no standby left is reassigned to the lowest-indexed
+	// shard that still has one (the router refuses to kill a lone
+	// primary — that refusal is load-bearing, not a campaign failure).
+	strikes := make([]strike, 0, len(camp.Actions))
+	start := time.Now()
+	for _, a := range camp.Actions {
+		at := start.Add(time.Duration(a.At) * o.tick)
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Until(at)):
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		target := int(a.Node)
+		if rt.ShardInfo(target).Standbys == 0 {
+			reassigned := -1
+			for s := 0; s < o.shards; s++ {
+				if rt.ShardInfo(s).Standbys > 0 {
+					reassigned = s
+					break
+				}
+			}
+			if reassigned == -1 {
+				fmt.Printf("chaos: strike on shard %d skipped: no shard has a standby left\n", target)
+				continue
+			}
+			fmt.Printf("chaos: strike reassigned shard %d -> %d (no standby left)\n", target, reassigned)
+			target = reassigned
+		}
+		st := strike{shard: target, at: time.Since(start), took: -1}
+		killAt := time.Now()
+		if err := rt.Failover(target, 15*time.Second); err != nil {
+			fmt.Printf("chaos: RECOVERY FAILURE: shard %d: %v\n", target, err)
+		} else {
+			st.took = time.Since(killAt)
+			st.recovered = true
+		}
+		strikes = append(strikes, st)
+	}
+
+	<-ctx.Done()
+	cancel()
+	wg.Wait()
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	rt.Stop(shutdownCtx)
+
+	// Authoritative verdicts. Exclusion must hold on every server a
+	// shard ever owned: a deposed primary that granted before its fence
+	// is as much a suspect as the survivor.
+	var overlaps []string
+	var adopted, restarts int64
+	for s := 0; s < o.shards; s++ {
+		for _, srv := range rt.ShardServers(s) {
+			overlaps = append(overlaps, srv.Network().OverlappingNeighborSessions()...)
+			adopted += srv.Metrics().LeasesAdopted.Load()
+			restarts += srv.Metrics().NodeRestarts.Load()
+		}
+	}
+	histViolations := hist.Check(o.graph)
+	recovered := 0
+	for _, s := range strikes {
+		if s.recovered {
+			recovered++
+		}
+	}
+
+	m := rt.Metrics()
+	promos := m.PromotionDurations()
+	summary := stats.NewTable("failover campaign summary", "metric", "value")
+	summary.AddRow("attempts", attempts.Load())
+	summary.AddRow("grants", grants.Load())
+	summary.AddRow("availability", fmt.Sprintf("%.1f%%", 100*float64(grants.Load())/float64(max64(attempts.Load(), 1))))
+	summary.AddRow("rejects (expected under failover)", rejects.Load())
+	summary.AddRow("unexpected failures", failures.Load())
+	summary.AddRow("strikes executed", len(strikes))
+	summary.AddRow("strikes recovered", recovered)
+	summary.AddRow("promotions (router metric)", m.Failovers.Load())
+	summary.AddRow("leaderless rejections (503)", m.LeaderlessRejections.Load())
+	summary.AddRow("leases adopted", adopted)
+	if len(promos) > 0 {
+		summary.AddRow("promotion p50", quantileDuration(promos, 0.50).Round(time.Millisecond).String())
+		summary.AddRow("promotion p99 (MTTR)", quantileDuration(promos, 0.99).Round(time.Millisecond).String())
+	}
+	summary.Render(os.Stdout)
+
+	if len(strikes) > 0 {
+		tbl := stats.NewTable("per-strike recovery", "shard", "at", "kill->settled")
+		for _, s := range strikes {
+			took := "never"
+			if s.recovered {
+				took = s.took.Round(time.Millisecond).String()
+			}
+			tbl.AddRow(s.shard, s.at.Round(time.Millisecond).String(), took)
+		}
+		tbl.Render(os.Stdout)
+	}
+
+	bad := false
+	if recovered != len(strikes) {
+		bad = true
+		fmt.Printf("chaos: RECOVERY VIOLATION: %d/%d strikes recovered\n", recovered, len(strikes))
+	}
+	for _, v := range overlaps {
+		bad = true
+		fmt.Printf("chaos: EATING-EXCLUSION VIOLATION: %s\n", v)
+	}
+	for _, v := range histViolations {
+		bad = true
+		fmt.Printf("chaos: LOCK-HISTORY VIOLATION: %s\n", v)
+	}
+	if failures.Load() > 0 {
+		bad = true
+		fmt.Printf("chaos: %d unexpected client failures\n", failures.Load())
+	}
+	if bad {
+		fmt.Printf("chaos: FAIL (replay: dinerd chaos -replicas %d -shards %d -seed %d -kills %d)\n",
+			o.replicas, o.shards, o.seed, o.kills)
+		os.Exit(1)
+	}
+	fmt.Printf("chaos: ok — %d/%d strikes recovered, exclusion held on %d servers, history linearizable\n",
+		recovered, len(strikes), o.shards*(1+o.replicas))
+}
+
+// quantileDuration reads a quantile from raw durations (copy-sorts).
+func quantileDuration(ds []time.Duration, q float64) time.Duration {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return time.Duration(stats.Quantile(xs, q) * float64(time.Second))
+}

@@ -191,6 +191,8 @@ type loadResult struct {
 	timeouts      atomic.Int64 // 408: wait budget exhausted
 	busy          atomic.Int64 // 429: backpressure
 	unserviceable atomic.Int64 // 422: no worker can arbitrate the mapped set
+	leaderless    atomic.Int64 // 503: shard between primaries, retries exhausted
+	staleRing     atomic.Int64 // 409: ring generation moved, retries exhausted
 	failures      atomic.Int64
 	overall       *stats.Recorder
 	perShard      map[int]*shardTally
@@ -217,6 +219,9 @@ func errCode(err error) int {
 }
 
 // classify buckets one acquire/release failure by its rejection code.
+// 503 and 409 reach here only after the client exhausted its internal
+// retries (Retry-After honored, ring re-resolved) — expected shed load
+// during a failover, not a bug, so they get their own buckets.
 func classify(err error, res *loadResult) {
 	switch errCode(err) {
 	case 408:
@@ -225,6 +230,10 @@ func classify(err error, res *loadResult) {
 		res.busy.Add(1)
 	case 422:
 		res.unserviceable.Add(1)
+	case 503:
+		res.leaderless.Add(1)
+	case 409:
+		res.staleRing.Add(1)
 	default:
 		res.failures.Add(1)
 	}

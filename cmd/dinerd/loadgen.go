@@ -37,6 +37,7 @@ func loadgen(args []string) {
 		timeout   = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
 		seed      = fs.Int64("seed", 1, "client randomness seed")
 		keys      = fs.Int("keys", 0, "synthetic named-resource keyspace size (0 = lock raw edge names)")
+		failover  = fs.Bool("failover", false, "print the failover summary: per-shard role/incarnation/lag and promotion counters (needs a replicated router)")
 	)
 	fs.Parse(args)
 	if *transport != "http" && *transport != "wire" {
@@ -96,6 +97,12 @@ func loadgen(args []string) {
 	summary.AddRow("timeouts (408)", res.timeouts.Load())
 	summary.AddRow("backpressure (429)", res.busy.Load())
 	summary.AddRow("unserviceable (422)", res.unserviceable.Load())
+	if v := res.leaderless.Load(); v > 0 || *failover {
+		summary.AddRow("leaderless, retries exhausted (503)", v)
+	}
+	if v := res.staleRing.Load(); v > 0 || *failover {
+		summary.AddRow("stale ring, retries exhausted (409)", v)
+	}
 	summary.AddRow("other failures", res.failures.Load())
 	summary.Render(os.Stdout)
 
@@ -122,6 +129,9 @@ func loadgen(args []string) {
 	}
 
 	printWireStats(res.wire)
+	if *failover {
+		printFailoverSummary(ctx, probe)
+	}
 	printSubstrateCounters(ctx, probe)
 
 	if res.failures.Load() > 0 {
@@ -166,6 +176,50 @@ func printWireStats(s *wire.ClientStats) {
 		dist.AddRow(k, sizes[k], fmt.Sprintf("%.1f", 100*float64(sizes[k])/float64(writes)))
 	}
 	dist.Render(os.Stdout)
+}
+
+// printFailoverSummary reports the replica-set state of a replicated
+// router after a load run: per-shard role, incarnation, standby count,
+// and replication lag from /v1/status, plus the promotion counters from
+// /metrics. Against an unreplicated server it degrades to empty rows.
+func printFailoverSummary(ctx context.Context, c *lockservice.Client) {
+	rep, err := c.Status(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: cannot read /v1/status: %v\n", err)
+		return
+	}
+	per := stats.NewTable("per-shard replica state",
+		"shard", "role", "incarnation", "standbys", "repl lag (records)")
+	rows := rep.Reports
+	if len(rows) == 0 {
+		rows = []lockservice.StatusReport{*rep}
+	}
+	for _, r := range rows {
+		role := r.Role
+		if role == "" {
+			role = "unreplicated"
+		}
+		per.AddRow(r.ShardID, role, r.ShardIncarnation, r.Standbys, r.ReplicationLag)
+	}
+	per.Render(os.Stdout)
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return
+	}
+	vals := parseCounters(text)
+	tbl := stats.NewTable("failover counters (server-side)", "counter", "value")
+	for _, row := range []struct{ label, series string }{
+		{"failovers completed", "dinerd_failover_total"},
+		{"leaderless rejections (503)", "dinerd_leaderless_rejections_total"},
+		{"promotions observed", "dinerd_promotion_seconds_count"},
+		{"leases adopted", "dinerd_leases_adopted_total"},
+	} {
+		if v, ok := vals[row.series]; ok {
+			tbl.AddRow(row.label, v)
+		}
+	}
+	tbl.Render(os.Stdout)
 }
 
 // printSubstrateCounters scrapes the server's /metrics and reports the

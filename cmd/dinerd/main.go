@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	dinerd serve   [-addr :7467] [-wire-addr :7468] [-topology grid] [-shards 4] ...
-//	dinerd loadgen [-addr http://127.0.0.1:7467] [-transport http|wire] [-clients 8] ...
-//	dinerd chaos   [-seed 1] [-duration 15s] [-kills 2] [-churn 1] [-supervise] ...
-//	dinerd bench   [-mode transports|shards] [-out BENCH_wire.json] ...
+//	dinerd serve   [-addr :7467] [-wire-addr :7468] [-topology grid] [-shards 4] [-replicas 2] ...
+//	dinerd loadgen [-addr http://127.0.0.1:7467] [-transport http|wire] [-clients 8] [-failover] ...
+//	dinerd chaos   [-seed 1] [-duration 15s] [-kills 2] [-churn 1] [-supervise] [-replicas 2] ...
+//	dinerd bench   [-mode transports|shards|failover] [-out BENCH_wire.json] ...
 //
 // serve starts the HTTP/JSON API (see docs/DINERD.md): POST
 // /v1/acquire, POST /v1/release, POST /v1/renew, GET /v1/status,
@@ -78,6 +78,7 @@ func serve(args []string) {
 		loss     = fs.Float64("loss", 0, "frame loss rate injected into the substrate")
 		shards   = fs.Int("shards", 1, "independent arbiter shards fronted by the consistent-hash ring")
 		vnodes   = fs.Int("vnodes", 0, "virtual nodes per shard on the ring (0 = default)")
+		replicas = fs.Int("replicas", 0, "hot standbys per shard: primaries stream lease deltas to them and the supervisor promotes the freshest on primary failure")
 	)
 	fs.Parse(args)
 
@@ -100,12 +101,12 @@ func serve(args []string) {
 	var handler http.Handler
 	var stopSvc func(context.Context)
 	var backend wire.Backend
-	if *shards > 1 {
-		rt := lockservice.NewRouter(lockservice.RouterConfig{Shards: *shards, Vnodes: *vnodes, Base: base})
+	if *shards > 1 || *replicas > 0 {
+		rt := lockservice.NewRouter(lockservice.RouterConfig{Shards: *shards, Vnodes: *vnodes, Replicas: *replicas, Base: base})
 		rt.Start()
 		handler, stopSvc, backend = rt.Handler(), rt.Stop, rt.WireBackend()
-		fmt.Printf("dinerd: serving %d x %s (%d workers, %d locks, ring gen %d) on %s\n",
-			*shards, g.Name(), *shards*g.N(), *shards*g.EdgeCount(), rt.RingInfo().Generation, *addr)
+		fmt.Printf("dinerd: serving %d x %s (%d workers, %d locks, %d standbys/shard, ring gen %d) on %s\n",
+			*shards, g.Name(), *shards*g.N(), *shards*g.EdgeCount(), *replicas, rt.RingInfo().Generation, *addr)
 	} else {
 		srv := lockservice.NewServer(base)
 		srv.Start()

@@ -38,6 +38,10 @@ const (
 	// ActJoin readmits a departed node over its surviving original
 	// edges, each booting by the humble-reboot rule.
 	ActJoin
+	// ActKillPrimary halts one shard's primary server and lets the
+	// router's supervisor promote a standby; Node holds the shard index,
+	// not a diner. Only meaningful against a replicated router.
+	ActKillPrimary
 )
 
 // String names the kind for traces and reports.
@@ -59,6 +63,8 @@ func (k ActionKind) String() string {
 		return "leave"
 	case ActJoin:
 		return "join"
+	case ActKillPrimary:
+		return "kill-primary"
 	default:
 		return fmt.Sprintf("ActionKind(%d)", uint8(k))
 	}
@@ -206,5 +212,47 @@ func Random(seed int64, g *graph.Graph, horizon, kills, churn int, f Faults) Cam
 		}
 		return actions[i].Kind < actions[j].Kind
 	})
+	return Campaign{Seed: seed, Faults: f, Actions: actions}
+}
+
+// RandomFailover derives a kill-primary campaign against a replicated
+// router: ActKillPrimary strikes on seed-drawn shards (Action.Node
+// holds the shard index), each placed in its own slice of the first
+// three quarters of the horizon so a failover — detection, promotion,
+// cool-off — has room to complete before the next strike lands. A
+// separate generator, not a Random flavor, so its draws never perturb
+// the plans Random has always produced for a seed.
+// The same (seed, shards, horizon, kills) always yields the same plan.
+func RandomFailover(seed int64, shards, horizon, kills int, f Faults) Campaign {
+	if horizon < 20 {
+		horizon = 20
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if kills < 0 {
+		kills = 0
+	}
+	s := uint64(seed) ^ 0xd1b54a32d192ed03
+	next := func() uint64 {
+		s = Splitmix64(s)
+		return s
+	}
+	spread := horizon * 3 / 4
+	var actions []Action
+	for i := 0; i < kills; i++ {
+		lo := i * spread / kills
+		hi := (i + 1) * spread / kills
+		at := lo
+		if hi > lo {
+			at = lo + int(next()%uint64(hi-lo))
+		}
+		actions = append(actions, Action{
+			At:   at,
+			Kind: ActKillPrimary,
+			Node: graph.ProcID(next() % uint64(shards)),
+		})
+	}
+	sort.Slice(actions, func(i, j int) bool { return actions[i].At < actions[j].At })
 	return Campaign{Seed: seed, Faults: f, Actions: actions}
 }

@@ -116,6 +116,49 @@ func TestRandomCampaignShape(t *testing.T) {
 	}
 }
 
+// TestRandomFailoverShape: kill-primary plans are seed-deterministic,
+// sorted, windowed so strikes never pile up at one instant, and every
+// target is a valid shard index. The generator must also leave Random's
+// stream alone: the same Random call before and after RandomFailover
+// existed yields identical plans (pinned by determinism of Random
+// itself, re-checked here across interleaved calls).
+func TestRandomFailoverShape(t *testing.T) {
+	const horizon, shards, kills = 600, 4, 6
+	for seed := int64(0); seed < 50; seed++ {
+		c := RandomFailover(seed, shards, horizon, kills, DefaultFaults())
+		c2 := RandomFailover(seed, shards, horizon, kills, DefaultFaults())
+		if c.String() != c2.String() {
+			t.Fatalf("seed %d: plan not deterministic", seed)
+		}
+		if len(c.Actions) != kills {
+			t.Fatalf("seed %d: want %d strikes, got %d", seed, kills, len(c.Actions))
+		}
+		for i, a := range c.Actions {
+			if a.Kind != ActKillPrimary {
+				t.Fatalf("seed %d: unexpected kind %s", seed, a.Kind)
+			}
+			if int(a.Node) < 0 || int(a.Node) >= shards {
+				t.Fatalf("seed %d: shard %d out of range", seed, a.Node)
+			}
+			if a.At < 0 || a.At >= horizon {
+				t.Fatalf("seed %d: strike outside horizon: %s", seed, a)
+			}
+			if i > 0 && c.Actions[i-1].At > a.At {
+				t.Fatalf("seed %d: strikes unsorted: %s", seed, c.String())
+			}
+		}
+	}
+	// Interleaving RandomFailover between Random calls must not change
+	// what Random draws — the generators own disjoint streams.
+	g := graph.Grid(3, 3)
+	before := Random(9, g, 400, 2, 1, DefaultFaults())
+	_ = RandomFailover(9, 4, 400, 3, DefaultFaults())
+	after := Random(9, g, 400, 2, 1, DefaultFaults())
+	if before.String() != after.String() {
+		t.Fatal("RandomFailover perturbed Random's plan stream")
+	}
+}
+
 // TestRandomVictimsDistinct: kill counts up to n yield distinct victims.
 func TestRandomVictimsDistinct(t *testing.T) {
 	g := graph.Ring(5)

@@ -1,0 +1,238 @@
+package detsim
+
+import (
+	"testing"
+)
+
+// replicaSweepSeeds scales the replica sweeps like the other harnesses.
+func replicaSweepSeeds() int {
+	if testing.Short() || raceEnabled {
+		return 20
+	}
+	return 120
+}
+
+// TestReplicaSweepKillPrimary is the replica harness's main acceptance
+// sweep: seed-indexed kill-primary campaigns (a third of kills zombie)
+// must produce zero dual-primary, exclusion, or undrained violations —
+// and the sweep must actually promote, fence split-brain grants, and
+// grant leases, or the oracles are vacuous.
+func TestReplicaSweepKillPrimary(t *testing.T) {
+	seeds := replicaSweepSeeds()
+	var grants, promotions, fenced int
+	for s := 0; s < seeds; s++ {
+		seed := int64(11_000_000 + s)
+		res := SweepReplica(seed, 300, 3, 3, false)
+		if res.Failed() {
+			t.Errorf("seed %d: dual=%v excl=%v undrained=%v\nreplay: go run ./cmd/detsim -mode replica -seed %d -rounds 300 -replicas 3 -kills 3 -trace",
+				seed, res.DualPrimaryViolations, res.ExclusionViolations,
+				res.UndrainedViolations, seed)
+		}
+		grants += res.Grants
+		promotions += res.Promotions
+		fenced += res.FencedGrants
+	}
+	if grants == 0 {
+		t.Fatal("sweep granted no leases; oracles never exercised")
+	}
+	if promotions == 0 {
+		t.Fatal("sweep never promoted a standby; failover path unexercised")
+	}
+	if fenced == 0 {
+		t.Fatal("sweep fenced no split-brain grants; zombie path unexercised")
+	}
+}
+
+// TestReplicaSweepAdversarial: under combined primary kills, standby
+// kills, kill-during-promotion strikes, and replication stalls, the
+// safety oracles must still hold — the adversary controls which
+// promotion succeeds, never whether two clients hold one key.
+func TestReplicaSweepAdversarial(t *testing.T) {
+	seeds := replicaSweepSeeds() / 2
+	var holds int
+	for s := 0; s < seeds; s++ {
+		seed := int64(11_100_000 + s)
+		res := SweepReplicaAdversarial(seed, 300, 3, 4, false)
+		if res.Failed() {
+			t.Errorf("seed %d: dual=%v excl=%v undrained=%v",
+				seed, res.DualPrimaryViolations, res.ExclusionViolations,
+				res.UndrainedViolations)
+		}
+		holds += res.Holds
+	}
+	if holds == 0 {
+		t.Fatal("adversarial sweep never forced a TTL-drain hold-down; gap detection unexercised")
+	}
+}
+
+// TestReplicaSweepKillDuringPromotion: every primary kill is chased by
+// a strike on the standby the promotion chooses. Dark completions and
+// re-promotions must stay safe, and the sweep must actually hit the
+// window (failed promotions observed) or the schedule missed.
+func TestReplicaSweepKillDuringPromotion(t *testing.T) {
+	seeds := replicaSweepSeeds() / 2
+	var failed, promotions int
+	for s := 0; s < seeds; s++ {
+		seed := int64(11_200_000 + s)
+		res := SweepReplicaKillDuringPromotion(seed, 300, 3, 3, false)
+		if res.Failed() {
+			t.Errorf("seed %d: dual=%v excl=%v undrained=%v",
+				seed, res.DualPrimaryViolations, res.ExclusionViolations,
+				res.UndrainedViolations)
+		}
+		failed += res.FailedPromotions
+		promotions += res.Promotions
+	}
+	if failed == 0 {
+		t.Fatal("sweep never killed a promotion in flight; dark-completion path unexercised")
+	}
+	if promotions == 0 {
+		t.Fatal("sweep never completed a promotion")
+	}
+}
+
+// TestReplicaLaggedStandbyDrains: a standby stalled across the kill
+// cannot prove the primary's tail, so its promotion must open a
+// TTL-drain hold-down rather than serve over unproven leases.
+func TestReplicaLaggedStandbyDrains(t *testing.T) {
+	res := RunReplica(ReplicaConfig{
+		Replicas: 2,
+		Rounds:   200,
+		Seed:     7,
+		Kills:    []ReplicaKill{{Round: 60, Target: -1}},
+		Stalls:   []ReplicaStall{{Replica: 1, From: 40, Until: 80}},
+	})
+	if res.Failed() {
+		t.Fatalf("dual=%v excl=%v undrained=%v",
+			res.DualPrimaryViolations, res.ExclusionViolations, res.UndrainedViolations)
+	}
+	if res.Promotions == 0 {
+		t.Fatal("stalled-standby run never promoted")
+	}
+	if res.Holds == 0 {
+		t.Fatal("promotion of a stalled standby did not open a hold-down")
+	}
+	if res.MaxBlackout == 0 {
+		t.Fatal("run recorded no blackout despite a hold-down")
+	}
+}
+
+// TestReplicaUnsafeNegativeControl proves the oracles can fire: with
+// the incarnation fence and gap checks disabled, zombie-primary
+// campaigns must produce dual-primary (and typically exclusion)
+// violations across a fixed seed range — and the identical safe runs
+// must fence those same grants instead.
+func TestReplicaUnsafeNegativeControl(t *testing.T) {
+	plan := []ReplicaKill{{Round: 30, Target: -1, Zombie: true}}
+	var fired bool
+	var fencedSafe int
+	for seed := int64(0); seed < 40; seed++ {
+		unsafe := RunReplica(ReplicaConfig{
+			Replicas: 3, Rounds: 150, Seed: seed, Kills: plan, Unsafe: true,
+		})
+		safe := RunReplica(ReplicaConfig{
+			Replicas: 3, Rounds: 150, Seed: seed, Kills: plan,
+		})
+		if safe.Failed() {
+			t.Errorf("seed %d: safe run violated: dual=%v excl=%v undrained=%v",
+				seed, safe.DualPrimaryViolations, safe.ExclusionViolations,
+				safe.UndrainedViolations)
+		}
+		if len(unsafe.DualPrimaryViolations) > 0 {
+			fired = true
+		}
+		fencedSafe += safe.FencedGrants
+	}
+	if !fired {
+		t.Fatal("unsafe mode never produced a dual-primary violation; oracle cannot fire")
+	}
+	if fencedSafe == 0 {
+		t.Fatal("safe runs fenced nothing; the zombie never tried to grant")
+	}
+}
+
+// TestReplicaSameSeedIdenticalTrace: two runs of the same seed must
+// produce byte-identical traces and hashes; a neighboring seed must
+// diverge.
+func TestReplicaSameSeedIdenticalTrace(t *testing.T) {
+	a := SweepReplica(17, 250, 3, 3, true)
+	b := SweepReplica(17, 250, 3, 3, true)
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("same seed, different hash: %016x vs %016x", a.TraceHash, b.TraceHash)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("same seed, different trace length: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace diverges at line %d: %q vs %q", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	c := SweepReplica(18, 250, 3, 3, true)
+	if c.TraceHash == a.TraceHash {
+		t.Fatal("different seeds produced identical trace hashes")
+	}
+}
+
+// TestReplicaConfigDefaults: the zero config gets the documented
+// defaults and a quiet no-fault run serves the whole time.
+func TestReplicaConfigDefaults(t *testing.T) {
+	res := RunReplica(ReplicaConfig{Seed: 1})
+	if res.Rounds != 300 || res.Replicas != 3 {
+		t.Fatalf("defaults not applied: rounds=%d replicas=%d", res.Rounds, res.Replicas)
+	}
+	if res.Failed() {
+		t.Fatalf("no-fault run violated: dual=%v excl=%v undrained=%v",
+			res.DualPrimaryViolations, res.ExclusionViolations, res.UndrainedViolations)
+	}
+	if res.Promotions != 0 || res.BlackoutRounds != 0 {
+		t.Fatalf("no-fault run promoted (%d) or blacked out (%d)",
+			res.Promotions, res.BlackoutRounds)
+	}
+	if res.Grants == 0 {
+		t.Fatal("no-fault run granted nothing")
+	}
+}
+
+// FuzzFailover: the fuzzer's bytes decode the whole failover schedule —
+// kill plan (count, rounds, zombie flags), stall windows, and every
+// workload/delivery draw. Any input that makes two clients hold one
+// key, surfaces a deposed grant, or skips a TTL drain is a replayable
+// counterexample.
+func FuzzFailover(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0x01})
+	f.Add([]byte("kill the primary twice and stall the freshest standby"))
+	f.Add([]byte{0xff, 0x3c, 0x00, 0xa1, 0x55, 0x08, 0x90, 0x12, 0xde, 0xad})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := NewBytes(data)
+		kills := RandomReplicaKills(src, 1+src.Intn(3), 120)
+		for i := range kills {
+			if src.Intn(4) == 0 {
+				kills[i].Target = -2 // retarget at the promotion window
+			}
+		}
+		var stalls []ReplicaStall
+		for n := src.Intn(3); n > 0; n-- {
+			at := src.Intn(120)
+			stalls = append(stalls, ReplicaStall{
+				Replica: 1 + src.Intn(2),
+				From:    at,
+				Until:   at + 1 + src.Intn(30),
+			})
+		}
+		res := RunReplica(ReplicaConfig{
+			Replicas: 3,
+			Rounds:   200,
+			Seed:     4,
+			Kills:    kills,
+			Stalls:   stalls,
+			Source:   src,
+		})
+		if res.Failed() {
+			t.Fatalf("schedule broke failover safety: dual=%v excl=%v undrained=%v (kills=%v stalls=%v)",
+				res.DualPrimaryViolations, res.ExclusionViolations,
+				res.UndrainedViolations, kills, stalls)
+		}
+	})
+}

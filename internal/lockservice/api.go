@@ -81,20 +81,28 @@ type NodeStatus struct {
 // with the same shape, Shards set to the shard count, RingGen to the
 // current ring generation, and the per-shard reports under Reports.
 type StatusReport struct {
-	Topology     string         `json:"topology"`
-	ShardID      int            `json:"shard_id"`
-	Shards       int            `json:"shards,omitempty"`
-	RingGen      uint64         `json:"ring_gen"`
-	Workers      int            `json:"workers"`
-	Locks        int            `json:"locks"`
-	Edges        []string       `json:"edges"`
-	Nodes        []NodeStatus   `json:"nodes"`
-	ActiveLeases int            `json:"active_leases"`
-	QueueDepth   int            `json:"queue_depth"`
-	Grants       int64          `json:"grants"`
-	UptimeMS     int64          `json:"uptime_ms"`
-	Draining     bool           `json:"draining"`
-	Reports      []StatusReport `json:"reports,omitempty"`
+	Topology     string       `json:"topology"`
+	ShardID      int          `json:"shard_id"`
+	Shards       int          `json:"shards,omitempty"`
+	RingGen      uint64       `json:"ring_gen"`
+	Workers      int          `json:"workers"`
+	Locks        int          `json:"locks"`
+	Edges        []string     `json:"edges"`
+	Nodes        []NodeStatus `json:"nodes"`
+	ActiveLeases int          `json:"active_leases"`
+	QueueDepth   int          `json:"queue_depth"`
+	Grants       int64        `json:"grants"`
+	UptimeMS     int64        `json:"uptime_ms"`
+	Draining     bool         `json:"draining"`
+	// Failover fields, filled by a Router for per-shard reports:
+	// Role is "primary" or "halted", ShardIncarnation counts promotions
+	// (starts at 1), Standbys is the live hot-standby count, and
+	// ReplicationLag is the widest standby lag in lease records.
+	Role             string         `json:"role,omitempty"`
+	ShardIncarnation uint64         `json:"incarnation,omitempty"`
+	Standbys         int            `json:"standbys,omitempty"`
+	ReplicationLag   int64          `json:"replication_lag,omitempty"`
+	Reports          []StatusReport `json:"reports,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response. RingGen rides
@@ -196,13 +204,14 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnmappable), errors.Is(err, ErrCrossShard):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, ErrWrongShard), errors.Is(err, ErrSpanAborted):
+	case errors.Is(err, ErrWrongShard), errors.Is(err, ErrSpanAborted), errors.Is(err, ErrDeposed):
 		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrTimeout):
 		return http.StatusRequestTimeout
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrUnserviceable):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrUnserviceable),
+		errors.Is(err, ErrHalted), errors.Is(err, ErrLeaderless):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -52,6 +53,10 @@ type APIError struct {
 	// RingGen is the server's ring generation when the response carried
 	// one (409 wrong-shard rejections).
 	RingGen uint64
+	// RetryAfter is the server's backoff hint when the response carried
+	// a Retry-After header (503 while a shard is leaderless during
+	// failover). Zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -135,13 +140,47 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg, RingGen: apiErr.RingGen}
+		e := &APIError{StatusCode: resp.StatusCode, Message: msg, RingGen: apiErr.RingGen}
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			// Seconds form only (possibly fractional, as the router
+			// emits); the HTTP-date form is not worth parsing here.
+			if secs, err := strconv.ParseFloat(v, 64); err == nil && secs >= 0 {
+				e.RetryAfter = time.Duration(secs * float64(time.Second))
+			}
+		}
+		return e
 	}
 	if out == nil {
 		_, err = io.Copy(io.Discard, resp.Body)
 		return err
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// retryDelay resolves the wait before retry number attempt: the
+// server's Retry-After hint when the last rejection carried one
+// (capped by MaxBackoff, jittered over its upper half so a fleet
+// released at the same instant spreads out), else the client's own
+// exponential backoff.
+func (c *Client) retryDelay(attempt int, last error) time.Duration {
+	apiErr, ok := last.(*APIError)
+	if !ok || apiErr.RetryAfter <= 0 {
+		return c.backoff(attempt)
+	}
+	d := apiErr.RetryAfter
+	maxB := c.MaxBackoff
+	if maxB <= 0 {
+		maxB = time.Second
+	}
+	if d > maxB {
+		d = maxB
+	}
+	if c.jitter.Load() == 0 {
+		c.jitter.CompareAndSwap(0, uint64(time.Now().UnixNano())|1)
+	}
+	x := splitmix(c.jitter.Add(0x9e3779b97f4a7c15))
+	half := uint64(d / 2)
+	return time.Duration(half + x%(half+1))
 }
 
 // call runs do with retry/backoff on transport errors and retryable
@@ -151,7 +190,7 @@ func (c *Client) call(ctx context.Context, method, path string, body, out any) e
 	for attempt := 0; attempt < c.attempts(); attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(c.backoff(attempt - 1)):
+			case <-time.After(c.retryDelay(attempt-1, last)):
 			case <-ctx.Done():
 				return ctx.Err()
 			}

@@ -29,6 +29,7 @@ type Metrics struct {
 	NodeLeaves            atomic.Int64
 	NodeJoins             atomic.Int64
 	LeasesFenced          atomic.Int64
+	LeasesAdopted         atomic.Int64
 
 	// WaitHist observes hungry time: seconds from submission to grant.
 	WaitHist *stats.LatencyHistogram
@@ -72,6 +73,7 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		{"dinerd_node_leaves_total", "Workers removed from service (membership leave).", m.NodeLeaves.Load},
 		{"dinerd_node_joins_total", "Departed workers readmitted (membership join).", m.NodeJoins.Load},
 		{"dinerd_leases_fenced_total", "Leases revoked because their home worker restarted.", m.LeasesFenced.Load},
+		{"dinerd_leases_adopted_total", "Replicated leases re-granted by a promoted standby.", m.LeasesAdopted.Load},
 		{"dinerd_messages_sent_total", "Frames sent by the diners substrate.", s.nw.MessagesSent},
 		{"dinerd_messages_dropped_total", "Frames dropped to full inboxes.", s.nw.MessagesDropped},
 		{"dinerd_messages_lost_total", "Frames lost in transit (loss injection / partitions).", s.nw.MessagesLost},
@@ -150,6 +152,7 @@ func MetricNames() []string {
 		"dinerd_node_leaves_total",
 		"dinerd_node_joins_total",
 		"dinerd_leases_fenced_total",
+		"dinerd_leases_adopted_total",
 		"dinerd_messages_sent_total",
 		"dinerd_messages_dropped_total",
 		"dinerd_messages_lost_total",

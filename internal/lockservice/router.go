@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mcdp/internal/shard"
+	"mcdp/internal/stats"
 )
 
 // RouterConfig tunes a Router.
@@ -38,6 +39,14 @@ type RouterConfig struct {
 	// so it only needs to cover ONE shard's wait plus slack — not the
 	// span's total latency. Default: Base.DefaultTimeout + 1s.
 	PrepareTTL time.Duration
+	// Replicas is the number of hot standbys per shard (default 0: no
+	// replication, failure of a shard's server is failure of the
+	// shard). With replicas, every shard's lease-table deltas stream to
+	// its standbys, and the router's shard supervisor promotes the
+	// freshest standby when the primary misses health checks.
+	Replicas int
+	// Failover tunes detection and promotion when Replicas > 0.
+	Failover FailoverConfig
 }
 
 // RouterMetrics counts the router's own routing decisions; per-shard
@@ -57,6 +66,39 @@ type RouterMetrics struct {
 	SpanRollbacks atomic.Int64
 	// ShardRequests counts acquire requests routed to each shard.
 	ShardRequests []atomic.Int64
+	// Failovers counts completed standby promotions across all shards.
+	Failovers atomic.Int64
+	// LeaderlessRejections counts requests bounced with 503+Retry-After
+	// while a shard had no serving primary.
+	LeaderlessRejections atomic.Int64
+
+	// PromotionHist observes promotion latency (decision to serving) in
+	// seconds; promMu/promotions keep the raw durations so the bench
+	// harness can report an exact p99 MTTR, capped to keep long chaos
+	// runs bounded.
+	PromotionHist *stats.LatencyHistogram
+	promMu        sync.Mutex      //lint:order rank lockservice 60
+	promotions    []time.Duration // guarded by promMu
+}
+
+// maxPromotionSamples bounds the raw promotion-duration buffer.
+const maxPromotionSamples = 4096
+
+// observePromotion records one promotion's latency.
+func (m *RouterMetrics) observePromotion(d time.Duration) {
+	m.PromotionHist.Observe(d.Seconds())
+	m.promMu.Lock()
+	if len(m.promotions) < maxPromotionSamples {
+		m.promotions = append(m.promotions, d)
+	}
+	m.promMu.Unlock()
+}
+
+// PromotionDurations returns the raw recorded promotion latencies.
+func (m *RouterMetrics) PromotionDurations() []time.Duration {
+	m.promMu.Lock()
+	defer m.promMu.Unlock()
+	return append([]time.Duration(nil), m.promotions...)
 }
 
 // Router fronts N independent arbiter shards with a consistent-hash
@@ -76,25 +118,34 @@ type RouterMetrics struct {
 // shard until released or expired, and the session-ID shard prefix
 // keeps their releases routable throughout.
 type Router struct {
-	cfg      RouterConfig
-	shards   []*Server
-	handlers []http.Handler
-	metrics  *RouterMetrics
+	cfg     RouterConfig
+	sets    []*replicaSet
+	fo      FailoverConfig
+	metrics *RouterMetrics
+
+	done chan struct{}
+	wg   sync.WaitGroup
 
 	mu   sync.Mutex  //lint:order rank lockservice 10
 	ring *shard.Ring // guarded by mu
 }
 
-// NewRouter builds a router and its shard servers; no goroutines start
-// until Start.
+// NewRouter builds a router and its shard servers — with
+// cfg.Replicas > 0, each shard gets that many hot standbys wired into
+// a replica set. No goroutines start until Start.
 func NewRouter(cfg RouterConfig) *Router {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
+	if cfg.Replicas < 0 {
+		cfg.Replicas = 0
+	}
 	r := &Router{
 		cfg:     cfg,
-		metrics: &RouterMetrics{ShardRequests: make([]atomic.Int64, cfg.Shards)},
+		fo:      cfg.Failover.withDefaults(),
+		metrics: &RouterMetrics{ShardRequests: make([]atomic.Int64, cfg.Shards), PromotionHist: stats.NewLatencyHistogram(stats.DefaultLatencyBounds())},
 		ring:    shard.New(uint64(cfg.Base.Seed), cfg.Vnodes),
+		done:    make(chan struct{}),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		scfg := cfg.Base
@@ -103,9 +154,20 @@ func NewRouter(cfg RouterConfig) *Router {
 		if i > 0 {
 			scfg.History = nil
 		}
-		s := NewServer(scfg)
-		r.shards = append(r.shards, s)
-		r.handlers = append(r.handlers, s.Handler())
+		primary := NewServer(scfg)
+		var standbys []*Server
+		for j := 0; j < cfg.Replicas; j++ {
+			sbcfg := scfg
+			// Standbys keep the shard ID (session prefixes must stay
+			// routable after promotion) but draw distinct substrate
+			// randomness, and never tap the history checker — their
+			// arbiter is idle until promoted.
+			sbcfg.Seed = scfg.Seed + int64(1000*(j+1))
+			sbcfg.History = nil
+			standbys = append(standbys, NewServer(sbcfg))
+		}
+		r.sets = append(r.sets, newReplicaSet(i, primary, standbys,
+			r.fo.AckTimeout, r.fo.StaleAfter, r.fo.CheckEvery))
 		if err := r.ring.Add(i); err != nil {
 			panic(err) // fresh ring, dense ids: unreachable
 		}
@@ -114,42 +176,92 @@ func NewRouter(cfg RouterConfig) *Router {
 	return r
 }
 
-// pushRingGen publishes the current ring generation to every shard so
-// any shard's status answer names the routing epoch.
+// pushRingGen publishes the current ring generation to every member
+// server of every shard (standbys included, so a freshly promoted
+// primary already reports the right epoch).
 //
 // requires mu
 func (r *Router) pushRingGen() {
 	gen := r.ring.Generation()
-	for _, s := range r.shards {
-		s.SetRingGen(gen)
+	for _, set := range r.sets {
+		for _, s := range set.servers() {
+			s.SetRingGen(gen)
+		}
 	}
 }
 
-// Start starts every shard server.
+// Start starts every member server of every shard, plus the shard
+// supervisor when replicas are configured.
 func (r *Router) Start() {
-	for _, s := range r.shards {
-		s.Start()
+	for _, set := range r.sets {
+		for _, s := range set.servers() {
+			s.Start()
+		}
+	}
+	if r.cfg.Replicas > 0 {
+		r.wg.Add(1)
+		go r.superviseShards()
 	}
 }
 
-// Stop drains every shard server concurrently under the shared context.
+// Stop halts the shard supervisor, tears down replication streams, and
+// drains every member server concurrently under the shared context.
 func (r *Router) Stop(ctx context.Context) {
+	select {
+	case <-r.done:
+	default:
+		close(r.done)
+	}
+	r.wg.Wait()
 	var wg sync.WaitGroup
-	for _, s := range r.shards {
-		wg.Add(1)
-		go func(s *Server) {
-			defer wg.Done()
-			s.Stop(ctx)
-		}(s)
+	for _, set := range r.sets {
+		set.stop()
+		for _, s := range set.servers() {
+			wg.Add(1)
+			go func(s *Server) {
+				defer wg.Done()
+				s.Stop(ctx)
+			}(s)
+		}
 	}
 	wg.Wait()
 }
 
 // Shards returns the shard count.
-func (r *Router) Shards() int { return len(r.shards) }
+func (r *Router) Shards() int { return len(r.sets) }
 
-// Shard returns shard i's server (tests and the bench harness).
-func (r *Router) Shard(i int) *Server { return r.shards[i] }
+// Shard returns shard i's currently serving primary (tests and the
+// bench harness); after a failover this is the promoted standby.
+func (r *Router) Shard(i int) *Server { return r.sets[i].Primary() }
+
+// ShardInfo reports shard i's failover-facing state.
+type ShardInfo struct {
+	Shard       int           `json:"shard"`
+	Incarnation uint64        `json:"incarnation"`
+	Standbys    int           `json:"standbys"`
+	Halted      bool          `json:"halted"`
+	Lag         uint64        `json:"replication_lag"`
+	Hold        time.Duration `json:"-"`
+}
+
+// ShardServers returns every server shard i has ever owned — the
+// current primary, live standbys, and deposed ex-primaries. The chaos
+// harness sweeps it so post-run exclusion verdicts cover servers that
+// granted leases before being fenced out, not just the survivor.
+func (r *Router) ShardServers(i int) []*Server { return r.sets[i].servers() }
+
+// ShardInfo snapshots shard i's role state (admin surface and tests).
+func (r *Router) ShardInfo(i int) ShardInfo {
+	set := r.sets[i]
+	return ShardInfo{
+		Shard:       i,
+		Incarnation: set.incarnation(),
+		Standbys:    set.standbyCount(),
+		Halted:      set.Primary().Halted(),
+		Lag:         set.maxLag(),
+		Hold:        set.holdRemaining(),
+	}
+}
 
 // Metrics returns the router's routing counters.
 func (r *Router) Metrics() *RouterMetrics { return r.metrics }
@@ -174,7 +286,7 @@ func (r *Router) RingInfo() RingInfo {
 		Seed:       r.ring.Seed(),
 		Vnodes:     r.ring.Vnodes(),
 		Generation: r.ring.Generation(),
-		Shards:     len(r.shards),
+		Shards:     len(r.sets),
 		Members:    r.ring.Members(),
 	}
 }
@@ -200,8 +312,8 @@ func (r *Router) RingLeave(s int) error {
 func (r *Router) RingJoin(s int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if s < 0 || s >= len(r.shards) {
-		return fmt.Errorf("lockservice: shard %d out of range [0,%d)", s, len(r.shards))
+	if s < 0 || s >= len(r.sets) {
+		return fmt.Errorf("lockservice: shard %d out of range [0,%d)", s, len(r.sets))
 	}
 	if err := r.ring.Add(s); err != nil {
 		return err
@@ -284,7 +396,7 @@ func (r *Router) prepareBudget() time.Duration {
 	}
 	// NewServer defaulted every shard's DefaultTimeout, so this is
 	// always positive: one shard's wait budget plus scheduling slack.
-	return r.shards[0].cfg.DefaultTimeout + time.Second
+	return r.sets[0].Primary().cfg.DefaultTimeout + time.Second
 }
 
 // Acquire routes the resource set by ring placement. A set owned by
@@ -306,7 +418,11 @@ func (r *Router) Acquire(ctx context.Context, resources []string, ttl time.Durat
 	if len(parts) == 1 {
 		home := parts[0].shard
 		r.metrics.ShardRequests[home].Add(1)
-		return r.shards[home].Acquire(ctx, resources, ttl)
+		g, err := r.sets[home].acquire(ctx, resources, ttl)
+		if errors.Is(err, ErrLeaderless) {
+			r.metrics.LeaderlessRejections.Add(1)
+		}
+		return g, err
 	}
 	return r.acquireSpan(ctx, resources, parts, ttl)
 }
@@ -338,31 +454,40 @@ func (r *Router) acquireSpan(ctx context.Context, resources []string, parts []sp
 			return
 		}
 		for i := len(subs) - 1; i >= 0; i-- {
-			_ = r.shards[parts[i].shard].Release(subs[i].SessionID)
+			_ = r.sets[parts[i].shard].release(subs[i].SessionID)
+			r.sets[parts[i].shard].noteSpan(ReplOpSpanRollback, subs[i].SessionID)
 		}
 		r.metrics.SpanRollbacks.Add(1)
 	}
 	for _, pt := range parts {
 		r.metrics.ShardRequests[pt.shard].Add(1)
 		//lint:order acquire span pt.shard
-		g, err := r.shards[pt.shard].Acquire(ctx, pt.keys, prep)
+		g, err := r.sets[pt.shard].acquire(ctx, pt.keys, prep)
 		if err != nil {
+			if errors.Is(err, ErrLeaderless) {
+				r.metrics.LeaderlessRejections.Add(1)
+			}
 			rollback()
 			return nil, err
 		}
 		subs = append(subs, g)
+		// The sub-lease is now an early grant under a prepare TTL; tell
+		// the shard's standbys so a promotion mid-span knows this lease
+		// belongs to an unresolved span.
+		r.sets[pt.shard].noteSpan(ReplOpSpanPrepare, g.SessionID)
 		for i := 0; i < len(subs)-1; i++ {
-			if _, err := r.shards[parts[i].shard].Renew(subs[i].SessionID, prep); err != nil {
+			if _, err := r.sets[parts[i].shard].renew(subs[i].SessionID, prep); err != nil {
 				rollback()
 				return nil, fmt.Errorf("%w: shard %d prepare lost mid-span: %v", ErrSpanAborted, parts[i].shard, err)
 			}
 		}
 	}
 	for i := range subs {
-		if _, err := r.shards[parts[i].shard].Renew(subs[i].SessionID, ttl); err != nil {
+		if _, err := r.sets[parts[i].shard].renew(subs[i].SessionID, ttl); err != nil {
 			rollback()
 			return nil, fmt.Errorf("%w: shard %d prepare lost at commit: %v", ErrSpanAborted, parts[i].shard, err)
 		}
+		r.sets[parts[i].shard].noteSpan(ReplOpSpanCommit, subs[i].SessionID)
 	}
 	r.metrics.SpanCommits.Add(1)
 	ids := make([]string, len(subs))
@@ -420,10 +545,10 @@ func (r *Router) Release(sessionID string) error {
 
 func (r *Router) releaseSub(sessionID string) error {
 	s, ok := sessionShard(sessionID)
-	if !ok || s >= len(r.shards) {
+	if !ok || s >= len(r.sets) {
 		return ErrNotFound
 	}
-	return r.shards[s].Release(sessionID)
+	return r.sets[s].release(sessionID)
 }
 
 // Renew routes a lease renewal by the session ID's shard prefix. A
@@ -458,10 +583,10 @@ func (r *Router) Renew(sessionID string, ttl time.Duration) (time.Duration, erro
 
 func (r *Router) renewSub(sessionID string, ttl time.Duration) (time.Duration, error) {
 	s, ok := sessionShard(sessionID)
-	if !ok || s >= len(r.shards) {
+	if !ok || s >= len(r.sets) {
 		return 0, ErrNotFound
 	}
-	return r.shards[s].Renew(sessionID, ttl)
+	return r.sets[s].renew(sessionID, ttl)
 }
 
 // sessionShard parses the "k<shard>:" session-ID prefix.
@@ -482,14 +607,22 @@ func sessionShard(sessionID string) (int, bool) {
 // their shard, so IDs stay meaningful after concatenation.
 func (r *Router) Status() StatusReport {
 	agg := StatusReport{
-		Shards:  len(r.shards),
+		Shards:  len(r.sets),
 		ShardID: -1, // the aggregate speaks for no single shard
 		RingGen: r.generation(),
 	}
-	for _, s := range r.shards {
+	for _, set := range r.sets {
+		s := set.Primary()
 		rep := s.Status()
+		rep.Role = "primary"
+		if s.Halted() {
+			rep.Role = "halted"
+		}
+		rep.ShardIncarnation = set.incarnation()
+		rep.Standbys = set.standbyCount()
+		rep.ReplicationLag = int64(set.maxLag())
 		if agg.Topology == "" {
-			agg.Topology = fmt.Sprintf("%d x %s", len(r.shards), rep.Topology)
+			agg.Topology = fmt.Sprintf("%d x %s", len(r.sets), rep.Topology)
 			// Every shard arbitrates the same catalog (one conflict graph
 			// per shard, identical names); publish it once.
 			agg.Edges = rep.Edges
@@ -518,12 +651,14 @@ func (r *Router) Status() StatusReport {
 //	GET  /v1/ring        ring seed/vnodes/generation/members
 //	GET  /metrics        merged Prometheus exposition across shards
 //	POST /v1/admin/ring  ?op=leave|join&shard=S: ring membership
+//	POST /v1/admin/failover  ?shard=S: kill the shard primary, await promotion
 //	POST /v1/admin/*     crash/restart/leave/join, fanned out by ?shard=S
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/acquire", r.handleAcquire)
 	mux.HandleFunc("/v1/release", r.handleRelease)
 	mux.HandleFunc("/v1/renew", r.handleRenew)
+	mux.HandleFunc("/v1/admin/failover", r.handleFailover)
 	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, r.Status())
 	})
@@ -562,6 +697,13 @@ func (r *Router) handleAcquire(w http.ResponseWriter, req *http.Request) {
 	grant, err := r.Acquire(ctx, body.Resources, time.Duration(body.TTLMS)*time.Millisecond, body.RingGen)
 	if err != nil {
 		code := statusFor(err)
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			// Leaderless shard: the remaining blackout is known
+			// server-side, so tell the client exactly how long to back
+			// off (fractional seconds).
+			w.Header().Set("Retry-After", strconv.FormatFloat(ra.After.Seconds(), 'f', 3, 64))
+		}
 		switch code {
 		case http.StatusTooManyRequests:
 			w.Header().Set("Retry-After", "1")
@@ -649,12 +791,43 @@ func (r *Router) handleAdmin(w http.ResponseWriter, req *http.Request) {
 	s := 0
 	if v := req.URL.Query().Get("shard"); v != "" {
 		var err error
-		if s, err = strconv.Atoi(v); err != nil || s < 0 || s >= len(r.shards) {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("shard must be in [0,%d)", len(r.shards)))
+		if s, err = strconv.Atoi(v); err != nil || s < 0 || s >= len(r.sets) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("shard must be in [0,%d)", len(r.sets)))
 			return
 		}
 	}
-	r.handlers[s].ServeHTTP(w, req)
+	r.sets[s].adminHandler().ServeHTTP(w, req)
+}
+
+// handleFailover is the kill-primary admin switch: POST
+// /v1/admin/failover?shard=S halts shard S's primary and waits for the
+// supervisor to promote a standby, answering with the shard's new
+// incarnation. It exists so the chaos harness exercises the real
+// detection-and-promotion path over HTTP, not a test-only shortcut.
+func (r *Router) handleFailover(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	s, err := strconv.Atoi(req.URL.Query().Get("shard"))
+	if err != nil || s < 0 || s >= len(r.sets) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("shard must be in [0,%d)", len(r.sets)))
+		return
+	}
+	timeout := 5 * time.Second
+	if v := req.URL.Query().Get("timeout_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("timeout_ms must be a positive integer"))
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if err := r.Failover(s, timeout); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, r.ShardInfo(s))
 }
 
 // WriteMetrics merges every shard's exposition into one: samples with
@@ -672,14 +845,33 @@ func (r *Router) WriteMetrics(w io.Writer) {
 	for i := range r.metrics.ShardRequests {
 		fmt.Fprintf(w, "dinerd_router_shard_requests_total{shard=%q} %d\n", strconv.Itoa(i), r.metrics.ShardRequests[i].Load())
 	}
+	fmt.Fprintf(w, "# HELP dinerd_failover_total Completed standby promotions across all shards.\n# TYPE dinerd_failover_total counter\ndinerd_failover_total %d\n", r.metrics.Failovers.Load())
+	fmt.Fprintf(w, "# HELP dinerd_leaderless_rejections_total Requests bounced with 503+Retry-After while a shard was leaderless.\n# TYPE dinerd_leaderless_rejections_total counter\ndinerd_leaderless_rejections_total %d\n", r.metrics.LeaderlessRejections.Load())
+	writeHistogram(w, "dinerd_promotion_seconds", "Standby promotion latency: decision to serving.", r.metrics.PromotionHist)
+	fmt.Fprintf(w, "# HELP dinerd_shard_role Shard role (1=primary serving, 0=halted/leaderless).\n# TYPE dinerd_shard_role gauge\n")
+	for i, set := range r.sets {
+		role := 1
+		if !set.Primary().Healthy() {
+			role = 0
+		}
+		fmt.Fprintf(w, "dinerd_shard_role{shard=%q} %d\n", strconv.Itoa(i), role)
+	}
+	fmt.Fprintf(w, "# HELP dinerd_shard_incarnation Primary incarnation per shard (bumped on every promotion).\n# TYPE dinerd_shard_incarnation gauge\n")
+	for i, set := range r.sets {
+		fmt.Fprintf(w, "dinerd_shard_incarnation{shard=%q} %d\n", strconv.Itoa(i), set.incarnation())
+	}
+	fmt.Fprintf(w, "# HELP dinerd_shard_replication_lag Widest standby lag per shard, in lease records.\n# TYPE dinerd_shard_replication_lag gauge\n")
+	for i, set := range r.sets {
+		fmt.Fprintf(w, "dinerd_shard_replication_lag{shard=%q} %d\n", strconv.Itoa(i), set.maxLag())
+	}
 
 	help := map[string]string{}
 	typ := map[string]string{}
 	sums := map[string]float64{}
 	var order []string // first-seen sample keys, for stable output
-	for i, s := range r.shards {
+	for i, set := range r.sets {
 		var buf bytes.Buffer
-		s.WriteMetrics(&buf)
+		set.Primary().WriteMetrics(&buf)
 		sc := bufio.NewScanner(&buf)
 		for sc.Scan() {
 			line := sc.Text()

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +46,18 @@ var (
 	ErrSpanAborted = errors.New("lockservice: span aborted")
 	// ErrDeparted: the node left the service; only a join readmits it.
 	ErrDeparted = errors.New("lockservice: node has departed")
+	// ErrHalted: the server was fail-stopped (a killed shard primary);
+	// a supervisor-promoted standby will take over (503, retryable).
+	ErrHalted = errors.New("lockservice: server halted")
+	// ErrLeaderless: the shard has no serving primary right now —
+	// promotion is in flight or the post-failover TTL-drain window is
+	// open (503 with Retry-After, retryable).
+	ErrLeaderless = errors.New("lockservice: shard leaderless, failover in progress")
+	// ErrDeposed: the grant was produced by a primary that lost its
+	// shard to a promoted standby mid-request; the lease was released
+	// and the client must retry under the new ring generation (409,
+	// retryable — nothing is held).
+	ErrDeposed = errors.New("lockservice: primary deposed mid-request")
 )
 
 // Config tunes a Server.
@@ -136,6 +150,14 @@ type Server struct {
 
 	idCtr   atomic.Uint64
 	ringGen atomic.Uint64 // set by the Router on ring membership changes
+	halted  atomic.Bool   // fail-stop flag: set by Halt, never cleared
+
+	// tap, when non-nil, observes every lease-table mutation (grant,
+	// release, renew, expire, fence) — the replication hook. Set before
+	// Start via SetLeaseTap; called without mu held, so a tap may block
+	// (semi-synchronous replication) without stalling other sessions'
+	// bookkeeping.
+	tap func(LeaseEvent)
 }
 
 // NewServer builds a server; it does not start any goroutines.
@@ -284,6 +306,7 @@ func (s *Server) janitor() {
 			s.arb.Release(l.sess)
 			s.metrics.Expirations.Add(1)
 			s.nudge()
+			s.emit(LeaseEvent{Op: ReplOpExpire, ID: l.id})
 		}
 	}
 }
@@ -295,6 +318,9 @@ func (s *Server) janitor() {
 //lint:lease acquire
 func (s *Server) Acquire(ctx context.Context, resources []string, ttl time.Duration) (*Grant, error) {
 	s.metrics.AcquireRequests.Add(1)
+	if s.halted.Load() {
+		return nil, ErrHalted
+	}
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -392,6 +418,20 @@ func (s *Server) Acquire(ctx context.Context, resources []string, ttl time.Durat
 	s.mu.Lock()
 	s.leases[l.id] = l
 	s.mu.Unlock()
+	if s.halted.Load() {
+		// Halt landed between the grant and its publication: swallow the
+		// lease rather than hand out a grant the promoted successor never
+		// saw (the replication tap below has not run yet).
+		s.mu.Lock()
+		delete(s.leases, l.id)
+		s.mu.Unlock()
+		s.arb.Release(sess)
+		return nil, ErrHalted
+	}
+	// Replicate before the client sees the grant: any client-visible
+	// lease was offered to the standbys first (semi-synchronous taps
+	// block here until acked or degraded).
+	s.emit(LeaseEvent{Op: ReplOpGrant, ID: l.id, Resources: l.resources, Deadline: l.deadline})
 	s.metrics.Grants.Add(1)
 	s.metrics.WaitHist.Observe(wait.Seconds())
 	return &Grant{SessionID: l.id, Node: home, Resources: l.resources, Wait: wait}, nil
@@ -401,6 +441,9 @@ func (s *Server) Acquire(ctx context.Context, resources []string, ttl time.Durat
 //
 //lint:lease release
 func (s *Server) Release(sessionID string) error {
+	if s.halted.Load() {
+		return ErrHalted
+	}
 	s.mu.Lock()
 	l, ok := s.leases[sessionID]
 	if ok {
@@ -414,6 +457,7 @@ func (s *Server) Release(sessionID string) error {
 	s.metrics.Releases.Add(1)
 	s.metrics.HoldHist.Observe(time.Since(l.grantedAt).Seconds())
 	s.nudge()
+	s.emit(LeaseEvent{Op: ReplOpRelease, ID: l.id})
 	return nil
 }
 
@@ -425,6 +469,9 @@ func (s *Server) Release(sessionID string) error {
 //
 //lint:lease renew
 func (s *Server) Renew(sessionID string, ttl time.Duration) (time.Duration, error) {
+	if s.halted.Load() {
+		return 0, ErrHalted
+	}
 	if ttl <= 0 {
 		ttl = s.cfg.DefaultTTL
 	}
@@ -435,14 +482,17 @@ func (s *Server) Renew(sessionID string, ttl time.Duration) (time.Duration, erro
 	}
 	s.mu.Lock()
 	l, ok := s.leases[sessionID]
+	var deadline time.Time
 	if ok {
 		l.deadline = time.Now().Add(ttl)
+		deadline = l.deadline
 	}
 	s.mu.Unlock()
 	if !ok {
 		return 0, ErrNotFound
 	}
 	s.metrics.Renewals.Add(1)
+	s.emit(LeaseEvent{Op: ReplOpRenew, ID: sessionID, Deadline: deadline})
 	return ttl, nil
 }
 
@@ -510,6 +560,7 @@ func (s *Server) fenceLeases(node graph.ProcID) int {
 	for _, l := range fenced {
 		s.arb.Release(l.sess)
 		s.metrics.LeasesFenced.Add(1)
+		s.emit(LeaseEvent{Op: ReplOpFence, ID: l.id})
 	}
 	return len(fenced)
 }
@@ -591,8 +642,11 @@ func (s *Server) Stop(ctx context.Context) {
 	started := s.started
 	s.mu.Unlock()
 	close(s.done)
-	// Graceful drain: wait for clients to release their leases.
-	for {
+	// Graceful drain: wait for clients to release their leases. A
+	// halted server skips it — it was fenced out by a promotion, its
+	// lease copies live on (were adopted by) the successor, and no
+	// client can release through it anyway.
+	for !s.halted.Load() {
 		s.mu.Lock()
 		n := len(s.leases)
 		s.mu.Unlock()
@@ -639,6 +693,186 @@ func (s *Server) Uptime() time.Duration {
 		return 0
 	}
 	return time.Since(s.startAt)
+}
+
+// SetLeaseTap installs the lease-event observer (the replication hook).
+// Must be set before Start and never changed after: the tap is read
+// without synchronization on every lease mutation.
+func (s *Server) SetLeaseTap(tap func(LeaseEvent)) { s.tap = tap }
+
+// emit forwards a lease-table mutation to the tap, if any. Never called
+// with s.mu held — a semi-synchronous tap blocks until the standby acks.
+func (s *Server) emit(ev LeaseEvent) {
+	if s.tap != nil {
+		s.tap(ev)
+	}
+}
+
+// Halt fail-stops the server: every subsequent API call is rejected
+// with ErrHalted and Healthy reports false, but — unlike Stop — nothing
+// is drained or torn down, so a "dead" primary keeps its goroutines and
+// lease table exactly as a wedged process would. The supervisor promotes
+// a standby in its place; the chaos harness and tests use Halt as the
+// kill-primary switch. Halt is never cleared.
+func (s *Server) Halt() {
+	s.halted.Store(true)
+	s.nudge()
+}
+
+// Halted reports whether the server was fail-stopped by Halt.
+func (s *Server) Halted() bool { return s.halted.Load() }
+
+// Healthy is the shard supervisor's liveness probe: false once the
+// server is halted or draining.
+func (s *Server) Healthy() bool {
+	if s.halted.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
+}
+
+// AdoptLease re-grants, under the lease's original session ID and
+// deadline, a lease proven (replicated and unexpired) by a standby that
+// is being promoted. Adoption runs on a fresh substrate whose arbiter
+// holds nothing, and the adopted set is mutually conflict-free — the
+// leases were held concurrently on the old primary, so their bottle
+// sets are disjoint — which is why a bounded ctx suffices: every
+// adoption is grantable without waiting on another lease.
+//
+// The session counter embedded in the ID is folded into idCtr so the
+// new primary can never mint a duplicate of an adopted ID.
+//
+//lint:lease acquire
+func (s *Server) AdoptLease(ctx context.Context, id string, resources []string, deadline time.Time) error {
+	if s.halted.Load() {
+		return ErrHalted
+	}
+	bottles, homes, err := s.mapper.MapSession(resources)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnmappable, err)
+	}
+	var live []graph.ProcID
+	for _, p := range homes {
+		if !s.nw.Snapshot(p).Dead && !s.Departed(p) {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("%w: homes %v all dead", ErrUnserviceable, homes)
+	}
+	var (
+		sess    *drinkers.Session
+		home    graph.ProcID
+		lastErr error
+	)
+	for _, p := range sortByQueueDepth(live, s.arb) {
+		sess, lastErr = s.arb.Submit(p, bottles)
+		if lastErr == nil {
+			home = p
+			break
+		}
+	}
+	if sess == nil {
+		return lastErr
+	}
+	s.nw.SetNeeds(home, true)
+	s.nw.Wake(home)
+	s.nudge()
+	select {
+	case <-sess.Granted():
+	case <-ctx.Done():
+		if !s.arb.Cancel(sess) {
+			s.arb.Release(sess)
+		}
+		s.nw.SetNeeds(home, s.arb.HasPending(home))
+		s.nudge()
+		return fmt.Errorf("%w: adoption of %s: %v", ErrTimeout, id, ctx.Err())
+	case <-s.done:
+		if !s.arb.Cancel(sess) {
+			s.arb.Release(sess)
+		}
+		return ErrDraining
+	}
+	if n, ok := sessionCounter(id); ok {
+		for {
+			cur := s.idCtr.Load()
+			if cur >= n || s.idCtr.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	l := &lease{
+		id:        id,
+		sess:      sess,
+		resources: append([]string(nil), resources...),
+		home:      home,
+		grantedAt: time.Now(),
+		deadline:  deadline,
+	}
+	s.mu.Lock()
+	s.leases[l.id] = l
+	s.mu.Unlock()
+	s.metrics.LeasesAdopted.Add(1)
+	// Adoptions replicate as grants: to a surviving standby the adopted
+	// lease is an idempotent upsert, so the stream doubles as the new
+	// primary's state snapshot.
+	s.emit(LeaseEvent{Op: ReplOpGrant, ID: l.id, Resources: l.resources, Deadline: l.deadline})
+	return nil
+}
+
+// LeaseSnapshot returns the live lease table as grant events, sorted by
+// lease ID (replay determinism). Promotion streams it to surviving
+// standbys so they converge on the new primary's state.
+func (s *Server) LeaseSnapshot() []LeaseEvent {
+	s.mu.Lock()
+	out := make([]LeaseEvent, 0, len(s.leases))
+	for _, l := range s.leases {
+		out = append(out, LeaseEvent{
+			Op:        ReplOpGrant,
+			ID:        l.id,
+			Resources: append([]string(nil), l.resources...),
+			Deadline:  l.deadline,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// maxLeaseDeadline returns the latest deadline across live leases
+// (zero when the table is empty) — the TTL-drain bound heartbeats
+// advertise to standbys.
+func (s *Server) maxLeaseDeadline() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max time.Time
+	for _, l := range s.leases { //lint:sorted max over values is order-insensitive
+		if l.deadline.After(max) {
+			max = l.deadline
+		}
+	}
+	return max
+}
+
+// sessionCounter extracts the hex counter from a session ID of the form
+// "k<shard>:s<counter hex>-<home>". ok is false for foreign formats.
+func sessionCounter(id string) (uint64, bool) {
+	i := strings.Index(id, ":s")
+	if i < 0 {
+		return 0, false
+	}
+	rest := id[i+2:]
+	j := strings.IndexByte(rest, '-')
+	if j < 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest[:j], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // Network exposes the underlying msgpass network (tests and status).

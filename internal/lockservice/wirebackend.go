@@ -104,4 +104,8 @@ func (b routerBackend) RingGen() uint64 { return b.r.generation() }
 
 // WaitBudget reports shard 0's default acquire budget: every shard is
 // built from the router's one Base config, so the budget is uniform.
-func (b routerBackend) WaitBudget() time.Duration { return b.r.shards[0].cfg.DefaultTimeout }
+func (b routerBackend) WaitBudget() time.Duration {
+	// Every shard is built from the one Base config, so any primary's
+	// post-default budget speaks for all (Base itself may hold zeros).
+	return b.r.sets[0].Primary().cfg.DefaultTimeout
+}

@@ -109,6 +109,14 @@ func (r *Ring) Remove(s int) error {
 	return nil
 }
 
+// Bump advances the generation without a membership change. The
+// failover path uses it when a shard's primary is replaced by a
+// promoted standby: key placement is untouched (the member set is the
+// same), but the routing epoch must change so clients that resolved
+// placement against the deposed primary are bounced (409) and
+// re-resolve before retrying against the new one.
+func (r *Ring) Bump() { r.gen++ }
+
 // Lookup returns the shard owning key, walking clockwise from the
 // key's FNV-64a position to the next virtual node. ok is false on an
 // empty ring.

@@ -160,3 +160,35 @@ func TestRingErrors(t *testing.T) {
 		t.Errorf("accessors: vnodes=%d seed=%d", r.Vnodes(), r.Seed())
 	}
 }
+
+func TestRingBump(t *testing.T) {
+	r := New(7, 8)
+	for s := 0; s < 3; s++ {
+		if err := r.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := map[string]int{}
+	keys := []string{"edge:0-1", "res-000042", "alpha", "beta", "gamma"}
+	for _, k := range keys {
+		s, ok := r.Lookup(k)
+		if !ok {
+			t.Fatalf("lookup %q failed", k)
+		}
+		before[k] = s
+	}
+	gen := r.Generation()
+	r.Bump()
+	if got := r.Generation(); got != gen+1 {
+		t.Fatalf("Bump: generation %d, want %d", got, gen+1)
+	}
+	if r.Size() != 3 {
+		t.Fatalf("Bump changed membership: size %d", r.Size())
+	}
+	for _, k := range keys {
+		s, _ := r.Lookup(k)
+		if s != before[k] {
+			t.Fatalf("Bump moved key %q: shard %d -> %d", k, before[k], s)
+		}
+	}
+}

@@ -55,6 +55,8 @@ const (
 	TypeRenewed
 	TypePing
 	TypePong
+	TypeReplApply
+	TypeReplAck
 	typeMax
 )
 
@@ -81,6 +83,10 @@ func typeName(t byte) string {
 		return "ping"
 	case TypePong:
 		return "pong"
+	case TypeReplApply:
+		return "repl-apply"
+	case TypeReplAck:
+		return "repl-ack"
 	default:
 		return fmt.Sprintf("type(%d)", t)
 	}
