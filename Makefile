@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race short cover bench bench-json bench-gate wire-smoke span-smoke failover-smoke examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
+.PHONY: all build vet lint test race short cover bench bench-json bench-gate wire-smoke span-smoke failover-smoke control-smoke examples experiments figure2 modelcheck detsim fuzz dinerd loadgen chaos-smoke clean
 
 all: build vet lint test
 
@@ -50,12 +50,14 @@ bench-json: dinerd
 	@rm -f bench_core.txt
 	GOMAXPROCS=1 ./bin/dinerd bench -mode transports -out BENCH_wire.json
 	GOMAXPROCS=1 ./bin/dinerd bench -mode failover -out BENCH_failover.json
+	./bin/dinerd bench -mode hotkey -out BENCH_hotkey.json
 
 # Gate a working tree against the checked-in transport baseline: rerun
 # the transports benchmark and fail if wire_vs_http (or, on the same
 # machine, absolute grants/s) regressed beyond tolerance.
 bench-gate: dinerd
 	GOMAXPROCS=1 ./bin/dinerd bench -mode transports -compare BENCH_wire.json -tolerance 0.25
+	./bin/dinerd bench -mode hotkey -compare BENCH_hotkey.json -tolerance 0.25
 
 # Wire transport smoke: race-checked end-to-end + facade parity over
 # framed connections, a frame-decoder fuzz burst, and a seeded chaos
@@ -87,6 +89,22 @@ failover-smoke:
 	$(GO) run -race ./cmd/dinerd chaos -replicas 2 -shards 2 -kills 3 -duration 6s -seed 1
 	$(GO) test -run='^$$' -fuzz=FuzzFailover -fuzztime=10s ./internal/detsim/
 
+# Hot-key rebalancing smoke: race-checked migration/controller e2e and
+# the seeded distribution pins, the detsim migration-oracle sweeps
+# (fair, closed-loop, crash-during-migration, migrate-during-span), a
+# live zipf chaos campaign with the controller on and strikes landing
+# mid-migration under -race, and a fuzz burst over random migration
+# schedules (docs/CONTROL.md).
+control-smoke:
+	$(GO) test -race -run 'TestMigrateKey|TestRebalanceLoop|TestAdminMigrate|TestRouterSpanAbortOnMigrationMidPrepare' ./internal/lockservice/
+	$(GO) test -race -run 'TestZipfSampler|TestHotsetSampler|TestReplicaRingAppliesOverrides' ./cmd/dinerd/
+	$(GO) run ./cmd/detsim -mode migrate -topology grid:3x3 -seeds 0..20 -shards 2 -migrations 3
+	$(GO) run ./cmd/detsim -mode migrate-auto -topology grid:3x3 -seeds 0..15 -shards 2 -rounds 200
+	$(GO) run ./cmd/detsim -mode migrate -topology grid:3x3 -seeds 0..15 -shards 2 -migrations 3 -crash 2
+	$(GO) run ./cmd/detsim -mode span -topology grid:3x3 -seeds 0..15 -shards 3 -migrations 3
+	$(GO) run -race ./cmd/dinerd chaos -replicas 2 -shards 2 -kills 3 -duration 6s -seed 1 -rebalance
+	$(GO) test -run='^$$' -fuzz=FuzzMigration -fuzztime=10s ./internal/detsim/
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/faultinjection
@@ -117,6 +135,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzMaliciousWindow -fuzztime=10s ./internal/detsim/
 	$(GO) test -run='^$$' -fuzz=FuzzLockHistory -fuzztime=10s ./internal/detsim/
 	$(GO) test -run='^$$' -fuzz=FuzzChaosCampaign -fuzztime=10s ./internal/detsim/
+	$(GO) test -run='^$$' -fuzz=FuzzMigration -fuzztime=10s ./internal/detsim/
 
 # Build the lock-service daemon (serve + loadgen subcommands) into bin/.
 dinerd:

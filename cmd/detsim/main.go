@@ -13,6 +13,8 @@
 //	detsim -topology grid:3x3 -seeds 0..99 -churn 2 -mode churn
 //	detsim -topology grid:3x3 -seed 9 -shards 3 -mode span
 //	detsim -topology grid:3x3 -seeds 0..99 -shards 2 -crash 2 -mode span
+//	detsim -topology grid:3x3 -seeds 0..99 -shards 2 -migrations 3 -mode migrate
+//	detsim -topology grid:3x3 -seed 4 -shards 2 -mode migrate-auto -trace
 //	detsim -mode replica -seeds 0..99 -replicas 3 -kills 3
 //	detsim -mode replica-adversarial -seed 11 -replicas 3 -kills 4 -trace
 //
@@ -41,17 +43,18 @@ func main() {
 func run(args []string, out *os.File) int {
 	fs := flag.NewFlagSet("detsim", flag.ExitOnError)
 	var (
-		topology = fs.String("topology", "ring:6", "topology: ring:N | star:N | path:N | complete:N | grid:RxC | torus:RxC")
-		seed     = fs.Int64("seed", 0, "seed for a single run")
-		seeds    = fs.String("seeds", "", "seed range N..M (inclusive) for a sweep; overrides -seed")
-		rounds   = fs.Int("rounds", 200, "fair rounds (or adversarial steps)")
-		crash    = fs.Int("crash", 0, "number of seed-drawn crash victims (malicious windows up to 6 steps)")
-		churn    = fs.Int("churn", 0, "number of seed-drawn leave/rejoin pairs (churn mode)")
-		shards   = fs.Int("shards", 2, "shard count for span mode")
-		replicas = fs.Int("replicas", 3, "replica count for the replica modes")
-		kills    = fs.Int("kills", 3, "seed-drawn primary kills for the replica modes")
-		mode     = fs.String("mode", "fair", "fair | adversarial | service | fork | chaos | churn | span | replica | replica-adversarial | replica-promokill")
-		trace    = fs.Bool("trace", false, "print the full event trace (single-seed runs)")
+		topology   = fs.String("topology", "ring:6", "topology: ring:N | star:N | path:N | complete:N | grid:RxC | torus:RxC")
+		seed       = fs.Int64("seed", 0, "seed for a single run")
+		seeds      = fs.String("seeds", "", "seed range N..M (inclusive) for a sweep; overrides -seed")
+		rounds     = fs.Int("rounds", 200, "fair rounds (or adversarial steps)")
+		crash      = fs.Int("crash", 0, "number of seed-drawn crash victims (malicious windows up to 6 steps)")
+		churn      = fs.Int("churn", 0, "number of seed-drawn leave/rejoin pairs (churn mode)")
+		shards     = fs.Int("shards", 2, "shard count for span mode")
+		replicas   = fs.Int("replicas", 3, "replica count for the replica modes")
+		kills      = fs.Int("kills", 3, "seed-drawn primary kills for the replica modes")
+		migrations = fs.Int("migrations", 0, "seed-drawn key migrations (migrate mode; span mode runs migrate-during-span when > 0)")
+		mode       = fs.String("mode", "fair", "fair | adversarial | service | fork | chaos | churn | span | migrate | migrate-auto | replica | replica-adversarial | replica-promokill")
+		trace      = fs.Bool("trace", false, "print the full event trace (single-seed runs)")
 	)
 	fs.Parse(args)
 
@@ -71,12 +74,12 @@ func run(args []string, out *os.File) int {
 	bad := 0
 	for s := lo; s <= hi; s++ {
 		single := lo == hi
-		failed, summary := runSeed(g, s, *rounds, *crash, *churn, *shards, *replicas, *kills, *mode, *trace && single)
+		failed, summary := runSeed(g, s, *rounds, *crash, *churn, *shards, *replicas, *kills, *migrations, *mode, *trace && single)
 		if failed {
 			bad++
 			fmt.Fprintf(out, "seed %d: FAIL %s\n", s, summary)
-			fmt.Fprintf(out, "  replay: detsim -topology %s -seed %d -rounds %d -crash %d -churn %d -shards %d -replicas %d -kills %d -mode %s -trace\n",
-				*topology, s, *rounds, *crash, *churn, *shards, *replicas, *kills, *mode)
+			fmt.Fprintf(out, "  replay: detsim -topology %s -seed %d -rounds %d -crash %d -churn %d -shards %d -replicas %d -kills %d -migrations %d -mode %s -trace\n",
+				*topology, s, *rounds, *crash, *churn, *shards, *replicas, *kills, *migrations, *mode)
 		} else if single {
 			fmt.Fprintf(out, "seed %d: ok %s\n", s, summary)
 		}
@@ -93,7 +96,7 @@ func run(args []string, out *os.File) int {
 
 // runSeed executes one seed in the given mode and returns (failed,
 // one-line summary).
-func runSeed(g *graph.Graph, seed int64, rounds, crash, churn, shards, replicas, kills int, mode string, trace bool) (bool, string) {
+func runSeed(g *graph.Graph, seed int64, rounds, crash, churn, shards, replicas, kills, migrations int, mode string, trace bool) (bool, string) {
 	switch mode {
 	case "fair":
 		res := detsim.SweepRun(g, seed, rounds, crash, trace)
@@ -165,6 +168,8 @@ func runSeed(g *graph.Graph, seed int64, rounds, crash, churn, shards, replicas,
 		// draws per-shard kill/restart campaigns, neither is the fair run.
 		var res *detsim.SpanResult
 		switch {
+		case migrations > 0:
+			res = detsim.SweepSpanMigrate(g, seed, rounds, shards, migrations, trace)
 		case churn > 0:
 			res = detsim.SweepSpanChurn(g, seed, rounds, shards, churn, trace)
 		case crash > 0:
@@ -176,6 +181,30 @@ func runSeed(g *graph.Graph, seed int64, rounds, crash, churn, shards, replicas,
 		return res.Failed(), fmt.Sprintf("spans=%d commits=%d rollbacks=%d displaced=%d hash=%016x partial=%v overlap=%v orphan=%v safety=%v history=%v",
 			res.Spans, res.Commits, res.Rollbacks, res.Displaced, res.TraceHash,
 			res.PartialCommits, res.OverlapViolations, res.OrphanedSpans,
+			res.SafetyViolations, res.HistoryViolations)
+	case "migrate", "migrate-auto":
+		// Key-migration harness: the fence/drain/commit protocol under a
+		// hot-key workload, judged by the dual-grant, lost-waiter, and
+		// override-divergence oracles. Flavors follow the flags: -crash
+		// draws per-shard kill/restart campaigns over the plan;
+		// migrate-auto runs the closed control loop instead of a plan.
+		if migrations <= 0 {
+			migrations = 3
+		}
+		var res *detsim.MigrateResult
+		switch {
+		case mode == "migrate-auto":
+			res = detsim.SweepMigrateAuto(g, seed, rounds, shards, trace)
+		case crash > 0:
+			res = detsim.SweepMigrateChaos(g, seed, rounds, shards, migrations, crash, trace)
+		default:
+			res = detsim.SweepMigrate(g, seed, rounds, shards, migrations, trace)
+		}
+		printTrace(trace, res.Trace)
+		return res.Failed(), fmt.Sprintf("granted=%d migrations=%d/%d aborted=%d bounced=%d+%d gen=%d hash=%016x dual=%v lost=%v diverge=%v safety=%v history=%v",
+			res.Granted, res.Migrations, res.MigrationsStarted, res.MigrationsAborted,
+			res.FenceBounced, res.Bounced, res.Generation, res.TraceHash,
+			res.DualGrants, res.LostWaiters, res.Divergence,
 			res.SafetyViolations, res.HistoryViolations)
 	case "replica", "replica-adversarial", "replica-promokill":
 		// Shard-replica failover harness: one shard's primary plus hot

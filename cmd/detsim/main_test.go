@@ -70,7 +70,7 @@ func TestParseSeedRange(t *testing.T) {
 func TestRunSeedMatchesSweepRun(t *testing.T) {
 	g := graph.Ring(6)
 	want := detsim.SweepRun(g, 42, 120, 2, false)
-	failed, summary := runSeed(graph.Ring(6), 42, 120, 2, 0, 2, 3, 3, "fair", false)
+	failed, summary := runSeed(graph.Ring(6), 42, 120, 2, 0, 2, 3, 3, 0, "fair", false)
 	if failed != want.Failed() {
 		t.Errorf("CLI failed=%v, SweepRun failed=%v", failed, want.Failed())
 	}
@@ -98,7 +98,7 @@ func TestRunSeedMatchesSweepRun(t *testing.T) {
 func TestRunSeedSpanMatchesSweepSpan(t *testing.T) {
 	g := graph.Grid(3, 3)
 	want := detsim.SweepSpan(g, 7, 120, 2, false)
-	failed, summary := runSeed(graph.Grid(3, 3), 7, 120, 0, 0, 2, 3, 3, "span", false)
+	failed, summary := runSeed(graph.Grid(3, 3), 7, 120, 0, 0, 2, 3, 3, 0, "span", false)
 	if failed != want.Failed() {
 		t.Errorf("CLI failed=%v, SweepSpan failed=%v", failed, want.Failed())
 	}
@@ -106,7 +106,7 @@ func TestRunSeedSpanMatchesSweepSpan(t *testing.T) {
 		t.Errorf("CLI summary %q missing SweepSpan hash %016x", summary, want.TraceHash)
 	}
 	wantChaos := detsim.SweepSpanChaos(g, 7, 120, 2, 1, false)
-	_, chaosSummary := runSeed(graph.Grid(3, 3), 7, 120, 1, 0, 2, 3, 3, "span", false)
+	_, chaosSummary := runSeed(graph.Grid(3, 3), 7, 120, 1, 0, 2, 3, 3, 0, "span", false)
 	if !strings.Contains(chaosSummary, fmt.Sprintf("hash=%016x", wantChaos.TraceHash)) {
 		t.Errorf("CLI chaos summary %q missing SweepSpanChaos hash %016x", chaosSummary, wantChaos.TraceHash)
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mcdp/internal/bench"
+	"mcdp/internal/control"
 	"mcdp/internal/graph"
 	"mcdp/internal/lockservice"
 	"mcdp/internal/wire"
@@ -89,7 +90,7 @@ type benchConfig struct {
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		mode      = fs.String("mode", "transports", "transports (HTTP vs wire), shards (scaling sweep), or failover (kill-primary MTTR)")
+		mode      = fs.String("mode", "transports", "transports (HTTP vs wire), shards (scaling sweep), failover (kill-primary MTTR), or hotkey (static vs rebalancing controller under zipf)")
 		replicas  = fs.Int("replicas", 2, "hot standbys per shard (failover mode)")
 		kills     = fs.Int("kills", 4, "primary kills during the failover stage (failover mode)")
 		shardsCSV = fs.String("shards", "", "shard counts: comma list to sweep (shards mode, default 1,2,4) or one count (transports mode, default 4)")
@@ -110,6 +111,8 @@ func benchCmd(args []string) {
 		samples   = fs.Int("samples", 6, "max kept samples per transport (transports mode)")
 		cv        = fs.Float64("cv", 0.10, "stop sampling at this coefficient of variation (transports mode)")
 		wireConns = fs.Int("wire-conns", 8, "wire connection pool size (transports mode)")
+		skew      = fs.Float64("skew", 1.05, "zipf skew exponent for the hot-key workload (hotkey mode)")
+		cores     = fs.Int("cores", 1, "GOMAXPROCS pin during measurement (hotkey mode; the acceptance workload is one core so the win is balance, not parallelism)")
 		compare   = fs.String("compare", "", "baseline BENCH_wire.json to gate against (transports mode)")
 		tolerance = fs.Float64("tolerance", 0.15, "relative regression tolerance for -compare")
 		corePath  = fs.String("core", "", "`go test -bench` output to parse and embed (shards mode)")
@@ -133,15 +136,31 @@ func benchCmd(args []string) {
 	// Mode-dependent defaults: the transports comparison measures the
 	// per-grant transport cost, so it drops the artificial hold unless
 	// one was asked for explicitly; the shard sweep keeps 5ms so lock
-	// dwell time stays realistic.
-	holdSet := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "hold" {
-			holdSet = true
-		}
-	})
-	if *mode == "transports" && !holdSet {
+	// dwell time stays realistic. The hotkey comparison drops the
+	// two-lock mixture (bucket draws are uniform and would dilute the
+	// zipf head the controller is supposed to sense) and defaults to a
+	// smaller fleet on a leaner per-shard topology: static placement
+	// must be edge-bound on the hot shard (the failure the controller
+	// fixes) without pushing every request past the timeout cliff,
+	// where grant latency is censored and the comparison lies.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *mode == "transports" && !set["hold"] {
 		*hold = 0
+	}
+	if *mode == "hotkey" {
+		if !set["pair"] {
+			*pair = 0
+		}
+		if !set["topology"] {
+			*topology = "ring"
+		}
+		if !set["n"] {
+			*n = 6
+		}
+		if !set["clients"] {
+			*clients = 48
+		}
 	}
 
 	g, err := buildTopology(*topology, *n, *rows, *cols)
@@ -189,6 +208,26 @@ func benchCmd(args []string) {
 			*out = "BENCH_shard.json"
 		}
 		benchShards(g, *shardsCSV, base, cfg, *tick, *corePath, *out)
+	case "hotkey":
+		if *shardsCSV == "" {
+			*shardsCSV = "4"
+		}
+		counts, err := parseShardCounts(*shardsCSV)
+		if err != nil {
+			fail(err)
+		}
+		if len(counts) != 1 {
+			fail(fmt.Errorf("hotkey mode measures one shard count, got -shards %q", *shardsCSV))
+		}
+		if *out == "" {
+			*out = "BENCH_hotkey.json"
+		}
+		base.dist = distOpts{dist: "zipf", skew: *skew}
+		benchHotkey(g, counts[0], base, cfg, bench.Options{
+			Warmup:     *warmup,
+			MaxSamples: *samples,
+			TargetCV:   *cv,
+		}, *cores, *out, *compare, *tolerance)
 	case "failover":
 		if *shardsCSV == "" {
 			*shardsCSV = "2"
@@ -205,8 +244,156 @@ func benchCmd(args []string) {
 		}
 		benchFailover(g, counts[0], *replicas, *kills, base, cfg, *out)
 	default:
-		fail(fmt.Errorf("unknown -mode %q (want transports, shards, or failover)", *mode))
+		fail(fmt.Errorf("unknown -mode %q (want transports, shards, failover, or hotkey)", *mode))
 	}
+}
+
+// benchHotkey measures what the feedback controller recovers under a
+// hot-key workload: the identical seeded zipf swarm against two
+// routers — static placement versus closed-loop rebalancing — with
+// the same adaptive CV discipline as the transports mode. The catalog
+// is built once per stage from the pre-override ring, so key
+// popularity is a pure function of zipf rank and the hot head
+// colocates on one shard by construction; the controller's overrides
+// change placement, never the workload. GOMAXPROCS pins to -cores
+// (default 1) so any win is load balance, not shard parallelism.
+func benchHotkey(g *graph.Graph, shards int, o loadOpts, base lockservice.Config, bo bench.Options, cores int, out, compare string, tolerance float64) {
+	prev := runtime.GOMAXPROCS(cores)
+	defer runtime.GOMAXPROCS(prev)
+
+	fmt.Printf("bench: hotkey over %d-shard %s on %d core(s), %d clients, zipf s=%g over %d keys, %v per sample (warmup %d, <=%d samples, cv target %.2f)\n",
+		shards, g.Name(), cores, o.clients, o.dist.skew, o.keys, o.duration, bo.Warmup, bo.MaxSamples, bo.TargetCV)
+
+	// measure runs one stage: a fresh router (so no overrides leak
+	// between stages), the zipf swarm sampled until the CV settles, and
+	// a paired p99 series drawn from the same kept samples.
+	measure := func(name string, rebalance *control.Config) (grants, p99 *bench.Series, m *lockservice.RouterMetrics) {
+		rt := lockservice.NewRouter(lockservice.RouterConfig{Shards: shards, Base: base, Rebalance: rebalance})
+		rt.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		httpSrv := &http.Server{Handler: rt.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer func() {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(shutdownCtx)
+			rt.Stop(shutdownCtx)
+		}()
+
+		addr := "http://" + ln.Addr().String()
+		probeCtx, cancelProbe := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancelProbe()
+		probe := lockservice.NewClient(addr)
+		rep, err := probe.Status(probeCtx)
+		if err != nil {
+			fail(fmt.Errorf("bench server unreachable: %w", err))
+		}
+		info, err := probe.Ring(probeCtx)
+		if err != nil {
+			fail(fmt.Errorf("bench server has no ring: %w", err))
+		}
+		cat := buildKeyCatalog(o.keys, rep.Edges, replicaRing(info))
+
+		var p99s []float64
+		run := func(iteration int) (float64, error) {
+			lo := o
+			lo.addr = addr
+			lo.transport = "http"
+			lo.seed = o.seed + int64(iteration)*1000003
+			ctx, cancel := context.WithTimeout(context.Background(), o.duration+30*time.Second)
+			defer cancel()
+			res := runLoad(ctx, cat, lo)
+			if f := res.failures.Load(); f > 0 {
+				fmt.Printf("bench:   warning: %d unclassified failures in %s stage\n", f, name)
+			}
+			if iteration >= bo.Warmup {
+				p99s = append(p99s, quantileMS(res.overall, 0.99))
+			}
+			return float64(res.grants.Load()) / o.duration.Seconds(), nil
+		}
+		opts := bo
+		opts.Progress = func(iteration int, warm bool, v float64) {
+			tag := "sample"
+			if warm {
+				tag = "warmup"
+			}
+			fmt.Printf("bench:   %s %s %d: %.0f grants/s\n", name, tag, iteration, v)
+		}
+		series, err := bench.Run(name, "grants/s", opts, run)
+		if err != nil {
+			fail(err)
+		}
+		p99 = &bench.Series{Name: name + "_p99", Unit: "ms", Samples: p99s}
+		p99.Summarize()
+		return series, p99, rt.Metrics()
+	}
+
+	staticSeries, staticP99, _ := measure("static", nil)
+	ctlSeries, ctlP99, m := measure("controller", &control.Config{
+		Interval:   100 * time.Millisecond,
+		HalfLife:   500 * time.Millisecond,
+		Hysteresis: 1.2,
+		MaxMoves:   2,
+		TopK:       24,
+		MinLoad:    64,
+		Cooldown:   3 * time.Second,
+	})
+	fmt.Printf("bench: controller moved %d key(s) (%d aborted, %d fence bounces)\n",
+		m.Rebalances.Load(), m.RebalancesAborted.Load(), m.MigrationFences.Load())
+
+	file := &bench.File{
+		Schema:        bench.SchemaVersion,
+		GeneratedUnix: time.Now().Unix(),
+		Fingerprint:   bench.CurrentFingerprint(),
+		Config: map[string]any{
+			"mode":       "hotkey",
+			"topology":   g.Name(),
+			"shards":     shards,
+			"cores":      cores,
+			"keys":       o.keys,
+			"clients":    o.clients,
+			"duration_s": o.duration.Seconds(),
+			"tick_us":    base.TickEvery.Microseconds(),
+			"hold_ms":    float64(o.hold.Microseconds()) / 1000,
+			"zipf_skew":  o.dist.skew,
+			"seed":       o.seed,
+			"timeout_ms": o.timeout.Milliseconds(),
+		},
+		Results: []bench.Series{*staticSeries, *ctlSeries, *staticP99, *ctlP99},
+		Ratios:  map[string]float64{},
+	}
+	if staticSeries.Mean > 0 {
+		file.Ratios["controller_vs_static"] = ctlSeries.Mean / staticSeries.Mean
+	}
+	if ctlP99.Mean > 0 {
+		// Higher is better (static p99 over controller p99): >= 1 means
+		// the controller's tail is no worse than static's.
+		file.Ratios["p99_static_vs_controller"] = staticP99.Mean / ctlP99.Mean
+	}
+	fmt.Printf("bench: static %.0f grants/s (p99 %.2fms), controller %.0f grants/s (p99 %.2fms), controller/static %.2fx\n",
+		staticSeries.Mean, staticP99.Mean, ctlSeries.Mean, ctlP99.Mean, file.Ratios["controller_vs_static"])
+
+	if compare != "" {
+		baseline, err := bench.Load(compare)
+		if err != nil {
+			fail(fmt.Errorf("bench: load baseline: %w", err))
+		}
+		if bad := bench.Compare(baseline, file, tolerance); len(bad) > 0 {
+			for _, v := range bad {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("bench: holds the %s baseline within %.0f%%\n", compare, tolerance*100)
+		return
+	}
+	if err := file.Write(out); err != nil {
+		fail(err)
+	}
+	fmt.Printf("bench: wrote %s\n", out)
 }
 
 // benchTransports measures HTTP vs wire grants/s against one live

@@ -59,6 +59,7 @@ func chaosCmd(args []string) {
 		reorder   = fs.Float64("reorder", 0.10, "per-frame reorder (1-tick stall) probability")
 		shards    = fs.Int("shards", 2, "shard count for the kill-primary campaign (-replicas > 0)")
 		replicas  = fs.Int("replicas", 0, "hot standbys per shard; > 0 switches to the kill-primary failover campaign")
+		rebalance = fs.Bool("rebalance", false, "run the hot-key rebalancing controller under a zipf workload and aim strikes at the migration source shard (needs -replicas > 0)")
 		garbage   = fs.Bool("garbage", true, "revive victims with arbitrary state instead of clean")
 		supmode   = fs.Bool("supervise", false, "let the self-healing supervisor revive victims instead of the script")
 		transport = fs.String("transport", "http", "load transport: http or wire (admin always HTTP; wire mode also injects the fault profile into framed connections)")
@@ -78,11 +79,15 @@ func chaosCmd(args []string) {
 		Delay: *delay, MaxDelayTicks: *maxDelay, Reorder: *reorder,
 	}
 	horizon := int(*duration / *tick)
+	if *rebalance && *replicas == 0 {
+		fail(fmt.Errorf("-rebalance needs -replicas > 0: the controller lives in the router, and the campaign's point is killing a migration's source primary"))
+	}
 	if *replicas > 0 {
 		chaosFailover(failoverOpts{
 			graph: g, seed: *seed, duration: *duration, tick: *tick,
 			shards: *shards, replicas: *replicas, kills: *kills,
 			faults: faults, clients: *clients, hold: *hold, timeout: *timeout,
+			rebalance: *rebalance,
 		})
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mcdp/internal/chaos"
+	"mcdp/internal/control"
 	"mcdp/internal/graph"
 	"mcdp/internal/lockservice"
 	"mcdp/internal/stats"
@@ -30,6 +31,11 @@ type failoverOpts struct {
 	clients  int
 	hold     time.Duration
 	timeout  time.Duration
+	// rebalance runs the hot-key controller during the campaign: the
+	// load becomes a zipf swarm whose head colocates on one shard, the
+	// controller migrates keys off it live, and strikes preferentially
+	// kill that shard's primary — a failover landing mid-migration.
+	rebalance bool
 }
 
 // strike records one executed kill-primary action.
@@ -53,9 +59,31 @@ type strike struct {
 func chaosFailover(o failoverOpts) {
 	hist := lockservice.NewHistory()
 	camp := chaos.RandomFailover(o.seed, o.shards, int(o.duration/o.tick), o.kills, o.faults)
+	var rebalCfg *control.Config
+	if o.rebalance {
+		// A short period and cooldown so migrations keep firing for the
+		// strikes to land on; every decision is logged for the replay.
+		// The long half-life and low MinLoad keep the sensors trusted
+		// even when the race detector throttles the grant rate to a few
+		// per second — at 250ms/32 the -race smoke decays its own
+		// evidence away and the campaign goes vacuous.
+		rebalCfg = &control.Config{
+			Interval:   50 * time.Millisecond,
+			HalfLife:   2 * time.Second,
+			Hysteresis: 1.2,
+			MaxMoves:   2,
+			TopK:       24,
+			MinLoad:    8,
+			Cooldown:   500 * time.Millisecond,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("chaos: "+format+"\n", args...)
+			},
+		}
+	}
 	rt := lockservice.NewRouter(lockservice.RouterConfig{
-		Shards:   o.shards,
-		Replicas: o.replicas,
+		Shards:    o.shards,
+		Replicas:  o.replicas,
+		Rebalance: rebalCfg,
 		Base: lockservice.Config{
 			Graph:     o.graph,
 			Seed:      o.seed,
@@ -95,10 +123,26 @@ func chaosFailover(o failoverOpts) {
 	probeCtx, cancelProbe := context.WithTimeout(context.Background(), 10*time.Second)
 	probe := lockservice.NewClient(baseURL)
 	rep, err := probe.Status(probeCtx)
-	cancelProbe()
 	if err != nil {
+		cancelProbe()
 		fail(fmt.Errorf("cannot reach own router: %w", err))
 	}
+	// The rebalance campaign swaps the uniform edge draws for a zipf
+	// swarm over a named keyspace: the catalog's shard-grouped rank
+	// order colocates the hot head on one shard, which makes that shard
+	// both the controller's migration source and the strikes' target.
+	var cat *shardCatalog
+	hotShard := -1
+	if o.rebalance {
+		info, err := probe.Ring(probeCtx)
+		if err != nil {
+			cancelProbe()
+			fail(fmt.Errorf("router has no ring: %w", err))
+		}
+		cat = buildKeyCatalog(192, rep.Edges, replicaRing(info))
+		hotShard = cat.shards[0]
+	}
+	cancelProbe()
 
 	// Client load: acquire/hold/release over the whole catalog. The
 	// client's own machinery absorbs the failovers — 409 retries after
@@ -116,10 +160,14 @@ func chaosFailover(o failoverOpts) {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(o.seed + int64(w)*7919))
+			draw := func() string { return rep.Edges[rng.Intn(len(rep.Edges))] }
+			if cat != nil {
+				draw = cat.sampler(rng, distOpts{dist: "zipf", skew: 1.05})
+			}
 			c := lockservice.NewClient(baseURL)
 			_, _ = c.Ring(ctx) // seed the generation the acquires assert
 			for ctx.Err() == nil {
-				res := rep.Edges[rng.Intn(len(rep.Edges))]
+				res := draw()
 				attempts.Add(1)
 				grant, err := c.Acquire(ctx, []string{res}, o.timeout, 0)
 				if err != nil {
@@ -152,7 +200,7 @@ func chaosFailover(o failoverOpts) {
 	// primary — that refusal is load-bearing, not a campaign failure).
 	strikes := make([]strike, 0, len(camp.Actions))
 	start := time.Now()
-	for _, a := range camp.Actions {
+	for i, a := range camp.Actions {
 		at := start.Add(time.Duration(a.At) * o.tick)
 		select {
 		case <-ctx.Done():
@@ -162,6 +210,12 @@ func chaosFailover(o failoverOpts) {
 			break
 		}
 		target := int(a.Node)
+		if hotShard >= 0 && i%2 == 0 {
+			// Rebalance campaign: every other strike hits the hot shard —
+			// the shard the controller is actively draining keys FROM —
+			// so failovers land mid-migration, not beside it.
+			target = hotShard
+		}
 		if rt.ShardInfo(target).Standbys == 0 {
 			reassigned := -1
 			for s := 0; s < o.shards; s++ {
@@ -229,6 +283,11 @@ func chaosFailover(o failoverOpts) {
 	summary.AddRow("promotions (router metric)", m.Failovers.Load())
 	summary.AddRow("leaderless rejections (503)", m.LeaderlessRejections.Load())
 	summary.AddRow("leases adopted", adopted)
+	if o.rebalance {
+		summary.AddRow("rebalances committed", m.Rebalances.Load())
+		summary.AddRow("rebalances aborted (fence rolled back)", m.RebalancesAborted.Load())
+		summary.AddRow("migration fence bounces (409)", m.MigrationFences.Load())
+	}
 	if len(promos) > 0 {
 		summary.AddRow("promotion p50", quantileDuration(promos, 0.50).Round(time.Millisecond).String())
 		summary.AddRow("promotion p99 (MTTR)", quantileDuration(promos, 0.99).Round(time.Millisecond).String())
@@ -264,10 +323,21 @@ func chaosFailover(o failoverOpts) {
 		bad = true
 		fmt.Printf("chaos: %d unexpected client failures\n", failures.Load())
 	}
+	if o.rebalance && m.Rebalances.Load()+m.RebalancesAborted.Load() == 0 {
+		// If the controller never even started a migration there was
+		// nothing for the strikes to land on: the campaign proved nothing.
+		bad = true
+		fmt.Printf("chaos: VACUOUS CAMPAIGN: the controller never started a migration\n")
+	}
 	if bad {
-		fmt.Printf("chaos: FAIL (replay: dinerd chaos -replicas %d -shards %d -seed %d -kills %d)\n",
-			o.replicas, o.shards, o.seed, o.kills)
+		fmt.Printf("chaos: FAIL (replay: dinerd chaos -replicas %d -shards %d -seed %d -kills %d%s)\n",
+			o.replicas, o.shards, o.seed, o.kills, map[bool]string{true: " -rebalance"}[o.rebalance])
 		os.Exit(1)
+	}
+	if o.rebalance {
+		fmt.Printf("chaos: ok — %d/%d strikes recovered, %d migrations committed (%d aborted) under fire, exclusion held on %d servers, history linearizable\n",
+			recovered, len(strikes), m.Rebalances.Load(), m.RebalancesAborted.Load(), o.shards*(1+o.replicas))
+		return
 	}
 	fmt.Printf("chaos: ok — %d/%d strikes recovered, exclusion held on %d servers, history linearizable\n",
 		recovered, len(strikes), o.shards*(1+o.replicas))

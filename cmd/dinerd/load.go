@@ -28,6 +28,12 @@ type shardCatalog struct {
 	byShard map[int][]string // keys grouped by owning shard, for span draws
 	buckets [][]string       // same-worker, same-shard groups of >=2 keys
 	shards  []int            // sorted shard ids owning at least one key
+	// order lists the keys shard-grouped (all of shards[0], then
+	// shards[1], ...). Skewed samplers draw by rank over this order, so
+	// the hot head of a zipf lands on ONE shard by construction — the
+	// reproducible hot-shard workload the rebalancing controller is
+	// measured against.
+	order []string
 }
 
 // buildCatalog draws directly from the server's raw lock catalog: the
@@ -88,6 +94,9 @@ func assembleCatalog(keys, edges []string, ring *shard.Ring) *shardCatalog {
 		c.shards = append(c.shards, s)
 	}
 	sort.Ints(c.shards)
+	for _, s := range c.shards {
+		c.order = append(c.order, c.byShard[s]...)
+	}
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].endpoint != order[j].endpoint {
 			return order[i].endpoint < order[j].endpoint
@@ -114,9 +123,46 @@ func edgeNameFor(name string, edges []string) string {
 	return edges[h.Sum64()%uint64(len(edges))]
 }
 
+// distOpts names the key-draw distribution for one load run. The zero
+// value (empty dist) is uniform — the historical behavior.
+type distOpts struct {
+	dist   string  // "", "uniform", "zipf", or "hotset"
+	skew   float64 // zipf exponent s (>1; higher concentrates the head)
+	hotset int     // hotset mode: hot-key count, clamped to one shard's keys
+	hot    float64 // hotset mode: probability a draw hits the hot set
+}
+
+// sampler returns a seeded single-key draw function over the catalog
+// under the requested distribution. Skewed draws rank keys by the
+// shard-grouped order, so the hot head colocates on the first shard;
+// hotset mode pins a fixed set of keys from that shard and hammers it
+// with probability hot. Each worker wraps its own rng, so a run's
+// distribution is reproducible from the load seed alone.
+func (c *shardCatalog) sampler(rng *rand.Rand, d distOpts) func() string {
+	switch d.dist {
+	case "zipf":
+		z := rand.NewZipf(rng, d.skew, 1, uint64(len(c.order)-1))
+		return func() string { return c.order[z.Uint64()] }
+	case "hotset":
+		hot := c.byShard[c.shards[0]]
+		if d.hotset > 0 && d.hotset < len(hot) {
+			hot = hot[:d.hotset]
+		}
+		return func() string {
+			if rng.Float64() < d.hot {
+				return hot[rng.Intn(len(hot))]
+			}
+			return c.keys[rng.Intn(len(c.keys))]
+		}
+	default:
+		return func() string { return c.keys[rng.Intn(len(c.keys))] }
+	}
+}
+
 // pick draws one request's resource set: with probability pair a
-// two-lock same-worker same-shard request, otherwise a single lock.
-func (c *shardCatalog) pick(rng *rand.Rand, pair float64) []string {
+// two-lock same-worker same-shard request (uniform over buckets),
+// otherwise a single lock from the draw function.
+func (c *shardCatalog) pick(rng *rand.Rand, pair float64, draw func() string) []string {
 	if pair > 0 && len(c.buckets) > 0 && rng.Float64() < pair {
 		b := c.buckets[rng.Intn(len(c.buckets))]
 		i := rng.Intn(len(b))
@@ -126,7 +172,7 @@ func (c *shardCatalog) pick(rng *rand.Rand, pair float64) []string {
 		}
 		return []string{b[i], b[j]}
 	}
-	return []string{c.keys[rng.Intn(len(c.keys))]}
+	return []string{draw()}
 }
 
 // pickSpan draws a cross-shard multi-key set: one key from each of two
@@ -151,7 +197,9 @@ func (c *shardCatalog) pickSpan(rng *rand.Rand) []string {
 
 // replicaRing rebuilds the router's placement ring from its /v1/ring
 // description; Lookup then agrees with the router for every key at the
-// reported generation.
+// reported generation. The override table rides along: without it a
+// client would resolve rebalanced keys to their stale hash homes and
+// eat a 409 on every draw.
 func replicaRing(info *lockservice.RingInfo) *shard.Ring {
 	r := shard.New(info.Seed, info.Vnodes)
 	for _, m := range info.Members {
@@ -159,6 +207,7 @@ func replicaRing(info *lockservice.RingInfo) *shard.Ring {
 			return nil // overlapping members: trust the server, route blind
 		}
 	}
+	r.SetOverrides(info.Overrides)
 	return r
 }
 
@@ -180,8 +229,9 @@ type loadOpts struct {
 	pair      float64
 	span      float64 // probability a request draws a cross-shard multi-key set
 	seed      int64
-	keys      int  // synthetic keyspace size (0 = raw edge catalog)
-	sharded   bool // seed the ring generation so acquires assert it
+	keys      int      // synthetic keyspace size (0 = raw edge catalog)
+	sharded   bool     // seed the ring generation so acquires assert it
+	dist      distOpts // single-key draw distribution (zero value = uniform)
 }
 
 // loadResult is what the swarm observed, overall and per shard.
@@ -311,6 +361,7 @@ func runLoad(ctx context.Context, cat *shardCatalog, o loadOpts) *loadResult {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(o.seed + int64(w)*7919))
+			draw := cat.sampler(rng, o.dist)
 			var sess loadSession
 			if shared != nil {
 				sess = wireSession{shared}
@@ -322,7 +373,7 @@ func runLoad(ctx context.Context, cat *shardCatalog, o loadOpts) *loadResult {
 				sess = httpSession{c}
 			}
 			for time.Now().Before(stopAt) && ctx.Err() == nil {
-				resources := cat.pick(rng, o.pair)
+				resources := cat.pick(rng, o.pair, draw)
 				isSpan := false
 				if o.span > 0 && rng.Float64() < o.span {
 					if set := cat.pickSpan(rng); set != nil {

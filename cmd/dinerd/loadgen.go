@@ -37,11 +37,23 @@ func loadgen(args []string) {
 		timeout   = fs.Duration("timeout", 2*time.Second, "per-acquire wait budget")
 		seed      = fs.Int64("seed", 1, "client randomness seed")
 		keys      = fs.Int("keys", 0, "synthetic named-resource keyspace size (0 = lock raw edge names)")
+		dist      = fs.String("dist", "uniform", "single-key draw distribution: uniform | zipf | hotset")
+		skew      = fs.Float64("skew", 1.2, "zipf skew exponent s (>1; higher concentrates load on fewer keys)")
+		hotset    = fs.Int("hotset", 8, "hotset mode: hot-key count, drawn from one shard's keys")
+		hot       = fs.Float64("hot", 0.9, "hotset mode: probability a draw hits the hot set")
 		failover  = fs.Bool("failover", false, "print the failover summary: per-shard role/incarnation/lag and promotion counters (needs a replicated router)")
 	)
 	fs.Parse(args)
 	if *transport != "http" && *transport != "wire" {
 		fail(fmt.Errorf("unknown -transport %q (want http or wire)", *transport))
+	}
+	switch *dist {
+	case "uniform", "zipf", "hotset":
+	default:
+		fail(fmt.Errorf("unknown -dist %q (want uniform, zipf, or hotset)", *dist))
+	}
+	if *dist == "zipf" && *skew <= 1 {
+		fail(fmt.Errorf("-skew must be > 1 for zipf draws (got %g)", *skew))
 	}
 
 	probe := lockservice.NewClient(*addr)
@@ -71,8 +83,15 @@ func loadgen(args []string) {
 	if *transport == "wire" {
 		target = *wireAddr
 	}
-	fmt.Printf("loadgen: %d clients for %v against %s via %s (%s, %d keys over %d locks, %d shards)\n",
-		*clients, *duration, target, *transport, rep.Topology, len(cat.keys), len(rep.Edges), len(cat.shards))
+	distLabel := *dist
+	switch *dist {
+	case "zipf":
+		distLabel = fmt.Sprintf("zipf s=%g", *skew)
+	case "hotset":
+		distLabel = fmt.Sprintf("hotset %d@%.0f%%", *hotset, *hot*100)
+	}
+	fmt.Printf("loadgen: %d clients for %v against %s via %s (%s, %d keys over %d locks, %d shards, %s draws)\n",
+		*clients, *duration, target, *transport, rep.Topology, len(cat.keys), len(rep.Edges), len(cat.shards), distLabel)
 
 	res := runLoad(ctx, cat, loadOpts{
 		addr:      target,
@@ -86,6 +105,7 @@ func loadgen(args []string) {
 		span:      *span,
 		seed:      *seed,
 		sharded:   ring != nil,
+		dist:      distOpts{dist: *dist, skew: *skew, hotset: *hotset, hot: *hot},
 	})
 
 	summary := stats.NewTable("loadgen summary", "metric", "value")
@@ -247,6 +267,9 @@ func printSubstrateCounters(ctx context.Context, c *lockservice.Client) {
 		{"span acquires", "dinerd_span_acquires_total"},
 		{"span commits", "dinerd_span_commits_total"},
 		{"span rollbacks", "dinerd_span_rollback_total"},
+		{"rebalances committed", "dinerd_rebalance_total"},
+		{"rebalances aborted", "dinerd_rebalance_aborted_total"},
+		{"migration fence bounces (409)", "dinerd_migration_fences_total"},
 	}
 	tbl := stats.NewTable("substrate counters (server-side)", "counter", "value")
 	for _, r := range rows {
@@ -254,7 +277,26 @@ func printSubstrateCounters(ctx context.Context, c *lockservice.Client) {
 			tbl.AddRow(r.label, v)
 		}
 	}
+	if frac, ok := parseGauge(text, "dinerd_hotkey_fraction"); ok && frac > 0 {
+		tbl.AddRow("hottest key share of load", fmt.Sprintf("%.3f", frac))
+	}
 	tbl.Render(os.Stdout)
+}
+
+// parseGauge reads one float-valued series from Prometheus text
+// exposition — the counters table is integer-typed, so gauges like the
+// controller's hot-key fraction parse separately.
+func parseGauge(text, name string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		val, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseFloat(strings.TrimSpace(val), 64); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
 }
 
 // parseCounters extracts single-value series from Prometheus text

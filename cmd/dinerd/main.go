@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	dinerd serve   [-addr :7467] [-wire-addr :7468] [-topology grid] [-shards 4] [-replicas 2] ...
+//	dinerd serve   [-addr :7467] [-wire-addr :7468] [-topology grid] [-shards 4] [-replicas 2] [-rebalance] ...
 //	dinerd loadgen [-addr http://127.0.0.1:7467] [-transport http|wire] [-clients 8] [-failover] ...
 //	dinerd chaos   [-seed 1] [-duration 15s] [-kills 2] [-churn 1] [-supervise] [-replicas 2] ...
-//	dinerd bench   [-mode transports|shards|failover] [-out BENCH_wire.json] ...
+//	dinerd bench   [-mode transports|shards|failover|hotkey] [-out BENCH_wire.json] ...
 //
 // serve starts the HTTP/JSON API (see docs/DINERD.md): POST
 // /v1/acquire, POST /v1/release, POST /v1/renew, GET /v1/status,
@@ -21,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"mcdp/internal/control"
 	"mcdp/internal/graph"
 	"mcdp/internal/lockservice"
 	"mcdp/internal/wire"
@@ -64,21 +66,25 @@ func fail(err error) {
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", ":7467", "HTTP listen address")
-		wireAddr = fs.String("wire-addr", ":7468", "framed wire-protocol listen address (empty disables)")
-		topology = fs.String("topology", "grid", "grid|ring|path|torus|complete")
-		rows     = fs.Int("rows", 3, "grid/torus rows")
-		cols     = fs.Int("cols", 4, "grid/torus cols")
-		n        = fs.Int("n", 8, "process count (ring/path/complete)")
-		tick     = fs.Duration("tick", time.Millisecond, "substrate gossip tick")
-		queue    = fs.Int("queue", 64, "per-worker pending-session queue limit")
-		ttl      = fs.Duration("ttl", 30*time.Second, "default lease TTL")
-		timeout  = fs.Duration("timeout", 5*time.Second, "default acquire wait budget")
-		seed     = fs.Int64("seed", 1, "substrate seed")
-		loss     = fs.Float64("loss", 0, "frame loss rate injected into the substrate")
-		shards   = fs.Int("shards", 1, "independent arbiter shards fronted by the consistent-hash ring")
-		vnodes   = fs.Int("vnodes", 0, "virtual nodes per shard on the ring (0 = default)")
-		replicas = fs.Int("replicas", 0, "hot standbys per shard: primaries stream lease deltas to them and the supervisor promotes the freshest on primary failure")
+		addr      = fs.String("addr", ":7467", "HTTP listen address")
+		wireAddr  = fs.String("wire-addr", ":7468", "framed wire-protocol listen address (empty disables)")
+		topology  = fs.String("topology", "grid", "grid|ring|path|torus|complete")
+		rows      = fs.Int("rows", 3, "grid/torus rows")
+		cols      = fs.Int("cols", 4, "grid/torus cols")
+		n         = fs.Int("n", 8, "process count (ring/path/complete)")
+		tick      = fs.Duration("tick", time.Millisecond, "substrate gossip tick")
+		queue     = fs.Int("queue", 64, "per-worker pending-session queue limit")
+		ttl       = fs.Duration("ttl", 30*time.Second, "default lease TTL")
+		timeout   = fs.Duration("timeout", 5*time.Second, "default acquire wait budget")
+		seed      = fs.Int64("seed", 1, "substrate seed")
+		loss      = fs.Float64("loss", 0, "frame loss rate injected into the substrate")
+		shards    = fs.Int("shards", 1, "independent arbiter shards fronted by the consistent-hash ring")
+		vnodes    = fs.Int("vnodes", 0, "virtual nodes per shard on the ring (0 = default)")
+		replicas  = fs.Int("replicas", 0, "hot standbys per shard: primaries stream lease deltas to them and the supervisor promotes the freshest on primary failure")
+		rebalance = fs.Bool("rebalance", false, "run the hot-key feedback controller: sense per-key load at the grant path and migrate hot keys between shards under the generation protocol")
+		rebEvery  = fs.Duration("rebalance-interval", 250*time.Millisecond, "control period of the rebalance loop")
+		rebHyst   = fs.Float64("rebalance-hysteresis", 1.3, "imbalance deadband: act only when the hottest shard exceeds this multiple of the mean load")
+		rebCool   = fs.Duration("rebalance-cooldown", 2*time.Second, "per-key re-migration floor")
 	)
 	fs.Parse(args)
 
@@ -102,11 +108,24 @@ func serve(args []string) {
 	var stopSvc func(context.Context)
 	var backend wire.Backend
 	if *shards > 1 || *replicas > 0 {
-		rt := lockservice.NewRouter(lockservice.RouterConfig{Shards: *shards, Vnodes: *vnodes, Replicas: *replicas, Base: base})
+		rcfg := lockservice.RouterConfig{Shards: *shards, Vnodes: *vnodes, Replicas: *replicas, Base: base}
+		if *rebalance {
+			rcfg.Rebalance = &control.Config{
+				Interval:   *rebEvery,
+				Hysteresis: *rebHyst,
+				Cooldown:   *rebCool,
+				Logf:       log.Printf,
+			}
+		}
+		rt := lockservice.NewRouter(rcfg)
 		rt.Start()
 		handler, stopSvc, backend = rt.Handler(), rt.Stop, rt.WireBackend()
-		fmt.Printf("dinerd: serving %d x %s (%d workers, %d locks, %d standbys/shard, ring gen %d) on %s\n",
-			*shards, g.Name(), *shards*g.N(), *shards*g.EdgeCount(), *replicas, rt.RingInfo().Generation, *addr)
+		mode := "static placement"
+		if *rebalance {
+			mode = "rebalance loop every " + rebEvery.String()
+		}
+		fmt.Printf("dinerd: serving %d x %s (%d workers, %d locks, %d standbys/shard, ring gen %d, %s) on %s\n",
+			*shards, g.Name(), *shards*g.N(), *shards*g.EdgeCount(), *replicas, rt.RingInfo().Generation, mode, *addr)
 	} else {
 		srv := lockservice.NewServer(base)
 		srv.Start()

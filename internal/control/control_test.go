@@ -1,0 +1,186 @@
+package control
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSketchTopKAndBound(t *testing.T) {
+	s := NewSketch(4)
+	// 100 distinct keys, key i observed i+1 times: the sketch must stay
+	// at 4 counters and must rank the true heavy hitters on top
+	// (space-saving never underestimates, so the hottest keys survive).
+	for i := 0; i < 100; i++ {
+		for j := 0; j <= i; j++ {
+			s.Observe(fmt.Sprintf("key-%03d", i), 1)
+		}
+	}
+	top := s.TopK()
+	if len(top) != 4 {
+		t.Fatalf("TopK len = %d, want 4 (bounded memory)", len(top))
+	}
+	if top[0].Key != "key-099" {
+		t.Fatalf("hottest = %q, want key-099 (top=%v)", top[0].Key, top)
+	}
+	if top[0].Count < 100 {
+		t.Fatalf("space-saving must not underestimate: count(key-099) = %v < 100", top[0].Count)
+	}
+	if s.Total() != 100*101/2 {
+		t.Fatalf("Total = %v, want %v", s.Total(), 100*101/2)
+	}
+}
+
+func TestSketchDecayDropsColdKeys(t *testing.T) {
+	s := NewSketch(8)
+	s.Observe("hot", 1000)
+	s.Observe("cold", 0.0015)
+	s.Decay(0.5)
+	if s.Count("cold") != 0 {
+		t.Fatalf("cold key should decay out, count = %v", s.Count("cold"))
+	}
+	if got := s.Count("hot"); got != 500 {
+		t.Fatalf("hot count after decay = %v, want 500", got)
+	}
+}
+
+func TestSketchDeterministicEviction(t *testing.T) {
+	// Two sketches fed the same stream must agree exactly, despite map
+	// iteration order inside the eviction scan.
+	a, b := NewSketch(3), NewSketch(3)
+	stream := []string{"x", "y", "z", "w", "x", "v", "w", "u", "x", "y"}
+	for _, k := range stream {
+		a.Observe(k, 1)
+		b.Observe(k, 1)
+	}
+	ta, tb := a.TopK(), b.TopK()
+	if len(ta) != len(tb) {
+		t.Fatalf("diverged: %v vs %v", ta, tb)
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("diverged at %d: %v vs %v", i, ta, tb)
+		}
+	}
+}
+
+func TestDecideMovesHotKeyToColdestShard(t *testing.T) {
+	loads := []float64{100, 10, 10, 8}
+	hot := [][]KeyLoad{
+		{{Key: "a", Count: 40}, {Key: "b", Count: 30}},
+		{{Key: "c", Count: 10}},
+		{{Key: "d", Count: 10}},
+		{{Key: "e", Count: 8}},
+	}
+	plans := Decide(loads, hot, func(string) bool { return true }, 1.3, 32, 2)
+	if len(plans) != 2 {
+		t.Fatalf("plans = %v, want 2 moves", plans)
+	}
+	if plans[0] != (Plan{Key: "a", From: 0, To: 3}) {
+		t.Fatalf("first move = %+v, want a: 0 -> 3", plans[0])
+	}
+	// After moving a (40), shard 0 has 60, shard 3 has 48; shard 0 is
+	// still the hottest and b is next.
+	if plans[1].Key != "b" || plans[1].From != 0 {
+		t.Fatalf("second move = %+v, want b off shard 0", plans[1])
+	}
+}
+
+func TestDecideHysteresisDeadband(t *testing.T) {
+	// 25% imbalance under a 1.3 deadband: balanced enough, no moves.
+	loads := []float64{50, 40, 45, 44}
+	hot := [][]KeyLoad{{{Key: "a", Count: 20}}, nil, nil, nil}
+	if plans := Decide(loads, hot, func(string) bool { return true }, 1.3, 32, 4); len(plans) != 0 {
+		t.Fatalf("deadband breached: %v", plans)
+	}
+}
+
+func TestDecideRefusesHotspotRelocation(t *testing.T) {
+	// One key is the entire imbalance: moving it would just relocate
+	// the hotspot, so the controller must hold still.
+	loads := []float64{100, 10}
+	hot := [][]KeyLoad{{{Key: "a", Count: 95}}, {{Key: "b", Count: 10}}}
+	if plans := Decide(loads, hot, func(string) bool { return true }, 1.3, 32, 1); len(plans) != 0 {
+		t.Fatalf("relocated an unsplittable hotspot: %v", plans)
+	}
+}
+
+func TestDecideMinLoadGate(t *testing.T) {
+	loads := []float64{20, 1}
+	hot := [][]KeyLoad{{{Key: "a", Count: 5}}, nil}
+	if plans := Decide(loads, hot, func(string) bool { return true }, 1.3, 32, 1); len(plans) != 0 {
+		t.Fatalf("acted below the sensor-confidence floor: %v", plans)
+	}
+}
+
+func TestControllerCooldownBlocksPingPong(t *testing.T) {
+	c := New(Config{Shards: 2, Interval: 100 * time.Millisecond, Cooldown: time.Hour, MinLoad: 10})
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 50; i++ {
+		c.Observe(0, []string{"hot"}, time.Millisecond)
+	}
+	for i := 0; i < 50; i++ {
+		c.Observe(0, []string{fmt.Sprintf("cold-%d", i%10)}, time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		c.Observe(1, []string{fmt.Sprintf("other-%d", i%10)}, time.Millisecond)
+	}
+	plans := c.Plan(t0)
+	if len(plans) != 1 || plans[0].Key != "hot" || plans[0].To != 1 {
+		t.Fatalf("first period plans = %v, want hot: 0 -> 1", plans)
+	}
+	c.Done(plans[0], nil)
+	// Next period, well inside the cooldown: the same key must be
+	// ineligible even if the sensors still rank it hot.
+	if again := c.Plan(t0.Add(200 * time.Millisecond)); len(again) != 0 {
+		t.Fatalf("cooldown violated: %v", again)
+	}
+}
+
+func TestControllerDoneTransfersSensorWeight(t *testing.T) {
+	c := New(Config{Shards: 2, MinLoad: 1})
+	for i := 0; i < 50; i++ {
+		c.Observe(0, []string{"hot"}, 0)
+	}
+	c.Done(Plan{Key: "hot", From: 0, To: 1}, nil)
+	st := c.Snapshot()
+	if st.Shards[0].Load != 0 || st.Shards[1].Load != 50 {
+		t.Fatalf("weight not transferred: %+v", st.Shards)
+	}
+	if len(st.Shards[1].TopK) == 0 || st.Shards[1].TopK[0].Key != "hot" {
+		t.Fatalf("hot key not tracked at destination: %+v", st.Shards[1].TopK)
+	}
+}
+
+func TestAdviceTracksObservedWait(t *testing.T) {
+	c := New(Config{Shards: 1})
+	for i := 0; i < 200; i++ {
+		c.Observe(0, []string{"k"}, 100*time.Millisecond)
+	}
+	adv := c.Advice()
+	if adv.RetryAfter < 150*time.Millisecond || adv.RetryAfter > 250*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want ~2x the 100ms observed wait", adv.RetryAfter)
+	}
+	if adv.SupervisorBackoff < 300*time.Millisecond || adv.SupervisorBackoff > 500*time.Millisecond {
+		t.Fatalf("SupervisorBackoff = %v, want ~4x the observed wait", adv.SupervisorBackoff)
+	}
+	// An idle controller clamps to the floor rather than advising zero.
+	idle := New(Config{Shards: 1})
+	if adv := idle.Advice(); adv.RetryAfter != 25*time.Millisecond {
+		t.Fatalf("idle RetryAfter = %v, want the 25ms floor", adv.RetryAfter)
+	}
+}
+
+func TestSnapshotHotFraction(t *testing.T) {
+	c := New(Config{Shards: 2})
+	for i := 0; i < 60; i++ {
+		c.Observe(0, []string{"hot"}, 0)
+	}
+	for i := 0; i < 40; i++ {
+		c.Observe(1, []string{fmt.Sprintf("k%d", i)}, 0)
+	}
+	st := c.Snapshot()
+	if st.HotFraction < 0.59 || st.HotFraction > 0.61 {
+		t.Fatalf("HotFraction = %v, want 0.6", st.HotFraction)
+	}
+}

@@ -1,0 +1,347 @@
+package control
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"time"
+)
+
+// Config tunes the feedback controller.
+type Config struct {
+	// Shards is the plant dimension: one sensor sketch per shard.
+	Shards int
+	// TopK bounds each shard's sketch (default 16).
+	TopK int
+	// Interval is the control period (default 250ms).
+	Interval time.Duration
+	// HalfLife is the sensor decay half-life: a grant observed one
+	// half-life ago weighs half a fresh one (default 4 intervals).
+	HalfLife time.Duration
+	// Hysteresis is the imbalance deadband: the controller acts only
+	// when the hottest shard's load exceeds Hysteresis x the mean
+	// (default 1.3). Below it the plant is considered balanced and the
+	// loop does nothing, so placement cannot oscillate around noise.
+	Hysteresis float64
+	// Cooldown is the per-key re-migration floor: once moved, a key is
+	// ineligible for another move until it elapses (default 8
+	// intervals). With hysteresis it is the anti-ping-pong guarantee.
+	Cooldown time.Duration
+	// MaxMoves caps migrations per control period (default 1).
+	MaxMoves int
+	// MinLoad is the minimum decayed total load before the controller
+	// trusts its sensors (default 32 grants).
+	MinLoad float64
+	// Logf receives one line per control decision (default: none).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.TopK <= 0 {
+		c.TopK = 16
+	}
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = 4 * c.Interval
+	}
+	if c.Hysteresis <= 1 {
+		c.Hysteresis = 1.3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 8 * c.Interval
+	}
+	if c.MaxMoves <= 0 {
+		c.MaxMoves = 1
+	}
+	if c.MinLoad <= 0 {
+		c.MinLoad = 32
+	}
+	return c
+}
+
+// Plan is one actuation: move Key from shard From to shard To.
+type Plan struct {
+	Key  string `json:"key"`
+	From int    `json:"from"`
+	To   int    `json:"to"`
+}
+
+// Advice is the derived tuning the controller publishes from observed
+// latency, replacing fixed constants in its consumers: RetryAfter
+// paces hungry clients bounced by a saturated queue, and
+// SupervisorBackoff paces crash-revival probes. Both track the decayed
+// grant-wait EWMA, clamped to sane bounds.
+type Advice struct {
+	RetryAfter        time.Duration
+	SupervisorBackoff time.Duration
+}
+
+// MarshalJSON reports both durations in milliseconds to match the _ms
+// field names — a raw time.Duration would marshal as nanoseconds.
+func (a Advice) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		RetryAfterMS        float64 `json:"retry_after_ms"`
+		SupervisorBackoffMS float64 `json:"supervisor_backoff_ms"`
+	}{
+		RetryAfterMS:        float64(a.RetryAfter) / float64(time.Millisecond),
+		SupervisorBackoffMS: float64(a.SupervisorBackoff) / float64(time.Millisecond),
+	})
+}
+
+// Controller is the feedback loop's state: per-shard sensor sketches,
+// decayed load and wait EWMAs, and per-key actuation cooldowns. Wiring
+// is the caller's job — the lockservice router feeds Observe from its
+// grant path, calls Plan each period, and actuates the returned moves.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex           //lint:order rank lockservice 5
+	sketches []*Sketch            // guarded by mu
+	loads    []float64            // guarded by mu
+	waitEWMA float64              // guarded by mu (seconds)
+	lastMove map[string]time.Time // guarded by mu
+	decayed  time.Time            // guarded by mu
+	inflight int                  // guarded by mu
+}
+
+// New builds a controller; no goroutines are started (the owner runs
+// the loop so it can thread its own lifecycle and actuator).
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:      cfg,
+		sketches: make([]*Sketch, cfg.Shards),
+		loads:    make([]float64, cfg.Shards),
+		lastMove: make(map[string]time.Time),
+	}
+	for i := range c.sketches {
+		c.sketches[i] = NewSketch(cfg.TopK)
+	}
+	return c
+}
+
+// Interval returns the configured control period.
+func (c *Controller) Interval() time.Duration { return c.cfg.Interval }
+
+// Observe feeds one grant into the sensors: key's counter on its shard
+// and the wait-latency EWMA. Called from the router's grant path; O(K).
+func (c *Controller) Observe(shard int, keys []string, wait time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shard < 0 || shard >= len(c.sketches) {
+		return
+	}
+	for _, k := range keys {
+		c.sketches[shard].Observe(k, 1)
+	}
+	c.loads[shard] += float64(len(keys))
+	const alpha = 0.05
+	c.waitEWMA += alpha * (wait.Seconds() - c.waitEWMA)
+}
+
+// decayLocked applies exponential decay for the time elapsed since the
+// previous call.
+//
+// requires mu
+func (c *Controller) decayLocked(now time.Time) {
+	if c.decayed.IsZero() {
+		c.decayed = now
+		return
+	}
+	dt := now.Sub(c.decayed)
+	if dt <= 0 {
+		return
+	}
+	c.decayed = now
+	f := math.Exp2(-dt.Seconds() / c.cfg.HalfLife.Seconds())
+	for i, sk := range c.sketches {
+		sk.Decay(f)
+		c.loads[i] *= f
+	}
+}
+
+// Plan runs one control period: decay the sensors, measure imbalance,
+// and return the migrations to actuate (usually zero). The caller
+// actuates outside the controller's lock and reports each outcome via
+// Done.
+func (c *Controller) Plan(now time.Time) []Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.decayLocked(now)
+	loads := append([]float64(nil), c.loads...)
+	hot := make([][]KeyLoad, len(c.sketches))
+	for i, sk := range c.sketches {
+		hot[i] = sk.TopK()
+	}
+	eligible := func(key string) bool {
+		last, ok := c.lastMove[key]
+		return !ok || now.Sub(last) >= c.cfg.Cooldown
+	}
+	plans := Decide(loads, hot, eligible, c.cfg.Hysteresis, c.cfg.MinLoad, c.cfg.MaxMoves)
+	for _, p := range plans {
+		c.lastMove[p.Key] = now
+		c.inflight++
+	}
+	return plans
+}
+
+// Done reports a plan's outcome: on success the key's sensor weight
+// transfers to its new shard so the next period sees post-move load;
+// on failure the cooldown entry stays (retry pressure is bounded
+// either way) and the weight stays home.
+func (c *Controller) Done(p Plan, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inflight--
+	if err != nil {
+		return
+	}
+	if p.From >= 0 && p.From < len(c.sketches) {
+		n := c.sketches[p.From].Count(p.Key)
+		c.sketches[p.From].Drop(p.Key)
+		if p.To >= 0 && p.To < len(c.sketches) && n > 0 {
+			c.sketches[p.To].Observe(p.Key, n)
+			c.loads[p.From] -= n
+			c.loads[p.To] += n
+		}
+	}
+}
+
+// Logf emits one decision line through the configured sink.
+func (c *Controller) Logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Advice derives client pacing and supervisor backoff from the grant
+// wait EWMA: hungry clients bounced by saturation should retry after
+// roughly twice the typical wait (any sooner re-queues into the same
+// contention), and the supervisor should probe crashed nodes on the
+// same timescale the plant actually grants at.
+func (c *Controller) Advice() Advice {
+	c.mu.Lock()
+	w := time.Duration(c.waitEWMA * float64(time.Second))
+	c.mu.Unlock()
+	clamp := func(d, lo, hi time.Duration) time.Duration {
+		if d < lo {
+			return lo
+		}
+		if d > hi {
+			return hi
+		}
+		return d
+	}
+	return Advice{
+		RetryAfter:        clamp(2*w, 25*time.Millisecond, 2*time.Second),
+		SupervisorBackoff: clamp(4*w, 50*time.Millisecond, 5*time.Second),
+	}
+}
+
+// ShardStatus is one shard's sensor view for status surfaces.
+type ShardStatus struct {
+	Shard int       `json:"shard"`
+	Load  float64   `json:"load"`
+	TopK  []KeyLoad `json:"top_keys,omitempty"`
+}
+
+// Status is the controller's observable state.
+type Status struct {
+	Shards     []ShardStatus `json:"shards"`
+	InFlight   int           `json:"migrations_in_flight"`
+	WaitEWMAMS float64       `json:"wait_ewma_ms"`
+	// HotFraction is the hottest single key's share of total decayed
+	// load — the dinerd_hotkey_fraction gauge.
+	HotFraction float64 `json:"hot_fraction"`
+	Advice      Advice  `json:"advice"`
+}
+
+// Snapshot captures the controller state for /v1/status.
+func (c *Controller) Snapshot() Status {
+	c.mu.Lock()
+	st := Status{WaitEWMAMS: c.waitEWMA * 1000, InFlight: c.inflight}
+	var total, hottest float64
+	for i, sk := range c.sketches {
+		top := sk.TopK()
+		if n := len(top); n > 8 {
+			top = top[:8]
+		}
+		if len(top) > 0 && top[0].Count > hottest {
+			hottest = top[0].Count
+		}
+		total += c.loads[i]
+		st.Shards = append(st.Shards, ShardStatus{Shard: i, Load: c.loads[i], TopK: top})
+	}
+	c.mu.Unlock()
+	if total > 0 {
+		st.HotFraction = hottest / total
+	}
+	st.Advice = c.Advice()
+	return st
+}
+
+// Decide is the pure control law, shared verbatim by the live router
+// loop and the deterministic simulator: given per-shard decayed loads
+// and top-K rankings, return the moves that shrink imbalance. It acts
+// only when the hottest shard exceeds hysteresis x mean load, moves
+// hot keys to the coldest shard, and never emits a move that would not
+// strictly improve the pair (a key hotter than the load gap just
+// relocates the hotspot).
+func Decide(loads []float64, hot [][]KeyLoad, eligible func(key string) bool, hysteresis, minLoad float64, maxMoves int) []Plan {
+	n := len(loads)
+	if n < 2 {
+		return nil
+	}
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	if total < minLoad {
+		return nil
+	}
+	mean := total / float64(n)
+	var plans []Plan
+	work := append([]float64(nil), loads...)
+	planned := map[string]bool{}
+	for len(plans) < maxMoves {
+		src, dst := 0, 0
+		for i := 1; i < n; i++ {
+			if work[i] > work[src] {
+				src = i
+			}
+			if work[i] < work[dst] {
+				dst = i
+			}
+		}
+		if work[src] <= hysteresis*mean || src == dst {
+			return plans
+		}
+		moved := false
+		for _, kl := range hot[src] {
+			if planned[kl.Key] || !eligible(kl.Key) {
+				continue
+			}
+			// Strict improvement: the destination's new load must stay
+			// below the source's old load, so the pair's max strictly
+			// shrinks — a key hotter than that just changes address.
+			if work[dst]+kl.Count >= work[src] {
+				continue
+			}
+			plans = append(plans, Plan{Key: kl.Key, From: src, To: dst})
+			planned[kl.Key] = true
+			work[src] -= kl.Count
+			work[dst] += kl.Count
+			moved = true
+			break
+		}
+		if !moved {
+			return plans
+		}
+	}
+	return plans
+}

@@ -1,0 +1,123 @@
+// Package control closes the feedback loop the ROADMAP's hot-key item
+// names: sensors that measure per-key load at the router's grant path,
+// a periodic controller that turns shard imbalance into migration
+// plans, and (via the lockservice actuator) key-level placement
+// overrides installed under the ring's generation protocol. The
+// framing follows Choppella et al.'s "Generalised Dining Philosophers
+// as Feedback Control": the diners substrate is the plant, grant
+// counters and wait latency are the sensor vector, and placement is
+// the actuator.
+//
+// The package is deliberately free of lockservice imports so the
+// deterministic simulator can drive the same sketch and the same
+// decision function with round-based time.
+package control
+
+import "sort"
+
+// KeyLoad is one key's decayed observation count in a sketch.
+type KeyLoad struct {
+	Key   string  `json:"key"`
+	Count float64 `json:"count"`
+}
+
+// Sketch is a space-saving top-K heavy-hitter sketch with exponential
+// decay: at most K counters regardless of keyspace size, each counter
+// an overestimate of its key's true decayed count by at most the
+// smallest counter present at its admission. That bias is the right
+// direction for a rebalancer — a key the sketch believes is hot really
+// did displace whatever was previously coldest.
+//
+// A Sketch is a plain value like shard.Ring: the Controller wraps it
+// in its own lock.
+type Sketch struct {
+	k      int
+	counts map[string]float64
+	total  float64
+}
+
+// NewSketch returns an empty sketch keeping at most k counters.
+func NewSketch(k int) *Sketch {
+	if k <= 0 {
+		k = 16
+	}
+	return &Sketch{k: k, counts: make(map[string]float64, k)}
+}
+
+// Observe adds weight w to key's counter. A new key admitted into a
+// full sketch evicts the smallest counter and inherits its count (the
+// space-saving rule), so the sketch never underestimates a hot key.
+func (s *Sketch) Observe(key string, w float64) {
+	if w <= 0 {
+		return
+	}
+	s.total += w
+	if _, ok := s.counts[key]; ok {
+		s.counts[key] += w
+		return
+	}
+	if len(s.counts) < s.k {
+		s.counts[key] = w
+		return
+	}
+	minKey, minVal := "", 0.0
+	first := true
+	for k, v := range s.counts { //lint:sorted total-order argmin (count, then key) is order-insensitive
+		// Deterministic eviction despite map order: smallest count,
+		// largest key string breaking ties.
+		if first || v < minVal || (v == minVal && k > minKey) {
+			minKey, minVal, first = k, v, false
+		}
+	}
+	delete(s.counts, minKey)
+	s.counts[key] = minVal + w
+}
+
+// Decay multiplies every counter by factor in [0,1), dropping counters
+// that decay below noise so a key that went cold stops occupying a
+// slot. Total decays with them.
+func (s *Sketch) Decay(factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	if factor >= 1 {
+		return
+	}
+	const floor = 1e-3
+	s.total *= factor
+	for k := range s.counts {
+		s.counts[k] *= factor
+		if s.counts[k] < floor {
+			delete(s.counts, k)
+		}
+	}
+}
+
+// Total returns the decayed sum of all observed weight, including
+// weight whose counters have since been evicted.
+func (s *Sketch) Total() float64 { return s.total }
+
+// Count returns key's counter (0 when untracked).
+func (s *Sketch) Count(key string) float64 { return s.counts[key] }
+
+// Drop removes key's counter without touching the total — used after a
+// migration so the departed key's load stops being attributed to its
+// old shard immediately rather than decaying away.
+func (s *Sketch) Drop(key string) { delete(s.counts, key) }
+
+// TopK returns the tracked keys sorted by descending count, key
+// ascending on ties — a deterministic ranking for status surfaces and
+// the controller's candidate scan.
+func (s *Sketch) TopK() []KeyLoad {
+	out := make([]KeyLoad, 0, len(s.counts))
+	for k, v := range s.counts {
+		out = append(out, KeyLoad{Key: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

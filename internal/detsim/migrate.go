@@ -1,0 +1,758 @@
+// Live key-migration simulation: the deterministic mirror of the
+// Router's fence/drain/commit protocol (internal/lockservice/rebalance.go)
+// and its sensor half (internal/control). K shard substrates advance in
+// lockstep while single-key clients acquire, hold, and release; a
+// migration coordinator moves keys between shards mid-traffic — either
+// from an explicit plan or closed-loop through control.Decide, the
+// SAME pure control law the production rebalance loop runs. The
+// oracles then check the properties the protocol owes its clients:
+//
+//   - dual-grant-across-epochs: no round may show client-visible
+//     grants for one key on two shards — exclusion must span the
+//     placement epoch change, not just each shard's arbiter;
+//   - lost-waiter: every client terminates (grant+release, 409
+//     bounce, or timeout) within its budget even when its key is
+//     fenced or its queue entry is stranded on the old home;
+//   - override divergence: an observer rebuilding placement from the
+//     published override table (the replica path,
+//     shard.Ring.SetOverrides) agrees with the authoritative ring on
+//     every key after every commit.
+//
+// The Unfenced knob is the negative control: it commits the override
+// without fencing or draining, exactly the shortcut the production
+// protocol exists to forbid — runs with it on must trip the dual-grant
+// oracle, or the oracle is vacuous.
+package detsim
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"mcdp/internal/control"
+	"mcdp/internal/core"
+	"mcdp/internal/drinkers"
+	"mcdp/internal/graph"
+	"mcdp/internal/lockservice"
+	"mcdp/internal/shard"
+)
+
+// KeyMigration schedules one key move: at Round, migrate the KeyIndex-th
+// synthetic key to shard To (To < 0 picks the next ring member after
+// the key's current placement, so plans stay valid under any seed).
+type KeyMigration struct {
+	KeyIndex int
+	Round    int
+	To       int
+}
+
+// MigrateConfig describes one deterministic key-migration run.
+type MigrateConfig struct {
+	// Graph is each shard's diners topology. Required.
+	Graph *graph.Graph
+	// Shards is the shard count (default 2).
+	Shards int
+	// Vnodes is the ring's virtual-node count (0 = shard.DefaultVnodes).
+	Vnodes int
+	// Seed names the run (ring, substrates, and schedule source).
+	Seed int64
+	// Rounds is the lockstep round count (default 200).
+	Rounds int
+	// Adversarial switches shards to AdvSteps free steps per round.
+	Adversarial bool
+	// AdvSteps is the adversarial steps per shard per round (default 8).
+	AdvSteps int
+	// KeyCount is the synthetic keyspace size (default 24).
+	KeyCount int
+	// SubmitPercent is the per-round chance a new client arrives
+	// (default 60).
+	SubmitPercent int
+	// HotPercent is the share of arrivals naming key 0 — the hot key
+	// migrations chase (default 40; the rest draw uniformly).
+	HotPercent int
+	// MaxHoldRounds bounds a grant's hold (default 3).
+	MaxHoldRounds int
+	// AcquireRounds is the client wait budget: a session pending that
+	// long is canceled, the round-domain DefaultTimeout (default 40).
+	AcquireRounds int
+	// DrainRounds is the migration drain budget (default 12).
+	DrainRounds int
+	// QueueLimit is each arbiter's per-node queue capacity (default 8).
+	QueueLimit int
+	// Migrations is the explicit migration plan.
+	Migrations []KeyMigration
+	// Auto runs the closed loop instead: every DecideEvery rounds the
+	// harness feeds its per-shard sensor sketches to control.Decide and
+	// actuates the returned plans under the fenced protocol.
+	Auto bool
+	// DecideEvery is the closed-loop control period in rounds (default 10).
+	DecideEvery int
+	// Unfenced commits overrides immediately — no fence, no drain, no
+	// post-grant check. Negative control ONLY.
+	Unfenced bool
+	// Crashes and Restarts are per-shard node fault plans.
+	Crashes  [][]Crash
+	Restarts [][]Restart
+	// Trace retains the coordinator trace in the result.
+	Trace bool
+	// Source overrides the schedule source; nil uses NewRand(Seed).
+	Source Source
+}
+
+// MigrateResult is the outcome of one key-migration run.
+type MigrateResult struct {
+	Seed   int64
+	Rounds int
+	Shards int
+	// TraceHash combines the coordinator's and every shard's trace hash.
+	TraceHash uint64
+	// Trace is the coordinator's event trace (only with Trace).
+	Trace []string
+	// Client counters: FenceBounced clients hit a fenced key at
+	// placement resolution; Bounced grants were revoked by the
+	// post-grant placement check before the client saw them.
+	Submitted, Granted, Released, FenceBounced, Bounced, Timeouts, Canceled int
+	// Migration counters.
+	MigrationsStarted, Migrations, MigrationsAborted int
+	// Generation is the final ring generation.
+	Generation uint64
+	// DualGrants lists rounds where one key was client-visibly granted
+	// on two shards at once — the cross-epoch exclusion violation.
+	DualGrants []string
+	// LostWaiters lists clients that never terminated within budget.
+	LostWaiters []string
+	// Divergence lists keys where a replica-path observer ring
+	// disagreed with the authoritative ring after a commit.
+	Divergence []string
+	// SafetyViolations and HistoryViolations aggregate the per-shard
+	// diners and lock-history oracles, shard-prefixed.
+	SafetyViolations  []string
+	HistoryViolations []string
+}
+
+// Failed reports whether the run violated any checked property.
+func (r *MigrateResult) Failed() bool {
+	return len(r.DualGrants) > 0 || len(r.LostWaiters) > 0 || len(r.Divergence) > 0 ||
+		len(r.SafetyViolations) > 0 || len(r.HistoryViolations) > 0
+}
+
+// migSession is one single-key client: submitted at the key's placed
+// shard, granted and held for a drawn window, then released.
+type migSession struct {
+	key     string
+	shard   int
+	sess    *drinkers.Session
+	born    int
+	granted bool
+	release int
+	done    bool
+}
+
+// migMigration is one in-flight fenced migration.
+type migMigration struct {
+	key      string
+	src, dst int
+	deadline int
+}
+
+// migHarness wires the shard runners, arbiters, ring, clients, sensors,
+// and migration state.
+type migHarness struct {
+	cfg     MigrateConfig
+	src     Source
+	ring    *shard.Ring
+	runners []*runner
+	arbs    []*drinkers.Arbiter
+	hists   []*lockservice.History
+	mappers []*lockservice.ResourceMapper
+	keys    []string
+
+	sessions  []*migSession
+	migrating map[string]*migMigration
+
+	// Closed-loop sensors: the detsim twin of Router.ctl.
+	sketches []*control.Sketch
+	loads    []float64
+	lastMove map[string]int
+
+	res *MigrateResult
+	h   *spanTrace
+}
+
+// RunMigrate executes one deterministic key-migration run.
+func RunMigrate(cfg MigrateConfig) *MigrateResult {
+	h := newMigHarness(cfg)
+	for t := 0; t < h.cfg.Rounds; t++ {
+		h.round(t)
+	}
+	return h.finish()
+}
+
+func newMigHarness(cfg MigrateConfig) *migHarness {
+	if cfg.Graph == nil {
+		panic("detsim: MigrateConfig.Graph is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 200
+	}
+	if cfg.AdvSteps <= 0 {
+		cfg.AdvSteps = 8
+	}
+	if cfg.KeyCount <= 0 {
+		cfg.KeyCount = 24
+	}
+	if cfg.SubmitPercent <= 0 {
+		cfg.SubmitPercent = 60
+	}
+	if cfg.HotPercent <= 0 {
+		cfg.HotPercent = 40
+	}
+	if cfg.MaxHoldRounds <= 0 {
+		cfg.MaxHoldRounds = 3
+	}
+	if cfg.AcquireRounds <= 0 {
+		cfg.AcquireRounds = 40
+	}
+	if cfg.DrainRounds <= 0 {
+		cfg.DrainRounds = 12
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 8
+	}
+	if cfg.DecideEvery <= 0 {
+		cfg.DecideEvery = 10
+	}
+	src := cfg.Source
+	if src == nil {
+		src = NewRand(cfg.Seed)
+	}
+	h := &migHarness{
+		cfg:       cfg,
+		src:       src,
+		ring:      shard.New(uint64(cfg.Seed)+1, cfg.Vnodes),
+		migrating: make(map[string]*migMigration),
+		lastMove:  make(map[string]int),
+		res:       &MigrateResult{Seed: cfg.Seed, Rounds: cfg.Rounds, Shards: cfg.Shards},
+		h:         &spanTrace{hash: fnv.New64a(), keep: cfg.Trace},
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		rcfg := Config{
+			Graph:  cfg.Graph,
+			Seed:   cfg.Seed + int64(s)*101,
+			Rounds: cfg.Rounds,
+			Hungry: make([]bool, cfg.Graph.N()),
+			Source: src,
+		}
+		if s < len(cfg.Crashes) {
+			rcfg.Crashes = cfg.Crashes[s]
+		}
+		if s < len(cfg.Restarts) {
+			rcfg.Restarts = cfg.Restarts[s]
+		}
+		rn := newRunner(rcfg)
+		for _, f := range rn.d.Boot() {
+			rn.event("+ %s", f)
+			rn.pending = append(rn.pending, f)
+		}
+		arb := drinkers.NewArbiter(cfg.Graph, cfg.QueueLimit)
+		hist := lockservice.NewHistory()
+		hist.Tap(arb)
+		h.runners = append(h.runners, rn)
+		h.arbs = append(h.arbs, arb)
+		h.hists = append(h.hists, hist)
+		h.mappers = append(h.mappers, lockservice.NewResourceMapper(cfg.Graph))
+		h.sketches = append(h.sketches, control.NewSketch(8))
+		h.loads = append(h.loads, 0)
+		if err := h.ring.Add(s); err != nil {
+			panic(err) // fresh ring, dense ids: unreachable
+		}
+	}
+	for i := 0; i < cfg.KeyCount; i++ {
+		h.keys = append(h.keys, fmt.Sprintf("key-%03d", i))
+	}
+	h.h.event("migrate run n=%d shards=%d seed=%d", cfg.Graph.N(), cfg.Shards, cfg.Seed)
+	return h
+}
+
+// fenced reports whether key is currently migration-fenced.
+func (h *migHarness) fenced(key string) bool {
+	_, ok := h.migrating[key]
+	return ok
+}
+
+// round advances everything by one lockstep round.
+func (h *migHarness) round(t int) {
+	for _, rn := range h.runners {
+		if h.cfg.Adversarial {
+			rn.advSteps(t, h.cfg.AdvSteps)
+		} else {
+			rn.fairRound(t)
+		}
+	}
+	h.fenceRestartedNodes(t)
+	h.releaseDue(t)
+	h.stepMigrations(t)
+	h.timeoutPending(t)
+	h.drawClient(t)
+	h.pump(t)
+	h.checkDualGrants(t)
+	if h.cfg.Auto && t > 0 && t%h.cfg.DecideEvery == 0 {
+		h.autoDecide(t)
+	}
+	for s, arb := range h.arbs {
+		nw := h.runners[s].d.Network()
+		for p := 0; p < h.cfg.Graph.N(); p++ {
+			nw.SetNeeds(graph.ProcID(p), arb.HasPending(graph.ProcID(p)))
+		}
+	}
+}
+
+// fenceRestartedNodes mirrors Server.fenceLeases: a node restart
+// revokes the leases and queue entries homed there. For a migration
+// mid-drain this is the interesting case — the fence empties the
+// source's lease table, so the drain completes through the crash.
+func (h *migHarness) fenceRestartedNodes(t int) {
+	for s, rn := range h.runners {
+		for _, rs := range rn.cfg.Restarts {
+			if rs.Round != t {
+				continue
+			}
+			for _, ms := range h.sessions {
+				if ms.done || ms.shard != s || ms.sess.Home != rs.Node {
+					continue
+				}
+				if ms.granted {
+					h.arbs[s].Release(ms.sess)
+					ms.done = true
+					h.res.Released++
+					h.h.event("t%d fence-release %s shard%d node%d", t, ms.key, s, rs.Node)
+				} else if h.arbs[s].Cancel(ms.sess) {
+					ms.done = true
+					h.res.Canceled++
+					h.h.event("t%d fence-cancel %s shard%d node%d", t, ms.key, s, rs.Node)
+				}
+			}
+		}
+	}
+}
+
+// releaseDue releases grants whose hold expired.
+func (h *migHarness) releaseDue(t int) {
+	for _, ms := range h.sessions {
+		if ms.done || !ms.granted || ms.release > t {
+			continue
+		}
+		h.arbs[ms.shard].Release(ms.sess)
+		ms.done = true
+		h.res.Released++
+		h.h.event("t%d release %s shard%d", t, ms.key, ms.shard)
+	}
+}
+
+// startMigration begins one fenced migration (or, under the Unfenced
+// negative control, commits it immediately). dst < 0 picks the next
+// ring member after the source.
+func (h *migHarness) startMigration(t int, key string, dst int) {
+	src, ok := h.ring.Lookup(key)
+	if !ok || h.fenced(key) {
+		return
+	}
+	if dst < 0 {
+		members := h.ring.Members()
+		for i, m := range members {
+			if m == src {
+				dst = members[(i+1)%len(members)]
+				break
+			}
+		}
+	}
+	if dst == src || !h.ring.Has(dst) {
+		return
+	}
+	h.res.MigrationsStarted++
+	if h.cfg.Unfenced {
+		// The forbidden shortcut: flip placement with live leases.
+		if err := h.ring.SetOverride(key, dst); err == nil {
+			h.res.Migrations++
+			h.h.event("t%d UNFENCED migrate %s shard%d->%d", t, key, src, dst)
+		}
+		return
+	}
+	h.migrating[key] = &migMigration{key: key, src: src, dst: dst, deadline: t + h.cfg.DrainRounds}
+	h.ring.Bump() // fence epoch, exactly like MigrateKey
+	h.h.event("t%d fence %s shard%d->%d", t, key, src, dst)
+}
+
+// stepMigrations fires plan entries due this round and advances
+// in-flight drains: commit once the source shows no client-visible
+// grant on the key, abort at the drain deadline.
+func (h *migHarness) stepMigrations(t int) {
+	for _, km := range h.cfg.Migrations {
+		if km.Round == t {
+			h.startMigration(t, h.keys[km.KeyIndex%len(h.keys)], km.To)
+		}
+	}
+	for key, m := range h.migrating {
+		if h.liveGrants(key, m.src) > 0 {
+			if m.deadline <= t {
+				delete(h.migrating, key)
+				h.ring.Bump() // lift the fence under a fresh epoch
+				h.res.MigrationsAborted++
+				h.h.event("t%d abort %s: shard%d did not drain", t, key, m.src)
+			}
+			continue
+		}
+		delete(h.migrating, key)
+		if cur, _ := h.ring.Lookup(key); cur == m.dst {
+			h.ring.Bump()
+		} else if err := h.ring.SetOverride(key, m.dst); err != nil {
+			h.res.MigrationsAborted++
+			h.h.event("t%d abort %s: %v", t, key, err)
+			continue
+		}
+		h.res.Migrations++
+		h.transferWeight(key, m.src, m.dst)
+		h.h.event("t%d commit %s shard%d->%d gen%d", t, key, m.src, m.dst, h.ring.Generation())
+		h.checkObserver(t, key)
+	}
+}
+
+// liveGrants counts client-visible grants on key at shard s.
+func (h *migHarness) liveGrants(key string, s int) int {
+	n := 0
+	for _, ms := range h.sessions {
+		if !ms.done && ms.granted && ms.key == key && ms.shard == s {
+			n++
+		}
+	}
+	return n
+}
+
+// timeoutPending cancels clients whose wait budget elapsed — the
+// round-domain DefaultTimeout. Waiters stranded on a migrated key's
+// old home terminate here if the post-grant bounce does not get them
+// first; either way the lost-waiter oracle stays quiet.
+func (h *migHarness) timeoutPending(t int) {
+	for _, ms := range h.sessions {
+		if ms.done || ms.granted || t-ms.born < h.cfg.AcquireRounds {
+			continue
+		}
+		if h.arbs[ms.shard].Cancel(ms.sess) {
+			ms.done = true
+			h.res.Timeouts++
+			h.h.event("t%d timeout %s shard%d", t, ms.key, ms.shard)
+		}
+	}
+}
+
+// drawClient maybe submits one new single-key client, resolving
+// placement against the live ring — a fenced key bounces here with the
+// 409 the production router returns from partsFor.
+func (h *migHarness) drawClient(t int) {
+	if h.src.Intn(100) >= h.cfg.SubmitPercent {
+		return
+	}
+	key := h.keys[0]
+	if h.src.Intn(100) >= h.cfg.HotPercent {
+		key = h.keys[h.src.Intn(len(h.keys))]
+	}
+	if h.fenced(key) && !h.cfg.Unfenced {
+		h.res.FenceBounced++
+		h.h.event("t%d 409 %s (fenced)", t, key)
+		return
+	}
+	s, ok := h.ring.Lookup(key)
+	if !ok {
+		return
+	}
+	bottles, homes, err := h.mappers[s].MapSession([]string{key})
+	if err != nil {
+		return
+	}
+	rn := h.runners[s]
+	home := graph.ProcID(-1)
+	for _, c := range homes {
+		if !rn.rd.Dead(c) && !rn.d.Network().Departed(c) {
+			home = c
+			break
+		}
+	}
+	if home < 0 {
+		return
+	}
+	sess, err := h.arbs[s].Submit(home, bottles)
+	if err != nil {
+		return
+	}
+	h.sessions = append(h.sessions, &migSession{key: key, shard: s, sess: sess, born: t})
+	h.res.Submitted++
+	h.h.event("t%d submit %s shard%d home=%d", t, key, s, home)
+}
+
+// pump advances every arbiter and classifies fresh grants: a grant on
+// a fenced or re-placed key is released before the client sees it (the
+// router's post-grant check); the rest become client-visible holds and
+// feed the sensors. The Unfenced control skips the check — that is the
+// whole point of the control.
+func (h *migHarness) pump(t int) {
+	for s, arb := range h.arbs {
+		rn := h.runners[s]
+		grants := arb.Pump(func(p graph.ProcID) bool {
+			return rn.rd.State(p) == core.Eating && !rn.rd.Dead(p) && !rn.d.Network().Departed(p)
+		})
+		for _, g := range grants {
+			var ms *migSession
+			for _, c := range h.sessions {
+				if c.sess == g && !c.done {
+					ms = c
+					break
+				}
+			}
+			if ms == nil {
+				continue
+			}
+			cur, _ := h.ring.Lookup(ms.key)
+			if !h.cfg.Unfenced && (h.fenced(ms.key) || cur != ms.shard) {
+				arb.Release(ms.sess)
+				ms.done = true
+				h.res.Bounced++
+				h.h.event("t%d bounce %s shard%d (placed shard%d)", t, ms.key, ms.shard, cur)
+				continue
+			}
+			ms.granted = true
+			ms.release = t + 1 + h.src.Intn(h.cfg.MaxHoldRounds)
+			h.res.Granted++
+			h.sketches[ms.shard].Observe(ms.key, 1)
+			h.loads[ms.shard]++
+			h.h.event("t%d grant %s shard%d hold=%d", t, ms.key, ms.shard, ms.release-t)
+		}
+	}
+}
+
+// checkDualGrants is the cross-epoch exclusion oracle: after the
+// post-grant checks, no key may be client-visibly granted on two
+// shards in the same round.
+func (h *migHarness) checkDualGrants(t int) {
+	byKey := make(map[string]int) // key -> first shard seen holding it
+	for _, ms := range h.sessions {
+		if ms.done || !ms.granted {
+			continue
+		}
+		if prev, ok := byKey[ms.key]; ok && prev != ms.shard {
+			if len(h.res.DualGrants) < maxRecorded {
+				h.res.DualGrants = append(h.res.DualGrants,
+					fmt.Sprintf("t%d: key %s granted on shards %d and %d", t, ms.key, prev, ms.shard))
+			}
+			continue
+		}
+		byKey[ms.key] = ms.shard
+	}
+}
+
+// autoDecide runs one closed-loop control period: decay the sensors,
+// call the shared control law, and actuate its plans under the fenced
+// protocol — the detsim twin of Router.rebalanceLoop.
+func (h *migHarness) autoDecide(t int) {
+	const decay = 0.9
+	for s, sk := range h.sketches {
+		sk.Decay(decay)
+		h.loads[s] *= decay
+	}
+	hot := make([][]control.KeyLoad, len(h.sketches))
+	for s, sk := range h.sketches {
+		hot[s] = sk.TopK()
+	}
+	eligible := func(key string) bool {
+		last, moved := h.lastMove[key]
+		return (!moved || t-last >= 4*h.cfg.DecideEvery) && !h.fenced(key)
+	}
+	for _, p := range control.Decide(h.loads, hot, eligible, 1.3, 8, 1) {
+		h.lastMove[p.Key] = t
+		h.startMigration(t, p.Key, p.To)
+	}
+}
+
+// transferWeight moves a committed key's sensor weight to its new
+// shard, like Controller.Done.
+func (h *migHarness) transferWeight(key string, src, dst int) {
+	n := h.sketches[src].Count(key)
+	h.sketches[src].Drop(key)
+	if n > 0 {
+		h.sketches[dst].Observe(key, n)
+		h.loads[src] -= n
+		h.loads[dst] += n
+	}
+}
+
+// checkObserver rebuilds placement the way a replica does — same seed
+// and membership, overrides bulk-applied from the published table —
+// and requires agreement with the authoritative ring on every key.
+func (h *migHarness) checkObserver(t int, cause string) {
+	obs := shard.New(h.ring.Seed(), h.ring.Vnodes())
+	for _, s := range h.ring.Members() {
+		if err := obs.Add(s); err != nil {
+			panic(err) // fresh ring, authoritative member list: unreachable
+		}
+	}
+	obs.SetOverrides(h.ring.Overrides())
+	for _, k := range h.keys {
+		want, okW := h.ring.Lookup(k)
+		got, okG := obs.Lookup(k)
+		if okW != okG || want != got {
+			if len(h.res.Divergence) < maxRecorded {
+				h.res.Divergence = append(h.res.Divergence,
+					fmt.Sprintf("t%d after %s: key %s authoritative shard %d, observer shard %d", t, cause, k, want, got))
+			}
+		}
+	}
+}
+
+// finish runs the end-of-run oracles, drains live clients, and
+// assembles the result.
+func (h *migHarness) finish() *MigrateResult {
+	res := h.res
+	rounds := h.cfg.Rounds
+	budget := h.cfg.AcquireRounds + h.cfg.MaxHoldRounds + 10
+	for _, ms := range h.sessions {
+		if ms.done || rounds-ms.born < budget {
+			continue
+		}
+		if len(res.LostWaiters) < maxRecorded {
+			res.LostWaiters = append(res.LostWaiters,
+				fmt.Sprintf("client for %s on shard %d born t%d never terminated in %d rounds",
+					ms.key, ms.shard, ms.born, rounds-ms.born))
+		}
+	}
+	for _, ms := range h.sessions {
+		if ms.done {
+			continue
+		}
+		if ms.granted {
+			h.arbs[ms.shard].Release(ms.sess)
+			res.Released++
+		} else if h.arbs[ms.shard].Cancel(ms.sess) {
+			res.Canceled++
+		}
+		ms.done = true
+	}
+	res.Generation = h.ring.Generation()
+	res.Trace = h.h.lines
+	comb := fnv.New64a()
+	fmt.Fprintf(comb, "%016x\n", h.h.hash.Sum64())
+	for s, rn := range h.runners {
+		fair := !h.cfg.Adversarial
+		rn.baseline = nil // demand-driven hunger: no locality promise
+		sub := rn.finish(fair, rounds)
+		fmt.Fprintf(comb, "%016x\n", sub.TraceHash)
+		for _, v := range sub.SafetyViolations {
+			if len(res.SafetyViolations) < maxRecorded {
+				res.SafetyViolations = append(res.SafetyViolations, fmt.Sprintf("shard %d: %s", s, v))
+			}
+		}
+		for _, v := range h.hists[s].Check(h.cfg.Graph) {
+			if len(res.HistoryViolations) < maxRecorded {
+				res.HistoryViolations = append(res.HistoryViolations, fmt.Sprintf("shard %d: %s", s, v))
+			}
+		}
+	}
+	res.TraceHash = comb.Sum64()
+	return res
+}
+
+// migratePlan draws count migrations of the hot key and uniform others
+// from the source, spread over the first two thirds of the run.
+func migratePlan(src Source, count, rounds, keyCount int) []KeyMigration {
+	var plan []KeyMigration
+	for i := 0; i < count; i++ {
+		ki := 0 // bias: mostly move the hot key, like the controller would
+		if src.Intn(3) == 0 {
+			ki = src.Intn(keyCount)
+		}
+		plan = append(plan, KeyMigration{KeyIndex: ki, Round: 5 + src.Intn(rounds*2/3), To: -1})
+	}
+	return plan
+}
+
+// SweepMigrate is the canonical seed-indexed fair migration run shared
+// by the sweep tests and cmd/detsim -mode migrate: seed-drawn plan,
+// hot-key workload, full oracle ensemble.
+func SweepMigrate(g *graph.Graph, seed int64, rounds, shards, moves int, trace bool) *MigrateResult {
+	src := NewRand(seed)
+	return RunMigrate(MigrateConfig{
+		Graph:      g,
+		Shards:     shards,
+		Seed:       seed,
+		Rounds:     rounds,
+		Migrations: migratePlan(src, moves, rounds, 24),
+		Source:     src,
+		Trace:      trace,
+	})
+}
+
+// SweepMigrateAdversarial is the adversarial-schedule variant: the
+// adversary controls shard progress, not placement exclusivity.
+func SweepMigrateAdversarial(g *graph.Graph, seed int64, rounds, shards, moves int, trace bool) *MigrateResult {
+	src := NewRand(seed)
+	return RunMigrate(MigrateConfig{
+		Graph:       g,
+		Shards:      shards,
+		Seed:        seed,
+		Rounds:      rounds,
+		Adversarial: true,
+		Migrations:  migratePlan(src, moves, rounds, 24),
+		Source:      src,
+		Trace:       trace,
+	})
+}
+
+// SweepMigrateChaos is the crash-during-migration campaign: each shard
+// draws kills (some malicious) with clean-or-garbage restarts while
+// the migration plan runs — restarts fence leases mid-drain, and the
+// oracles must hold through both. Holds are long against a tight
+// drain budget, so the sweep exercises the drain-timeout abort path
+// alongside commits.
+func SweepMigrateChaos(g *graph.Graph, seed int64, rounds, shards, moves, kills int, trace bool) *MigrateResult {
+	src := NewRand(seed)
+	crashes := make([][]Crash, shards)
+	restarts := make([][]Restart, shards)
+	for s := 0; s < shards; s++ {
+		crashes[s] = RandomCrashes(src, g, kills, rounds/2, 6)
+		for _, c := range crashes[s] {
+			restarts[s] = append(restarts[s], Restart{
+				Node:    c.Node,
+				Round:   c.Round + 8 + src.Intn(16),
+				Garbage: src.Intn(2) == 1,
+			})
+		}
+	}
+	return RunMigrate(MigrateConfig{
+		Graph:         g,
+		Shards:        shards,
+		Seed:          seed,
+		Rounds:        rounds,
+		MaxHoldRounds: 8,
+		DrainRounds:   4,
+		Migrations:    migratePlan(src, moves, rounds, 24),
+		Crashes:       crashes,
+		Restarts:      restarts,
+		Source:        src,
+		Trace:         trace,
+	})
+}
+
+// SweepMigrateAuto is the closed-loop variant: no explicit plan — the
+// skewed workload must make the shared control law sense the hot shard
+// and migrate keys off it under the fenced protocol.
+func SweepMigrateAuto(g *graph.Graph, seed int64, rounds, shards int, trace bool) *MigrateResult {
+	return RunMigrate(MigrateConfig{
+		Graph:      g,
+		Shards:     shards,
+		Seed:       seed,
+		Rounds:     rounds,
+		Auto:       true,
+		HotPercent: 55,
+		Trace:      trace,
+	})
+}

@@ -76,6 +76,14 @@ type SpanConfig struct {
 	QueueLimit int
 	// RingChurn is the ring-membership plan.
 	RingChurn []RingChurn
+	// Migrations is the key-migration plan: at each entry's round the
+	// keyed override is installed and every span whose recorded
+	// placement the new ring contradicts is fenced — the span-protocol
+	// view of MigrateKey. The harness adopts the same drain-at-change
+	// strictness as ring churn (production instead drains the source
+	// before committing), which keeps the cross-epoch exclusivity
+	// oracle sound and lets the displaced oracle demand termination.
+	Migrations []KeyMigration
 	// Crashes, Restarts, Leaves, and Joins are per-shard fault plans
 	// (index = shard; nil or short slices mean no plan for that shard).
 	Crashes  [][]Crash
@@ -109,6 +117,8 @@ type SpanResult struct {
 	Commits, Rollbacks, Displaced int
 	// RingLeaves and RingJoins count executed ring changes.
 	RingLeaves, RingJoins int
+	// Migrations counts executed key-override installs.
+	Migrations int
 	// PartialCommits lists spans that committed while some part was not
 	// held — the cross-shard atomicity violation this harness exists to
 	// rule out.
@@ -343,6 +353,7 @@ func (h *spanHarness) round(t int) {
 		}
 	}
 	h.applyRingChurn(t)
+	h.applyMigrations(t)
 	h.fenceDueNodes(t)
 	for s, arb := range h.arbs {
 		rn := h.runners[s]
@@ -390,6 +401,41 @@ func (h *spanHarness) applyRingChurn(t int) {
 				h.fenceRemapped(t)
 			}
 		}
+	}
+}
+
+// applyMigrations fires key-migration plan entries due at round t:
+// install the override (To < 0 picks the next member after the current
+// placement) and fence every in-flight span the moved key invalidates.
+func (h *spanHarness) applyMigrations(t int) {
+	for _, km := range h.cfg.Migrations {
+		if km.Round != t {
+			continue
+		}
+		key := h.keys[km.KeyIndex%len(h.keys)]
+		src, ok := h.ring.Lookup(key)
+		if !ok {
+			continue
+		}
+		dst := km.To
+		if dst < 0 {
+			members := h.ring.Members()
+			for i, m := range members {
+				if m == src {
+					dst = members[(i+1)%len(members)]
+					break
+				}
+			}
+		}
+		if dst == src || !h.ring.Has(dst) {
+			continue
+		}
+		if err := h.ring.SetOverride(key, dst); err != nil {
+			continue
+		}
+		h.res.Migrations++
+		h.h.event("t%d migrate %s shard %d -> %d", t, key, src, dst)
+		h.fenceRemapped(t)
 	}
 }
 
@@ -805,6 +851,32 @@ func SweepSpanChurn(g *graph.Graph, seed int64, rounds, shards, churnCount int, 
 		RingChurn: plan,
 		Source:    src,
 		Trace:     trace,
+	})
+}
+
+// SweepSpanMigrate is the migrate-during-span variant: seed-drawn key
+// migrations land while spans are mid-prepare. A span straddling the
+// placement change is fenced and must roll back cleanly (Displaced
+// counts it); atomicity and per-shard history legality must hold on
+// both sides of every override install.
+func SweepSpanMigrate(g *graph.Graph, seed int64, rounds, shards, moves int, trace bool) *SpanResult {
+	src := NewRand(seed)
+	var plan []KeyMigration
+	for i := 0; i < moves; i++ {
+		plan = append(plan, KeyMigration{
+			KeyIndex: src.Intn(24),
+			Round:    5 + src.Intn(rounds*2/3),
+			To:       -1,
+		})
+	}
+	return RunSpan(SpanConfig{
+		Graph:      g,
+		Shards:     shards,
+		Seed:       seed,
+		Rounds:     rounds,
+		Migrations: plan,
+		Source:     src,
+		Trace:      trace,
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"mcdp/internal/control"
 	"mcdp/internal/graph"
 	"mcdp/internal/msgpass"
 )
@@ -103,6 +104,20 @@ type StatusReport struct {
 	Standbys         int            `json:"standbys,omitempty"`
 	ReplicationLag   int64          `json:"replication_lag,omitempty"`
 	Reports          []StatusReport `json:"reports,omitempty"`
+	// Control, filled by a Router with the rebalance loop running: the
+	// controller's sensor snapshot (per-shard load and top-K keys),
+	// derived tuning, and the override table version.
+	Control *ControlReport `json:"control,omitempty"`
+}
+
+// ControlReport is the rebalance controller's /v1/status section.
+type ControlReport struct {
+	control.Status
+	// OverrideCount is the number of keys pinned off their hash homes;
+	// OverrideGen is the ring generation of the last override change —
+	// the override table's version under the generation protocol.
+	OverrideCount int    `json:"override_count"`
+	OverrideGen   uint64 `json:"override_gen"`
 }
 
 // ErrorResponse is the body of every non-2xx response. RingGen rides

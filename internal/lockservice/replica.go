@@ -278,6 +278,13 @@ func (rs *replicaSet) renew(sessionID string, ttl time.Duration) (time.Duration,
 	return d, err
 }
 
+// leasesOn counts the current primary's live leases naming resource —
+// a migration's drain probe. Reads the serving primary, so a promotion
+// mid-drain is probed against the successor that adopted the leases.
+func (rs *replicaSet) leasesOn(resource string) int {
+	return rs.Primary().LeasesOn(resource)
+}
+
 // noteSpan replicates a router span decision (prepare/commit/rollback)
 // for this shard's sub-lease, so a promoted standby knows which spans
 // were mid-protocol. Prepare and commit are semi-synchronous like

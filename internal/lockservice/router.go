@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcdp/internal/control"
 	"mcdp/internal/shard"
 	"mcdp/internal/stats"
 )
@@ -47,6 +48,16 @@ type RouterConfig struct {
 	Replicas int
 	// Failover tunes detection and promotion when Replicas > 0.
 	Failover FailoverConfig
+	// Rebalance, when set, closes the hot-key feedback loop: the router
+	// feeds every grant into per-shard control sensors and runs the
+	// controller periodically, migrating hot keys between shards under
+	// the generation protocol. Nil (the default) disables sensing and
+	// the loop entirely — the grant path pays nothing.
+	Rebalance *control.Config
+	// MigrationDrain bounds how long a key migration waits for the
+	// source shard's live leases on the key to release or expire before
+	// aborting. Default: Base.DefaultTTL + 500ms.
+	MigrationDrain time.Duration
 }
 
 // RouterMetrics counts the router's own routing decisions; per-shard
@@ -71,6 +82,16 @@ type RouterMetrics struct {
 	// LeaderlessRejections counts requests bounced with 503+Retry-After
 	// while a shard had no serving primary.
 	LeaderlessRejections atomic.Int64
+	// Rebalances counts committed key migrations (override installed
+	// after a clean drain); RebalancesAborted counts migrations that
+	// fenced a key but timed out waiting for its leases to drain and
+	// rolled the fence back.
+	Rebalances        atomic.Int64
+	RebalancesAborted atomic.Int64
+	// MigrationFences counts acquires bounced (409) because a requested
+	// key was fenced by an in-flight migration or had moved between
+	// placement resolution and grant.
+	MigrationFences atomic.Int64
 
 	// PromotionHist observes promotion latency (decision to serving) in
 	// seconds; promMu/promotions keep the raw durations so the bench
@@ -123,11 +144,30 @@ type Router struct {
 	fo      FailoverConfig
 	metrics *RouterMetrics
 
+	// ctl is the hot-key feedback controller (nil unless
+	// RouterConfig.Rebalance is set); advice caches its latest derived
+	// tuning for the 429 Retry-After hint.
+	ctl    *control.Controller
+	advice atomic.Pointer[control.Advice]
+
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	mu   sync.Mutex  //lint:order rank lockservice 10
-	ring *shard.Ring // guarded by mu
+	mu          sync.Mutex            //lint:order rank lockservice 10
+	ring        *shard.Ring           // guarded by mu
+	migrating   map[string]*migration // guarded by mu
+	overrideGen uint64                // guarded by mu
+}
+
+// migration is one in-flight key move: from fence to override install
+// (or abort), acquires naming key are bounced with 409 so the source
+// shard's leases on it can drain. deadline bounds the fence even if
+// the migrating goroutine dies mid-drain — routing treats an expired
+// entry as absent, so a wedged migration cannot fence a key forever.
+type migration struct {
+	key      string
+	src, dst int
+	deadline time.Time
 }
 
 // NewRouter builds a router and its shard servers — with
@@ -141,11 +181,17 @@ func NewRouter(cfg RouterConfig) *Router {
 		cfg.Replicas = 0
 	}
 	r := &Router{
-		cfg:     cfg,
-		fo:      cfg.Failover.withDefaults(),
-		metrics: &RouterMetrics{ShardRequests: make([]atomic.Int64, cfg.Shards), PromotionHist: stats.NewLatencyHistogram(stats.DefaultLatencyBounds())},
-		ring:    shard.New(uint64(cfg.Base.Seed), cfg.Vnodes),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		fo:        cfg.Failover.withDefaults(),
+		metrics:   &RouterMetrics{ShardRequests: make([]atomic.Int64, cfg.Shards), PromotionHist: stats.NewLatencyHistogram(stats.DefaultLatencyBounds())},
+		ring:      shard.New(uint64(cfg.Base.Seed), cfg.Vnodes),
+		migrating: make(map[string]*migration),
+		done:      make(chan struct{}),
+	}
+	if cfg.Rebalance != nil {
+		cc := *cfg.Rebalance
+		cc.Shards = cfg.Shards
+		r.ctl = control.New(cc)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		scfg := cfg.Base
@@ -201,6 +247,10 @@ func (r *Router) Start() {
 	if r.cfg.Replicas > 0 {
 		r.wg.Add(1)
 		go r.superviseShards()
+	}
+	if r.ctl != nil {
+		r.wg.Add(1)
+		go r.rebalanceLoop()
 	}
 }
 
@@ -276,6 +326,11 @@ type RingInfo struct {
 	Generation uint64 `json:"generation"`
 	Shards     int    `json:"shards"`
 	Members    []int  `json:"members"`
+	// Overrides is the key-level placement override table the
+	// rebalancing controller installs; a replica rebuilding the ring
+	// must apply it (shard.Ring.SetOverrides) or hot keys resolve to
+	// their stale hash homes.
+	Overrides map[string]int `json:"overrides,omitempty"`
 }
 
 // RingInfo snapshots the current ring.
@@ -288,6 +343,7 @@ func (r *Router) RingInfo() RingInfo {
 		Generation: r.ring.Generation(),
 		Shards:     len(r.sets),
 		Members:    r.ring.Members(),
+		Overrides:  r.ring.Overrides(),
 	}
 }
 
@@ -322,16 +378,37 @@ func (r *Router) RingJoin(s int) error {
 	return nil
 }
 
+// fencedLocked reports whether res is fenced by an in-flight key
+// migration: new placements for it are refused (409) until the source
+// shard's leases drain and the override lands, or the fence's deadline
+// expires (the wedged-migration escape hatch).
+//
+// requires mu
+func (r *Router) fencedLocked(res string, now time.Time) *migration {
+	m, ok := r.migrating[res]
+	if !ok || now.After(m.deadline) {
+		return nil
+	}
+	return m
+}
+
 // shardFor resolves a resource set to its owning shard. Every resource
-// must hash to the same shard; a spanning set is ErrCrossShard.
+// must hash to the same shard; a spanning set is ErrCrossShard, and a
+// resource fenced by an in-flight migration is ErrWrongShard (the
+// client re-resolves and retries once the key lands).
 func (r *Router) shardFor(resources []string) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(resources) == 0 {
 		return 0, fmt.Errorf("%w: empty resource set", ErrUnmappable)
 	}
+	now := time.Now()
 	home := -1
 	for _, res := range resources {
+		if m := r.fencedLocked(res, now); m != nil {
+			r.metrics.MigrationFences.Add(1)
+			return 0, fmt.Errorf("%w: key %q migrating shard %d -> %d", ErrWrongShard, res, m.src, m.dst)
+		}
 		s, ok := r.ring.Lookup(res)
 		if !ok {
 			return 0, ErrUnserviceable
@@ -370,8 +447,13 @@ func (r *Router) partsFor(resources []string) ([]spanPart, error) {
 	if len(resources) == 0 {
 		return nil, fmt.Errorf("%w: empty resource set", ErrUnmappable)
 	}
+	now := time.Now()
 	var parts []spanPart
 	for _, res := range resources {
+		if m := r.fencedLocked(res, now); m != nil {
+			r.metrics.MigrationFences.Add(1)
+			return nil, fmt.Errorf("%w: key %q migrating shard %d -> %d", ErrWrongShard, res, m.src, m.dst)
+		}
 		s, ok := r.ring.Lookup(res)
 		if !ok {
 			return nil, ErrUnserviceable
@@ -407,7 +489,8 @@ func (r *Router) prepareBudget() time.Duration {
 //
 //lint:lease acquire
 func (r *Router) Acquire(ctx context.Context, resources []string, ttl time.Duration, ringGen uint64) (*Grant, error) {
-	if cur := r.generation(); ringGen != 0 && ringGen != cur {
+	cur := r.generation()
+	if ringGen != 0 && ringGen != cur {
 		r.metrics.WrongShardRejections.Add(1)
 		return nil, fmt.Errorf("%w: client generation %d, ring generation %d", ErrWrongShard, ringGen, cur)
 	}
@@ -422,9 +505,51 @@ func (r *Router) Acquire(ctx context.Context, resources []string, ttl time.Durat
 		if errors.Is(err, ErrLeaderless) {
 			r.metrics.LeaderlessRejections.Add(1)
 		}
+		// Migration fence, second half: a key migration that started
+		// after partsFor resolved placement bumped the generation before
+		// waiting for the source's leases to drain. A grant that raced
+		// that fence must not reach the client — release it and bounce,
+		// exactly as if the client had routed under a stale generation.
+		// Steady state (generation unchanged) pays one atomic load.
+		if err == nil && r.generation() != cur && !r.stillPlaced(resources, home) {
+			_ = r.sets[home].release(g.SessionID)
+			r.metrics.MigrationFences.Add(1)
+			return nil, fmt.Errorf("%w: placement of %q moved mid-acquire", ErrWrongShard, resources[0])
+		}
+		if err == nil && r.ctl != nil {
+			r.ctl.Observe(home, g.Resources, g.Wait)
+		}
 		return g, err
 	}
-	return r.acquireSpan(ctx, resources, parts, ttl)
+	return r.acquireSpan(ctx, resources, parts, ttl, cur)
+}
+
+// stillPlaced reports whether every resource still resolves to home
+// and none is fenced by an in-flight migration — the post-grant check
+// that makes a grant racing a migration fence invisible to clients.
+func (r *Router) stillPlaced(resources []string, home int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	for _, res := range resources {
+		if r.fencedLocked(res, now) != nil {
+			return false
+		}
+		if s, ok := r.ring.Lookup(res); !ok || s != home {
+			return false
+		}
+	}
+	return true
+}
+
+// partsStillPlaced is stillPlaced for a span's decomposition.
+func (r *Router) partsStillPlaced(parts []spanPart) bool {
+	for _, pt := range parts {
+		if !r.stillPlaced(pt.keys, pt.shard) {
+			return false
+		}
+	}
+	return true
 }
 
 // acquireSpan acquires a shard-spanning resource set all-or-nothing:
@@ -437,8 +562,10 @@ func (r *Router) Acquire(ctx context.Context, resources []string, ttl time.Durat
 // wait between refreshes, regardless of how many shards the span
 // touches. A prepare the janitor or a node fence revoked mid-protocol
 // surfaces as ErrSpanAborted (409, retryable: rollback left no
-// residue).
-func (r *Router) acquireSpan(ctx context.Context, resources []string, parts []spanPart, ttl time.Duration) (*Grant, error) {
+// residue), as does a key migration that moved any part's placement
+// between resolution and commit — checked against gen0, the generation
+// the parts were resolved under.
+func (r *Router) acquireSpan(ctx context.Context, resources []string, parts []spanPart, ttl time.Duration, gen0 uint64) (*Grant, error) {
 	// The protocol's deadlock freedom rests on every span walking its
 	// shards in the same order. partsFor already sorts, but the proof
 	// should not depend on a contract a caller could break: re-assert
@@ -482,12 +609,28 @@ func (r *Router) acquireSpan(ctx context.Context, resources []string, parts []sp
 			}
 		}
 	}
+	// Migration fence for spans: if the ring epoch moved while the
+	// prepares were collecting, re-validate every part's placement
+	// before promoting anything to the client TTL. A span must commit
+	// entirely inside one placement epoch or not at all — otherwise a
+	// migrated key could be granted here under its old home while the
+	// override already routes new acquires to its new one.
+	if r.generation() != gen0 && !r.partsStillPlaced(parts) {
+		rollback()
+		r.metrics.MigrationFences.Add(1)
+		return nil, fmt.Errorf("%w: placement moved mid-span (ring generation %d -> %d)", ErrSpanAborted, gen0, r.generation())
+	}
 	for i := range subs {
 		if _, err := r.sets[parts[i].shard].renew(subs[i].SessionID, ttl); err != nil {
 			rollback()
 			return nil, fmt.Errorf("%w: shard %d prepare lost at commit: %v", ErrSpanAborted, parts[i].shard, err)
 		}
 		r.sets[parts[i].shard].noteSpan(ReplOpSpanCommit, subs[i].SessionID)
+	}
+	if r.ctl != nil {
+		for _, pt := range parts {
+			r.ctl.Observe(pt.shard, pt.keys, time.Since(start))
+		}
 	}
 	r.metrics.SpanCommits.Add(1)
 	ids := make([]string, len(subs))
@@ -639,6 +782,10 @@ func (r *Router) Status() StatusReport {
 		agg.Nodes = append(agg.Nodes, rep.Nodes...)
 		agg.Reports = append(agg.Reports, rep)
 	}
+	if r.ctl != nil {
+		cnt, gen := r.OverrideState()
+		agg.Control = &ControlReport{Status: r.ctl.Snapshot(), OverrideCount: cnt, OverrideGen: gen}
+	}
 	return agg
 }
 
@@ -652,6 +799,7 @@ func (r *Router) Status() StatusReport {
 //	GET  /metrics        merged Prometheus exposition across shards
 //	POST /v1/admin/ring  ?op=leave|join&shard=S: ring membership
 //	POST /v1/admin/failover  ?shard=S: kill the shard primary, await promotion
+//	POST /v1/admin/migrate   ?key=K&to=S: fence/drain/commit one key move
 //	POST /v1/admin/*     crash/restart/leave/join, fanned out by ?shard=S
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -659,6 +807,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/release", r.handleRelease)
 	mux.HandleFunc("/v1/renew", r.handleRenew)
 	mux.HandleFunc("/v1/admin/failover", r.handleFailover)
+	mux.HandleFunc("/v1/admin/migrate", r.handleMigrate)
 	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, r.Status())
 	})
@@ -706,7 +855,7 @@ func (r *Router) handleAcquire(w http.ResponseWriter, req *http.Request) {
 		}
 		switch code {
 		case http.StatusTooManyRequests:
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", r.retryAfterHint())
 		case http.StatusConflict:
 			// Ship the live generation so the client can retry without a
 			// /v1/ring round-trip.
@@ -785,6 +934,32 @@ func (r *Router) handleRing(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, r.RingInfo())
 }
 
+// handleMigrate is the manual key-migration switch: POST
+// /v1/admin/migrate?key=K&to=S runs the same fence/drain/commit
+// protocol the controller actuates, so operators (and the chaos
+// harness) can move a key without waiting for the feedback loop.
+func (r *Router) handleMigrate(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	key := req.URL.Query().Get("key")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("key query parameter required"))
+		return
+	}
+	to, err := strconv.Atoi(req.URL.Query().Get("to"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("to query parameter must be a shard index"))
+		return
+	}
+	if err := r.MigrateKey(key, to); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, r.RingInfo())
+}
+
 // handleAdmin fans the per-node admin endpoints out to one shard's own
 // handler, selected by ?shard=S (default 0).
 func (r *Router) handleAdmin(w http.ResponseWriter, req *http.Request) {
@@ -847,6 +1022,14 @@ func (r *Router) WriteMetrics(w io.Writer) {
 	}
 	fmt.Fprintf(w, "# HELP dinerd_failover_total Completed standby promotions across all shards.\n# TYPE dinerd_failover_total counter\ndinerd_failover_total %d\n", r.metrics.Failovers.Load())
 	fmt.Fprintf(w, "# HELP dinerd_leaderless_rejections_total Requests bounced with 503+Retry-After while a shard was leaderless.\n# TYPE dinerd_leaderless_rejections_total counter\ndinerd_leaderless_rejections_total %d\n", r.metrics.LeaderlessRejections.Load())
+	fmt.Fprintf(w, "# HELP dinerd_rebalance_total Key migrations committed (override installed after a clean drain).\n# TYPE dinerd_rebalance_total counter\ndinerd_rebalance_total %d\n", r.metrics.Rebalances.Load())
+	fmt.Fprintf(w, "# HELP dinerd_rebalance_aborted_total Key migrations that fenced a key but aborted before the override landed.\n# TYPE dinerd_rebalance_aborted_total counter\ndinerd_rebalance_aborted_total %d\n", r.metrics.RebalancesAborted.Load())
+	fmt.Fprintf(w, "# HELP dinerd_migration_fences_total Acquires bounced (409) by an in-flight key migration's fence.\n# TYPE dinerd_migration_fences_total counter\ndinerd_migration_fences_total %d\n", r.metrics.MigrationFences.Load())
+	hot := 0.0
+	if r.ctl != nil {
+		hot = r.ctl.Snapshot().HotFraction
+	}
+	fmt.Fprintf(w, "# HELP dinerd_hotkey_fraction Hottest single key's share of total decayed grant load (0 when the controller is off).\n# TYPE dinerd_hotkey_fraction gauge\ndinerd_hotkey_fraction %s\n", strconv.FormatFloat(hot, 'g', -1, 64))
 	writeHistogram(w, "dinerd_promotion_seconds", "Standby promotion latency: decision to serving.", r.metrics.PromotionHist)
 	fmt.Fprintf(w, "# HELP dinerd_shard_role Shard role (1=primary serving, 0=halted/leaderless).\n# TYPE dinerd_shard_role gauge\n")
 	for i, set := range r.sets {

@@ -151,6 +151,9 @@ type Server struct {
 	idCtr   atomic.Uint64
 	ringGen atomic.Uint64 // set by the Router on ring membership changes
 	halted  atomic.Bool   // fail-stop flag: set by Halt, never cleared
+	// adviseBackoff, when non-zero, overrides Supervise.BackoffBase —
+	// the rebalance controller's derived tuning (nanoseconds).
+	adviseBackoff atomic.Int64
 
 	// tap, when non-nil, observes every lease-table mutation (grant,
 	// release, renew, expire, fence) — the replication hook. Set before
@@ -501,6 +504,34 @@ func (s *Server) ActiveLeases() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.leases)
+}
+
+// LeasesOn counts live leases naming resource — the drain probe a key
+// migration polls until the source shard provably holds no grant on
+// the moving key.
+func (s *Server) LeasesOn(resource string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, l := range s.leases {
+		for _, res := range l.resources {
+			if res == resource {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// AdviseRestartBackoff sets the supervisor's restart-backoff base from
+// the rebalance controller's observed-latency advice; zero restores
+// the configured constant.
+func (s *Server) AdviseRestartBackoff(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.adviseBackoff.Store(int64(d))
 }
 
 // InjectCrash triggers the malicious-crash fault machinery on a worker:

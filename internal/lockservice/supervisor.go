@@ -81,6 +81,13 @@ func (s *Server) superviseLoop() {
 			}
 			if backoff[p] == 0 {
 				backoff[p] = base
+				// The rebalance controller, when running, re-derives the
+				// backoff base from observed grant latency: a plant that
+				// grants in microseconds revives probes faster than one
+				// grinding through contention.
+				if adv := time.Duration(s.adviseBackoff.Load()); adv > 0 {
+					backoff[p] = adv
+				}
 			} else {
 				backoff[p] *= 2
 				if backoff[p] > maxB {

@@ -28,13 +28,21 @@ type point struct {
 	shard int
 }
 
-// Ring is a deterministic consistent-hash ring over shard IDs.
+// Ring is a deterministic consistent-hash ring over shard IDs, plus a
+// key-level override table layered on top: an override pins one key to
+// one shard regardless of its hash position. Overrides are how the
+// rebalancing controller moves a hot key off its saturated home —
+// every install or removal bumps the generation, so the override table
+// rides the same consistency token as membership and two observers
+// that agree on the generation agree on every key's placement,
+// overridden or not.
 type Ring struct {
-	seed    uint64
-	vnodes  int
-	gen     uint64
-	members map[int]bool
-	points  []point // sorted by (hash, shard)
+	seed      uint64
+	vnodes    int
+	gen       uint64
+	members   map[int]bool
+	points    []point        // sorted by (hash, shard)
+	overrides map[string]int // key -> pinned shard
 }
 
 // DefaultVnodes is the virtual-node count used when New is given 0.
@@ -48,7 +56,7 @@ func New(seed uint64, vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVnodes
 	}
-	return &Ring{seed: seed, vnodes: vnodes, members: make(map[int]bool)}
+	return &Ring{seed: seed, vnodes: vnodes, members: make(map[int]bool), overrides: make(map[string]int)}
 }
 
 // Seed returns the ring's placement seed.
@@ -98,12 +106,19 @@ func (r *Ring) Add(s int) error {
 
 // Remove evicts shard s and rebuilds the ring. Keys it owned disperse
 // to the surviving shards; every other key keeps its placement (the
-// consistent-hashing contract).
+// consistent-hashing contract). Overrides pinning keys to the departed
+// shard are dropped — those keys fall back to hash placement rather
+// than pointing at a non-member.
 func (r *Ring) Remove(s int) error {
 	if !r.members[s] {
 		return fmt.Errorf("shard: shard %d not in ring", s)
 	}
 	delete(r.members, s)
+	for k, dst := range r.overrides {
+		if dst == s {
+			delete(r.overrides, k)
+		}
+	}
 	r.gen++
 	r.rebuild()
 	return nil
@@ -117,10 +132,75 @@ func (r *Ring) Remove(s int) error {
 // re-resolve before retrying against the new one.
 func (r *Ring) Bump() { r.gen++ }
 
-// Lookup returns the shard owning key, walking clockwise from the
-// key's FNV-64a position to the next virtual node. ok is false on an
-// empty ring.
+// SetOverride pins key to shard s, shadowing its hash placement, and
+// bumps the generation. Re-pinning a key to the shard it already
+// resolves to is rejected: like Add/Remove, placement changes must be
+// deliberate so generation counts stay meaningful across observers.
+func (r *Ring) SetOverride(key string, s int) error {
+	if !r.members[s] {
+		return fmt.Errorf("shard: override target %d not in ring", s)
+	}
+	if cur, ok := r.Lookup(key); ok && cur == s {
+		return fmt.Errorf("shard: key %q already placed on shard %d", key, s)
+	}
+	if h, ok := r.lookupHashed(key); ok && h == s {
+		// Pinning a key back to its hash home: delete the stale pin
+		// instead of stacking a redundant one.
+		delete(r.overrides, key)
+	} else {
+		r.overrides[key] = s
+	}
+	r.gen++
+	return nil
+}
+
+// ClearOverride removes key's pin, returning it to hash placement, and
+// bumps the generation. Clearing a key with no override is an error.
+func (r *Ring) ClearOverride(key string) error {
+	if _, ok := r.overrides[key]; !ok {
+		return fmt.Errorf("shard: key %q has no override", key)
+	}
+	delete(r.overrides, key)
+	r.gen++
+	return nil
+}
+
+// Overrides returns a copy of the override table.
+func (r *Ring) Overrides() map[string]int {
+	out := make(map[string]int, len(r.overrides))
+	for k, s := range r.overrides {
+		out[k] = s
+	}
+	return out
+}
+
+// OverrideCount returns the number of pinned keys.
+func (r *Ring) OverrideCount() int { return len(r.overrides) }
+
+// SetOverrides replaces the whole override table without touching the
+// generation — the bulk form a replica uses when rebuilding placement
+// from a published RingInfo, whose generation already accounts for
+// every install.
+func (r *Ring) SetOverrides(m map[string]int) {
+	r.overrides = make(map[string]int, len(m))
+	for k, s := range m {
+		r.overrides[k] = s
+	}
+}
+
+// Lookup returns the shard owning key: the override table first, then
+// the hash walk clockwise from the key's FNV-64a position to the next
+// virtual node. ok is false on an empty ring.
 func (r *Ring) Lookup(key string) (shard int, ok bool) {
+	if s, ok := r.overrides[key]; ok && r.members[s] {
+		return s, true
+	}
+	return r.lookupHashed(key)
+}
+
+// lookupHashed is Lookup without the override table: the key's pure
+// hash placement.
+func (r *Ring) lookupHashed(key string) (shard int, ok bool) {
 	if len(r.points) == 0 {
 		return 0, false
 	}

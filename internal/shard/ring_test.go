@@ -192,3 +192,135 @@ func TestRingBump(t *testing.T) {
 		}
 	}
 }
+
+func TestRingOverrides(t *testing.T) {
+	r := New(42, 0)
+	for s := 0; s < 4; s++ {
+		if err := r.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := "res-000001"
+	home, _ := r.Lookup(key)
+	dst := (home + 1) % 4
+	gen := r.Generation()
+
+	if err := r.SetOverride(key, home); err == nil {
+		t.Fatal("SetOverride to the current placement must be rejected")
+	}
+	if err := r.SetOverride(key, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Generation(); got != gen+1 {
+		t.Fatalf("SetOverride generation %d, want %d", got, gen+1)
+	}
+	if s, _ := r.Lookup(key); s != dst {
+		t.Fatalf("override ignored: Lookup = %d, want %d", s, dst)
+	}
+	if n := r.OverrideCount(); n != 1 {
+		t.Fatalf("OverrideCount = %d, want 1", n)
+	}
+	// Every other key keeps its hash placement.
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("other-%03d", i)
+		fresh := New(42, 0)
+		for s := 0; s < 4; s++ {
+			_ = fresh.Add(s)
+		}
+		want, _ := fresh.Lookup(k)
+		if got, _ := r.Lookup(k); got != want {
+			t.Fatalf("override leaked onto %q: %d, want %d", k, got, want)
+		}
+	}
+
+	if err := r.ClearOverride(key); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := r.Lookup(key); s != home {
+		t.Fatalf("after clear, Lookup = %d, want hash home %d", s, home)
+	}
+	if err := r.ClearOverride(key); err == nil {
+		t.Fatal("double clear must be rejected")
+	}
+}
+
+func TestRingOverrideToHashHomeClearsPin(t *testing.T) {
+	// Overriding a pinned key back to its hash home should delete the
+	// entry, not stack a redundant pin.
+	r := New(7, 0)
+	for s := 0; s < 3; s++ {
+		_ = r.Add(s)
+	}
+	key := "hot"
+	home, _ := r.Lookup(key)
+	if err := r.SetOverride(key, (home+1)%3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetOverride(key, home); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.OverrideCount(); n != 0 {
+		t.Fatalf("redundant pin retained: OverrideCount = %d", n)
+	}
+	if s, _ := r.Lookup(key); s != home {
+		t.Fatalf("Lookup = %d, want %d", s, home)
+	}
+}
+
+func TestRingRemoveDropsOverridesToDepartedShard(t *testing.T) {
+	r := New(9, 0)
+	for s := 0; s < 3; s++ {
+		_ = r.Add(s)
+	}
+	key := "pinned"
+	home, _ := r.Lookup(key)
+	dst := (home + 1) % 3
+	if err := r.SetOverride(key, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(dst); err != nil {
+		t.Fatal(err)
+	}
+	if r.OverrideCount() != 0 {
+		t.Fatalf("override to departed shard retained")
+	}
+	if s, ok := r.Lookup(key); !ok || s == dst {
+		t.Fatalf("Lookup = %d ok=%v, want a surviving member", s, ok)
+	}
+}
+
+func TestRingOverridesReplication(t *testing.T) {
+	// A replica applying SetOverrides to an identically built ring must
+	// agree on every key — the RingInfo replication contract.
+	build := func() *Ring {
+		r := New(3, 0)
+		for s := 0; s < 4; s++ {
+			_ = r.Add(s)
+		}
+		return r
+	}
+	auth := build()
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("hot-%d", i)
+		home, _ := auth.Lookup(k)
+		_ = auth.SetOverride(k, (home+1)%4)
+	}
+	replica := build()
+	replica.SetOverrides(auth.Overrides())
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		a, _ := auth.Lookup(k)
+		b, _ := replica.Lookup(k)
+		if a != b {
+			t.Fatalf("replica diverged on %q: %d vs %d", k, a, b)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("hot-%d", i)
+		a, _ := auth.Lookup(k)
+		b, _ := replica.Lookup(k)
+		if a != b {
+			t.Fatalf("replica diverged on override %q: %d vs %d", k, a, b)
+		}
+	}
+}
