@@ -209,6 +209,9 @@ func benchCmd(args []string) {
 		}
 		benchShards(g, *shardsCSV, base, cfg, *tick, *corePath, *out)
 	case "hotkey":
+		if *skew <= 1 {
+			fail(fmt.Errorf("-skew must be > 1 for the hotkey zipf draws (got %g)", *skew))
+		}
 		if *shardsCSV == "" {
 			*shardsCSV = "4"
 		}

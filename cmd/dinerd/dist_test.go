@@ -133,6 +133,23 @@ func TestHotsetSampler(t *testing.T) {
 	}
 }
 
+// TestZipfSamplerDegenerateSkew: rand.NewZipf returns nil for s <= 1,
+// so a skew that slipped past CLI validation must fall back to uniform
+// draws instead of dereferencing a nil sampler on the first draw.
+func TestZipfSamplerDegenerateSkew(t *testing.T) {
+	cat := distCatalog(t)
+	for _, skew := range []float64{0, 1} {
+		draw := cat.sampler(rand.New(rand.NewSource(5)), distOpts{dist: "zipf", skew: skew})
+		for i := 0; i < 100; i++ {
+			if k := draw(); k == "" {
+				t.Fatalf("skew %g drew an empty key", skew)
+			} else if _, ok := cat.shardOf[k]; !ok {
+				t.Fatalf("skew %g drew unknown key %q", skew, k)
+			}
+		}
+	}
+}
+
 // TestUniformSamplerUnchanged guards the default: with no -dist the
 // swarm draws uniformly over the whole catalog, exactly as before the
 // distribution knob existed (bench baselines depend on it).

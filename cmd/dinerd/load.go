@@ -141,8 +141,13 @@ type distOpts struct {
 func (c *shardCatalog) sampler(rng *rand.Rand, d distOpts) func() string {
 	switch d.dist {
 	case "zipf":
-		z := rand.NewZipf(rng, d.skew, 1, uint64(len(c.order)-1))
-		return func() string { return c.order[z.Uint64()] }
+		// rand.NewZipf returns nil for s <= 1, and an empty catalog
+		// would underflow imax; the CLI layers validate both, but a
+		// caller that slips through gets uniform draws, not a panic.
+		if d.skew > 1 && len(c.order) > 0 {
+			z := rand.NewZipf(rng, d.skew, 1, uint64(len(c.order)-1))
+			return func() string { return c.order[z.Uint64()] }
+		}
 	case "hotset":
 		hot := c.byShard[c.shards[0]]
 		if d.hotset > 0 && d.hotset < len(hot) {
@@ -154,9 +159,8 @@ func (c *shardCatalog) sampler(rng *rand.Rand, d distOpts) func() string {
 			}
 			return c.keys[rng.Intn(len(c.keys))]
 		}
-	default:
-		return func() string { return c.keys[rng.Intn(len(c.keys))] }
 	}
+	return func() string { return c.keys[rng.Intn(len(c.keys))] }
 }
 
 // pick draws one request's resource set: with probability pair a

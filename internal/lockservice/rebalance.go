@@ -1,6 +1,7 @@
 package lockservice
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -26,16 +27,29 @@ import (
 //     contract). A drain that outlives MigrationDrain aborts: the
 //     fence lifts, placement is unchanged, clients re-resolve to the
 //     same home.
-//  3. Commit: install the override (which bumps the generation again)
-//     and lift the fence. New acquires route to the destination; the
-//     409+generation path walks every client over.
+//  3. Commit: with the fence deadline still standing and the source
+//     re-probed lease-free under the router lock, install the override
+//     (which bumps the generation again) and lift the fence. New
+//     acquires route to the destination; the 409+generation path walks
+//     every client over. A fence that expired before commit aborts
+//     unconditionally — once routing stops honoring the fence,
+//     acquires may have reached the source again, so the drain
+//     observation is stale.
 //
 // Exclusion across the epoch therefore never depends on timing: a key
 // has live leases on at most one shard because the override only lands
-// after the source provably drained, and no grant straddles the fence.
+// after the source provably drained under a live fence, and no grant
+// straddles the fence.
 
 // migrationDrainPoll is the lease-drain polling period.
 const migrationDrainPoll = time.Millisecond
+
+// errMigrateInvalid tags MigrateKey failures that are defects in the
+// request itself (a shard index that does not exist) rather than
+// migration-state conflicts; the HTTP surface maps it to 400 where
+// state conflicts — already migrating, drain timeout, leaderless
+// destination — stay 409.
+var errMigrateInvalid = errors.New("lockservice: invalid migrate request")
 
 // migrationDrain resolves the configured drain budget.
 func (r *Router) migrationDrain() time.Duration {
@@ -61,7 +75,7 @@ func (r *Router) MigrateKey(key string, dst int) error {
 	r.mu.Lock()
 	if dst < 0 || dst >= len(r.sets) {
 		r.mu.Unlock()
-		return fmt.Errorf("lockservice: migrate %q: shard %d out of range [0,%d)", key, dst, len(r.sets))
+		return fmt.Errorf("%w: migrate %q: shard %d out of range [0,%d)", errMigrateInvalid, key, dst, len(r.sets))
 	}
 	src, ok := r.ring.Lookup(key)
 	if !ok {
@@ -74,7 +88,7 @@ func (r *Router) MigrateKey(key string, dst int) error {
 	}
 	if !r.ring.Has(dst) {
 		r.mu.Unlock()
-		return fmt.Errorf("lockservice: migrate %q: shard %d not in ring", key, dst)
+		return fmt.Errorf("%w: migrate %q: shard %d not in ring", errMigrateInvalid, key, dst)
 	}
 	if m := r.fencedLocked(key, time.Now()); m != nil {
 		r.mu.Unlock()
@@ -112,6 +126,25 @@ func (r *Router) MigrateKey(key string, dst int) error {
 	}
 	if !drained {
 		return abort(fmt.Sprintf("shard %d leases did not drain within %v", src, drain))
+	}
+	// The fence is only trustworthy while its deadline holds: routing
+	// treats an expired entry as absent (the wedged-migration escape
+	// hatch), so past the deadline acquires may already have resolved
+	// to the source and been granted there without tripping the
+	// post-grant check. A drain observation that squeaked in just
+	// before expiry proves nothing about the present — an expired
+	// fence always aborts.
+	if !time.Now().Before(m.deadline) {
+		return abort(fmt.Sprintf("fence expired before commit (drain budget %v)", drain))
+	}
+	// Re-probe the source under mu: a resolver that placed the key
+	// pre-fence may have been granted after the drain loop's last
+	// look. Holding mu from this probe through the override install
+	// makes the two atomic against stillPlaced, so a grant landing
+	// after the probe runs its post-grant check against the committed
+	// override and releases itself.
+	if n := r.sets[src].leasesOn(key); n != 0 {
+		return abort(fmt.Sprintf("shard %d regained %d lease(s) on the key before commit", src, n))
 	}
 	if !r.ring.Has(dst) {
 		return abort(fmt.Sprintf("shard %d left the ring mid-drain", dst))

@@ -53,12 +53,16 @@ func TestMigrateKeyMovesPlacement(t *testing.T) {
 		t.Fatalf("Rebalances = %d, want 1", got)
 	}
 
-	// Degenerate moves are rejected without touching the epoch.
+	// Degenerate moves are rejected without touching the epoch. A move
+	// to a shard that cannot exist is a request defect (errMigrateInvalid,
+	// 400 over HTTP), not a state conflict.
 	if err := rt.MigrateKey(key, 1); err == nil {
 		t.Fatal("migrate to current placement succeeded, want error")
+	} else if errors.Is(err, errMigrateInvalid) {
+		t.Fatalf("migrate to current placement = %v, want a state conflict, not errMigrateInvalid", err)
 	}
-	if err := rt.MigrateKey(key, 7); err == nil {
-		t.Fatal("migrate to out-of-range shard succeeded, want error")
+	if err := rt.MigrateKey(key, 7); !errors.Is(err, errMigrateInvalid) {
+		t.Fatalf("migrate to out-of-range shard = %v, want errMigrateInvalid", err)
 	}
 
 	// Back to the hash home: the pin is deleted, not shadowed.
@@ -406,5 +410,26 @@ func TestAdminMigrateEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("missing-key migrate status = %d, want 400", resp.StatusCode)
+	}
+	// Request defects the router detects — a destination shard that
+	// cannot exist, or one outside the ring — are 400s too, not 409s.
+	resp, err = post("/v1/admin/migrate?key=" + key + "&to=7")
+	if err != nil {
+		t.Fatalf("POST out-of-range migrate: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range migrate status = %d, want 400", resp.StatusCode)
+	}
+	if err := rt.RingLeave(1); err != nil {
+		t.Fatalf("RingLeave(1): %v", err)
+	}
+	resp, err = post("/v1/admin/migrate?key=" + byShard[0][1] + "&to=1")
+	if err != nil {
+		t.Fatalf("POST departed-shard migrate: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("departed-shard migrate status = %d, want 400", resp.StatusCode)
 	}
 }

@@ -157,6 +157,12 @@ type Router struct {
 	ring        *shard.Ring           // guarded by mu
 	migrating   map[string]*migration // guarded by mu
 	overrideGen uint64                // guarded by mu
+
+	// gen mirrors ring.Generation(), published by pushRingGen after
+	// every ring mutation, so hot-path generation reads (the acquire
+	// pre-check and post-grant check) pay one atomic load instead of
+	// taking mu.
+	gen atomic.Uint64
 }
 
 // migration is one in-flight key move: from fence to override install
@@ -229,6 +235,7 @@ func NewRouter(cfg RouterConfig) *Router {
 // requires mu
 func (r *Router) pushRingGen() {
 	gen := r.ring.Generation()
+	r.gen.Store(gen)
 	for _, set := range r.sets {
 		for _, s := range set.servers() {
 			s.SetRingGen(gen)
@@ -423,11 +430,11 @@ func (r *Router) shardFor(resources []string) (int, error) {
 	return home, nil
 }
 
-// generation returns the current ring generation.
+// generation returns the current ring generation — the cache
+// pushRingGen publishes, so readers pay one atomic load and the grant
+// path never takes mu just to read the epoch.
 func (r *Router) generation() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.ring.Generation()
+	return r.gen.Load()
 }
 
 // spanPart is one shard's slice of a (possibly spanning) resource set.
@@ -954,7 +961,14 @@ func (r *Router) handleMigrate(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if err := r.MigrateKey(key, to); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		// Request defects (unknown shard index) are the client's to fix;
+		// everything else — already migrating, drain timeout, leaderless
+		// destination — is migration state worth retrying, so 409.
+		code := http.StatusConflict
+		if errors.Is(err, errMigrateInvalid) {
+			code = http.StatusBadRequest
+		}
+		writeErr(w, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, r.RingInfo())
